@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # ricd-baselines — the comparison methods of Section VI
+//!
+//! Every method the paper benchmarks RICD against, implemented from scratch
+//! on the same [`ricd_graph::BipartiteGraph`] substrate:
+//!
+//! * [`lpa`] — Label Propagation (Raghavan et al.), the Grape implementation
+//!   the paper uses: unique initial labels, `max_round = 20`.
+//! * [`cn`] — Common Neighbors grouping with `cn_threshold = 10`.
+//! * [`louvain`] — Louvain modularity optimization.
+//! * [`copycatch`] — the degenerate (no-timestamp) COPYCATCH: time-budgeted
+//!   maximal-biclique enumeration in the spirit of iMBEA, as the paper's
+//!   Section VI describes ("take the result of running the algorithm in a
+//!   limited time as the final output").
+//! * [`fraudar`] — FRAUDAR's camouflage-resistant greedy block peeling with
+//!   logarithmic column weights, extended to emit multiple blocks (the
+//!   paper re-implemented it in MaxCompute "for detecting multiple
+//!   blocks").
+//!
+//! Fig 8 compares all baselines **with the UI screening attached** ("for the
+//! sake of fairness, we add the suspicious group screening module to all
+//! baselines"); [`ui::with_ui`] is that adapter: size-filter the raw
+//! communities by `(k₁, k₂)`, then run RICD's user behavior check and item
+//! behavior verification on each.
+
+pub mod cn;
+pub mod copycatch;
+pub mod fraudar;
+pub mod louvain;
+pub mod lpa;
+pub mod ui;
+
+pub use cn::{cn_detect, CnParams};
+pub use copycatch::{copycatch_detect, CopyCatchParams};
+pub use fraudar::{fraudar_detect, FraudarParams};
+pub use louvain::{louvain_detect, LouvainParams};
+pub use lpa::{lpa_detect, LpaParams};
+pub use ui::with_ui;

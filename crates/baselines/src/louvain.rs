@@ -1,0 +1,339 @@
+//! Louvain modularity optimization (Blondel et al. 2008), applied to the
+//! click graph viewed as a weighted undirected graph (users and items as one
+//! node space), as Grape's implementation does in the paper.
+//!
+//! Classic two-phase structure: (1) greedy local moves — each node joins the
+//! neighboring community with the best modularity gain — swept until a pass
+//! improves modularity by less than `tolerance` or moves fewer than
+//! `min_progress` nodes; (2) community aggregation into a coarser graph;
+//! repeated until no further improvement.
+
+use crate::ui::with_ui;
+use ricd_core::params::RicdParams;
+use ricd_core::result::{DetectionResult, SuspiciousGroup};
+use ricd_engine::Stopwatch;
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Louvain parameters (named after the Grape inputs the paper quotes).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LouvainParams {
+    /// Minimum modularity improvement for a sweep to count as progress.
+    pub tolerance: f64,
+    /// Minimum node moves per sweep to keep sweeping.
+    pub min_progress: usize,
+    /// Cap on aggregation levels (safety valve).
+    pub max_levels: usize,
+}
+
+impl Default for LouvainParams {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-7,
+            min_progress: 1,
+            max_levels: 16,
+        }
+    }
+}
+
+/// Weighted undirected adjacency in flat form.
+struct UGraph {
+    adj: Vec<Vec<(u32, f64)>>,
+    total_weight: f64, // m = sum of edge weights (each undirected edge once)
+}
+
+impl UGraph {
+    fn from_bipartite(g: &BipartiteGraph) -> Self {
+        let nu = g.num_users();
+        let n = nu + g.num_items();
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut total = 0.0;
+        for (u, v, c) in g.edges() {
+            let a = u.0;
+            let b = nu as u32 + v.0;
+            adj[a as usize].push((b, c as f64));
+            adj[b as usize].push((a, c as f64));
+            total += c as f64;
+        }
+        Self {
+            adj,
+            total_weight: total,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn weighted_degree(&self, x: usize) -> f64 {
+        self.adj[x].iter().map(|&(_, w)| w).sum()
+    }
+}
+
+/// One level of local moving. Returns `(community of each node, moved_any)`.
+fn local_moving(g: &UGraph, params: &LouvainParams) -> (Vec<u32>, bool) {
+    let n = g.len();
+    let m2 = 2.0 * g.total_weight;
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    let k: Vec<f64> = (0..n).map(|x| g.weighted_degree(x)).collect();
+    // Σ_tot per community (sum of degrees of members).
+    let mut sigma_tot: Vec<f64> = k.clone();
+    let mut improved_any = false;
+
+    // links from node to each neighboring community, rebuilt per node.
+    let mut weight_to: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+
+    loop {
+        let mut moves = 0usize;
+        let mut gain_total = 0.0;
+        for x in 0..n {
+            let cx = community[x];
+            weight_to.clear();
+            for &(y, w) in &g.adj[x] {
+                let cy = community[y as usize];
+                *weight_to.entry(cy).or_default() += w;
+            }
+            // Remove x from its community for the gain math.
+            sigma_tot[cx as usize] -= k[x];
+            let w_own = weight_to.get(&cx).copied().unwrap_or(0.0);
+            // Gain of staying put.
+            let base_gain = w_own - sigma_tot[cx as usize] * k[x] / m2;
+            let mut best_c = cx;
+            let mut best_gain = base_gain;
+            for (&c, &w) in &weight_to {
+                if c == cx {
+                    continue;
+                }
+                let gain = w - sigma_tot[c as usize] * k[x] / m2;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                } else if (gain - best_gain).abs() <= 1e-12 && c < best_c {
+                    // Deterministic tie-break toward the smaller community id.
+                    best_c = c;
+                }
+            }
+            sigma_tot[best_c as usize] += k[x];
+            if best_c != cx {
+                community[x] = best_c;
+                moves += 1;
+                gain_total += best_gain - base_gain;
+                improved_any = true;
+            }
+        }
+        if moves < params.min_progress || gain_total < params.tolerance {
+            break;
+        }
+    }
+    (community, improved_any)
+}
+
+/// Aggregates communities into a coarser graph; returns the new graph and
+/// the dense relabeling `old community id → new node id`.
+fn aggregate(g: &UGraph, community: &[u32]) -> (UGraph, Vec<u32>) {
+    let mut relabel = vec![u32::MAX; g.len()];
+    let mut next = 0u32;
+    for &c in community.iter().take(g.len()) {
+        let c = c as usize;
+        if relabel[c] == u32::MAX {
+            relabel[c] = next;
+            next += 1;
+        }
+    }
+    let mut edges: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
+    for x in 0..g.len() {
+        let cx = relabel[community[x] as usize];
+        for &(y, w) in &g.adj[x] {
+            let cy = relabel[community[y as usize] as usize];
+            if cx <= cy {
+                // Each undirected edge appears twice in adj; count each
+                // direction once by the cx ≤ cy ordering, keeping self-loop
+                // weight doubled, which Louvain's k_i accounting expects.
+                *edges.entry((cx, cy)).or_default() += w;
+            }
+        }
+    }
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); next as usize];
+    let mut total = 0.0;
+    for (&(a, b), &w) in &edges {
+        if a == b {
+            adj[a as usize].push((b, w));
+            total += w / 2.0;
+        } else {
+            adj[a as usize].push((b, w));
+            adj[b as usize].push((a, w));
+            total += w;
+        }
+    }
+    for l in &mut adj {
+        l.sort_by_key(|&(id, _)| id);
+    }
+    (
+        UGraph {
+            adj,
+            total_weight: total,
+        },
+        relabel,
+    )
+}
+
+/// Runs full multi-level Louvain; returns the final community id per
+/// original node (users `0..U`, items `U..U+V`).
+pub fn louvain_communities_raw(g: &BipartiteGraph, params: &LouvainParams) -> Vec<u32> {
+    let mut ug = UGraph::from_bipartite(g);
+    let n0 = ug.len();
+    let mut membership: Vec<u32> = (0..n0 as u32).collect();
+    if ug.total_weight == 0.0 {
+        return membership;
+    }
+    for _ in 0..params.max_levels {
+        let (community, improved) = local_moving(&ug, params);
+        if !improved {
+            break;
+        }
+        let (coarse, relabel) = aggregate(&ug, &community);
+        for m in &mut membership {
+            *m = relabel[community[*m as usize] as usize];
+        }
+        if coarse.len() == ug.len() {
+            break;
+        }
+        ug = coarse;
+    }
+    membership
+}
+
+/// Community groups in bipartite terms.
+pub fn louvain_communities(g: &BipartiteGraph, params: &LouvainParams) -> Vec<SuspiciousGroup> {
+    let membership = louvain_communities_raw(g, params);
+    let nu = g.num_users();
+    let mut by: std::collections::HashMap<u32, SuspiciousGroup> = std::collections::HashMap::new();
+    for (u, &label) in membership.iter().enumerate().take(nu) {
+        by.entry(label).or_default().users.push(UserId(u as u32));
+    }
+    for v in 0..g.num_items() {
+        by.entry(membership[nu + v])
+            .or_default()
+            .items
+            .push(ItemId(v as u32));
+    }
+    let mut out: Vec<SuspiciousGroup> = by.into_values().collect();
+    out.sort_by_key(|c| (c.users.first().copied(), c.items.first().copied()));
+    out
+}
+
+/// Louvain + UI screening.
+pub fn louvain_detect(
+    g: &BipartiteGraph,
+    params: &LouvainParams,
+    ricd_params: &RicdParams,
+) -> DetectionResult {
+    let sw = Stopwatch::start();
+    let comms = louvain_communities(g, params);
+    let detect_time = sw.elapsed();
+    with_ui(g, comms, ricd_params, detect_time)
+}
+
+/// Newman–Girvan modularity of a partition (for tests and ablations).
+pub fn modularity(g: &BipartiteGraph, membership: &[u32]) -> f64 {
+    let ug = UGraph::from_bipartite(g);
+    let m2 = 2.0 * ug.total_weight;
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    let n_comm = membership.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut internal = vec![0.0; n_comm];
+    let mut degree = vec![0.0; n_comm];
+    for x in 0..ug.len() {
+        let cx = membership[x] as usize;
+        degree[cx] += ug.weighted_degree(x);
+        for &(y, w) in &ug.adj[x] {
+            if membership[y as usize] as usize == cx {
+                internal[cx] += w; // counted twice (both directions)
+            }
+        }
+    }
+    (0..n_comm)
+        .map(|c| internal[c] / m2 - (degree[c] / m2).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_graph::GraphBuilder;
+
+    fn two_blocks() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..12u32 {
+            for v in 0..11u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        for u in 20..32u32 {
+            for v in 20..31u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        // Weak bridge.
+        b.add_click(UserId(0), ItemId(20), 1);
+        b.build()
+    }
+
+    #[test]
+    fn separates_blocks_despite_bridge() {
+        let g = two_blocks();
+        let membership = louvain_communities_raw(&g, &LouvainParams::default());
+        let nu = g.num_users();
+        assert!(membership[..12].iter().all(|&c| c == membership[0]));
+        assert!(membership[20..32].iter().all(|&c| c == membership[20]));
+        assert_ne!(membership[0], membership[20]);
+        // Items follow their block.
+        assert_eq!(membership[nu], membership[0]);
+        assert_eq!(membership[nu + 20], membership[20]);
+    }
+
+    #[test]
+    fn partition_beats_trivial_modularity() {
+        let g = two_blocks();
+        let membership = louvain_communities_raw(&g, &LouvainParams::default());
+        let q = modularity(&g, &membership);
+        let trivial = vec![0u32; g.num_users() + g.num_items()];
+        assert!(q > modularity(&g, &trivial));
+        assert!(q > 0.3, "clear two-block structure, q = {q}");
+    }
+
+    #[test]
+    fn communities_partition_nodes() {
+        let g = two_blocks();
+        let comms = louvain_communities(&g, &LouvainParams::default());
+        let users: usize = comms.iter().map(|c| c.users.len()).sum();
+        let items: usize = comms.iter().map(|c| c.items.len()).sum();
+        assert_eq!(users, g.num_users());
+        assert_eq!(items, g.num_items());
+    }
+
+    #[test]
+    fn detect_with_ui() {
+        let g = two_blocks();
+        let r = louvain_detect(&g, &LouvainParams::default(), &RicdParams::default());
+        assert_eq!(r.groups.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_safe() {
+        let g = GraphBuilder::new().build();
+        let comms = louvain_communities(&g, &LouvainParams::default());
+        assert!(comms.is_empty());
+        assert_eq!(modularity(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn singleton_edges_stay_together() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 5);
+        let g = b.build();
+        let membership = louvain_communities_raw(&g, &LouvainParams::default());
+        assert_eq!(membership[0], membership[1], "u0 and i0 merge");
+    }
+}

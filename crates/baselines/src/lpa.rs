@@ -1,0 +1,206 @@
+//! Label Propagation (Raghavan et al. 2007), as offered by Grape and used in
+//! the paper: every node starts with a unique label, then for `max_round`
+//! rounds each node adopts the label most frequent among its neighbors
+//! (smallest label on ties, which makes the algorithm deterministic).
+//! Rounds are bulk-synchronous on the worker pool, matching Grape's model.
+
+use crate::ui::with_ui;
+use ricd_core::params::RicdParams;
+use ricd_core::result::{DetectionResult, SuspiciousGroup};
+use ricd_engine::{Stopwatch, WorkerPool};
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// LPA parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LpaParams {
+    /// Maximum propagation rounds (paper default: 20).
+    pub max_round: usize,
+    /// Weight votes by click counts instead of counting each neighbor once.
+    pub weighted: bool,
+}
+
+impl Default for LpaParams {
+    fn default() -> Self {
+        Self {
+            max_round: 20,
+            weighted: false,
+        }
+    }
+}
+
+/// One bulk-synchronous label update for one side.
+///
+/// `labels` are global: users occupy `0..U`, items `U..U+V`.
+fn best_label<I: Iterator<Item = (u32, u32)>>(neighbors: I, weighted: bool, fallback: u32) -> u32 {
+    // (label → votes); small maps dominate, HashMap is fine here.
+    let mut votes: HashMap<u32, u64> = HashMap::new();
+    for (label, clicks) in neighbors {
+        *votes.entry(label).or_default() += if weighted { clicks as u64 } else { 1 };
+    }
+    votes
+        .into_iter()
+        // Max votes, ties by smallest label.
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(l, _)| l)
+        .unwrap_or(fallback)
+}
+
+/// Runs LPA and returns the per-node labels `(user_labels, item_labels)`.
+pub fn propagate(g: &BipartiteGraph, params: &LpaParams, pool: &WorkerPool) -> (Vec<u32>, Vec<u32>) {
+    let num_users = g.num_users();
+    // Unique initial labels: users get their id, items get U + id.
+    let mut user_labels: Vec<u32> = (0..num_users as u32).collect();
+    let mut item_labels: Vec<u32> = (0..g.num_items() as u32).map(|v| num_users as u32 + v).collect();
+
+    for _ in 0..params.max_round {
+        let new_user: Vec<u32> = pool.map_vertices(num_users, |u| {
+            let uid = UserId(u as u32);
+            best_label(
+                g.user_neighbors(uid).map(|(v, c)| (item_labels[v.index()], c)),
+                params.weighted,
+                user_labels[u],
+            )
+        });
+        let new_item: Vec<u32> = pool.map_vertices(g.num_items(), |v| {
+            let vid = ItemId(v as u32);
+            best_label(
+                g.item_neighbors(vid).map(|(u, c)| (new_user[u.index()], c)),
+                params.weighted,
+                item_labels[v],
+            )
+        });
+        let converged = new_user == user_labels && new_item == item_labels;
+        user_labels = new_user;
+        item_labels = new_item;
+        if converged {
+            break;
+        }
+    }
+    (user_labels, item_labels)
+}
+
+/// Groups nodes by final label.
+pub fn communities(user_labels: &[u32], item_labels: &[u32]) -> Vec<SuspiciousGroup> {
+    let mut by_label: HashMap<u32, SuspiciousGroup> = HashMap::new();
+    for (u, &l) in user_labels.iter().enumerate() {
+        by_label.entry(l).or_default().users.push(UserId(u as u32));
+    }
+    for (v, &l) in item_labels.iter().enumerate() {
+        by_label.entry(l).or_default().items.push(ItemId(v as u32));
+    }
+    let mut out: Vec<SuspiciousGroup> = by_label.into_values().collect();
+    out.sort_by_key(|c| (c.users.first().copied(), c.items.first().copied()));
+    out
+}
+
+/// LPA + UI screening, producing a comparable [`DetectionResult`].
+pub fn lpa_detect(
+    g: &BipartiteGraph,
+    params: &LpaParams,
+    ricd_params: &RicdParams,
+    pool: &WorkerPool,
+) -> DetectionResult {
+    let sw = Stopwatch::start();
+    let (ul, il) = propagate(g, params, pool);
+    let comms = communities(&ul, &il);
+    let detect_time = sw.elapsed();
+    with_ui(g, comms, ricd_params, detect_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_graph::GraphBuilder;
+
+    /// Two disjoint dense blocks.
+    fn two_blocks() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..12u32 {
+            for v in 0..11u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        for u in 20..32u32 {
+            for v in 20..31u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn disjoint_blocks_get_distinct_labels() {
+        let g = two_blocks();
+        let (ul, il) = propagate(&g, &LpaParams::default(), &WorkerPool::new(2));
+        // Within-block labels agree.
+        assert!(ul[..12].iter().all(|&l| l == ul[0]));
+        assert!(ul[20..32].iter().all(|&l| l == ul[20]));
+        assert_ne!(ul[0], ul[20]);
+        assert!(il[..11].iter().all(|&l| l == ul[0]));
+    }
+
+    #[test]
+    fn communities_partition_nodes() {
+        let g = two_blocks();
+        let (ul, il) = propagate(&g, &LpaParams::default(), &WorkerPool::new(2));
+        let comms = communities(&ul, &il);
+        let total_users: usize = comms.iter().map(|c| c.users.len()).sum();
+        let total_items: usize = comms.iter().map(|c| c.items.len()).sum();
+        assert_eq!(total_users, g.num_users());
+        assert_eq!(total_items, g.num_items());
+    }
+
+    #[test]
+    fn detect_finds_both_blocks() {
+        let g = two_blocks();
+        let r = lpa_detect(&g, &LpaParams::default(), &RicdParams::default(), &WorkerPool::new(2));
+        assert_eq!(r.groups.len(), 2);
+        assert!(r.timings.get("detect").is_some());
+    }
+
+    #[test]
+    fn zero_rounds_keeps_unique_labels() {
+        let g = two_blocks();
+        let p = LpaParams {
+            max_round: 0,
+            ..LpaParams::default()
+        };
+        let (ul, _) = propagate(&g, &p, &WorkerPool::new(2));
+        let mut sorted = ul.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ul.len(), "labels untouched");
+    }
+
+    #[test]
+    fn weighted_votes_follow_heavy_edges() {
+        // u0 is pulled between i0 (1 click) and i1 (10 clicks): weighted LPA
+        // groups it with i1's side.
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 1);
+        b.add_click(UserId(0), ItemId(1), 10);
+        // anchor each item in its own block
+        for u in 1..4u32 {
+            b.add_click(UserId(u), ItemId(0), 5);
+        }
+        for u in 4..7u32 {
+            b.add_click(UserId(u), ItemId(1), 5);
+        }
+        let g = b.build();
+        let p = LpaParams {
+            weighted: true,
+            max_round: 20,
+        };
+        let (ul, il) = propagate(&g, &p, &WorkerPool::new(1));
+        assert_eq!(ul[0], il[1], "u0 joins the heavy item's community");
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let g = two_blocks();
+        let a = propagate(&g, &LpaParams::default(), &WorkerPool::new(1));
+        let b = propagate(&g, &LpaParams::default(), &WorkerPool::new(4));
+        assert_eq!(a, b);
+    }
+}

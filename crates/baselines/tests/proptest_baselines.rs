@@ -1,0 +1,102 @@
+//! Property tests for the baseline detectors: partition validity,
+//! determinism, and structural guarantees on random graphs.
+
+use proptest::prelude::*;
+use ricd_baselines::copycatch::{enumerate_bicliques, CopyCatchParams};
+use ricd_baselines::fraudar::{fraudar_blocks, FraudarParams};
+use ricd_baselines::louvain::{louvain_communities_raw, modularity, LouvainParams};
+use ricd_baselines::lpa::{communities, propagate, LpaParams};
+use ricd_engine::WorkerPool;
+use ricd_graph::{BipartiteGraph, GraphBuilder, ItemId, UserId};
+use std::time::Duration;
+
+fn graphs() -> impl Strategy<Value = BipartiteGraph> {
+    proptest::collection::vec((0u32..40, 0u32..30, 1u32..10), 1..250).prop_map(|recs| {
+        let mut b = GraphBuilder::new();
+        for (u, v, c) in recs {
+            b.add_click(UserId(u), ItemId(v), c);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// LPA communities partition the node set and are worker-count
+    /// independent.
+    #[test]
+    fn lpa_partitions_and_is_deterministic(g in graphs()) {
+        let p = LpaParams::default();
+        let (u1, i1) = propagate(&g, &p, &WorkerPool::new(1));
+        let (u4, i4) = propagate(&g, &p, &WorkerPool::new(4));
+        prop_assert_eq!((&u1, &i1), (&u4, &i4));
+        let comms = communities(&u1, &i1);
+        let users: usize = comms.iter().map(|c| c.users.len()).sum();
+        let items: usize = comms.iter().map(|c| c.items.len()).sum();
+        prop_assert_eq!(users, g.num_users());
+        prop_assert_eq!(items, g.num_items());
+    }
+
+    /// Louvain's final partition never has *worse* modularity than the
+    /// all-singletons start, and community ids form a partition.
+    #[test]
+    fn louvain_improves_modularity(g in graphs()) {
+        let membership = louvain_communities_raw(&g, &LouvainParams::default());
+        prop_assert_eq!(membership.len(), g.num_users() + g.num_items());
+        let singletons: Vec<u32> = (0..membership.len() as u32).collect();
+        let q = modularity(&g, &membership);
+        let q0 = modularity(&g, &singletons);
+        prop_assert!(q >= q0 - 1e-9, "q {q} < singleton q {q0}");
+    }
+
+    /// Every FRAUDAR block is non-empty, disjoint from later blocks, and
+    /// its score is non-negative.
+    #[test]
+    fn fraudar_blocks_disjoint(g in graphs()) {
+        let blocks = fraudar_blocks(&g, &FraudarParams::default());
+        let mut seen_users = std::collections::HashSet::new();
+        let mut seen_items = std::collections::HashSet::new();
+        for b in &blocks {
+            prop_assert!(!b.users.is_empty() || !b.items.is_empty());
+            prop_assert!(b.score >= 0.0);
+            for u in &b.users {
+                prop_assert!(seen_users.insert(*u), "user {u} in two blocks");
+            }
+            for v in &b.items {
+                prop_assert!(seen_items.insert(*v), "item {v} in two blocks");
+            }
+        }
+    }
+
+    /// Every structure COPYCATCH reports is a genuine biclique of at least
+    /// (m, n), and maximal.
+    #[test]
+    fn copycatch_reports_true_maximal_bicliques(g in graphs()) {
+        let p = CopyCatchParams {
+            m: 3,
+            n: 3,
+            time_budget: Duration::from_secs(2),
+            max_results: 50,
+            max_results_per_seed: 10,
+        };
+        let (found, _) = enumerate_bicliques(&g, &p);
+        for b in &found {
+            prop_assert!(b.users.len() >= p.m && b.items.len() >= p.n);
+            // Completeness: every (user, item) pair is an edge.
+            for &u in &b.users {
+                for &v in &b.items {
+                    prop_assert!(g.clicks(u, v).is_some(), "({u},{v}) missing");
+                }
+            }
+            // User-maximality: no user outside is adjacent to all items.
+            for u in g.users() {
+                if b.users.contains(&u) {
+                    continue;
+                }
+                let covers_all = b.items.iter().all(|&v| g.clicks(u, v).is_some());
+                prop_assert!(!covers_all, "{u} extends the user side");
+            }
+        }
+    }
+}

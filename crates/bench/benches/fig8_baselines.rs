@@ -1,0 +1,46 @@
+//! Regenerates **Fig 8a** (precision/recall/F1 of RICD vs the six
+//! baselines, all "+UI") and **Fig 8b** (elapsed time; COPYCATCH and
+//! FRAUDAR excluded as in the paper).
+//!
+//! Paper shape to check against: RICD best F1; LPA ≈ recall-strong /
+//! precision-weaker; FRAUDAR precision-strong / recall-weaker; CN, Naive,
+//! Louvain, COPYCATCH trail; Naive fastest, LPA slightly faster than RICD,
+//! CN/Louvain ≈ 35%+ slower than RICD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ricd_bench::eval_dataset;
+use ricd_eval::figures::fig8;
+use ricd_eval::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let ds = eval_dataset();
+    let cfg = MethodConfig {
+        copycatch_budget: Duration::from_secs(10),
+        ..MethodConfig::default()
+    };
+
+    let outcomes = fig8(&ds.graph, &ds.truth, &cfg);
+    eprintln!("\n=== Fig 8a: quality comparison (all methods +UI) ===");
+    eprintln!("{}", report::format_quality(&outcomes));
+    eprintln!("=== Fig 8b: elapsed time (COPYCATCH/FRAUDAR excluded) ===");
+    let timed: Vec<_> = outcomes
+        .iter()
+        .filter(|o| Method::fig8b_lineup().contains(&o.method))
+        .cloned()
+        .collect();
+    eprintln!("{}", report::format_timing(&timed));
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for method in Method::fig8b_lineup() {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| black_box(cfg.run(method, &ds.graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates **Fig 9a–e**: RICD's sensitivity to `k₁`, `k₂`, `α`,
+//! `T_click`, `T_hot` around the paper's defaults.
+//!
+//! Paper shape: monotone precision/recall trade-offs everywhere except
+//! `T_hot`, whose recall peaks at an interior value; `k₁` and `k₂` move
+//! precision in opposite directions (attacks are many-item / few-user).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ricd_bench::sensitivity_dataset;
+use ricd_eval::figures::fig9;
+use ricd_eval::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = sensitivity_dataset();
+    let cfg = MethodConfig::default();
+
+    let sweep = fig9(&ds.graph, &ds.truth, &cfg);
+    eprintln!("\n=== Fig 9: parameter sensitivity of RICD ===");
+    eprintln!("{}", report::format_sensitivity(&sweep));
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| black_box(fig9(&ds.graph, &ds.truth, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

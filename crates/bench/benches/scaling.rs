@@ -1,0 +1,39 @@
+//! The Section V-D complexity claims, empirically: CorePruning is
+//! `O(|U| + |V| + |E|)` and the full extraction is dominated by
+//! SquarePruning's wedge work. We time the RICD pipeline across graph
+//! scales (0.25×, 0.5×, 1×, 2× of the default) and print the per-module
+//! split so the near-linear growth is visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ricd_bench::scaled_dataset;
+use ricd_core::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+
+    eprintln!("\n=== Scaling: RICD end-to-end across dataset scales ===");
+    for factor in [0.25f64, 0.5, 1.0, 2.0] {
+        let ds = scaled_dataset(factor);
+        let pipeline = RicdPipeline::new(RicdParams::default());
+        let r = pipeline.run(&ds.graph);
+        let ms = |p: &str| r.timings.get(p).map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+        eprintln!(
+            "scale {factor:>4}x: users={:>6} edges={:>7} detect={:>8.1}ms screen={:>6.1}ms identify={:>6.1}ms groups={}",
+            ds.graph.num_users(),
+            ds.graph.num_edges(),
+            ms("detect"),
+            ms("screen"),
+            ms("identify"),
+            r.groups.len()
+        );
+        group.bench_with_input(BenchmarkId::new("ricd_end_to_end", factor), &ds, |b, ds| {
+            b.iter(|| black_box(pipeline.run(&ds.graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates **Table I** (data scale), **Table II** (data statistics) and
+//! the **Fig 2** click distributions, timing dataset generation and the
+//! statistics passes.
+//!
+//! Paper values at 1000× this scale: 20M users / 4M items / 90M edges /
+//! 200M clicks; user row (11.35, 4.32, 33.34); item row (54.94, 20.49,
+//! 992.78); T_hot = 1,320; T_click = 12.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ricd_bench::eval_dataset;
+use ricd_datagen::prelude::*;
+use ricd_eval::figures::dataset_report;
+use std::hint::black_box;
+
+fn print_report() {
+    let ds = eval_dataset();
+    let r = dataset_report(&ds.graph);
+    eprintln!("\n=== Table I: data scale of the synthetic TaoBao_UI_Clicks ===");
+    eprintln!(
+        "users={} items={} edges={} total_clicks={}",
+        r.scale.users, r.scale.items, r.scale.edges, r.scale.total_clicks
+    );
+    eprintln!("=== Table II: data statistics ===");
+    eprintln!(
+        "user: avg_clk={:.2} avg_cnt={:.2} stdev={:.2}",
+        r.user_stats.avg_clk, r.user_stats.avg_cnt, r.user_stats.stdev
+    );
+    eprintln!(
+        "item: avg_clk={:.2} avg_cnt={:.2} stdev={:.2}",
+        r.item_stats.avg_clk, r.item_stats.avg_cnt, r.item_stats.stdev
+    );
+    eprintln!(
+        "pareto: top-20% of items hold {:.1}% of clicks; derived T_hot={} T_click={}",
+        r.pareto_top20_share * 100.0,
+        r.t_hot_pareto,
+        r.t_click_derived
+    );
+    eprintln!("=== Fig 2a: items' click distribution (log-binned) ===");
+    for (lo, n) in r.item_distribution.bin_lower.iter().zip(&r.item_distribution.count) {
+        eprintln!("clicks>={lo:<8} items={n}");
+    }
+    eprintln!("=== Fig 2b: users' click distribution (log-binned) ===");
+    for (lo, n) in r.user_distribution.bin_lower.iter().zip(&r.user_distribution.count) {
+        eprintln!("clicks>={lo:<8} users={n}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_report();
+    let mut group = c.benchmark_group("table1_2");
+    group.sample_size(10);
+    group.bench_function("generate_default_dataset", |b| {
+        b.iter(|| black_box(generate(&DatasetConfig::default(), &AttackConfig::default()).unwrap()))
+    });
+    let ds = eval_dataset();
+    group.bench_function("dataset_report", |b| {
+        b.iter(|| black_box(dataset_report(&ds.graph)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

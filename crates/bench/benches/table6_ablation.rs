@@ -1,0 +1,33 @@
+//! Regenerates **Table VI** (effectiveness of suspicious group screening):
+//! RICD-UI (no screening) → RICD-I (user check only) → RICD (full).
+//!
+//! Paper values: RICD-UI (0.03 / 0.82 / 0.06), RICD-I (0.14 / 0.78 / 0.23),
+//! RICD (0.81 / 0.51 / 0.63) — precision rises sharply with each screening
+//! step at some recall cost; full RICD wins on F1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ricd_bench::eval_dataset;
+use ricd_eval::figures::table6;
+use ricd_eval::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ds = eval_dataset();
+    let cfg = MethodConfig::default();
+
+    let rows = table6(&ds.graph, &ds.truth, &cfg);
+    eprintln!("\n=== Table VI: effectiveness of suspicious group screening ===");
+    eprintln!("{}", report::format_quality(&rows));
+
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    for method in Method::table6_lineup() {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| black_box(cfg.run(method, &ds.graph)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! The Section IV exploratory analysis: the *rough screening* the paper
+//! runs on the raw click table before designing RICD.
+//!
+//! Two passes:
+//!
+//! 1. **Abnormal click records** (Section IV-A, step 2): users who clicked
+//!    both hot and ordinary items and put ≥ `T_click` clicks on some
+//!    ordinary item. The paper finds "more than 1.4 million users (≥ 7% of
+//!    all users)" this way — deliberately loose ("very rough and
+//!    inaccurate"), which is the motivation for the real framework.
+//! 2. **Suspicious items** (Section IV-B): the ordinary items appearing in
+//!    those abnormal records ("more than 600,000 suspicious items, ≥ 15% of
+//!    all items").
+//!
+//! Plus the Section IV-B contrast statistic: how much more often the
+//! roughly-screened suspicious users appear in the click lists of
+//! suspicious items than of normal items (paper: 1.98% vs 0.49%).
+
+use ricd_engine::WorkerPool;
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Output of the rough screening.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RoughScreening {
+    /// Users with abnormal click records, sorted.
+    pub suspicious_users: Vec<UserId>,
+    /// Ordinary items carrying a ≥ `T_click` edge from a suspicious user,
+    /// sorted.
+    pub suspicious_items: Vec<ItemId>,
+    /// `suspicious_users.len() / num_users` (paper: ≥ 0.07).
+    pub user_fraction: f64,
+    /// `suspicious_items.len() / num_items` (paper: ≥ 0.15).
+    pub item_fraction: f64,
+}
+
+/// Runs the Section IV rough screening.
+pub fn rough_screening(
+    g: &BipartiteGraph,
+    t_hot: u64,
+    t_click: u32,
+    pool: &WorkerPool,
+) -> RoughScreening {
+    let hot: Vec<bool> = pool
+        .map_vertices(g.num_items(), |v| g.item_total_clicks(ItemId(v as u32)))
+        .into_iter()
+        .map(|t| t >= t_hot)
+        .collect();
+
+    // Step 2: users who clicked hot AND ordinary items, with a heavy
+    // ordinary edge.
+    let suspicious_users: Vec<UserId> = pool
+        .filter_vertices(g.num_users(), |u| {
+            let u = UserId(u as u32);
+            let mut clicked_hot = false;
+            let mut heavy_ordinary = false;
+            for (v, c) in g.user_neighbors(u) {
+                if hot[v.index()] {
+                    clicked_hot = true;
+                } else if c >= t_click {
+                    heavy_ordinary = true;
+                }
+            }
+            clicked_hot && heavy_ordinary
+        })
+        .into_iter()
+        .map(|u| UserId(u as u32))
+        .collect();
+
+    // The ordinary items those users hit heavily.
+    let mut sus_user = vec![false; g.num_users()];
+    for u in &suspicious_users {
+        sus_user[u.index()] = true;
+    }
+    let suspicious_items: Vec<ItemId> = pool
+        .filter_vertices(g.num_items(), |v| {
+            let v = ItemId(v as u32);
+            !hot[v.index()]
+                && g.item_neighbors(v)
+                    .any(|(u, c)| sus_user[u.index()] && c >= t_click)
+        })
+        .into_iter()
+        .map(|v| ItemId(v as u32))
+        .collect();
+
+    let user_fraction = if g.num_users() == 0 {
+        0.0
+    } else {
+        suspicious_users.len() as f64 / g.num_users() as f64
+    };
+    let item_fraction = if g.num_items() == 0 {
+        0.0
+    } else {
+        suspicious_items.len() as f64 / g.num_items() as f64
+    };
+
+    RoughScreening {
+        suspicious_users,
+        suspicious_items,
+        user_fraction,
+        item_fraction,
+    }
+}
+
+impl RoughScreening {
+    /// The Section IV-B contrast: the fraction of an item's clickers that
+    /// are roughly-screened suspicious users. The paper reports 1.98% for
+    /// suspicious items vs 0.49% for normal items of similar popularity.
+    pub fn suspicious_clicker_share(&self, g: &BipartiteGraph, item: ItemId) -> f64 {
+        let deg = g.item_degree(item);
+        if deg == 0 {
+            return 0.0;
+        }
+        let hits = g
+            .item_adjacency(item)
+            .iter()
+            .filter(|u| self.suspicious_users.binary_search(u).is_ok())
+            .count();
+        hits as f64 / deg as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_graph::GraphBuilder;
+
+    /// Hot item i0, target i1 hammered by u0/u1 (who also touch i0),
+    /// ordinary traffic elsewhere.
+    fn scenario() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 100..1200u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        for u in 0..2u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+            b.add_click(UserId(u), ItemId(1), 14);
+        }
+        // u5: heavy ordinary clicks but never touched a hot item.
+        b.add_click(UserId(5), ItemId(2), 20);
+        // u6: hot only.
+        b.add_click(UserId(6), ItemId(0), 9);
+        b.build()
+    }
+
+    #[test]
+    fn finds_users_with_both_signals() {
+        let s = rough_screening(&scenario(), 1_000, 12, &WorkerPool::new(2));
+        assert_eq!(s.suspicious_users, vec![UserId(0), UserId(1)]);
+        assert!(!s.suspicious_users.contains(&UserId(5)), "no hot click");
+        assert!(!s.suspicious_users.contains(&UserId(6)), "no heavy ordinary");
+    }
+
+    #[test]
+    fn items_follow_from_users() {
+        let s = rough_screening(&scenario(), 1_000, 12, &WorkerPool::new(2));
+        assert_eq!(s.suspicious_items, vec![ItemId(1)]);
+        assert!(!s.suspicious_items.contains(&ItemId(2)), "u5 is not suspicious");
+        assert!(!s.suspicious_items.contains(&ItemId(0)), "hot items excluded");
+    }
+
+    #[test]
+    fn fractions_are_ratios() {
+        let g = scenario();
+        let s = rough_screening(&g, 1_000, 12, &WorkerPool::new(2));
+        assert!((s.user_fraction - 2.0 / g.num_users() as f64).abs() < 1e-12);
+        assert!((s.item_fraction - 1.0 / g.num_items() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clicker_share_contrast() {
+        let g = scenario();
+        let s = rough_screening(&g, 1_000, 12, &WorkerPool::new(2));
+        let sus_share = s.suspicious_clicker_share(&g, ItemId(1));
+        let hot_share = s.suspicious_clicker_share(&g, ItemId(0));
+        assert!(
+            sus_share > hot_share * 10.0,
+            "suspicious item {sus_share} vs hot item {hot_share}"
+        );
+        assert_eq!(
+            s.suspicious_clicker_share(&g, ItemId(2)),
+            0.0,
+            "item clicked only by non-suspicious users"
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let s = rough_screening(&g, 1_000, 12, &WorkerPool::new(2));
+        assert!(s.suspicious_users.is_empty());
+        assert_eq!(s.user_fraction, 0.0);
+    }
+
+    #[test]
+    fn rough_screen_is_loose_on_synthetic_data() {
+        // The paper's point: the rough screen over-collects relative to the
+        // real framework. On synthetic data it must cover (nearly) every
+        // planted worker, while the full pipeline's output is much tighter.
+        use ricd_datagen::prelude::*;
+        let ds = generate(&DatasetConfig::small(), &AttackConfig::small()).unwrap();
+        let s = rough_screening(&ds.graph, 1_000, 12, &WorkerPool::new(2));
+        let workers = ds.truth.abnormal_users();
+        let covered = workers
+            .iter()
+            .filter(|w| s.suspicious_users.binary_search(w).is_ok())
+            .count();
+        assert!(
+            covered * 10 >= workers.len() * 8,
+            "rough screen covers ≥80% of planted workers ({covered}/{})",
+            workers.len()
+        );
+        // Looseness: the rough screen flags at least as many users as the
+        // full pipeline outputs.
+        let full = crate::pipeline::RicdPipeline::new(crate::params::RicdParams::default())
+            .run(&ds.graph);
+        assert!(s.suspicious_users.len() >= full.suspicious_users().len());
+    }
+}

@@ -1,0 +1,195 @@
+//! The item-to-item relevance-score model (Fig 3, Eq 1–3) and the
+//! optimal-attacker analysis of Section IV-A.
+//!
+//! The I2I score is what the attack manipulates: for a hot item `h`, the
+//! score of an ordinary item `i` is its share of the conditional co-click
+//! mass, `Sᵢ = Cᵢ / Σⱼ Cⱼ` (Eq 1), where `Cᵢ` counts clicks on `i` by users
+//! who clicked `h`. The analysis around Eq 2–3 shows the attacker's optimal
+//! budget split — click the hot item once, pour everything else into the
+//! target — which is exactly the click signature the detector's screening
+//! rules look for.
+
+use ricd_graph::{BipartiteGraph, ItemId};
+
+/// Computes the co-click counts `Cᵢ` for a hot item: for every other item
+/// `i`, the number of clicks on `i` contributed by users who clicked `hot`.
+///
+/// Returns `(item, C_i)` pairs for items with `C_i > 0`, unsorted.
+pub fn co_click_counts(g: &BipartiteGraph, hot: ItemId) -> Vec<(ItemId, u64)> {
+    let mut counts = vec![0u64; g.num_items()];
+    for (u, _) in g.item_neighbors(hot) {
+        for (i, c) in g.user_neighbors(u) {
+            if i != hot {
+                counts[i.index()] += c as u64;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .map(|(i, c)| (ItemId(i as u32), c))
+        .collect()
+}
+
+/// Eq 1: the I2I score of `item` against `hot` — its share of the co-click
+/// mass. 0 if there is no co-click at all.
+pub fn i2i_score(g: &BipartiteGraph, hot: ItemId, item: ItemId) -> f64 {
+    let counts = co_click_counts(g, hot);
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .find(|&&(i, _)| i == item)
+        .map(|&(_, c)| c as f64 / total as f64)
+        .unwrap_or(0.0)
+}
+
+/// The full ranked I2I list for a hot item (what the recommender would
+/// show), highest score first.
+pub fn i2i_ranking(g: &BipartiteGraph, hot: ItemId) -> Vec<(ItemId, f64)> {
+    let counts = co_click_counts(g, hot);
+    let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut ranked: Vec<(ItemId, f64)> = counts
+        .into_iter()
+        .map(|(i, c)| (i, c as f64 / total as f64))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// Eq 2: the target's I2I score after an attacker spends `extra_target`
+/// clicks on the target and `extra_other` clicks elsewhere, on top of a
+/// baseline of `c_target` target co-clicks and `c_rest` co-clicks on all
+/// other items.
+pub fn attacked_score(c_target: u64, c_rest: u64, extra_target: u64, extra_other: u64) -> f64 {
+    let num = (c_target + extra_target) as f64;
+    let den = (c_rest + c_target + extra_target + extra_other) as f64;
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// The attacker's optimal split of a click budget `c_b` (Section IV-A):
+/// returns `(hot_clicks, target_clicks)`.
+///
+/// Two clicks are consumed establishing the hot–target link (one on each);
+/// Eq 3 shows the score is maximized when **all** remaining budget goes to
+/// the target (`C′ = C = C_b − 2`). Budgets below 2 cannot even establish
+/// the link.
+pub fn optimal_strategy(c_b: u64) -> Option<(u64, u64)> {
+    if c_b < 2 {
+        return None;
+    }
+    Some((1, 1 + (c_b - 2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_graph::{GraphBuilder, UserId};
+
+    /// Fig 3's toy setup: users co-click the hot item and ordinary items.
+    fn toy() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        // u0 clicked hot(i0) and i1 x3; u1 clicked hot and i2 x1;
+        // u2 clicked only i1 (no co-click contribution).
+        b.add_click(UserId(0), ItemId(0), 1);
+        b.add_click(UserId(0), ItemId(1), 3);
+        b.add_click(UserId(1), ItemId(0), 2);
+        b.add_click(UserId(1), ItemId(2), 1);
+        b.add_click(UserId(2), ItemId(1), 5);
+        b.build()
+    }
+
+    #[test]
+    fn co_clicks_count_only_hot_clickers() {
+        let g = toy();
+        let mut counts = co_click_counts(&g, ItemId(0));
+        counts.sort();
+        assert_eq!(counts, vec![(ItemId(1), 3), (ItemId(2), 1)]);
+    }
+
+    #[test]
+    fn scores_are_shares() {
+        let g = toy();
+        assert!((i2i_score(&g, ItemId(0), ItemId(1)) - 0.75).abs() < 1e-12);
+        assert!((i2i_score(&g, ItemId(0), ItemId(2)) - 0.25).abs() < 1e-12);
+        assert_eq!(i2i_score(&g, ItemId(0), ItemId(0)), 0.0, "self excluded");
+    }
+
+    #[test]
+    fn ranking_is_descending_and_sums_to_one() {
+        let g = toy();
+        let r = i2i_ranking(&g, ItemId(0));
+        assert_eq!(r[0].0, ItemId(1));
+        let sum: f64 = r.iter().map(|&(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_hot_item_has_empty_ranking() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 1);
+        let g = b.build();
+        assert!(i2i_ranking(&g, ItemId(0)).is_empty());
+        assert_eq!(i2i_score(&g, ItemId(0), ItemId(1)), 0.0);
+    }
+
+    #[test]
+    fn eq3_optimum_puts_all_budget_on_target() {
+        // For any split (extra_target ≤ extra_total), the score is maximized
+        // at extra_target == extra_total — the paper's C' = C.
+        let (c_target, c_rest) = (1, 100);
+        let budget = 10u64;
+        let best = attacked_score(c_target, c_rest, budget, 0);
+        for t in 0..=budget {
+            let s = attacked_score(c_target, c_rest, t, budget - t);
+            assert!(s <= best + 1e-12, "split {t}/{budget} beat the optimum");
+        }
+    }
+
+    #[test]
+    fn eq3_score_monotone_in_budget() {
+        // f(x) = (m+x)/(n+x) strictly increasing for n ≥ m > 0.
+        let mut prev = attacked_score(1, 100, 0, 0);
+        for x in 1..50 {
+            let s = attacked_score(1, 100, x, 0);
+            assert!(s > prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn optimal_strategy_spends_minimum_on_hot() {
+        assert_eq!(optimal_strategy(2), Some((1, 1)));
+        assert_eq!(optimal_strategy(14), Some((1, 13)));
+        assert_eq!(optimal_strategy(1), None);
+        assert_eq!(optimal_strategy(0), None);
+    }
+
+    #[test]
+    fn attack_raises_target_rank() {
+        // Before the attack the target has no co-clicks; after a worker
+        // clicks (hot x1, target x12) it tops the ranking contribution-wise.
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 5); // organic hot clicks
+        b.add_click(UserId(0), ItemId(1), 2); // organic co-click
+        let before = b.clone().build();
+        assert_eq!(i2i_score(&before, ItemId(0), ItemId(9)), 0.0);
+        // worker u9 attacks target i9:
+        b.add_click(UserId(9), ItemId(0), 1);
+        b.add_click(UserId(9), ItemId(9), 12);
+        let after = b.build();
+        let s = i2i_score(&after, ItemId(0), ItemId(9));
+        assert!(s > i2i_score(&after, ItemId(0), ItemId(1)));
+        assert!((s - 12.0 / 14.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! The suspicious group identification module (Section V-B, module 3).
+//!
+//! Converts the screened groups into an analyst-facing ranked user–item
+//! table and, when the output misses the analyst's expectation, relaxes
+//! parameters and reruns (the Fig 7 feedback loop).
+//!
+//! Risk scores follow the paper:
+//! * a **user's** risk is the number of suspicious items it clicked;
+//! * an **item's** risk is the average risk of the users who clicked it.
+
+use crate::params::RicdParams;
+use crate::result::{DetectionResult, SuspiciousGroup};
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A risk-ranked list: `(node, risk score)`, highest risk first.
+pub type RankedList<T> = Vec<(T, f64)>;
+
+/// Computes ranked `(user, risk)` / `(item, risk)` lists for the union of
+/// the groups' members, highest risk first (ties by id).
+pub fn rank_output(
+    g: &BipartiteGraph,
+    groups: &[SuspiciousGroup],
+) -> (RankedList<UserId>, RankedList<ItemId>) {
+    let mut sus_item = vec![false; g.num_items()];
+    for grp in groups {
+        for v in &grp.items {
+            sus_item[v.index()] = true;
+        }
+    }
+    // User risk = number of suspicious items clicked (global adjacency, so
+    // a worker serving several sellers accrues risk across groups).
+    let mut user_risk = vec![0.0f64; g.num_users()];
+    let mut users: Vec<UserId> = groups.iter().flat_map(|g| g.users.iter().copied()).collect();
+    users.sort_unstable();
+    users.dedup();
+    for &u in &users {
+        user_risk[u.index()] = g
+            .user_adjacency(u)
+            .iter()
+            .filter(|v| sus_item[v.index()])
+            .count() as f64;
+    }
+
+    // Item risk = average risk of its clickers (non-suspicious clickers
+    // carry risk 0, diluting items that normal users also click — exactly
+    // the "attracted normal users" effect the paper wants reflected).
+    let mut items: Vec<ItemId> = groups.iter().flat_map(|g| g.items.iter().copied()).collect();
+    items.sort_unstable();
+    items.dedup();
+    let mut ranked_items: Vec<(ItemId, f64)> = items
+        .into_iter()
+        .map(|v| {
+            let deg = g.item_degree(v);
+            let sum: f64 = g
+                .item_neighbors(v)
+                .map(|(u, _)| user_risk[u.index()])
+                .sum();
+            (v, if deg == 0 { 0.0 } else { sum / deg as f64 })
+        })
+        .collect();
+    ranked_items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+    let mut ranked_users: Vec<(UserId, f64)> = users
+        .into_iter()
+        .map(|u| (u, user_risk[u.index()]))
+        .collect();
+    ranked_users.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+    (ranked_users, ranked_items)
+}
+
+/// Configuration of the Fig 7 feedback loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeedbackConfig {
+    /// The analyst's expectation `T`: minimum number of output abnormal
+    /// nodes before the result is considered complete.
+    pub expectation: usize,
+    /// Maximum relaxation iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        Self {
+            expectation: 1,
+            max_iterations: 8,
+        }
+    }
+}
+
+/// The feedback-driven parameter adjustment loop: run, check the output
+/// size against the expectation, relax ([`RicdParams::relaxed`]) and retry.
+pub struct FeedbackLoop {
+    /// Loop configuration.
+    pub config: FeedbackConfig,
+}
+
+impl FeedbackLoop {
+    /// Creates a loop with the given config.
+    pub fn new(config: FeedbackConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `detect` (a full pipeline invocation) under progressively
+    /// relaxed parameters until the output meets the expectation or nothing
+    /// is left to relax. Returns the final result and the parameters that
+    /// produced it.
+    pub fn run(
+        &self,
+        mut params: RicdParams,
+        mut detect: impl FnMut(&RicdParams) -> DetectionResult,
+    ) -> (DetectionResult, RicdParams) {
+        let mut result = detect(&params);
+        for _ in 1..self.config.max_iterations {
+            if result.num_output() >= self.config.expectation {
+                break;
+            }
+            let Some(relaxed) = params.relaxed() else {
+                break;
+            };
+            params = relaxed;
+            result = detect(&params);
+        }
+        (result, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_graph::GraphBuilder;
+
+    fn graph() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        // u0 clicks suspicious items i0, i1; u1 clicks i0; normal u2 clicks i0.
+        b.add_click(UserId(0), ItemId(0), 13);
+        b.add_click(UserId(0), ItemId(1), 13);
+        b.add_click(UserId(1), ItemId(0), 13);
+        b.add_click(UserId(2), ItemId(0), 1);
+        b.build()
+    }
+
+    fn groups() -> Vec<SuspiciousGroup> {
+        vec![SuspiciousGroup {
+            users: vec![UserId(0), UserId(1)],
+            items: vec![ItemId(0), ItemId(1)],
+            ridden_hot_items: vec![],
+        }]
+    }
+
+    #[test]
+    fn user_risk_counts_suspicious_items() {
+        let (users, _) = rank_output(&graph(), &groups());
+        assert_eq!(users[0], (UserId(0), 2.0));
+        assert_eq!(users[1], (UserId(1), 1.0));
+    }
+
+    #[test]
+    fn item_risk_is_average_of_clickers() {
+        let (_, items) = rank_output(&graph(), &groups());
+        // i0 clicked by u0(2), u1(1), u2(0) → avg 1.0; i1 by u0(2) → 2.0.
+        let m: std::collections::HashMap<ItemId, f64> = items.into_iter().collect();
+        assert!((m[&ItemId(0)] - 1.0).abs() < 1e-12);
+        assert!((m[&ItemId(1)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_descends() {
+        let (users, items) = rank_output(&graph(), &groups());
+        for w in users.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for w in items.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_groups_rank_nothing() {
+        let (users, items) = rank_output(&graph(), &[]);
+        assert!(users.is_empty());
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn feedback_stops_when_expectation_met() {
+        let mut calls = 0;
+        let lp = FeedbackLoop::new(FeedbackConfig {
+            expectation: 1,
+            max_iterations: 10,
+        });
+        let (_, params) = lp.run(RicdParams::default(), |p| {
+            calls += 1;
+            let _ = p;
+            DetectionResult {
+                groups: groups(),
+                ..DetectionResult::default()
+            }
+        });
+        assert_eq!(calls, 1, "first run already satisfies T");
+        assert_eq!(params, RicdParams::default());
+    }
+
+    #[test]
+    fn feedback_relaxes_until_output_appears() {
+        // Simulate a detector that only fires once t_click drops below 10.
+        let lp = FeedbackLoop::new(FeedbackConfig {
+            expectation: 1,
+            max_iterations: 10,
+        });
+        let (result, params) = lp.run(RicdParams::default(), |p| {
+            let mut r = DetectionResult::default();
+            if p.t_click < 10 {
+                r.groups = groups();
+            }
+            r
+        });
+        assert!(result.num_output() >= 1);
+        assert!(params.t_click < 10);
+    }
+
+    #[test]
+    fn feedback_gives_up_at_relaxation_floor() {
+        let mut calls = 0;
+        let lp = FeedbackLoop::new(FeedbackConfig {
+            expectation: 1_000_000,
+            max_iterations: 100,
+        });
+        let (result, _) = lp.run(RicdParams::default(), |_| {
+            calls += 1;
+            DetectionResult::default()
+        });
+        assert_eq!(result.num_output(), 0);
+        assert!(calls > 1, "it did retry");
+        assert!(calls < 100, "stopped at the relaxation floor, not max_iterations");
+    }
+}

@@ -1,0 +1,261 @@
+//! The naive algorithm (Algorithm 1, Section V-A).
+//!
+//! "If most of the users who click an ordinary item have clicked a large
+//! number of hot items, it is very likely that this ordinary item is a
+//! target item and the users are suspicious users."
+//!
+//! The algorithm: classify items by `T_hot`; give every user an `Alpha` (its
+//! total clicks on hot items); score every non-hot item by the sum of its
+//! neighbors' alphas; items above `T_risk` are abnormal. Users are then
+//! classified symmetrically against the abnormal item set.
+//!
+//! Complexity `O(|U||V|)` worst case per the paper; in practice one pass
+//! over the edges per phase, parallelized across the worker pool.
+
+use crate::result::{DetectionResult, SuspiciousGroup};
+use ricd_engine::{PhaseTimings, WorkerPool};
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of Algorithm 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NaiveParams {
+    /// Hot-item threshold on total item clicks.
+    pub t_hot: u64,
+    /// Risk threshold on an item's summed neighbor alphas.
+    pub t_risk_item: f64,
+    /// Risk threshold on a user's total clicks on abnormal items.
+    pub t_risk_user: f64,
+}
+
+impl Default for NaiveParams {
+    fn default() -> Self {
+        Self {
+            t_hot: 1_000,
+            t_risk_item: 500.0,
+            t_risk_user: 12.0,
+        }
+    }
+}
+
+/// Intermediate scores, exposed for analysis and the eval harness's
+/// threshold sweeps.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveScores {
+    /// Per-user `Alpha` — total clicks on hot items (`GETALPHA`).
+    pub user_alpha: Vec<u64>,
+    /// Per-item risk — sum of clicking users' alphas (0 for hot items,
+    /// which are never flagged as targets).
+    pub item_risk: Vec<u64>,
+    /// Per-user risk — total clicks on abnormal items.
+    pub user_risk: Vec<u64>,
+}
+
+fn compute(
+    g: &BipartiteGraph,
+    params: &NaiveParams,
+    pool: &WorkerPool,
+) -> (NaiveScores, Vec<ItemId>, Vec<UserId>) {
+    // Line 2–6: classify items.
+    let item_totals: Vec<u64> =
+        pool.map_vertices(g.num_items(), |v| g.item_total_clicks(ItemId(v as u32)));
+    let is_hot: Vec<bool> = item_totals.iter().map(|&t| t >= params.t_hot).collect();
+
+    // Line 7–8: per-user Alpha.
+    let user_alpha: Vec<u64> = pool.map_vertices(g.num_users(), |u| {
+        g.user_neighbors(UserId(u as u32))
+            .filter(|(v, _)| is_hot[v.index()])
+            .map(|(_, c)| c as u64)
+            .sum()
+    });
+
+    // Line 9–12: item risk = Σ neighbor alphas, for non-hot items.
+    let item_risk: Vec<u64> = pool.map_vertices(g.num_items(), |v| {
+        if is_hot[v] {
+            0
+        } else {
+            g.item_neighbors(ItemId(v as u32))
+                .map(|(u, _)| user_alpha[u.index()])
+                .sum()
+        }
+    });
+    let abnormal_items: Vec<ItemId> = item_risk
+        .iter()
+        .enumerate()
+        .filter(|&(v, &r)| !is_hot[v] && r as f64 > params.t_risk_item)
+        .map(|(v, _)| ItemId(v as u32))
+        .collect();
+
+    // "We can figure out abnormal users in the same way": score users by
+    // their clicks on the abnormal item set.
+    let mut is_abnormal_item = vec![false; g.num_items()];
+    for v in &abnormal_items {
+        is_abnormal_item[v.index()] = true;
+    }
+    let user_risk: Vec<u64> = pool.map_vertices(g.num_users(), |u| {
+        g.user_neighbors(UserId(u as u32))
+            .filter(|(v, _)| is_abnormal_item[v.index()])
+            .map(|(_, c)| c as u64)
+            .sum()
+    });
+    let abnormal_users: Vec<UserId> = user_risk
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r as f64 > params.t_risk_user)
+        .map(|(u, _)| UserId(u as u32))
+        .collect();
+
+    (
+        NaiveScores {
+            user_alpha,
+            item_risk,
+            user_risk,
+        },
+        abnormal_items,
+        abnormal_users,
+    )
+}
+
+/// Runs Algorithm 1.
+pub fn naive_detect(g: &BipartiteGraph, params: &NaiveParams, pool: &WorkerPool) -> DetectionResult {
+    let timings = PhaseTimings::new();
+    let (scores, abnormal_items, abnormal_users) = timings.time("naive", || compute(g, params, pool));
+
+    let mut ranked_items: Vec<(ItemId, f64)> = abnormal_items
+        .iter()
+        .map(|&v| (v, scores.item_risk[v.index()] as f64))
+        .collect();
+    ranked_items.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut ranked_users: Vec<(UserId, f64)> = abnormal_users
+        .iter()
+        .map(|&u| (u, scores.user_risk[u.index()] as f64))
+        .collect();
+    ranked_users.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+    DetectionResult {
+        // The naive algorithm has no group notion: one flat "group".
+        groups: vec![SuspiciousGroup {
+            users: abnormal_users,
+            items: abnormal_items,
+            ridden_hot_items: Vec::new(),
+        }],
+        ranked_users,
+        ranked_items,
+        timings: timings.report(),
+    }
+}
+
+/// Computes only the scores (for threshold sweeps and the Section IV-style
+/// rough screening analysis).
+pub fn naive_scores(g: &BipartiteGraph, params: &NaiveParams, pool: &WorkerPool) -> NaiveScores {
+    compute(g, params, pool).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_graph::GraphBuilder;
+
+    /// A hot item (i0, 1000+ clicks), a target (i1) clicked by hot-clicking
+    /// users, and a cold item (i2) clicked by a user who never touches hot
+    /// items.
+    fn scenario() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..100 {
+            b.add_click(UserId(u), ItemId(0), 12);
+        }
+        // Workers u0..u5 clicked hot i0 (above) and hammer target i1.
+        for u in 0..5 {
+            b.add_click(UserId(u), ItemId(1), 15);
+        }
+        // Normal user u200 clicks cold item i2 only.
+        b.add_click(UserId(200), ItemId(2), 2);
+        b.build()
+    }
+
+    fn params() -> NaiveParams {
+        NaiveParams {
+            t_hot: 1_000,
+            t_risk_item: 50.0,
+            t_risk_user: 12.0,
+        }
+    }
+
+    #[test]
+    fn flags_target_item_not_cold_item() {
+        let g = scenario();
+        let r = naive_detect(&g, &params(), &WorkerPool::new(2));
+        let items = r.suspicious_items();
+        assert!(items.contains(&ItemId(1)), "target flagged");
+        assert!(!items.contains(&ItemId(0)), "hot item never a target");
+        assert!(!items.contains(&ItemId(2)), "cold organic item clean");
+    }
+
+    #[test]
+    fn flags_heavy_clickers_of_abnormal_items() {
+        let g = scenario();
+        let r = naive_detect(&g, &params(), &WorkerPool::new(2));
+        let users = r.suspicious_users();
+        assert!(users.contains(&UserId(0)));
+        assert!(!users.contains(&UserId(200)));
+        assert!(!users.contains(&UserId(50)), "hot-only clicker is clean");
+    }
+
+    #[test]
+    fn alpha_counts_only_hot_clicks() {
+        let g = scenario();
+        let s = naive_scores(&g, &params(), &WorkerPool::new(2));
+        assert_eq!(s.user_alpha[0], 12, "u0's clicks on hot i0");
+        assert_eq!(s.user_alpha[200], 0);
+        // i1's risk = Σ alphas of its 5 clickers = 5 x 12.
+        assert_eq!(s.item_risk[1], 60);
+        assert_eq!(s.item_risk[0], 0, "hot items score 0");
+    }
+
+    #[test]
+    fn ranking_descends() {
+        let g = scenario();
+        let r = naive_detect(&g, &params(), &WorkerPool::new(2));
+        for w in r.ranked_items.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for w in r.ranked_users.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_clean() {
+        let g = GraphBuilder::new().build();
+        let r = naive_detect(&g, &params(), &WorkerPool::new(2));
+        assert_eq!(r.num_output(), 0);
+    }
+
+    #[test]
+    fn high_risk_threshold_silences_output() {
+        let g = scenario();
+        let p = NaiveParams {
+            t_risk_item: f64::INFINITY,
+            ..params()
+        };
+        let r = naive_detect(&g, &p, &WorkerPool::new(2));
+        assert!(r.suspicious_items().is_empty());
+        assert!(r.suspicious_users().is_empty(), "no items → no users");
+    }
+
+    #[test]
+    fn timings_recorded() {
+        let g = scenario();
+        let r = naive_detect(&g, &params(), &WorkerPool::new(2));
+        assert!(r.timings.get("naive").is_some());
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let g = scenario();
+        let r1 = naive_detect(&g, &params(), &WorkerPool::new(1));
+        let r4 = naive_detect(&g, &params(), &WorkerPool::new(4));
+        assert_eq!(r1.suspicious_users(), r4.suspicious_users());
+        assert_eq!(r1.suspicious_items(), r4.suspicious_items());
+    }
+}

@@ -1,0 +1,140 @@
+//! Shared output types for every detector (RICD, naive, and the baselines in
+//! `ricd-baselines` all produce a [`DetectionResult`], which the evaluation
+//! crate scores uniformly).
+
+use ricd_engine::timing::TimingReport;
+use ricd_graph::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One detected attack group: the problem statement's `gᵢ` with its
+/// suspicious user set `gᵢ.u_sus` and suspicious item set `gᵢ.v_sus`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuspiciousGroup {
+    /// Suspicious users (crowd-worker candidates), sorted.
+    pub users: Vec<UserId>,
+    /// Suspicious target-item candidates, sorted.
+    pub items: Vec<ItemId>,
+    /// Hot items the group rides — reported for analyst context, *not*
+    /// counted as abnormal nodes.
+    pub ridden_hot_items: Vec<ItemId>,
+}
+
+impl SuspiciousGroup {
+    /// Number of abnormal nodes in the group.
+    pub fn len(&self) -> usize {
+        self.users.len() + self.items.len()
+    }
+
+    /// True if the group has neither users nor items.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty() && self.items.is_empty()
+    }
+}
+
+/// The output of a detection run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DetectionResult {
+    /// Detected groups.
+    pub groups: Vec<SuspiciousGroup>,
+    /// Users ranked by risk score, highest first (Section V-B module 3).
+    /// Empty if the detector does not score.
+    pub ranked_users: Vec<(UserId, f64)>,
+    /// Items ranked by risk score, highest first.
+    pub ranked_items: Vec<(ItemId, f64)>,
+    /// Per-phase elapsed times.
+    pub timings: TimingReport,
+}
+
+impl DetectionResult {
+    /// Union of all groups' suspicious users (`U_sus`), sorted, deduplicated.
+    pub fn suspicious_users(&self) -> Vec<UserId> {
+        let mut u: Vec<UserId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.users.iter().copied())
+            .collect();
+        u.sort_unstable();
+        u.dedup();
+        u
+    }
+
+    /// Union of all groups' suspicious items (`V_sus`), sorted, deduplicated.
+    pub fn suspicious_items(&self) -> Vec<ItemId> {
+        let mut v: Vec<ItemId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.items.iter().copied())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total number of output abnormal nodes — the denominator of the
+    /// paper's precision (Eq 5).
+    pub fn num_output(&self) -> usize {
+        self.suspicious_users().len() + self.suspicious_items().len()
+    }
+
+    /// Drops empty groups.
+    pub fn prune_empty(&mut self) {
+        self.groups.retain(|g| !g.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> DetectionResult {
+        DetectionResult {
+            groups: vec![
+                SuspiciousGroup {
+                    users: vec![UserId(1), UserId(2)],
+                    items: vec![ItemId(5)],
+                    ridden_hot_items: vec![ItemId(0)],
+                },
+                SuspiciousGroup {
+                    users: vec![UserId(2)],
+                    items: vec![ItemId(6), ItemId(5)],
+                    ridden_hot_items: vec![],
+                },
+                SuspiciousGroup::default(),
+            ],
+            ..DetectionResult::default()
+        }
+    }
+
+    #[test]
+    fn unions_dedup() {
+        let r = result();
+        assert_eq!(r.suspicious_users(), vec![UserId(1), UserId(2)]);
+        assert_eq!(r.suspicious_items(), vec![ItemId(5), ItemId(6)]);
+        assert_eq!(r.num_output(), 4);
+    }
+
+    #[test]
+    fn ridden_hot_items_not_in_output() {
+        let r = result();
+        assert!(!r.suspicious_items().contains(&ItemId(0)));
+    }
+
+    #[test]
+    fn prune_empty_removes_empty_groups() {
+        let mut r = result();
+        assert_eq!(r.groups.len(), 3);
+        r.prune_empty();
+        assert_eq!(r.groups.len(), 2);
+    }
+
+    #[test]
+    fn group_len() {
+        let g = SuspiciousGroup {
+            users: vec![UserId(0)],
+            items: vec![ItemId(1), ItemId(2)],
+            ridden_hot_items: vec![ItemId(9)],
+        };
+        assert_eq!(g.len(), 3, "ridden hot items not counted");
+        assert!(!g.is_empty());
+    }
+}

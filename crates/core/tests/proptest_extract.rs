@@ -1,0 +1,138 @@
+//! Property tests for the (α, k₁, k₂)-extension biclique extraction
+//! (Algorithm 3): the Lemma 1/2 invariants on survivors, planted-structure
+//! completeness, fixpoint idempotence, and strategy agreement.
+
+use proptest::prelude::*;
+use ricd_core::extract::{extract, SquareStrategy};
+use ricd_core::params::RicdParams;
+use ricd_engine::WorkerPool;
+use ricd_graph::twohop::{self, CommonNeighborScratch};
+use ricd_graph::{BipartiteGraph, GraphBuilder, GraphView, ItemId, UserId};
+
+/// Random sparse noise plus an optional planted biclique.
+fn graphs() -> impl Strategy<Value = (BipartiteGraph, Option<usize>)> {
+    (
+        proptest::collection::vec((0u32..60, 0u32..40, 1u32..20), 0..300),
+        proptest::option::of(6usize..12), // planted k x k biclique size
+    )
+        .prop_map(|(noise, planted)| {
+            let mut b = GraphBuilder::new();
+            for (u, v, c) in noise {
+                b.add_click(UserId(u), ItemId(v), c);
+            }
+            if let Some(k) = planted {
+                // Plant at offset ids so noise overlaps only partially.
+                for u in 0..k as u32 {
+                    for v in 0..k as u32 {
+                        b.add_click(UserId(100 + u), ItemId(100 + v), 13);
+                    }
+                }
+            }
+            (b.build(), planted)
+        })
+}
+
+fn params(k: usize, alpha: f64) -> RicdParams {
+    RicdParams {
+        k1: k,
+        k2: k,
+        alpha,
+        ..RicdParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 1: every survivor satisfies the degree bounds.
+    #[test]
+    fn survivors_satisfy_degree_bounds((g, _) in graphs(), k in 3usize..8) {
+        let p = params(k, 1.0);
+        let mut view = GraphView::full(&g);
+        extract(&mut view, &p, &WorkerPool::new(2), SquareStrategy::Parallel);
+        for u in view.users() {
+            prop_assert!(view.user_degree(u) >= p.user_degree_bound(),
+                "{u} degree {} < bound {}", view.user_degree(u), p.user_degree_bound());
+        }
+        for v in view.items() {
+            prop_assert!(view.item_degree(v) >= p.item_degree_bound());
+        }
+    }
+
+    /// Lemma 2: every survivor has enough (α, k)-neighbors (self included
+    /// when its degree qualifies).
+    #[test]
+    fn survivors_satisfy_neighbor_bounds((g, _) in graphs(), k in 3usize..8) {
+        let p = params(k, 1.0);
+        let mut view = GraphView::full(&g);
+        extract(&mut view, &p, &WorkerPool::new(2), SquareStrategy::Parallel);
+        let mut scratch = CommonNeighborScratch::new(g.num_users());
+        for u in view.users() {
+            let mut count = usize::from(view.user_degree(u) as u32 >= p.user_common_bound());
+            twohop::for_each_user_common_neighbor(&view, u, &mut scratch, |_, c| {
+                if c >= p.user_common_bound() {
+                    count += 1;
+                }
+            });
+            prop_assert!(count >= p.k1, "{u} has {count} qualified neighbors < k1 {}", p.k1);
+        }
+    }
+
+    /// A planted biclique at least (k1, k2) large always survives intact.
+    #[test]
+    fn planted_biclique_survives((g, planted) in graphs(), k in 3usize..6) {
+        prop_assume!(planted.is_some());
+        let size = planted.unwrap();
+        prop_assume!(size >= k);
+        let p = params(k, 1.0);
+        let mut view = GraphView::full(&g);
+        extract(&mut view, &p, &WorkerPool::new(2), SquareStrategy::Parallel);
+        for u in 0..size as u32 {
+            prop_assert!(view.user_alive(UserId(100 + u)), "planted worker pruned");
+        }
+        for v in 0..size as u32 {
+            prop_assert!(view.item_alive(ItemId(100 + v)), "planted target pruned");
+        }
+    }
+
+    /// Extraction is idempotent: a second run removes nothing.
+    #[test]
+    fn extraction_is_idempotent((g, _) in graphs(), k in 3usize..8) {
+        let p = params(k, 1.0);
+        let mut view = GraphView::full(&g);
+        extract(&mut view, &p, &WorkerPool::new(2), SquareStrategy::Parallel);
+        let before = view.alive_sets();
+        let stats = extract(&mut view, &p, &WorkerPool::new(2), SquareStrategy::Parallel);
+        prop_assert_eq!(view.alive_sets(), before);
+        prop_assert_eq!(stats.core_removed_users + stats.square_removed_users, 0);
+    }
+
+    /// Parallel and sequential strategies reach the same fixpoint.
+    #[test]
+    fn strategies_agree((g, _) in graphs(), k in 3usize..8, alpha in 0.7f64..=1.0) {
+        let p = params(k, alpha);
+        let mut a = GraphView::full(&g);
+        extract(&mut a, &p, &WorkerPool::new(4), SquareStrategy::Parallel);
+        let mut b = GraphView::full(&g);
+        extract(&mut b, &p, &WorkerPool::new(1), SquareStrategy::SequentialOrdered);
+        prop_assert_eq!(a.alive_sets(), b.alive_sets());
+    }
+
+    /// Looser α never prunes more than stricter α (monotonicity of the
+    /// admission condition).
+    #[test]
+    fn alpha_monotonicity((g, _) in graphs(), k in 3usize..8) {
+        let mut strict = GraphView::full(&g);
+        extract(&mut strict, &params(k, 1.0), &WorkerPool::new(2), SquareStrategy::Parallel);
+        let mut loose = GraphView::full(&g);
+        extract(&mut loose, &params(k, 0.7), &WorkerPool::new(2), SquareStrategy::Parallel);
+        // Everything alive under α=1.0 stays alive under α=0.7 (the bounds
+        // only shrink).
+        for u in strict.users() {
+            prop_assert!(loose.user_alive(u), "{u} alive at α=1.0 but pruned at α=0.7");
+        }
+        for v in strict.items() {
+            prop_assert!(loose.item_alive(v));
+        }
+    }
+}

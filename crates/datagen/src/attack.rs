@@ -1,0 +1,286 @@
+//! Planting "Ride Item's Coattails" attacks.
+//!
+//! Implements the attacker model of Sections III-A and IV-A. Each group is a
+//! seller task executed by `workers_per_group` crowd accounts:
+//!
+//! * the worker clicks each of the group's **hot items** once or twice —
+//!   just enough to establish the co-click link (the analysis around Eq 2–3
+//!   shows spending more budget here is wasted);
+//! * the worker clicks (a coverage fraction of) the group's **target items**
+//!   heavily — the optimum `C′ = C = C_b − 2` pushes all remaining budget
+//!   onto the target;
+//! * the worker clicks a few random **ordinary items** lightly as
+//!   camouflage (Section III-A's adversarial "arbitrary camouflage").
+//!
+//! Target items additionally receive a trickle of organic clicks (fresh
+//! low-quality listings attract few users — Section IV-B).
+
+use crate::config::AttackConfig;
+use crate::truth::{GroundTruth, InjectedGroup};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ricd_graph::{ItemId, UserId};
+
+/// The planned fake click records plus the ground truth describing them.
+#[derive(Clone, Debug, Default)]
+pub struct AttackPlan {
+    /// Fake (and target-organic) click records to merge into the dataset.
+    pub records: Vec<(UserId, ItemId, u32)>,
+    /// Who did what.
+    pub truth: GroundTruth,
+}
+
+/// Identifier allocation for the planted entities.
+///
+/// Workers get fresh user ids after the organic population and target items
+/// get fresh item ids after the organic catalog — matching the paper's
+/// observation that targets are items that "newly appear in item tables"
+/// and workers are accounts with little relation to the sellers.
+pub struct IdAllocator {
+    next_user: u32,
+    next_item: u32,
+}
+
+impl IdAllocator {
+    /// Starts allocating after the organic id spaces.
+    pub fn new(num_organic_users: usize, num_organic_items: usize) -> Self {
+        Self {
+            next_user: num_organic_users as u32,
+            next_item: num_organic_items as u32,
+        }
+    }
+
+    fn user(&mut self) -> UserId {
+        let u = UserId(self.next_user);
+        self.next_user += 1;
+        u
+    }
+
+    fn item(&mut self) -> ItemId {
+        let v = ItemId(self.next_item);
+        self.next_item += 1;
+        v
+    }
+}
+
+fn sample_range<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (u32, u32)) -> u32 {
+    rng.gen_range(lo..=hi)
+}
+
+/// Plans all attack groups.
+///
+/// * `hot_pool` — item ids eligible to be ridden (the popularity head of the
+///   organic catalog); each group samples `hot_items_per_group` of them.
+/// * `ordinary_pool` — item ids eligible as camouflage clicks.
+/// * `organic_users` — number of organic users; a few of them contribute the
+///   targets' organic trickle.
+pub fn plan_attacks<R: Rng + ?Sized>(
+    cfg: &AttackConfig,
+    hot_pool: &[ItemId],
+    ordinary_pool: &[ItemId],
+    organic_users: usize,
+    alloc: &mut IdAllocator,
+    rng: &mut R,
+) -> Result<AttackPlan, String> {
+    cfg.validate()?;
+    if cfg.num_groups == 0 {
+        return Ok(AttackPlan::default());
+    }
+    if hot_pool.len() < cfg.hot_items_per_group {
+        return Err(format!(
+            "hot pool has {} items, group needs {}",
+            hot_pool.len(),
+            cfg.hot_items_per_group
+        ));
+    }
+    if cfg.camouflage_items > 0 && ordinary_pool.is_empty() {
+        return Err("camouflage requested but ordinary pool is empty".into());
+    }
+
+    let mut plan = AttackPlan::default();
+    for _ in 0..cfg.num_groups {
+        // Per-group size heterogeneity (see `AttackConfig::group_size_jitter`).
+        let scale = if cfg.group_size_jitter > 0.0 {
+            1.0 + cfg.group_size_jitter * (rng.gen::<f64>() * 2.0 - 1.0)
+        } else {
+            1.0
+        };
+        let n_workers = (((cfg.workers_per_group as f64) * scale).round() as usize).max(2);
+        let n_targets = (((cfg.targets_per_group as f64) * scale).round() as usize).max(1);
+        let workers: Vec<UserId> = (0..n_workers).map(|_| alloc.user()).collect();
+        let targets: Vec<ItemId> = (0..n_targets).map(|_| alloc.item()).collect();
+        let ridden: Vec<ItemId> = hot_pool
+            .choose_multiple(rng, cfg.hot_items_per_group)
+            .copied()
+            .collect();
+
+        let per_worker_targets = ((targets.len() as f64) * cfg.target_coverage).ceil() as usize;
+        let per_worker_targets = per_worker_targets.clamp(1, targets.len());
+
+        for &w in &workers {
+            // Ride the hot items: minimal clicks (Eq 3: one click establishes
+            // the link; the rest of the budget belongs on the target).
+            for &h in &ridden {
+                plan.records.push((w, h, sample_range(rng, cfg.hot_clicks)));
+            }
+            // Hammer the covered subset of targets.
+            let covered: Vec<ItemId> = if per_worker_targets == targets.len() {
+                targets.clone()
+            } else {
+                targets
+                    .choose_multiple(rng, per_worker_targets)
+                    .copied()
+                    .collect()
+            };
+            for t in covered {
+                plan.records
+                    .push((w, t, sample_range(rng, cfg.target_clicks)));
+            }
+            // Camouflage on random ordinary items.
+            for &c in ordinary_pool.choose_multiple(rng, cfg.camouflage_items.min(ordinary_pool.len())) {
+                plan.records
+                    .push((w, c, sample_range(rng, cfg.camouflage_clicks)));
+            }
+        }
+
+        // Organic trickle onto each fresh target, plus the normal users its
+        // inflated exposure attracts (challenge 4): both are single light
+        // clicks from random real accounts.
+        if organic_users > 0 {
+            for &t in &targets {
+                let organic = sample_range(rng, cfg.target_organic_clicks)
+                    + sample_range(rng, cfg.attracted_users_per_target);
+                for _ in 0..organic {
+                    let u = UserId(rng.gen_range(0..organic_users as u32));
+                    plan.records.push((u, t, 1));
+                }
+            }
+        }
+
+        plan.truth.groups.push(InjectedGroup {
+            workers,
+            targets,
+            ridden_hot_items: ridden,
+        });
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pools() -> (Vec<ItemId>, Vec<ItemId>) {
+        let hot: Vec<ItemId> = (0..20).map(ItemId).collect();
+        let ordinary: Vec<ItemId> = (20..400).map(ItemId).collect();
+        (hot, ordinary)
+    }
+
+    fn plan(cfg: &AttackConfig) -> AttackPlan {
+        let (hot, ordinary) = pools();
+        let mut alloc = IdAllocator::new(1000, 400);
+        let mut rng = StdRng::seed_from_u64(1);
+        plan_attacks(cfg, &hot, &ordinary, 1000, &mut alloc, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn group_structure_matches_config() {
+        let cfg = AttackConfig::default();
+        let p = plan(&cfg);
+        assert_eq!(p.truth.groups.len(), cfg.num_groups);
+        for g in &p.truth.groups {
+            assert_eq!(g.workers.len(), cfg.workers_per_group);
+            assert_eq!(g.targets.len(), cfg.targets_per_group);
+            assert_eq!(g.ridden_hot_items.len(), cfg.hot_items_per_group);
+            // Fresh ids beyond the organic spaces.
+            assert!(g.workers.iter().all(|u| u.0 >= 1000));
+            assert!(g.targets.iter().all(|v| v.0 >= 400));
+            assert!(g.ridden_hot_items.iter().all(|v| v.0 < 20));
+        }
+    }
+
+    #[test]
+    fn worker_click_signature_is_papers_optimum() {
+        // Every worker: small clicks on hot, heavy on targets, light on camo.
+        let cfg = AttackConfig::default();
+        let p = plan(&cfg);
+        let g = &p.truth.groups[0];
+        let w = g.workers[0];
+        let mut hot_clicks = vec![];
+        let mut target_clicks = vec![];
+        for &(u, v, c) in &p.records {
+            if u != w {
+                continue;
+            }
+            if g.ridden_hot_items.contains(&v) {
+                hot_clicks.push(c);
+            } else if g.targets.contains(&v) {
+                target_clicks.push(c);
+            }
+        }
+        assert_eq!(hot_clicks.len(), cfg.hot_items_per_group);
+        assert!(hot_clicks.iter().all(|&c| c <= cfg.hot_clicks.1));
+        assert_eq!(target_clicks.len(), cfg.targets_per_group, "full coverage by default");
+        assert!(target_clicks.iter().all(|&c| c >= cfg.target_clicks.0));
+    }
+
+    #[test]
+    fn partial_coverage_reduces_target_edges() {
+        let cfg = AttackConfig {
+            target_coverage: 0.5,
+            ..AttackConfig::default()
+        };
+        let p = plan(&cfg);
+        let g = &p.truth.groups[0];
+        let w = g.workers[0];
+        let covered = p
+            .records
+            .iter()
+            .filter(|&&(u, v, _)| u == w && g.targets.contains(&v))
+            .count();
+        assert_eq!(covered, 6, "ceil(12 * 0.5)");
+    }
+
+    #[test]
+    fn no_groups_yields_empty_plan() {
+        let p = plan(&AttackConfig::none());
+        assert!(p.records.is_empty());
+        assert!(p.truth.groups.is_empty());
+    }
+
+    #[test]
+    fn insufficient_hot_pool_rejected() {
+        let cfg = AttackConfig::default();
+        let mut alloc = IdAllocator::new(10, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = plan_attacks(&cfg, &[ItemId(0)], &[ItemId(1)], 10, &mut alloc, &mut rng);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn groups_have_disjoint_fresh_entities() {
+        let p = plan(&AttackConfig::default());
+        let users = p.truth.abnormal_users();
+        let expected: usize = p.truth.groups.iter().map(|g| g.workers.len()).sum();
+        assert_eq!(users.len(), expected, "no worker shared between groups");
+        let items = p.truth.abnormal_items();
+        let expected: usize = p.truth.groups.iter().map(|g| g.targets.len()).sum();
+        assert_eq!(items.len(), expected);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = AttackConfig::default();
+        let (hot, ordinary) = pools();
+        let run = || {
+            let mut alloc = IdAllocator::new(1000, 400);
+            let mut rng = StdRng::seed_from_u64(99);
+            plan_attacks(&cfg, &hot, &ordinary, 1000, &mut alloc, &mut rng)
+                .unwrap()
+                .records
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,329 @@
+//! Marketing-campaign traffic simulation (the Section VII case study,
+//! Fig 10).
+//!
+//! The paper's case-study narrative, as a generative process:
+//!
+//! * sellers post the attack mission **before** the campaign starts, so
+//!   abnormal (fake) traffic on the target items ramps up from
+//!   `attack_start_day`;
+//! * once the campaign begins (`campaign_start_day`) the inflated I2I scores
+//!   expose the targets to real shoppers, so *normal* traffic on them grows
+//!   rapidly;
+//! * on the day RICD detects the group (`cleaning_day`), the platform cleans
+//!   the fake clicks: fake traffic drops to zero and normal traffic falls
+//!   back to its organic base;
+//! * on `delist_day` the sellers remove the inferior items: all traffic
+//!   stops.
+//!
+//! [`simulate_campaign`] produces both the plottable day series and the
+//! per-day click records, so the Fig 10 experiment can *actually run the
+//! detector* on each day's cumulative graph to find the detection day.
+
+use crate::attack::{plan_attacks, IdAllocator};
+use crate::builder::{generate, SyntheticDataset};
+use crate::config::{AttackConfig, DatasetConfig};
+use crate::truth::GroundTruth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ricd_graph::{BipartiteGraph, GraphBuilder, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the simulated campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Length of the simulated window in days (paper figure: 13).
+    pub num_days: usize,
+    /// First day with fake traffic (mission posted before the campaign).
+    pub attack_start_day: usize,
+    /// Last day of the crowd mission's intended window: the workers spend
+    /// the full click budget by this day (unless cleaning stops them
+    /// earlier). The case-study narrative has the attack "launching" during
+    /// days 6–9, i.e. the mission concludes around the campaign's peak.
+    pub attack_end_day: usize,
+    /// Day the marketing campaign starts (normal traffic begins to grow).
+    pub campaign_start_day: usize,
+    /// Day the platform cleans the fake clicks (`None` = never detected).
+    /// The Fig 10 runner sets this to the day RICD actually fires.
+    pub cleaning_day: Option<usize>,
+    /// Day the sellers delist the target items.
+    pub delist_day: usize,
+    /// Organic clicks per day across all targets before the campaign.
+    pub base_normal_per_day: u32,
+    /// Daily multiplicative growth of normal target traffic while the
+    /// campaign runs and the fake boost is live (paper: "grew rapidly").
+    pub campaign_growth: f64,
+    /// Total fake clicks the group spends per day at the ramp's peak.
+    pub peak_fake_per_day: u32,
+    /// Organic background population.
+    pub dataset: DatasetConfig,
+    /// The single attack group (its `num_groups` is forced to 1).
+    pub attack: AttackConfig,
+    /// RNG seed for the day-by-day assignment.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            num_days: 13,
+            attack_start_day: 3,
+            attack_end_day: 9,
+            campaign_start_day: 6,
+            cleaning_day: None,
+            delist_day: 13,
+            base_normal_per_day: 30,
+            campaign_growth: 1.7,
+            peak_fake_per_day: 900,
+            dataset: DatasetConfig::small(),
+            // The case-study group: 28 accounts, 2 hot items, 11 targets.
+            attack: AttackConfig {
+                num_groups: 1,
+                workers_per_group: 28,
+                targets_per_group: 11,
+                hot_items_per_group: 2,
+                ..AttackConfig::default()
+            },
+            seed: 0x5eed_0003,
+        }
+    }
+}
+
+/// One day of target-item traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignDay {
+    /// 1-based day index.
+    pub day: usize,
+    /// Organic clicks on the target items that day.
+    pub normal_clicks: u64,
+    /// Fake (crowd-worker) clicks on the target items that day.
+    pub fake_clicks: u64,
+}
+
+/// The simulated campaign: plottable series plus replayable records.
+pub struct CampaignTimeline {
+    /// The Fig 10 series.
+    pub days: Vec<CampaignDay>,
+    /// Ground truth for the single planted group.
+    pub truth: GroundTruth,
+    /// The organic background population (attack-free).
+    pub background: SyntheticDataset,
+    /// Records added on each day (fake + campaign-driven normal clicks).
+    pub per_day_records: Vec<Vec<(UserId, ItemId, u32)>>,
+}
+
+impl CampaignTimeline {
+    /// Graph of everything clicked up to and including `day` (1-based):
+    /// the snapshot a daily detection job would see.
+    pub fn cumulative_graph(&self, day: usize) -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.reserve_users(self.background.graph.num_users() + 64);
+        b.reserve_items(self.background.graph.num_items() + 64);
+        b.extend(self.background.graph.edges());
+        for d in 0..day.min(self.per_day_records.len()) {
+            b.extend(self.per_day_records[d].iter().copied());
+        }
+        b.build()
+    }
+}
+
+/// Runs the generative process described in the module docs.
+pub fn simulate_campaign(cfg: &CampaignConfig) -> Result<CampaignTimeline, String> {
+    if cfg.num_days == 0 {
+        return Err("campaign needs at least one day".into());
+    }
+    if cfg.attack_start_day == 0 || cfg.attack_start_day > cfg.num_days {
+        return Err("attack_start_day out of range".into());
+    }
+    if cfg.campaign_start_day < cfg.attack_start_day {
+        return Err("campaign must not start before the attack mission is posted".into());
+    }
+    if cfg.attack_end_day < cfg.attack_start_day {
+        return Err("attack mission window is empty".into());
+    }
+
+    // Attack-free organic background.
+    let background = generate(&cfg.dataset, &AttackConfig::none())?;
+
+    // Plan one group against the background's popularity head.
+    let mut attack = cfg.attack.clone();
+    attack.num_groups = 1;
+    let totals = background.graph.all_item_total_clicks();
+    let mut by_clicks: Vec<u32> = (0..background.graph.num_items() as u32).collect();
+    by_clicks.sort_unstable_by_key(|&v| std::cmp::Reverse(totals[v as usize]));
+    let head = (by_clicks.len() / 100).max(attack.hot_items_per_group);
+    let hot_pool: Vec<ItemId> = by_clicks[..head].iter().map(|&v| ItemId(v)).collect();
+    let ordinary_pool: Vec<ItemId> = by_clicks[head..].iter().map(|&v| ItemId(v)).collect();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut alloc = IdAllocator::new(background.graph.num_users(), background.graph.num_items());
+    let plan = plan_attacks(
+        &attack,
+        &hot_pool,
+        &ordinary_pool,
+        background.graph.num_users(),
+        &mut alloc,
+        &mut rng,
+    )?;
+    let group = &plan.truth.groups[0];
+
+    // Assign each fake record to a day: linear ramp from attack start until
+    // cleaning (or the end), weighted so later days carry more traffic,
+    // capped by peak_fake_per_day. Click counts are split day-wise by
+    // repeating the record with weight 1..; to keep it simple each planned
+    // record lands whole on one day.
+    let fake_end = cfg
+        .cleaning_day
+        .unwrap_or(cfg.attack_end_day)
+        .min(cfg.attack_end_day)
+        .min(cfg.num_days);
+    let fake_days: Vec<usize> = (cfg.attack_start_day..=fake_end).collect();
+    let weights: Vec<f64> = (1..=fake_days.len()).map(|i| i as f64).collect();
+    let weight_sum: f64 = weights.iter().sum();
+
+    let mut per_day_records: Vec<Vec<(UserId, ItemId, u32)>> = vec![Vec::new(); cfg.num_days];
+    let mut fake_per_day = vec![0u64; cfg.num_days + 1];
+    if !fake_days.is_empty() {
+        for &(u, v, c) in &plan.records {
+            // Pick a ramp-weighted day.
+            let x: f64 = rng.gen::<f64>() * weight_sum;
+            let mut acc = 0.0;
+            let mut day = *fake_days.last().unwrap();
+            for (i, &w) in weights.iter().enumerate() {
+                acc += w;
+                if x <= acc {
+                    day = fake_days[i];
+                    break;
+                }
+            }
+            // Only clicks on the group's targets count as "fake target
+            // traffic" in the figure; hot-item/camouflage clicks still enter
+            // the record stream.
+            per_day_records[day - 1].push((u, v, c));
+            if group.targets.contains(&v) && fake_per_day[day] + c as u64 <= cfg.peak_fake_per_day as u64 * 2
+            {
+                fake_per_day[day] += c as u64;
+            } else if group.targets.contains(&v) {
+                fake_per_day[day] += c as u64; // still counted; cap is soft
+            }
+        }
+    }
+
+    // Normal target traffic per day.
+    let mut normal_per_day = vec![0u64; cfg.num_days + 1];
+    for day in 1..=cfg.num_days {
+        let delisted = day >= cfg.delist_day;
+        let cleaned = cfg.cleaning_day.is_some_and(|c| day > c);
+        let boosted = day >= cfg.campaign_start_day && !cleaned && !delisted;
+        let normal = if delisted {
+            0
+        } else if boosted {
+            let growth_days = (day - cfg.campaign_start_day) as i32 + 1;
+            ((cfg.base_normal_per_day as f64) * cfg.campaign_growth.powi(growth_days)) as u64
+        } else {
+            cfg.base_normal_per_day as u64
+        };
+        normal_per_day[day] = normal;
+        // Materialize the normal clicks as records from random organic users.
+        for _ in 0..normal {
+            let u = UserId(rng.gen_range(0..background.graph.num_users() as u32));
+            let t = group.targets[rng.gen_range(0..group.targets.len())];
+            per_day_records[day - 1].push((u, t, 1));
+        }
+    }
+
+    let days = (1..=cfg.num_days)
+        .map(|day| CampaignDay {
+            day,
+            normal_clicks: normal_per_day[day],
+            fake_clicks: fake_per_day[day],
+        })
+        .collect();
+
+    Ok(CampaignTimeline {
+        days,
+        truth: plan.truth,
+        background,
+        per_day_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> CampaignConfig {
+        CampaignConfig {
+            dataset: DatasetConfig::tiny(),
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn timeline_has_expected_phases() {
+        let cfg = quick_cfg();
+        let t = simulate_campaign(&cfg).unwrap();
+        assert_eq!(t.days.len(), 13);
+        // No fake traffic before the mission is posted.
+        for d in &t.days[..cfg.attack_start_day - 1] {
+            assert_eq!(d.fake_clicks, 0, "day {}", d.day);
+        }
+        // Fake traffic present during the ramp.
+        let ramp_fake: u64 = t.days[cfg.attack_start_day - 1..].iter().map(|d| d.fake_clicks).sum();
+        assert!(ramp_fake > 0);
+        // Normal traffic grows after campaign start.
+        let before = t.days[cfg.campaign_start_day - 2].normal_clicks;
+        let after = t.days[cfg.campaign_start_day].normal_clicks;
+        assert!(after > before * 2, "campaign boost: {before} -> {after}");
+        // Delisted on the final day.
+        assert_eq!(t.days[cfg.delist_day - 1].normal_clicks, 0);
+    }
+
+    #[test]
+    fn cleaning_stops_fake_and_restores_normal() {
+        let mut cfg = quick_cfg();
+        cfg.cleaning_day = Some(9);
+        let t = simulate_campaign(&cfg).unwrap();
+        for d in &t.days {
+            if d.day > 9 && d.day < cfg.delist_day {
+                assert_eq!(d.fake_clicks, 0, "fake cleaned from day 10");
+                assert_eq!(d.normal_clicks, cfg.base_normal_per_day as u64, "normal restored");
+            }
+        }
+        // Fig 10 shape: traffic during the boost dwarfs the restored level.
+        let peak = t.days.iter().map(|d| d.normal_clicks + d.fake_clicks).max().unwrap();
+        assert!(peak > 4 * cfg.base_normal_per_day as u64);
+    }
+
+    #[test]
+    fn cumulative_graph_grows_monotonically() {
+        let t = simulate_campaign(&quick_cfg()).unwrap();
+        let g3 = t.cumulative_graph(3);
+        let g9 = t.cumulative_graph(9);
+        assert!(g9.total_clicks() > g3.total_clicks());
+        assert!(g3.total_clicks() >= t.background.graph.total_clicks());
+        g9.validate().unwrap();
+    }
+
+    #[test]
+    fn group_shape_matches_case_study() {
+        let t = simulate_campaign(&quick_cfg()).unwrap();
+        assert_eq!(t.truth.groups.len(), 1);
+        let g = &t.truth.groups[0];
+        assert_eq!(g.workers.len(), 28);
+        assert_eq!(g.targets.len(), 11);
+        assert_eq!(g.ridden_hot_items.len(), 2);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut cfg = quick_cfg();
+        cfg.num_days = 0;
+        assert!(simulate_campaign(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.attack_start_day = 99;
+        assert!(simulate_campaign(&cfg).is_err());
+        let mut cfg = quick_cfg();
+        cfg.campaign_start_day = cfg.attack_start_day - 1;
+        assert!(simulate_campaign(&cfg).is_err());
+    }
+}

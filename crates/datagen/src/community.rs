@@ -1,0 +1,282 @@
+//! Dense *organic* co-click communities.
+//!
+//! Real e-commerce click graphs contain benign dense bipartite blocks:
+//! group-buying packages, fan clubs around a shop, seasonal bundles. They
+//! look structurally like attack groups (many users × many items, high
+//! co-click coincidence) but behave differently — per-edge clicks stay
+//! small, because members are ordinary shoppers, not click farms.
+//!
+//! The paper cares about exactly this distinction twice: property 4b
+//! ("explicitly limit the detected group's size to avoid the misjudgment of
+//! group-buying phenomenon") and the screening module, whose `T_click` rule
+//! separates heavy attack edges from light communal ones. Planting these
+//! communities makes the synthetic benchmark honest: a detector that only
+//! measures density cannot tell them from attacks.
+
+use crate::config::DatasetConfig;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ricd_graph::{ItemId, UserId};
+
+/// One planted organic community (kept for analysis; members are *normal*).
+#[derive(Clone, Debug)]
+pub struct OrganicCommunity {
+    /// Member users (existing organic accounts).
+    pub users: Vec<UserId>,
+    /// The communal item bundle.
+    pub items: Vec<ItemId>,
+}
+
+/// Plants the configured communities.
+///
+/// * members are sampled from the organic user population (communities are
+///   made of real shoppers);
+/// * item bundles are drawn **disjointly** from `item_pool` (ordinary,
+///   non-head items), so communities do not chain into one blob;
+/// * each (member, item) edge exists with probability
+///   `community_coverage` and carries a small click count.
+///
+/// Returns the communities and their click records.
+pub fn plant_communities<R: Rng + ?Sized>(
+    cfg: &DatasetConfig,
+    item_pool: &[ItemId],
+    rng: &mut R,
+) -> (Vec<OrganicCommunity>, Vec<(UserId, ItemId, u32)>) {
+    let mut communities = Vec::with_capacity(cfg.num_communities);
+    let mut records = Vec::new();
+    if cfg.num_communities == 0 {
+        return (communities, records);
+    }
+
+    // Disjoint item bundles: shuffle the pool once and carve it up.
+    let mut pool: Vec<ItemId> = item_pool.to_vec();
+    pool.shuffle(rng);
+    let mut cursor = 0usize;
+
+    for _ in 0..cfg.num_communities {
+        let n_users = rng.gen_range(cfg.community_users.0..=cfg.community_users.1);
+        let n_items = rng.gen_range(cfg.community_items.0..=cfg.community_items.1);
+        if cursor + n_items > pool.len() {
+            break; // pool exhausted; plant fewer communities
+        }
+        let items: Vec<ItemId> = pool[cursor..cursor + n_items].to_vec();
+        cursor += n_items;
+
+        let mut users: Vec<UserId> = Vec::with_capacity(n_users);
+        while users.len() < n_users {
+            let u = UserId(rng.gen_range(0..cfg.num_users as u32));
+            if !users.contains(&u) {
+                users.push(u);
+            }
+        }
+        users.sort_unstable();
+
+        for &u in &users {
+            for &v in &items {
+                if rng.gen::<f64>() <= cfg.community_coverage {
+                    let c = rng.gen_range(cfg.community_clicks.0..=cfg.community_clicks.1);
+                    records.push((u, v, c));
+                }
+            }
+        }
+        communities.push(OrganicCommunity { users, items });
+    }
+    (communities, records)
+}
+
+/// Plants the flash items (see `DatasetConfig::num_flash_items`): for each
+/// item drawn from `item_pool`, a handful of organic users re-click it with
+/// counts straddling `T_click`. Pool entries are used disjointly from the
+/// front; returns the click records (flash items are benign, so there is no
+/// truth to record).
+pub fn plant_flash_items<R: Rng + ?Sized>(
+    cfg: &DatasetConfig,
+    item_pool: &[ItemId],
+    rng: &mut R,
+) -> Vec<(UserId, ItemId, u32)> {
+    let mut records = Vec::new();
+    for &item in item_pool.iter().take(cfg.num_flash_items) {
+        let n_users = rng.gen_range(cfg.flash_users.0..=cfg.flash_users.1);
+        let mut users: Vec<UserId> = Vec::with_capacity(n_users);
+        while users.len() < n_users {
+            let u = UserId(rng.gen_range(0..cfg.num_users as u32));
+            if !users.contains(&u) {
+                users.push(u);
+            }
+        }
+        for u in users {
+            let c = rng.gen_range(cfg.flash_clicks.0..=cfg.flash_clicks.1);
+            records.push((u, item, c));
+        }
+    }
+    records
+}
+
+/// Plants the bargain-hunter rings (see `DatasetConfig::num_hunter_rings`):
+/// miniature heavy-click cliques of deal hunters, sized *below* the
+/// detector's `(k₁, k₂)` floor. Ring item bundles are drawn disjointly from
+/// `item_pool`; members are random organic users. Returns the rings (for
+/// analysis — they are benign) and their click records.
+pub fn plant_hunter_rings<R: Rng + ?Sized>(
+    cfg: &DatasetConfig,
+    item_pool: &[ItemId],
+    rng: &mut R,
+) -> (Vec<OrganicCommunity>, Vec<(UserId, ItemId, u32)>) {
+    let mut rings = Vec::with_capacity(cfg.num_hunter_rings);
+    let mut records = Vec::new();
+    if cfg.num_hunter_rings == 0 {
+        return (rings, records);
+    }
+    let mut pool: Vec<ItemId> = item_pool.to_vec();
+    pool.shuffle(rng);
+    let mut cursor = 0usize;
+    for _ in 0..cfg.num_hunter_rings {
+        let n_users = rng.gen_range(cfg.hunter_users.0..=cfg.hunter_users.1);
+        let n_items = rng.gen_range(cfg.hunter_items.0..=cfg.hunter_items.1);
+        if cursor + n_items > pool.len() {
+            break;
+        }
+        let items: Vec<ItemId> = pool[cursor..cursor + n_items].to_vec();
+        cursor += n_items;
+        let mut users: Vec<UserId> = Vec::with_capacity(n_users);
+        while users.len() < n_users {
+            let u = UserId(rng.gen_range(0..cfg.num_users as u32));
+            if !users.contains(&u) {
+                users.push(u);
+            }
+        }
+        users.sort_unstable();
+        for &u in &users {
+            for &v in &items {
+                if rng.gen::<f64>() <= cfg.hunter_coverage {
+                    let c = rng.gen_range(cfg.hunter_clicks.0..=cfg.hunter_clicks.1);
+                    records.push((u, v, c));
+                }
+            }
+        }
+        rings.push(OrganicCommunity { users, items });
+    }
+    (rings, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool(n: u32) -> Vec<ItemId> {
+        (0..n).map(ItemId).collect()
+    }
+
+    #[test]
+    fn plants_configured_count_with_disjoint_bundles() {
+        let cfg = DatasetConfig::small();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (comms, records) = plant_communities(&cfg, &pool(400), &mut rng);
+        assert_eq!(comms.len(), cfg.num_communities);
+        let mut seen = std::collections::HashSet::new();
+        for c in &comms {
+            for v in &c.items {
+                assert!(seen.insert(*v), "item {v} in two communities");
+            }
+            assert!(c.users.len() >= cfg.community_users.0);
+            assert!(c.items.len() >= cfg.community_items.0);
+        }
+        assert!(!records.is_empty());
+    }
+
+    #[test]
+    fn clicks_stay_small() {
+        let cfg = DatasetConfig::small();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, records) = plant_communities(&cfg, &pool(400), &mut rng);
+        assert!(records.iter().all(|&(_, _, c)| {
+            (cfg.community_clicks.0..=cfg.community_clicks.1).contains(&c)
+        }));
+    }
+
+    #[test]
+    fn coverage_controls_edge_density() {
+        let mut cfg = DatasetConfig::small();
+        cfg.community_coverage = 1.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let (comms, records) = plant_communities(&cfg, &pool(400), &mut rng);
+        let expected: usize = comms.iter().map(|c| c.users.len() * c.items.len()).sum();
+        assert_eq!(records.len(), expected, "full coverage → complete blocks");
+    }
+
+    #[test]
+    fn zero_communities_is_empty() {
+        let mut cfg = DatasetConfig::small();
+        cfg.num_communities = 0;
+        let mut rng = StdRng::seed_from_u64(4);
+        let (comms, records) = plant_communities(&cfg, &pool(400), &mut rng);
+        assert!(comms.is_empty());
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn pool_exhaustion_degrades_gracefully() {
+        let cfg = DatasetConfig::small();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (comms, _) = plant_communities(&cfg, &pool(20), &mut rng);
+        assert!(comms.len() <= cfg.num_communities);
+    }
+
+    #[test]
+    fn flash_items_have_heavy_organic_edges() {
+        let cfg = DatasetConfig::small();
+        let mut rng = StdRng::seed_from_u64(6);
+        let records = plant_flash_items(&cfg, &pool(400), &mut rng);
+        let mut items: Vec<ItemId> = records.iter().map(|&(_, v, _)| v).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), cfg.num_flash_items);
+        for &(u, _, c) in &records {
+            assert!((cfg.flash_clicks.0..=cfg.flash_clicks.1).contains(&c));
+            assert!(u.index() < cfg.num_users);
+        }
+        // Some edges straddle the paper's T_click = 12 on both sides.
+        assert!(records.iter().any(|&(_, _, c)| c >= 12));
+        assert!(records.iter().any(|&(_, _, c)| c < 12));
+    }
+
+    #[test]
+    fn zero_flash_items_is_empty() {
+        let mut cfg = DatasetConfig::small();
+        cfg.num_flash_items = 0;
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(plant_flash_items(&cfg, &pool(400), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn hunter_rings_stay_below_the_k_floor() {
+        let cfg = DatasetConfig::small();
+        let mut rng = StdRng::seed_from_u64(8);
+        let (rings, records) = plant_hunter_rings(&cfg, &pool(100), &mut rng);
+        assert_eq!(rings.len(), cfg.num_hunter_rings);
+        for r in &rings {
+            assert!(r.users.len() < 10, "below k1");
+            assert!(r.items.len() < 10, "below k2");
+        }
+        assert!(records
+            .iter()
+            .all(|&(_, _, c)| (cfg.hunter_clicks.0..=cfg.hunter_clicks.1).contains(&c)));
+        // Rings contain heavy edges (the FP pressure they exist to create).
+        assert!(records.iter().any(|&(_, _, c)| c >= 12));
+    }
+
+    #[test]
+    fn hunter_ring_bundles_disjoint() {
+        let cfg = DatasetConfig::small();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (rings, _) = plant_hunter_rings(&cfg, &pool(100), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for r in &rings {
+            for v in &r.items {
+                assert!(seen.insert(*v));
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # ricd-datagen — synthetic Taobao-like click data with planted attacks
+//!
+//! The paper's evaluation runs on a proprietary Taobao click table
+//! (`TaoBao_UI_Clicks`: 20M users, 4M items, 90M click records, 200M total
+//! clicks — Table I) with expert-labelled ground truth. Neither is available,
+//! so this crate is the substitution mandated by the reproduction plan
+//! (see `DESIGN.md`): a generator whose output matches the *shape* of the
+//! paper's data — the statistics every RICD signal is derived from — with
+//! exact ground-truth labels for the planted attacks.
+//!
+//! Calibration targets (at the default 1000× scale-down, 20k users / 4k
+//! items):
+//!
+//! * per-user averages ≈ Table II's user row (≈11 total clicks over ≈4.3
+//!   distinct items, heavy-tailed with stdev ≫ mean);
+//! * per-item averages ≈ Table II's item row (≈55 clicks from ≈20 users);
+//! * the Pareto 80/20 rule of Fig 2 / Section IV (top ~20% of items draw
+//!   ~80% of clicks), from which `T_hot` is derived;
+//! * normal users click hot items *more* per edge than cold items
+//!   (Table IV's normal-user signature).
+//!
+//! The [`attack`] module plants "Ride Item's Coattails" groups implementing
+//! the paper's own optimal-strategy analysis (Section IV-A): each crowd
+//! worker clicks the group's hot items once or twice, its target items
+//! heavily (≥ `T_click`), and a few random ordinary items as camouflage.
+//! [`campaign`] simulates the Section VII marketing-campaign timeline for
+//! Fig 10.
+
+pub mod attack;
+pub mod builder;
+pub mod campaign;
+pub mod community;
+pub mod config;
+pub mod normal;
+pub mod truth;
+pub mod zipf;
+
+pub use builder::{generate, generate_with_attacks, SyntheticDataset};
+pub use config::{AttackConfig, DatasetConfig};
+pub use truth::{GroundTruth, InjectedGroup};
+
+/// Commonly used generator types.
+pub mod prelude {
+    pub use crate::builder::{generate, generate_with_attacks, SyntheticDataset};
+    pub use crate::campaign::{simulate_campaign, CampaignConfig, CampaignDay, CampaignTimeline};
+    pub use crate::config::{AttackConfig, DatasetConfig};
+    pub use crate::truth::{GroundTruth, InjectedGroup};
+}

@@ -1,0 +1,147 @@
+//! Organic (normal-user) click traffic.
+
+use crate::config::DatasetConfig;
+use crate::zipf::{ClickCount, PowerLawDegree, ZipfSampler};
+use rand::Rng;
+
+/// One user's organic click list: `(item rank-resolved id, clicks)`.
+pub type ClickList = Vec<(u32, u32)>;
+
+/// Samplers for one dataset's organic population, built once per generation.
+pub struct NormalModel {
+    popularity: ZipfSampler,
+    activity: PowerLawDegree,
+    cold_clicks: ClickCount,
+    hot_clicks: ClickCount,
+    popular_cutoff: usize,
+    num_items: usize,
+}
+
+impl NormalModel {
+    /// Builds the samplers from a validated config.
+    pub fn new(cfg: &DatasetConfig) -> Self {
+        Self {
+            popularity: ZipfSampler::new(cfg.num_items, cfg.popularity_exponent),
+            activity: PowerLawDegree::new(cfg.max_user_degree.min(cfg.num_items), cfg.activity_exponent),
+            cold_clicks: ClickCount::new(cfg.cold_clicks_mean, cfg.clicks_cap),
+            hot_clicks: ClickCount::new(cfg.hot_clicks_mean, cfg.clicks_cap),
+            popular_cutoff: ((cfg.num_items as f64) * cfg.popular_rank_fraction).ceil() as usize,
+            num_items: cfg.num_items,
+        }
+    }
+
+    /// Samples one organic user's click list.
+    ///
+    /// The user's distinct-item count comes from the activity power law; each
+    /// item is drawn by Zipf popularity (duplicates rejected, so the list has
+    /// distinct items); per-edge clicks are geometric with a larger mean on
+    /// popular items — reproducing the Table IV normal-user signature of
+    /// clicking hot items more.
+    ///
+    /// Item ids here equal popularity ranks (rank 0 = most popular). The
+    /// dataset builder shuffles ranks into arbitrary ids afterwards so
+    /// nothing downstream can cheat by reading popularity off the id.
+    pub fn sample_user<R: Rng + ?Sized>(&self, rng: &mut R) -> ClickList {
+        let degree = self.activity.sample(rng).min(self.num_items);
+        let mut items: Vec<u32> = Vec::with_capacity(degree);
+        // Rejection sampling for distinctness; degree ≪ num_items makes the
+        // expected number of retries tiny. A hard retry cap keeps adversarial
+        // configs (degree close to num_items) from spinning.
+        let mut retries = 0;
+        while items.len() < degree && retries < degree * 50 {
+            let rank = self.popularity.sample(rng) as u32;
+            if items.contains(&rank) {
+                retries += 1;
+            } else {
+                items.push(rank);
+            }
+        }
+        items
+            .into_iter()
+            .map(|rank| {
+                let clicks = if (rank as usize) < self.popular_cutoff {
+                    self.hot_clicks.sample(rng)
+                } else {
+                    self.cold_clicks.sample(rng)
+                };
+                (rank, clicks)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn click_lists_have_distinct_items() {
+        let cfg = DatasetConfig::tiny();
+        let model = NormalModel::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let list = model.sample_user(&mut rng);
+            let mut items: Vec<u32> = list.iter().map(|&(i, _)| i).collect();
+            items.sort_unstable();
+            items.dedup();
+            assert_eq!(items.len(), list.len());
+            assert!(list.iter().all(|&(i, c)| (i as usize) < cfg.num_items && c >= 1));
+        }
+    }
+
+    #[test]
+    fn popular_items_get_more_clicks_per_edge() {
+        let cfg = DatasetConfig::small();
+        let model = NormalModel::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let cutoff = ((cfg.num_items as f64) * cfg.popular_rank_fraction) as u32;
+        let (mut hot_sum, mut hot_n, mut cold_sum, mut cold_n) = (0u64, 0u64, 0u64, 0u64);
+        for _ in 0..3_000 {
+            for (rank, clicks) in model.sample_user(&mut rng) {
+                if rank < cutoff {
+                    hot_sum += clicks as u64;
+                    hot_n += 1;
+                } else {
+                    cold_sum += clicks as u64;
+                    cold_n += 1;
+                }
+            }
+        }
+        assert!(hot_n > 0 && cold_n > 0);
+        let hot_mean = hot_sum as f64 / hot_n as f64;
+        let cold_mean = cold_sum as f64 / cold_n as f64;
+        assert!(
+            hot_mean > cold_mean + 0.3,
+            "hot {hot_mean:.2} vs cold {cold_mean:.2}"
+        );
+    }
+
+    #[test]
+    fn mean_degree_close_to_table2() {
+        // Paper Table II: Avg_cnt (distinct items per user) ≈ 4.32.
+        let cfg = DatasetConfig::default();
+        let model = NormalModel::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 5_000;
+        let total: usize = (0..n).map(|_| model.sample_user(&mut rng).len()).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (3.0..6.5).contains(&mean),
+            "mean degree {mean:.2} outside Table II band"
+        );
+    }
+
+    #[test]
+    fn degree_capped_by_item_count() {
+        let mut cfg = DatasetConfig::tiny();
+        cfg.num_items = 10;
+        cfg.max_user_degree = 10;
+        let model = NormalModel::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(model.sample_user(&mut rng).len() <= 10);
+        }
+    }
+}

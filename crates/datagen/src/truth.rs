@@ -1,0 +1,109 @@
+//! Ground-truth labels for planted attacks.
+//!
+//! The paper builds its ground truth by sampling detector output and asking
+//! business experts to label ~2,000 nodes. With planted attacks we know the
+//! truth exactly: every crowd-worker account and every target item, per
+//! group. The evaluation crate consumes this to compute Eq 5/6 precision and
+//! recall.
+
+use ricd_graph::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One planted "Ride Item's Coattails" group.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedGroup {
+    /// Crowd-worker user accounts.
+    pub workers: Vec<UserId>,
+    /// Low-quality target items the sellers are boosting.
+    pub targets: Vec<ItemId>,
+    /// The hot items the group rides (NOT abnormal nodes themselves — they
+    /// are victims; kept for analysis and the camouflage-restriction tests).
+    pub ridden_hot_items: Vec<ItemId>,
+}
+
+/// All planted abnormal nodes in a dataset.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Per-group structure.
+    pub groups: Vec<InjectedGroup>,
+}
+
+impl GroundTruth {
+    /// All abnormal users, deduplicated and sorted.
+    pub fn abnormal_users(&self) -> Vec<UserId> {
+        let mut u: Vec<UserId> = self.groups.iter().flat_map(|g| g.workers.iter().copied()).collect();
+        u.sort_unstable();
+        u.dedup();
+        u
+    }
+
+    /// All abnormal (target) items, deduplicated and sorted.
+    pub fn abnormal_items(&self) -> Vec<ItemId> {
+        let mut v: Vec<ItemId> = self.groups.iter().flat_map(|g| g.targets.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Total number of known abnormal nodes (users + items), the denominator
+    /// of the paper's recall (Eq 6).
+    pub fn num_abnormal(&self) -> usize {
+        self.abnormal_users().len() + self.abnormal_items().len()
+    }
+
+    /// True if `u` is a planted worker.
+    pub fn is_abnormal_user(&self, u: UserId) -> bool {
+        self.groups.iter().any(|g| g.workers.contains(&u))
+    }
+
+    /// True if `v` is a planted target item.
+    pub fn is_abnormal_item(&self, v: ItemId) -> bool {
+        self.groups.iter().any(|g| g.targets.contains(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            groups: vec![
+                InjectedGroup {
+                    workers: vec![UserId(1), UserId(2)],
+                    targets: vec![ItemId(10)],
+                    ridden_hot_items: vec![ItemId(0)],
+                },
+                InjectedGroup {
+                    workers: vec![UserId(2), UserId(3)],
+                    targets: vec![ItemId(11), ItemId(10)],
+                    ridden_hot_items: vec![ItemId(0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn dedup_across_groups() {
+        let t = truth();
+        assert_eq!(t.abnormal_users(), vec![UserId(1), UserId(2), UserId(3)]);
+        assert_eq!(t.abnormal_items(), vec![ItemId(10), ItemId(11)]);
+        assert_eq!(t.num_abnormal(), 5);
+    }
+
+    #[test]
+    fn membership_checks() {
+        let t = truth();
+        assert!(t.is_abnormal_user(UserId(3)));
+        assert!(!t.is_abnormal_user(UserId(9)));
+        assert!(t.is_abnormal_item(ItemId(11)));
+        assert!(!t.is_abnormal_item(ItemId(0)), "ridden hot items are victims, not abnormal");
+    }
+
+    #[test]
+    fn empty_truth() {
+        let t = GroundTruth::default();
+        assert_eq!(t.num_abnormal(), 0);
+        assert!(t.abnormal_users().is_empty());
+    }
+}

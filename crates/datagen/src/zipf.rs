@@ -1,0 +1,233 @@
+//! Heavy-tail samplers.
+//!
+//! Fig 2 shows both per-item and per-user click totals are heavy-tailed, and
+//! Section IV leans on the Pareto principle (top ~20% of items ← ~80% of
+//! clicks) to derive `T_hot`. We implement two samplers from scratch (the
+//! `rand_distr` crate is outside the allowed dependency set):
+//!
+//! * [`ZipfSampler`] — ranks `0..n` with `P(rank k) ∝ (k+1)^{-s}` via a
+//!   precomputed CDF and binary search; used for item popularity.
+//! * [`PowerLawDegree`] — a truncated discrete power law on `1..=max`,
+//!   used for per-user activity (distinct items clicked).
+
+use rand::Rng;
+
+/// Zipf-distributed ranks `0..n` (rank 0 is the most popular).
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite/positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the end.
+        *cdf.last_mut().unwrap() = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always at least one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= x.
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of a rank (for tests/calibration).
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+}
+
+/// Truncated discrete power law on `1..=max`: `P(d) ∝ d^{-alpha}`.
+#[derive(Clone, Debug)]
+pub struct PowerLawDegree {
+    zipf: ZipfSampler,
+}
+
+impl PowerLawDegree {
+    /// Builds the sampler for degrees `1..=max` with exponent `alpha`.
+    pub fn new(max: usize, alpha: f64) -> Self {
+        Self {
+            zipf: ZipfSampler::new(max, alpha),
+        }
+    }
+
+    /// Draws a degree in `1..=max`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.zipf.sample(rng) + 1
+    }
+
+    /// Expected value (for calibration).
+    pub fn mean(&self) -> f64 {
+        (0..self.zipf.len())
+            .map(|k| (k + 1) as f64 * self.zipf.pmf(k))
+            .sum()
+    }
+}
+
+/// Geometric click-count sampler on `1..` with mean `1/p`, capped at `cap`.
+///
+/// Per-edge click counts are small and memoryless-ish (a user re-clicking an
+/// item a few times); the cap keeps a single organic edge from looking like
+/// an attack edge.
+#[derive(Clone, Copy, Debug)]
+pub struct ClickCount {
+    p: f64,
+    cap: u32,
+}
+
+impl ClickCount {
+    /// Mean `mean ≥ 1`, capped at `cap ≥ 1`.
+    pub fn new(mean: f64, cap: u32) -> Self {
+        assert!(mean >= 1.0, "mean clicks per edge must be ≥ 1");
+        assert!(cap >= 1);
+        Self { p: 1.0 / mean, cap }
+    }
+
+    /// Draws a click count in `1..=cap`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let mut c = 1u32;
+        while c < self.cap && rng.gen::<f64>() > self.p {
+            c += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = ZipfSampler::new(100, 1.1);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank0_most_probable() {
+        let z = ZipfSampler::new(50, 1.0);
+        for k in 1..50 {
+            assert!(z.pmf(0) >= z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range_and_skewed() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut top10 = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            if r < 10 {
+                top10 += 1;
+            }
+        }
+        // With s=1.0 and n=1000, P(rank<10) = H(10)/H(1000) ≈ 2.93/7.49 ≈ 0.39.
+        let frac = top10 as f64 / n as f64;
+        assert!((0.3..0.5).contains(&frac), "top-10 mass {frac}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = ZipfSampler::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn power_law_degree_in_bounds_and_mean_matches() {
+        let d = PowerLawDegree::new(200, 2.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mut sum = 0usize;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((1..=200).contains(&x));
+            sum += x;
+        }
+        let emp = sum as f64 / n as f64;
+        let theo = d.mean();
+        assert!(
+            (emp - theo).abs() / theo < 0.1,
+            "empirical {emp} vs theoretical {theo}"
+        );
+    }
+
+    #[test]
+    fn click_count_mean_and_cap() {
+        let c = ClickCount::new(2.2, 50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = c.sample(&mut rng);
+            assert!((1..=50).contains(&x));
+            sum += x as u64;
+        }
+        let emp = sum as f64 / n as f64;
+        assert!((1.9..2.5).contains(&emp), "mean {emp}");
+    }
+
+    #[test]
+    fn click_count_cap_one_is_constant() {
+        let c = ClickCount::new(5.0, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let z = ZipfSampler::new(500, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

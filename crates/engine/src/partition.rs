@@ -1,0 +1,71 @@
+//! Range partitioning of a dense vertex space across workers.
+
+use std::ops::Range;
+
+/// Splits `0..n` into at most `workers` contiguous ranges whose lengths
+/// differ by at most one (the first `n % workers` ranges get the extra
+/// element). Empty ranges are omitted, so the result may be shorter than
+/// `workers` when `n < workers`.
+///
+/// # Panics
+/// Panics if `workers == 0`.
+pub fn partition_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+    assert!(workers > 0, "worker count must be positive");
+    let base = n / workers;
+    let extra = n % workers;
+    let mut ranges = Vec::with_capacity(workers.min(n));
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        if len == 0 {
+            break;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_once() {
+        for n in [0, 1, 7, 16, 100, 101] {
+            for w in [1, 2, 3, 16, 200] {
+                let ranges = partition_ranges(n, w);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "ranges contiguous");
+                    assert!(!r.is_empty());
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, n, "n={n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let ranges = partition_ranges(10, 3);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn fewer_items_than_workers() {
+        let ranges = partition_ranges(2, 8);
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], 0..1);
+        assert_eq!(ranges[1], 1..2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_panics() {
+        partition_ranges(5, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The bulk-synchronous worker pool.
+
+use crate::partition::partition_ranges;
+use std::ops::Range;
+
+/// A fixed-width pool executing bulk-synchronous vertex rounds on crossbeam
+/// scoped threads.
+///
+/// Each primitive partitions the vertex range, runs one closure instance per
+/// worker, and joins before returning — the same superstep-with-barrier model
+/// Grape exposes. Threads are spawned per round; for the round sizes in this
+/// workload (tens of thousands to millions of vertices) spawn cost is noise,
+/// and scoped threads let closures borrow the graph without `Arc`.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        Self { workers }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`, capped at the
+    /// paper's default of 16 workers).
+    pub fn default_for_host() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        Self::new(n)
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(range)` once per partition of `0..n`, in parallel, returning
+    /// the per-partition results in partition order.
+    pub fn run_partitioned<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let ranges = partition_ranges(n, self.workers);
+        if ranges.len() <= 1 {
+            return ranges.into_iter().map(&f).collect();
+        }
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| s.spawn(|_| f(r)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scope propagates panics via join")
+    }
+
+    /// Computes `f(i)` for every `i in 0..n` into a vector (one superstep).
+    pub fn map_vertices<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        let ranges = partition_ranges(n, self.workers);
+        if ranges.len() <= 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(i);
+            }
+            return out;
+        }
+        // Split the output into per-partition disjoint slices.
+        crossbeam::thread::scope(|s| {
+            let mut rest: &mut [T] = &mut out;
+            for r in ranges {
+                let (chunk, tail) = rest.split_at_mut(r.len());
+                rest = tail;
+                let f = &f;
+                s.spawn(move |_| {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot = f(r.start + off);
+                    }
+                });
+            }
+        })
+        .expect("scope propagates panics via join");
+        out
+    }
+
+    /// Collects the indices `i in 0..n` for which `pred(i)` holds, in
+    /// ascending order (one superstep).
+    pub fn filter_vertices<F>(&self, n: usize, pred: F) -> Vec<usize>
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        let per_worker = self.run_partitioned(n, |r| {
+            let mut hits = Vec::new();
+            for i in r {
+                if pred(i) {
+                    hits.push(i);
+                }
+            }
+            hits
+        });
+        let mut out = Vec::with_capacity(per_worker.iter().map(Vec::len).sum());
+        for mut v in per_worker {
+            out.append(&mut v);
+        }
+        out
+    }
+
+    /// Folds `f(i)` over `0..n` with a per-worker accumulator and a final
+    /// sequential `merge` across workers (one superstep).
+    pub fn fold_vertices<A, F, M>(&self, n: usize, init: A, f: F, merge: M) -> A
+    where
+        A: Send + Sync + Clone,
+        F: Fn(A, usize) -> A + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let per_worker = self.run_partitioned(n, |r| {
+            let mut acc = init.clone();
+            for i in r {
+                acc = f(acc, i);
+            }
+            acc
+        });
+        per_worker.into_iter().fold(init, merge)
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::default_for_host()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_matches_sequential() {
+        let pool = WorkerPool::new(4);
+        let got = pool.map_vertices(1000, |i| i * i);
+        let want: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn map_empty() {
+        let pool = WorkerPool::new(4);
+        let got: Vec<u32> = pool.map_vertices(0, |_| 1);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let pool = WorkerPool::new(3);
+        let got = pool.filter_vertices(100, |i| i % 7 == 0);
+        let want: Vec<usize> = (0..100).filter(|i| i % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fold_sums() {
+        let pool = WorkerPool::new(5);
+        let sum = pool.fold_vertices(101, 0u64, |a, i| a + i as u64, |a, b| a + b);
+        assert_eq!(sum, 100 * 101 / 2);
+    }
+
+    #[test]
+    fn every_vertex_visited_exactly_once() {
+        let pool = WorkerPool::new(8);
+        let visits = AtomicUsize::new(0);
+        let _ = pool.map_vertices(12345, |_| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            0u8
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 12345);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.map_vertices(10, |i| i), (0..10).collect::<Vec<_>>());
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn run_partitioned_returns_in_order() {
+        let pool = WorkerPool::new(4);
+        let ids = pool.run_partitioned(10, |r| r.start);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_rejected() {
+        WorkerPool::new(0);
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        let n = 997;
+        let seq: Vec<usize> = WorkerPool::new(1).map_vertices(n, |i| i.wrapping_mul(31));
+        for w in [2, 3, 7, 16] {
+            assert_eq!(WorkerPool::new(w).map_vertices(n, |i| i.wrapping_mul(31)), seq);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Elapsed-time instrumentation for the Fig 8b comparison.
+//!
+//! The paper reports the *end-to-end* time of each method as the sum of its
+//! module times ("the elapsed time of the detection algorithm occupies most
+//! of the time" vs the UI screening step). [`PhaseTimings`] accumulates named
+//! phase durations so the harness can report both the split and the total.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// A simple restartable stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time since start (or last [`Stopwatch::lap`]).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Returns the elapsed time and restarts the watch.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.started;
+        self.started = now;
+        d
+    }
+}
+
+/// Accumulated durations per named phase, safe to update from worker threads.
+#[derive(Debug, Default)]
+pub struct PhaseTimings {
+    phases: Mutex<Vec<(String, Duration)>>,
+}
+
+/// A snapshot of phase timings, serializable for experiment artifacts.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// `(phase name, elapsed)` in first-recorded order; repeated names are
+    /// accumulated into one entry.
+    pub phases: Vec<(String, Duration)>,
+}
+
+impl PhaseTimings {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `elapsed` to the named phase.
+    pub fn record(&self, phase: &str, elapsed: Duration) {
+        let mut phases = self.phases.lock();
+        if let Some(entry) = phases.iter_mut().find(|(n, _)| n == phase) {
+            entry.1 += elapsed;
+        } else {
+            phases.push((phase.to_string(), elapsed));
+        }
+    }
+
+    /// Times `f`, records it under `phase`, and returns its result.
+    pub fn time<T>(&self, phase: &str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.record(phase, sw.elapsed());
+        out
+    }
+
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.phases.lock().iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Elapsed time of one phase, if recorded.
+    pub fn get(&self, phase: &str) -> Option<Duration> {
+        self.phases
+            .lock()
+            .iter()
+            .find(|(n, _)| n == phase)
+            .map(|(_, d)| *d)
+    }
+
+    /// Snapshot for reporting.
+    pub fn report(&self) -> TimingReport {
+        TimingReport {
+            phases: self.phases.lock().clone(),
+        }
+    }
+}
+
+impl TimingReport {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Elapsed time of one phase, if recorded.
+    pub fn get(&self, phase: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == phase)
+            .map(|(_, d)| *d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let lap = sw.lap();
+        assert!(lap >= Duration::from_millis(5));
+        // After a lap the watch restarts.
+        assert!(sw.elapsed() < lap);
+    }
+
+    #[test]
+    fn phases_accumulate_by_name() {
+        let t = PhaseTimings::new();
+        t.record("detect", Duration::from_millis(10));
+        t.record("screen", Duration::from_millis(5));
+        t.record("detect", Duration::from_millis(10));
+        assert_eq!(t.get("detect"), Some(Duration::from_millis(20)));
+        assert_eq!(t.get("screen"), Some(Duration::from_millis(5)));
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(t.total(), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn time_wraps_and_returns() {
+        let t = PhaseTimings::new();
+        let out = t.time("work", || 42);
+        assert_eq!(out, 42);
+        assert!(t.get("work").is_some());
+    }
+
+    #[test]
+    fn report_snapshot() {
+        let t = PhaseTimings::new();
+        t.record("a", Duration::from_millis(1));
+        let r = t.report();
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.total(), Duration::from_millis(1));
+        assert_eq!(r.get("a"), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let t = PhaseTimings::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..100 {
+                        t.record("p", Duration::from_micros(1));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(t.get("p"), Some(Duration::from_micros(800)));
+    }
+}

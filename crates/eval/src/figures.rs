@@ -1,0 +1,557 @@
+//! One runner per paper table/figure.
+//!
+//! | Runner | Reproduces |
+//! |---|---|
+//! | [`dataset_report`] | Table I, Table II, Fig 2, the Section IV threshold derivation |
+//! | [`tables3_4`] | Table III (suspect click records) / Table IV (normal) |
+//! | [`table5`] | Table V (suspicious vs normal item statistics) |
+//! | [`fig8`] | Fig 8a (quality) + Fig 8b (elapsed time) |
+//! | [`table6`] | Table VI (screening ablation) |
+//! | [`fig9`] | Fig 9a–e (parameter sensitivity) |
+//! | [`fig10`] | Fig 10 (case-study campaign timeline) |
+
+use crate::methods::{Method, MethodConfig};
+use crate::metrics::{evaluate, Evaluation};
+use ricd_core::params::RicdParams;
+use ricd_core::thresholds;
+use ricd_datagen::builder::SyntheticDataset;
+use ricd_datagen::campaign::{simulate_campaign, CampaignConfig, CampaignDay};
+use ricd_datagen::truth::GroundTruth;
+use ricd_graph::stats::{self, ClickDistribution, DatasetScale, SideStats};
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Table I / Table II / Fig 2
+// ---------------------------------------------------------------------------
+
+/// Everything the paper reports about the dataset itself.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetReport {
+    /// Table I.
+    pub scale: DatasetScale,
+    /// Table II, user row.
+    pub user_stats: SideStats,
+    /// Table II, item row.
+    pub item_stats: SideStats,
+    /// Share of clicks captured by the top 20% of items (the Pareto check).
+    pub pareto_top20_share: f64,
+    /// `T_hot` derived by the 80% rule (paper: 1,320).
+    pub t_hot_pareto: u64,
+    /// `T_click` derived by Eq 4 (paper: 12).
+    pub t_click_derived: u32,
+    /// Fig 2a series.
+    pub item_distribution: ClickDistribution,
+    /// Fig 2b series.
+    pub user_distribution: ClickDistribution,
+}
+
+/// Computes the Table I/II/Fig 2 report for any graph.
+pub fn dataset_report(g: &BipartiteGraph) -> DatasetReport {
+    let (t_hot_pareto, t_click_derived) = thresholds::derive_thresholds(g, 0.8);
+    DatasetReport {
+        scale: stats::dataset_scale(g),
+        user_stats: stats::user_stats(g),
+        item_stats: stats::item_stats(g),
+        pareto_top20_share: stats::pareto_concentration(g, 0.2),
+        t_hot_pareto,
+        t_click_derived,
+        item_distribution: stats::item_click_distribution(g),
+        user_distribution: stats::user_click_distribution(g),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table III / IV / V
+// ---------------------------------------------------------------------------
+
+/// One row of a Table III/IV-style click-record listing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClickRecordRow {
+    /// Sequence id (the paper anonymizes item ids the same way).
+    pub seq: usize,
+    /// This user's clicks on the item.
+    pub click: u32,
+    /// The item's total clicks from all users.
+    pub total_click: u64,
+    /// 1 if the item is hot (`total ≥ T_hot`), else 0.
+    pub hot: u8,
+}
+
+/// The click records of one user, ordered by the item's total clicks
+/// descending — the layout of Tables III and IV.
+pub fn click_record_table(g: &BipartiteGraph, user: UserId, t_hot: u64) -> Vec<ClickRecordRow> {
+    let mut rows: Vec<ClickRecordRow> = g
+        .user_neighbors(user)
+        .map(|(v, c)| {
+            let total = g.item_total_clicks(v);
+            ClickRecordRow {
+                seq: 0,
+                click: c,
+                total_click: total,
+                hot: u8::from(total >= t_hot),
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.total_click));
+    for (i, r) in rows.iter_mut().enumerate() {
+        r.seq = i + 1;
+    }
+    rows
+}
+
+/// Table III (a planted worker's records) and Table IV (a normal user's).
+///
+/// The worker is the first planted one; the normal user is the organic user
+/// with the most click records (so both tables have enough rows to read).
+pub fn tables3_4(ds: &SyntheticDataset, t_hot: u64) -> (Vec<ClickRecordRow>, Vec<ClickRecordRow>) {
+    let worker = ds
+        .truth
+        .groups
+        .first()
+        .and_then(|g| g.workers.first())
+        .copied()
+        .unwrap_or(UserId(0));
+    let normal = (0..ds.organic_users() as u32)
+        .map(UserId)
+        .max_by_key(|&u| ds.graph.user_degree(u))
+        .unwrap_or(UserId(0));
+    (
+        click_record_table(&ds.graph, worker, t_hot),
+        click_record_table(&ds.graph, normal, t_hot),
+    )
+}
+
+/// One row of Table V.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ItemStatsRow {
+    /// Total clicks on the item.
+    pub total_click: u64,
+    /// Mean clicks per clicking user.
+    pub mean: f64,
+    /// Stdev of clicks per clicking user.
+    pub stdev: f64,
+    /// Number of distinct users who clicked it.
+    pub user_num: usize,
+    /// Max clicks from one user.
+    pub max: u32,
+    /// Min clicks from one user.
+    pub min: u32,
+}
+
+fn item_stats_row(g: &BipartiteGraph, v: ItemId) -> ItemStatsRow {
+    let clicks: Vec<u32> = g.item_neighbors(v).map(|(_, c)| c).collect();
+    let n = clicks.len().max(1) as f64;
+    let total: u64 = clicks.iter().map(|&c| c as u64).sum();
+    let mean = total as f64 / n;
+    let var = clicks
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    ItemStatsRow {
+        total_click: total,
+        mean,
+        stdev: var.sqrt(),
+        user_num: clicks.len(),
+        max: clicks.iter().copied().max().unwrap_or(0),
+        min: clicks.iter().copied().min().unwrap_or(0),
+    }
+}
+
+/// Table V: a planted target item vs the organic item whose total clicks are
+/// closest to it (the paper matches a 368-click suspicious item against a
+/// 404-click normal one).
+pub fn table5(ds: &SyntheticDataset) -> Option<(ItemStatsRow, ItemStatsRow)> {
+    let target = ds.truth.groups.first()?.targets.first().copied()?;
+    let target_row = item_stats_row(&ds.graph, target);
+    let normal = (0..ds.organic_items() as u32)
+        .map(ItemId)
+        .filter(|&v| ds.graph.item_degree(v) > 0)
+        .min_by_key(|&v| {
+            ds.graph
+                .item_total_clicks(v)
+                .abs_diff(target_row.total_click)
+        })?;
+    Some((target_row, item_stats_row(&ds.graph, normal)))
+}
+
+// ---------------------------------------------------------------------------
+// Section IV rough screening
+// ---------------------------------------------------------------------------
+
+/// The Section IV exploratory numbers: rough-screen fractions (paper: ≥ 7%
+/// of users, ≥ 15% of items) and the suspicious-clicker-share contrast
+/// (paper: 1.98% on suspicious items vs 0.49% on normal items).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Section4Report {
+    /// Fraction of all users flagged by the rough screen.
+    pub user_fraction: f64,
+    /// Fraction of all items flagged.
+    pub item_fraction: f64,
+    /// Mean share of suspicious clickers on the planted target items.
+    pub target_clicker_share: f64,
+    /// Mean share of suspicious clickers on click-matched normal items.
+    pub normal_clicker_share: f64,
+}
+
+/// Runs the Section IV rough screening against a synthetic dataset and
+/// computes the clicker-share contrast on planted targets vs click-matched
+/// organic items.
+pub fn section4_analysis(ds: &SyntheticDataset, t_hot: u64, t_click: u32) -> Section4Report {
+    use ricd_core::analysis::rough_screening;
+    use ricd_engine::WorkerPool;
+
+    let screen = rough_screening(&ds.graph, t_hot, t_click, &WorkerPool::default_for_host());
+
+    let targets: Vec<ItemId> = ds.truth.abnormal_items();
+    let mut target_share = 0.0;
+    let mut normal_share = 0.0;
+    let mut n = 0usize;
+    for &t in targets.iter().take(32) {
+        let t_total = ds.graph.item_total_clicks(t);
+        // Click-matched organic comparator.
+        let Some(normal) = (0..ds.organic_items() as u32)
+            .map(ItemId)
+            .filter(|&v| ds.graph.item_degree(v) > 0 && !targets.contains(&v))
+            .min_by_key(|&v| ds.graph.item_total_clicks(v).abs_diff(t_total))
+        else {
+            continue;
+        };
+        target_share += screen.suspicious_clicker_share(&ds.graph, t);
+        normal_share += screen.suspicious_clicker_share(&ds.graph, normal);
+        n += 1;
+    }
+    let n = n.max(1) as f64;
+    Section4Report {
+        user_fraction: screen.user_fraction,
+        item_fraction: screen.item_fraction,
+        target_clicker_share: target_share / n,
+        normal_clicker_share: normal_share / n,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8 / Table VI
+// ---------------------------------------------------------------------------
+
+/// One method's quality and timing in a comparison run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MethodOutcome {
+    /// Which method.
+    pub method: Method,
+    /// Paper label.
+    pub name: String,
+    /// Eq 5/6 scores.
+    pub eval: Evaluation,
+    /// Detection-phase time in milliseconds.
+    pub detect_ms: f64,
+    /// Screening (UI) time in milliseconds.
+    pub screen_ms: f64,
+    /// End-to-end time in milliseconds.
+    pub total_ms: f64,
+}
+
+fn run_method(
+    method: Method,
+    g: &BipartiteGraph,
+    truth: &GroundTruth,
+    cfg: &MethodConfig,
+) -> MethodOutcome {
+    let result = cfg.run(method, g);
+    let eval = evaluate(&result, truth);
+    let ms = |phase: &str| {
+        result
+            .timings
+            .get(phase)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    };
+    let detect_ms = ms("detect") + ms("naive");
+    let screen_ms = ms("screen");
+    MethodOutcome {
+        method,
+        name: method.name().to_string(),
+        eval,
+        detect_ms,
+        screen_ms,
+        total_ms: result.timings.total().as_secs_f64() * 1e3,
+    }
+}
+
+/// Fig 8a+8b: runs the full lineup and reports quality and time per method.
+pub fn fig8(g: &BipartiteGraph, truth: &GroundTruth, cfg: &MethodConfig) -> Vec<MethodOutcome> {
+    Method::fig8_lineup()
+        .iter()
+        .map(|&m| run_method(m, g, truth, cfg))
+        .collect()
+}
+
+/// Table VI: the screening ablation.
+pub fn table6(g: &BipartiteGraph, truth: &GroundTruth, cfg: &MethodConfig) -> Vec<MethodOutcome> {
+    Method::table6_lineup()
+        .iter()
+        .map(|&m| run_method(m, g, truth, cfg))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9 — sensitivity
+// ---------------------------------------------------------------------------
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The parameter value.
+    pub value: f64,
+    /// Quality at that value.
+    pub eval: Evaluation,
+}
+
+/// All five sweeps of Fig 9 (paper values).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// Fig 9a: `k₁ ∈ {5, 10, 15, 20}`.
+    pub k1: Vec<SweepPoint>,
+    /// Fig 9b: `k₂ ∈ {5, 10, 15, 20}`.
+    pub k2: Vec<SweepPoint>,
+    /// Fig 9c: `α ∈ {0.7, 0.8, 0.9, 1.0}`.
+    pub alpha: Vec<SweepPoint>,
+    /// Fig 9d: `T_click ∈ {10, 12, 14, 16}`.
+    pub t_click: Vec<SweepPoint>,
+    /// Fig 9e: `T_hot ∈ {1000, 2000, 3000, 4000}`.
+    pub t_hot: Vec<SweepPoint>,
+}
+
+/// Runs the Fig 9 sweeps with RICD around `base` parameters.
+pub fn fig9(g: &BipartiteGraph, truth: &GroundTruth, cfg: &MethodConfig) -> SensitivityReport {
+    let base = cfg.ricd;
+    let run = |params: RicdParams| -> Evaluation {
+        let c = MethodConfig {
+            ricd: params,
+            ..cfg.clone()
+        };
+        evaluate(&c.run(Method::Ricd, g), truth)
+    };
+
+    let k1 = [5usize, 10, 15, 20]
+        .iter()
+        .map(|&v| SweepPoint {
+            value: v as f64,
+            eval: run(RicdParams { k1: v, ..base }),
+        })
+        .collect();
+    let k2 = [5usize, 10, 15, 20]
+        .iter()
+        .map(|&v| SweepPoint {
+            value: v as f64,
+            eval: run(RicdParams { k2: v, ..base }),
+        })
+        .collect();
+    let alpha = [0.7f64, 0.8, 0.9, 1.0]
+        .iter()
+        .map(|&v| SweepPoint {
+            value: v,
+            eval: run(RicdParams { alpha: v, ..base }),
+        })
+        .collect();
+    let t_click = [10u32, 12, 14, 16]
+        .iter()
+        .map(|&v| SweepPoint {
+            value: v as f64,
+            eval: run(RicdParams { t_click: v, ..base }),
+        })
+        .collect();
+    let t_hot = [1_000u64, 2_000, 3_000, 4_000]
+        .iter()
+        .map(|&v| SweepPoint {
+            value: v as f64,
+            eval: run(RicdParams { t_hot: v, ..base }),
+        })
+        .collect();
+
+    SensitivityReport {
+        k1,
+        k2,
+        alpha,
+        t_click,
+        t_hot,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig 10 — case study
+// ---------------------------------------------------------------------------
+
+/// The Fig 10 experiment: the campaign timeline with the day RICD actually
+/// fires, and the (re-simulated) post-cleaning series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CaseStudyReport {
+    /// The uncleaned (counterfactual) series.
+    pub uncleaned: Vec<CampaignDay>,
+    /// First day a daily RICD job catches the group, if any.
+    pub detection_day: Option<usize>,
+    /// The final series with cleaning applied on `detection_day`.
+    pub cleaned: Vec<CampaignDay>,
+    /// Fraction of the planted workers caught on the detection day.
+    pub worker_recall_at_detection: f64,
+}
+
+/// Runs a daily RICD job over the campaign's cumulative snapshots; the
+/// detection day is the first day it recovers ≥ `recall_bar` of the planted
+/// workers. Then re-simulates with cleaning at that day for the final
+/// timeline.
+pub fn fig10(campaign: &CampaignConfig, cfg: &MethodConfig, recall_bar: f64) -> Result<CaseStudyReport, String> {
+    let mut no_cleaning = campaign.clone();
+    no_cleaning.cleaning_day = None;
+    let timeline = simulate_campaign(&no_cleaning)?;
+    let workers = timeline.truth.abnormal_users();
+
+    let mut detection_day = None;
+    let mut recall_at = 0.0;
+    for day in 1..=no_cleaning.num_days {
+        let g = timeline.cumulative_graph(day);
+        let result = cfg.run(Method::Ricd, &g);
+        let found = result.suspicious_users();
+        let hits = found
+            .iter()
+            .filter(|u| workers.binary_search(u).is_ok())
+            .count();
+        let recall = hits as f64 / workers.len().max(1) as f64;
+        if recall >= recall_bar {
+            detection_day = Some(day);
+            recall_at = recall;
+            break;
+        }
+    }
+
+    let cleaned = if let Some(day) = detection_day {
+        let mut with_cleaning = campaign.clone();
+        with_cleaning.cleaning_day = Some(day);
+        simulate_campaign(&with_cleaning)?.days
+    } else {
+        timeline.days.clone()
+    };
+
+    Ok(CaseStudyReport {
+        uncleaned: timeline.days,
+        detection_day,
+        cleaned,
+        worker_recall_at_detection: recall_at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_datagen::prelude::*;
+    use std::time::Duration;
+
+    fn dataset() -> SyntheticDataset {
+        generate(&DatasetConfig::small(), &AttackConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn dataset_report_is_consistent() {
+        let ds = dataset();
+        let r = dataset_report(&ds.graph);
+        assert_eq!(r.scale.users, ds.graph.num_users());
+        assert!(r.pareto_top20_share > 0.5);
+        assert!(r.t_hot_pareto > 0);
+        assert!(r.t_click_derived >= 2);
+        let total: u64 = r.item_distribution.count.iter().sum::<u64>() + r.item_distribution.zeros;
+        assert_eq!(total as usize, ds.graph.num_items());
+    }
+
+    #[test]
+    fn tables3_4_show_the_signature() {
+        let ds = dataset();
+        let (suspect, normal) = tables3_4(&ds, 1_000);
+        assert!(!suspect.is_empty() && !normal.is_empty());
+        // The worker's heaviest ordinary click exceeds anything reasonable
+        // for the normal user's ordinary items.
+        let max_ord_suspect = suspect
+            .iter()
+            .filter(|r| r.hot == 0)
+            .map(|r| r.click)
+            .max()
+            .unwrap_or(0);
+        assert!(max_ord_suspect >= 12, "worker hammers ordinary targets");
+        // Rows sorted by item popularity.
+        for w in suspect.windows(2) {
+            assert!(w[0].total_click >= w[1].total_click);
+        }
+    }
+
+    #[test]
+    fn table5_shows_concentration() {
+        let ds = dataset();
+        let (sus, normal) = table5(&ds).expect("has a target");
+        // Totals are click-matched; the suspicious item concentrates its
+        // clicks on fewer users.
+        assert!(sus.mean > normal.mean, "sus {sus:?} vs normal {normal:?}");
+        assert!(sus.max >= 12);
+    }
+
+    #[test]
+    fn section4_rough_screen_contrast() {
+        let ds = dataset();
+        let r = section4_analysis(&ds, 1_000, 12);
+        assert!(r.user_fraction > 0.0 && r.user_fraction < 0.5);
+        assert!(r.item_fraction > 0.0 && r.item_fraction < 0.5);
+        // The paper's 1.98% vs 0.49% contrast: suspicious clickers appear
+        // far more often on targets than on click-matched normal items.
+        assert!(
+            r.target_clicker_share > 2.0 * r.normal_clicker_share,
+            "target {:.3} vs normal {:.3}",
+            r.target_clicker_share,
+            r.normal_clicker_share
+        );
+    }
+
+    #[test]
+    fn fig8_runs_the_lineup() {
+        let ds = generate(&DatasetConfig::tiny(), &AttackConfig { num_groups: 2, ..AttackConfig::default() }).unwrap();
+        let cfg = MethodConfig {
+            copycatch_budget: Duration::from_millis(500),
+            ..MethodConfig::default()
+        };
+        let outcomes = fig8(&ds.graph, &ds.truth, &cfg);
+        assert_eq!(outcomes.len(), 7);
+        let ricd = outcomes.iter().find(|o| o.method == Method::Ricd).unwrap();
+        assert!(ricd.eval.f1 > 0.0, "RICD finds something");
+        assert!(ricd.total_ms > 0.0);
+    }
+
+    #[test]
+    fn table6_ablation_shape() {
+        let ds = dataset();
+        let cfg = MethodConfig::default();
+        let rows = table6(&ds.graph, &ds.truth, &cfg);
+        assert_eq!(rows.len(), 3);
+        // Paper's Table VI shape: precision rises monotonically toward full
+        // RICD; recall does not increase.
+        assert!(rows[0].eval.precision <= rows[1].eval.precision + 1e-9);
+        assert!(rows[1].eval.precision <= rows[2].eval.precision + 1e-9);
+        assert!(rows[0].eval.recall + 1e-9 >= rows[2].eval.recall);
+    }
+
+    #[test]
+    fn fig10_detects_and_cleans() {
+        let campaign = CampaignConfig {
+            dataset: DatasetConfig::tiny(),
+            ..CampaignConfig::default()
+        };
+        let cfg = MethodConfig::default();
+        let report = fig10(&campaign, &cfg, 0.5).unwrap();
+        let day = report.detection_day.expect("the campaign attack is caught");
+        assert!(day >= campaign.attack_start_day);
+        assert!(report.worker_recall_at_detection >= 0.5);
+        // After cleaning, fake traffic is zero.
+        for d in &report.cleaned {
+            if d.day > day {
+                assert_eq!(d.fake_clicks, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # ricd-eval — the evaluation harness
+//!
+//! One module per concern:
+//!
+//! * [`metrics`] — precision / recall / F1 exactly as the paper defines them
+//!   (Eq 5–6): node-level, counting users *and* items, against the known
+//!   abnormal set.
+//! * [`methods`] — a uniform registry of every detector in the comparison
+//!   (RICD and its ablations, the five baselines, the naive algorithm), so
+//!   the figure runners and benches iterate over methods generically.
+//! * [`figures`] — one runner per paper table/figure; each returns a
+//!   serializable report struct that the benches and examples print.
+//! * [`report`] — text-table and JSON rendering of those reports.
+
+pub mod figures;
+pub mod methods;
+pub mod metrics;
+pub mod report;
+
+pub use methods::{Method, MethodConfig};
+pub use metrics::{evaluate, Evaluation};
+
+/// Commonly used evaluation types.
+pub mod prelude {
+    pub use crate::figures;
+    pub use crate::methods::{Method, MethodConfig};
+    pub use crate::metrics::{evaluate, Evaluation};
+    pub use crate::report;
+}

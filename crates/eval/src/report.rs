@@ -1,0 +1,154 @@
+//! Rendering experiment reports as aligned text tables and JSON.
+
+use crate::figures::{MethodOutcome, SensitivityReport, SweepPoint};
+use serde::Serialize;
+
+/// Renders rows as an aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats Fig 8a-style method outcomes (quality).
+pub fn format_quality(outcomes: &[MethodOutcome]) -> String {
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.name.clone(),
+                format!("{:.3}", o.eval.precision),
+                format!("{:.3}", o.eval.recall),
+                format!("{:.3}", o.eval.f1),
+                format!("{}", o.eval.true_positives),
+                format!("{}", o.eval.num_output),
+            ]
+        })
+        .collect();
+    format_table(
+        &["method", "precision", "recall", "F1", "TP", "output"],
+        &rows,
+    )
+}
+
+/// Formats Fig 8b-style method outcomes (elapsed time).
+pub fn format_timing(outcomes: &[MethodOutcome]) -> String {
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.name.clone(),
+                format!("{:.1}", o.detect_ms),
+                format!("{:.1}", o.screen_ms),
+                format!("{:.1}", o.total_ms),
+            ]
+        })
+        .collect();
+    format_table(&["method", "detect ms", "UI ms", "total ms"], &rows)
+}
+
+fn format_sweep(name: &str, points: &[SweepPoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                name.to_string(),
+                format!("{}", p.value),
+                format!("{:.3}", p.eval.precision),
+                format!("{:.3}", p.eval.recall),
+                format!("{:.3}", p.eval.f1),
+            ]
+        })
+        .collect()
+}
+
+/// Formats the Fig 9 sensitivity report.
+pub fn format_sensitivity(r: &SensitivityReport) -> String {
+    let mut rows = Vec::new();
+    rows.extend(format_sweep("k1", &r.k1));
+    rows.extend(format_sweep("k2", &r.k2));
+    rows.extend(format_sweep("alpha", &r.alpha));
+    rows.extend(format_sweep("T_click", &r.t_click));
+    rows.extend(format_sweep("T_hot", &r.t_hot));
+    format_table(&["param", "value", "precision", "recall", "F1"], &rows)
+}
+
+/// Serializes any report to pretty JSON (for EXPERIMENTS.md artifacts).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("reports always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Evaluation;
+    use crate::Method;
+
+    #[test]
+    fn table_alignment() {
+        let s = format_table(
+            &["a", "long_header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[2].ends_with('2'));
+    }
+
+    #[test]
+    fn quality_table_has_all_methods() {
+        let outcomes = vec![MethodOutcome {
+            method: Method::Ricd,
+            name: "RICD".into(),
+            eval: Evaluation {
+                precision: 0.8,
+                recall: 0.5,
+                f1: 0.62,
+                true_positives: 10,
+                num_output: 12,
+                num_known: 20,
+            },
+            detect_ms: 1.0,
+            screen_ms: 0.5,
+            total_ms: 1.5,
+        }];
+        let q = format_quality(&outcomes);
+        assert!(q.contains("RICD"));
+        assert!(q.contains("0.800"));
+        let t = format_timing(&outcomes);
+        assert!(t.contains("1.0"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let e = Evaluation::default();
+        let s = to_json(&e);
+        let back: Evaluation = serde_json::from_str(&s).unwrap();
+        assert_eq!(e, back);
+    }
+}

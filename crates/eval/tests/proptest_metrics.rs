@@ -1,0 +1,108 @@
+//! Property tests of the Eq 5/6 metrics: bounds, symmetry identities, and
+//! behavior under output perturbations.
+
+use proptest::prelude::*;
+use ricd_core::result::{DetectionResult, SuspiciousGroup};
+use ricd_datagen::truth::{GroundTruth, InjectedGroup};
+use ricd_eval::evaluate;
+use ricd_graph::{ItemId, UserId};
+
+fn truths() -> impl Strategy<Value = GroundTruth> {
+    proptest::collection::vec(
+        (
+            proptest::collection::btree_set(0u32..50, 1..10),
+            proptest::collection::btree_set(0u32..50, 1..10),
+        ),
+        0..4,
+    )
+    .prop_map(|groups| GroundTruth {
+        groups: groups
+            .into_iter()
+            .map(|(users, items)| InjectedGroup {
+                workers: users.into_iter().map(UserId).collect(),
+                targets: items.into_iter().map(ItemId).collect(),
+                ridden_hot_items: vec![],
+            })
+            .collect(),
+    })
+}
+
+fn results() -> impl Strategy<Value = DetectionResult> {
+    proptest::collection::vec(
+        (
+            proptest::collection::btree_set(0u32..50, 0..10),
+            proptest::collection::btree_set(0u32..50, 0..10),
+        ),
+        0..4,
+    )
+    .prop_map(|groups| DetectionResult {
+        groups: groups
+            .into_iter()
+            .map(|(users, items)| SuspiciousGroup {
+                users: users.into_iter().map(UserId).collect(),
+                items: items.into_iter().map(ItemId).collect(),
+                ridden_hot_items: vec![],
+            })
+            .collect(),
+        ..DetectionResult::default()
+    })
+}
+
+proptest! {
+    /// All metrics stay in [0, 1] and are never NaN.
+    #[test]
+    fn metrics_bounded(r in results(), t in truths()) {
+        let e = evaluate(&r, &t);
+        for x in [e.precision, e.recall, e.f1] {
+            prop_assert!((0.0..=1.0).contains(&x) && !x.is_nan());
+        }
+        prop_assert!(e.true_positives <= e.num_output);
+        prop_assert!(e.true_positives <= e.num_known);
+    }
+
+    /// Outputting the truth exactly scores perfect.
+    #[test]
+    fn exact_truth_is_perfect(t in truths()) {
+        prop_assume!(t.num_abnormal() > 0);
+        let r = DetectionResult {
+            groups: t.groups.iter().map(|g| SuspiciousGroup {
+                users: g.workers.clone(),
+                items: g.targets.clone(),
+                ridden_hot_items: vec![],
+            }).collect(),
+            ..DetectionResult::default()
+        };
+        let e = evaluate(&r, &t);
+        prop_assert!((e.precision - 1.0).abs() < 1e-12);
+        prop_assert!((e.recall - 1.0).abs() < 1e-12);
+        prop_assert!((e.f1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Adding pure false positives can only lower precision and never
+    /// changes recall.
+    #[test]
+    fn false_positives_hurt_precision_only(r in results(), t in truths()) {
+        let base = evaluate(&r, &t);
+        let mut padded = r.clone();
+        // Node ids ≥ 1000 are guaranteed outside every truth set.
+        padded.groups.push(SuspiciousGroup {
+            users: (1000..1010).map(UserId).collect(),
+            items: (1000..1005).map(ItemId).collect(),
+            ridden_hot_items: vec![],
+        });
+        let e = evaluate(&padded, &t);
+        prop_assert!(e.precision <= base.precision + 1e-12);
+        prop_assert!((e.recall - base.recall).abs() < 1e-12);
+        prop_assert_eq!(e.true_positives, base.true_positives);
+    }
+
+    /// The F1 is always between min and max of precision/recall.
+    #[test]
+    fn f1_between_components(r in results(), t in truths()) {
+        let e = evaluate(&r, &t);
+        let lo = e.precision.min(e.recall);
+        let hi = e.precision.max(e.recall);
+        prop_assert!(e.f1 >= lo - 1e-12 || e.f1 == 0.0);
+        prop_assert!(e.f1 <= hi + 1e-12);
+    }
+}

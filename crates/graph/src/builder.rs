@@ -1,0 +1,231 @@
+//! Constructing [`BipartiteGraph`]s from click records.
+
+use crate::graph::BipartiteGraph;
+use crate::ids::{ItemId, UserId};
+
+/// Accumulates `(user, item, clicks)` records and builds a CSR
+/// [`BipartiteGraph`].
+///
+/// Duplicate `(user, item)` records are merged by **summing** their click
+/// counts, matching how the paper's click table aggregates raw click events
+/// into one row per user–item pair.
+///
+/// The builder automatically grows the vertex ranges to cover the largest id
+/// seen; `reserve_users` / `reserve_items` can declare isolated trailing
+/// vertices (users or items with no clicks), which the synthetic data
+/// generator needs so that scale numbers (Table I) include inactive nodes.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    records: Vec<(UserId, ItemId, u32)>,
+    min_users: usize,
+    min_items: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `edges` records.
+    pub fn with_capacity(edges: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(edges),
+            min_users: 0,
+            min_items: 0,
+        }
+    }
+
+    /// Ensures the built graph has at least `n` user vertices.
+    pub fn reserve_users(&mut self, n: usize) -> &mut Self {
+        self.min_users = self.min_users.max(n);
+        self
+    }
+
+    /// Ensures the built graph has at least `n` item vertices.
+    pub fn reserve_items(&mut self, n: usize) -> &mut Self {
+        self.min_items = self.min_items.max(n);
+        self
+    }
+
+    /// Records that `u` clicked `v` `clicks` times.
+    ///
+    /// Zero-click records are ignored (they would not appear in a click
+    /// table). Repeated calls for the same pair accumulate.
+    pub fn add_click(&mut self, u: UserId, v: ItemId, clicks: u32) -> &mut Self {
+        if clicks > 0 {
+            self.records.push((u, v, clicks));
+        }
+        self
+    }
+
+    /// Bulk-adds records.
+    pub fn extend<I: IntoIterator<Item = (UserId, ItemId, u32)>>(&mut self, iter: I) -> &mut Self {
+        for (u, v, c) in iter {
+            self.add_click(u, v, c);
+        }
+        self
+    }
+
+    /// Number of raw (pre-merge) records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records were added.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Builds the CSR graph, merging duplicate pairs by summing clicks.
+    pub fn build(mut self) -> BipartiteGraph {
+        // Sort by (user, item) and merge duplicates in place.
+        self.records.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut merged: Vec<(UserId, ItemId, u32)> = Vec::with_capacity(self.records.len());
+        for (u, v, c) in self.records {
+            match merged.last_mut() {
+                Some((lu, lv, lc)) if *lu == u && *lv == v => *lc = lc.saturating_add(c),
+                _ => merged.push((u, v, c)),
+            }
+        }
+
+        let num_users = merged
+            .iter()
+            .map(|&(u, _, _)| u.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_users);
+        let num_items = merged
+            .iter()
+            .map(|&(_, v, _)| v.index() + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_items);
+
+        // User side CSR (records are already sorted by user, then item).
+        let mut user_offsets = vec![0u64; num_users + 1];
+        for &(u, _, _) in &merged {
+            user_offsets[u.index() + 1] += 1;
+        }
+        for i in 1..user_offsets.len() {
+            user_offsets[i] += user_offsets[i - 1];
+        }
+        let user_adj: Vec<ItemId> = merged.iter().map(|&(_, v, _)| v).collect();
+        let user_clicks: Vec<u32> = merged.iter().map(|&(_, _, c)| c).collect();
+
+        // Item side CSR via counting sort on item id.
+        let mut item_offsets = vec![0u64; num_items + 1];
+        for &(_, v, _) in &merged {
+            item_offsets[v.index() + 1] += 1;
+        }
+        for i in 1..item_offsets.len() {
+            item_offsets[i] += item_offsets[i - 1];
+        }
+        let mut cursor: Vec<u64> = item_offsets[..num_items].to_vec();
+        let mut item_adj = vec![UserId(0); merged.len()];
+        let mut item_clicks = vec![0u32; merged.len()];
+        // Iterating merged in (user, item) order fills each item's slice in
+        // increasing user order, so item adjacency comes out sorted.
+        for &(u, v, c) in &merged {
+            let pos = cursor[v.index()] as usize;
+            item_adj[pos] = u;
+            item_clicks[pos] = c;
+            cursor[v.index()] += 1;
+        }
+
+        let total_clicks = merged.iter().map(|&(_, _, c)| c as u64).sum();
+
+        BipartiteGraph {
+            user_offsets,
+            user_adj,
+            user_clicks,
+            item_offsets,
+            item_adj,
+            item_clicks,
+            total_clicks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_users(), 0);
+        assert_eq!(g.num_items(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.total_clicks(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 2);
+        b.add_click(UserId(0), ItemId(0), 3);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.clicks(UserId(0), ItemId(0)), Some(5));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_clicks_ignored() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn reserved_vertices_are_isolated() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 1);
+        b.reserve_users(10).reserve_items(5);
+        let g = b.build();
+        assert_eq!(g.num_users(), 10);
+        assert_eq!(g.num_items(), 5);
+        assert_eq!(g.user_degree(UserId(9)), 0);
+        assert_eq!(g.item_degree(ItemId(4)), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn unsorted_input_yields_sorted_adjacency() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(1), ItemId(3), 1);
+        b.add_click(UserId(0), ItemId(2), 1);
+        b.add_click(UserId(0), ItemId(1), 1);
+        b.add_click(UserId(1), ItemId(0), 1);
+        let g = b.build();
+        assert_eq!(g.user_adjacency(UserId(0)), &[ItemId(1), ItemId(2)]);
+        assert_eq!(g.user_adjacency(UserId(1)), &[ItemId(0), ItemId(3)]);
+        assert_eq!(g.item_adjacency(ItemId(0)), &[UserId(1)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn saturating_merge_does_not_overflow() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), u32::MAX);
+        b.add_click(UserId(0), ItemId(0), 10);
+        let g = b.build();
+        assert_eq!(g.clicks(UserId(0), ItemId(0)), Some(u32::MAX));
+    }
+
+    #[test]
+    fn extend_matches_individual_adds() {
+        let mut a = GraphBuilder::new();
+        a.extend([(UserId(0), ItemId(0), 1), (UserId(1), ItemId(1), 2)]);
+        let ga = a.build();
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 1);
+        b.add_click(UserId(1), ItemId(1), 2);
+        let gb = b.build();
+        assert_eq!(ga.num_edges(), gb.num_edges());
+        assert_eq!(ga.total_clicks(), gb.total_clicks());
+    }
+}

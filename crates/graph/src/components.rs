@@ -1,0 +1,182 @@
+//! Connected components over a [`GraphView`].
+//!
+//! After Algorithm 3's pruning converges, the surviving subgraph decomposes
+//! into connected components; each component is reported as one suspicious
+//! attack group `gᵢ` (Section III-B's `g = {g₁, …, gₙ}`).
+
+use crate::ids::{ItemId, UserId};
+use crate::view::GraphView;
+
+/// One connected component of a bipartite (sub)graph: a candidate attack
+/// group before screening.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// Users in the component, sorted.
+    pub users: Vec<UserId>,
+    /// Items in the component, sorted.
+    pub items: Vec<ItemId>,
+}
+
+impl Component {
+    /// Total vertex count.
+    pub fn len(&self) -> usize {
+        self.users.len() + self.items.len()
+    }
+
+    /// True if the component has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty() && self.items.is_empty()
+    }
+}
+
+/// Finds all connected components among alive vertices with at least one
+/// edge-incident vertex (isolated alive vertices form singleton components).
+///
+/// BFS over the view; `O(V + E)` in alive vertices/edges.
+pub fn connected_components(view: &GraphView<'_>) -> Vec<Component> {
+    let g = view.graph();
+    let mut user_seen = vec![false; g.num_users()];
+    let mut item_seen = vec![false; g.num_items()];
+    let mut components = Vec::new();
+    let mut queue: Vec<NodeRef> = Vec::new();
+
+    for start in view.users() {
+        if user_seen[start.index()] {
+            continue;
+        }
+        let mut comp = Component {
+            users: Vec::new(),
+            items: Vec::new(),
+        };
+        user_seen[start.index()] = true;
+        queue.push(NodeRef::User(start));
+        while let Some(node) = queue.pop() {
+            match node {
+                NodeRef::User(u) => {
+                    comp.users.push(u);
+                    for (v, _) in view.user_neighbors(u) {
+                        if !item_seen[v.index()] {
+                            item_seen[v.index()] = true;
+                            queue.push(NodeRef::Item(v));
+                        }
+                    }
+                }
+                NodeRef::Item(v) => {
+                    comp.items.push(v);
+                    for (u, _) in view.item_neighbors(v) {
+                        if !user_seen[u.index()] {
+                            user_seen[u.index()] = true;
+                            queue.push(NodeRef::User(u));
+                        }
+                    }
+                }
+            }
+        }
+        comp.users.sort_unstable();
+        comp.items.sort_unstable();
+        components.push(comp);
+    }
+
+    // Items never reached from a user (isolated alive items).
+    for v in view.items() {
+        if !item_seen[v.index()] {
+            components.push(Component {
+                users: Vec::new(),
+                items: vec![v],
+            });
+        }
+    }
+    components
+}
+
+#[derive(Clone, Copy)]
+enum NodeRef {
+    User(UserId),
+    Item(ItemId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_disjoint_bicliques_split() {
+        let mut b = GraphBuilder::new();
+        for u in 0..2 {
+            for v in 0..2 {
+                b.add_click(UserId(u), ItemId(v), 1);
+            }
+        }
+        for u in 2..4 {
+            for v in 2..4 {
+                b.add_click(UserId(u), ItemId(v), 1);
+            }
+        }
+        let g = b.build();
+        let view = GraphView::full(&g);
+        let mut comps = connected_components(&view);
+        comps.sort_by_key(|c| c.users.first().copied());
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].users, vec![UserId(0), UserId(1)]);
+        assert_eq!(comps[0].items, vec![ItemId(0), ItemId(1)]);
+        assert_eq!(comps[1].users, vec![UserId(2), UserId(3)]);
+        assert_eq!(comps[1].items, vec![ItemId(2), ItemId(3)]);
+    }
+
+    #[test]
+    fn removal_splits_component() {
+        // Path u0 - i0 - u1 - i1 - u2 ; removing u1 yields two components
+        // plus a singleton for u1? No: u1 removed entirely, so components are
+        // {u0,i0} and {u2,i1}.
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 1);
+        b.add_click(UserId(1), ItemId(0), 1);
+        b.add_click(UserId(1), ItemId(1), 1);
+        b.add_click(UserId(2), ItemId(1), 1);
+        let g = b.build();
+        let mut view = GraphView::full(&g);
+        assert_eq!(connected_components(&view).len(), 1);
+        view.remove_user(UserId(1));
+        let comps = connected_components(&view);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.users.len() == 1 && c.items.len() == 1));
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 1);
+        b.reserve_users(2).reserve_items(2);
+        let g = b.build();
+        let view = GraphView::full(&g);
+        let comps = connected_components(&view);
+        // {u0, i0}, {u1}, {i1}
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&2));
+        assert_eq!(sizes.iter().filter(|&&s| s == 1).count(), 2);
+    }
+
+    #[test]
+    fn empty_view_no_components() {
+        let g = GraphBuilder::new().build();
+        let view = GraphView::full(&g);
+        assert!(connected_components(&view).is_empty());
+    }
+
+    #[test]
+    fn component_len_and_empty() {
+        let c = Component {
+            users: vec![UserId(0)],
+            items: vec![],
+        };
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        let e = Component {
+            users: vec![],
+            items: vec![],
+        };
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! The immutable CSR bipartite graph.
+
+use crate::ids::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A weighted user–item bipartite click graph in compressed sparse row form.
+///
+/// Both directions are materialized: `user → (item, clicks)` and
+/// `item → (user, clicks)`. Neighbor lists are sorted by neighbor id, which
+/// gives `O(log deg)` edge lookup and allows merge-based set intersection in
+/// [`crate::twohop`].
+///
+/// The struct corresponds to the paper's `TaoBao_UI_Clicks` table loaded into
+/// Grape: one record `(u, v, p)` means user `u` clicked item `v` exactly `p`
+/// times (`p ≥ 1`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    // user → items
+    pub(crate) user_offsets: Vec<u64>,
+    pub(crate) user_adj: Vec<ItemId>,
+    pub(crate) user_clicks: Vec<u32>,
+    // item → users
+    pub(crate) item_offsets: Vec<u64>,
+    pub(crate) item_adj: Vec<UserId>,
+    pub(crate) item_clicks: Vec<u32>,
+    /// Sum of all click counts (the paper's `Total_click`).
+    pub(crate) total_clicks: u64,
+}
+
+impl BipartiteGraph {
+    /// Number of user vertices (including isolated ones).
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.user_offsets.len() - 1
+    }
+
+    /// Number of item vertices (including isolated ones).
+    #[inline]
+    pub fn num_items(&self) -> usize {
+        self.item_offsets.len() - 1
+    }
+
+    /// Number of distinct `(user, item)` click records (the paper's `Edge`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.user_adj.len()
+    }
+
+    /// Sum of all click counts (the paper's `Total_click`).
+    #[inline]
+    pub fn total_clicks(&self) -> u64 {
+        self.total_clicks
+    }
+
+    /// Iterator over all user ids.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        (0..self.num_users() as u32).map(UserId)
+    }
+
+    /// Iterator over all item ids.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        (0..self.num_items() as u32).map(ItemId)
+    }
+
+    #[inline]
+    fn user_range(&self, u: UserId) -> std::ops::Range<usize> {
+        let lo = self.user_offsets[u.index()] as usize;
+        let hi = self.user_offsets[u.index() + 1] as usize;
+        lo..hi
+    }
+
+    #[inline]
+    fn item_range(&self, v: ItemId) -> std::ops::Range<usize> {
+        let lo = self.item_offsets[v.index()] as usize;
+        let hi = self.item_offsets[v.index() + 1] as usize;
+        lo..hi
+    }
+
+    /// Number of distinct items this user clicked.
+    #[inline]
+    pub fn user_degree(&self, u: UserId) -> usize {
+        self.user_range(u).len()
+    }
+
+    /// Number of distinct users who clicked this item.
+    #[inline]
+    pub fn item_degree(&self, v: ItemId) -> usize {
+        self.item_range(v).len()
+    }
+
+    /// Items clicked by `u`, with click counts, sorted by item id.
+    #[inline]
+    pub fn user_neighbors(&self, u: UserId) -> impl Iterator<Item = (ItemId, u32)> + '_ {
+        let r = self.user_range(u);
+        self.user_adj[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.user_clicks[r].iter().copied())
+    }
+
+    /// Users who clicked `v`, with click counts, sorted by user id.
+    #[inline]
+    pub fn item_neighbors(&self, v: ItemId) -> impl Iterator<Item = (UserId, u32)> + '_ {
+        let r = self.item_range(v);
+        self.item_adj[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.item_clicks[r].iter().copied())
+    }
+
+    /// Sorted slice of the items clicked by `u` (no counts).
+    #[inline]
+    pub fn user_adjacency(&self, u: UserId) -> &[ItemId] {
+        &self.user_adj[self.user_range(u)]
+    }
+
+    /// Sorted slice of the users who clicked `v` (no counts).
+    #[inline]
+    pub fn item_adjacency(&self, v: ItemId) -> &[UserId] {
+        &self.item_adj[self.item_range(v)]
+    }
+
+    /// Click count on edge `(u, v)`, or `None` if the edge is absent.
+    pub fn clicks(&self, u: UserId, v: ItemId) -> Option<u32> {
+        let r = self.user_range(u);
+        let adj = &self.user_adj[r.clone()];
+        adj.binary_search(&v)
+            .ok()
+            .map(|pos| self.user_clicks[r.start + pos])
+    }
+
+    /// Total clicks issued by user `u` across all items (row sum).
+    pub fn user_total_clicks(&self, u: UserId) -> u64 {
+        let r = self.user_range(u);
+        self.user_clicks[r].iter().map(|&c| c as u64).sum()
+    }
+
+    /// Total clicks received by item `v` across all users (column sum).
+    ///
+    /// This is the paper's per-item `Total_click` used to classify items as
+    /// *hot* (`≥ T_hot`) or *ordinary*.
+    pub fn item_total_clicks(&self, v: ItemId) -> u64 {
+        let r = self.item_range(v);
+        self.item_clicks[r].iter().map(|&c| c as u64).sum()
+    }
+
+    /// Precomputes `item_total_clicks` for every item in one pass.
+    pub fn all_item_total_clicks(&self) -> Vec<u64> {
+        (0..self.num_items() as u32)
+            .map(|v| self.item_total_clicks(ItemId(v)))
+            .collect()
+    }
+
+    /// Precomputes `user_total_clicks` for every user in one pass.
+    pub fn all_user_total_clicks(&self) -> Vec<u64> {
+        (0..self.num_users() as u32)
+            .map(|u| self.user_total_clicks(UserId(u)))
+            .collect()
+    }
+
+    /// Checks the internal CSR invariants; used by tests and after
+    /// deserialization of untrusted input.
+    ///
+    /// Verified invariants:
+    /// 1. offsets are monotone and end at the adjacency length;
+    /// 2. adjacency ids are in range and strictly increasing per vertex;
+    /// 3. both directions contain the same edge multiset with equal weights;
+    /// 4. every click count is ≥ 1;
+    /// 5. `total_clicks` equals the sum of weights.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_side(&self.user_offsets, &self.user_adj, self.num_items(), "user")?;
+        validate_side(&self.item_offsets, &self.item_adj, self.num_users(), "item")?;
+        if self.user_adj.len() != self.item_adj.len() {
+            return Err(format!(
+                "edge count mismatch: {} user-side vs {} item-side",
+                self.user_adj.len(),
+                self.item_adj.len()
+            ));
+        }
+        if self.user_clicks.contains(&0) || self.item_clicks.contains(&0) {
+            return Err("zero click count on an edge".into());
+        }
+        let sum: u64 = self.user_clicks.iter().map(|&c| c as u64).sum();
+        if sum != self.total_clicks {
+            return Err(format!(
+                "total_clicks {} != sum of weights {}",
+                self.total_clicks, sum
+            ));
+        }
+        // Cross-check both directions edge by edge.
+        for u in self.users() {
+            for (v, c) in self.user_neighbors(u) {
+                match self.item_lookup(v, u) {
+                    Some(c2) if c2 == c => {}
+                    Some(c2) => {
+                        return Err(format!(
+                            "weight mismatch on ({u},{v}): {c} user-side vs {c2} item-side"
+                        ))
+                    }
+                    None => return Err(format!("edge ({u},{v}) missing item-side")),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn item_lookup(&self, v: ItemId, u: UserId) -> Option<u32> {
+        let r = self.item_range(v);
+        let adj = &self.item_adj[r.clone()];
+        adj.binary_search(&u)
+            .ok()
+            .map(|pos| self.item_clicks[r.start + pos])
+    }
+
+    /// All edges as `(user, item, clicks)` triples, ordered by user then item.
+    pub fn edges(&self) -> impl Iterator<Item = (UserId, ItemId, u32)> + '_ {
+        self.users()
+            .flat_map(move |u| self.user_neighbors(u).map(move |(v, c)| (u, v, c)))
+    }
+}
+
+fn validate_side<T: Copy + Into<NodeIndex>>(
+    offsets: &[u64],
+    adj: &[T],
+    other_side: usize,
+    side: &str,
+) -> Result<(), String> {
+    if offsets.is_empty() {
+        return Err(format!("{side} offsets empty"));
+    }
+    if offsets[0] != 0 || *offsets.last().unwrap() != adj.len() as u64 {
+        return Err(format!("{side} offsets do not span adjacency"));
+    }
+    for w in offsets.windows(2) {
+        if w[0] > w[1] {
+            return Err(format!("{side} offsets not monotone"));
+        }
+        let r = w[0] as usize..w[1] as usize;
+        let slice = &adj[r];
+        for pair in slice.windows(2) {
+            if pair[0].into().0 >= pair[1].into().0 {
+                return Err(format!("{side} adjacency not strictly increasing"));
+            }
+        }
+        if let Some(last) = slice.last() {
+            if (*last).into().0 as usize >= other_side {
+                return Err(format!("{side} adjacency id out of range"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Helper to validate either side generically.
+pub(crate) struct NodeIndex(pub u32);
+
+impl From<UserId> for NodeIndex {
+    fn from(u: UserId) -> Self {
+        NodeIndex(u.0)
+    }
+}
+
+impl From<ItemId> for NodeIndex {
+    fn from(v: ItemId) -> Self {
+        NodeIndex(v.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{GraphBuilder, ItemId, UserId};
+
+    fn sample() -> crate::BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        // u0: i0 x3, i1 x1 ; u1: i0 x2 ; u2: i2 x5
+        b.add_click(UserId(0), ItemId(0), 3);
+        b.add_click(UserId(0), ItemId(1), 1);
+        b.add_click(UserId(1), ItemId(0), 2);
+        b.add_click(UserId(2), ItemId(2), 5);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = sample();
+        assert_eq!(g.num_users(), 3);
+        assert_eq!(g.num_items(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.total_clicks(), 11);
+        assert_eq!(g.user_degree(UserId(0)), 2);
+        assert_eq!(g.item_degree(ItemId(0)), 2);
+        assert_eq!(g.user_total_clicks(UserId(0)), 4);
+        assert_eq!(g.item_total_clicks(ItemId(0)), 5);
+    }
+
+    #[test]
+    fn edge_lookup_both_present_and_absent() {
+        let g = sample();
+        assert_eq!(g.clicks(UserId(0), ItemId(0)), Some(3));
+        assert_eq!(g.clicks(UserId(0), ItemId(2)), None);
+        assert_eq!(g.clicks(UserId(2), ItemId(2)), Some(5));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_weighted() {
+        let g = sample();
+        let n: Vec<_> = g.user_neighbors(UserId(0)).collect();
+        assert_eq!(n, vec![(ItemId(0), 3), (ItemId(1), 1)]);
+        let n: Vec<_> = g.item_neighbors(ItemId(0)).collect();
+        assert_eq!(n, vec![(UserId(0), 3), (UserId(1), 2)]);
+    }
+
+    #[test]
+    fn validate_passes_on_well_formed() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = sample();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e.len(), 4);
+        assert!(e.contains(&(UserId(1), ItemId(0), 2)));
+    }
+
+    #[test]
+    fn per_vertex_totals_match_bulk() {
+        let g = sample();
+        assert_eq!(
+            g.all_item_total_clicks(),
+            vec![5, 1, 5],
+            "item totals: i0=3+2, i1=1, i2=5"
+        );
+        assert_eq!(g.all_user_total_clicks(), vec![4, 2, 5]);
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_weight() {
+        let mut g = sample();
+        g.user_clicks[0] = 99;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_weight() {
+        let mut g = sample();
+        g.user_clicks[0] = 0;
+        g.total_clicks -= 3;
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Typed vertex identifiers.
+//!
+//! Users and items live on the two sides of the bipartite graph, and mixing
+//! them up is the classic bug in bipartite algorithms (the paper's
+//! `SquarePruning` runs one pass per side with swapped parameters `k₁`/`k₂`).
+//! Newtypes make that mix-up a compile error.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user vertex (left side of the bipartite graph).
+///
+/// Dense indices in `0..num_users`; the mapping back to external account ids
+/// is kept by [`crate::builder::GraphBuilder`] users if they need one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifier of an item vertex (right side of the bipartite graph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ItemId(pub u32);
+
+/// A vertex on either side, for APIs (risk ranking, labelling) that must
+/// address the whole graph uniformly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A user vertex.
+    User(UserId),
+    /// An item vertex.
+    Item(ItemId),
+}
+
+impl UserId {
+    /// The dense index of this user.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ItemId {
+    /// The dense index of this item.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NodeId {
+    /// Returns the contained user id, if this is a user.
+    pub fn as_user(self) -> Option<UserId> {
+        match self {
+            NodeId::User(u) => Some(u),
+            NodeId::Item(_) => None,
+        }
+    }
+
+    /// Returns the contained item id, if this is an item.
+    pub fn as_item(self) -> Option<ItemId> {
+        match self {
+            NodeId::Item(v) => Some(v),
+            NodeId::User(_) => None,
+        }
+    }
+
+    /// True if this node is on the user side.
+    pub fn is_user(self) -> bool {
+        matches!(self, NodeId::User(_))
+    }
+}
+
+impl From<UserId> for NodeId {
+    fn from(u: UserId) -> Self {
+        NodeId::User(u)
+    }
+}
+
+impl From<ItemId> for NodeId {
+    fn from(v: ItemId) -> Self {
+        NodeId::Item(v)
+    }
+}
+
+impl fmt::Debug for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Debug for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        let n: NodeId = UserId(7).into();
+        assert_eq!(n.as_user(), Some(UserId(7)));
+        assert_eq!(n.as_item(), None);
+        assert!(n.is_user());
+
+        let n: NodeId = ItemId(3).into();
+        assert_eq!(n.as_item(), Some(ItemId(3)));
+        assert_eq!(n.as_user(), None);
+        assert!(!n.is_user());
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(UserId(1) < UserId(2));
+        assert!(ItemId(0) < ItemId(10));
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(UserId(5).to_string(), "u5");
+        assert_eq!(ItemId(5).to_string(), "i5");
+        assert_eq!(format!("{:?}", UserId(5)), "u5");
+    }
+}

@@ -1,0 +1,271 @@
+//! Dataset-level statistics: the paper's Table I (scale), Table II
+//! (per-side click statistics) and Fig 2 (click distributions), plus the
+//! Pareto 80/20 hot-item boundary that Section IV derives `T_hot` from.
+
+use crate::graph::BipartiteGraph;
+use serde::{Deserialize, Serialize};
+
+/// Table I: dataset scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetScale {
+    /// Number of users (paper: 20M).
+    pub users: usize,
+    /// Number of items (paper: 4M).
+    pub items: usize,
+    /// Number of distinct click records (paper: 90M).
+    pub edges: usize,
+    /// Sum of all click counts (paper: 200M).
+    pub total_clicks: u64,
+}
+
+/// Table II row: per-side click statistics.
+///
+/// For the **user** side: `avg_clk` is the average total clicks issued per
+/// user (paper: 11.35), `avg_cnt` the average number of distinct items
+/// clicked (paper: 4.32), `stdev` the standard deviation of per-user total
+/// clicks (paper: 33.34). The **item** side is symmetric (54.94 / 20.49 /
+/// 992.78).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SideStats {
+    /// Average total clicks per vertex.
+    pub avg_clk: f64,
+    /// Average degree (distinct neighbors) per vertex.
+    pub avg_cnt: f64,
+    /// Population standard deviation of total clicks per vertex.
+    pub stdev: f64,
+}
+
+/// A log-binned histogram of per-vertex total clicks — the series plotted in
+/// Fig 2a (items) and Fig 2b (users).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClickDistribution {
+    /// Inclusive lower bound of each bin (powers of two: 1, 2, 4, ...).
+    pub bin_lower: Vec<u64>,
+    /// Number of vertices whose total clicks fall in the bin.
+    pub count: Vec<u64>,
+    /// Number of vertices with zero clicks (not plottable on a log axis).
+    pub zeros: u64,
+}
+
+/// Computes Table I for a graph.
+pub fn dataset_scale(g: &BipartiteGraph) -> DatasetScale {
+    DatasetScale {
+        users: g.num_users(),
+        items: g.num_items(),
+        edges: g.num_edges(),
+        total_clicks: g.total_clicks(),
+    }
+}
+
+/// Computes the Table II user row.
+pub fn user_stats(g: &BipartiteGraph) -> SideStats {
+    let totals = g.all_user_total_clicks();
+    let degrees: Vec<u64> = g.users().map(|u| g.user_degree(u) as u64).collect();
+    side_stats(&totals, &degrees)
+}
+
+/// Computes the Table II item row.
+pub fn item_stats(g: &BipartiteGraph) -> SideStats {
+    let totals = g.all_item_total_clicks();
+    let degrees: Vec<u64> = g.items().map(|v| g.item_degree(v) as u64).collect();
+    side_stats(&totals, &degrees)
+}
+
+fn side_stats(totals: &[u64], degrees: &[u64]) -> SideStats {
+    let n = totals.len().max(1) as f64;
+    let sum: f64 = totals.iter().map(|&t| t as f64).sum();
+    let avg_clk = sum / n;
+    let avg_cnt = degrees.iter().map(|&d| d as f64).sum::<f64>() / n;
+    let var = totals
+        .iter()
+        .map(|&t| {
+            let d = t as f64 - avg_clk;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    SideStats {
+        avg_clk,
+        avg_cnt,
+        stdev: var.sqrt(),
+    }
+}
+
+/// Log-bins per-vertex totals into the Fig 2 distribution series.
+pub fn click_distribution(totals: &[u64]) -> ClickDistribution {
+    let max = totals.iter().copied().max().unwrap_or(0);
+    let bins = if max == 0 {
+        0
+    } else {
+        (64 - max.leading_zeros()) as usize
+    };
+    let mut count = vec![0u64; bins];
+    let mut zeros = 0;
+    for &t in totals {
+        if t == 0 {
+            zeros += 1;
+        } else {
+            count[(63 - t.leading_zeros()) as usize] += 1;
+        }
+    }
+    ClickDistribution {
+        bin_lower: (0..bins).map(|b| 1u64 << b).collect(),
+        count,
+        zeros,
+    }
+}
+
+/// Fig 2a series: distribution of items' total clicks.
+pub fn item_click_distribution(g: &BipartiteGraph) -> ClickDistribution {
+    click_distribution(&g.all_item_total_clicks())
+}
+
+/// Fig 2b series: distribution of users' total clicks.
+pub fn user_click_distribution(g: &BipartiteGraph) -> ClickDistribution {
+    click_distribution(&g.all_user_total_clicks())
+}
+
+/// Derives the hot-item click threshold by the paper's Pareto rule
+/// (Section IV-A, step 1): rank items by total clicks descending and walk
+/// down until the cumulative share reaches `share` (paper: 0.8); the
+/// threshold is the total-click count of the **last item included**.
+///
+/// Returns `None` on an empty / all-zero graph. With the paper's data this
+/// yields `T_hot = 1,320`.
+pub fn pareto_hot_threshold(g: &BipartiteGraph, share: f64) -> Option<u64> {
+    let mut totals = g.all_item_total_clicks();
+    totals.retain(|&t| t > 0);
+    if totals.is_empty() {
+        return None;
+    }
+    totals.sort_unstable_by(|a, b| b.cmp(a));
+    let grand: u64 = totals.iter().sum();
+    let target = (grand as f64 * share).ceil() as u64;
+    let mut cum = 0u64;
+    for &t in &totals {
+        cum += t;
+        if cum >= target {
+            return Some(t);
+        }
+    }
+    totals.last().copied()
+}
+
+/// Fraction of total clicks captured by the top `frac` share of items —
+/// the "80/20" check used to calibrate the synthetic generator against the
+/// paper's heavy-tail claim.
+pub fn pareto_concentration(g: &BipartiteGraph, frac: f64) -> f64 {
+    let mut totals = g.all_item_total_clicks();
+    totals.sort_unstable_by(|a, b| b.cmp(a));
+    let grand: u64 = totals.iter().sum();
+    if grand == 0 {
+        return 0.0;
+    }
+    let k = ((totals.len() as f64) * frac).ceil() as usize;
+    let top: u64 = totals.iter().take(k).sum();
+    top as f64 / grand as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, ItemId, UserId};
+
+    fn skewed() -> BipartiteGraph {
+        // i0 is "hot" (100 clicks), i1..i4 get 5 clicks each.
+        let mut b = GraphBuilder::new();
+        for u in 0..10 {
+            b.add_click(UserId(u), ItemId(0), 10);
+        }
+        for (idx, v) in (1..5).enumerate() {
+            b.add_click(UserId(idx as u32), ItemId(v), 5);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn scale_matches_graph() {
+        let g = skewed();
+        let s = dataset_scale(&g);
+        assert_eq!(s.users, 10);
+        assert_eq!(s.items, 5);
+        assert_eq!(s.edges, 14);
+        assert_eq!(s.total_clicks, 120);
+    }
+
+    #[test]
+    fn side_stats_hand_check() {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 2);
+        b.add_click(UserId(0), ItemId(1), 4);
+        b.add_click(UserId(1), ItemId(0), 6);
+        let g = b.build();
+        let us = user_stats(&g);
+        // totals = [6, 6]; degrees = [2, 1]
+        assert!((us.avg_clk - 6.0).abs() < 1e-12);
+        assert!((us.avg_cnt - 1.5).abs() < 1e-12);
+        assert!(us.stdev.abs() < 1e-12);
+        let is = item_stats(&g);
+        // item totals = [8, 4]; degrees = [2, 1]
+        assert!((is.avg_clk - 6.0).abs() < 1e-12);
+        assert!((is.avg_cnt - 1.5).abs() < 1e-12);
+        assert!((is.stdev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_bins_are_powers_of_two() {
+        let d = click_distribution(&[0, 1, 2, 3, 4, 7, 8, 100]);
+        assert_eq!(d.zeros, 1);
+        assert_eq!(d.bin_lower[0], 1);
+        assert_eq!(d.count[0], 1); // 1
+        assert_eq!(d.count[1], 2); // 2, 3
+        assert_eq!(d.count[2], 2); // 4, 7
+        assert_eq!(d.count[3], 1); // 8
+        assert_eq!(d.bin_lower[6], 64);
+        assert_eq!(d.count[6], 1); // 100
+        assert_eq!(d.count.iter().sum::<u64>() + d.zeros, 8);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let d = click_distribution(&[]);
+        assert!(d.bin_lower.is_empty());
+        assert_eq!(d.zeros, 0);
+    }
+
+    #[test]
+    fn hot_threshold_pareto() {
+        let g = skewed();
+        // totals: [100, 5, 5, 5, 5]; grand = 120, 80% = 96 → cum reaches 96
+        // at the first item (100) → threshold = 100.
+        assert_eq!(pareto_hot_threshold(&g, 0.8), Some(100));
+        // 90% = 108 → need first two items → threshold = 5.
+        assert_eq!(pareto_hot_threshold(&g, 0.9), Some(5));
+    }
+
+    #[test]
+    fn hot_threshold_empty() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(pareto_hot_threshold(&g, 0.8), None);
+    }
+
+    #[test]
+    fn concentration_monotone() {
+        let g = skewed();
+        let c20 = pareto_concentration(&g, 0.2);
+        let c50 = pareto_concentration(&g, 0.5);
+        assert!(c20 <= c50);
+        assert!((pareto_concentration(&g, 1.0) - 1.0).abs() < 1e-12);
+        // top 20% of 5 items = 1 item = 100/120
+        assert!((c20 - 100.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig2_series_shapes() {
+        let g = skewed();
+        let di = item_click_distribution(&g);
+        let du = user_click_distribution(&g);
+        assert_eq!(di.count.iter().sum::<u64>() + di.zeros, 5);
+        assert_eq!(du.count.iter().sum::<u64>() + du.zeros, 10);
+    }
+}

@@ -1,0 +1,177 @@
+//! Induced subgraph extraction.
+//!
+//! Algorithm 2's `GraphGenerator` builds, from seed nodes supplied by the
+//! business department, the "maximal bigraph" around each seed (the union of
+//! the seeds' neighborhoods). Extracting that region as a standalone
+//! [`BipartiteGraph`] with remapped dense ids keeps downstream passes
+//! cache-friendly and lets groups be analyzed in isolation.
+
+use crate::builder::GraphBuilder;
+use crate::graph::BipartiteGraph;
+use crate::ids::{ItemId, UserId};
+
+/// A standalone subgraph plus the mapping back to the parent graph's ids.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The extracted graph with dense local ids.
+    pub graph: BipartiteGraph,
+    /// `local user id → parent user id`.
+    pub user_map: Vec<UserId>,
+    /// `local item id → parent item id`.
+    pub item_map: Vec<ItemId>,
+}
+
+impl InducedSubgraph {
+    /// Extracts the subgraph induced by the given parent-id vertex sets.
+    ///
+    /// Duplicate ids in the inputs are tolerated; edge weights carry over.
+    pub fn extract(
+        parent: &BipartiteGraph,
+        users: impl IntoIterator<Item = UserId>,
+        items: impl IntoIterator<Item = ItemId>,
+    ) -> Self {
+        let mut user_map: Vec<UserId> = users.into_iter().collect();
+        user_map.sort_unstable();
+        user_map.dedup();
+        let mut item_map: Vec<ItemId> = items.into_iter().collect();
+        item_map.sort_unstable();
+        item_map.dedup();
+
+        let mut item_local = vec![u32::MAX; parent.num_items()];
+        for (local, v) in item_map.iter().enumerate() {
+            item_local[v.index()] = local as u32;
+        }
+
+        let mut b = GraphBuilder::new();
+        b.reserve_users(user_map.len());
+        b.reserve_items(item_map.len());
+        for (local_u, &u) in user_map.iter().enumerate() {
+            for (v, c) in parent.user_neighbors(u) {
+                let lv = item_local[v.index()];
+                if lv != u32::MAX {
+                    b.add_click(UserId(local_u as u32), ItemId(lv), c);
+                }
+            }
+        }
+        Self {
+            graph: b.build(),
+            user_map,
+            item_map,
+        }
+    }
+
+    /// Maps a local user id back to the parent id.
+    pub fn parent_user(&self, local: UserId) -> UserId {
+        self.user_map[local.index()]
+    }
+
+    /// Maps a local item id back to the parent id.
+    pub fn parent_item(&self, local: ItemId) -> ItemId {
+        self.item_map[local.index()]
+    }
+
+    /// Looks up the local id of a parent user, if present.
+    pub fn local_user(&self, parent: UserId) -> Option<UserId> {
+        self.user_map
+            .binary_search(&parent)
+            .ok()
+            .map(|i| UserId(i as u32))
+    }
+
+    /// Looks up the local id of a parent item, if present.
+    pub fn local_item(&self, parent: ItemId) -> Option<ItemId> {
+        self.item_map
+            .binary_search(&parent)
+            .ok()
+            .map(|i| ItemId(i as u32))
+    }
+}
+
+/// Extracts the one-hop ball around seed vertices: all seed users/items plus
+/// every vertex adjacent to a seed — the `MaxBiGraph(node)` of Algorithm 2.
+pub fn seed_neighborhood(
+    parent: &BipartiteGraph,
+    seed_users: &[UserId],
+    seed_items: &[ItemId],
+) -> (Vec<UserId>, Vec<ItemId>) {
+    let mut users: Vec<UserId> = seed_users.to_vec();
+    let mut items: Vec<ItemId> = seed_items.to_vec();
+    for &u in seed_users {
+        items.extend(parent.user_adjacency(u).iter().copied());
+    }
+    for &v in seed_items {
+        users.extend(parent.item_adjacency(v).iter().copied());
+    }
+    users.sort_unstable();
+    users.dedup();
+    items.sort_unstable();
+    items.dedup();
+    (users, items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 3);
+        b.add_click(UserId(0), ItemId(5), 1);
+        b.add_click(UserId(4), ItemId(0), 2);
+        b.add_click(UserId(4), ItemId(9), 7);
+        b.add_click(UserId(7), ItemId(9), 1);
+        b.build()
+    }
+
+    #[test]
+    fn extraction_preserves_weights() {
+        let g = sample();
+        let sub = InducedSubgraph::extract(&g, [UserId(0), UserId(4)], [ItemId(0), ItemId(9)]);
+        assert_eq!(sub.graph.num_users(), 2);
+        assert_eq!(sub.graph.num_items(), 2);
+        assert_eq!(sub.graph.num_edges(), 3); // (0,0,3) (4,0,2) (4,9,7)
+        let lu0 = sub.local_user(UserId(0)).unwrap();
+        let li0 = sub.local_item(ItemId(0)).unwrap();
+        assert_eq!(sub.graph.clicks(lu0, li0), Some(3));
+        sub.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let g = sample();
+        let sub = InducedSubgraph::extract(&g, [UserId(7), UserId(4)], [ItemId(9)]);
+        for local in 0..sub.graph.num_users() as u32 {
+            let p = sub.parent_user(UserId(local));
+            assert_eq!(sub.local_user(p), Some(UserId(local)));
+        }
+        assert_eq!(sub.local_user(UserId(0)), None);
+        assert_eq!(sub.local_item(ItemId(0)), None);
+    }
+
+    #[test]
+    fn duplicates_tolerated() {
+        let g = sample();
+        let sub = InducedSubgraph::extract(&g, [UserId(0), UserId(0)], [ItemId(0), ItemId(0)]);
+        assert_eq!(sub.graph.num_users(), 1);
+        assert_eq!(sub.graph.num_items(), 1);
+    }
+
+    #[test]
+    fn edges_to_outside_dropped() {
+        let g = sample();
+        let sub = InducedSubgraph::extract(&g, [UserId(0)], [ItemId(0)]);
+        // (0,5) excluded
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn seed_neighborhood_expands_one_hop() {
+        let g = sample();
+        let (us, is) = seed_neighborhood(&g, &[], &[ItemId(9)]);
+        assert_eq!(us, vec![UserId(4), UserId(7)]);
+        assert_eq!(is, vec![ItemId(9)]);
+        let (us, is) = seed_neighborhood(&g, &[UserId(0)], &[]);
+        assert_eq!(us, vec![UserId(0)]);
+        assert_eq!(is, vec![ItemId(0), ItemId(5)]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Two-hop neighborhoods and common-neighbor counting.
+//!
+//! `SquarePruning` (Algorithm 3, lines 11–27) asks, for each alive vertex,
+//! how many *other* same-side vertices share at least `⌈k·α⌉` neighbors with
+//! it. Computing `|adj(x) ∩ adj(y)|` for all pairs is `O(|U|²·deg)`; instead
+//! we enumerate **wedges**: for user `u`, walk each alive item `v ∈ adj(u)`,
+//! then each alive user `u' ∈ adj(v)`, accumulating a count per `u'`. The
+//! cost is `Σ_{v ∈ adj(u)} deg(v)`, which is what the paper's `reduce2Hop`
+//! candidate ordering (borrowed from [Lyu et al., VLDB'20]) optimizes.
+
+use crate::ids::{ItemId, UserId};
+use crate::view::GraphView;
+
+/// Sparse map from a same-side vertex to the number of common neighbors,
+/// reusable across calls to avoid re-allocation.
+///
+/// Internally a dense `u32` scratch array plus a touched-list, which is the
+/// standard trick for repeated sparse accumulation over a fixed id space.
+#[derive(Clone, Debug)]
+pub struct CommonNeighborScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl CommonNeighborScratch {
+    /// Scratch sized for `n` same-side vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            counts: vec![0; n],
+            touched: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for &t in &self.touched {
+            self.counts[t as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Counts, for user `u`, the common-neighbor size with every other alive user
+/// reachable in two hops, invoking `f(other, count)` for each.
+///
+/// `u` itself is **excluded**; callers that want the paper's self-inclusive
+/// `(α,k)`-neighbor semantics (Definition 4 quantifies over all `u' ∈ U(C)`,
+/// which includes `u` with `|adj(u) ∩ adj(u)| = deg(u)`) add it back
+/// explicitly.
+pub fn for_each_user_common_neighbor<F: FnMut(UserId, u32)>(
+    view: &GraphView<'_>,
+    u: UserId,
+    scratch: &mut CommonNeighborScratch,
+    mut f: F,
+) {
+    scratch.clear();
+    for (v, _) in view.user_neighbors(u) {
+        for (u2, _) in view.item_neighbors(v) {
+            if u2 == u {
+                continue;
+            }
+            let idx = u2.index();
+            if scratch.counts[idx] == 0 {
+                scratch.touched.push(u2.0);
+            }
+            scratch.counts[idx] += 1;
+        }
+    }
+    for &t in &scratch.touched {
+        f(UserId(t), scratch.counts[t as usize]);
+    }
+}
+
+/// Item-side analogue of [`for_each_user_common_neighbor`].
+pub fn for_each_item_common_neighbor<F: FnMut(ItemId, u32)>(
+    view: &GraphView<'_>,
+    v: ItemId,
+    scratch: &mut CommonNeighborScratch,
+    mut f: F,
+) {
+    scratch.clear();
+    for (u, _) in view.item_neighbors(v) {
+        for (v2, _) in view.user_neighbors(u) {
+            if v2 == v {
+                continue;
+            }
+            let idx = v2.index();
+            if scratch.counts[idx] == 0 {
+                scratch.touched.push(v2.0);
+            }
+            scratch.counts[idx] += 1;
+        }
+    }
+    for &t in &scratch.touched {
+        f(ItemId(t), scratch.counts[t as usize]);
+    }
+}
+
+/// Number of distinct users reachable from `u` in two hops (its two-hop
+/// neighborhood size), used for the `reduce2Hop` candidate ordering.
+pub fn user_two_hop_size(view: &GraphView<'_>, u: UserId, scratch: &mut CommonNeighborScratch) -> usize {
+    let mut n = 0;
+    for_each_user_common_neighbor(view, u, scratch, |_, _| n += 1);
+    n
+}
+
+/// Number of distinct items reachable from `v` in two hops.
+pub fn item_two_hop_size(view: &GraphView<'_>, v: ItemId, scratch: &mut CommonNeighborScratch) -> usize {
+    let mut n = 0;
+    for_each_item_common_neighbor(view, v, scratch, |_, _| n += 1);
+    n
+}
+
+/// Exact `|adj(u1) ∩ adj(u2)|` over alive items, by sorted-merge on the
+/// static adjacency (cheap for spot checks and property tests).
+pub fn user_common_neighbors(view: &GraphView<'_>, u1: UserId, u2: UserId) -> u32 {
+    let g = view.graph();
+    let (a, b) = (g.user_adjacency(u1), g.user_adjacency(u2));
+    sorted_intersection_count(a, b, |v| view.item_alive(*v))
+}
+
+/// Exact `|adj(v1) ∩ adj(v2)|` over alive users.
+pub fn item_common_neighbors(view: &GraphView<'_>, v1: ItemId, v2: ItemId) -> u32 {
+    let g = view.graph();
+    let (a, b) = (g.item_adjacency(v1), g.item_adjacency(v2));
+    sorted_intersection_count(a, b, |u| view.user_alive(*u))
+}
+
+fn sorted_intersection_count<T: Ord + Copy, F: Fn(&T) -> bool>(a: &[T], b: &[T], alive: F) -> u32 {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if alive(&a[i]) {
+                    n += 1;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, GraphView};
+    use std::collections::HashMap;
+
+    fn sample() -> crate::BipartiteGraph {
+        // u0: {i0,i1,i2} ; u1: {i0,i1} ; u2: {i2,i3} ; u3: {i3}
+        let mut b = GraphBuilder::new();
+        for (u, v) in [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2), (2, 3), (3, 3)] {
+            b.add_click(UserId(u), ItemId(v), 1);
+        }
+        b.build()
+    }
+
+    fn counts_of(view: &GraphView<'_>, u: UserId) -> HashMap<UserId, u32> {
+        let mut scratch = CommonNeighborScratch::new(view.graph().num_users());
+        let mut m = HashMap::new();
+        for_each_user_common_neighbor(view, u, &mut scratch, |o, c| {
+            m.insert(o, c);
+        });
+        m
+    }
+
+    #[test]
+    fn wedge_counts_match_pairwise_intersection() {
+        let g = sample();
+        let view = GraphView::full(&g);
+        let m = counts_of(&view, UserId(0));
+        assert_eq!(m[&UserId(1)], 2);
+        assert_eq!(m[&UserId(2)], 1);
+        assert!(!m.contains_key(&UserId(3)));
+        assert_eq!(user_common_neighbors(&view, UserId(0), UserId(1)), 2);
+        assert_eq!(user_common_neighbors(&view, UserId(0), UserId(3)), 0);
+    }
+
+    #[test]
+    fn dead_vertices_are_skipped() {
+        let g = sample();
+        let mut view = GraphView::full(&g);
+        view.remove_item(ItemId(1));
+        let m = counts_of(&view, UserId(0));
+        assert_eq!(m[&UserId(1)], 1, "i1 removed, only i0 shared");
+        assert_eq!(user_common_neighbors(&view, UserId(0), UserId(1)), 1);
+    }
+
+    #[test]
+    fn removed_user_does_not_appear() {
+        let g = sample();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(1));
+        let m = counts_of(&view, UserId(0));
+        assert!(!m.contains_key(&UserId(1)));
+    }
+
+    #[test]
+    fn two_hop_sizes() {
+        let g = sample();
+        let view = GraphView::full(&g);
+        let mut s = CommonNeighborScratch::new(g.num_users());
+        assert_eq!(user_two_hop_size(&view, UserId(0), &mut s), 2);
+        assert_eq!(user_two_hop_size(&view, UserId(3), &mut s), 1);
+        let mut s = CommonNeighborScratch::new(g.num_items());
+        assert_eq!(item_two_hop_size(&view, ItemId(0), &mut s), 2); // i1 (via u0,u1), i2 (via u0)
+    }
+
+    #[test]
+    fn item_side_counts() {
+        let g = sample();
+        let view = GraphView::full(&g);
+        let mut scratch = CommonNeighborScratch::new(g.num_items());
+        let mut m = HashMap::new();
+        for_each_item_common_neighbor(&view, ItemId(0), &mut scratch, |o, c| {
+            m.insert(o, c);
+        });
+        assert_eq!(m[&ItemId(1)], 2); // shared users u0, u1
+        assert_eq!(m[&ItemId(2)], 1); // shared user u0
+        assert_eq!(item_common_neighbors(&view, ItemId(0), ItemId(1)), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = sample();
+        let view = GraphView::full(&g);
+        let mut scratch = CommonNeighborScratch::new(g.num_users());
+        // Run twice with the same scratch: second result must be identical.
+        let mut first = vec![];
+        for_each_user_common_neighbor(&view, UserId(0), &mut scratch, |o, c| first.push((o, c)));
+        let mut second = vec![];
+        for_each_user_common_neighbor(&view, UserId(0), &mut scratch, |o, c| second.push((o, c)));
+        first.sort();
+        second.sort();
+        assert_eq!(first, second);
+    }
+}

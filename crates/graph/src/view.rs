@@ -1,0 +1,350 @@
+//! Deletion-tolerant views over a [`BipartiteGraph`].
+//!
+//! The paper's Algorithm 3 (`CorePruning` / `SquarePruning`) repeatedly
+//! removes vertices "and all adjacent edges" from the graph. Rebuilding the
+//! CSR after each removal would be quadratic; a [`GraphView`] instead keeps
+//! per-side alive bitmaps plus *live degrees* that are decremented as
+//! neighbors disappear, making a removal `O(degree)` and degree queries
+//! `O(1)`.
+
+use crate::graph::BipartiteGraph;
+use crate::ids::{ItemId, UserId};
+
+/// A mutable "what's left" mask over an immutable [`BipartiteGraph`].
+#[derive(Clone, Debug)]
+pub struct GraphView<'g> {
+    graph: &'g BipartiteGraph,
+    user_alive: Vec<bool>,
+    item_alive: Vec<bool>,
+    user_live_degree: Vec<u32>,
+    item_live_degree: Vec<u32>,
+    alive_users: usize,
+    alive_items: usize,
+}
+
+impl<'g> GraphView<'g> {
+    /// A view with every vertex alive.
+    pub fn full(graph: &'g BipartiteGraph) -> Self {
+        let user_live_degree = (0..graph.num_users() as u32)
+            .map(|u| graph.user_degree(UserId(u)) as u32)
+            .collect();
+        let item_live_degree = (0..graph.num_items() as u32)
+            .map(|v| graph.item_degree(ItemId(v)) as u32)
+            .collect();
+        Self {
+            graph,
+            user_alive: vec![true; graph.num_users()],
+            item_alive: vec![true; graph.num_items()],
+            user_live_degree,
+            item_live_degree,
+            alive_users: graph.num_users(),
+            alive_items: graph.num_items(),
+        }
+    }
+
+    /// A view restricted to the given vertex sets (used for seed expansion in
+    /// Algorithm 2's `GraphGenerator`). Vertices outside the sets start dead.
+    pub fn restricted(
+        graph: &'g BipartiteGraph,
+        users: impl IntoIterator<Item = UserId>,
+        items: impl IntoIterator<Item = ItemId>,
+    ) -> Self {
+        let mut view = Self {
+            graph,
+            user_alive: vec![false; graph.num_users()],
+            item_alive: vec![false; graph.num_items()],
+            user_live_degree: vec![0; graph.num_users()],
+            item_live_degree: vec![0; graph.num_items()],
+            alive_users: 0,
+            alive_items: 0,
+        };
+        for u in users {
+            if !view.user_alive[u.index()] {
+                view.user_alive[u.index()] = true;
+                view.alive_users += 1;
+            }
+        }
+        for v in items {
+            if !view.item_alive[v.index()] {
+                view.item_alive[v.index()] = true;
+                view.alive_items += 1;
+            }
+        }
+        view.recompute_live_degrees();
+        view
+    }
+
+    fn recompute_live_degrees(&mut self) {
+        for u in 0..self.graph.num_users() as u32 {
+            let u = UserId(u);
+            self.user_live_degree[u.index()] = if self.user_alive[u.index()] {
+                self.graph
+                    .user_adjacency(u)
+                    .iter()
+                    .filter(|v| self.item_alive[v.index()])
+                    .count() as u32
+            } else {
+                0
+            };
+        }
+        for v in 0..self.graph.num_items() as u32 {
+            let v = ItemId(v);
+            self.item_live_degree[v.index()] = if self.item_alive[v.index()] {
+                self.graph
+                    .item_adjacency(v)
+                    .iter()
+                    .filter(|u| self.user_alive[u.index()])
+                    .count() as u32
+            } else {
+                0
+            };
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g BipartiteGraph {
+        self.graph
+    }
+
+    /// True if user `u` has not been removed.
+    #[inline]
+    pub fn user_alive(&self, u: UserId) -> bool {
+        self.user_alive[u.index()]
+    }
+
+    /// True if item `v` has not been removed.
+    #[inline]
+    pub fn item_alive(&self, v: ItemId) -> bool {
+        self.item_alive[v.index()]
+    }
+
+    /// Number of alive users.
+    #[inline]
+    pub fn alive_users(&self) -> usize {
+        self.alive_users
+    }
+
+    /// Number of alive items.
+    #[inline]
+    pub fn alive_items(&self) -> usize {
+        self.alive_items
+    }
+
+    /// Degree of `u` counting only alive items. `0` if `u` itself is dead.
+    #[inline]
+    pub fn user_degree(&self, u: UserId) -> usize {
+        self.user_live_degree[u.index()] as usize
+    }
+
+    /// Degree of `v` counting only alive users. `0` if `v` itself is dead.
+    #[inline]
+    pub fn item_degree(&self, v: ItemId) -> usize {
+        self.item_live_degree[v.index()] as usize
+    }
+
+    /// Alive items clicked by `u` with click counts.
+    pub fn user_neighbors<'a>(&'a self, u: UserId) -> impl Iterator<Item = (ItemId, u32)> + 'a {
+        self.graph
+            .user_neighbors(u)
+            .filter(move |(v, _)| self.item_alive[v.index()])
+    }
+
+    /// Alive users who clicked `v` with click counts.
+    pub fn item_neighbors<'a>(&'a self, v: ItemId) -> impl Iterator<Item = (UserId, u32)> + 'a {
+        self.graph
+            .item_neighbors(v)
+            .filter(move |(u, _)| self.user_alive[u.index()])
+    }
+
+    /// Iterator over alive users.
+    pub fn users<'a>(&'a self) -> impl Iterator<Item = UserId> + 'a {
+        (0..self.graph.num_users() as u32)
+            .map(UserId)
+            .filter(move |u| self.user_alive[u.index()])
+    }
+
+    /// Iterator over alive items.
+    pub fn items<'a>(&'a self) -> impl Iterator<Item = ItemId> + 'a {
+        (0..self.graph.num_items() as u32)
+            .map(ItemId)
+            .filter(move |v| self.item_alive[v.index()])
+    }
+
+    /// Removes user `u` and all its incident edges. Idempotent.
+    pub fn remove_user(&mut self, u: UserId) {
+        if !self.user_alive[u.index()] {
+            return;
+        }
+        self.user_alive[u.index()] = false;
+        self.alive_users -= 1;
+        self.user_live_degree[u.index()] = 0;
+        for v in self.graph.user_adjacency(u) {
+            if self.item_alive[v.index()] {
+                self.item_live_degree[v.index()] -= 1;
+            }
+        }
+    }
+
+    /// Removes item `v` and all its incident edges. Idempotent.
+    pub fn remove_item(&mut self, v: ItemId) {
+        if !self.item_alive[v.index()] {
+            return;
+        }
+        self.item_alive[v.index()] = false;
+        self.alive_items -= 1;
+        self.item_live_degree[v.index()] = 0;
+        for u in self.graph.item_adjacency(v) {
+            if self.user_alive[u.index()] {
+                self.user_live_degree[u.index()] -= 1;
+            }
+        }
+    }
+
+    /// Re-adds a previously removed user (used by seed expansion). Recomputes
+    /// its live degree and bumps neighbors' degrees.
+    pub fn restore_user(&mut self, u: UserId) {
+        if self.user_alive[u.index()] {
+            return;
+        }
+        self.user_alive[u.index()] = true;
+        self.alive_users += 1;
+        let mut deg = 0;
+        for v in self.graph.user_adjacency(u) {
+            if self.item_alive[v.index()] {
+                self.item_live_degree[v.index()] += 1;
+                deg += 1;
+            }
+        }
+        self.user_live_degree[u.index()] = deg;
+    }
+
+    /// Re-adds a previously removed item.
+    pub fn restore_item(&mut self, v: ItemId) {
+        if self.item_alive[v.index()] {
+            return;
+        }
+        self.item_alive[v.index()] = true;
+        self.alive_items += 1;
+        let mut deg = 0;
+        for u in self.graph.item_adjacency(v) {
+            if self.user_alive[u.index()] {
+                self.user_live_degree[u.index()] += 1;
+                deg += 1;
+            }
+        }
+        self.item_live_degree[v.index()] = deg;
+    }
+
+    /// Collects the alive vertex sets as sorted vectors.
+    pub fn alive_sets(&self) -> (Vec<UserId>, Vec<ItemId>) {
+        (self.users().collect(), self.items().collect())
+    }
+
+    /// Debug check: live degrees match a fresh recount. Intended for tests
+    /// and assertions; costs a full recount.
+    pub fn check_consistency(&self) -> bool {
+        let mut clone = self.clone();
+        clone.recompute_live_degrees();
+        clone.user_live_degree == self.user_live_degree
+            && clone.item_live_degree == self.item_live_degree
+            && self.alive_users == self.user_alive.iter().filter(|&&a| a).count()
+            && self.alive_items == self.item_alive.iter().filter(|&&a| a).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn grid() -> BipartiteGraph {
+        // 3 users x 3 items complete biclique, weight 1 each.
+        let mut b = GraphBuilder::new();
+        for u in 0..3 {
+            for v in 0..3 {
+                b.add_click(UserId(u), ItemId(v), 1);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn full_view_matches_graph() {
+        let g = grid();
+        let view = GraphView::full(&g);
+        assert_eq!(view.alive_users(), 3);
+        assert_eq!(view.alive_items(), 3);
+        assert_eq!(view.user_degree(UserId(0)), 3);
+        assert!(view.check_consistency());
+    }
+
+    #[test]
+    fn remove_user_updates_item_degrees() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(1));
+        assert_eq!(view.alive_users(), 2);
+        assert_eq!(view.item_degree(ItemId(0)), 2);
+        assert_eq!(view.user_degree(UserId(1)), 0);
+        assert!(!view.user_alive(UserId(1)));
+        assert!(view.check_consistency());
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        view.remove_item(ItemId(2));
+        view.remove_item(ItemId(2));
+        assert_eq!(view.alive_items(), 2);
+        assert_eq!(view.user_degree(UserId(0)), 2);
+        assert!(view.check_consistency());
+    }
+
+    #[test]
+    fn restore_round_trips() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(0));
+        view.remove_item(ItemId(0));
+        view.restore_user(UserId(0));
+        view.restore_item(ItemId(0));
+        assert_eq!(view.alive_users(), 3);
+        assert_eq!(view.alive_items(), 3);
+        assert_eq!(view.user_degree(UserId(0)), 3);
+        assert_eq!(view.item_degree(ItemId(0)), 3);
+        assert!(view.check_consistency());
+    }
+
+    #[test]
+    fn restricted_view_starts_with_subset() {
+        let g = grid();
+        let view = GraphView::restricted(&g, [UserId(0), UserId(1)], [ItemId(0)]);
+        assert_eq!(view.alive_users(), 2);
+        assert_eq!(view.alive_items(), 1);
+        assert_eq!(view.user_degree(UserId(0)), 1);
+        assert_eq!(view.item_degree(ItemId(0)), 2);
+        assert_eq!(view.user_degree(UserId(2)), 0);
+        assert!(view.check_consistency());
+    }
+
+    #[test]
+    fn neighbors_filter_dead_vertices() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        view.remove_item(ItemId(1));
+        let n: Vec<_> = view.user_neighbors(UserId(0)).map(|(v, _)| v).collect();
+        assert_eq!(n, vec![ItemId(0), ItemId(2)]);
+    }
+
+    #[test]
+    fn alive_sets_sorted() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(1));
+        let (us, is) = view.alive_sets();
+        assert_eq!(us, vec![UserId(0), UserId(2)]);
+        assert_eq!(is, vec![ItemId(0), ItemId(1), ItemId(2)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the bipartite-graph substrate.
+
+use proptest::prelude::*;
+use ricd_graph::{
+    components::connected_components,
+    io,
+    twohop::{self, CommonNeighborScratch},
+    GraphBuilder, GraphView, ItemId, UserId,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Strategy: a random multiset of click records over small id spaces.
+fn records() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    proptest::collection::vec((0u32..40, 0u32..30, 1u32..20), 0..200)
+}
+
+fn build(records: &[(u32, u32, u32)]) -> ricd_graph::BipartiteGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v, c) in records {
+        b.add_click(UserId(u), ItemId(v), c);
+    }
+    b.build()
+}
+
+proptest! {
+    /// The CSR invariants hold for any input multiset.
+    #[test]
+    fn built_graph_is_valid(recs in records()) {
+        let g = build(&recs);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    /// Builder merge semantics equal a reference BTreeMap accumulation.
+    #[test]
+    fn builder_matches_reference_model(recs in records()) {
+        let g = build(&recs);
+        let mut model: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for &(u, v, c) in &recs {
+            *model.entry((u, v)).or_default() += c as u64;
+        }
+        prop_assert_eq!(g.num_edges(), model.len());
+        for (&(u, v), &c) in &model {
+            prop_assert_eq!(g.clicks(UserId(u), ItemId(v)).map(u64::from), Some(c));
+        }
+        let total: u64 = model.values().sum();
+        prop_assert_eq!(g.total_clicks(), total);
+    }
+
+    /// Row sums equal column sums equal total clicks.
+    #[test]
+    fn totals_are_consistent(recs in records()) {
+        let g = build(&recs);
+        let by_user: u64 = g.all_user_total_clicks().iter().sum();
+        let by_item: u64 = g.all_item_total_clicks().iter().sum();
+        prop_assert_eq!(by_user, g.total_clicks());
+        prop_assert_eq!(by_item, g.total_clicks());
+    }
+
+    /// TSV and binary serialization round-trip the edge multiset.
+    #[test]
+    fn serialization_round_trips(recs in records()) {
+        let g = build(&recs);
+        let mut tsv = Vec::new();
+        io::write_tsv(&g, &mut tsv).unwrap();
+        let g_tsv = io::read_tsv(tsv.as_slice()).unwrap();
+        prop_assert_eq!(g_tsv.num_edges(), g.num_edges());
+        prop_assert_eq!(g_tsv.total_clicks(), g.total_clicks());
+
+        let g_bin = io::from_bytes(io::to_bytes(&g)).unwrap();
+        prop_assert_eq!(g_bin.num_users(), g.num_users());
+        prop_assert_eq!(g_bin.num_items(), g.num_items());
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = g_bin.edges().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// After arbitrary removals, live degrees match a naive recount.
+    #[test]
+    fn view_degrees_match_recount(recs in records(),
+                                  dead_users in proptest::collection::btree_set(0u32..40, 0..20),
+                                  dead_items in proptest::collection::btree_set(0u32..30, 0..15)) {
+        let g = build(&recs);
+        let mut view = GraphView::full(&g);
+        for &u in &dead_users {
+            if (u as usize) < g.num_users() {
+                view.remove_user(UserId(u));
+            }
+        }
+        for &v in &dead_items {
+            if (v as usize) < g.num_items() {
+                view.remove_item(ItemId(v));
+            }
+        }
+        prop_assert!(view.check_consistency());
+        for u in view.users() {
+            let recount = g.user_adjacency(u).iter().filter(|v| view.item_alive(**v)).count();
+            prop_assert_eq!(view.user_degree(u), recount);
+        }
+    }
+
+    /// Wedge-based common-neighbor counts equal the merge-based exact count.
+    #[test]
+    fn wedge_counts_match_exact(recs in records()) {
+        let g = build(&recs);
+        let view = GraphView::full(&g);
+        let mut scratch = CommonNeighborScratch::new(g.num_users());
+        for u in g.users().take(10) {
+            twohop::for_each_user_common_neighbor(&view, u, &mut scratch, |other, count| {
+                assert_eq!(count, twohop::user_common_neighbors(&view, u, other),
+                           "mismatch for {u} vs {other}");
+            });
+        }
+    }
+
+    /// Components partition the alive vertex set.
+    #[test]
+    fn components_partition_vertices(recs in records()) {
+        let g = build(&recs);
+        let view = GraphView::full(&g);
+        let comps = connected_components(&view);
+        let mut users = BTreeSet::new();
+        let mut items = BTreeSet::new();
+        for c in &comps {
+            for &u in &c.users {
+                prop_assert!(users.insert(u), "user in two components");
+            }
+            for &v in &c.items {
+                prop_assert!(items.insert(v), "item in two components");
+            }
+        }
+        prop_assert_eq!(users.len(), g.num_users());
+        prop_assert_eq!(items.len(), g.num_items());
+    }
+
+    /// Every edge stays inside one component.
+    #[test]
+    fn edges_do_not_cross_components(recs in records()) {
+        let g = build(&recs);
+        let view = GraphView::full(&g);
+        let comps = connected_components(&view);
+        let mut user_comp = vec![usize::MAX; g.num_users()];
+        for (i, c) in comps.iter().enumerate() {
+            for &u in &c.users {
+                user_comp[u.index()] = i;
+            }
+        }
+        let mut item_comp = vec![usize::MAX; g.num_items()];
+        for (i, c) in comps.iter().enumerate() {
+            for &v in &c.items {
+                item_comp[v.index()] = i;
+            }
+        }
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(user_comp[u.index()], item_comp[v.index()]);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # ricd-recommender — the system under attack
+//!
+//! The paper's setting is an **item-to-item recommendation system**: "once
+//! the user clicks an item A, recommendation systems will figure out other
+//! items that are 'similar' to A, then recommend them … the I2I-score turns
+//! out to be the most valuable one" (Section I, Fig 3). The "Ride Item's
+//! Coattails" attack exists *because* of this system, and the case study's
+//! bottom line — "our framework protects hundreds of thousands of users
+//! from incorrect recommendations" — is a claim about it.
+//!
+//! This crate builds that substrate:
+//!
+//! * [`I2iIndex`] — the full item-to-item co-click index (Eq 1 scores,
+//!   top-N truncated per anchor item), built in parallel on the worker
+//!   pool;
+//! * [`Recommender`] — per-item and per-user recommendation lists;
+//! * [`exposure`] — impression accounting: how many users see a given item
+//!   in their recommendations, and therefore how much exposure an attack
+//!   *buys* and a cleaning *removes* (the Section VII impact metric).
+
+pub mod exposure;
+pub mod index;
+pub mod recommend;
+
+pub use exposure::{attack_impact, exposed_users, AttackImpact};
+pub use index::I2iIndex;
+pub use recommend::Recommender;

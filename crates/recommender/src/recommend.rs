@@ -1,0 +1,142 @@
+//! Per-user recommendation assembly.
+
+use crate::index::I2iIndex;
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
+
+/// The item-to-user recommender: aggregates the I2I lists of a user's
+/// clicked items into one ranked list (the paper's "item-to-user
+/// recommendation scenario").
+pub struct Recommender<'g> {
+    graph: &'g BipartiteGraph,
+    index: I2iIndex,
+}
+
+impl<'g> Recommender<'g> {
+    /// Wraps a prebuilt index.
+    pub fn new(graph: &'g BipartiteGraph, index: I2iIndex) -> Self {
+        Self { graph, index }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &I2iIndex {
+        &self.index
+    }
+
+    /// Top-`n` recommendations for `user`: each clicked item contributes
+    /// its I2I list weighted by the user's clicks on the anchor; already
+    /// clicked items are excluded (you don't recommend what the user
+    /// already saw).
+    pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f32)> {
+        let mut scores: std::collections::HashMap<ItemId, f32> = std::collections::HashMap::new();
+        for (anchor, clicks) in self.graph.user_neighbors(user) {
+            for &(related, s) in self.index.related(anchor) {
+                *scores.entry(related).or_default() += s * clicks as f32;
+            }
+        }
+        // Exclude the user's own click history.
+        for v in self.graph.user_adjacency(user) {
+            scores.remove(v);
+        }
+        let mut out: Vec<(ItemId, f32)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.truncate(n);
+        out
+    }
+
+    /// Whether `item` appears in `user`'s top-`n` recommendations.
+    pub fn would_see(&self, user: UserId, item: ItemId, n: usize) -> bool {
+        self.recommend(user, n).iter().any(|&(v, _)| v == item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_engine::WorkerPool;
+    use ricd_graph::GraphBuilder;
+
+    /// u0 clicked i0; i0 co-clicks with i1 (strong) and i2 (weak); u0 also
+    /// already clicked i2.
+    fn setup() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 2);
+        b.add_click(UserId(0), ItemId(2), 1);
+        // Other users establish co-clicks.
+        b.add_click(UserId(1), ItemId(0), 1);
+        b.add_click(UserId(1), ItemId(1), 5);
+        b.add_click(UserId(2), ItemId(0), 1);
+        b.add_click(UserId(2), ItemId(2), 1);
+        b.build()
+    }
+
+    fn recommender(g: &BipartiteGraph) -> Recommender<'_> {
+        let index = I2iIndex::build(g, 10, &WorkerPool::new(2));
+        Recommender::new(g, index)
+    }
+
+    #[test]
+    fn recommends_co_clicked_items() {
+        let g = setup();
+        let r = recommender(&g);
+        let recs = r.recommend(UserId(0), 5);
+        assert_eq!(recs[0].0, ItemId(1), "strongest co-click first: {recs:?}");
+    }
+
+    #[test]
+    fn already_clicked_items_excluded() {
+        let g = setup();
+        let r = recommender(&g);
+        let recs = r.recommend(UserId(0), 5);
+        assert!(recs.iter().all(|&(v, _)| v != ItemId(0) && v != ItemId(2)));
+    }
+
+    #[test]
+    fn would_see_matches_recommend() {
+        let g = setup();
+        let r = recommender(&g);
+        assert!(r.would_see(UserId(0), ItemId(1), 5));
+        assert!(!r.would_see(UserId(0), ItemId(2), 5));
+    }
+
+    #[test]
+    fn user_without_history_gets_nothing() {
+        let g = setup();
+        let r = recommender(&g);
+        // u2 clicked i0 and i2; a user id past the population: use u1's
+        // perspective instead — check an absent user id is graceful? ids
+        // must exist in the graph; use a present user with degenerate
+        // history.
+        let recs = r.recommend(UserId(2), 5);
+        // i0's list contains i1 and i2; i2 removed (clicked) → only i1.
+        assert_eq!(recs.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![ItemId(1)]);
+    }
+
+    #[test]
+    fn attack_puts_target_in_front_of_hot_clickers() {
+        // The end-to-end manipulation: before the attack a hot-item clicker
+        // never sees the target; after workers forge co-clicks, they do.
+        let mut b = GraphBuilder::new();
+        // Victim u0 clicked hot i0.
+        b.add_click(UserId(0), ItemId(0), 3);
+        // Organic co-click structure.
+        for u in 1..30u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+            b.add_click(UserId(u), ItemId(1 + u % 3), 1);
+        }
+        let before = b.clone().build();
+        let r = recommender(&before);
+        assert!(!r.would_see(UserId(0), ItemId(50), 5));
+
+        // 10 workers ride i0 onto target i50.
+        for w in 100..110u32 {
+            b.add_click(UserId(w), ItemId(0), 1);
+            b.add_click(UserId(w), ItemId(50), 13);
+        }
+        let after = b.build();
+        let r = recommender(&after);
+        assert!(
+            r.would_see(UserId(0), ItemId(50), 5),
+            "attack bought the target a slot in the victim's recommendations"
+        );
+    }
+}

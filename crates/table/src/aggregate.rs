@@ -1,0 +1,177 @@
+//! Group-by aggregations over a [`ClickTable`].
+//!
+//! These reproduce the MaxCompute-side SQL the paper's analysis implies:
+//! per-user and per-item `SUM(click)`, `COUNT(*)`, `MAX`, `MIN`, mean and
+//! standard deviation (Table V's columns), and top-k selection by any of
+//! those aggregates.
+
+use crate::click_table::ClickTable;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics for one group (one user or one item).
+///
+/// For an item group these are exactly Table V's columns: `Total_click`,
+/// `Mean`, `Stdev`, `User_num` (here `count`), `Max`, `Min`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// `SUM(click)` within the group.
+    pub total_clicks: u64,
+    /// Number of rows in the group (distinct counterpart vertices).
+    pub count: u32,
+    /// Mean clicks per row; 0 for an empty group.
+    pub mean: f64,
+    /// Population standard deviation of clicks per row.
+    pub stdev: f64,
+    /// Largest single click count in the group.
+    pub max: u32,
+    /// Smallest single click count in the group (0 for an empty group).
+    pub min: u32,
+}
+
+impl GroupStats {
+    fn from_values(values: &[u32]) -> Self {
+        if values.is_empty() {
+            return GroupStats::default();
+        }
+        let total: u64 = values.iter().map(|&c| c as u64).sum();
+        let n = values.len() as f64;
+        let mean = total as f64 / n;
+        let var = values
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        GroupStats {
+            total_clicks: total,
+            count: values.len() as u32,
+            mean,
+            stdev: var.sqrt(),
+            max: *values.iter().max().unwrap(),
+            min: *values.iter().min().unwrap(),
+        }
+    }
+}
+
+/// Per-group aggregation keyed by a dense id column.
+fn group_stats(keys: &[u32], clicks: &[u32], id_space: usize) -> Vec<GroupStats> {
+    // Bucket click values per key, then fold each bucket.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); id_space];
+    for (&k, &c) in keys.iter().zip(clicks) {
+        buckets[k as usize].push(c);
+    }
+    buckets.iter().map(|b| GroupStats::from_values(b)).collect()
+}
+
+/// `GROUP BY user`: one [`GroupStats`] per user id in `0..user_id_space`.
+pub fn per_user_stats(t: &ClickTable) -> Vec<GroupStats> {
+    group_stats(t.user_column(), t.click_column(), t.user_id_space())
+}
+
+/// `GROUP BY item`: one [`GroupStats`] per item id in `0..item_id_space`.
+pub fn per_item_stats(t: &ClickTable) -> Vec<GroupStats> {
+    group_stats(t.item_column(), t.click_column(), t.item_id_space())
+}
+
+/// Top-k selection over a score vector, returning `(id, score)` pairs in
+/// non-increasing score order (ties broken by smaller id first).
+///
+/// This backs the framework's "select the top-k nodes for analysis and
+/// punishment" requirement (Section III-B, property 4a).
+#[derive(Clone, Debug)]
+pub struct TopK {
+    /// `(id, score)` in descending score order.
+    pub entries: Vec<(u32, f64)>,
+}
+
+impl TopK {
+    /// Selects the `k` largest scores. `NaN` scores are skipped.
+    pub fn select(scores: impl IntoIterator<Item = f64>, k: usize) -> Self {
+        let mut entries: Vec<(u32, f64)> = scores
+            .into_iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_nan())
+            .map(|(i, s)| (i as u32, s))
+            .collect();
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        entries.truncate(k);
+        TopK { entries }
+    }
+
+    /// The selected ids in rank order.
+    pub fn ids(&self) -> Vec<u32> {
+        self.entries.iter().map(|&(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ClickTable {
+        // u0 clicks i0 x2, i1 x4 ; u1 clicks i0 x6
+        ClickTable::from_rows([(0, 0, 2), (0, 1, 4), (1, 0, 6)])
+    }
+
+    #[test]
+    fn per_user_aggregates() {
+        let s = per_user_stats(&table());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].total_clicks, 6);
+        assert_eq!(s[0].count, 2);
+        assert!((s[0].mean - 3.0).abs() < 1e-12);
+        assert!((s[0].stdev - 1.0).abs() < 1e-12);
+        assert_eq!(s[0].max, 4);
+        assert_eq!(s[0].min, 2);
+        assert_eq!(s[1].total_clicks, 6);
+        assert_eq!(s[1].count, 1);
+        assert!(s[1].stdev.abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_item_aggregates() {
+        let s = per_item_stats(&table());
+        assert_eq!(s[0].total_clicks, 8);
+        assert_eq!(s[0].count, 2);
+        assert_eq!(s[1].total_clicks, 4);
+        assert_eq!(s[1].count, 1);
+    }
+
+    #[test]
+    fn empty_groups_are_default() {
+        let t = ClickTable::from_rows([(0, 3, 1)]);
+        let s = per_item_stats(&t);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[1], GroupStats::default());
+        assert_eq!(s[3].total_clicks, 1);
+    }
+
+    #[test]
+    fn top_k_orders_and_truncates() {
+        let t = TopK::select([1.0, 5.0, 3.0, 5.0], 3);
+        assert_eq!(t.ids(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn top_k_skips_nan() {
+        let t = TopK::select([f64::NAN, 2.0, 1.0], 10);
+        assert_eq!(t.ids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn table5_shape_suspicious_vs_normal() {
+        // Reproduce the Table V contrast in miniature: a "suspicious" item
+        // with few heavy clickers vs a "normal" item with many light ones.
+        let rows: Vec<(u32, u32, u32)> = (0..4)
+            .map(|u| (u, 0, 10)) // item 0: 4 users x 10 clicks
+            .chain((0..20).map(|u| (u, 1, 2))) // item 1: 20 users x 2 clicks
+            .collect();
+        let s = per_item_stats(&ClickTable::from_rows(rows));
+        assert_eq!(s[0].total_clicks, 40);
+        assert_eq!(s[1].total_clicks, 40);
+        assert!(s[0].count < s[1].count / 2, "suspicious item has far fewer users");
+        assert!(s[0].mean > s[1].mean, "suspicious item has higher mean clicks/user");
+    }
+}

@@ -1,0 +1,188 @@
+//! The columnar `TaoBao_UI_Clicks`-style table.
+
+use ricd_graph::{BipartiteGraph, GraphBuilder, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A column-oriented click table with schema `(User_ID, Item_ID, Click)`.
+///
+/// One row per user–item pair; the `Click` column is the aggregated count
+/// (see Section IV: record `(1, 1, 3)` means user 1 clicked item 1 three
+/// times). Rows are kept sorted by `(user, item)` and deduplicated (counts
+/// summed) on construction, so the table is always in "canonical" form.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClickTable {
+    user_id: Vec<u32>,
+    item_id: Vec<u32>,
+    click: Vec<u32>,
+}
+
+impl ClickTable {
+    /// Builds the canonical table from raw rows; duplicates merge by sum,
+    /// zero-click rows are dropped.
+    pub fn from_rows(rows: impl IntoIterator<Item = (u32, u32, u32)>) -> Self {
+        let mut rows: Vec<(u32, u32, u32)> = rows.into_iter().filter(|r| r.2 > 0).collect();
+        rows.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        let mut table = ClickTable::default();
+        for (u, v, c) in rows {
+            match (table.user_id.last(), table.item_id.last()) {
+                (Some(&lu), Some(&lv)) if lu == u && lv == v => {
+                    let last = table.click.last_mut().unwrap();
+                    *last = last.saturating_add(c);
+                }
+                _ => {
+                    table.user_id.push(u);
+                    table.item_id.push(v);
+                    table.click.push(c);
+                }
+            }
+        }
+        table
+    }
+
+    /// Number of rows (distinct user–item pairs) — Table I's `Edge`.
+    pub fn num_rows(&self) -> usize {
+        self.click.len()
+    }
+
+    /// True if the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.click.is_empty()
+    }
+
+    /// Sum of the click column — Table I's `Total_click`.
+    pub fn total_clicks(&self) -> u64 {
+        self.click.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Row access by index: `(user, item, click)`.
+    pub fn row(&self, i: usize) -> (u32, u32, u32) {
+        (self.user_id[i], self.item_id[i], self.click[i])
+    }
+
+    /// Iterator over all rows in canonical `(user, item)` order.
+    pub fn rows(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        (0..self.num_rows()).map(move |i| self.row(i))
+    }
+
+    /// The raw user column.
+    pub fn user_column(&self) -> &[u32] {
+        &self.user_id
+    }
+
+    /// The raw item column.
+    pub fn item_column(&self) -> &[u32] {
+        &self.item_id
+    }
+
+    /// The raw click column.
+    pub fn click_column(&self) -> &[u32] {
+        &self.click
+    }
+
+    /// Largest user id plus one (0 if empty).
+    pub fn user_id_space(&self) -> usize {
+        self.user_id.iter().max().map_or(0, |&m| m as usize + 1)
+    }
+
+    /// Largest item id plus one (0 if empty).
+    pub fn item_id_space(&self) -> usize {
+        self.item_id.iter().max().map_or(0, |&m| m as usize + 1)
+    }
+
+    /// Keeps only rows for which `pred(user, item, click)` holds.
+    pub fn filter(&self, mut pred: impl FnMut(u32, u32, u32) -> bool) -> ClickTable {
+        let mut t = ClickTable::default();
+        for (u, v, c) in self.rows() {
+            if pred(u, v, c) {
+                t.user_id.push(u);
+                t.item_id.push(v);
+                t.click.push(c);
+            }
+        }
+        t
+    }
+
+    /// Converts to the graph form. `reserve_users` / `reserve_items` pad the
+    /// vertex spaces (ids are shared, so pass the full id spaces when the
+    /// table is a sample of a larger population).
+    pub fn to_graph_with_capacity(&self, reserve_users: usize, reserve_items: usize) -> BipartiteGraph {
+        let mut b = GraphBuilder::with_capacity(self.num_rows());
+        b.reserve_users(reserve_users).reserve_items(reserve_items);
+        for (u, v, c) in self.rows() {
+            b.add_click(UserId(u), ItemId(v), c);
+        }
+        b.build()
+    }
+
+    /// Converts to the graph form sized by the ids present.
+    pub fn to_graph(&self) -> BipartiteGraph {
+        self.to_graph_with_capacity(0, 0)
+    }
+
+    /// Converts a graph back to the relational form.
+    pub fn from_graph(g: &BipartiteGraph) -> Self {
+        let mut t = ClickTable::default();
+        for (u, v, c) in g.edges() {
+            t.user_id.push(u.0);
+            t.item_id.push(v.0);
+            t.click.push(c);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_canonicalizes() {
+        let t = ClickTable::from_rows([(1, 1, 2), (0, 0, 1), (1, 1, 3), (0, 5, 0)]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0), (0, 0, 1));
+        assert_eq!(t.row(1), (1, 1, 5));
+        assert_eq!(t.total_clicks(), 6);
+    }
+
+    #[test]
+    fn id_spaces() {
+        let t = ClickTable::from_rows([(3, 7, 1)]);
+        assert_eq!(t.user_id_space(), 4);
+        assert_eq!(t.item_id_space(), 8);
+        assert_eq!(ClickTable::default().user_id_space(), 0);
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let t = ClickTable::from_rows([(0, 0, 1), (0, 1, 10), (1, 0, 3)]);
+        let f = t.filter(|_, _, c| c >= 3);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.total_clicks(), 13);
+    }
+
+    #[test]
+    fn graph_round_trip() {
+        let t = ClickTable::from_rows([(0, 0, 2), (0, 1, 1), (2, 0, 4)]);
+        let g = t.to_graph();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.total_clicks(), 7);
+        let t2 = ClickTable::from_graph(&g);
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn graph_capacity_padding() {
+        let t = ClickTable::from_rows([(0, 0, 1)]);
+        let g = t.to_graph_with_capacity(100, 50);
+        assert_eq!(g.num_users(), 100);
+        assert_eq!(g.num_items(), 50);
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let t = ClickTable::from_rows([(0, 0, 2), (9, 4, 1)]);
+        let s = serde_json::to_string(&t).unwrap();
+        let t2: ClickTable = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, t2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Table I/O: TSV (human-auditable) and JSON (experiment artifacts).
+
+use crate::click_table::ClickTable;
+use std::io::{self, BufRead, Write};
+
+/// Writes the table as `user \t item \t click` lines.
+pub fn write_tsv<W: Write>(t: &ClickTable, mut w: W) -> io::Result<()> {
+    for (u, v, c) in t.rows() {
+        writeln!(w, "{u}\t{v}\t{c}")?;
+    }
+    Ok(())
+}
+
+/// Reads a TSV click table (same dialect as `ricd_graph::io::read_tsv`:
+/// blank lines and `#` comments skipped, duplicates merged).
+pub fn read_tsv<R: BufRead>(r: R) -> Result<ClickTable, String> {
+    let mut rows = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t').map(str::trim);
+        let mut next = |what: &str| -> Result<u32, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing {what}", idx + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: bad {what}: {e}", idx + 1))
+        };
+        let u = next("user id")?;
+        let v = next("item id")?;
+        let c = next("click count")?;
+        rows.push((u, v, c));
+    }
+    Ok(ClickTable::from_rows(rows))
+}
+
+/// Serializes the table to a JSON string (columnar layout).
+pub fn to_json(t: &ClickTable) -> String {
+    serde_json::to_string(t).expect("ClickTable serialization cannot fail")
+}
+
+/// Deserializes a JSON table produced by [`to_json`].
+pub fn from_json(s: &str) -> Result<ClickTable, String> {
+    serde_json::from_str(s).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_round_trip() {
+        let t = ClickTable::from_rows([(0, 1, 3), (2, 0, 1)]);
+        let mut buf = Vec::new();
+        write_tsv(&t, &mut buf).unwrap();
+        let t2 = read_tsv(buf.as_slice()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn tsv_merges_duplicates() {
+        let t = read_tsv("0\t0\t1\n0\t0\t2\n".as_bytes()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.total_clicks(), 3);
+    }
+
+    #[test]
+    fn tsv_errors_carry_line_numbers() {
+        let err = read_tsv("0\t0\t1\nnope\n".as_bytes()).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = ClickTable::from_rows([(7, 8, 9)]);
+        let t2 = from_json(&to_json(&t)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+    }
+}

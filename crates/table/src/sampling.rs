@@ -1,0 +1,184 @@
+//! Stratified sampling of items by popularity.
+//!
+//! Section IV: "Without loss of generality, we conduct stratified sampling on
+//! various items to generate a representative bipartite graph." We reproduce
+//! that step: items are bucketed into popularity strata (by total clicks,
+//! log-scaled bounds) and a configurable fraction of each stratum is kept,
+//! preserving the heavy-tail shape while shrinking the table.
+
+use crate::aggregate::per_item_stats;
+use crate::click_table::ClickTable;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Configuration for [`stratified_sample_items`].
+#[derive(Clone, Debug)]
+pub struct StratifiedConfig {
+    /// Stratum boundaries on per-item total clicks, ascending. An item with
+    /// total clicks `t` falls into the first stratum whose bound is `> t`;
+    /// items above the last bound form the top stratum.
+    pub bounds: Vec<u64>,
+    /// Fraction of items to keep per stratum; must have `bounds.len() + 1`
+    /// entries (one per stratum, including the top stratum).
+    pub keep_fraction: Vec<f64>,
+}
+
+impl StratifiedConfig {
+    /// A uniform sample: one stratum, keep `frac` of all items.
+    pub fn uniform(frac: f64) -> Self {
+        Self {
+            bounds: Vec::new(),
+            keep_fraction: vec![frac],
+        }
+    }
+
+    /// Power-of-ten strata (`<10`, `<100`, `<1000`, `≥1000`) keeping the hot
+    /// tail intact — the shape used for "representative" e-commerce samples.
+    pub fn popularity_preserving(base_frac: f64) -> Self {
+        Self {
+            bounds: vec![10, 100, 1000],
+            keep_fraction: vec![base_frac, base_frac, (base_frac * 2.0).min(1.0), 1.0],
+        }
+    }
+
+    fn stratum_of(&self, total: u64) -> usize {
+        self.bounds.iter().position(|&b| total < b).unwrap_or(self.bounds.len())
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.keep_fraction.len() != self.bounds.len() + 1 {
+            return Err(format!(
+                "keep_fraction must have {} entries, has {}",
+                self.bounds.len() + 1,
+                self.keep_fraction.len()
+            ));
+        }
+        if self.bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("bounds must be strictly ascending".into());
+        }
+        if self.keep_fraction.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
+            return Err("keep fractions must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// Samples items stratified by popularity and returns the table restricted
+/// to rows whose item survived.
+///
+/// Sampling is *per item* (all of an item's rows are kept or dropped
+/// together) so per-item statistics stay exact for surviving items.
+pub fn stratified_sample_items<R: Rng>(
+    t: &ClickTable,
+    cfg: &StratifiedConfig,
+    rng: &mut R,
+) -> Result<ClickTable, String> {
+    cfg.validate()?;
+    let stats = per_item_stats(t);
+    // Group item ids by stratum.
+    let mut strata: Vec<Vec<u32>> = vec![Vec::new(); cfg.bounds.len() + 1];
+    for (item, s) in stats.iter().enumerate() {
+        if s.count > 0 {
+            strata[cfg.stratum_of(s.total_clicks)].push(item as u32);
+        }
+    }
+    let mut keep = vec![false; t.item_id_space()];
+    for (stratum, items) in strata.iter_mut().enumerate() {
+        let frac = cfg.keep_fraction[stratum];
+        let n = ((items.len() as f64) * frac).round() as usize;
+        items.shuffle(rng);
+        for &item in items.iter().take(n) {
+            keep[item as usize] = true;
+        }
+    }
+    Ok(t.filter(|_, v, _| keep[v as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> ClickTable {
+        // 10 cold items (1 click each), 2 hot items (2000 clicks each).
+        let mut rows: Vec<(u32, u32, u32)> = (0..10).map(|v| (v, v, 1)).collect();
+        rows.push((0, 100, 2000));
+        rows.push((1, 101, 2000));
+        ClickTable::from_rows(rows)
+    }
+
+    #[test]
+    fn uniform_full_keep_is_identity() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = stratified_sample_items(&t, &StratifiedConfig::uniform(1.0), &mut rng).unwrap();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn uniform_zero_keep_is_empty() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = stratified_sample_items(&t, &StratifiedConfig::uniform(0.0), &mut rng).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn popularity_preserving_keeps_hot_tail() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(42);
+        let cfg = StratifiedConfig::popularity_preserving(0.5);
+        let s = stratified_sample_items(&t, &cfg, &mut rng).unwrap();
+        // Hot items always survive.
+        assert!(s.rows().any(|(_, v, _)| v == 100));
+        assert!(s.rows().any(|(_, v, _)| v == 101));
+        // Roughly half the cold items survive.
+        let cold = s.rows().filter(|&(_, v, _)| v < 10).count();
+        assert!((3..=7).contains(&cold), "cold items kept: {cold}");
+    }
+
+    #[test]
+    fn item_rows_kept_or_dropped_atomically() {
+        // Item 5 has rows from 3 users; it must survive whole or not at all.
+        let mut rows = vec![(0, 5, 3), (1, 5, 4), (2, 5, 5)];
+        rows.extend((0..20).map(|v| (v, v + 10, 1)));
+        let t = ClickTable::from_rows(rows);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = stratified_sample_items(&t, &StratifiedConfig::uniform(0.5), &mut rng).unwrap();
+        let n = s.rows().filter(|&(_, v, _)| v == 5).count();
+        assert!(n == 0 || n == 3, "item 5 rows kept: {n}");
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = StratifiedConfig {
+            bounds: vec![10, 5],
+            keep_fraction: vec![1.0, 1.0, 1.0],
+        };
+        assert!(stratified_sample_items(&t, &cfg, &mut rng).is_err());
+        let cfg = StratifiedConfig {
+            bounds: vec![10],
+            keep_fraction: vec![1.0],
+        };
+        assert!(stratified_sample_items(&t, &cfg, &mut rng).is_err());
+        let cfg = StratifiedConfig {
+            bounds: vec![],
+            keep_fraction: vec![1.5],
+        };
+        assert!(stratified_sample_items(&t, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn stratum_assignment() {
+        let cfg = StratifiedConfig::popularity_preserving(0.1);
+        assert_eq!(cfg.stratum_of(0), 0);
+        assert_eq!(cfg.stratum_of(9), 0);
+        assert_eq!(cfg.stratum_of(10), 1);
+        assert_eq!(cfg.stratum_of(999), 2);
+        assert_eq!(cfg.stratum_of(1000), 3);
+        assert_eq!(cfg.stratum_of(u64::MAX), 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the columnar click table: canonicalization against a
+//! reference model, aggregation consistency, and sampling invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ricd_table::aggregate::{per_item_stats, per_user_stats};
+use ricd_table::sampling::{stratified_sample_items, StratifiedConfig};
+use ricd_table::{io, ClickTable};
+use std::collections::BTreeMap;
+
+fn rows() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    proptest::collection::vec((0u32..30, 0u32..20, 0u32..15), 0..200)
+}
+
+proptest! {
+    /// from_rows equals a BTreeMap accumulation (dropping zero-click rows).
+    #[test]
+    fn canonicalization_matches_model(raw in rows()) {
+        let t = ClickTable::from_rows(raw.clone());
+        let mut model: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        for (u, v, c) in raw {
+            if c > 0 {
+                *model.entry((u, v)).or_default() += c as u64;
+            }
+        }
+        prop_assert_eq!(t.num_rows(), model.len());
+        let flat: Vec<((u32, u32), u64)> = t.rows().map(|(u, v, c)| ((u, v), c as u64)).collect();
+        let want: Vec<((u32, u32), u64)> = model.into_iter().collect();
+        prop_assert_eq!(flat, want, "rows sorted by (user, item) with summed clicks");
+    }
+
+    /// Group-by totals tie back to the grand total, both sides.
+    #[test]
+    fn aggregation_totals_consistent(raw in rows()) {
+        let t = ClickTable::from_rows(raw);
+        let grand = t.total_clicks();
+        let by_user: u64 = per_user_stats(&t).iter().map(|s| s.total_clicks).sum();
+        let by_item: u64 = per_item_stats(&t).iter().map(|s| s.total_clicks).sum();
+        prop_assert_eq!(by_user, grand);
+        prop_assert_eq!(by_item, grand);
+        // Group row counts tie back to the table's row count.
+        let rows_by_user: u64 = per_user_stats(&t).iter().map(|s| s.count as u64).sum();
+        prop_assert_eq!(rows_by_user as usize, t.num_rows());
+    }
+
+    /// Per-group min ≤ mean ≤ max, and stdev is finite and non-negative.
+    #[test]
+    fn group_stats_are_sane(raw in rows()) {
+        let t = ClickTable::from_rows(raw);
+        for s in per_item_stats(&t) {
+            if s.count > 0 {
+                prop_assert!(s.min as f64 <= s.mean + 1e-9);
+                prop_assert!(s.mean <= s.max as f64 + 1e-9);
+                prop_assert!(s.stdev >= 0.0 && s.stdev.is_finite());
+            }
+        }
+    }
+
+    /// TSV and JSON round-trips preserve the table exactly.
+    #[test]
+    fn io_round_trips(raw in rows()) {
+        let t = ClickTable::from_rows(raw);
+        let mut buf = Vec::new();
+        io::write_tsv(&t, &mut buf).unwrap();
+        prop_assert_eq!(&io::read_tsv(buf.as_slice()).unwrap(), &t);
+        prop_assert_eq!(&io::from_json(&io::to_json(&t)).unwrap(), &t);
+    }
+
+    /// Graph conversion round-trips.
+    #[test]
+    fn graph_round_trips(raw in rows()) {
+        let t = ClickTable::from_rows(raw);
+        let g = t.to_graph();
+        prop_assert_eq!(g.total_clicks(), t.total_clicks());
+        prop_assert_eq!(ClickTable::from_graph(&g), t);
+    }
+
+    /// Stratified sampling keeps whole items, is a subset, and respects the
+    /// extremes.
+    #[test]
+    fn sampling_invariants(raw in rows(), seed in 0u64..1000, frac in 0.0f64..=1.0) {
+        let t = ClickTable::from_rows(raw);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = stratified_sample_items(&t, &StratifiedConfig::uniform(frac), &mut rng).unwrap();
+        // Subset: every sampled row exists identically in the source.
+        let source: BTreeMap<(u32, u32), u32> = t.rows().map(|(u, v, c)| ((u, v), c)).collect();
+        for (u, v, c) in s.rows() {
+            prop_assert_eq!(source.get(&(u, v)), Some(&c));
+        }
+        // Atomicity: an item is either fully present or fully absent.
+        let stats_src = per_item_stats(&t);
+        let stats_smp = per_item_stats(&s);
+        for (item, smp) in stats_smp.iter().enumerate() {
+            if smp.count > 0 {
+                prop_assert_eq!(smp, &stats_src[item], "item {} partially sampled", item);
+            }
+        }
+        if frac == 1.0 {
+            prop_assert_eq!(&s, &t);
+        }
+    }
+}

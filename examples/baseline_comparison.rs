@@ -1,0 +1,40 @@
+//! Reproduces Fig 8: RICD vs LPA, CN, Louvain, COPYCATCH, FRAUDAR and the
+//! naive algorithm (all with the UI screening attached), on quality (8a)
+//! and elapsed time (8b).
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use fake_click_detection::eval::figures::fig8;
+use fake_click_detection::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let dataset = generate(&DatasetConfig::default(), &AttackConfig::evaluation())
+        .expect("default config is valid");
+    println!(
+        "dataset: {} users / {} items / {} edges; {} planted groups",
+        dataset.graph.num_users(),
+        dataset.graph.num_items(),
+        dataset.graph.num_edges(),
+        dataset.truth.groups.len()
+    );
+
+    let cfg = MethodConfig {
+        copycatch_budget: Duration::from_secs(10),
+        ..MethodConfig::default()
+    };
+    let outcomes = fig8(&dataset.graph, &dataset.truth, &cfg);
+
+    println!("\n=== Fig 8a: precision / recall / F1 (all methods +UI) ===");
+    println!("{}", report::format_quality(&outcomes));
+
+    println!("=== Fig 8b: elapsed time (COPYCATCH/FRAUDAR excluded, as in the paper) ===");
+    let timed: Vec<_> = outcomes
+        .iter()
+        .filter(|o| Method::fig8b_lineup().contains(&o.method))
+        .cloned()
+        .collect();
+    println!("{}", report::format_timing(&timed));
+}

@@ -1,0 +1,59 @@
+//! Reproduces the Section VII case study (Fig 10): a marketing-campaign
+//! attack simulated day by day, a daily RICD job over the cumulative click
+//! snapshots, and the traffic timeline after the detected fake clicks are
+//! cleaned.
+//!
+//! ```sh
+//! cargo run --release --example case_study
+//! ```
+
+use fake_click_detection::eval::figures::fig10;
+use fake_click_detection::prelude::*;
+
+fn main() {
+    // The case-study group: 28 accounts, 2 ridden hot items, 11 targets.
+    let campaign = CampaignConfig::default();
+    let cfg = MethodConfig::default();
+
+    let report = fig10(&campaign, &cfg, 0.5).expect("campaign simulates");
+
+    match report.detection_day {
+        Some(day) => println!(
+            "RICD detected the attack group on day {day} (worker recall {:.0}%)",
+            report.worker_recall_at_detection * 100.0
+        ),
+        None => println!("RICD did not catch the group within the window"),
+    }
+
+    println!("\n=== Fig 10: historical traffic of the target items ===");
+    println!("day   normal   fake  |  traffic");
+    let max = report
+        .cleaned
+        .iter()
+        .map(|d| d.normal_clicks + d.fake_clicks)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for d in &report.cleaned {
+        let n = (d.normal_clicks * 40 / max) as usize;
+        let f = (d.fake_clicks * 40 / max) as usize;
+        let mut marks = String::new();
+        if Some(d.day) == report.detection_day {
+            marks.push_str("  <- detected & cleaned");
+        }
+        if d.day == campaign.campaign_start_day {
+            marks.push_str("  <- campaign starts");
+        }
+        if d.day == campaign.delist_day {
+            marks.push_str("  <- sellers delist");
+        }
+        println!(
+            "{:>3}  {:>7}  {:>5}  |  {}{}{marks}",
+            d.day,
+            d.normal_clicks,
+            d.fake_clicks,
+            "n".repeat(n),
+            "F".repeat(f),
+        );
+    }
+}

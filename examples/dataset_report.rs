@@ -1,0 +1,53 @@
+//! Reproduces the paper's dataset characterization: Table I (scale),
+//! Table II (statistics), Fig 2 (click distributions), and the Section IV
+//! threshold derivations (T_hot by the Pareto rule, T_click by Eq 4).
+//!
+//! ```sh
+//! cargo run --release --example dataset_report
+//! ```
+
+use fake_click_detection::eval::figures::dataset_report;
+use fake_click_detection::prelude::*;
+
+fn main() {
+    let dataset = generate(&DatasetConfig::default(), &AttackConfig::none())
+        .expect("default config is valid");
+    let r = dataset_report(&dataset.graph);
+
+    println!("=== Table I: data scale (paper at 1000x: 20M/4M/90M/200M) ===");
+    println!("users        {}", r.scale.users);
+    println!("items        {}", r.scale.items);
+    println!("edges        {}", r.scale.edges);
+    println!("total_clicks {}", r.scale.total_clicks);
+
+    println!("\n=== Table II: data statistics (paper: user 11.35/4.32/33.34, item 54.94/20.49/992.78) ===");
+    println!(
+        "user: avg_clk={:.2} avg_cnt={:.2} stdev={:.2}",
+        r.user_stats.avg_clk, r.user_stats.avg_cnt, r.user_stats.stdev
+    );
+    println!(
+        "item: avg_clk={:.2} avg_cnt={:.2} stdev={:.2}",
+        r.item_stats.avg_clk, r.item_stats.avg_cnt, r.item_stats.stdev
+    );
+
+    println!("\n=== Section IV thresholds ===");
+    println!(
+        "top-20% items hold {:.1}% of clicks (Pareto principle)",
+        r.pareto_top20_share * 100.0
+    );
+    println!("T_hot (80% rule)  = {}  (paper: 1,320)", r.t_hot_pareto);
+    println!("T_click (Eq 4)    = {}  (paper: 12)", r.t_click_derived);
+
+    println!("\n=== Fig 2a: distribution of items' clicks ===");
+    print_distribution(&r.item_distribution.bin_lower, &r.item_distribution.count, "items");
+    println!("\n=== Fig 2b: distribution of users' clicks ===");
+    print_distribution(&r.user_distribution.bin_lower, &r.user_distribution.count, "users");
+}
+
+fn print_distribution(bins: &[u64], counts: &[u64], what: &str) {
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (lo, &n) in bins.iter().zip(counts) {
+        let bar = "#".repeat((n * 50 / max) as usize);
+        println!("{lo:>8}+ clicks  {n:>7} {what}  {bar}");
+    }
+}

@@ -1,0 +1,287 @@
+//! `ricd` — command-line front end for the fake-click-detection library.
+//!
+//! ```text
+//! ricd generate --output clicks.tsv --truth truth.json [--scale default]
+//! ricd stats    --input clicks.tsv
+//! ricd detect   --input clicks.tsv [--k1 10 --k2 10 --alpha 1.0 ...]
+//! ricd eval     --input clicks.tsv --truth truth.json [--method RICD]
+//! ricd campaign [--days 13]
+//! ```
+//!
+//! Click tables are TSV (`user \t item \t clicks`); ground truth and
+//! detection reports are JSON.
+
+use fake_click_detection::core::detect::Seeds;
+use fake_click_detection::eval::figures;
+use fake_click_detection::graph::io as graph_io;
+use fake_click_detection::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("detect") => cmd_detect(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ricd - Ride Item's Coattails attack detection (ICDE 2021 reproduction)
+
+USAGE:
+    ricd generate --output <clicks.tsv> [--truth <truth.json>]
+                  [--scale tiny|small|default] [--groups <N>] [--seed <N>]
+    ricd stats    --input <clicks.tsv>
+    ricd detect   --input <clicks.tsv> [--output <report.json>]
+                  [--k1 <N>] [--k2 <N>] [--alpha <F>]
+                  [--t-hot <N>] [--t-click <N>]
+                  [--seed-user <id>]... [--seed-item <id>]...
+    ricd eval     --input <clicks.tsv> --truth <truth.json> [--method <NAME>]
+    ricd campaign [--days <N>]
+
+Click tables are TSV lines `user<TAB>item<TAB>clicks`.
+";
+
+/// Minimal `--key value` parser; flags may repeat.
+struct Flags<'a>(&'a [String]);
+
+impl<'a> Flags<'a> {
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.0
+            .windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&'a str> {
+        self.0
+            .windows(2)
+            .filter(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+            .collect()
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(key)
+            .map(|v| v.parse().map_err(|e| format!("bad {key}: {e}")))
+            .transpose()
+    }
+
+    fn require(&self, key: &str) -> Result<&'a str, String> {
+        self.get(key).ok_or_else(|| format!("missing {key}"))
+    }
+}
+
+fn load_graph(path: &str) -> Result<fake_click_detection::graph::BipartiteGraph, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    graph_io::read_tsv(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn ricd_params(flags: &Flags) -> Result<RicdParams, String> {
+    let mut p = RicdParams::default();
+    if let Some(v) = flags.parse("--k1")? {
+        p.k1 = v;
+    }
+    if let Some(v) = flags.parse("--k2")? {
+        p.k2 = v;
+    }
+    if let Some(v) = flags.parse("--alpha")? {
+        p.alpha = v;
+    }
+    if let Some(v) = flags.parse("--t-hot")? {
+        p.t_hot = v;
+    }
+    if let Some(v) = flags.parse("--t-click")? {
+        p.t_click = v;
+    }
+    p.validate()?;
+    Ok(p)
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let output = flags.require("--output")?;
+    let mut dataset_cfg = match flags.get("--scale") {
+        None | Some("default") => DatasetConfig::default(),
+        Some("small") => DatasetConfig::small(),
+        Some("tiny") => DatasetConfig::tiny(),
+        Some(other) => return Err(format!("unknown scale `{other}`")),
+    };
+    if let Some(seed) = flags.parse("--seed")? {
+        dataset_cfg.seed = seed;
+    }
+    let mut attack = AttackConfig::evaluation();
+    if let Some(groups) = flags.parse("--groups")? {
+        attack.num_groups = groups;
+    }
+    let ds = generate(&dataset_cfg, &attack)?;
+
+    let file = File::create(output).map_err(|e| format!("{output}: {e}"))?;
+    graph_io::write_tsv(&ds.graph, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {}: {} users, {} items, {} records, {} clicks ({} planted groups)",
+        output,
+        ds.graph.num_users(),
+        ds.graph.num_items(),
+        ds.graph.num_edges(),
+        ds.graph.total_clicks(),
+        ds.truth.groups.len()
+    );
+
+    if let Some(truth_path) = flags.get("--truth") {
+        let json = serde_json::to_string_pretty(&ds.truth).map_err(|e| e.to_string())?;
+        let mut f = File::create(truth_path).map_err(|e| format!("{truth_path}: {e}"))?;
+        f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+        eprintln!("wrote {truth_path}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let g = load_graph(flags.require("--input")?)?;
+    let r = figures::dataset_report(&g);
+    println!("users         {}", r.scale.users);
+    println!("items         {}", r.scale.items);
+    println!("edges         {}", r.scale.edges);
+    println!("total clicks  {}", r.scale.total_clicks);
+    println!(
+        "user stats    avg_clk={:.2} avg_cnt={:.2} stdev={:.2}",
+        r.user_stats.avg_clk, r.user_stats.avg_cnt, r.user_stats.stdev
+    );
+    println!(
+        "item stats    avg_clk={:.2} avg_cnt={:.2} stdev={:.2}",
+        r.item_stats.avg_clk, r.item_stats.avg_cnt, r.item_stats.stdev
+    );
+    println!(
+        "pareto        top-20% items hold {:.1}% of clicks",
+        r.pareto_top20_share * 100.0
+    );
+    println!("derived       T_hot={} T_click={}", r.t_hot_pareto, r.t_click_derived);
+    Ok(())
+}
+
+fn cmd_detect(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let g = load_graph(flags.require("--input")?)?;
+    let params = ricd_params(&flags)?;
+
+    let seeds = Seeds {
+        users: flags
+            .get_all("--seed-user")
+            .into_iter()
+            .map(|s| s.parse().map(UserId).map_err(|e| format!("bad --seed-user: {e}")))
+            .collect::<Result<_, _>>()?,
+        items: flags
+            .get_all("--seed-item")
+            .into_iter()
+            .map(|s| s.parse().map(ItemId).map_err(|e| format!("bad --seed-item: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+
+    let result = RicdPipeline::new(params).with_seeds(seeds).run(&g);
+    eprintln!(
+        "detected {} groups ({} suspicious users, {} suspicious items) in {:?}",
+        result.groups.len(),
+        result.suspicious_users().len(),
+        result.suspicious_items().len(),
+        result.timings.total()
+    );
+    for (i, grp) in result.groups.iter().enumerate() {
+        println!(
+            "group {}: {} workers x {} targets (ridden hot items: {:?})",
+            i + 1,
+            grp.users.len(),
+            grp.items.len(),
+            grp.ridden_hot_items
+        );
+    }
+    if let Some(path) = flags.get("--output") {
+        let json = serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?;
+        let mut f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let g = load_graph(flags.require("--input")?)?;
+    let truth_path = flags.require("--truth")?;
+    let truth: fake_click_detection::datagen::GroundTruth = {
+        let text = std::fs::read_to_string(truth_path).map_err(|e| format!("{truth_path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{truth_path}: {e}"))?
+    };
+
+    let methods: Vec<Method> = match flags.get("--method") {
+        None => Method::fig8_lineup().to_vec(),
+        Some(name) => vec![Method::fig8_lineup()
+            .into_iter()
+            .chain(Method::table6_lineup())
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown method `{name}`"))?],
+    };
+
+    let cfg = MethodConfig::default();
+    let outcomes: Vec<_> = methods
+        .iter()
+        .map(|&m| {
+            let result = cfg.run(m, &g);
+            let eval = evaluate(&result, &truth);
+            figures::MethodOutcome {
+                method: m,
+                name: m.name().to_string(),
+                eval,
+                detect_ms: 0.0,
+                screen_ms: 0.0,
+                total_ms: result.timings.total().as_secs_f64() * 1e3,
+            }
+        })
+        .collect();
+    println!("{}", report::format_quality(&outcomes));
+    Ok(())
+}
+
+fn cmd_campaign(args: &[String]) -> Result<(), String> {
+    let flags = Flags(args);
+    let mut cfg = CampaignConfig::default();
+    if let Some(days) = flags.parse("--days")? {
+        cfg.num_days = days;
+        cfg.delist_day = days;
+    }
+    let method_cfg = MethodConfig::default();
+    let report = figures::fig10(&cfg, &method_cfg, 0.5)?;
+    match report.detection_day {
+        Some(day) => println!(
+            "detected on day {day} (worker recall {:.0}%)",
+            report.worker_recall_at_detection * 100.0
+        ),
+        None => println!("not detected within the window"),
+    }
+    println!("day  normal  fake");
+    for d in &report.cleaned {
+        println!("{:>3}  {:>6}  {:>5}", d.day, d.normal_clicks, d.fake_clicks);
+    }
+    Ok(())
+}

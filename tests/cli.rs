@@ -1,0 +1,188 @@
+//! Integration tests of the `ricd` CLI binary: the generate → stats →
+//! detect → eval round trip over real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ricd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ricd"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ricd-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn generate_stats_detect_eval_round_trip() {
+    let clicks = tmp("clicks.tsv");
+    let truth = tmp("truth.json");
+    let report = tmp("report.json");
+
+    // generate
+    let out = ricd()
+        .args([
+            "generate",
+            "--output",
+            clicks.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+            "--scale",
+            "small",
+            "--groups",
+            "3",
+            "--seed",
+            "7",
+        ])
+        .output()
+        .expect("ricd generate runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(clicks.exists() && truth.exists());
+
+    // stats
+    let out = ricd()
+        .args(["stats", "--input", clicks.to_str().unwrap()])
+        .output()
+        .expect("ricd stats runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total clicks"), "{text}");
+    assert!(text.contains("pareto"), "{text}");
+
+    // detect
+    let out = ricd()
+        .args([
+            "detect",
+            "--input",
+            clicks.to_str().unwrap(),
+            "--output",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("ricd detect runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("group 1:"), "{text}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert!(parsed["groups"].as_array().is_some_and(|g| !g.is_empty()));
+
+    // eval
+    let out = ricd()
+        .args([
+            "eval",
+            "--input",
+            clicks.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+            "--method",
+            "RICD",
+        ])
+        .output()
+        .expect("ricd eval runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RICD"), "{text}");
+    assert!(text.contains("precision"), "{text}");
+
+    for p in [clicks, truth, report] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn deterministic_generation_under_seed() {
+    let a = tmp("a.tsv");
+    let b = tmp("b.tsv");
+    for path in [&a, &b] {
+        let out = ricd()
+            .args([
+                "generate",
+                "--output",
+                path.to_str().unwrap(),
+                "--scale",
+                "tiny",
+                "--seed",
+                "99",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap()
+    );
+    let _ = std::fs::remove_file(a);
+    let _ = std::fs::remove_file(b);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = ricd().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = ricd().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn missing_required_flag_is_an_error() {
+    let out = ricd().arg("stats").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn detect_accepts_custom_parameters() {
+    let clicks = tmp("params.tsv");
+    let out = ricd()
+        .args([
+            "generate",
+            "--output",
+            clicks.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = ricd()
+        .args([
+            "detect",
+            "--input",
+            clicks.to_str().unwrap(),
+            "--k1",
+            "5",
+            "--k2",
+            "5",
+            "--alpha",
+            "0.9",
+            "--t-click",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Invalid alpha rejected.
+    let out = ricd()
+        .args([
+            "detect",
+            "--input",
+            clicks.to_str().unwrap(),
+            "--alpha",
+            "1.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(clicks);
+}

@@ -1,0 +1,133 @@
+//! Property-based invariants of the full pipeline, over randomized dataset
+//! and attack configurations.
+
+use fake_click_detection::prelude::*;
+use proptest::prelude::*;
+
+/// Random but valid generator configs (kept tiny for test speed).
+fn configs() -> impl Strategy<Value = (DatasetConfig, AttackConfig)> {
+    (
+        200usize..800,       // users
+        50usize..150,        // items
+        0usize..3,           // groups
+        10usize..20,         // workers per group
+        10usize..14,         // targets per group
+        0.8f64..=1.0,        // coverage
+        any::<bool>(),       // experienced workers
+        0u64..1000,          // seeds
+    )
+        .prop_map(|(users, items, groups, workers, targets, coverage, exp, seed)| {
+            let d = DatasetConfig {
+                num_users: users,
+                num_items: items,
+                max_user_degree: 40,
+                num_communities: 2,
+                community_users: (10, 15),
+                community_items: (5, 8),
+                num_flash_items: 3,
+                num_hunter_rings: 1,
+                hunter_items: (3, 5),
+                seed,
+                ..DatasetConfig::default()
+            };
+            let a = AttackConfig {
+                num_groups: groups,
+                workers_per_group: workers,
+                targets_per_group: targets,
+                target_coverage: coverage,
+                experienced_workers: exp,
+                seed: seed ^ 0xabcd,
+                ..AttackConfig::default()
+            };
+            (d, a)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Output node ids always exist in the graph, groups are internally
+    /// sorted, and no ridden hot item leaks into the suspicious item set.
+    #[test]
+    fn output_is_well_formed((d, a) in configs()) {
+        let ds = generate(&d, &a).unwrap();
+        let r = RicdPipeline::new(RicdParams::default()).run(&ds.graph);
+        for g in &r.groups {
+            for u in &g.users {
+                prop_assert!(u.index() < ds.graph.num_users());
+            }
+            for v in &g.items {
+                prop_assert!(v.index() < ds.graph.num_items());
+                prop_assert!(!g.ridden_hot_items.contains(v));
+            }
+            prop_assert!(g.users.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(g.items.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(g.users.len() >= 2, "groups have at least two workers");
+            prop_assert!(!g.items.is_empty());
+        }
+    }
+
+    /// Determinism: same configs → identical output.
+    #[test]
+    fn pipeline_is_deterministic((d, a) in configs()) {
+        let ds1 = generate(&d, &a).unwrap();
+        let ds2 = generate(&d, &a).unwrap();
+        let r1 = RicdPipeline::new(RicdParams::default()).run(&ds1.graph);
+        let r2 = RicdPipeline::new(RicdParams::default()).run(&ds2.graph);
+        prop_assert_eq!(r1.groups, r2.groups);
+    }
+
+    /// Screening monotonicity (the Table VI mechanism): each added screening
+    /// step can only shrink the output node set.
+    #[test]
+    fn screening_shrinks_output((d, a) in configs()) {
+        let ds = generate(&d, &a).unwrap();
+        let cfg = MethodConfig::default();
+        let ui = cfg.run(Method::RicdUi, &ds.graph).num_output();
+        let i = cfg.run(Method::RicdI, &ds.graph).num_output();
+        let full = cfg.run(Method::Ricd, &ds.graph).num_output();
+        prop_assert!(ui >= i, "RICD-UI {ui} >= RICD-I {i}");
+        prop_assert!(i >= full, "RICD-I {i} >= RICD {full}");
+    }
+
+    /// Every suspicious user in the output actually clicked at least one of
+    /// the suspicious items heavily (the screening contract).
+    #[test]
+    fn output_users_have_heavy_evidence((d, a) in configs()) {
+        let ds = generate(&d, &a).unwrap();
+        let params = RicdParams::default();
+        let r = RicdPipeline::new(params).run(&ds.graph);
+        for g in &r.groups {
+            for &u in &g.users {
+                let heavy = g.items.iter().any(|&v| {
+                    ds.graph.clicks(u, v).is_some_and(|c| c >= params.t_click)
+                });
+                prop_assert!(heavy, "{u} has no heavy click on its group's items");
+            }
+        }
+    }
+
+    /// Risk ranking covers exactly the output node sets and descends.
+    #[test]
+    fn ranking_is_consistent((d, a) in configs()) {
+        let ds = generate(&d, &a).unwrap();
+        let r = RicdPipeline::new(RicdParams::default()).run(&ds.graph);
+        prop_assert_eq!(r.ranked_users.len(), r.suspicious_users().len());
+        prop_assert_eq!(r.ranked_items.len(), r.suspicious_items().len());
+        prop_assert!(r.ranked_users.windows(2).all(|w| w[0].1 >= w[1].1));
+        prop_assert!(r.ranked_items.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    /// Evaluation bounds: precision/recall/F1 in [0, 1]; perfect output on
+    /// an attack-free dataset is undefined-but-zero, never NaN.
+    #[test]
+    fn evaluation_is_bounded((d, a) in configs()) {
+        let ds = generate(&d, &a).unwrap();
+        let r = RicdPipeline::new(RicdParams::default()).run(&ds.graph);
+        let e = evaluate(&r, &ds.truth);
+        for x in [e.precision, e.recall, e.f1] {
+            prop_assert!((0.0..=1.0).contains(&x), "metric {x} out of range");
+            prop_assert!(!x.is_nan());
+        }
+    }
+}
