@@ -199,7 +199,19 @@ mod tests {
         // planted worker, while the full pipeline's output is much tighter.
         use ricd_datagen::prelude::*;
         let ds = generate(&DatasetConfig::small(), &AttackConfig::small()).unwrap();
-        let s = rough_screening(&ds.graph, 1_000, 12, &WorkerPool::new(2));
+        // T_hot must classify the ridden items as hot for the screen to see
+        // the co-click link; derive it from the planted groups instead of
+        // hard-coding an absolute count, so the test is robust to generator
+        // calibration at this scale.
+        let t_hot = ds
+            .truth
+            .groups
+            .iter()
+            .flat_map(|g| &g.ridden_hot_items)
+            .map(|&v| ds.graph.item_total_clicks(v))
+            .min()
+            .unwrap();
+        let s = rough_screening(&ds.graph, t_hot, 12, &WorkerPool::new(2));
         let workers = ds.truth.abnormal_users();
         let covered = workers
             .iter()

@@ -6,7 +6,7 @@
 //! parallel graph engine where an algorithm is expressed as rounds of
 //! per-vertex work distributed across workers, with a barrier between
 //! rounds (16 workers by default in the paper's cluster). This crate is the
-//! in-process substitute: a [`WorkerPool`] over crossbeam scoped threads,
+//! in-process substitute: a [`WorkerPool`] over scoped threads,
 //! range [`partition`]ing of the vertex space, and bulk-synchronous
 //! [`WorkerPool::map_vertices`] / [`WorkerPool::filter_vertices`] /
 //! [`WorkerPool::fold_vertices`] primitives.

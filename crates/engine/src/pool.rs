@@ -3,8 +3,8 @@
 use crate::partition::partition_ranges;
 use std::ops::Range;
 
-/// A fixed-width pool executing bulk-synchronous vertex rounds on crossbeam
-/// scoped threads.
+/// A fixed-width pool executing bulk-synchronous vertex rounds on scoped
+/// threads.
 ///
 /// Each primitive partitions the vertex range, runs one closure instance per
 /// worker, and joins before returning — the same superstep-with-barrier model
@@ -52,17 +52,17 @@ impl WorkerPool {
         if ranges.len() <= 1 {
             return ranges.into_iter().map(&f).collect();
         }
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
+            let f = &f;
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|r| s.spawn(|_| f(r)))
+                .map(|r| s.spawn(move || f(r)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         })
-        .expect("scope propagates panics via join")
     }
 
     /// Computes `f(i)` for every `i in 0..n` into a vector (one superstep).
@@ -80,20 +80,19 @@ impl WorkerPool {
             return out;
         }
         // Split the output into per-partition disjoint slices.
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut rest: &mut [T] = &mut out;
             for r in ranges {
                 let (chunk, tail) = rest.split_at_mut(r.len());
                 rest = tail;
                 let f = &f;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (off, slot) in chunk.iter_mut().enumerate() {
                         *slot = f(r.start + off);
                     }
                 });
             }
-        })
-        .expect("scope propagates panics via join");
+        });
         out
     }
 

@@ -5,8 +5,8 @@
 //! of the time" vs the UI screening step). [`PhaseTimings`] accumulates named
 //! phase durations so the harness can report both the split and the total.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A simple restartable stopwatch.
@@ -59,7 +59,7 @@ impl PhaseTimings {
 
     /// Adds `elapsed` to the named phase.
     pub fn record(&self, phase: &str, elapsed: Duration) {
-        let mut phases = self.phases.lock();
+        let mut phases = self.phases.lock().expect("timings mutex poisoned");
         if let Some(entry) = phases.iter_mut().find(|(n, _)| n == phase) {
             entry.1 += elapsed;
         } else {
@@ -77,13 +77,19 @@ impl PhaseTimings {
 
     /// Total across phases.
     pub fn total(&self) -> Duration {
-        self.phases.lock().iter().map(|(_, d)| *d).sum()
+        self.phases
+            .lock()
+            .expect("timings mutex poisoned")
+            .iter()
+            .map(|(_, d)| *d)
+            .sum()
     }
 
     /// Elapsed time of one phase, if recorded.
     pub fn get(&self, phase: &str) -> Option<Duration> {
         self.phases
             .lock()
+            .expect("timings mutex poisoned")
             .iter()
             .find(|(n, _)| n == phase)
             .map(|(_, d)| *d)
@@ -92,7 +98,7 @@ impl PhaseTimings {
     /// Snapshot for reporting.
     pub fn report(&self) -> TimingReport {
         TimingReport {
-            phases: self.phases.lock().clone(),
+            phases: self.phases.lock().expect("timings mutex poisoned").clone(),
         }
     }
 }
@@ -159,16 +165,15 @@ mod tests {
     #[test]
     fn concurrent_recording() {
         let t = PhaseTimings::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..8 {
-                s.spawn(|_| {
+                s.spawn(|| {
                     for _ in 0..100 {
                         t.record("p", Duration::from_micros(1));
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(t.get("p"), Some(Duration::from_micros(800)));
     }
 }

@@ -1,0 +1,552 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of proptest its tests use: the [`Strategy`] trait
+//! with range/tuple/collection/`prop_map` combinators, the [`proptest!`]
+//! macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! [`ProptestConfig::with_cases`]. Cases are generated from a seed derived
+//! deterministically from the test name, and every failure message carries
+//! the per-case seed so a run can be reproduced by eye.
+//!
+//! Deliberately missing versus upstream: shrinking (failures report the
+//! raw case), persistence files, and the full strategy combinator zoo.
+
+use rand::prelude::*;
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject,
+    /// `prop_assert!`-style failure.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+
+    /// True for [`TestCaseError::Reject`].
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "rejected by prop_assume!"),
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.gen()
+    }
+}
+
+/// The [`any`] strategy.
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// A sampled collection-size specification.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi_exclusive {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi_exclusive)
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end.max(r.start + 1),
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_exclusive: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet`s with `size` distinct elements drawn from `element`
+    /// (best effort: gives up growing after bounded rejection retries, so
+    /// a small element domain yields a smaller set rather than a hang).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut tries = 0;
+            while out.len() < n && tries < 20 * n + 20 {
+                out.insert(self.element.generate(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option`s that are `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The glob import test modules use.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Builds the per-case RNG. Used by the [`proptest!`] expansion so test
+/// crates do not need their own `rand` dependency.
+pub fn rng_from_seed(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// FNV-1a over the test path — the deterministic base seed per test.
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Drives one proptest-style test: draws cases, skips rejections, panics
+/// with the case seed on failure. Used by the [`proptest!`] expansion.
+pub fn run_cases(
+    test_name: &str,
+    config: ProptestConfig,
+    mut case: impl FnMut(u64) -> Result<(), TestCaseError>,
+) {
+    let mut seeder = TestRng::seed_from_u64(seed_for_test(test_name));
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    while accepted < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "{test_name}: gave up after {attempts} attempts with only {accepted}/{} accepted cases \
+             (prop_assume! rejects too much?)",
+            config.cases
+        );
+        attempts += 1;
+        let case_seed = seeder.next_u64();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(case_seed)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject)) => continue,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("{test_name}: case failed (case seed {case_seed:#018x}): {msg}")
+            }
+            Err(payload) => {
+                eprintln!("{test_name}: case panicked (case seed {case_seed:#018x})");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Mirrors upstream's surface for the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn my_property(x in 0u32..100, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let strategies = ($($strat,)+);
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                $cfg,
+                |case_seed| {
+                    let mut rng = $crate::rng_from_seed(case_seed);
+                    let ($($pat,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*));
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+            }
+        }
+    };
+}
+
+/// Rejects the current case, drawing a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let s = collection::vec((0u32..40, 0.0f64..1.0), 0..50);
+        let mut r1 = TestRng::seed_from_u64(9);
+        let mut r2 = TestRng::seed_from_u64(9);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn btree_set_respects_size_where_possible() {
+        let s = collection::btree_set(0u32..1000, 5..6);
+        let mut rng = TestRng::seed_from_u64(1);
+        assert_eq!(s.generate(&mut rng).len(), 5);
+        // Domain smaller than requested size: bounded retries, no hang.
+        let tiny = collection::btree_set(0u32..3, 10..11);
+        assert!(tiny.generate(&mut rng).len() <= 3);
+    }
+
+    #[test]
+    fn run_cases_counts_accepted_only() {
+        let mut accepted = 0;
+        run_cases("t", ProptestConfig::with_cases(10), |seed| {
+            if seed % 2 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "case seed")]
+    fn failures_carry_the_seed() {
+        run_cases("t", ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro surface end to end: tuples, prop_map, assume, asserts.
+        #[test]
+        fn macro_round_trip((a, b) in (0u32..50, 0u32..50).prop_map(|(x, y)| (x, x + y)),
+                            flag in any::<bool>()) {
+            prop_assume!(a % 7 != 3);
+            prop_assert!(b >= a, "b {b} >= a {a}");
+            prop_assert_eq!(a.min(b), a);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! workspace's vendored `serde` shim (a JSON-shaped `Value` data model).
+//! Supported shapes — the ones this workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (a 1-field newtype serializes as its inner value,
+//!   wider tuples as arrays),
+//! * unit structs,
+//! * enums whose variants are unit or single-field newtypes
+//!   (unit → `"Variant"`, newtype → `{"Variant": value}`).
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are not
+//! supported and fail loudly at compile time. The parser walks the token
+//! tree by hand — no `syn`/`quote`, because the build environment cannot
+//! download them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute tokens.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.next();
+                }
+                other => panic!("expected attribute brackets after `#`, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub` / `pub(...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected {what}, found {other:?}"),
+        }
+    }
+
+    fn expect_punct(&mut self, ch: char) {
+        match self.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ch => {}
+            other => panic!("expected `{ch}`, found {other:?}"),
+        }
+    }
+
+    /// Consumes type tokens until a top-level `,` (angle-bracket aware).
+    /// Leaves the cursor on the comma (or at the end).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) => match p.as_char() {
+                    ',' if angle_depth == 0 => return,
+                    '<' => {
+                        angle_depth += 1;
+                        self.next();
+                    }
+                    '>' => {
+                        angle_depth -= 1;
+                        self.next();
+                    }
+                    _ => {
+                        self.next();
+                    }
+                },
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream, derive_name: &str) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("derive({derive_name}) shim does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("derive({derive_name}) applied to unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            return fields;
+        }
+        fields.push(c.expect_ident("field name"));
+        c.expect_punct(':');
+        c.skip_type();
+        if c.at_end() {
+            return fields;
+        }
+        c.expect_punct(',');
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut arity = 0;
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        if c.at_end() {
+            return arity;
+        }
+        c.skip_type();
+        arity += 1;
+        if c.at_end() {
+            return arity;
+        }
+        c.expect_punct(',');
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            return variants;
+        }
+        let name = c.expect_ident("variant name");
+        let newtype = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                assert!(
+                    arity == 1,
+                    "derive shim supports only single-field tuple variants, `{name}` has {arity}"
+                );
+                c.next();
+                true
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("derive shim does not support struct variant `{name}`")
+            }
+            _ => false,
+        };
+        variants.push(Variant { name, newtype });
+        if c.at_end() {
+            return variants;
+        }
+        c.expect_punct(',');
+    }
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Serialize");
+    let mut out = String::new();
+    let (type_name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from("::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([\n");
+            for f in fields {
+                let _ = writeln!(
+                    b,
+                    "    (::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            b.push_str("])))");
+            (name, b)
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut b = String::from("::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([\n");
+            for i in 0..*arity {
+                let _ = writeln!(b, "    ::serde::Serialize::to_value(&self.{i}),");
+            }
+            b.push_str("])))");
+            (name, b)
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                if v.newtype {
+                    let _ = writeln!(
+                        b,
+                        "    Self::{vn}(inner) => ::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(inner))]))),"
+                    );
+                } else {
+                    let _ = writeln!(
+                        b,
+                        "    Self::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                    );
+                }
+            }
+            b.push('}');
+            (name, b)
+        }
+    };
+    let _ = write!(
+        out,
+        "#[automatically_derived]\nimpl ::serde::Serialize for {type_name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    );
+    out.parse().expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Deserialize");
+    let mut out = String::new();
+    let (type_name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let mut b = String::from("::std::result::Result::Ok(Self {\n");
+            for f in fields {
+                let _ = writeln!(b, "    {f}: ::serde::from_field(v, {f:?})?,");
+            }
+            b.push_str("})");
+            (name, b)
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string(),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut b = format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(format!(\"expected array for `{name}`, got {{v:?}}\")))?;\n"
+            );
+            let _ = writeln!(
+                b,
+                "        if a.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(format!(\"expected {arity} elements for `{name}`, got {{}}\", a.len()))); }}"
+            );
+            b.push_str("        ::std::result::Result::Ok(Self(");
+            for i in 0..*arity {
+                let _ = write!(b, "::serde::Deserialize::from_value(&a[{i}])?, ");
+            }
+            b.push_str("))");
+            (name, b)
+        }
+        Item::UnitStruct { name } => (
+            name,
+            "let _ = v; ::std::result::Result::Ok(Self)".to_string(),
+        ),
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants.iter().filter(|v| !v.newtype).collect();
+            let newtype: Vec<&Variant> = variants.iter().filter(|v| v.newtype).collect();
+            let mut b = String::from("match v {\n");
+            if !unit.is_empty() {
+                b.push_str("    ::serde::Value::Str(s) => match s.as_str() {\n");
+                for v in &unit {
+                    let vn = &v.name;
+                    let _ = writeln!(b, "        {vn:?} => ::std::result::Result::Ok(Self::{vn}),");
+                }
+                let _ = writeln!(
+                    b,
+                    "        other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of `{name}`\"))),"
+                );
+                b.push_str("    },\n");
+            }
+            if !newtype.is_empty() {
+                b.push_str(
+                    "    ::serde::Value::Object(entries) if entries.len() == 1 => {\n        let (k, inner) = &entries[0];\n        match k.as_str() {\n",
+                );
+                for v in &newtype {
+                    let vn = &v.name;
+                    let _ = writeln!(
+                        b,
+                        "            {vn:?} => ::std::result::Result::Ok(Self::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    );
+                }
+                let _ = writeln!(
+                    b,
+                    "            other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of `{name}`\"))),"
+                );
+                b.push_str("        }\n    },\n");
+            }
+            let _ = writeln!(
+                b,
+                "    other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unexpected value for enum `{name}`: {{other:?}}\"))),"
+            );
+            b.push('}');
+            (name, b)
+        }
+    };
+    let _ = write!(
+        out,
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {type_name} {{\n    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+    );
+    out.parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
