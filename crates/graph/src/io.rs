@@ -113,17 +113,34 @@ pub fn from_bytes(mut buf: Bytes) -> Result<BipartiteGraph, IoError> {
     if &magic != MAGIC {
         return Err(IoError::Corrupt("bad magic".into()));
     }
-    let users = buf.get_u64_le() as usize;
-    let items = buf.get_u64_le() as usize;
-    let edges = buf.get_u64_le() as usize;
-    if buf.remaining() < edges * 12 {
+    let users = buf.get_u64_le();
+    let items = buf.get_u64_le();
+    let edges = buf.get_u64_le();
+    // Vertex ids are u32, so a header claiming more vertices than the id
+    // space can address is corrupt no matter what follows.
+    const MAX_VERTICES: u64 = u32::MAX as u64 + 1;
+    if users > MAX_VERTICES || items > MAX_VERTICES {
         return Err(IoError::Corrupt(format!(
-            "expected {} edge bytes, have {}",
-            edges * 12,
-            buf.remaining()
+            "vertex counts {users}/{items} exceed the u32 id space"
         )));
     }
-    let mut b = GraphBuilder::with_capacity(edges);
+    let (users, items) = (users as usize, items as usize);
+    // `edges * 12` must not wrap: a hostile header with edges near the
+    // integer maximum would otherwise pass the length check and drive a
+    // huge allocation + read loop below.
+    match edges.checked_mul(12) {
+        Some(need) if buf.remaining() as u64 >= need => {}
+        _ => {
+            return Err(IoError::Corrupt(format!(
+                "expected {edges} edge records, have {} bytes",
+                buf.remaining()
+            )));
+        }
+    }
+    let edges = edges as usize;
+    // Even with a consistent header, never pre-allocate more than the
+    // payload can actually hold.
+    let mut b = GraphBuilder::with_capacity(edges.min(buf.remaining() / 12));
     b.reserve_users(users).reserve_items(items);
     for _ in 0..edges {
         let u = buf.get_u32_le();
@@ -211,6 +228,48 @@ mod tests {
         ));
         assert!(matches!(
             from_bytes(Bytes::from_static(b"short")),
+            Err(IoError::Corrupt(_))
+        ));
+    }
+
+    /// A 32-byte header is all an attacker controls cheaply; every field
+    /// pushed to its extreme must yield `Corrupt`, never a wrapping length
+    /// check, a giant pre-allocation, or a panic in the read loop.
+    #[test]
+    fn binary_rejects_hostile_headers() {
+        let header = |users: u64, items: u64, edges: u64| {
+            let mut h = BytesMut::with_capacity(32);
+            h.put_slice(MAGIC);
+            h.put_u64_le(users);
+            h.put_u64_le(items);
+            h.put_u64_le(edges);
+            h.freeze()
+        };
+        // edges * 12 wraps around u64 (and usize).
+        for edges in [u64::MAX, u64::MAX / 2, u64::MAX / 12 + 1, (usize::MAX / 12 + 1) as u64] {
+            assert!(
+                matches!(from_bytes(header(1, 1, edges)), Err(IoError::Corrupt(_))),
+                "edges={edges:#x} must be rejected"
+            );
+        }
+        // Plausible edge count, no payload: must not pre-allocate for the
+        // claimed count before noticing the buffer is empty.
+        assert!(matches!(
+            from_bytes(header(10, 10, 1 << 40)),
+            Err(IoError::Corrupt(_))
+        ));
+        // Vertex counts beyond the u32 id space.
+        assert!(matches!(
+            from_bytes(header(u64::MAX, 1, 0)),
+            Err(IoError::Corrupt(_))
+        ));
+        assert!(matches!(
+            from_bytes(header(1, u64::MAX, 0)),
+            Err(IoError::Corrupt(_))
+        ));
+        // An all-maximal header exercises every guard at once.
+        assert!(matches!(
+            from_bytes(header(u64::MAX, u64::MAX, u64::MAX)),
             Err(IoError::Corrupt(_))
         ));
     }
