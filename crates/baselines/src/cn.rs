@@ -37,7 +37,11 @@ impl Default for CnParams {
 }
 
 /// Computes the user clusters and their item sets.
-pub fn cn_communities(g: &BipartiteGraph, params: &CnParams, pool: &WorkerPool) -> Vec<SuspiciousGroup> {
+pub fn cn_communities(
+    g: &BipartiteGraph,
+    params: &CnParams,
+    pool: &WorkerPool,
+) -> Vec<SuspiciousGroup> {
     let view = GraphView::full(g);
     let n = g.num_users();
 
@@ -76,9 +80,13 @@ pub fn cn_communities(g: &BipartiteGraph, params: &CnParams, pool: &WorkerPool) 
     }
 
     // Clusters with ≥ 2 members (singletons carry no CN evidence).
-    let mut clusters: std::collections::HashMap<u32, Vec<UserId>> = std::collections::HashMap::new();
+    let mut clusters: std::collections::HashMap<u32, Vec<UserId>> =
+        std::collections::HashMap::new();
     for u in 0..n as u32 {
-        clusters.entry(find(&mut parent, u)).or_default().push(UserId(u));
+        clusters
+            .entry(find(&mut parent, u))
+            .or_default()
+            .push(UserId(u));
     }
     let mut out = Vec::new();
     for (_, users) in clusters {
@@ -86,7 +94,8 @@ pub fn cn_communities(g: &BipartiteGraph, params: &CnParams, pool: &WorkerPool) 
             continue;
         }
         // Item support count within the cluster.
-        let mut support: std::collections::HashMap<ItemId, usize> = std::collections::HashMap::new();
+        let mut support: std::collections::HashMap<ItemId, usize> =
+            std::collections::HashMap::new();
         for &u in &users {
             for v in g.user_adjacency(u) {
                 *support.entry(*v).or_default() += 1;
@@ -182,7 +191,12 @@ mod tests {
     #[test]
     fn detect_with_ui_outputs_block() {
         let g = block_graph();
-        let r = cn_detect(&g, &CnParams::default(), &RicdParams::default(), &WorkerPool::new(2));
+        let r = cn_detect(
+            &g,
+            &CnParams::default(),
+            &RicdParams::default(),
+            &WorkerPool::new(2),
+        );
         assert_eq!(r.groups.len(), 1);
         assert_eq!(r.groups[0].users.len(), 12);
     }

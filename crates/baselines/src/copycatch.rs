@@ -168,7 +168,10 @@ fn intersect_sorted(a: &[UserId], b: &[UserId]) -> Vec<UserId> {
 
 /// Enumerates (a time-budgeted prefix of) the maximal bicliques of size
 /// ≥ `m × n`. Returns the bicliques found and whether the budget expired.
-pub fn enumerate_bicliques(g: &BipartiteGraph, params: &CopyCatchParams) -> (Vec<SuspiciousGroup>, bool) {
+pub fn enumerate_bicliques(
+    g: &BipartiteGraph,
+    params: &CopyCatchParams,
+) -> (Vec<SuspiciousGroup>, bool) {
     let mut e = Enumerator {
         g,
         params: *params,

@@ -75,7 +75,11 @@ fn peel_once(view: &GraphView<'_>, params: &FraudarParams) -> Option<Block> {
         .map(|v| column_weight(g.item_degree(ItemId(v as u32))))
         .collect();
     let edge_w = |v: ItemId, clicks: u32| -> f64 {
-        let mult = if params.use_click_counts { clicks as f64 } else { 1.0 };
+        let mult = if params.use_click_counts {
+            clicks as f64
+        } else {
+            1.0
+        };
         mult * col_w[v.index()]
     };
 
@@ -167,7 +171,11 @@ fn peel_once(view: &GraphView<'_>, params: &FraudarParams) -> Option<Block> {
             for (u, c) in view.item_neighbors(v) {
                 let y = u.index();
                 if alive[y] {
-                    let mult = if params.use_click_counts { c as f64 } else { 1.0 };
+                    let mult = if params.use_click_counts {
+                        c as f64
+                    } else {
+                        1.0
+                    };
                     wdeg[y] -= mult * wv;
                     heap.push(Entry(wdeg[y], y));
                 }

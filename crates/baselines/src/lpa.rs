@@ -48,17 +48,24 @@ fn best_label<I: Iterator<Item = (u32, u32)>>(neighbors: I, weighted: bool, fall
 }
 
 /// Runs LPA and returns the per-node labels `(user_labels, item_labels)`.
-pub fn propagate(g: &BipartiteGraph, params: &LpaParams, pool: &WorkerPool) -> (Vec<u32>, Vec<u32>) {
+pub fn propagate(
+    g: &BipartiteGraph,
+    params: &LpaParams,
+    pool: &WorkerPool,
+) -> (Vec<u32>, Vec<u32>) {
     let num_users = g.num_users();
     // Unique initial labels: users get their id, items get U + id.
     let mut user_labels: Vec<u32> = (0..num_users as u32).collect();
-    let mut item_labels: Vec<u32> = (0..g.num_items() as u32).map(|v| num_users as u32 + v).collect();
+    let mut item_labels: Vec<u32> = (0..g.num_items() as u32)
+        .map(|v| num_users as u32 + v)
+        .collect();
 
     for _ in 0..params.max_round {
         let new_user: Vec<u32> = pool.map_vertices(num_users, |u| {
             let uid = UserId(u as u32);
             best_label(
-                g.user_neighbors(uid).map(|(v, c)| (item_labels[v.index()], c)),
+                g.user_neighbors(uid)
+                    .map(|(v, c)| (item_labels[v.index()], c)),
                 params.weighted,
                 user_labels[u],
             )
@@ -155,7 +162,12 @@ mod tests {
     #[test]
     fn detect_finds_both_blocks() {
         let g = two_blocks();
-        let r = lpa_detect(&g, &LpaParams::default(), &RicdParams::default(), &WorkerPool::new(2));
+        let r = lpa_detect(
+            &g,
+            &LpaParams::default(),
+            &RicdParams::default(),
+            &WorkerPool::new(2),
+        );
         assert_eq!(r.groups.len(), 2);
         assert!(r.timings.get("detect").is_some());
     }

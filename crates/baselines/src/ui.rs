@@ -43,6 +43,7 @@ pub fn with_ui(
                 ("screen".to_string(), screen_time),
             ],
         },
+        status: Default::default(),
     };
     result.prune_empty();
     result
@@ -89,7 +90,12 @@ mod tests {
             items: (0..11).map(ItemId).collect(), // includes the hot item
             ridden_hot_items: vec![],
         }];
-        let r = with_ui(&g, communities, &RicdParams::default(), Duration::from_millis(7));
+        let r = with_ui(
+            &g,
+            communities,
+            &RicdParams::default(),
+            Duration::from_millis(7),
+        );
         assert_eq!(r.groups.len(), 1);
         assert_eq!(r.groups[0].users.len(), 12);
         assert_eq!(r.groups[0].items.len(), 10, "hot item screened out");

@@ -12,8 +12,8 @@
 //!   budget, the knob the paper's degenerate variant lives or dies by.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ricd_baselines::fraudar::{fraudar_detect, FraudarParams};
 use ricd_baselines::copycatch::{copycatch_detect, CopyCatchParams};
+use ricd_baselines::fraudar::{fraudar_detect, FraudarParams};
 use ricd_bench::eval_dataset;
 use ricd_core::extract::SquareStrategy;
 use ricd_core::prelude::*;
@@ -39,8 +39,7 @@ fn bench(c: &mut Criterion) {
 
     // Worker scaling.
     for workers in [1usize, 2, 4, 8, 16] {
-        let pipeline =
-            RicdPipeline::new(RicdParams::default()).with_pool(WorkerPool::new(workers));
+        let pipeline = RicdPipeline::new(RicdParams::default()).with_pool(WorkerPool::new(workers));
         group.bench_with_input(
             BenchmarkId::new("ricd_workers", workers),
             &pipeline,

@@ -26,7 +26,10 @@ fn bench(c: &mut Criterion) {
     eprintln!("day  normal  fake   (post-cleaning series)");
     for d in &report.cleaned {
         let bar = "#".repeat(((d.normal_clicks + d.fake_clicks) / 20) as usize);
-        eprintln!("{:>3}  {:>6}  {:>5}  {bar}", d.day, d.normal_clicks, d.fake_clicks);
+        eprintln!(
+            "{:>3}  {:>6}  {:>5}  {bar}",
+            d.day, d.normal_clicks, d.fake_clicks
+        );
     }
 
     let mut group = c.benchmark_group("fig10");

@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("view_full_init", |b| b.iter(|| black_box(GraphView::full(g))));
+    group.bench_function("view_full_init", |b| {
+        b.iter(|| black_box(GraphView::full(g)))
+    });
 
     group.bench_function("view_remove_1000_users", |b| {
         b.iter(|| {
@@ -75,9 +77,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(format!("engine_map_vertices_w{workers}"), |b| {
             let pool = WorkerPool::new(workers);
             b.iter(|| {
-                black_box(pool.map_vertices(g.num_users(), |u| {
-                    g.user_total_clicks(UserId(u as u32))
-                }))
+                black_box(
+                    pool.map_vertices(g.num_users(), |u| g.user_total_clicks(UserId(u as u32))),
+                )
             })
         });
     }

@@ -18,7 +18,12 @@ fn bench(c: &mut Criterion) {
         let ds = scaled_dataset(factor);
         let pipeline = RicdPipeline::new(RicdParams::default());
         let r = pipeline.run(&ds.graph);
-        let ms = |p: &str| r.timings.get(p).map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+        let ms = |p: &str| {
+            r.timings
+                .get(p)
+                .map(|d| d.as_secs_f64() * 1e3)
+                .unwrap_or(0.0)
+        };
         eprintln!(
             "scale {factor:>4}x: users={:>6} edges={:>7} detect={:>8.1}ms screen={:>6.1}ms identify={:>6.1}ms groups={}",
             ds.graph.num_users(),

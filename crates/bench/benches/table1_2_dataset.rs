@@ -36,11 +36,21 @@ fn print_report() {
         r.t_click_derived
     );
     eprintln!("=== Fig 2a: items' click distribution (log-binned) ===");
-    for (lo, n) in r.item_distribution.bin_lower.iter().zip(&r.item_distribution.count) {
+    for (lo, n) in r
+        .item_distribution
+        .bin_lower
+        .iter()
+        .zip(&r.item_distribution.count)
+    {
         eprintln!("clicks>={lo:<8} items={n}");
     }
     eprintln!("=== Fig 2b: users' click distribution (log-binned) ===");
-    for (lo, n) in r.user_distribution.bin_lower.iter().zip(&r.user_distribution.count) {
+    for (lo, n) in r
+        .user_distribution
+        .bin_lower
+        .iter()
+        .zip(&r.user_distribution.count)
+    {
         eprintln!("clicks>={lo:<8} users={n}");
     }
 }

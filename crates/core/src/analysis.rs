@@ -148,15 +148,24 @@ mod tests {
         let s = rough_screening(&scenario(), 1_000, 12, &WorkerPool::new(2));
         assert_eq!(s.suspicious_users, vec![UserId(0), UserId(1)]);
         assert!(!s.suspicious_users.contains(&UserId(5)), "no hot click");
-        assert!(!s.suspicious_users.contains(&UserId(6)), "no heavy ordinary");
+        assert!(
+            !s.suspicious_users.contains(&UserId(6)),
+            "no heavy ordinary"
+        );
     }
 
     #[test]
     fn items_follow_from_users() {
         let s = rough_screening(&scenario(), 1_000, 12, &WorkerPool::new(2));
         assert_eq!(s.suspicious_items, vec![ItemId(1)]);
-        assert!(!s.suspicious_items.contains(&ItemId(2)), "u5 is not suspicious");
-        assert!(!s.suspicious_items.contains(&ItemId(0)), "hot items excluded");
+        assert!(
+            !s.suspicious_items.contains(&ItemId(2)),
+            "u5 is not suspicious"
+        );
+        assert!(
+            !s.suspicious_items.contains(&ItemId(0)),
+            "hot items excluded"
+        );
     }
 
     #[test]
@@ -224,8 +233,8 @@ mod tests {
         );
         // Looseness: the rough screen flags at least as many users as the
         // full pipeline outputs.
-        let full = crate::pipeline::RicdPipeline::new(crate::params::RicdParams::default())
-            .run(&ds.graph);
+        let full =
+            crate::pipeline::RicdPipeline::new(crate::params::RicdParams::default()).run(&ds.graph);
         assert!(s.suspicious_users.len() >= full.suspicious_users().len());
     }
 }

@@ -1,0 +1,127 @@
+//! Run budgets: bounds a detection run agrees to respect, with graceful
+//! degradation instead of abortion when one is exhausted.
+//!
+//! Production detection shares a cluster with serving workloads; the paper's
+//! deployment runs daily over tens of billions of clicks. A run that
+//! overruns its window must not take the day's report down with it — it
+//! should fall back to the cheap naive algorithm (Algorithm 1) and say so.
+//! [`RunBudget`] carries the bounds; the pipeline checks them at phase
+//! boundaries and marks the output [`Degraded`](crate::result::RunStatus)
+//! when it had to cut corners.
+
+use std::time::{Duration, Instant};
+
+/// Resource bounds for one detection run. `Default` is unbounded.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunBudget {
+    /// Wall-clock limit. Checked at phase boundaries (detect → screen →
+    /// identify), not preemptively: a phase in flight runs to completion.
+    pub deadline: Option<Duration>,
+    /// Cap on reported groups; excess (lowest-priority) groups are dropped.
+    pub max_groups: Option<usize>,
+    /// Cap on the streaming frontier per batch; excess seeds are deferred
+    /// (they re-arm on the items' next heavy edge or the next full resync).
+    pub max_frontier: Option<usize>,
+}
+
+impl RunBudget {
+    /// An unbounded budget.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the group cap.
+    pub fn with_max_groups(mut self, n: usize) -> Self {
+        self.max_groups = Some(n);
+        self
+    }
+
+    /// Sets the streaming frontier cap.
+    pub fn with_max_frontier(mut self, n: usize) -> Self {
+        self.max_frontier = Some(n);
+        self
+    }
+
+    /// True if no bound is set.
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.max_groups.is_none() && self.max_frontier.is_none()
+    }
+}
+
+/// A started clock measuring a run against its budget.
+#[derive(Clone, Copy, Debug)]
+pub struct BudgetClock {
+    started: Instant,
+    budget: RunBudget,
+}
+
+impl BudgetClock {
+    /// Starts the clock now.
+    pub fn start(budget: RunBudget) -> Self {
+        Self {
+            started: Instant::now(),
+            budget,
+        }
+    }
+
+    /// Elapsed wall-clock time since the run began.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// True once the deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.budget
+            .deadline
+            .is_some_and(|d| self.started.elapsed() >= d)
+    }
+
+    /// The budget this clock measures against.
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbounded() {
+        let b = RunBudget::none();
+        assert!(b.is_unbounded());
+        let clock = BudgetClock::start(b);
+        assert!(!clock.deadline_exceeded());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let b = RunBudget::none()
+            .with_deadline(Duration::from_millis(5))
+            .with_max_groups(3)
+            .with_max_frontier(100);
+        assert_eq!(b.deadline, Some(Duration::from_millis(5)));
+        assert_eq!(b.max_groups, Some(3));
+        assert_eq!(b.max_frontier, Some(100));
+        assert!(!b.is_unbounded());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let clock = BudgetClock::start(RunBudget::none().with_deadline(Duration::ZERO));
+        assert!(clock.deadline_exceeded());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let clock = BudgetClock::start(RunBudget::none().with_deadline(Duration::from_secs(3600)));
+        assert!(!clock.deadline_exceeded());
+        assert!(clock.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -164,7 +164,11 @@ mod tests {
             &WorkerPool::new(4),
             SquareStrategy::Parallel,
         );
-        assert_eq!(out.groups.len(), 1, "only the seeded group's region is searched");
+        assert_eq!(
+            out.groups.len(),
+            1,
+            "only the seeded group's region is searched"
+        );
         assert!(out.groups[0].items.contains(&ItemId(0)));
         assert!(out.groups[0].users.iter().all(|u| u.0 < 10));
     }

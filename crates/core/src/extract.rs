@@ -94,7 +94,11 @@ pub fn extract(
 }
 
 /// Lemma 1 pruning, iterated to its own fixpoint. Returns removal counts.
-fn core_pruning(view: &mut GraphView<'_>, params: &RicdParams, pool: &WorkerPool) -> (usize, usize) {
+fn core_pruning(
+    view: &mut GraphView<'_>,
+    params: &RicdParams,
+    pool: &WorkerPool,
+) -> (usize, usize) {
     let user_bound = params.user_degree_bound();
     let item_bound = params.item_degree_bound();
     let (mut removed_users, mut removed_items) = (0, 0);
@@ -231,8 +235,7 @@ fn square_pruning_sequential(view: &mut GraphView<'_>, params: &RicdParams) -> (
         .collect();
     users.sort_unstable();
     for (_, u) in users {
-        if view.user_alive(u)
-            && user_neighbor_count(view, u, user_bound, &mut scratch) < params.k1
+        if view.user_alive(u) && user_neighbor_count(view, u, user_bound, &mut scratch) < params.k1
         {
             view.remove_user(u);
             removed.0 += 1;
@@ -246,8 +249,7 @@ fn square_pruning_sequential(view: &mut GraphView<'_>, params: &RicdParams) -> (
         .collect();
     items.sort_unstable();
     for (_, v) in items {
-        if view.item_alive(v)
-            && item_neighbor_count(view, v, item_bound, &mut scratch) < params.k2
+        if view.item_alive(v) && item_neighbor_count(view, v, item_bound, &mut scratch) < params.k2
         {
             view.remove_item(v);
             removed.1 += 1;
@@ -307,7 +309,12 @@ mod tests {
         // A 9x9 biclique cannot satisfy (k1=10, k2=10, alpha=1).
         let g = biclique_plus_noise(9);
         let mut view = GraphView::full(&g);
-        extract(&mut view, &params(10, 1.0), &WorkerPool::new(4), SquareStrategy::Parallel);
+        extract(
+            &mut view,
+            &params(10, 1.0),
+            &WorkerPool::new(4),
+            SquareStrategy::Parallel,
+        );
         assert_eq!(view.alive_users(), 0);
         assert_eq!(view.alive_items(), 0);
     }
@@ -328,12 +335,25 @@ mod tests {
         let g = b.build();
 
         let mut view = GraphView::full(&g);
-        extract(&mut view, &params(10, 0.8), &WorkerPool::new(2), SquareStrategy::Parallel);
+        extract(
+            &mut view,
+            &params(10, 0.8),
+            &WorkerPool::new(2),
+            SquareStrategy::Parallel,
+        );
         assert!(view.user_alive(UserId(10)), "extension user kept at α=0.8");
 
         let mut view = GraphView::full(&g);
-        extract(&mut view, &params(10, 1.0), &WorkerPool::new(2), SquareStrategy::Parallel);
-        assert!(!view.user_alive(UserId(10)), "extension user pruned at α=1.0");
+        extract(
+            &mut view,
+            &params(10, 1.0),
+            &WorkerPool::new(2),
+            SquareStrategy::Parallel,
+        );
+        assert!(
+            !view.user_alive(UserId(10)),
+            "extension user pruned at α=1.0"
+        );
         assert_eq!(view.alive_users(), 10, "core biclique intact");
     }
 
@@ -344,7 +364,12 @@ mod tests {
         let mut a = GraphView::full(&g);
         extract(&mut a, &p, &WorkerPool::new(4), SquareStrategy::Parallel);
         let mut b = GraphView::full(&g);
-        extract(&mut b, &p, &WorkerPool::new(1), SquareStrategy::SequentialOrdered);
+        extract(
+            &mut b,
+            &p,
+            &WorkerPool::new(1),
+            SquareStrategy::SequentialOrdered,
+        );
         assert_eq!(a.alive_sets(), b.alive_sets());
     }
 
@@ -360,7 +385,12 @@ mod tests {
         }
         let g = b.build();
         let mut view = GraphView::full(&g);
-        extract(&mut view, &params(10, 1.0), &WorkerPool::new(4), SquareStrategy::Parallel);
+        extract(
+            &mut view,
+            &params(10, 1.0),
+            &WorkerPool::new(4),
+            SquareStrategy::Parallel,
+        );
         assert_eq!(view.alive_users(), 20);
         assert_eq!(view.alive_items(), 20);
     }
@@ -369,7 +399,12 @@ mod tests {
     fn empty_graph_is_noop() {
         let g = GraphBuilder::new().build();
         let mut view = GraphView::full(&g);
-        let stats = extract(&mut view, &params(10, 1.0), &WorkerPool::new(2), SquareStrategy::Parallel);
+        let stats = extract(
+            &mut view,
+            &params(10, 1.0),
+            &WorkerPool::new(2),
+            SquareStrategy::Parallel,
+        );
         assert_eq!(stats.core_removed_users, 0);
         assert_eq!(view.alive_users(), 0);
     }
@@ -380,7 +415,12 @@ mod tests {
         // qualified neighbors, all stay.
         let g = biclique_plus_noise(15);
         let mut view = GraphView::full(&g);
-        extract(&mut view, &params(10, 1.0), &WorkerPool::new(4), SquareStrategy::Parallel);
+        extract(
+            &mut view,
+            &params(10, 1.0),
+            &WorkerPool::new(4),
+            SquareStrategy::Parallel,
+        );
         assert_eq!(view.alive_users(), 15);
         assert_eq!(view.alive_items(), 15);
     }

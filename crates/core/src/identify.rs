@@ -31,7 +31,10 @@ pub fn rank_output(
     // User risk = number of suspicious items clicked (global adjacency, so
     // a worker serving several sellers accrues risk across groups).
     let mut user_risk = vec![0.0f64; g.num_users()];
-    let mut users: Vec<UserId> = groups.iter().flat_map(|g| g.users.iter().copied()).collect();
+    let mut users: Vec<UserId> = groups
+        .iter()
+        .flat_map(|g| g.users.iter().copied())
+        .collect();
     users.sort_unstable();
     users.dedup();
     for &u in &users {
@@ -45,17 +48,17 @@ pub fn rank_output(
     // Item risk = average risk of its clickers (non-suspicious clickers
     // carry risk 0, diluting items that normal users also click — exactly
     // the "attracted normal users" effect the paper wants reflected).
-    let mut items: Vec<ItemId> = groups.iter().flat_map(|g| g.items.iter().copied()).collect();
+    let mut items: Vec<ItemId> = groups
+        .iter()
+        .flat_map(|g| g.items.iter().copied())
+        .collect();
     items.sort_unstable();
     items.dedup();
     let mut ranked_items: Vec<(ItemId, f64)> = items
         .into_iter()
         .map(|v| {
             let deg = g.item_degree(v);
-            let sum: f64 = g
-                .item_neighbors(v)
-                .map(|(u, _)| user_risk[u.index()])
-                .sum();
+            let sum: f64 = g.item_neighbors(v).map(|(u, _)| user_risk[u.index()]).sum();
             (v, if deg == 0 { 0.0 } else { sum / deg as f64 })
         })
         .collect();
@@ -233,6 +236,9 @@ mod tests {
         });
         assert_eq!(result.num_output(), 0);
         assert!(calls > 1, "it did retry");
-        assert!(calls < 100, "stopped at the relaxation floor, not max_iterations");
+        assert!(
+            calls < 100,
+            "stopped at the relaxation floor, not max_iterations"
+        );
     }
 }

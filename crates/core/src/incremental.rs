@@ -33,17 +33,44 @@ use crate::detect::Seeds;
 use crate::pipeline::RicdPipeline;
 use crate::result::{DetectionResult, SuspiciousGroup};
 use ricd_graph::{BipartiteGraph, GraphBuilder, ItemId, UserId};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Counters for one batch ingestion.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BatchStats {
-    /// Records in the batch.
+    /// Records in the batch (valid ones actually ingested).
     pub records: usize,
+    /// Malformed records dropped by batch validation (zero-click records —
+    /// a click table row must witness at least one click).
+    pub rejected: usize,
     /// Frontier items seeding this batch's detection.
     pub frontier_items: usize,
+    /// Frontier items deferred because the budget's `max_frontier` cap was
+    /// hit. Deferred items re-arm on their next heavy edge or on the next
+    /// [`StreamingDetector::full_resync`].
+    pub frontier_deferred: usize,
     /// Groups newly reported from this batch.
     pub new_groups: usize,
+    /// True if the batch was recognized as an at-least-once redelivery
+    /// (sequence number already ingested) and skipped entirely.
+    pub replayed: bool,
+}
+
+/// A consistent snapshot of a [`StreamingDetector`]'s state, serializable
+/// for crash recovery. Restoring a checkpoint and continuing the stream
+/// yields byte-identical results to a detector that never crashed (see the
+/// chaos suite).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The cumulative click multiset.
+    pub records: Vec<(UserId, ItemId, u32)>,
+    /// Pairs whose cumulative clicks crossed `T_click`.
+    pub heavy_pairs: Vec<(UserId, ItemId)>,
+    /// Groups reported so far.
+    pub groups: Vec<SuspiciousGroup>,
+    /// The next expected batch sequence number.
+    pub next_seq: u64,
 }
 
 /// An online RICD detector over an append-only click stream.
@@ -61,6 +88,9 @@ pub struct StreamingDetector {
     /// Current cumulative graph (rebuilt per batch; CSR rebuilds are cheap
     /// relative to detection and keep query paths allocation-free).
     graph: BipartiteGraph,
+    /// Next expected batch sequence number; batches with a lower number are
+    /// at-least-once redeliveries and are dropped.
+    next_seq: u64,
 }
 
 impl StreamingDetector {
@@ -72,7 +102,39 @@ impl StreamingDetector {
             heavy_pairs: BTreeSet::new(),
             groups: Vec::new(),
             graph: GraphBuilder::new().build(),
+            next_seq: 0,
         }
+    }
+
+    /// Restores a detector from a [`Checkpoint`], rebuilding the cumulative
+    /// graph. The pipeline configuration is not part of the checkpoint and
+    /// is supplied fresh.
+    pub fn restore(pipeline: RicdPipeline, ckpt: Checkpoint) -> Self {
+        let mut d = Self {
+            pipeline,
+            records: ckpt.records,
+            heavy_pairs: ckpt.heavy_pairs.into_iter().collect(),
+            groups: ckpt.groups,
+            graph: GraphBuilder::new().build(),
+            next_seq: ckpt.next_seq,
+        };
+        d.rebuild_graph();
+        d
+    }
+
+    /// Snapshots the detector's state for crash recovery.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            records: self.records.clone(),
+            heavy_pairs: self.heavy_pairs.iter().copied().collect(),
+            groups: self.groups.clone(),
+            next_seq: self.next_seq,
+        }
+    }
+
+    /// The next batch sequence number this detector expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// The cumulative graph after the last ingested batch.
@@ -93,6 +155,7 @@ impl StreamingDetector {
             ranked_users,
             ranked_items,
             timings: Default::default(),
+            status: Default::default(),
         }
     }
 
@@ -104,28 +167,75 @@ impl StreamingDetector {
 
     /// Ingests one batch of click records, runs frontier-seeded detection,
     /// and merges any newly found groups. Returns batch counters.
+    ///
+    /// Equivalent to [`ingest_batch`](Self::ingest_batch) with the next
+    /// expected sequence number — use `ingest_batch` when the stream source
+    /// numbers its batches and may redeliver.
     pub fn ingest(&mut self, batch: &[(UserId, ItemId, u32)]) -> BatchStats {
-        let mut stats = BatchStats {
-            records: batch.len(),
-            ..BatchStats::default()
-        };
-        if batch.is_empty() {
+        self.ingest_batch(self.next_seq, batch)
+    }
+
+    /// Ingests batch number `seq`. A `seq` below the next expected number
+    /// marks an at-least-once redelivery: the batch is dropped (exactly-once
+    /// effect) and the stats say so. A `seq` at or above the expected number
+    /// is ingested and advances the counter past it.
+    pub fn ingest_batch(&mut self, seq: u64, batch: &[(UserId, ItemId, u32)]) -> BatchStats {
+        let mut stats = BatchStats::default();
+        if seq < self.next_seq {
+            stats.replayed = true;
             return stats;
         }
-        self.records.extend_from_slice(batch);
+        self.next_seq = seq + 1;
+
+        // Batch validation: a click-table record must witness at least one
+        // click; zero-click records are producer bugs and are quarantined
+        // rather than poisoning the cumulative multiset.
+        let mut rejected = 0usize;
+        let valid: Vec<(UserId, ItemId, u32)> = batch
+            .iter()
+            .copied()
+            .filter(|&(_, _, c)| {
+                let ok = c > 0;
+                rejected += usize::from(!ok);
+                ok
+            })
+            .collect();
+        stats.records = valid.len();
+        stats.rejected = rejected;
+        if valid.is_empty() {
+            return stats;
+        }
+        self.records.extend_from_slice(&valid);
         self.rebuild_graph();
 
         // Frontier: items whose cumulative clicks from some user crossed
         // T_click in this batch.
         let params = self.pipeline.params;
+        let mut crossings: Vec<(UserId, ItemId)> = Vec::new();
         let mut frontier: BTreeSet<ItemId> = BTreeSet::new();
-        for &(u, v, _) in batch {
-            if self.heavy_pairs.contains(&(u, v)) {
+        for &(u, v, _) in &valid {
+            if self.heavy_pairs.contains(&(u, v)) || crossings.contains(&(u, v)) {
                 continue;
             }
             if self.graph.clicks(u, v).is_some_and(|c| c >= params.t_click) {
-                self.heavy_pairs.insert((u, v));
+                crossings.push((u, v));
                 frontier.insert(v);
+            }
+        }
+
+        // Budget: cap the frontier, deferring the excess. Deferred items'
+        // pairs are NOT marked heavy, so any later click on them re-arms
+        // the frontier (and a full_resync always catches up).
+        if let Some(cap) = self.pipeline.budget.max_frontier {
+            if frontier.len() > cap {
+                stats.frontier_deferred = frontier.len() - cap;
+                let kept: BTreeSet<ItemId> = frontier.into_iter().take(cap).collect();
+                frontier = kept;
+            }
+        }
+        for (u, v) in crossings {
+            if frontier.contains(&v) {
+                self.heavy_pairs.insert((u, v));
             }
         }
         stats.frontier_items = frontier.len();
@@ -143,6 +253,7 @@ impl StreamingDetector {
             pool: self.pipeline.pool,
             strategy: self.pipeline.strategy,
             seeds,
+            budget: self.pipeline.budget,
         };
         let result = seeded.run(&self.graph);
         stats.new_groups = self.merge_groups(result.groups);
@@ -164,9 +275,10 @@ impl StreamingDetector {
         let mut new_count = 0;
         for g in incoming {
             // A group matches an existing one if their user sets overlap.
-            let overlap = self.groups.iter().position(|old| {
-                old.users.iter().any(|u| g.users.binary_search(u).is_ok())
-            });
+            let overlap = self
+                .groups
+                .iter()
+                .position(|old| old.users.iter().any(|u| g.users.binary_search(u).is_ok()));
             match overlap {
                 Some(idx) => {
                     if self.groups[idx] != g {
@@ -322,5 +434,126 @@ mod tests {
         let r = d.result();
         assert_eq!(r.ranked_users.len(), 12);
         assert!(r.ranked_users.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn zero_click_records_are_quarantined() {
+        let mut d = detector();
+        let s = d.ingest(&[
+            (UserId(1), ItemId(1), 0),
+            (UserId(1), ItemId(2), 3),
+            (UserId(2), ItemId(1), 0),
+        ]);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.records, 1);
+        assert_eq!(d.graph().num_edges(), 1, "only the valid record landed");
+    }
+
+    #[test]
+    fn replayed_batch_is_dropped() {
+        let mut d = detector();
+        d.ingest_batch(0, &background());
+        let batches = attack_batches();
+        for (i, b) in batches.iter().enumerate() {
+            d.ingest_batch(1 + i as u64, b);
+        }
+        let groups_before = d.groups().to_vec();
+        let records_before = d.graph().num_edges();
+        // The stream redelivers batch 2 (at-least-once semantics).
+        let s = d.ingest_batch(2, &batches[1]);
+        assert!(s.replayed);
+        assert_eq!(s.records, 0);
+        assert_eq!(d.graph().num_edges(), records_before, "no double counting");
+        assert_eq!(d.groups(), groups_before.as_slice());
+        assert_eq!(d.next_seq(), 4);
+    }
+
+    #[test]
+    fn replay_helper_duplicate_is_deduplicated() {
+        // End-to-end with the chaos harness's replay helper: a duplicated
+        // batch fed through seq-numbered ingestion leaves the result
+        // identical to the clean stream.
+        use ricd_engine::fault::replay_batch;
+        let mut clean = detector();
+        let mut faulty = detector();
+        let mut stream = vec![background()];
+        stream.extend(attack_batches());
+        for (i, b) in stream.iter().enumerate() {
+            clean.ingest_batch(i as u64, b);
+        }
+        let replayed = replay_batch(&stream, 2);
+        // Redelivery keeps the original batch's sequence number.
+        let seqs = [0u64, 1, 2, 2, 3];
+        for (s, b) in seqs.iter().zip(&replayed) {
+            faulty.ingest_batch(*s, b);
+        }
+        assert_eq!(clean.groups(), faulty.groups());
+        assert_eq!(clean.graph().num_edges(), faulty.graph().num_edges());
+    }
+
+    #[test]
+    fn frontier_cap_defers_but_resync_catches_up() {
+        use crate::budget::RunBudget;
+        let mut capped = StreamingDetector::new(
+            RicdPipeline::new(RicdParams::default())
+                .with_budget(RunBudget::none().with_max_frontier(3)),
+        );
+        capped.ingest(&background());
+        let batches = attack_batches();
+        capped.ingest(&batches[0]);
+        capped.ingest(&batches[1]);
+        let s = capped.ingest(&batches[2]);
+        assert_eq!(s.frontier_items, 3, "frontier clamped to the cap");
+        assert!(s.frontier_deferred >= 8, "11 crossings, 3 kept");
+        // The capped frontier may or may not complete the group this batch;
+        // a resync must always converge to the full answer.
+        let full = capped.full_resync();
+        assert_eq!(full.groups.len(), 1);
+        assert_eq!(full.groups[0].users.len(), 12);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_serde() {
+        use serde::{Deserialize, Serialize};
+        let mut d = detector();
+        d.ingest(&background());
+        d.ingest(&attack_batches()[0]);
+        let ckpt = d.checkpoint();
+        let restored = Checkpoint::from_value(&ckpt.to_value()).unwrap();
+        assert_eq!(ckpt, restored);
+    }
+
+    #[test]
+    fn resumed_detector_matches_never_crashed() {
+        let mut stream = vec![background()];
+        stream.extend(attack_batches());
+
+        // Reference: one detector sees the whole stream.
+        let mut steady = detector();
+        for (i, b) in stream.iter().enumerate() {
+            steady.ingest_batch(i as u64, b);
+        }
+
+        // Crash/recover at every possible cut point.
+        for cut in 1..stream.len() {
+            let mut first = detector();
+            for (i, b) in stream[..cut].iter().enumerate() {
+                first.ingest_batch(i as u64, b);
+            }
+            let ckpt = first.checkpoint();
+            drop(first); // the crash
+            let mut resumed =
+                StreamingDetector::restore(RicdPipeline::new(RicdParams::default()), ckpt);
+            for (i, b) in stream.iter().enumerate().skip(cut) {
+                resumed.ingest_batch(i as u64, b);
+            }
+            assert_eq!(
+                resumed.groups(),
+                steady.groups(),
+                "cut at batch {cut} diverged"
+            );
+            assert_eq!(resumed.graph().num_edges(), steady.graph().num_edges());
+            assert_eq!(resumed.next_seq(), steady.next_seq());
+        }
     }
 }

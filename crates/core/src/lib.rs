@@ -36,12 +36,13 @@
 //! ```
 
 pub mod analysis;
+pub mod budget;
 pub mod camouflage;
 pub mod detect;
 pub mod extract;
 pub mod i2i;
-pub mod incremental;
 pub mod identify;
+pub mod incremental;
 pub mod naive;
 pub mod params;
 pub mod pipeline;
@@ -49,17 +50,19 @@ pub mod result;
 pub mod screen;
 pub mod thresholds;
 
+pub use budget::{BudgetClock, RunBudget};
 pub use params::{RicdParams, ScreeningMode};
 pub use pipeline::RicdPipeline;
-pub use result::{DetectionResult, SuspiciousGroup};
+pub use result::{DetectionResult, RunStatus, SuspiciousGroup};
 
 /// Commonly used framework types.
 pub mod prelude {
+    pub use crate::budget::RunBudget;
     pub use crate::identify::{FeedbackConfig, FeedbackLoop};
-    pub use crate::incremental::StreamingDetector;
+    pub use crate::incremental::{BatchStats, Checkpoint, StreamingDetector};
     pub use crate::naive::{naive_detect, NaiveParams};
     pub use crate::params::{RicdParams, ScreeningMode};
     pub use crate::pipeline::RicdPipeline;
-    pub use crate::result::{DetectionResult, SuspiciousGroup};
+    pub use crate::result::{DetectionResult, RunStatus, SuspiciousGroup};
     pub use crate::thresholds::{derive_t_click, derive_t_hot};
 }

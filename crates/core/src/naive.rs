@@ -117,9 +117,14 @@ fn compute(
 }
 
 /// Runs Algorithm 1.
-pub fn naive_detect(g: &BipartiteGraph, params: &NaiveParams, pool: &WorkerPool) -> DetectionResult {
+pub fn naive_detect(
+    g: &BipartiteGraph,
+    params: &NaiveParams,
+    pool: &WorkerPool,
+) -> DetectionResult {
     let timings = PhaseTimings::new();
-    let (scores, abnormal_items, abnormal_users) = timings.time("naive", || compute(g, params, pool));
+    let (scores, abnormal_items, abnormal_users) =
+        timings.time("naive", || compute(g, params, pool));
 
     let mut ranked_items: Vec<(ItemId, f64)> = abnormal_items
         .iter()
@@ -142,6 +147,7 @@ pub fn naive_detect(g: &BipartiteGraph, params: &NaiveParams, pool: &WorkerPool)
         ranked_users,
         ranked_items,
         timings: timings.report(),
+        status: Default::default(),
     }
 }
 

@@ -180,10 +180,25 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let base = RicdParams::default;
-        assert!(RicdParams { alpha: 0.0, ..base() }.validate().is_err());
-        assert!(RicdParams { alpha: 1.1, ..base() }.validate().is_err());
+        assert!(RicdParams {
+            alpha: 0.0,
+            ..base()
+        }
+        .validate()
+        .is_err());
+        assert!(RicdParams {
+            alpha: 1.1,
+            ..base()
+        }
+        .validate()
+        .is_err());
         assert!(RicdParams { k1: 0, ..base() }.validate().is_err());
-        assert!(RicdParams { t_click: 0, ..base() }.validate().is_err());
+        assert!(RicdParams {
+            t_click: 0,
+            ..base()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

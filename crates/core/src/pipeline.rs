@@ -1,14 +1,38 @@
 //! The end-to-end RICD pipeline (Fig 4): detection → screening →
 //! identification, with per-module timing.
+//!
+//! The pipeline degrades instead of aborting: a [`RunBudget`] deadline
+//! exhausted at a phase boundary — or a phase lost to a persistent panic —
+//! makes the run fall back to the naive Algorithm 1 detector and mark the
+//! output [`RunStatus::Degraded`], so a scheduled detection run always
+//! produces *a* report.
 
+use crate::budget::{BudgetClock, RunBudget};
 use crate::detect::{detect_groups, Seeds};
 use crate::extract::SquareStrategy;
 use crate::identify::rank_output;
+use crate::naive::{naive_detect, NaiveParams};
 use crate::params::RicdParams;
-use crate::result::DetectionResult;
+use crate::result::{DetectionResult, RunStatus};
 use crate::screen::screen_groups;
 use ricd_engine::{PhaseTimings, WorkerPool};
 use ricd_graph::BipartiteGraph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs a phase with panics contained, stringifying the payload. The pool
+/// already retries transient worker faults; a panic surfacing here is
+/// persistent, and the caller degrades rather than crashing the run.
+fn catch_phase<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| {
+        if let Some(s) = p.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = p.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
 
 /// The configured RICD detector.
 ///
@@ -34,16 +58,19 @@ pub struct RicdPipeline {
     pub strategy: SquareStrategy,
     /// Optional known-abnormal seeds.
     pub seeds: Seeds,
+    /// Resource bounds; unbounded by default.
+    pub budget: RunBudget,
 }
 
 impl RicdPipeline {
-    /// A pipeline with default pool/strategy and no seeds.
+    /// A pipeline with default pool/strategy, no seeds, and no budget.
     pub fn new(params: RicdParams) -> Self {
         Self {
             params,
             pool: WorkerPool::default_for_host(),
             strategy: SquareStrategy::Parallel,
             seeds: Seeds::none(),
+            budget: RunBudget::none(),
         }
     }
 
@@ -65,6 +92,12 @@ impl RicdPipeline {
         self
     }
 
+    /// Sets the run budget (deadline, group cap, frontier cap).
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Runs the three modules on `g`.
     pub fn run(&self, g: &BipartiteGraph) -> DetectionResult {
         self.run_with(g, &self.params)
@@ -72,30 +105,162 @@ impl RicdPipeline {
 
     /// Runs with explicit parameters (the feedback loop reuses the pipeline
     /// with progressively relaxed parameters).
+    ///
+    /// The budget is checked at phase boundaries: once the deadline passes,
+    /// remaining RICD phases are abandoned in favor of the naive fallback
+    /// ([`naive_detect`], O(E) per phase) and the result is marked
+    /// [`RunStatus::Degraded`]. Likewise for a phase panicking persistently
+    /// (the pool's per-partition retries having already been spent). If the
+    /// naive fallback itself panics, that panic propagates — at that point
+    /// there is no cheaper detector left to degrade to.
     pub fn run_with(&self, g: &BipartiteGraph, params: &RicdParams) -> DetectionResult {
+        let clock = BudgetClock::start(self.budget);
         let timings = PhaseTimings::new();
 
+        if clock.deadline_exceeded() {
+            return self.degrade(g, params, &timings, deadline_reason(&clock), "detect");
+        }
+
         // Module 1: suspicious group detection.
-        let detected = timings.time("detect", || {
-            detect_groups(g, &self.seeds, params, &self.pool, self.strategy)
-        });
+        let detected = match catch_phase(|| {
+            timings.time("detect", || {
+                detect_groups(g, &self.seeds, params, &self.pool, self.strategy)
+            })
+        }) {
+            Ok(d) => d,
+            Err(msg) => {
+                return self.degrade(g, params, &timings, panic_reason("detect", &msg), "detect")
+            }
+        };
+        if clock.deadline_exceeded() {
+            return self.degrade(g, params, &timings, deadline_reason(&clock), "screen");
+        }
 
         // Module 2: suspicious group screening.
-        let (groups, _stats) =
-            timings.time("screen", || screen_groups(g, detected.groups, params));
+        let screened = match catch_phase(|| {
+            timings.time("screen", || screen_groups(g, detected.groups, params))
+        }) {
+            Ok((groups, _stats)) => groups,
+            Err(msg) => {
+                return self.degrade(g, params, &timings, panic_reason("screen", &msg), "screen")
+            }
+        };
+        let (groups, capped) = self.cap_groups(screened);
+        if clock.deadline_exceeded() {
+            return self.degrade(g, params, &timings, deadline_reason(&clock), "identify");
+        }
 
         // Module 3: suspicious group identification.
-        let (ranked_users, ranked_items) = timings.time("identify", || rank_output(g, &groups));
+        let (ranked_users, ranked_items) =
+            match catch_phase(|| timings.time("identify", || rank_output(g, &groups))) {
+                Ok(r) => r,
+                Err(msg) => {
+                    return self.degrade(
+                        g,
+                        params,
+                        &timings,
+                        panic_reason("identify", &msg),
+                        "identify",
+                    )
+                }
+            };
 
+        let status = match capped {
+            Some(reason) => RunStatus::Degraded {
+                reason,
+                phase: "screen".to_string(),
+            },
+            None => RunStatus::Complete,
+        };
         let mut result = DetectionResult {
             groups,
             ranked_users,
             ranked_items,
             timings: timings.report(),
+            status,
         };
         result.prune_empty();
         result
     }
+
+    /// Applies the `max_groups` cap, keeping the largest groups (ties by
+    /// original order) and reporting what was dropped.
+    fn cap_groups(
+        &self,
+        mut groups: Vec<crate::result::SuspiciousGroup>,
+    ) -> (Vec<crate::result::SuspiciousGroup>, Option<String>) {
+        let Some(cap) = self.budget.max_groups else {
+            return (groups, None);
+        };
+        if groups.len() <= cap {
+            return (groups, None);
+        }
+        let found = groups.len();
+        // Keep the biggest groups: a capped report should surface the
+        // largest campaigns first.
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(groups[i].len()), i));
+        order.truncate(cap);
+        order.sort_unstable();
+        let mut kept = Vec::with_capacity(cap);
+        for i in order {
+            kept.push(std::mem::take(&mut groups[i]));
+        }
+        (
+            kept,
+            Some(format!(
+                "group cap {cap} exceeded: {found} groups found, smallest {} dropped",
+                found - cap
+            )),
+        )
+    }
+
+    /// The graceful-degradation path: run the cheap naive detector and mark
+    /// the result with why the full pipeline was abandoned.
+    fn degrade(
+        &self,
+        g: &BipartiteGraph,
+        params: &RicdParams,
+        timings: &PhaseTimings,
+        reason: String,
+        phase: &str,
+    ) -> DetectionResult {
+        let naive_params = NaiveParams {
+            t_hot: params.t_hot,
+            ..NaiveParams::default()
+        };
+        let fallback = timings.time("naive-fallback", || {
+            naive_detect(g, &naive_params, &self.pool)
+        });
+        let mut result = DetectionResult {
+            groups: fallback.groups,
+            ranked_users: fallback.ranked_users,
+            ranked_items: fallback.ranked_items,
+            timings: timings.report(),
+            status: RunStatus::Degraded {
+                reason,
+                phase: phase.to_string(),
+            },
+        };
+        result.prune_empty();
+        result
+    }
+}
+
+fn deadline_reason(clock: &BudgetClock) -> String {
+    let limit = clock
+        .budget()
+        .deadline
+        .expect("deadline_exceeded implies a deadline");
+    format!(
+        "deadline of {:?} exceeded ({:?} elapsed)",
+        limit,
+        clock.elapsed()
+    )
+}
+
+fn panic_reason(phase: &str, msg: &str) -> String {
+    format!("{phase} phase panicked persistently: {msg}")
 }
 
 #[cfg(test)]
@@ -220,5 +385,89 @@ mod tests {
         let r2 = RicdPipeline::new(RicdParams::default()).run(&g);
         assert_eq!(r1.groups, r2.groups);
         assert_eq!(r1.ranked_users, r2.ranked_users);
+    }
+
+    #[test]
+    fn unbounded_run_is_complete() {
+        let r = RicdPipeline::new(RicdParams::default()).run(&scenario());
+        assert_eq!(r.status, RunStatus::Complete);
+    }
+
+    #[test]
+    fn exhausted_deadline_degrades_to_naive() {
+        use std::time::Duration;
+        let g = scenario();
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_budget(RunBudget::none().with_deadline(Duration::ZERO))
+            .run(&g);
+        match &r.status {
+            RunStatus::Degraded { reason, phase } => {
+                assert_eq!(phase, "detect", "tripped before the first phase");
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            RunStatus::Complete => panic!("zero deadline must degrade"),
+        }
+        // The fallback still produces a report (best-effort; Algorithm 1's
+        // default risk thresholds may flag less than RICD would have).
+        assert!(
+            r.timings.get("naive-fallback").is_some(),
+            "fallback timing recorded"
+        );
+        assert!(r.groups.len() <= 1, "naive emits at most one flat group");
+        assert!(r.timings.get("screen").is_none(), "screen never ran");
+    }
+
+    #[test]
+    fn generous_deadline_stays_complete() {
+        use std::time::Duration;
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_budget(RunBudget::none().with_deadline(Duration::from_secs(600)))
+            .run(&scenario());
+        assert_eq!(r.status, RunStatus::Complete);
+        assert!(r.timings.get("identify").is_some());
+    }
+
+    #[test]
+    fn group_cap_keeps_largest_and_marks_degraded() {
+        // Two disjoint attack groups of different sizes; cap at 1.
+        let mut b = GraphBuilder::new();
+        for u in 1000..2200u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        for u in 0..12u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+            for v in 1..=10u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        for u in 200..215u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+            for v in 50..=61u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        let g = b.build();
+        let uncapped = RicdPipeline::new(RicdParams::default()).run(&g);
+        assert_eq!(uncapped.groups.len(), 2);
+        let capped = RicdPipeline::new(RicdParams::default())
+            .with_budget(RunBudget::none().with_max_groups(1))
+            .run(&g);
+        assert_eq!(capped.groups.len(), 1);
+        assert!(capped.status.is_degraded());
+        let biggest = uncapped.groups.iter().map(|g| g.len()).max().unwrap();
+        assert_eq!(
+            capped.groups[0].len(),
+            biggest,
+            "cap keeps the largest group"
+        );
+    }
+
+    #[test]
+    fn group_cap_above_output_is_not_degraded() {
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_budget(RunBudget::none().with_max_groups(100))
+            .run(&scenario());
+        assert_eq!(r.status, RunStatus::Complete);
+        assert_eq!(r.groups.len(), 1);
     }
 }

@@ -31,6 +31,33 @@ impl SuspiciousGroup {
     }
 }
 
+/// How a detection run completed.
+///
+/// A run that exhausts its [`RunBudget`](crate::budget::RunBudget) or loses
+/// a phase to a persistent fault does not abort: it degrades (typically to
+/// the naive Algorithm 1 fallback) and records why here, so downstream
+/// consumers can distinguish a full-fidelity report from a best-effort one.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// All phases ran to completion within budget.
+    #[default]
+    Complete,
+    /// The run cut corners; the output is best-effort.
+    Degraded {
+        /// Human-readable cause (deadline exhausted, phase panicked, caps).
+        reason: String,
+        /// The phase at whose boundary degradation occurred.
+        phase: String,
+    },
+}
+
+impl RunStatus {
+    /// True for [`RunStatus::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RunStatus::Degraded { .. })
+    }
+}
+
 /// The output of a detection run.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct DetectionResult {
@@ -43,6 +70,8 @@ pub struct DetectionResult {
     pub ranked_items: Vec<(ItemId, f64)>,
     /// Per-phase elapsed times.
     pub timings: TimingReport,
+    /// Whether the run completed at full fidelity or degraded.
+    pub status: RunStatus,
 }
 
 impl DetectionResult {
@@ -125,6 +154,24 @@ mod tests {
         assert_eq!(r.groups.len(), 3);
         r.prune_empty();
         assert_eq!(r.groups.len(), 2);
+    }
+
+    #[test]
+    fn status_round_trips_and_defaults_complete() {
+        use serde::{Deserialize, Serialize};
+        let r = result();
+        assert_eq!(r.status, RunStatus::Complete);
+        assert!(!r.status.is_degraded());
+        let degraded = RunStatus::Degraded {
+            reason: "deadline of 5ms exceeded".into(),
+            phase: "screen".into(),
+        };
+        assert!(degraded.is_degraded());
+        assert_eq!(RunStatus::from_value(&degraded.to_value()), Ok(degraded));
+        assert_eq!(
+            RunStatus::from_value(&RunStatus::Complete.to_value()),
+            Ok(RunStatus::Complete)
+        );
     }
 
     #[test]

@@ -180,9 +180,9 @@ fn user_is_suspicious(
     group_items: &[ItemId],
     params: &RicdParams,
 ) -> bool {
-    let has_heavy_ordinary = group_items.iter().any(|&v| {
-        !hot[v.index()] && g.clicks(u, v).is_some_and(|c| c >= params.t_click)
-    });
+    let has_heavy_ordinary = group_items
+        .iter()
+        .any(|&v| !hot[v.index()] && g.clicks(u, v).is_some_and(|c| c >= params.t_click));
     if !has_heavy_ordinary {
         return false;
     }
@@ -285,7 +285,7 @@ mod tests {
             b.add_click(UserId(u), ItemId(2), 13);
         }
         b.add_click(UserId(0), ItemId(3), 1); // camouflage
-        // Normal shopper: heavy on hot, light on the target.
+                                              // Normal shopper: heavy on hot, light on the target.
         b.add_click(UserId(3), ItemId(0), 19);
         b.add_click(UserId(3), ItemId(1), 1);
         b.build()
@@ -318,7 +318,11 @@ mod tests {
             vec![UserId(0), UserId(1), UserId(2)],
             "normal shopper removed"
         );
-        assert_eq!(grp.items, vec![ItemId(1), ItemId(2)], "hot + camouflage removed");
+        assert_eq!(
+            grp.items,
+            vec![ItemId(1), ItemId(2)],
+            "hot + camouflage removed"
+        );
         assert_eq!(grp.ridden_hot_items, vec![ItemId(0)]);
         assert_eq!(stats.users_removed, 1);
         assert_eq!(stats.hot_items_reclassified, 1);

@@ -1,0 +1,98 @@
+//! Property tests for the fault-tolerance surface of the detection core:
+//! checkpoint/resume equivalence and replay idempotence under arbitrary
+//! click streams.
+
+use proptest::prelude::*;
+use ricd_core::prelude::*;
+use ricd_graph::{ItemId, UserId};
+
+/// Strategy: a stream of small batches of click records.
+fn batches() -> impl Strategy<Value = Vec<Vec<(u32, u32, u32)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..24, 0u32..12, 0u32..9), 0..30),
+        1..6,
+    )
+}
+
+fn detector() -> StreamingDetector {
+    StreamingDetector::new(RicdPipeline::new(RicdParams::default()))
+}
+
+fn feed(d: &mut StreamingDetector, batches: &[Vec<(u32, u32, u32)>], from_seq: u64) {
+    for (i, b) in batches.iter().enumerate() {
+        let recs: Vec<(UserId, ItemId, u32)> = b
+            .iter()
+            .map(|&(u, v, c)| (UserId(u), ItemId(v), c))
+            .collect();
+        d.ingest_batch(from_seq + i as u64, &recs);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Checkpointing at any cut point and restoring yields a detector
+    /// indistinguishable from one that never crashed.
+    #[test]
+    fn checkpoint_resume_is_transparent(bs in batches(), cut_frac in 0.0f64..1.0) {
+        let mut steady = detector();
+        feed(&mut steady, &bs, 0);
+
+        let cut = ((bs.len() as f64) * cut_frac) as usize;
+        let mut before = detector();
+        feed(&mut before, &bs[..cut], 0);
+        let ckpt = before.checkpoint();
+        drop(before);
+
+        let mut resumed = StreamingDetector::restore(
+            RicdPipeline::new(RicdParams::default()),
+            ckpt,
+        );
+        feed(&mut resumed, &bs[cut..], cut as u64);
+
+        prop_assert_eq!(steady.groups(), resumed.groups());
+        prop_assert_eq!(steady.graph().num_edges(), resumed.graph().num_edges());
+        prop_assert_eq!(steady.graph().total_clicks(), resumed.graph().total_clicks());
+        prop_assert_eq!(steady.next_seq(), resumed.next_seq());
+    }
+
+    /// Redelivering any prefix of already-ingested batches (at-least-once
+    /// delivery) changes nothing: replays are dropped by sequence number.
+    #[test]
+    fn replayed_prefix_is_idempotent(bs in batches(), replay_frac in 0.0f64..1.0) {
+        let mut clean = detector();
+        feed(&mut clean, &bs, 0);
+
+        let replay_to = ((bs.len() as f64) * replay_frac) as usize;
+        let mut faulty = detector();
+        feed(&mut faulty, &bs, 0);
+        for (i, b) in bs[..replay_to].iter().enumerate() {
+            let recs: Vec<(UserId, ItemId, u32)> = b
+                .iter()
+                .map(|&(u, v, c)| (UserId(u), ItemId(v), c))
+                .collect();
+            let stats = faulty.ingest_batch(i as u64, &recs);
+            prop_assert!(stats.replayed);
+        }
+
+        prop_assert_eq!(clean.groups(), faulty.groups());
+        prop_assert_eq!(clean.graph().num_edges(), faulty.graph().num_edges());
+        prop_assert_eq!(clean.graph().total_clicks(), faulty.graph().total_clicks());
+    }
+
+    /// Zero-click records are quarantined, never ingested: the rejected
+    /// count plus accepted records conserves the batch size.
+    #[test]
+    fn rejected_records_are_conserved(b in proptest::collection::vec((0u32..24, 0u32..12, 0u32..9), 0..60)) {
+        let mut d = detector();
+        let recs: Vec<(UserId, ItemId, u32)> = b
+            .iter()
+            .map(|&(u, v, c)| (UserId(u), ItemId(v), c))
+            .collect();
+        let stats = d.ingest_batch(0, &recs);
+        let zero = b.iter().filter(|&&(_, _, c)| c == 0).count();
+        prop_assert_eq!(stats.rejected, zero);
+        let total: u64 = b.iter().map(|&(_, _, c)| c as u64).sum();
+        prop_assert_eq!(d.graph().total_clicks(), total);
+    }
+}

@@ -137,7 +137,9 @@ pub fn plan_attacks<R: Rng + ?Sized>(
                     .push((w, t, sample_range(rng, cfg.target_clicks)));
             }
             // Camouflage on random ordinary items.
-            for &c in ordinary_pool.choose_multiple(rng, cfg.camouflage_items.min(ordinary_pool.len())) {
+            for &c in
+                ordinary_pool.choose_multiple(rng, cfg.camouflage_items.min(ordinary_pool.len()))
+            {
                 plan.records
                     .push((w, c, sample_range(rng, cfg.camouflage_clicks)));
             }
@@ -222,7 +224,11 @@ mod tests {
         }
         assert_eq!(hot_clicks.len(), cfg.hot_items_per_group);
         assert!(hot_clicks.iter().all(|&c| c <= cfg.hot_clicks.1));
-        assert_eq!(target_clicks.len(), cfg.targets_per_group, "full coverage by default");
+        assert_eq!(
+            target_clicks.len(),
+            cfg.targets_per_group,
+            "full coverage by default"
+        );
         assert!(target_clicks.iter().all(|&c| c >= cfg.target_clicks.0));
     }
 

@@ -64,7 +64,10 @@ impl SyntheticDataset {
 /// 5. optionally give each worker an organic history ("experienced
 ///    workers", Section I challenge 2);
 /// 6. merge all records into one [`BipartiteGraph`].
-pub fn generate(config: &DatasetConfig, attack_config: &AttackConfig) -> Result<SyntheticDataset, String> {
+pub fn generate(
+    config: &DatasetConfig,
+    attack_config: &AttackConfig,
+) -> Result<SyntheticDataset, String> {
     generate_with_attacks(config, std::slice::from_ref(attack_config))
 }
 
@@ -122,7 +125,8 @@ pub fn generate_with_attacks(
 
     // Bargain-hunter rings over the remainder of the flash pool (disjoint
     // from the flash items themselves).
-    let hunter_pool: Vec<ItemId> = flash_pool[config.num_flash_items.min(flash_pool.len())..].to_vec();
+    let hunter_pool: Vec<ItemId> =
+        flash_pool[config.num_flash_items.min(flash_pool.len())..].to_vec();
     let (hunter_rings, hunter_records) = plant_hunter_rings(config, &hunter_pool, &mut rng);
     for &(_, v, c) in &hunter_records {
         organic_item_totals[v.index()] += c as u64;
@@ -171,10 +175,10 @@ pub fn generate_with_attacks(
         truth.groups.extend(plan.truth.groups);
     }
 
-    let total_users = config.num_users
-        + truth.groups.iter().map(|g| g.workers.len()).sum::<usize>();
-    let total_items = config.num_items
-        + truth.groups.iter().map(|g| g.targets.len()).sum::<usize>();
+    let total_users =
+        config.num_users + truth.groups.iter().map(|g| g.workers.len()).sum::<usize>();
+    let total_items =
+        config.num_items + truth.groups.iter().map(|g| g.targets.len()).sum::<usize>();
 
     let mut b = GraphBuilder::with_capacity(records.len());
     b.reserve_users(total_users).reserve_items(total_items);
@@ -183,7 +187,10 @@ pub fn generate_with_attacks(
 
     Ok(SyntheticDataset {
         config: config.clone(),
-        attack_config: attack_configs.first().cloned().unwrap_or_else(AttackConfig::none),
+        attack_config: attack_configs
+            .first()
+            .cloned()
+            .unwrap_or_else(AttackConfig::none),
         graph,
         truth,
         communities,
@@ -317,10 +324,26 @@ mod tests {
         let is = stats::item_stats(&ds.graph);
         // Paper: user Avg_clk 11.35, Avg_cnt 4.32; item Avg_clk 54.94,
         // Avg_cnt 20.49. Generous bands — we need the shape, not the digits.
-        assert!((6.0..16.0).contains(&us.avg_clk), "user avg_clk {}", us.avg_clk);
-        assert!((3.0..6.5).contains(&us.avg_cnt), "user avg_cnt {}", us.avg_cnt);
-        assert!((30.0..90.0).contains(&is.avg_clk), "item avg_clk {}", is.avg_clk);
-        assert!((15.0..33.0).contains(&is.avg_cnt), "item avg_cnt {}", is.avg_cnt);
+        assert!(
+            (6.0..16.0).contains(&us.avg_clk),
+            "user avg_clk {}",
+            us.avg_clk
+        );
+        assert!(
+            (3.0..6.5).contains(&us.avg_cnt),
+            "user avg_cnt {}",
+            us.avg_cnt
+        );
+        assert!(
+            (30.0..90.0).contains(&is.avg_clk),
+            "item avg_clk {}",
+            is.avg_clk
+        );
+        assert!(
+            (15.0..33.0).contains(&is.avg_cnt),
+            "item avg_cnt {}",
+            is.avg_cnt
+        );
         assert!(us.stdev > us.avg_clk, "user totals heavy-tailed");
         assert!(is.stdev > is.avg_clk, "item totals heavy-tailed");
     }

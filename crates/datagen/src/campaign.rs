@@ -199,7 +199,8 @@ pub fn simulate_campaign(cfg: &CampaignConfig) -> Result<CampaignTimeline, Strin
             // traffic" in the figure; hot-item/camouflage clicks still enter
             // the record stream.
             per_day_records[day - 1].push((u, v, c));
-            if group.targets.contains(&v) && fake_per_day[day] + c as u64 <= cfg.peak_fake_per_day as u64 * 2
+            if group.targets.contains(&v)
+                && fake_per_day[day] + c as u64 <= cfg.peak_fake_per_day as u64 * 2
             {
                 fake_per_day[day] += c as u64;
             } else if group.targets.contains(&v) {
@@ -268,7 +269,10 @@ mod tests {
             assert_eq!(d.fake_clicks, 0, "day {}", d.day);
         }
         // Fake traffic present during the ramp.
-        let ramp_fake: u64 = t.days[cfg.attack_start_day - 1..].iter().map(|d| d.fake_clicks).sum();
+        let ramp_fake: u64 = t.days[cfg.attack_start_day - 1..]
+            .iter()
+            .map(|d| d.fake_clicks)
+            .sum();
         assert!(ramp_fake > 0);
         // Normal traffic grows after campaign start.
         let before = t.days[cfg.campaign_start_day - 2].normal_clicks;
@@ -286,11 +290,19 @@ mod tests {
         for d in &t.days {
             if d.day > 9 && d.day < cfg.delist_day {
                 assert_eq!(d.fake_clicks, 0, "fake cleaned from day 10");
-                assert_eq!(d.normal_clicks, cfg.base_normal_per_day as u64, "normal restored");
+                assert_eq!(
+                    d.normal_clicks, cfg.base_normal_per_day as u64,
+                    "normal restored"
+                );
             }
         }
         // Fig 10 shape: traffic during the boost dwarfs the restored level.
-        let peak = t.days.iter().map(|d| d.normal_clicks + d.fake_clicks).max().unwrap();
+        let peak = t
+            .days
+            .iter()
+            .map(|d| d.normal_clicks + d.fake_clicks)
+            .max()
+            .unwrap();
         assert!(peak > 4 * cfg.base_normal_per_day as u64);
     }
 

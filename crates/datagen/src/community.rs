@@ -191,9 +191,9 @@ mod tests {
         let cfg = DatasetConfig::small();
         let mut rng = StdRng::seed_from_u64(2);
         let (_, records) = plant_communities(&cfg, &pool(400), &mut rng);
-        assert!(records.iter().all(|&(_, _, c)| {
-            (cfg.community_clicks.0..=cfg.community_clicks.1).contains(&c)
-        }));
+        assert!(records
+            .iter()
+            .all(|&(_, _, c)| { (cfg.community_clicks.0..=cfg.community_clicks.1).contains(&c) }));
     }
 
     #[test]

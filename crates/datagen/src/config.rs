@@ -381,7 +381,10 @@ impl AttackConfig {
             ("hot_clicks", self.hot_clicks),
             ("camouflage_clicks", self.camouflage_clicks),
             ("target_organic_clicks", self.target_organic_clicks),
-            ("attracted_users_per_target", self.attracted_users_per_target),
+            (
+                "attracted_users_per_target",
+                self.attracted_users_per_target,
+            ),
         ] {
             if lo > hi {
                 return Err(format!("{name}: empty range {lo}..={hi}"));
@@ -435,7 +438,12 @@ mod tests {
     #[test]
     fn bad_dataset_configs_rejected() {
         let base = DatasetConfig::default;
-        assert!(DatasetConfig { num_users: 0, ..base() }.validate().is_err());
+        assert!(DatasetConfig {
+            num_users: 0,
+            ..base()
+        }
+        .validate()
+        .is_err());
         assert!(DatasetConfig {
             max_user_degree: base().num_items + 1,
             ..base()

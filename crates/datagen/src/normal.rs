@@ -22,7 +22,10 @@ impl NormalModel {
     pub fn new(cfg: &DatasetConfig) -> Self {
         Self {
             popularity: ZipfSampler::new(cfg.num_items, cfg.popularity_exponent),
-            activity: PowerLawDegree::new(cfg.max_user_degree.min(cfg.num_items), cfg.activity_exponent),
+            activity: PowerLawDegree::new(
+                cfg.max_user_degree.min(cfg.num_items),
+                cfg.activity_exponent,
+            ),
             cold_clicks: ClickCount::new(cfg.cold_clicks_mean, cfg.clicks_cap),
             hot_clicks: ClickCount::new(cfg.hot_clicks_mean, cfg.clicks_cap),
             popular_cutoff: ((cfg.num_items as f64) * cfg.popular_rank_fraction).ceil() as usize,
@@ -87,7 +90,9 @@ mod tests {
             items.sort_unstable();
             items.dedup();
             assert_eq!(items.len(), list.len());
-            assert!(list.iter().all(|&(i, c)| (i as usize) < cfg.num_items && c >= 1));
+            assert!(list
+                .iter()
+                .all(|&(i, c)| (i as usize) < cfg.num_items && c >= 1));
         }
     }
 

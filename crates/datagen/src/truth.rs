@@ -31,7 +31,11 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// All abnormal users, deduplicated and sorted.
     pub fn abnormal_users(&self) -> Vec<UserId> {
-        let mut u: Vec<UserId> = self.groups.iter().flat_map(|g| g.workers.iter().copied()).collect();
+        let mut u: Vec<UserId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.workers.iter().copied())
+            .collect();
         u.sort_unstable();
         u.dedup();
         u
@@ -39,7 +43,11 @@ impl GroundTruth {
 
     /// All abnormal (target) items, deduplicated and sorted.
     pub fn abnormal_items(&self) -> Vec<ItemId> {
-        let mut v: Vec<ItemId> = self.groups.iter().flat_map(|g| g.targets.iter().copied()).collect();
+        let mut v: Vec<ItemId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.targets.iter().copied())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -97,7 +105,10 @@ mod tests {
         assert!(t.is_abnormal_user(UserId(3)));
         assert!(!t.is_abnormal_user(UserId(9)));
         assert!(t.is_abnormal_item(ItemId(11)));
-        assert!(!t.is_abnormal_item(ItemId(0)), "ridden hot items are victims, not abnormal");
+        assert!(
+            !t.is_abnormal_item(ItemId(0)),
+            "ridden hot items are victims, not abnormal"
+        );
     }
 
     #[test]

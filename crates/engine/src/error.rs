@@ -1,0 +1,35 @@
+//! Typed failures surfaced by the engine's fault-tolerant primitives.
+
+/// An error from a bulk-synchronous round that could not be completed even
+/// after retries and the sequential fallback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A partition's closure panicked on every attempt.
+    PartitionPanicked {
+        /// Index of the partition (in partition order) that kept failing.
+        partition: usize,
+        /// Total attempts made, counting the initial parallel run, the
+        /// parallel retries, and the final sequential fallback.
+        attempts: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::PartitionPanicked {
+                partition,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "partition {partition} panicked on all {attempts} attempts \
+                 (including the sequential fallback): {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,248 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! The chaos suite needs faults that are (a) reproducible from a seed, so a
+//! failing run can be replayed exactly, and (b) *transient* by default —
+//! a fault fires once and clears, modeling a crashed worker whose partition
+//! succeeds on retry. Persistent faults (fire on every attempt) model a
+//! deterministic bug and must surface as a typed error instead of a hang or
+//! a silent wrong answer.
+//!
+//! Besides compute faults, this module carries the byte-level corruption
+//! helpers the I/O chaos tests use: truncation, seeded bit flips, and
+//! stream-batch replay.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// SplitMix64 — tiny, seedable, good enough to scatter fault points.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A reproducible set of compute-fault points: partition `p` panics the
+/// first time it runs during round `r`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    points: BTreeSet<(usize, usize)>,
+    persistent: bool,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with one explicit fault point: `partition` panics in `round`.
+    pub fn panic_at(round: usize, partition: usize) -> Self {
+        let mut p = Self::default();
+        p.add(round, partition);
+        p
+    }
+
+    /// Scatters `count` fault points over `rounds × partitions` from `seed`.
+    /// The same seed always yields the same plan.
+    pub fn seeded(seed: u64, rounds: usize, partitions: usize, count: usize) -> Self {
+        let mut plan = Self::default();
+        if rounds == 0 || partitions == 0 {
+            return plan;
+        }
+        let mut state = seed;
+        // Cap the attempts so a `count` larger than the grid terminates.
+        let mut budget = count.saturating_mul(4) + 16;
+        while plan.points.len() < count.min(rounds * partitions) && budget > 0 {
+            let r = (splitmix64(&mut state) % rounds as u64) as usize;
+            let p = (splitmix64(&mut state) % partitions as u64) as usize;
+            plan.points.insert((r, p));
+            budget -= 1;
+        }
+        plan
+    }
+
+    /// Adds a fault point.
+    pub fn add(&mut self, round: usize, partition: usize) -> &mut Self {
+        self.points.insert((round, partition));
+        self
+    }
+
+    /// Makes every fault point fire on *every* attempt instead of clearing
+    /// after the first. Models a deterministic bug rather than a flaky
+    /// worker; the pool must surface this as `EngineError`, not retry
+    /// forever.
+    pub fn persistent(mut self) -> Self {
+        self.persistent = true;
+        self
+    }
+
+    /// Number of fault points in the plan.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan has no fault points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Arms a [`FaultPlan`] for a run. Worker closures call
+/// [`maybe_panic`](Self::maybe_panic); the test harness advances rounds with
+/// [`begin_round`](Self::begin_round).
+#[derive(Debug)]
+pub struct FaultInjector {
+    armed: Mutex<BTreeSet<(usize, usize)>>,
+    persistent: bool,
+    round: Mutex<usize>,
+    fired: Mutex<Vec<(usize, usize)>>,
+}
+
+impl FaultInjector {
+    /// Arms `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            armed: Mutex::new(plan.points),
+            persistent: plan.persistent,
+            round: Mutex::new(0),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Starts the next round and returns its index (first call returns 0).
+    pub fn begin_round(&self) -> usize {
+        let mut r = self.round.lock().expect("fault injector poisoned");
+        let current = *r;
+        *r += 1;
+        current
+    }
+
+    /// Panics iff the plan holds a fault for (current round, `partition`).
+    /// Transient by default: the fault clears as it fires, so a retry of the
+    /// same partition succeeds.
+    pub fn maybe_panic(&self, partition: usize) {
+        let round = *self.round.lock().expect("fault injector poisoned") - 1;
+        let hit = {
+            let mut armed = self.armed.lock().expect("fault injector poisoned");
+            if self.persistent {
+                armed.contains(&(round, partition))
+            } else {
+                armed.remove(&(round, partition))
+            }
+        };
+        if hit {
+            self.fired
+                .lock()
+                .expect("fault injector poisoned")
+                .push((round, partition));
+            panic!("injected fault: round {round}, partition {partition}");
+        }
+    }
+
+    /// Every fault that actually fired, in firing order — lets a test assert
+    /// the failure path really executed rather than passing vacuously.
+    pub fn fired(&self) -> Vec<(usize, usize)> {
+        self.fired.lock().expect("fault injector poisoned").clone()
+    }
+}
+
+/// Truncates `data` at byte `n` (no-op if `n >= data.len()`).
+pub fn truncate_at(data: &[u8], n: usize) -> Vec<u8> {
+    data[..n.min(data.len())].to_vec()
+}
+
+/// Flips one random bit in each of `count` seeded positions of `data`.
+/// Deterministic in `seed`; returns `data` unchanged if it is empty.
+pub fn flip_bytes(data: &[u8], seed: u64, count: usize) -> Vec<u8> {
+    let mut out = data.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let mut state = seed;
+    for _ in 0..count {
+        let pos = (splitmix64(&mut state) % out.len() as u64) as usize;
+        let bit = (splitmix64(&mut state) % 8) as u32;
+        out[pos] ^= 1u8 << bit;
+    }
+    out
+}
+
+/// Duplicates the batch at `index`, modeling an at-least-once stream
+/// redelivering a batch after a consumer crash. Returns the batches
+/// unchanged if `index` is out of range.
+pub fn replay_batch<T: Clone>(batches: &[T], index: usize) -> Vec<T> {
+    let mut out = batches.to_vec();
+    if let Some(b) = batches.get(index) {
+        out.insert(index, b.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = FaultPlan::seeded(42, 10, 8, 5);
+        let b = FaultPlan::seeded(42, 10, 8, 5);
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.len(), 5);
+        let c = FaultPlan::seeded(43, 10, 8, 5);
+        assert_ne!(a.points, c.points, "different seeds should differ");
+    }
+
+    #[test]
+    fn seeded_plan_saturates_at_grid_size() {
+        let p = FaultPlan::seeded(7, 2, 2, 100);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn transient_fault_fires_once() {
+        let inj = FaultInjector::new(FaultPlan::panic_at(0, 1));
+        assert_eq!(inj.begin_round(), 0);
+        inj.maybe_panic(0); // wrong partition: no fire
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.maybe_panic(1)));
+        assert!(caught.is_err(), "armed fault must fire");
+        inj.maybe_panic(1); // cleared: retry succeeds
+        assert_eq!(inj.fired(), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn persistent_fault_keeps_firing() {
+        let inj = FaultInjector::new(FaultPlan::panic_at(0, 0).persistent());
+        inj.begin_round();
+        for _ in 0..3 {
+            let caught =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inj.maybe_panic(0)));
+            assert!(caught.is_err());
+        }
+        assert_eq!(inj.fired().len(), 3);
+    }
+
+    #[test]
+    fn byte_faults_are_deterministic() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(truncate_at(&data, 10).len(), 10);
+        assert_eq!(truncate_at(&data, 9999), data);
+        let a = flip_bytes(&data, 99, 4);
+        let b = flip_bytes(&data, 99, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, data);
+        // A flip is its own inverse only at the same positions; count the
+        // differing bytes instead (≤ 4, collisions allowed).
+        let diffs = a.iter().zip(&data).filter(|(x, y)| x != y).count();
+        assert!((1..=4).contains(&diffs), "diffs = {diffs}");
+        assert!(flip_bytes(&[], 1, 3).is_empty());
+    }
+
+    #[test]
+    fn replay_duplicates_one_batch() {
+        let batches = vec!["a", "b", "c"];
+        assert_eq!(replay_batch(&batches, 1), vec!["a", "b", "b", "c"]);
+        assert_eq!(replay_batch(&batches, 9), batches);
+    }
+}

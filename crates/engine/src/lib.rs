@@ -18,11 +18,26 @@
 //!
 //! [`timing`] provides the phase stopwatch used to report per-module elapsed
 //! times.
+//!
+//! ## Fault tolerance
+//!
+//! A production cluster loses workers; the paper's deployment at Taobao
+//! cannot abort a day's detection run because one partition crashed. Every
+//! primitive therefore exists in two flavors: the classic infallible form
+//! (panics only after the retry budget is exhausted) and a `try_*` form
+//! returning [`EngineError`]. Worker panics are contained with
+//! `catch_unwind`, failed partitions are retried on fresh threads, and the
+//! last attempt runs sequentially on the calling thread. [`fault`] provides
+//! the deterministic fault-injection hooks the chaos suite drives this with.
 
+pub mod error;
+pub mod fault;
 pub mod partition;
 pub mod pool;
 pub mod timing;
 
+pub use error::EngineError;
+pub use fault::{FaultInjector, FaultPlan};
 pub use partition::partition_ranges;
-pub use pool::WorkerPool;
+pub use pool::{WorkerPool, MAX_PARTITION_ATTEMPTS};
 pub use timing::{PhaseTimings, Stopwatch};

@@ -1,7 +1,29 @@
 //! The bulk-synchronous worker pool.
 
+use crate::error::EngineError;
 use crate::partition::partition_ranges;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Attempts made per partition before a round is declared failed: the
+/// initial parallel run, one parallel retry on a fresh thread, and a final
+/// sequential fallback inline on the calling thread.
+pub const MAX_PARTITION_ATTEMPTS: usize = 3;
+
+/// Runs a closure with panics contained, stringifying the payload.
+fn call_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()))
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A fixed-width pool executing bulk-synchronous vertex rounds on scoped
 /// threads.
@@ -43,57 +65,136 @@ impl WorkerPool {
 
     /// Runs `f(range)` once per partition of `0..n`, in parallel, returning
     /// the per-partition results in partition order.
+    ///
+    /// Delegates to [`try_run_partitioned`](Self::try_run_partitioned); a
+    /// partition that keeps panicking after the retry budget re-raises the
+    /// failure here as a panic carrying the [`EngineError`] description.
     pub fn run_partitioned<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Range<usize>) -> T + Sync,
     {
+        self.try_run_partitioned(n, f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolated [`run_partitioned`](Self::run_partitioned): a panic in
+    /// one partition's closure does not abort the round or poison the other
+    /// partitions.
+    ///
+    /// Failed partitions are retried on fresh threads, then once more
+    /// sequentially on the calling thread ([`MAX_PARTITION_ATTEMPTS`] total
+    /// attempts). Only if the sequential fallback also panics does the round
+    /// fail, with [`EngineError::PartitionPanicked`] naming the partition.
+    ///
+    /// Retrying re-invokes `f` on the failed range, so closures must be pure
+    /// (or at least idempotent per partition) for retries to be safe —
+    /// everything the detection pipeline submits is.
+    pub fn try_run_partitioned<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, EngineError>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
         let ranges = partition_ranges(n, self.workers);
-        if ranges.len() <= 1 {
-            return ranges.into_iter().map(&f).collect();
-        }
-        std::thread::scope(|s| {
-            let f = &f;
-            let handles: Vec<_> = ranges
+        let f = &f;
+        let mut slots: Vec<Result<T, String>> = if ranges.len() <= 1 {
+            ranges
+                .clone()
                 .into_iter()
-                .map(|r| s.spawn(move || f(r)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|r| call_caught(|| f(r)))
                 .collect()
-        })
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .cloned()
+                    .map(|r| s.spawn(move || call_caught(|| f(r))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref()))))
+                    .collect()
+            })
+        };
+        for attempt in 1..MAX_PARTITION_ATTEMPTS {
+            let failed: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.is_err().then_some(i))
+                .collect();
+            if failed.is_empty() {
+                break;
+            }
+            if attempt + 1 == MAX_PARTITION_ATTEMPTS {
+                // Final attempt: sequentially on the calling thread, so a
+                // fault tied to worker-thread state cannot recur.
+                for i in failed {
+                    slots[i] = call_caught(|| f(ranges[i].clone()));
+                }
+            } else {
+                let retried: Vec<(usize, Result<T, String>)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = failed
+                        .into_iter()
+                        .map(|i| {
+                            let r = ranges[i].clone();
+                            (i, s.spawn(move || call_caught(|| f(r))))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| {
+                            (
+                                i,
+                                h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref()))),
+                            )
+                        })
+                        .collect()
+                });
+                for (i, res) in retried {
+                    slots[i] = res;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(slots.len());
+        for (partition, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Ok(t) => out.push(t),
+                Err(message) => {
+                    return Err(EngineError::PartitionPanicked {
+                        partition,
+                        attempts: MAX_PARTITION_ATTEMPTS,
+                        message,
+                    })
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Computes `f(i)` for every `i in 0..n` into a vector (one superstep).
     pub fn map_vertices<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
-        T: Send + Default + Clone,
+        T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let mut out = vec![T::default(); n];
-        let ranges = partition_ranges(n, self.workers);
-        if ranges.len() <= 1 {
-            for (i, slot) in out.iter_mut().enumerate() {
-                *slot = f(i);
-            }
-            return out;
+        self.try_map_vertices(n, f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolated [`map_vertices`](Self::map_vertices); see
+    /// [`try_run_partitioned`](Self::try_run_partitioned) for the retry
+    /// contract.
+    pub fn try_map_vertices<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, EngineError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let chunks = self.try_run_partitioned(n, |r| r.map(&f).collect::<Vec<T>>())?;
+        let mut out = Vec::with_capacity(n);
+        for mut c in chunks {
+            out.append(&mut c);
         }
-        // Split the output into per-partition disjoint slices.
-        std::thread::scope(|s| {
-            let mut rest: &mut [T] = &mut out;
-            for r in ranges {
-                let (chunk, tail) = rest.split_at_mut(r.len());
-                rest = tail;
-                let f = &f;
-                s.spawn(move || {
-                    for (off, slot) in chunk.iter_mut().enumerate() {
-                        *slot = f(r.start + off);
-                    }
-                });
-            }
-        });
-        out
+        Ok(out)
     }
 
     /// Collects the indices `i in 0..n` for which `pred(i)` holds, in
@@ -102,7 +203,18 @@ impl WorkerPool {
     where
         F: Fn(usize) -> bool + Sync,
     {
-        let per_worker = self.run_partitioned(n, |r| {
+        self.try_filter_vertices(n, pred)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolated [`filter_vertices`](Self::filter_vertices); see
+    /// [`try_run_partitioned`](Self::try_run_partitioned) for the retry
+    /// contract.
+    pub fn try_filter_vertices<F>(&self, n: usize, pred: F) -> Result<Vec<usize>, EngineError>
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        let per_worker = self.try_run_partitioned(n, |r| {
             let mut hits = Vec::new();
             for i in r {
                 if pred(i) {
@@ -110,12 +222,12 @@ impl WorkerPool {
                 }
             }
             hits
-        });
+        })?;
         let mut out = Vec::with_capacity(per_worker.iter().map(Vec::len).sum());
         for mut v in per_worker {
             out.append(&mut v);
         }
-        out
+        Ok(out)
     }
 
     /// Folds `f(i)` over `0..n` with a per-worker accumulator and a final
@@ -126,14 +238,33 @@ impl WorkerPool {
         F: Fn(A, usize) -> A + Sync,
         M: Fn(A, A) -> A,
     {
-        let per_worker = self.run_partitioned(n, |r| {
+        self.try_fold_vertices(n, init, f, merge)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolated [`fold_vertices`](Self::fold_vertices); see
+    /// [`try_run_partitioned`](Self::try_run_partitioned) for the retry
+    /// contract.
+    pub fn try_fold_vertices<A, F, M>(
+        &self,
+        n: usize,
+        init: A,
+        f: F,
+        merge: M,
+    ) -> Result<A, EngineError>
+    where
+        A: Send + Sync + Clone,
+        F: Fn(A, usize) -> A + Sync,
+        M: Fn(A, A) -> A,
+    {
+        let per_worker = self.try_run_partitioned(n, |r| {
             let mut acc = init.clone();
             for i in r {
                 acc = f(acc, i);
             }
             acc
-        });
-        per_worker.into_iter().fold(init, merge)
+        })?;
+        Ok(per_worker.into_iter().fold(init, merge))
     }
 }
 
@@ -216,7 +347,94 @@ mod tests {
         let n = 997;
         let seq: Vec<usize> = WorkerPool::new(1).map_vertices(n, |i| i.wrapping_mul(31));
         for w in [2, 3, 7, 16] {
-            assert_eq!(WorkerPool::new(w).map_vertices(n, |i| i.wrapping_mul(31)), seq);
+            assert_eq!(
+                WorkerPool::new(w).map_vertices(n, |i| i.wrapping_mul(31)),
+                seq
+            );
         }
+    }
+
+    #[test]
+    fn transient_panic_recovers_with_correct_result() {
+        let pool = WorkerPool::new(4);
+        // First execution of the partition containing vertex 10 panics;
+        // the retry (fresh attempt) succeeds.
+        let blown = AtomicUsize::new(0);
+        let got = pool
+            .try_run_partitioned(100, |r| {
+                if r.contains(&10) && blown.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected transient fault");
+                }
+                r.sum::<usize>()
+            })
+            .expect("transient fault must be absorbed");
+        assert_eq!(got.iter().sum::<usize>(), (0..100).sum::<usize>());
+        assert_eq!(blown.load(Ordering::SeqCst), 2, "one fault + one retry");
+    }
+
+    #[test]
+    fn persistent_panic_yields_typed_error() {
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .try_run_partitioned(100, |r| {
+                if r.contains(&10) {
+                    panic!("deterministic bug");
+                }
+                r.len()
+            })
+            .unwrap_err();
+        match err {
+            crate::EngineError::PartitionPanicked {
+                attempts, message, ..
+            } => {
+                assert_eq!(attempts, MAX_PARTITION_ATTEMPTS);
+                assert!(message.contains("deterministic bug"), "{message}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_fallback_rescues_thread_hostile_faults() {
+        let pool = WorkerPool::new(4);
+        let main_thread = std::thread::current().id();
+        // Panics on every worker thread; only the inline sequential
+        // fallback (calling thread) survives.
+        let got = pool
+            .try_map_vertices(50, |i| {
+                if std::thread::current().id() != main_thread {
+                    panic!("worker-thread poison");
+                }
+                i * 2
+            })
+            .expect("sequential fallback must rescue the round");
+        assert_eq!(got, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn infallible_form_panics_with_engine_error_message() {
+        let pool = WorkerPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_vertices(10, |_| -> usize { panic!("always broken") })
+        }));
+        let msg = match caught.unwrap_err().downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => panic!("expected String payload"),
+        };
+        assert!(msg.contains("partition 0"), "{msg}");
+        assert!(msg.contains("always broken"), "{msg}");
+    }
+
+    #[test]
+    fn try_variants_match_infallible_results() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(
+            pool.try_filter_vertices(100, |i| i % 9 == 0).unwrap(),
+            pool.filter_vertices(100, |i| i % 9 == 0)
+        );
+        assert_eq!(
+            pool.try_fold_vertices(101, 0u64, |a, i| a + i as u64, |a, b| a + b)
+                .unwrap(),
+            pool.fold_vertices(101, 0u64, |a, i| a + i as u64, |a, b| a + b)
+        );
     }
 }

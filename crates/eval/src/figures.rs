@@ -401,7 +401,11 @@ pub struct CaseStudyReport {
 /// detection day is the first day it recovers ≥ `recall_bar` of the planted
 /// workers. Then re-simulates with cleaning at that day for the final
 /// timeline.
-pub fn fig10(campaign: &CampaignConfig, cfg: &MethodConfig, recall_bar: f64) -> Result<CaseStudyReport, String> {
+pub fn fig10(
+    campaign: &CampaignConfig,
+    cfg: &MethodConfig,
+    recall_bar: f64,
+) -> Result<CaseStudyReport, String> {
     let mut no_cleaning = campaign.clone();
     no_cleaning.cleaning_day = None;
     let timeline = simulate_campaign(&no_cleaning)?;
@@ -511,7 +515,14 @@ mod tests {
 
     #[test]
     fn fig8_runs_the_lineup() {
-        let ds = generate(&DatasetConfig::tiny(), &AttackConfig { num_groups: 2, ..AttackConfig::default() }).unwrap();
+        let ds = generate(
+            &DatasetConfig::tiny(),
+            &AttackConfig {
+                num_groups: 2,
+                ..AttackConfig::default()
+            },
+        )
+        .unwrap();
         let cfg = MethodConfig {
             copycatch_budget: Duration::from_millis(500),
             ..MethodConfig::default()

@@ -140,7 +140,9 @@ mod tests {
         view.remove_user(UserId(1));
         let comps = connected_components(&view);
         assert_eq!(comps.len(), 2);
-        assert!(comps.iter().all(|c| c.users.len() == 1 && c.items.len() == 1));
+        assert!(comps
+            .iter()
+            .all(|c| c.users.len() == 1 && c.items.len() == 1));
     }
 
     #[test]

@@ -54,6 +54,53 @@ pub fn write_tsv<W: Write>(g: &BipartiteGraph, mut w: W) -> Result<(), IoError> 
     Ok(())
 }
 
+/// One quarantined malformed line from a lossy read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for LineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// The result of a lossy TSV read: the graph built from every parseable
+/// record, plus a per-line report of everything quarantined.
+#[derive(Debug)]
+pub struct LossyRead {
+    /// Graph over the clean subset of records.
+    pub graph: BipartiteGraph,
+    /// One entry per malformed line, in file order.
+    pub errors: Vec<LineError>,
+}
+
+fn parse_record(trimmed: &str, idx: usize) -> Result<(u32, u32, u32), IoError> {
+    let mut parts = trimmed.split('\t');
+    let mut parse = |what: &str| -> Result<u32, IoError> {
+        parts
+            .next()
+            .ok_or_else(|| IoError::Parse {
+                line: idx + 1,
+                message: format!("missing {what}"),
+            })?
+            .trim()
+            .parse::<u32>()
+            .map_err(|e| IoError::Parse {
+                line: idx + 1,
+                message: format!("bad {what}: {e}"),
+            })
+    };
+    let u = parse("user id")?;
+    let v = parse("item id")?;
+    let c = parse("click count")?;
+    Ok((u, v, c))
+}
+
 /// Parses a TSV click table. Blank lines and lines starting with `#` are
 /// skipped; duplicate pairs are merged by summation (builder semantics).
 pub fn read_tsv<R: BufRead>(r: R) -> Result<BipartiteGraph, IoError> {
@@ -64,25 +111,54 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<BipartiteGraph, IoError> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split('\t');
-        let parse = |s: Option<&str>, what: &str| -> Result<u32, IoError> {
-            s.ok_or_else(|| IoError::Parse {
-                line: idx + 1,
-                message: format!("missing {what}"),
-            })?
-            .trim()
-            .parse::<u32>()
-            .map_err(|e| IoError::Parse {
-                line: idx + 1,
-                message: format!("bad {what}: {e}"),
-            })
-        };
-        let u = parse(parts.next(), "user id")?;
-        let v = parse(parts.next(), "item id")?;
-        let c = parse(parts.next(), "click count")?;
+        let (u, v, c) = parse_record(trimmed, idx)?;
         b.add_click(UserId(u), ItemId(v), c);
     }
     Ok(b.build())
+}
+
+/// Lossy [`read_tsv`]: malformed lines — including lines that are not
+/// valid UTF-8 — are quarantined into a per-line error report instead of
+/// aborting the read, and the graph is built from the clean subset.
+/// Underlying I/O failures still abort — a quarantine list cannot
+/// represent "the disk went away".
+pub fn read_tsv_lossy<R: BufRead>(mut r: R) -> Result<LossyRead, IoError> {
+    let mut b = GraphBuilder::new();
+    let mut errors = Vec::new();
+    let mut raw = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        raw.clear();
+        if r.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
+        let parsed = match std::str::from_utf8(&raw) {
+            Ok(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('#') {
+                    idx += 1;
+                    continue;
+                }
+                parse_record(trimmed, idx)
+            }
+            Err(_) => Err(IoError::Parse {
+                line: idx + 1,
+                message: "not valid UTF-8".to_string(),
+            }),
+        };
+        match parsed {
+            Ok((u, v, c)) => {
+                b.add_click(UserId(u), ItemId(v), c);
+            }
+            Err(IoError::Parse { line, message }) => errors.push(LineError { line, message }),
+            Err(other) => return Err(other),
+        }
+        idx += 1;
+    }
+    Ok(LossyRead {
+        graph: b.build(),
+        errors,
+    })
 }
 
 const MAGIC: &[u8; 8] = b"RICDCLK1";
@@ -117,11 +193,16 @@ pub fn from_bytes(mut buf: Bytes) -> Result<BipartiteGraph, IoError> {
     let items = buf.get_u64_le();
     let edges = buf.get_u64_le();
     // Vertex ids are u32, so a header claiming more vertices than the id
-    // space can address is corrupt no matter what follows.
-    const MAX_VERTICES: u64 = u32::MAX as u64 + 1;
+    // space can address is corrupt no matter what follows. Below that,
+    // materializing the graph still costs O(users + items) memory before
+    // a single edge record is validated, so the format carries an explicit
+    // capacity bound: a corrupted (bit-flipped) header must not buy a
+    // multi-gigabyte allocation. 2^26 (~67M) vertices covers the paper's
+    // 20M-user production table with headroom.
+    const MAX_VERTICES: u64 = 1 << 26;
     if users > MAX_VERTICES || items > MAX_VERTICES {
         return Err(IoError::Corrupt(format!(
-            "vertex counts {users}/{items} exceed the u32 id space"
+            "vertex counts {users}/{items} exceed the format bound of {MAX_VERTICES}"
         )));
     }
     let (users, items) = (users as usize, items as usize);
@@ -142,10 +223,20 @@ pub fn from_bytes(mut buf: Bytes) -> Result<BipartiteGraph, IoError> {
     // payload can actually hold.
     let mut b = GraphBuilder::with_capacity(edges.min(buf.remaining() / 12));
     b.reserve_users(users).reserve_items(items);
-    for _ in 0..edges {
+    for i in 0..edges {
         let u = buf.get_u32_le();
         let v = buf.get_u32_le();
         let c = buf.get_u32_le();
+        // A well-formed file never references a vertex outside the counts
+        // its own header declares (to_bytes writes num_users/num_items).
+        // Without this check a single flipped high bit in an id would grow
+        // the builder to a multi-billion-vertex graph.
+        if u as usize >= users || v as usize >= items {
+            return Err(IoError::Corrupt(format!(
+                "edge record {i} references vertex ({u}, {v}) outside the \
+                 declared {users}x{items} graph"
+            )));
+        }
         b.add_click(UserId(u), ItemId(v), c);
     }
     Ok(b.build())
@@ -203,6 +294,29 @@ mod tests {
     }
 
     #[test]
+    fn lossy_read_quarantines_bad_lines() {
+        let text = "0\t0\t2\nbad line\n1\t1\t3\n2\t2\n3\t3\tNaN\n# comment\n4\t4\t1\n";
+        let r = read_tsv_lossy(text.as_bytes()).unwrap();
+        assert_eq!(r.graph.num_edges(), 3, "three clean records survive");
+        assert_eq!(r.graph.clicks(UserId(4), ItemId(4)), Some(1));
+        let lines: Vec<usize> = r.errors.iter().map(|e| e.line).collect();
+        assert_eq!(lines, vec![2, 4, 5], "every bad line reported, in order");
+        assert!(r.errors[1].message.contains("missing"), "{}", r.errors[1]);
+    }
+
+    #[test]
+    fn lossy_read_of_clean_input_matches_strict() {
+        let g = sample();
+        let mut out = Vec::new();
+        write_tsv(&g, &mut out).unwrap();
+        let strict = read_tsv(out.as_slice()).unwrap();
+        let lossy = read_tsv_lossy(out.as_slice()).unwrap();
+        assert!(lossy.errors.is_empty());
+        assert_eq!(lossy.graph.num_edges(), strict.num_edges());
+        assert_eq!(lossy.graph.total_clicks(), strict.total_clicks());
+    }
+
+    #[test]
     fn binary_round_trip_preserves_isolated_vertices() {
         let g = sample();
         let bytes = to_bytes(&g);
@@ -222,10 +336,7 @@ mod tests {
         assert!(matches!(from_bytes(truncated), Err(IoError::Corrupt(_))));
         let mut bad = BytesMut::from(&bytes[..]);
         bad[0] = b'X';
-        assert!(matches!(
-            from_bytes(bad.freeze()),
-            Err(IoError::Corrupt(_))
-        ));
+        assert!(matches!(from_bytes(bad.freeze()), Err(IoError::Corrupt(_))));
         assert!(matches!(
             from_bytes(Bytes::from_static(b"short")),
             Err(IoError::Corrupt(_))
@@ -246,7 +357,12 @@ mod tests {
             h.freeze()
         };
         // edges * 12 wraps around u64 (and usize).
-        for edges in [u64::MAX, u64::MAX / 2, u64::MAX / 12 + 1, (usize::MAX / 12 + 1) as u64] {
+        for edges in [
+            u64::MAX,
+            u64::MAX / 2,
+            u64::MAX / 12 + 1,
+            (usize::MAX / 12 + 1) as u64,
+        ] {
             assert!(
                 matches!(from_bytes(header(1, 1, edges)), Err(IoError::Corrupt(_))),
                 "edges={edges:#x} must be rejected"

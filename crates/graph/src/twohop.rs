@@ -97,14 +97,22 @@ pub fn for_each_item_common_neighbor<F: FnMut(ItemId, u32)>(
 
 /// Number of distinct users reachable from `u` in two hops (its two-hop
 /// neighborhood size), used for the `reduce2Hop` candidate ordering.
-pub fn user_two_hop_size(view: &GraphView<'_>, u: UserId, scratch: &mut CommonNeighborScratch) -> usize {
+pub fn user_two_hop_size(
+    view: &GraphView<'_>,
+    u: UserId,
+    scratch: &mut CommonNeighborScratch,
+) -> usize {
     let mut n = 0;
     for_each_user_common_neighbor(view, u, scratch, |_, _| n += 1);
     n
 }
 
 /// Number of distinct items reachable from `v` in two hops.
-pub fn item_two_hop_size(view: &GraphView<'_>, v: ItemId, scratch: &mut CommonNeighborScratch) -> usize {
+pub fn item_two_hop_size(
+    view: &GraphView<'_>,
+    v: ItemId,
+    scratch: &mut CommonNeighborScratch,
+) -> usize {
     let mut n = 0;
     for_each_item_common_neighbor(view, v, scratch, |_, _| n += 1);
     n
@@ -152,7 +160,16 @@ mod tests {
     fn sample() -> crate::BipartiteGraph {
         // u0: {i0,i1,i2} ; u1: {i0,i1} ; u2: {i2,i3} ; u3: {i3}
         let mut b = GraphBuilder::new();
-        for (u, v) in [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 2), (2, 3), (3, 3)] {
+        for (u, v) in [
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (1, 1),
+            (2, 2),
+            (2, 3),
+            (3, 3),
+        ] {
             b.add_click(UserId(u), ItemId(v), 1);
         }
         b.build()

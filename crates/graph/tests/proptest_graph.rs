@@ -132,6 +132,43 @@ proptest! {
         prop_assert_eq!(items.len(), g.num_items());
     }
 
+    /// Lossy TSV reads recover exactly the clean-subset graph and report
+    /// every malformed line, in order, with nothing dropped silently.
+    #[test]
+    fn lossy_read_partitions_lines(recs in records(),
+                                   bad_at in proptest::collection::btree_set(0usize..64, 0..12),
+                                   junk_pick in 0usize..4) {
+        let junk = ["garbage", "1\t2", "x\t0\t1", "0\t0\t99999999999"][junk_pick];
+        // Interleave clean records with malformed lines at chosen slots.
+        let mut text = String::new();
+        let mut clean = Vec::new();
+        let mut expected_bad = Vec::new();
+        let mut line_no = 0usize;
+        for (i, &(u, v, c)) in recs.iter().enumerate() {
+            if bad_at.contains(&i) {
+                line_no += 1;
+                text.push_str(junk);
+                text.push('\n');
+                expected_bad.push(line_no);
+            }
+            line_no += 1;
+            text.push_str(&format!("{u}\t{v}\t{c}\n"));
+            clean.push((u, v, c));
+        }
+        let lossy = io::read_tsv_lossy(text.as_bytes()).unwrap();
+        let reference = build(&clean);
+        prop_assert_eq!(lossy.graph.num_edges(), reference.num_edges());
+        prop_assert_eq!(lossy.graph.total_clicks(), reference.total_clicks());
+        let reported: Vec<usize> = lossy.errors.iter().map(|e| e.line).collect();
+        prop_assert_eq!(reported, expected_bad);
+        // Strict read agrees whenever there is nothing to quarantine.
+        if expected_bad.is_empty() {
+            prop_assert!(io::read_tsv(text.as_bytes()).is_ok());
+        } else {
+            prop_assert!(io::read_tsv(text.as_bytes()).is_err());
+        }
+    }
+
     /// Every edge stays inside one component.
     #[test]
     fn edges_do_not_cross_components(recs in records()) {

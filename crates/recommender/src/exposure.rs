@@ -29,9 +29,7 @@ pub fn exposed_users(
         if g.user_degree(u) == 0 {
             return false;
         }
-        rec.recommend(u, n)
-            .iter()
-            .any(|(v, _)| items.contains(v))
+        rec.recommend(u, n).iter().any(|(v, _)| items.contains(v))
     })
     .into_iter()
     .map(|u| UserId(u as u32))
@@ -96,23 +94,14 @@ mod tests {
             b.add_click(UserId(w), ItemId(99), 14);
         }
         let after = b.build();
-        let impact = attack_impact(
-            &before,
-            &after,
-            &[ItemId(99)],
-            5,
-            &WorkerPool::new(2),
-        );
+        let impact = attack_impact(&before, &after, &[ItemId(99)], 5, &WorkerPool::new(2));
         assert_eq!(impact.exposed_before, 0, "target invisible pre-attack");
         assert!(
             impact.exposed_after >= 40,
             "most hot-item clickers now see the target ({} exposed)",
             impact.exposed_after
         );
-        assert_eq!(
-            impact.users_protected_by_cleaning,
-            impact.exposed_after
-        );
+        assert_eq!(impact.users_protected_by_cleaning, impact.exposed_after);
     }
 
     #[test]

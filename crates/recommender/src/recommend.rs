@@ -108,7 +108,10 @@ mod tests {
         // history.
         let recs = r.recommend(UserId(2), 5);
         // i0's list contains i1 and i2; i2 removed (clicked) → only i1.
-        assert_eq!(recs.iter().map(|&(v, _)| v).collect::<Vec<_>>(), vec![ItemId(1)]);
+        assert_eq!(
+            recs.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+            vec![ItemId(1)]
+        );
     }
 
     #[test]

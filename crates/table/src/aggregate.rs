@@ -171,7 +171,13 @@ mod tests {
         let s = per_item_stats(&ClickTable::from_rows(rows));
         assert_eq!(s[0].total_clicks, 40);
         assert_eq!(s[1].total_clicks, 40);
-        assert!(s[0].count < s[1].count / 2, "suspicious item has far fewer users");
-        assert!(s[0].mean > s[1].mean, "suspicious item has higher mean clicks/user");
+        assert!(
+            s[0].count < s[1].count / 2,
+            "suspicious item has far fewer users"
+        );
+        assert!(
+            s[0].mean > s[1].mean,
+            "suspicious item has higher mean clicks/user"
+        );
     }
 }

@@ -105,7 +105,11 @@ impl ClickTable {
     /// Converts to the graph form. `reserve_users` / `reserve_items` pad the
     /// vertex spaces (ids are shared, so pass the full id spaces when the
     /// table is a sample of a larger population).
-    pub fn to_graph_with_capacity(&self, reserve_users: usize, reserve_items: usize) -> BipartiteGraph {
+    pub fn to_graph_with_capacity(
+        &self,
+        reserve_users: usize,
+        reserve_items: usize,
+    ) -> BipartiteGraph {
         let mut b = GraphBuilder::with_capacity(self.num_rows());
         b.reserve_users(reserve_users).reserve_items(reserve_items);
         for (u, v, c) in self.rows() {

@@ -11,6 +11,31 @@ pub fn write_tsv<W: Write>(t: &ClickTable, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// The result of a lossy TSV read: the table built from every parseable
+/// record, plus `(line, message)` for everything quarantined.
+#[derive(Debug)]
+pub struct LossyRead {
+    /// Table over the clean subset of records.
+    pub table: ClickTable,
+    /// One `(1-based line, message)` entry per malformed line, in order.
+    pub errors: Vec<(usize, String)>,
+}
+
+fn parse_record(trimmed: &str, idx: usize) -> Result<(u32, u32, u32), String> {
+    let mut parts = trimmed.split('\t').map(str::trim);
+    let mut next = |what: &str| -> Result<u32, String> {
+        parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing {what}", idx + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: bad {what}: {e}", idx + 1))
+    };
+    let u = next("user id")?;
+    let v = next("item id")?;
+    let c = next("click count")?;
+    Ok((u, v, c))
+}
+
 /// Reads a TSV click table (same dialect as `ricd_graph::io::read_tsv`:
 /// blank lines and `#` comments skipped, duplicates merged).
 pub fn read_tsv<R: BufRead>(r: R) -> Result<ClickTable, String> {
@@ -21,25 +46,54 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<ClickTable, String> {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split('\t').map(str::trim);
-        let mut next = |what: &str| -> Result<u32, String> {
-            parts
-                .next()
-                .ok_or_else(|| format!("line {}: missing {what}", idx + 1))?
-                .parse()
-                .map_err(|e| format!("line {}: bad {what}: {e}", idx + 1))
-        };
-        let u = next("user id")?;
-        let v = next("item id")?;
-        let c = next("click count")?;
-        rows.push((u, v, c));
+        rows.push(parse_record(trimmed, idx)?);
     }
     Ok(ClickTable::from_rows(rows))
 }
 
+/// Lossy [`read_tsv`]: malformed lines — including lines that are not
+/// valid UTF-8 — are quarantined into the error report instead of
+/// aborting; underlying I/O failures still abort.
+pub fn read_tsv_lossy<R: BufRead>(mut r: R) -> Result<LossyRead, String> {
+    let mut rows = Vec::new();
+    let mut errors = Vec::new();
+    let mut raw = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        raw.clear();
+        if r.read_until(b'\n', &mut raw)
+            .map_err(|e| format!("line {}: {e}", idx + 1))?
+            == 0
+        {
+            break;
+        }
+        match std::str::from_utf8(&raw) {
+            Ok(line) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                    match parse_record(trimmed, idx) {
+                        Ok(rec) => rows.push(rec),
+                        Err(message) => errors.push((idx + 1, message)),
+                    }
+                }
+            }
+            Err(_) => errors.push((idx + 1, format!("line {}: not valid UTF-8", idx + 1))),
+        }
+        idx += 1;
+    }
+    Ok(LossyRead {
+        table: ClickTable::from_rows(rows),
+        errors,
+    })
+}
+
 /// Serializes the table to a JSON string (columnar layout).
-pub fn to_json(t: &ClickTable) -> String {
-    serde_json::to_string(t).expect("ClickTable serialization cannot fail")
+///
+/// Infallible for any table this crate can build, but surfaced as a
+/// `Result` so callers handle serializer failures as data errors rather
+/// than a panic in release pipelines.
+pub fn to_json(t: &ClickTable) -> Result<String, String> {
+    serde_json::to_string(t).map_err(|e| e.to_string())
 }
 
 /// Deserializes a JSON table produced by [`to_json`].
@@ -76,8 +130,18 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let t = ClickTable::from_rows([(7, 8, 9)]);
-        let t2 = from_json(&to_json(&t)).unwrap();
+        let t2 = from_json(&to_json(&t).unwrap()).unwrap();
         assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn lossy_read_recovers_clean_rows() {
+        let text = "0\t0\t1\ngarbage\n1\t1\t2\n9999999999\t0\t1\n";
+        let r = read_tsv_lossy(text.as_bytes()).unwrap();
+        assert_eq!(r.table.num_rows(), 2);
+        let lines: Vec<usize> = r.errors.iter().map(|&(l, _)| l).collect();
+        assert_eq!(lines, vec![2, 4]);
+        assert!(r.errors[1].1.contains("bad user id"), "{}", r.errors[1].1);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl StratifiedConfig {
     }
 
     fn stratum_of(&self, total: u64) -> usize {
-        self.bounds.iter().position(|&b| total < b).unwrap_or(self.bounds.len())
+        self.bounds
+            .iter()
+            .position(|&b| total < b)
+            .unwrap_or(self.bounds.len())
     }
 
     fn validate(&self) -> Result<(), String> {
@@ -56,7 +59,11 @@ impl StratifiedConfig {
         if self.bounds.windows(2).any(|w| w[0] >= w[1]) {
             return Err("bounds must be strictly ascending".into());
         }
-        if self.keep_fraction.iter().any(|&f| !(0.0..=1.0).contains(&f)) {
+        if self
+            .keep_fraction
+            .iter()
+            .any(|&f| !(0.0..=1.0).contains(&f))
+        {
             return Err("keep fractions must be in [0, 1]".into());
         }
         Ok(())

@@ -64,7 +64,7 @@ proptest! {
         let mut buf = Vec::new();
         io::write_tsv(&t, &mut buf).unwrap();
         prop_assert_eq!(&io::read_tsv(buf.as_slice()).unwrap(), &t);
-        prop_assert_eq!(&io::from_json(&io::to_json(&t)).unwrap(), &t);
+        prop_assert_eq!(&io::from_json(&io::to_json(&t).unwrap()).unwrap(), &t);
     }
 
     /// Graph conversion round-trips.

@@ -82,6 +82,9 @@ fn main() {
 fn print_records(rows: &[ClickRecordRow]) {
     println!("ID  Click  Total_click  Hot");
     for r in rows {
-        println!("{:>2}  {:>5}  {:>11}  {:>3}", r.seq, r.click, r.total_click, r.hot);
+        println!(
+            "{:>2}  {:>5}  {:>11}  {:>3}",
+            r.seq, r.click, r.total_click, r.hot
+        );
     }
 }

@@ -39,9 +39,17 @@ fn main() {
     println!("T_click (Eq 4)    = {}  (paper: 12)", r.t_click_derived);
 
     println!("\n=== Fig 2a: distribution of items' clicks ===");
-    print_distribution(&r.item_distribution.bin_lower, &r.item_distribution.count, "items");
+    print_distribution(
+        &r.item_distribution.bin_lower,
+        &r.item_distribution.count,
+        "items",
+    );
     println!("\n=== Fig 2b: distribution of users' clicks ===");
-    print_distribution(&r.user_distribution.bin_lower, &r.user_distribution.count, "users");
+    print_distribution(
+        &r.user_distribution.bin_lower,
+        &r.user_distribution.count,
+        "users",
+    );
 }
 
 fn print_distribution(bins: &[u64], counts: &[u64], what: &str) {

@@ -10,8 +10,8 @@ use fake_click_detection::prelude::*;
 fn main() {
     // 1. A Taobao-like click dataset (small scale: 2k users, 400 items)
     //    with 4 planted crowd-worker attack groups.
-    let dataset = generate(&DatasetConfig::small(), &AttackConfig::small())
-        .expect("configs are valid");
+    let dataset =
+        generate(&DatasetConfig::small(), &AttackConfig::small()).expect("configs are valid");
     println!(
         "dataset: {} users, {} items, {} click records, {} total clicks",
         dataset.graph.num_users(),

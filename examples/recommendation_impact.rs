@@ -26,8 +26,14 @@ fn main() {
     // 1. What the attack bought.
     let impact = attack_impact(&clean.graph, &attacked.graph, &targets, top_n, &pool);
     println!("=== What the attack bought (top-{top_n} recommendation lists) ===");
-    println!("users exposed to targets before the attack: {}", impact.exposed_before);
-    println!("users exposed to targets after the attack:  {}", impact.exposed_after);
+    println!(
+        "users exposed to targets before the attack: {}",
+        impact.exposed_before
+    );
+    println!(
+        "users exposed to targets after the attack:  {}",
+        impact.exposed_after
+    );
 
     // 2. RICD detects and the platform cleans the fake clicks.
     let result = RicdPipeline::new(RicdParams::default()).run(&attacked.graph);

@@ -46,7 +46,10 @@ impl Bytes {
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Bytes {
             data: Arc::clone(&self.data),
             start: self.start + range.start,

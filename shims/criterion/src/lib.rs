@@ -51,7 +51,11 @@ impl Criterion {
     }
 
     /// Runs a single ungrouped benchmark.
-    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let samples = self.default_sample_size;
         run_one("", &name.into(), samples, f);
         self
@@ -73,8 +77,17 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Times a closure under the given benchmark id.
-    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        run_one(&self.name, &id.into_benchmark_id().label, self.sample_size, &mut f);
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id().label,
+            self.sample_size,
+            &mut f,
+        );
         self
     }
 
@@ -85,7 +98,12 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(&self.name, &id.into_benchmark_id().label, self.sample_size, |b| f(b, input));
+        run_one(
+            &self.name,
+            &id.into_benchmark_id().label,
+            self.sample_size,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -238,7 +256,9 @@ mod tests {
         let mut seen = 0u64;
         let mut g = c.benchmark_group("t");
         g.sample_size(1);
-        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| b.iter(|| seen = x * x));
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| seen = x * x)
+        });
         g.finish();
         assert_eq!(seen, 49);
     }

@@ -162,8 +162,7 @@ pub trait Deserialize: Sized {
 /// macro expands to for named-field structs.
 pub fn from_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, Error> {
     match v.get(key) {
-        Some(f) => T::from_value(f)
-            .map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
+        Some(f) => T::from_value(f).map_err(|e| Error::custom(format!("field `{key}`: {e}"))),
         None => Err(Error::custom(format!("missing field `{key}`"))),
     }
 }
@@ -423,7 +422,7 @@ mod tests {
         // unsigned/signed split stays lossless.
         assert_eq!(f64::from_value(&Value::I64(3)), Ok(3.0));
         assert_eq!(f64::from_value(&Value::U64(3)), Ok(3.0));
-        assert_eq!(u8::from_value(&Value::U64(300)).is_err(), true);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
         assert!(u32::from_value(&Value::I64(-1)).is_err());
     }
 

@@ -8,29 +8,47 @@
 //! * tuple structs (a 1-field newtype serializes as its inner value,
 //!   wider tuples as arrays),
 //! * unit structs,
-//! * enums whose variants are unit or single-field newtypes
-//!   (unit → `"Variant"`, newtype → `{"Variant": value}`).
+//! * enums whose variants are unit, single-field newtypes, or have named
+//!   fields (unit → `"Variant"`, newtype → `{"Variant": value}`,
+//!   struct → `{"Variant": {fields…}}`).
 //!
-//! Generics, struct variants, and `#[serde(...)]` attributes are not
-//! supported and fail loudly at compile time. The parser walks the token
-//! tree by hand — no `syn`/`quote`, because the build environment cannot
-//! download them.
+//! Generics and `#[serde(...)]` attributes are not supported and fail
+//! loudly at compile time. The parser walks the token tree by hand — no
+//! `syn`/`quote`, because the build environment cannot download them.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
 
 #[derive(Debug)]
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 #[derive(Debug)]
 struct Variant {
     name: String,
-    newtype: bool,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
 }
 
 struct Cursor {
@@ -217,7 +235,7 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
             return variants;
         }
         let name = c.expect_ident("variant name");
-        let newtype = match c.peek() {
+        let kind = match c.peek() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let arity = count_tuple_fields(g.stream());
                 assert!(
@@ -225,14 +243,16 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
                     "derive shim supports only single-field tuple variants, `{name}` has {arity}"
                 );
                 c.next();
-                true
+                VariantKind::Newtype
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                panic!("derive shim does not support struct variant `{name}`")
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantKind::Struct(fields)
             }
-            _ => false,
+            _ => VariantKind::Unit,
         };
-        variants.push(Variant { name, newtype });
+        variants.push(Variant { name, kind });
         if c.at_end() {
             return variants;
         }
@@ -247,7 +267,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let mut out = String::new();
     let (type_name, body) = match &item {
         Item::NamedStruct { name, fields } => {
-            let mut b = String::from("::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([\n");
+            let mut b =
+                String::from("::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([\n");
             for f in fields {
                 let _ = writeln!(
                     b,
@@ -261,7 +282,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             (name, "::serde::Serialize::to_value(&self.0)".to_string())
         }
         Item::TupleStruct { name, arity } => {
-            let mut b = String::from("::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([\n");
+            let mut b =
+                String::from("::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([\n");
             for i in 0..*arity {
                 let _ = writeln!(b, "    ::serde::Serialize::to_value(&self.{i}),");
             }
@@ -273,16 +295,36 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let mut b = String::from("match self {\n");
             for v in variants {
                 let vn = &v.name;
-                if v.newtype {
-                    let _ = writeln!(
-                        b,
-                        "    Self::{vn}(inner) => ::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(inner))]))),"
-                    );
-                } else {
-                    let _ = writeln!(
-                        b,
-                        "    Self::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
-                    );
+                match &v.kind {
+                    VariantKind::Newtype => {
+                        let _ = writeln!(
+                            b,
+                            "    Self::{vn}(inner) => ::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(inner))]))),"
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = String::from(
+                            "::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([",
+                        );
+                        for f in fields {
+                            let _ = write!(
+                                inner,
+                                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f})), "
+                            );
+                        }
+                        inner.push_str("])))");
+                        let _ = writeln!(
+                            b,
+                            "    Self::{vn} {{ {pat} }} => ::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([(::std::string::String::from({vn:?}), {inner})]))),"
+                        );
+                    }
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            b,
+                            "    Self::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                        );
+                    }
                 }
             }
             b.push('}');
@@ -293,7 +335,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         out,
         "#[automatically_derived]\nimpl ::serde::Serialize for {type_name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
     );
-    out.parse().expect("derive(Serialize) generated invalid Rust")
+    out.parse()
+        .expect("derive(Serialize) generated invalid Rust")
 }
 
 /// Derives `serde::Deserialize` (shim data model).
@@ -334,14 +377,23 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             "let _ = v; ::std::result::Result::Ok(Self)".to_string(),
         ),
         Item::Enum { name, variants } => {
-            let unit: Vec<&Variant> = variants.iter().filter(|v| !v.newtype).collect();
-            let newtype: Vec<&Variant> = variants.iter().filter(|v| v.newtype).collect();
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
             let mut b = String::from("match v {\n");
             if !unit.is_empty() {
                 b.push_str("    ::serde::Value::Str(s) => match s.as_str() {\n");
                 for v in &unit {
                     let vn = &v.name;
-                    let _ = writeln!(b, "        {vn:?} => ::std::result::Result::Ok(Self::{vn}),");
+                    let _ = writeln!(
+                        b,
+                        "        {vn:?} => ::std::result::Result::Ok(Self::{vn}),"
+                    );
                 }
                 let _ = writeln!(
                     b,
@@ -349,16 +401,31 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 );
                 b.push_str("    },\n");
             }
-            if !newtype.is_empty() {
+            if !tagged.is_empty() {
                 b.push_str(
                     "    ::serde::Value::Object(entries) if entries.len() == 1 => {\n        let (k, inner) = &entries[0];\n        match k.as_str() {\n",
                 );
-                for v in &newtype {
+                for v in &tagged {
                     let vn = &v.name;
-                    let _ = writeln!(
-                        b,
-                        "            {vn:?} => ::std::result::Result::Ok(Self::{vn}(::serde::Deserialize::from_value(inner)?)),"
-                    );
+                    match &v.kind {
+                        VariantKind::Newtype => {
+                            let _ = writeln!(
+                                b,
+                                "            {vn:?} => ::std::result::Result::Ok(Self::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                            );
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut init = String::new();
+                            for f in fields {
+                                let _ = write!(init, "{f}: ::serde::from_field(inner, {f:?})?, ");
+                            }
+                            let _ = writeln!(
+                                b,
+                                "            {vn:?} => ::std::result::Result::Ok(Self::{vn} {{ {init} }}),"
+                            );
+                        }
+                        VariantKind::Unit => unreachable!(),
+                    }
                 }
                 let _ = writeln!(
                     b,

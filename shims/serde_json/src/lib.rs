@@ -84,19 +84,31 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
             }
         }
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) =>
-            write_seq(out, items.iter(), items.len(), indent, depth, ('[', ']'), |out, item, ind, d| {
-                write_value(out, item, ind, d)
-            }),
-        Value::Object(entries) =>
-            write_seq(out, entries.iter(), entries.len(), indent, depth, ('{', '}'), |out, (k, v), ind, d| {
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            ('[', ']'),
+            write_value,
+        ),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            ('{', '}'),
+            |out, (k, v), ind, d| {
                 write_string(out, k);
                 out.push(':');
                 if ind.is_some() {
                     out.push(' ');
                 }
                 write_value(out, v, ind, d);
-            }),
+            },
+        ),
     }
 }
 
@@ -293,8 +305,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -330,8 +341,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             // Match upstream: non-negative integers become U64, negative I64.
             if let Ok(n) = text.parse::<u64>() {
@@ -355,7 +366,10 @@ mod tests {
     fn compact_round_trip() {
         let v = Value::Object(vec![
             ("name".into(), Value::Str("a\"b\\c\n".into())),
-            ("xs".into(), Value::Array(vec![Value::U64(1), Value::I64(-2), Value::F64(0.5)])),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::U64(1), Value::I64(-2), Value::F64(0.5)]),
+            ),
             ("ok".into(), Value::Bool(true)),
             ("none".into(), Value::Null),
             ("empty".into(), Value::Array(vec![])),
@@ -415,6 +429,9 @@ mod tests {
         assert_eq!(v, Value::Str("Aé".into()));
         let control = to_string(&Value::Str("\u{1}".into())).unwrap();
         assert_eq!(control, "\"\\u0001\"");
-        assert_eq!(from_str::<Value>(&control).unwrap(), Value::Str("\u{1}".into()));
+        assert_eq!(
+            from_str::<Value>(&control).unwrap(),
+            Value::Str("\u{1}".into())
+        );
     }
 }

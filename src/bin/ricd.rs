@@ -19,6 +19,23 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
+/// CLI failures, split by exit code: usage errors exit 2, runtime (I/O,
+/// parse, generation) errors exit 1. A *degraded* detection run is not an
+/// error — it exits 0 with a warning on stderr, because a best-effort
+/// report is still a report.
+enum CliError {
+    /// The invocation itself is wrong (missing/unknown flag or command).
+    Usage(String),
+    /// The invocation is fine but the work failed (I/O, malformed data).
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(s: String) -> Self {
+        CliError::Runtime(s)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
@@ -31,13 +48,17 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
@@ -48,15 +69,29 @@ ricd - Ride Item's Coattails attack detection (ICDE 2021 reproduction)
 USAGE:
     ricd generate --output <clicks.tsv> [--truth <truth.json>]
                   [--scale tiny|small|default] [--groups <N>] [--seed <N>]
-    ricd stats    --input <clicks.tsv>
+    ricd stats    --input <clicks.tsv> [--lossy]
     ricd detect   --input <clicks.tsv> [--output <report.json>]
                   [--k1 <N>] [--k2 <N>] [--alpha <F>]
                   [--t-hot <N>] [--t-click <N>]
                   [--seed-user <id>]... [--seed-item <id>]...
+                  [--lossy] [--deadline-ms <N>] [--max-groups <N>]
     ricd eval     --input <clicks.tsv> --truth <truth.json> [--method <NAME>]
+                  [--lossy]
     ricd campaign [--days <N>]
 
 Click tables are TSV lines `user<TAB>item<TAB>clicks`.
+
+FAULT TOLERANCE:
+    --lossy          quarantine malformed TSV lines (reported on stderr)
+                     instead of aborting the read
+    --deadline-ms N  wall-clock budget; past it the run degrades to the
+                     naive detector and warns instead of failing
+    --max-groups N   cap the report at the N largest groups
+
+EXIT CODES:
+    0  success (including degraded runs, which warn on stderr)
+    1  runtime failure (I/O, malformed data)
+    2  usage error
 ";
 
 /// Minimal `--key value` parser; flags may repeat.
@@ -78,26 +113,64 @@ impl<'a> Flags<'a> {
             .collect()
     }
 
-    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String>
+    /// True if the bare (value-less) flag `key` is present.
+    fn has(&self, key: &str) -> bool {
+        self.0.iter().any(|a| a == key)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError>
     where
         T::Err: std::fmt::Display,
     {
+        // A value flag dangling at the end of the line must not be
+        // silently ignored: `detect --input x --deadline-ms` would
+        // otherwise run unbudgeted.
+        if self.0.last().map(String::as_str) == Some(key) {
+            return Err(CliError::Usage(format!("{key} requires a value")));
+        }
         self.get(key)
-            .map(|v| v.parse().map_err(|e| format!("bad {key}: {e}")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| CliError::Usage(format!("bad {key}: {e}")))
+            })
             .transpose()
     }
 
-    fn require(&self, key: &str) -> Result<&'a str, String> {
-        self.get(key).ok_or_else(|| format!("missing {key}"))
+    fn require(&self, key: &str) -> Result<&'a str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing {key}")))
     }
 }
 
-fn load_graph(path: &str) -> Result<fake_click_detection::graph::BipartiteGraph, String> {
+/// Loads a click table; with `lossy`, malformed lines are quarantined and
+/// reported on stderr instead of failing the command.
+fn load_graph(
+    path: &str,
+    lossy: bool,
+) -> Result<fake_click_detection::graph::BipartiteGraph, CliError> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    graph_io::read_tsv(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+    if lossy {
+        let read =
+            graph_io::read_tsv_lossy(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+        if !read.errors.is_empty() {
+            eprintln!(
+                "warning: {path}: quarantined {} malformed line(s):",
+                read.errors.len()
+            );
+            for err in read.errors.iter().take(10) {
+                eprintln!("warning:   {err}");
+            }
+            if read.errors.len() > 10 {
+                eprintln!("warning:   ... and {} more", read.errors.len() - 10);
+            }
+        }
+        Ok(read.graph)
+    } else {
+        Ok(graph_io::read_tsv(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?)
+    }
 }
 
-fn ricd_params(flags: &Flags) -> Result<RicdParams, String> {
+fn ricd_params(flags: &Flags) -> Result<RicdParams, CliError> {
     let mut p = RicdParams::default();
     if let Some(v) = flags.parse("--k1")? {
         p.k1 = v;
@@ -114,18 +187,30 @@ fn ricd_params(flags: &Flags) -> Result<RicdParams, String> {
     if let Some(v) = flags.parse("--t-click")? {
         p.t_click = v;
     }
-    p.validate()?;
+    p.validate().map_err(CliError::Usage)?;
     Ok(p)
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+/// Assembles the run budget from `--deadline-ms` / `--max-groups`.
+fn run_budget(flags: &Flags) -> Result<RunBudget, CliError> {
+    let mut budget = RunBudget::none();
+    if let Some(ms) = flags.parse::<u64>("--deadline-ms")? {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = flags.parse::<usize>("--max-groups")? {
+        budget = budget.with_max_groups(n);
+    }
+    Ok(budget)
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
     let output = flags.require("--output")?;
     let mut dataset_cfg = match flags.get("--scale") {
         None | Some("default") => DatasetConfig::default(),
         Some("small") => DatasetConfig::small(),
         Some("tiny") => DatasetConfig::tiny(),
-        Some(other) => return Err(format!("unknown scale `{other}`")),
+        Some(other) => return Err(CliError::Usage(format!("unknown scale `{other}`"))),
     };
     if let Some(seed) = flags.parse("--seed")? {
         dataset_cfg.seed = seed;
@@ -157,9 +242,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
-    let g = load_graph(flags.require("--input")?)?;
+    let g = load_graph(flags.require("--input")?, flags.has("--lossy"))?;
     let r = figures::dataset_report(&g);
     println!("users         {}", r.scale.users);
     println!("items         {}", r.scale.items);
@@ -177,29 +262,51 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         "pareto        top-20% items hold {:.1}% of clicks",
         r.pareto_top20_share * 100.0
     );
-    println!("derived       T_hot={} T_click={}", r.t_hot_pareto, r.t_click_derived);
+    println!(
+        "derived       T_hot={} T_click={}",
+        r.t_hot_pareto, r.t_click_derived
+    );
     Ok(())
 }
 
-fn cmd_detect(args: &[String]) -> Result<(), String> {
+fn cmd_detect(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
-    let g = load_graph(flags.require("--input")?)?;
+    // Validate every flag before touching the filesystem: a usage error
+    // (exit 2) must win over an I/O error (exit 1) so a typo'd invocation
+    // never half-runs against a large input.
+    let input = flags.require("--input")?;
     let params = ricd_params(&flags)?;
+    let budget = run_budget(&flags)?;
 
     let seeds = Seeds {
         users: flags
             .get_all("--seed-user")
             .into_iter()
-            .map(|s| s.parse().map(UserId).map_err(|e| format!("bad --seed-user: {e}")))
+            .map(|s| {
+                s.parse()
+                    .map(UserId)
+                    .map_err(|e| CliError::Usage(format!("bad --seed-user: {e}")))
+            })
             .collect::<Result<_, _>>()?,
         items: flags
             .get_all("--seed-item")
             .into_iter()
-            .map(|s| s.parse().map(ItemId).map_err(|e| format!("bad --seed-item: {e}")))
+            .map(|s| {
+                s.parse()
+                    .map(ItemId)
+                    .map_err(|e| CliError::Usage(format!("bad --seed-item: {e}")))
+            })
             .collect::<Result<_, _>>()?,
     };
 
-    let result = RicdPipeline::new(params).with_seeds(seeds).run(&g);
+    let g = load_graph(input, flags.has("--lossy"))?;
+    let result = RicdPipeline::new(params)
+        .with_seeds(seeds)
+        .with_budget(budget)
+        .run(&g);
+    if let RunStatus::Degraded { reason, phase } = &result.status {
+        eprintln!("warning: degraded run (phase `{phase}`): {reason}");
+    }
     eprintln!(
         "detected {} groups ({} suspicious users, {} suspicious items) in {:?}",
         result.groups.len(),
@@ -225,9 +332,9 @@ fn cmd_detect(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(args: &[String]) -> Result<(), String> {
+fn cmd_eval(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
-    let g = load_graph(flags.require("--input")?)?;
+    let g = load_graph(flags.require("--input")?, flags.has("--lossy"))?;
     let truth_path = flags.require("--truth")?;
     let truth: fake_click_detection::datagen::GroundTruth = {
         let text = std::fs::read_to_string(truth_path).map_err(|e| format!("{truth_path}: {e}"))?;
@@ -240,7 +347,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
             .into_iter()
             .chain(Method::table6_lineup())
             .find(|m| m.name().eq_ignore_ascii_case(name))
-            .ok_or_else(|| format!("unknown method `{name}`"))?],
+            .ok_or_else(|| CliError::Usage(format!("unknown method `{name}`")))?],
     };
 
     let cfg = MethodConfig::default();
@@ -263,7 +370,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_campaign(args: &[String]) -> Result<(), String> {
+fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
     let mut cfg = CampaignConfig::default();
     if let Some(days) = flags.parse("--days")? {

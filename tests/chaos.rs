@@ -1,0 +1,334 @@
+//! Chaos suite: deterministic fault injection against the detection
+//! runtime. The contract under test, end to end:
+//!
+//! 1. **Never abort** — injected worker panics, corrupt bytes, truncated
+//!    files, and replayed stream batches must surface as typed errors,
+//!    quarantine reports, or degraded-but-complete runs; never as a crash.
+//! 2. **Never silently wrong** — whenever a run completes despite faults,
+//!    its output must either equal the fault-free run (transient faults,
+//!    replays, crash/resume) or be explicitly marked (degraded status,
+//!    quarantined lines).
+//!
+//! Every fault here is derived from a seed, so a failure replays exactly.
+
+use fake_click_detection::core::prelude::*;
+use fake_click_detection::engine::fault::{flip_bytes, replay_batch, truncate_at};
+use fake_click_detection::engine::{
+    partition_ranges, EngineError, FaultInjector, FaultPlan, WorkerPool,
+};
+use fake_click_detection::graph::{io as graph_io, GraphBuilder, ItemId, UserId};
+use std::path::PathBuf;
+use std::process::Command;
+
+// ---------------------------------------------------------------- compute
+
+/// Drives `rounds` bulk-synchronous supersteps through a pool while an
+/// armed injector panics chosen (round, partition) cells, and returns the
+/// per-round sums.
+fn run_rounds(
+    pool: &WorkerPool,
+    inj: &FaultInjector,
+    n: usize,
+    rounds: usize,
+) -> Vec<Result<u64, EngineError>> {
+    let ranges = partition_ranges(n, pool.workers());
+    (0..rounds)
+        .map(|_| {
+            inj.begin_round();
+            pool.try_run_partitioned(n, |r| {
+                let partition = ranges
+                    .iter()
+                    .position(|p| *p == r)
+                    .expect("range maps to a partition");
+                inj.maybe_panic(partition);
+                r.map(|i| i as u64).sum::<u64>()
+            })
+            .map(|per| per.into_iter().sum())
+        })
+        .collect()
+}
+
+#[test]
+fn seeded_panic_plans_never_abort_and_never_corrupt_results() {
+    let pool = WorkerPool::new(4);
+    let n = 400;
+    let rounds = 5;
+    let want: u64 = (0..n as u64).sum();
+    for seed in 0..8u64 {
+        let plan = FaultPlan::seeded(seed, rounds, pool.workers(), 3);
+        let inj = FaultInjector::new(plan.clone());
+        let got = run_rounds(&pool, &inj, n, rounds);
+        for (round, result) in got.iter().enumerate() {
+            let sum = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("seed {seed} round {round} failed: {e}"));
+            assert_eq!(*sum, want, "seed {seed} round {round} wrong sum");
+        }
+        assert_eq!(
+            inj.fired().len(),
+            plan.len(),
+            "seed {seed}: every planned fault actually fired"
+        );
+    }
+}
+
+#[test]
+fn persistent_fault_surfaces_as_typed_error_not_a_crash() {
+    let pool = WorkerPool::new(4);
+    let inj = FaultInjector::new(FaultPlan::panic_at(0, 2).persistent());
+    let results = run_rounds(&pool, &inj, 400, 2);
+    match &results[0] {
+        Err(EngineError::PartitionPanicked {
+            partition, message, ..
+        }) => {
+            assert_eq!(*partition, 2);
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        Ok(_) => panic!("persistent fault must fail the round"),
+    }
+    // The next round is clean: the failed round poisoned nothing.
+    assert!(results[1].is_ok(), "pool unusable after a failed round");
+}
+
+// ------------------------------------------------------------------- I/O
+
+fn sample_graph() -> fake_click_detection::graph::BipartiteGraph {
+    let mut b = GraphBuilder::new();
+    for u in 0..40u32 {
+        for v in 0..10u32 {
+            b.add_click(UserId(u), ItemId(v), 1 + (u + v) % 7);
+        }
+    }
+    b.build()
+}
+
+#[test]
+fn truncation_at_every_byte_is_a_typed_error() {
+    let bytes = graph_io::to_bytes(&sample_graph());
+    for n in 0..bytes.len() {
+        let cut = truncate_at(&bytes, n);
+        match graph_io::from_bytes(cut.into()) {
+            Err(graph_io::IoError::Corrupt(_)) => {}
+            Ok(_) => panic!("truncation at byte {n} parsed as a full graph"),
+            Err(other) => panic!("truncation at byte {n}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_and_accepted_graphs_validate() {
+    let bytes = graph_io::to_bytes(&sample_graph());
+    let mut accepted = 0;
+    for seed in 0..64u64 {
+        let flipped = flip_bytes(&bytes, seed, 3);
+        if let Ok(g) = graph_io::from_bytes(flipped.into()) {
+            // A payload flip can masquerade as data (no checksum in the
+            // format) — but it must never produce a structurally broken
+            // graph.
+            g.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: accepted graph invalid: {e}"));
+            accepted += 1;
+        }
+    }
+    // Most 3-bit faults land in the header/length machinery and are
+    // rejected; some payload flips parse. Both paths must be exercised.
+    assert!(accepted < 64, "some flips must be rejected");
+}
+
+#[test]
+fn flipped_tsv_is_quarantined_line_by_line() {
+    let g = sample_graph();
+    let mut tsv = Vec::new();
+    graph_io::write_tsv(&g, &mut tsv).unwrap();
+    for seed in 0..16u64 {
+        let flipped = flip_bytes(&tsv, seed, 4);
+        let read = graph_io::read_tsv_lossy(flipped.as_slice())
+            .unwrap_or_else(|e| panic!("seed {seed}: lossy read aborted: {e}"));
+        read.graph
+            .validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: recovered graph invalid: {e}"));
+        // Conservation: every input line is either a parsed record or a
+        // quarantined error (blank/comment lines aside — flips can create
+        // those too, so only an upper bound holds on records).
+        let lines = flipped
+            .split(|&b| b == b'\n')
+            .filter(|l| !l.is_empty())
+            .count();
+        assert!(
+            read.graph.num_edges() + read.errors.len() <= lines,
+            "seed {seed}: more records+errors than lines"
+        );
+    }
+}
+
+// -------------------------------------------------------------- streaming
+
+fn stream() -> Vec<Vec<(UserId, ItemId, u32)>> {
+    let mut background = Vec::new();
+    for u in 1000..2200u32 {
+        background.push((UserId(u), ItemId(0), 1));
+    }
+    let mut batches = vec![background, Vec::new(), Vec::new(), Vec::new()];
+    for u in 0..12u32 {
+        for day in batches.iter_mut().take(4).skip(1) {
+            for v in 1..12u32 {
+                day.push((UserId(u), ItemId(v), 5));
+            }
+        }
+        batches[1].push((UserId(u), ItemId(0), 1));
+    }
+    batches
+}
+
+#[test]
+fn replayed_batches_leave_results_identical_to_clean_stream() {
+    let batches = stream();
+    let mut clean = StreamingDetector::new(RicdPipeline::new(RicdParams::default()));
+    for (i, b) in batches.iter().enumerate() {
+        clean.ingest_batch(i as u64, b);
+    }
+    // Replay every batch position in turn (redelivery keeps the original
+    // sequence number), plus a triple-delivery of the last batch.
+    for dup in 0..batches.len() {
+        let mut faulty = StreamingDetector::new(RicdPipeline::new(RicdParams::default()));
+        let delivered = replay_batch(&batches, dup);
+        let mut seqs: Vec<u64> = (0..batches.len() as u64).collect();
+        seqs.insert(dup + 1, dup as u64);
+        for (s, b) in seqs.iter().zip(&delivered) {
+            faulty.ingest_batch(*s, b);
+        }
+        assert_eq!(clean.groups(), faulty.groups(), "dup of batch {dup}");
+        assert_eq!(
+            clean.graph().num_edges(),
+            faulty.graph().num_edges(),
+            "dup of batch {dup} double-counted clicks"
+        );
+    }
+}
+
+#[test]
+fn crash_resume_with_replay_matches_never_crashed() {
+    let batches = stream();
+    let mut steady = StreamingDetector::new(RicdPipeline::new(RicdParams::default()));
+    for (i, b) in batches.iter().enumerate() {
+        steady.ingest_batch(i as u64, b);
+    }
+    for cut in 1..batches.len() {
+        // Run to the cut, checkpoint, "crash", restore — and have the
+        // stream redeliver the batch before the cut (at-least-once).
+        let mut before = StreamingDetector::new(RicdPipeline::new(RicdParams::default()));
+        for (i, b) in batches[..cut].iter().enumerate() {
+            before.ingest_batch(i as u64, b);
+        }
+        let ckpt = before.checkpoint();
+        let json = serde_json::to_string(&ckpt).unwrap();
+        drop(before);
+        let restored: Checkpoint = serde_json::from_str(&json).unwrap();
+        let mut resumed =
+            StreamingDetector::restore(RicdPipeline::new(RicdParams::default()), restored);
+        let replay = resumed.ingest_batch(cut as u64 - 1, &batches[cut - 1]);
+        assert!(replay.replayed, "redelivered batch recognized");
+        for (i, b) in batches.iter().enumerate().skip(cut) {
+            resumed.ingest_batch(i as u64, b);
+        }
+        assert_eq!(steady.groups(), resumed.groups(), "cut {cut} diverged");
+    }
+}
+
+// ------------------------------------------------------------------- CLI
+
+fn ricd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ricd"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ricd-chaos-{}-{name}", std::process::id()));
+    p
+}
+
+fn write_corrupt_tsv(path: &PathBuf) {
+    let g = sample_graph();
+    let mut tsv = Vec::new();
+    graph_io::write_tsv(&g, &mut tsv).unwrap();
+    // Splice garbage into the middle of the file.
+    let mid = tsv.len() / 2;
+    let pre = tsv[..mid].iter().rposition(|&b| b == b'\n').unwrap() + 1;
+    let mut bad = tsv[..pre].to_vec();
+    bad.extend_from_slice(b"this line is garbage\n");
+    bad.extend_from_slice(&tsv[pre..]);
+    std::fs::write(path, bad).unwrap();
+}
+
+#[test]
+fn cli_corrupt_input_fails_strict_but_recovers_lossy() {
+    let clicks = tmp("corrupt.tsv");
+    write_corrupt_tsv(&clicks);
+
+    let strict = ricd()
+        .args(["detect", "--input", clicks.to_str().unwrap()])
+        .output()
+        .expect("ricd runs");
+    assert_eq!(strict.status.code(), Some(1), "strict parse error exits 1");
+    let err = String::from_utf8_lossy(&strict.stderr);
+    assert!(err.contains("error:"), "{err}");
+
+    let lossy = ricd()
+        .args(["detect", "--input", clicks.to_str().unwrap(), "--lossy"])
+        .output()
+        .expect("ricd runs");
+    assert_eq!(lossy.status.code(), Some(0), "lossy run succeeds");
+    let err = String::from_utf8_lossy(&lossy.stderr);
+    assert!(err.contains("quarantined 1 malformed line"), "{err}");
+
+    let _ = std::fs::remove_file(&clicks);
+}
+
+#[test]
+fn cli_deadline_degrades_with_warning_and_exit_zero() {
+    let clicks = tmp("deadline.tsv");
+    let g = sample_graph();
+    let mut tsv = Vec::new();
+    graph_io::write_tsv(&g, &mut tsv).unwrap();
+    std::fs::write(&clicks, tsv).unwrap();
+
+    let out = ricd()
+        .args([
+            "detect",
+            "--input",
+            clicks.to_str().unwrap(),
+            "--deadline-ms",
+            "0",
+        ])
+        .output()
+        .expect("ricd runs");
+    assert_eq!(out.status.code(), Some(0), "degraded run still exits 0");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning: degraded run"), "{err}");
+    assert!(err.contains("deadline"), "{err}");
+
+    let _ = std::fs::remove_file(&clicks);
+}
+
+#[test]
+fn cli_usage_errors_exit_two() {
+    for args in [
+        vec!["detect"],                               // missing --input
+        vec!["frobnicate"],                           // unknown command
+        vec!["detect", "--input", "x", "--k1", "no"], // malformed flag value
+    ] {
+        let out = ricd().args(&args).output().expect("ricd runs");
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("USAGE"), "usage shown for {args:?}: {err}");
+    }
+}
+
+#[test]
+fn cli_missing_file_exits_one() {
+    let out = ricd()
+        .args(["detect", "--input", "/nonexistent/clicks.tsv"])
+        .output()
+        .expect("ricd runs");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -37,7 +37,11 @@ fn generate_stats_detect_eval_round_trip() {
         ])
         .output()
         .expect("ricd generate runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(clicks.exists() && truth.exists());
 
     // stats
@@ -61,7 +65,11 @@ fn generate_stats_detect_eval_round_trip() {
         ])
         .output()
         .expect("ricd detect runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("group 1:"), "{text}");
     let json = std::fs::read_to_string(&report).unwrap();
@@ -81,7 +89,11 @@ fn generate_stats_detect_eval_round_trip() {
         ])
         .output()
         .expect("ricd eval runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("RICD"), "{text}");
     assert!(text.contains("precision"), "{text}");
@@ -171,7 +183,11 @@ fn detect_accepts_custom_parameters() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Invalid alpha rejected.
     let out = ricd()
         .args([

@@ -46,7 +46,10 @@ fn ricd_leads_the_fig8_comparison() {
         ricd.eval.precision,
         lpa.eval.precision
     );
-    assert!(ricd.eval.recall + 0.1 >= lpa.eval.recall, "comparable recall");
+    assert!(
+        ricd.eval.recall + 0.1 >= lpa.eval.recall,
+        "comparable recall"
+    );
 
     let fraudar = get(Method::Fraudar);
     assert!(

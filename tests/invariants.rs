@@ -7,40 +7,42 @@ use proptest::prelude::*;
 /// Random but valid generator configs (kept tiny for test speed).
 fn configs() -> impl Strategy<Value = (DatasetConfig, AttackConfig)> {
     (
-        200usize..800,       // users
-        50usize..150,        // items
-        0usize..3,           // groups
-        10usize..20,         // workers per group
-        10usize..14,         // targets per group
-        0.8f64..=1.0,        // coverage
-        any::<bool>(),       // experienced workers
-        0u64..1000,          // seeds
+        200usize..800, // users
+        50usize..150,  // items
+        0usize..3,     // groups
+        10usize..20,   // workers per group
+        10usize..14,   // targets per group
+        0.8f64..=1.0,  // coverage
+        any::<bool>(), // experienced workers
+        0u64..1000,    // seeds
     )
-        .prop_map(|(users, items, groups, workers, targets, coverage, exp, seed)| {
-            let d = DatasetConfig {
-                num_users: users,
-                num_items: items,
-                max_user_degree: 40,
-                num_communities: 2,
-                community_users: (10, 15),
-                community_items: (5, 8),
-                num_flash_items: 3,
-                num_hunter_rings: 1,
-                hunter_items: (3, 5),
-                seed,
-                ..DatasetConfig::default()
-            };
-            let a = AttackConfig {
-                num_groups: groups,
-                workers_per_group: workers,
-                targets_per_group: targets,
-                target_coverage: coverage,
-                experienced_workers: exp,
-                seed: seed ^ 0xabcd,
-                ..AttackConfig::default()
-            };
-            (d, a)
-        })
+        .prop_map(
+            |(users, items, groups, workers, targets, coverage, exp, seed)| {
+                let d = DatasetConfig {
+                    num_users: users,
+                    num_items: items,
+                    max_user_degree: 40,
+                    num_communities: 2,
+                    community_users: (10, 15),
+                    community_items: (5, 8),
+                    num_flash_items: 3,
+                    num_hunter_rings: 1,
+                    hunter_items: (3, 5),
+                    seed,
+                    ..DatasetConfig::default()
+                };
+                let a = AttackConfig {
+                    num_groups: groups,
+                    workers_per_group: workers,
+                    targets_per_group: targets,
+                    target_coverage: coverage,
+                    experienced_workers: exp,
+                    seed: seed ^ 0xabcd,
+                    ..AttackConfig::default()
+                };
+                (d, a)
+            },
+        )
 }
 
 proptest! {
