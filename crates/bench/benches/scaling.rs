@@ -7,6 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ricd_bench::scaled_dataset;
 use ricd_core::prelude::*;
+use ricd_obs::MetricsRegistry;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -16,14 +17,11 @@ fn bench(c: &mut Criterion) {
     eprintln!("\n=== Scaling: RICD end-to-end across dataset scales ===");
     for factor in [0.25f64, 0.5, 1.0, 2.0] {
         let ds = scaled_dataset(factor);
-        let pipeline = RicdPipeline::new(RicdParams::default());
+        let registry = MetricsRegistry::new();
+        let pipeline = RicdPipeline::new(RicdParams::default()).with_metrics(registry.clone());
         let r = pipeline.run(&ds.graph);
-        let ms = |p: &str| {
-            r.timings
-                .get(p)
-                .map(|d| d.as_secs_f64() * 1e3)
-                .unwrap_or(0.0)
-        };
+        let snap = registry.snapshot();
+        let ms = |p: &str| snap.span_millis(&format!("pipeline/{p}"));
         eprintln!(
             "scale {factor:>4}x: users={:>6} edges={:>7} detect={:>8.1}ms screen={:>6.1}ms identify={:>6.1}ms groups={}",
             ds.graph.num_users(),

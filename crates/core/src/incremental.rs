@@ -124,6 +124,14 @@ impl StreamingDetector {
 
     /// Snapshots the detector's state for crash recovery.
     pub fn checkpoint(&self) -> Checkpoint {
+        let metrics = &self.pipeline.metrics;
+        metrics.counter("stream.checkpoints").inc();
+        metrics
+            .gauge("stream.checkpoint_records")
+            .set(self.records.len() as i64);
+        metrics
+            .gauge("stream.checkpoint_groups")
+            .set(self.groups.len() as i64);
         Checkpoint {
             records: self.records.clone(),
             heavy_pairs: self.heavy_pairs.iter().copied().collect(),
@@ -180,11 +188,21 @@ impl StreamingDetector {
     /// effect) and the stats say so. A `seq` at or above the expected number
     /// is ingested and advances the counter past it.
     pub fn ingest_batch(&mut self, seq: u64, batch: &[(UserId, ItemId, u32)]) -> BatchStats {
+        let metrics = self.pipeline.metrics.clone();
+        // Span doubles as the per-batch processing-lag measurement.
+        let _span = metrics.span("stream/ingest");
         let mut stats = BatchStats::default();
         if seq < self.next_seq {
+            metrics.counter("stream.batches_replayed").inc();
             stats.replayed = true;
             return stats;
         }
+        if seq > self.next_seq {
+            // The source skipped sequence numbers — those batches are lost
+            // to this detector until a full resync of the upstream store.
+            metrics.inc_by("stream.seqs_skipped", seq - self.next_seq);
+        }
+        metrics.counter("stream.batches_ingested").inc();
         self.next_seq = seq + 1;
 
         // Batch validation: a click-table record must witness at least one
@@ -202,6 +220,8 @@ impl StreamingDetector {
             .collect();
         stats.records = valid.len();
         stats.rejected = rejected;
+        metrics.inc_by("stream.records_ingested", valid.len() as u64);
+        metrics.inc_by("stream.records_rejected", rejected as u64);
         if valid.is_empty() {
             return stats;
         }
@@ -229,6 +249,14 @@ impl StreamingDetector {
         if let Some(cap) = self.pipeline.budget.max_frontier {
             if frontier.len() > cap {
                 stats.frontier_deferred = frontier.len() - cap;
+                metrics.inc_by("stream.frontier_deferred", stats.frontier_deferred as u64);
+                metrics.event(
+                    "budget.frontier_capped",
+                    &format!(
+                        "frontier cap {cap} exceeded: {} items deferred",
+                        stats.frontier_deferred
+                    ),
+                );
                 let kept: BTreeSet<ItemId> = frontier.into_iter().take(cap).collect();
                 frontier = kept;
             }
@@ -239,6 +267,9 @@ impl StreamingDetector {
             }
         }
         stats.frontier_items = frontier.len();
+        metrics
+            .histogram("stream.frontier_size", &[1, 10, 100, 1_000, 10_000])
+            .observe(frontier.len() as u64);
         if frontier.is_empty() {
             return stats;
         }
@@ -250,13 +281,15 @@ impl StreamingDetector {
         };
         let seeded = RicdPipeline {
             params,
-            pool: self.pipeline.pool,
+            pool: self.pipeline.pool.clone(),
             strategy: self.pipeline.strategy,
             seeds,
             budget: self.pipeline.budget,
+            metrics: self.pipeline.metrics.clone(),
         };
         let result = seeded.run(&self.graph);
         stats.new_groups = self.merge_groups(result.groups);
+        metrics.inc_by("stream.groups_new", stats.new_groups as u64);
         stats
     }
 
@@ -510,6 +543,46 @@ mod tests {
         let full = capped.full_resync();
         assert_eq!(full.groups.len(), 1);
         assert_eq!(full.groups[0].users.len(), 12);
+    }
+
+    #[test]
+    fn streaming_metrics_track_batches_frontier_and_replays() {
+        use crate::budget::RunBudget;
+        use ricd_obs::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        let mut d = StreamingDetector::new(
+            RicdPipeline::new(RicdParams::default())
+                .with_metrics(registry.clone())
+                .with_budget(RunBudget::none().with_max_frontier(3)),
+        );
+        d.ingest_batch(0, &background());
+        let batches = attack_batches();
+        for (i, b) in batches.iter().enumerate() {
+            d.ingest_batch(1 + i as u64, b);
+        }
+        d.ingest_batch(2, &batches[1]); // redelivery
+        d.ingest_batch(7, &[(UserId(1), ItemId(1), 1)]); // gap: seqs 4,5,6 lost
+        let _ = d.checkpoint();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("stream.batches_ingested"), Some(5));
+        assert_eq!(snap.counter("stream.batches_replayed"), Some(1));
+        assert_eq!(snap.counter("stream.seqs_skipped"), Some(3));
+        assert!(snap.counter("stream.frontier_deferred").unwrap() >= 8);
+        assert_eq!(registry.event_count("budget.frontier_capped"), 1);
+        assert!(snap.counter("stream.records_ingested").unwrap() > 0);
+        assert_eq!(snap.counter("stream.checkpoints"), Some(1));
+        assert!(snap.gauge("stream.checkpoint_records").unwrap() > 0);
+        // Span count includes the replayed batch (processing happened).
+        assert_eq!(snap.span("stream/ingest").map(|s| s.count), Some(6));
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "stream.frontier_size")
+            .expect("frontier histogram");
+        assert!(
+            h.count >= 4,
+            "one observation per non-replayed batch that got far enough"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::result::{DetectionResult, RunStatus};
 use crate::screen::screen_groups;
 use ricd_engine::{PhaseTimings, WorkerPool};
 use ricd_graph::BipartiteGraph;
+use ricd_obs::{MetricsRegistry, Span};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs a phase with panics contained, stringifying the payload. The pool
@@ -60,6 +61,12 @@ pub struct RicdPipeline {
     pub seeds: Seeds,
     /// Resource bounds; unbounded by default.
     pub budget: RunBudget,
+    /// Metrics registry shared by all phases. Every run records phase spans
+    /// (`pipeline/detect`, `pipeline/screen`, `pipeline/identify`,
+    /// `pipeline/naive-fallback`), group counters (`pipeline.groups_*`),
+    /// extraction counters (`extract.*`), pool health (`pool.*`), and
+    /// `degradation` / `budget.deadline_exceeded` events.
+    pub metrics: MetricsRegistry,
 }
 
 impl RicdPipeline {
@@ -71,6 +78,7 @@ impl RicdPipeline {
             strategy: SquareStrategy::Parallel,
             seeds: Seeds::none(),
             budget: RunBudget::none(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -98,6 +106,13 @@ impl RicdPipeline {
         self
     }
 
+    /// Shares an external metrics registry (e.g. the CLI's, so one
+    /// `--metrics-out` snapshot covers pipeline, pool, and I/O metrics).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Runs the three modules on `g`.
     pub fn run(&self, g: &BipartiteGraph) -> DetectionResult {
         self.run_with(g, &self.params)
@@ -116,62 +131,155 @@ impl RicdPipeline {
     pub fn run_with(&self, g: &BipartiteGraph, params: &RicdParams) -> DetectionResult {
         let clock = BudgetClock::start(self.budget);
         let timings = PhaseTimings::new();
+        // Re-attach the pool to this pipeline's registry so per-partition
+        // health lands in the same snapshot, whatever the builder order was.
+        let pool = self.pool.clone().with_metrics(&self.metrics);
+        self.metrics.counter("pipeline.runs").inc();
+        let root = self.metrics.span("pipeline");
 
         if clock.deadline_exceeded() {
-            return self.degrade(g, params, &timings, deadline_reason(&clock), "detect");
+            self.note_deadline(&clock);
+            return self.degrade(
+                g,
+                params,
+                &pool,
+                &timings,
+                &root,
+                deadline_reason(&clock),
+                "detect",
+            );
         }
 
         // Module 1: suspicious group detection.
         let detected = match catch_phase(|| {
+            let _span = root.child("detect");
             timings.time("detect", || {
-                detect_groups(g, &self.seeds, params, &self.pool, self.strategy)
+                detect_groups(g, &self.seeds, params, &pool, self.strategy)
             })
         }) {
             Ok(d) => d,
             Err(msg) => {
-                return self.degrade(g, params, &timings, panic_reason("detect", &msg), "detect")
+                return self.degrade(
+                    g,
+                    params,
+                    &pool,
+                    &timings,
+                    &root,
+                    panic_reason("detect", &msg),
+                    "detect",
+                )
             }
         };
+        self.metrics
+            .inc_by("extract.rounds", detected.stats.rounds as u64);
+        self.metrics.inc_by(
+            "extract.core_removed_users",
+            detected.stats.core_removed_users as u64,
+        );
+        self.metrics.inc_by(
+            "extract.core_removed_items",
+            detected.stats.core_removed_items as u64,
+        );
+        self.metrics.inc_by(
+            "extract.square_removed_users",
+            detected.stats.square_removed_users as u64,
+        );
+        self.metrics.inc_by(
+            "extract.square_removed_items",
+            detected.stats.square_removed_items as u64,
+        );
+        self.metrics
+            .inc_by("pipeline.groups_detected", detected.groups.len() as u64);
         if clock.deadline_exceeded() {
-            return self.degrade(g, params, &timings, deadline_reason(&clock), "screen");
+            self.note_deadline(&clock);
+            return self.degrade(
+                g,
+                params,
+                &pool,
+                &timings,
+                &root,
+                deadline_reason(&clock),
+                "screen",
+            );
         }
 
         // Module 2: suspicious group screening.
         let screened = match catch_phase(|| {
+            let _span = root.child("screen");
             timings.time("screen", || screen_groups(g, detected.groups, params))
         }) {
             Ok((groups, _stats)) => groups,
             Err(msg) => {
-                return self.degrade(g, params, &timings, panic_reason("screen", &msg), "screen")
+                return self.degrade(
+                    g,
+                    params,
+                    &pool,
+                    &timings,
+                    &root,
+                    panic_reason("screen", &msg),
+                    "screen",
+                )
             }
         };
+        let screened_len = screened.len();
+        self.metrics
+            .inc_by("pipeline.groups_screened", screened_len as u64);
         let (groups, capped) = self.cap_groups(screened);
+        if capped.is_some() {
+            self.metrics.inc_by(
+                "pipeline.groups_capped_dropped",
+                (screened_len - groups.len()) as u64,
+            );
+        }
         if clock.deadline_exceeded() {
-            return self.degrade(g, params, &timings, deadline_reason(&clock), "identify");
+            self.note_deadline(&clock);
+            return self.degrade(
+                g,
+                params,
+                &pool,
+                &timings,
+                &root,
+                deadline_reason(&clock),
+                "identify",
+            );
         }
 
         // Module 3: suspicious group identification.
-        let (ranked_users, ranked_items) =
-            match catch_phase(|| timings.time("identify", || rank_output(g, &groups))) {
-                Ok(r) => r,
-                Err(msg) => {
-                    return self.degrade(
-                        g,
-                        params,
-                        &timings,
-                        panic_reason("identify", &msg),
-                        "identify",
-                    )
-                }
-            };
+        let (ranked_users, ranked_items) = match catch_phase(|| {
+            let _span = root.child("identify");
+            timings.time("identify", || rank_output(g, &groups))
+        }) {
+            Ok(r) => r,
+            Err(msg) => {
+                return self.degrade(
+                    g,
+                    params,
+                    &pool,
+                    &timings,
+                    &root,
+                    panic_reason("identify", &msg),
+                    "identify",
+                )
+            }
+        };
 
         let status = match capped {
-            Some(reason) => RunStatus::Degraded {
-                reason,
-                phase: "screen".to_string(),
-            },
+            // The cap is the only degradation left on this path (a deadline
+            // trip after capping took the `degrade` return above), so this
+            // is the run's single `degradation` event.
+            Some(reason) => {
+                self.metrics.counter("pipeline.runs_degraded").inc();
+                self.metrics.event("degradation", &reason);
+                RunStatus::Degraded {
+                    reason,
+                    phase: "screen".to_string(),
+                }
+            }
             None => RunStatus::Complete,
         };
+        self.metrics
+            .gauge("pipeline.groups_output")
+            .set(groups.len() as i64);
         let mut result = DetectionResult {
             groups,
             ranked_users,
@@ -181,6 +289,12 @@ impl RicdPipeline {
         };
         result.prune_empty();
         result
+    }
+
+    /// Records a deadline trip as a budget-exhaustion event.
+    fn note_deadline(&self, clock: &BudgetClock) {
+        self.metrics
+            .event("budget.deadline_exceeded", &deadline_reason(clock));
     }
 
     /// Applies the `max_groups` cap, keeping the largest groups (ties by
@@ -217,21 +331,33 @@ impl RicdPipeline {
 
     /// The graceful-degradation path: run the cheap naive detector and mark
     /// the result with why the full pipeline was abandoned.
+    #[allow(clippy::too_many_arguments)] // internal helper; args are the run's live state
     fn degrade(
         &self,
         g: &BipartiteGraph,
         params: &RicdParams,
+        pool: &WorkerPool,
         timings: &PhaseTimings,
+        span: &Span,
         reason: String,
         phase: &str,
     ) -> DetectionResult {
+        // Every degraded run passes through exactly one of the two
+        // final-status decision sites (here, or the group-cap branch in
+        // `run_with`), so each run emits exactly one `degradation` event.
+        self.metrics.counter("pipeline.runs_degraded").inc();
+        self.metrics.event("degradation", &reason);
         let naive_params = NaiveParams {
             t_hot: params.t_hot,
             ..NaiveParams::default()
         };
-        let fallback = timings.time("naive-fallback", || {
-            naive_detect(g, &naive_params, &self.pool)
-        });
+        let fallback = {
+            let _span = span.child("naive-fallback");
+            timings.time("naive-fallback", || naive_detect(g, &naive_params, pool))
+        };
+        self.metrics
+            .gauge("pipeline.groups_output")
+            .set(fallback.groups.len() as i64);
         let mut result = DetectionResult {
             groups: fallback.groups,
             ranked_users: fallback.ranked_users,
@@ -460,6 +586,89 @@ mod tests {
             biggest,
             "cap keeps the largest group"
         );
+    }
+
+    #[test]
+    fn complete_run_records_phase_spans_and_group_counters() {
+        let registry = MetricsRegistry::new();
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_metrics(registry.clone())
+            .run(&scenario());
+        assert_eq!(r.status, RunStatus::Complete);
+        let snap = registry.snapshot();
+        for path in [
+            "pipeline",
+            "pipeline/detect",
+            "pipeline/screen",
+            "pipeline/identify",
+        ] {
+            assert_eq!(snap.span(path).map(|s| s.count), Some(1), "span {path}");
+        }
+        assert!(snap.span("pipeline/naive-fallback").is_none());
+        assert_eq!(snap.counter("pipeline.runs"), Some(1));
+        assert_eq!(snap.counter("pipeline.runs_degraded").unwrap_or(0), 0);
+        assert_eq!(snap.counter("pipeline.groups_detected"), Some(1));
+        assert_eq!(snap.counter("pipeline.groups_screened"), Some(1));
+        assert_eq!(snap.gauge("pipeline.groups_output"), Some(1));
+        assert!(snap.counter("extract.rounds").unwrap() >= 1);
+        assert!(snap.counter("pool.partitions_started").unwrap() > 0);
+        assert!(snap.events.is_empty(), "complete run emits no events");
+    }
+
+    #[test]
+    fn deadline_degradation_emits_exactly_one_degradation_event() {
+        use std::time::Duration;
+        let registry = MetricsRegistry::new();
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_metrics(registry.clone())
+            .with_budget(RunBudget::none().with_deadline(Duration::ZERO))
+            .run(&scenario());
+        assert!(r.status.is_degraded());
+        assert_eq!(registry.event_count("degradation"), 1);
+        assert_eq!(registry.event_count("budget.deadline_exceeded"), 1);
+        let snap = registry.snapshot();
+        let degr = snap
+            .events
+            .iter()
+            .find(|e| e.name == "degradation")
+            .unwrap();
+        assert!(!degr.message.is_empty());
+        assert_eq!(snap.counter("pipeline.runs_degraded"), Some(1));
+        assert_eq!(
+            snap.span("pipeline/naive-fallback").map(|s| s.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn group_cap_degradation_emits_exactly_one_degradation_event() {
+        let registry = MetricsRegistry::new();
+        // Reuse the two-group scenario from the cap test.
+        let mut b = GraphBuilder::new();
+        for u in 1000..2200u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        for u in 0..12u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+            for v in 1..=10u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        for u in 200..215u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+            for v in 50..=61u32 {
+                b.add_click(UserId(u), ItemId(v), 14);
+            }
+        }
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_metrics(registry.clone())
+            .with_budget(RunBudget::none().with_max_groups(1))
+            .run(&b.build());
+        assert!(r.status.is_degraded());
+        assert_eq!(registry.event_count("degradation"), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pipeline.groups_capped_dropped"), Some(1));
+        assert_eq!(snap.counter("pipeline.runs_degraded"), Some(1));
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub mod timing;
 pub use error::EngineError;
 pub use fault::{FaultInjector, FaultPlan};
 pub use partition::partition_ranges;
-pub use pool::{WorkerPool, MAX_PARTITION_ATTEMPTS};
+pub use pool::{PoolMetrics, WorkerPool, MAX_PARTITION_ATTEMPTS};
 pub use timing::{PhaseTimings, Stopwatch};

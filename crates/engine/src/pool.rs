@@ -2,6 +2,7 @@
 
 use crate::error::EngineError;
 use crate::partition::partition_ranges;
+use ricd_obs::{Counter, Histogram, MetricsRegistry};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -25,6 +26,53 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Registered metric handles for a [`WorkerPool`].
+///
+/// Counter semantics are chosen so the fault-model invariants hold by
+/// construction, round by round and therefore cumulatively:
+///
+/// * `pool.partitions_started` — partitions launched (initial attempts only;
+///   retries do not re-count). `pool.partitions_failed ≤
+///   pool.partitions_started` because a round cannot fail more partitions
+///   than it launched.
+/// * `pool.panics_caught` — partitions whose *initial* attempt panicked
+///   (0 or 1 per partition per round, regardless of how many later attempts
+///   also panic).
+/// * `pool.retries` — every re-execution of a failed partition, parallel or
+///   sequential. Each initially-failed partition is re-executed at least
+///   once, so `pool.retries ≥ pool.panics_caught`.
+/// * `pool.fallback_sequential` — the subset of retries that ran inline on
+///   the calling thread (the last-ditch attempt).
+/// * `pool.partitions_failed` — partitions still failing after the full
+///   retry budget ([`MAX_PARTITION_ATTEMPTS`]).
+/// * `pool.partition_nanos` — histogram of per-partition wall time (every
+///   attempt, including failed ones).
+#[derive(Clone, Debug)]
+pub struct PoolMetrics {
+    registry: MetricsRegistry,
+    partitions_started: Counter,
+    panics_caught: Counter,
+    retries: Counter,
+    fallback_sequential: Counter,
+    partitions_failed: Counter,
+    partition_nanos: Histogram,
+}
+
+impl PoolMetrics {
+    /// Registers (or re-attaches to) the pool metric family in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            registry: registry.clone(),
+            partitions_started: registry.counter("pool.partitions_started"),
+            panics_caught: registry.counter("pool.panics_caught"),
+            retries: registry.counter("pool.retries"),
+            fallback_sequential: registry.counter("pool.fallback_sequential"),
+            partitions_failed: registry.counter("pool.partitions_failed"),
+            partition_nanos: registry.duration_histogram("pool.partition_nanos"),
+        }
+    }
+}
+
 /// A fixed-width pool executing bulk-synchronous vertex rounds on scoped
 /// threads.
 ///
@@ -33,9 +81,10 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 /// Grape exposes. Threads are spawned per round; for the round sizes in this
 /// workload (tens of thousands to millions of vertices) spawn cost is noise,
 /// and scoped threads let closures borrow the graph without `Arc`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct WorkerPool {
     workers: usize,
+    metrics: Option<PoolMetrics>,
 }
 
 impl WorkerPool {
@@ -45,7 +94,18 @@ impl WorkerPool {
     /// Panics if `workers == 0`.
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "worker count must be positive");
-        Self { workers }
+        Self {
+            workers,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry; the pool records per-partition wall time
+    /// and fault/retry counters under the `pool.*` metric family (see
+    /// [`PoolMetrics`]).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(PoolMetrics::register(registry));
+        self
     }
 
     /// A pool sized to the machine (`available_parallelism`, capped at the
@@ -97,18 +157,30 @@ impl WorkerPool {
     {
         let ranges = partition_ranges(n, self.workers);
         let f = &f;
+        let metrics = self.metrics.as_ref();
+        // One timed, panic-contained partition execution (initial or retry).
+        let run_one = |r: Range<usize>| -> Result<T, String> {
+            match metrics {
+                Some(m) => {
+                    let clock = m.registry.clock();
+                    let started = clock.now();
+                    let res = call_caught(|| f(r));
+                    m.partition_nanos
+                        .observe_duration(clock.now().saturating_sub(started));
+                    res
+                }
+                None => call_caught(|| f(r)),
+            }
+        };
+        let run_one = &run_one;
         let mut slots: Vec<Result<T, String>> = if ranges.len() <= 1 {
-            ranges
-                .clone()
-                .into_iter()
-                .map(|r| call_caught(|| f(r)))
-                .collect()
+            ranges.clone().into_iter().map(run_one).collect()
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = ranges
                     .iter()
                     .cloned()
-                    .map(|r| s.spawn(move || call_caught(|| f(r))))
+                    .map(|r| s.spawn(move || run_one(r)))
                     .collect();
                 handles
                     .into_iter()
@@ -116,6 +188,11 @@ impl WorkerPool {
                     .collect()
             })
         };
+        if let Some(m) = metrics {
+            m.partitions_started.add(ranges.len() as u64);
+            m.panics_caught
+                .add(slots.iter().filter(|s| s.is_err()).count() as u64);
+        }
         for attempt in 1..MAX_PARTITION_ATTEMPTS {
             let failed: Vec<usize> = slots
                 .iter()
@@ -125,11 +202,17 @@ impl WorkerPool {
             if failed.is_empty() {
                 break;
             }
+            if let Some(m) = metrics {
+                m.retries.add(failed.len() as u64);
+            }
             if attempt + 1 == MAX_PARTITION_ATTEMPTS {
                 // Final attempt: sequentially on the calling thread, so a
                 // fault tied to worker-thread state cannot recur.
+                if let Some(m) = metrics {
+                    m.fallback_sequential.add(failed.len() as u64);
+                }
                 for i in failed {
-                    slots[i] = call_caught(|| f(ranges[i].clone()));
+                    slots[i] = run_one(ranges[i].clone());
                 }
             } else {
                 let retried: Vec<(usize, Result<T, String>)> = std::thread::scope(|s| {
@@ -137,7 +220,7 @@ impl WorkerPool {
                         .into_iter()
                         .map(|i| {
                             let r = ranges[i].clone();
-                            (i, s.spawn(move || call_caught(|| f(r))))
+                            (i, s.spawn(move || run_one(r)))
                         })
                         .collect();
                     handles
@@ -154,6 +237,10 @@ impl WorkerPool {
                     slots[i] = res;
                 }
             }
+        }
+        if let Some(m) = metrics {
+            m.partitions_failed
+                .add(slots.iter().filter(|s| s.is_err()).count() as u64);
         }
         let mut out = Vec::with_capacity(slots.len());
         for (partition, slot) in slots.into_iter().enumerate() {
@@ -422,6 +509,104 @@ mod tests {
         };
         assert!(msg.contains("partition 0"), "{msg}");
         assert!(msg.contains("always broken"), "{msg}");
+    }
+
+    #[test]
+    fn metrics_count_clean_round() {
+        let registry = ricd_obs::MetricsRegistry::new();
+        let pool = WorkerPool::new(4).with_metrics(&registry);
+        let _ = pool.map_vertices(100, |i| i);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.partitions_started"), Some(4));
+        assert_eq!(snap.counter("pool.panics_caught"), Some(0));
+        assert_eq!(snap.counter("pool.retries"), Some(0));
+        assert_eq!(snap.counter("pool.fallback_sequential"), Some(0));
+        assert_eq!(snap.counter("pool.partitions_failed"), Some(0));
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "pool.partition_nanos")
+            .expect("partition histogram registered");
+        assert_eq!(h.count, 4, "one timing observation per partition");
+    }
+
+    #[test]
+    fn metrics_count_transient_fault_and_retry() {
+        let registry = ricd_obs::MetricsRegistry::new();
+        let pool = WorkerPool::new(4).with_metrics(&registry);
+        let blown = AtomicUsize::new(0);
+        pool.try_run_partitioned(100, |r| {
+            if r.contains(&10) && blown.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("injected transient fault");
+            }
+            r.len()
+        })
+        .expect("transient fault absorbed");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.partitions_started"), Some(4));
+        assert_eq!(snap.counter("pool.panics_caught"), Some(1));
+        assert_eq!(snap.counter("pool.retries"), Some(1));
+        assert_eq!(snap.counter("pool.fallback_sequential"), Some(0));
+        assert_eq!(snap.counter("pool.partitions_failed"), Some(0));
+    }
+
+    #[test]
+    fn metrics_count_persistent_fault_through_fallback() {
+        let registry = ricd_obs::MetricsRegistry::new();
+        let pool = WorkerPool::new(4).with_metrics(&registry);
+        let _ = pool.try_run_partitioned(100, |r| {
+            if r.contains(&10) {
+                panic!("deterministic bug");
+            }
+            r.len()
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.partitions_started"), Some(4));
+        assert_eq!(snap.counter("pool.panics_caught"), Some(1));
+        // Parallel retry + sequential fallback = 2 re-executions.
+        assert_eq!(snap.counter("pool.retries"), Some(2));
+        assert_eq!(snap.counter("pool.fallback_sequential"), Some(1));
+        assert_eq!(snap.counter("pool.partitions_failed"), Some(1));
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "pool.partition_nanos")
+            .unwrap();
+        assert_eq!(h.count, 6, "3 clean + 1 initial fault + 2 retries");
+    }
+
+    #[test]
+    fn metrics_invariants_hold_across_rounds() {
+        let registry = ricd_obs::MetricsRegistry::new();
+        let pool = WorkerPool::new(3).with_metrics(&registry);
+        let calls = AtomicUsize::new(0);
+        for round in 0..5 {
+            let _ = pool.try_run_partitioned(30, |r| {
+                let c = calls.fetch_add(1, Ordering::SeqCst);
+                if round % 2 == 0 && r.start == 0 && c.is_multiple_of(2) {
+                    panic!("flaky");
+                }
+                r.len()
+            });
+        }
+        let snap = registry.snapshot();
+        let started = snap.counter("pool.partitions_started").unwrap();
+        let failed = snap.counter("pool.partitions_failed").unwrap();
+        let panics = snap.counter("pool.panics_caught").unwrap();
+        let retries = snap.counter("pool.retries").unwrap();
+        assert!(failed <= started, "failed={failed} started={started}");
+        assert!(retries >= panics, "retries={retries} panics={panics}");
+        assert_eq!(started, 15, "5 rounds x 3 partitions");
+    }
+
+    #[test]
+    fn pool_without_metrics_registers_nothing() {
+        let registry = ricd_obs::MetricsRegistry::new();
+        let pool = WorkerPool::new(4);
+        let _ = pool.map_vertices(100, |i| i);
+        let snap = registry.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
     }
 
     #[test]

@@ -46,8 +46,9 @@ pub struct PhaseTimings {
 /// A snapshot of phase timings, serializable for experiment artifacts.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TimingReport {
-    /// `(phase name, elapsed)` in first-recorded order; repeated names are
-    /// accumulated into one entry.
+    /// `(phase name, elapsed)` sorted by phase name; repeated names are
+    /// accumulated into one entry. Sorting makes reports comparable with
+    /// `==` regardless of which thread happened to record a phase first.
     pub phases: Vec<(String, Duration)>,
 }
 
@@ -95,11 +96,13 @@ impl PhaseTimings {
             .map(|(_, d)| *d)
     }
 
-    /// Snapshot for reporting.
+    /// Snapshot for reporting. Phases are sorted by name: the accumulator's
+    /// internal order is first-recorded order, which varies with thread
+    /// interleaving, and `TimingReport` equality is order-sensitive.
     pub fn report(&self) -> TimingReport {
-        TimingReport {
-            phases: self.phases.lock().expect("timings mutex poisoned").clone(),
-        }
+        let mut phases = self.phases.lock().expect("timings mutex poisoned").clone();
+        phases.sort_by(|(a, _), (b, _)| a.cmp(b));
+        TimingReport { phases }
     }
 }
 
@@ -160,6 +163,22 @@ mod tests {
         assert_eq!(r.phases.len(), 1);
         assert_eq!(r.total(), Duration::from_millis(1));
         assert_eq!(r.get("a"), Some(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn report_order_is_deterministic_across_recording_orders() {
+        // Regression: first-recorded order leaks thread-interleaving into
+        // the snapshot, making equal workloads compare unequal.
+        let a = PhaseTimings::new();
+        a.record("screen", Duration::from_millis(5));
+        a.record("detect", Duration::from_millis(10));
+        let b = PhaseTimings::new();
+        b.record("detect", Duration::from_millis(10));
+        b.record("screen", Duration::from_millis(5));
+        assert_eq!(a.report(), b.report());
+        let report = a.report();
+        let names: Vec<&str> = report.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["detect", "screen"], "sorted by name");
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Property tests: the pool health counters obey their invariants for
+//! every fault plan — transient or persistent, any worker count, any
+//! number of rounds.
+
+use proptest::prelude::*;
+use ricd_engine::{partition_ranges, FaultInjector, FaultPlan, WorkerPool};
+use ricd_obs::MetricsRegistry;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pool_counters_obey_invariants_for_any_fault_plan(
+        seed in 0u64..(1u64 << 48),
+        rounds in 1usize..5,
+        workers in 1usize..6,
+        faults in 0usize..8,
+        persistent in any::<bool>(),
+        n in 1usize..200,
+    ) {
+        let mut plan = FaultPlan::seeded(seed, rounds, workers, faults);
+        if persistent {
+            plan = plan.persistent();
+        }
+        let inj = FaultInjector::new(plan);
+
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::new(workers).with_metrics(&registry);
+        let ranges = partition_ranges(n, pool.workers());
+        for _ in 0..rounds {
+            inj.begin_round();
+            let _ = pool.try_run_partitioned(n, |r| {
+                let partition = ranges
+                    .iter()
+                    .position(|p| *p == r)
+                    .expect("range maps to a partition");
+                inj.maybe_panic(partition);
+                r.len()
+            });
+        }
+
+        let snap = registry.snapshot();
+        let started = snap.counter("pool.partitions_started").unwrap_or(0);
+        let failed = snap.counter("pool.partitions_failed").unwrap_or(0);
+        let panics = snap.counter("pool.panics_caught").unwrap_or(0);
+        let retries = snap.counter("pool.retries").unwrap_or(0);
+
+        // The headline invariants.
+        prop_assert!(failed <= started, "failed={failed} > started={started}");
+        prop_assert!(retries >= panics, "retries={retries} < panics={panics}");
+
+        // Every round starts every partition exactly once.
+        prop_assert_eq!(started, (rounds * ranges.len()) as u64);
+
+        // Transient faults are always absorbed by the retry ladder.
+        if !persistent {
+            prop_assert_eq!(failed, 0, "transient plan left failed partitions");
+        } else {
+            // A persistent fault fails exactly its (round, partition) cell;
+            // `fired()` records each firing, so the distinct cells are the
+            // failed partition executions.
+            let cells: BTreeSet<(usize, usize)> = inj.fired().into_iter().collect();
+            prop_assert_eq!(failed, cells.len() as u64);
+        }
+
+        // The duration histogram sees every execution: each started
+        // partition once, plus each re-execution.
+        let observed = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "pool.partition_nanos")
+            .map(|(_, h)| h.count)
+            .unwrap_or(0);
+        prop_assert_eq!(observed, started + retries);
+    }
+}

@@ -252,31 +252,41 @@ pub struct MethodOutcome {
     pub total_ms: f64,
 }
 
+impl MethodOutcome {
+    /// Derives the Fig 8b timing columns from a per-run metrics snapshot:
+    /// detection is the `pipeline/detect` span (plus `pipeline/naive` for
+    /// the naive algorithm), screening is `pipeline/screen`, and the total
+    /// is the sum of the direct `pipeline/*` phase spans — the same
+    /// sum-of-modules definition the paper uses.
+    pub fn from_snapshot(
+        method: Method,
+        eval: Evaluation,
+        snapshot: &ricd_obs::MetricsSnapshot,
+    ) -> MethodOutcome {
+        let ms = |phase: &str| snapshot.span_millis(&format!("pipeline/{phase}"));
+        MethodOutcome {
+            method,
+            name: method.name().to_string(),
+            eval,
+            detect_ms: ms("detect") + ms("naive"),
+            screen_ms: ms("screen"),
+            total_ms: snapshot.span_level_total_nanos("pipeline") as f64 / 1e6,
+        }
+    }
+}
+
 fn run_method(
     method: Method,
     g: &BipartiteGraph,
     truth: &GroundTruth,
     cfg: &MethodConfig,
 ) -> MethodOutcome {
-    let result = cfg.run(method, g);
+    // One registry per method run, so the snapshot's spans describe exactly
+    // this method.
+    let registry = ricd_obs::MetricsRegistry::new();
+    let result = cfg.run_metered(method, g, &registry);
     let eval = evaluate(&result, truth);
-    let ms = |phase: &str| {
-        result
-            .timings
-            .get(phase)
-            .map(|d| d.as_secs_f64() * 1e3)
-            .unwrap_or(0.0)
-    };
-    let detect_ms = ms("detect") + ms("naive");
-    let screen_ms = ms("screen");
-    MethodOutcome {
-        method,
-        name: method.name().to_string(),
-        eval,
-        detect_ms,
-        screen_ms,
-        total_ms: result.timings.total().as_secs_f64() * 1e3,
-    }
+    MethodOutcome::from_snapshot(method, eval, &registry.snapshot())
 }
 
 /// Fig 8a+8b: runs the full lineup and reports quality and time per method.

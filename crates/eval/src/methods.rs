@@ -10,6 +10,7 @@ use ricd_core::pipeline::RicdPipeline;
 use ricd_core::result::DetectionResult;
 use ricd_engine::WorkerPool;
 use ricd_graph::BipartiteGraph;
+use ricd_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -114,47 +115,75 @@ impl Default for MethodConfig {
 impl MethodConfig {
     /// Runs `method` on `g`.
     pub fn run(&self, method: Method, g: &BipartiteGraph) -> DetectionResult {
+        self.run_metered(method, g, &MetricsRegistry::new())
+    }
+
+    /// Runs `method` on `g`, recording into `metrics`.
+    ///
+    /// RICD variants record natively (the pipeline's own spans, counters,
+    /// and pool health). Baselines carry only a legacy [`TimingReport`];
+    /// their phase durations are bridged into the registry as
+    /// `pipeline/<phase>` spans, so the Fig 8b elapsed-time comparison
+    /// regenerates from one [`ricd_obs::MetricsSnapshot`] per method
+    /// regardless of who produced the timing.
+    ///
+    /// [`TimingReport`]: ricd_engine::timing::TimingReport
+    pub fn run_metered(
+        &self,
+        method: Method,
+        g: &BipartiteGraph,
+        metrics: &MetricsRegistry,
+    ) -> DetectionResult {
+        let ricd = |params: RicdParams| {
+            RicdPipeline::new(params)
+                .with_pool(self.pool.clone())
+                .with_metrics(metrics.clone())
+                .run(g)
+        };
         match method {
-            Method::Ricd => RicdPipeline::new(self.ricd).with_pool(self.pool).run(g),
-            Method::RicdUi => {
-                let params = RicdParams {
-                    screening: ScreeningMode::None,
-                    ..self.ricd
+            Method::Ricd => ricd(self.ricd),
+            Method::RicdUi => ricd(RicdParams {
+                screening: ScreeningMode::None,
+                ..self.ricd
+            }),
+            Method::RicdI => ricd(RicdParams {
+                screening: ScreeningMode::UserCheckOnly,
+                ..self.ricd
+            }),
+            method => {
+                let result = match method {
+                    Method::Lpa => lpa_detect(g, &LpaParams::default(), &self.ricd, &self.pool),
+                    Method::Cn => {
+                        let params = CnParams {
+                            cn_threshold: self.ricd.k1.min(self.ricd.k2) as u32,
+                            ..CnParams::default()
+                        };
+                        cn_detect(g, &params, &self.ricd, &self.pool)
+                    }
+                    Method::Louvain => louvain_detect(g, &LouvainParams::default(), &self.ricd),
+                    Method::CopyCatch => {
+                        let params = CopyCatchParams {
+                            m: self.ricd.k1,
+                            n: self.ricd.k2,
+                            time_budget: self.copycatch_budget,
+                            ..CopyCatchParams::default()
+                        };
+                        copycatch_detect(g, &params, &self.ricd)
+                    }
+                    Method::Fraudar => fraudar_detect(g, &FraudarParams::default(), &self.ricd),
+                    Method::Naive => {
+                        let params = NaiveParams {
+                            t_hot: self.ricd.t_hot,
+                            ..self.naive
+                        };
+                        naive_detect(g, &params, &self.pool)
+                    }
+                    _ => unreachable!("RICD variants handled above"),
                 };
-                RicdPipeline::new(params).with_pool(self.pool).run(g)
-            }
-            Method::RicdI => {
-                let params = RicdParams {
-                    screening: ScreeningMode::UserCheckOnly,
-                    ..self.ricd
-                };
-                RicdPipeline::new(params).with_pool(self.pool).run(g)
-            }
-            Method::Lpa => lpa_detect(g, &LpaParams::default(), &self.ricd, &self.pool),
-            Method::Cn => {
-                let params = CnParams {
-                    cn_threshold: self.ricd.k1.min(self.ricd.k2) as u32,
-                    ..CnParams::default()
-                };
-                cn_detect(g, &params, &self.ricd, &self.pool)
-            }
-            Method::Louvain => louvain_detect(g, &LouvainParams::default(), &self.ricd),
-            Method::CopyCatch => {
-                let params = CopyCatchParams {
-                    m: self.ricd.k1,
-                    n: self.ricd.k2,
-                    time_budget: self.copycatch_budget,
-                    ..CopyCatchParams::default()
-                };
-                copycatch_detect(g, &params, &self.ricd)
-            }
-            Method::Fraudar => fraudar_detect(g, &FraudarParams::default(), &self.ricd),
-            Method::Naive => {
-                let params = NaiveParams {
-                    t_hot: self.ricd.t_hot,
-                    ..self.naive
-                };
-                naive_detect(g, &params, &self.pool)
+                for (phase, elapsed) in &result.timings.phases {
+                    metrics.record_span_elapsed(&format!("pipeline/{phase}"), *elapsed);
+                }
+                result
             }
         }
     }
@@ -213,6 +242,28 @@ mod tests {
             .collect();
         assert!(out[0] >= out[1], "RICD-UI ≥ RICD-I output size");
         assert!(out[1] >= out[2], "RICD-I ≥ RICD output size");
+    }
+
+    #[test]
+    fn metered_runs_land_in_one_registry_for_every_method() {
+        let g = attack_graph();
+        let cfg = MethodConfig::default();
+        // RICD records natively; each baseline's legacy TimingReport is
+        // bridged. Either way, the Fig 8b inputs come from the snapshot.
+        for method in [Method::Ricd, Method::Lpa, Method::Naive] {
+            let registry = MetricsRegistry::new();
+            let result = cfg.run_metered(method, &g, &registry);
+            let snap = registry.snapshot();
+            let total = snap.span_level_total_nanos("pipeline");
+            assert!(total > 0, "{}: no pipeline/* spans recorded", method.name());
+            let report_total = result.timings.total().as_nanos() as u64;
+            let diff = total.abs_diff(report_total);
+            assert!(
+                diff <= report_total / 2 + 2_000_000,
+                "{}: snapshot total {total}ns far from report total {report_total}ns",
+                method.name()
+            );
+        }
     }
 
     #[test]

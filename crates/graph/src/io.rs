@@ -122,11 +122,29 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<BipartiteGraph, IoError> {
 /// aborting the read, and the graph is built from the clean subset.
 /// Underlying I/O failures still abort — a quarantine list cannot
 /// represent "the disk went away".
-pub fn read_tsv_lossy<R: BufRead>(mut r: R) -> Result<LossyRead, IoError> {
+pub fn read_tsv_lossy<R: BufRead>(r: R) -> Result<LossyRead, IoError> {
+    read_tsv_lossy_inner(r, None)
+}
+
+/// [`read_tsv_lossy`] that additionally records `io.records_ingested` and
+/// `io.lines_quarantined` counters in `metrics`, so load-time data quality
+/// lands in the same snapshot as the detection run it feeds.
+pub fn read_tsv_lossy_metered<R: BufRead>(
+    r: R,
+    metrics: &ricd_obs::MetricsRegistry,
+) -> Result<LossyRead, IoError> {
+    read_tsv_lossy_inner(r, Some(metrics))
+}
+
+fn read_tsv_lossy_inner<R: BufRead>(
+    mut r: R,
+    metrics: Option<&ricd_obs::MetricsRegistry>,
+) -> Result<LossyRead, IoError> {
     let mut b = GraphBuilder::new();
     let mut errors = Vec::new();
     let mut raw = Vec::new();
     let mut idx = 0usize;
+    let mut ingested = 0u64;
     loop {
         raw.clear();
         if r.read_until(b'\n', &mut raw)? == 0 {
@@ -149,11 +167,16 @@ pub fn read_tsv_lossy<R: BufRead>(mut r: R) -> Result<LossyRead, IoError> {
         match parsed {
             Ok((u, v, c)) => {
                 b.add_click(UserId(u), ItemId(v), c);
+                ingested += 1;
             }
             Err(IoError::Parse { line, message }) => errors.push(LineError { line, message }),
             Err(other) => return Err(other),
         }
         idx += 1;
+    }
+    if let Some(m) = metrics {
+        m.inc_by("io.records_ingested", ingested);
+        m.inc_by("io.lines_quarantined", errors.len() as u64);
     }
     Ok(LossyRead {
         graph: b.build(),
@@ -302,6 +325,17 @@ mod tests {
         let lines: Vec<usize> = r.errors.iter().map(|e| e.line).collect();
         assert_eq!(lines, vec![2, 4, 5], "every bad line reported, in order");
         assert!(r.errors[1].message.contains("missing"), "{}", r.errors[1]);
+    }
+
+    #[test]
+    fn metered_lossy_read_counts_ingested_and_quarantined() {
+        let text = "0\t0\t2\nbad line\n1\t1\t3\n2\t2\n3\t3\tNaN\n# comment\n4\t4\t1\n";
+        let registry = ricd_obs::MetricsRegistry::new();
+        let r = read_tsv_lossy_metered(text.as_bytes(), &registry).unwrap();
+        assert_eq!(r.errors.len(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("io.records_ingested"), Some(3));
+        assert_eq!(snap.counter("io.lines_quarantined"), Some(3));
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Injectable time sources.
+//!
+//! Every duration the registry records flows through a [`Clock`], so tests
+//! can substitute a [`ManualClock`] and obtain *bit-identical* snapshots for
+//! identical runs — the property the golden-snapshot suite pins. Production
+//! code uses the [`MonotonicClock`] default and never notices.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source measured as an offset from the clock's own epoch.
+///
+/// The trait deliberately exposes *offsets* rather than `Instant`s: offsets
+/// subtract into durations without panicking, serialize trivially, and a
+/// manual implementation can be a single atomic counter.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: wall (monotonic) time since construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A deterministic clock that only moves when told to.
+///
+/// Cloning shares the underlying counter, so a test can keep a handle while
+/// the registry owns another.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock frozen at its epoch (zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute offset from its epoch.
+    pub fn set(&self, d: Duration) {
+        self.nanos
+            .store(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(c.now() > a);
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+        c.set(Duration::from_secs(1));
+        assert_eq!(c.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let a = ManualClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_nanos(7));
+        assert_eq!(b.now(), Duration::from_nanos(7));
+    }
+}

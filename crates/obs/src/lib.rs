@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # ricd-obs — observability substrate for the RICD runtime
+//!
+//! The paper's Fig 8b argument is *observational*: RICD wins because the
+//! per-module elapsed-time split shows detection dominating screening. A
+//! production deployment needs that observability everywhere — per-partition
+//! pool health, pipeline phase timings and group counts, streaming lag,
+//! I/O quarantines — in one machine-readable place. This crate provides it:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, fixed-bucket
+//!   [`Histogram`]s, and hierarchical [`Span`]s behind one cloneable,
+//!   thread-safe handle. Lock-cheap: handles are `Arc`'d atomics, the
+//!   registry mutex is touched only at registration and span boundaries.
+//! * [`Clock`] — an injectable time source. Production uses
+//!   [`MonotonicClock`]; tests use [`ManualClock`] so identical runs
+//!   produce identical snapshots.
+//! * [`Recorder`] — a pluggable live-trace receiver (the CLI's `--trace`
+//!   plugs in [`StderrTraceRecorder`]; tests use [`CollectingRecorder`]).
+//! * [`MetricsSnapshot`] — a deterministic (sorted-key) serializable
+//!   export, with a [`count_only`](MetricsSnapshot::count_only) projection
+//!   that strips every timing-dependent field for golden comparison.
+
+pub mod clock;
+pub mod recorder;
+pub mod registry;
+pub mod snapshot;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use recorder::{CollectingRecorder, NullRecorder, Recorder, StderrTraceRecorder, TraceEntry};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, Span, DURATION_BUCKETS_NANOS};
+pub use snapshot::{EventSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};

@@ -1,0 +1,134 @@
+//! Pluggable receivers for live span/event traffic.
+//!
+//! The registry aggregates everything for the end-of-run snapshot; a
+//! [`Recorder`] additionally sees each span and event *as it happens*, which
+//! is what a live trace view (the CLI's `--trace`) or a test that asserts
+//! ordering needs. Recorders must be cheap and non-blocking: they run inline
+//! on the instrumented thread.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Receives span and event notifications as they occur.
+///
+/// All methods have empty defaults so a recorder only implements what it
+/// watches. Implementations must be thread-safe: phases running on worker
+/// threads report through the same recorder.
+pub trait Recorder: Send + Sync {
+    /// A span was opened. `path` is the full `/`-separated span path;
+    /// `depth` is its nesting level (root spans are depth 0).
+    fn span_started(&self, path: &str, depth: usize) {
+        let _ = (path, depth);
+    }
+
+    /// A span finished after `elapsed`.
+    fn span_finished(&self, path: &str, depth: usize, elapsed: Duration) {
+        let _ = (path, depth, elapsed);
+    }
+
+    /// A point event (e.g. a degradation) was emitted.
+    fn event(&self, name: &str, message: &str) {
+        let _ = (name, message);
+    }
+}
+
+/// Discards everything — the default recorder.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+/// Writes a human-readable span tree to stderr as spans finish.
+///
+/// Children finish before their parents, so the output is post-order; the
+/// indentation still makes the hierarchy obvious, and streaming beats
+/// buffering when the run dies halfway.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrTraceRecorder;
+
+impl Recorder for StderrTraceRecorder {
+    fn span_finished(&self, path: &str, depth: usize, elapsed: Duration) {
+        let name = path.rsplit('/').next().unwrap_or(path);
+        eprintln!("trace: {}{name} {elapsed:?}", "  ".repeat(depth));
+    }
+
+    fn event(&self, name: &str, message: &str) {
+        eprintln!("trace: ! {name}: {message}");
+    }
+}
+
+/// Collects every notification in arrival order — the test recorder.
+#[derive(Debug, Default)]
+pub struct CollectingRecorder {
+    entries: Mutex<Vec<TraceEntry>>,
+}
+
+/// One notification seen by a [`CollectingRecorder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEntry {
+    /// Span opened.
+    Started {
+        /// Full span path.
+        path: String,
+        /// Nesting depth.
+        depth: usize,
+    },
+    /// Span finished.
+    Finished {
+        /// Full span path.
+        path: String,
+        /// Nesting depth.
+        depth: usize,
+    },
+    /// Point event.
+    Event {
+        /// Event name.
+        name: String,
+        /// Event payload.
+        message: String,
+    },
+}
+
+impl CollectingRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Everything recorded so far, in arrival order.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        self.entries.lock().expect("recorder poisoned").clone()
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    fn span_started(&self, path: &str, depth: usize) {
+        self.entries
+            .lock()
+            .expect("recorder poisoned")
+            .push(TraceEntry::Started {
+                path: path.to_string(),
+                depth,
+            });
+    }
+
+    fn span_finished(&self, path: &str, depth: usize, _elapsed: Duration) {
+        self.entries
+            .lock()
+            .expect("recorder poisoned")
+            .push(TraceEntry::Finished {
+                path: path.to_string(),
+                depth,
+            });
+    }
+
+    fn event(&self, name: &str, message: &str) {
+        self.entries
+            .lock()
+            .expect("recorder poisoned")
+            .push(TraceEntry::Event {
+                name: name.to_string(),
+                message: message.to_string(),
+            });
+    }
+}

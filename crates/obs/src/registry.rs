@@ -1,0 +1,586 @@
+//! The metrics registry: named counters, gauges, fixed-bucket histograms,
+//! and hierarchical spans behind one cloneable handle.
+//!
+//! The registry is **lock-cheap**: looking a metric up by name takes a
+//! mutex once, but the returned handle is an `Arc`'d atomic — hot loops
+//! register outside the loop and then increment without any lock. Spans
+//! touch a mutex only at start/finish, which is noise next to the phase
+//! durations they measure.
+
+use crate::clock::{Clock, ManualClock, MonotonicClock};
+use crate::recorder::{NullRecorder, Recorder};
+use crate::snapshot::{EventSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing count. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed value. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The default histogram bucket bounds for durations, in nanoseconds:
+/// 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s (+ implicit overflow).
+pub const DURATION_BUCKETS_NANOS: [u64; 8] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Inclusive upper bounds, ascending; one extra implicit `+inf` bucket.
+    bounds: Vec<u64>,
+    /// One cell per bound, plus the overflow cell.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` observations (typically nanoseconds).
+/// Cloning shares the underlying cells.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        let mut b = bounds.to_vec();
+        b.sort_unstable();
+        b.dedup();
+        let buckets = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramCore {
+            bounds: b,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration observation in nanoseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            bounds: self.0.bounds.clone(),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SpanAgg {
+    count: u64,
+    total_nanos: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    clock: Arc<dyn Clock>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanAgg>>,
+    events: Mutex<Vec<(String, String)>>,
+    recorder: Mutex<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for dyn Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<recorder>")
+    }
+}
+
+/// The shared metrics registry. Cloning is cheap (an `Arc` bump) and every
+/// clone observes the same metric space.
+#[derive(Clone, Debug)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry on the production [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A registry on a frozen [`ManualClock`], returning the clock handle so
+    /// the test can advance it. All durations stay zero unless advanced —
+    /// the deterministic-snapshot configuration.
+    pub fn deterministic() -> (Self, ManualClock) {
+        let clock = ManualClock::new();
+        (Self::with_clock(Arc::new(clock.clone())), clock)
+    }
+
+    /// A registry on an arbitrary [`Clock`].
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                clock,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(BTreeMap::new()),
+                events: Mutex::new(Vec::new()),
+                recorder: Mutex::new(Arc::new(NullRecorder)),
+            }),
+        }
+    }
+
+    /// Installs `recorder` as the live trace receiver (replacing the
+    /// previous one).
+    pub fn set_recorder(&self, recorder: Arc<dyn Recorder>) {
+        *self.inner.recorder.lock().expect("registry poisoned") = recorder;
+    }
+
+    fn recorder(&self) -> Arc<dyn Recorder> {
+        self.inner
+            .recorder
+            .lock()
+            .expect("registry poisoned")
+            .clone()
+    }
+
+    /// The registry's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Adds `n` to counter `name` (one-shot convenience; hot paths should
+    /// hold the [`Counter`] handle instead).
+    pub fn inc_by(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (registering on first use) the histogram `name` with the
+    /// given inclusive upper bucket bounds. Bounds are fixed at first
+    /// registration; later calls with different bounds get the original.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Returns (registering on first use) a duration histogram with the
+    /// default [`DURATION_BUCKETS_NANOS`] bounds.
+    pub fn duration_histogram(&self, name: &str) -> Histogram {
+        self.histogram(name, &DURATION_BUCKETS_NANOS)
+    }
+
+    /// Emits a point event (e.g. a degradation notice). Events keep their
+    /// emission order in the snapshot.
+    pub fn event(&self, name: &str, message: &str) {
+        self.inner
+            .events
+            .lock()
+            .expect("registry poisoned")
+            .push((name.to_string(), message.to_string()));
+        self.recorder().event(name, message);
+    }
+
+    /// Number of `name` events emitted so far.
+    pub fn event_count(&self, name: &str) -> usize {
+        self.inner
+            .events
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .filter(|(n, _)| n == name)
+            .count()
+    }
+
+    /// Opens a root span named `name`. Dropping the guard records the
+    /// elapsed time under the span's path.
+    pub fn span(&self, name: &str) -> Span {
+        self.start_span(name.to_string(), 0)
+    }
+
+    /// Times `f` under a root span and returns its result.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Records a span that was timed externally (bridging legacy
+    /// [`Duration`]-based instrumentation into the registry).
+    pub fn record_span_elapsed(&self, path: &str, elapsed: Duration) {
+        self.finish_span(path, 0, elapsed);
+    }
+
+    fn start_span(&self, path: String, depth: usize) -> Span {
+        self.recorder().span_started(&path, depth);
+        Span {
+            registry: self.clone(),
+            started: self.inner.clock.now(),
+            path,
+            depth,
+            finished: false,
+        }
+    }
+
+    fn finish_span(&self, path: &str, depth: usize, elapsed: Duration) {
+        {
+            let mut spans = self.inner.spans.lock().expect("registry poisoned");
+            let agg = spans.entry(path.to_string()).or_default();
+            agg.count += 1;
+            agg.total_nanos = agg
+                .total_nanos
+                .saturating_add(elapsed.as_nanos().min(u64::MAX as u128) as u64);
+        }
+        self.recorder().span_finished(path, depth, elapsed);
+    }
+
+    /// A consistent snapshot of everything recorded so far. Keys are sorted
+    /// (maps are `BTreeMap`s), so serializing the same logical state always
+    /// yields the same bytes.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            spans: self
+                .inner
+                .spans
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        SpanSnapshot {
+                            count: v.count,
+                            total_nanos: v.total_nanos,
+                        },
+                    )
+                })
+                .collect(),
+            events: self
+                .inner
+                .events
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(n, m)| EventSnapshot {
+                    name: n.clone(),
+                    message: m.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// An open span. Finishes (records) on drop, or explicitly via
+/// [`finish`](Span::finish).
+#[derive(Debug)]
+pub struct Span {
+    registry: MetricsRegistry,
+    started: Duration,
+    path: String,
+    depth: usize,
+    finished: bool,
+}
+
+impl Span {
+    /// Opens a child span; its path is `parent-path/name`.
+    pub fn child(&self, name: &str) -> Span {
+        self.registry
+            .start_span(format!("{}/{name}", self.path), self.depth + 1)
+    }
+
+    /// Times `f` under a child span and returns its result.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _child = self.child(name);
+        f()
+    }
+
+    /// The span's full `/`-separated path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Finishes the span now, recording its elapsed time.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let elapsed = self.registry.inner.clock.now().saturating_sub(self.started);
+        self.registry.finish_span(&self.path, self.depth, elapsed);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{CollectingRecorder, TraceEntry};
+
+    #[test]
+    fn counters_accumulate_and_share() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("a");
+        c.inc();
+        r.counter("a").add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("b").get(), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("g");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(r.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("h", &[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(50);
+        h.observe(1000); // overflow bucket
+        let snap = r.snapshot();
+        let (_, hs) = &snap.histograms[0];
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 1065);
+        assert_eq!(hs.buckets, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let (r, clock) = MetricsRegistry::deterministic();
+        {
+            let root = r.span("run");
+            clock.advance(Duration::from_millis(1));
+            {
+                let child = root.child("phase");
+                clock.advance(Duration::from_millis(2));
+                child.finish();
+            }
+            root.time("phase", || clock.advance(Duration::from_millis(3)));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.span("run/phase").unwrap().count, 2);
+        assert_eq!(
+            snap.span("run/phase").unwrap().total_nanos,
+            Duration::from_millis(5).as_nanos() as u64
+        );
+        assert_eq!(
+            snap.span("run").unwrap().total_nanos,
+            Duration::from_millis(6).as_nanos() as u64
+        );
+    }
+
+    #[test]
+    fn manual_clock_makes_durations_zero() {
+        let (r, _clock) = MetricsRegistry::deterministic();
+        r.time("p", || ());
+        assert_eq!(r.snapshot().span("p").unwrap().total_nanos, 0);
+    }
+
+    #[test]
+    fn events_keep_order_and_count() {
+        let r = MetricsRegistry::new();
+        r.event("degradation", "deadline");
+        r.event("other", "x");
+        r.event("degradation", "cap");
+        assert_eq!(r.event_count("degradation"), 2);
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.events[0].message, "deadline");
+        assert_eq!(snap.events[2].message, "cap");
+    }
+
+    #[test]
+    fn recorder_sees_live_traffic() {
+        let r = MetricsRegistry::new();
+        let rec = Arc::new(CollectingRecorder::new());
+        r.set_recorder(rec.clone());
+        r.time("outer", || r.event("e", "m"));
+        let entries = rec.entries();
+        assert_eq!(
+            entries,
+            vec![
+                TraceEntry::Started {
+                    path: "outer".into(),
+                    depth: 0
+                },
+                TraceEntry::Event {
+                    name: "e".into(),
+                    message: "m".into()
+                },
+                TraceEntry::Finished {
+                    path: "outer".into(),
+                    depth: 0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_metric_space() {
+        let r = MetricsRegistry::new();
+        let r2 = r.clone();
+        r.counter("shared").inc();
+        r2.counter("shared").inc();
+        assert_eq!(r.counter("shared").get(), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = MetricsRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = r.clone();
+                s.spawn(move || {
+                    let c = r.counter("n");
+                    let h = r.histogram("h", &[100]);
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(i % 200);
+                        r.time("span", || {});
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("n"), Some(8000));
+        assert_eq!(snap.span("span").unwrap().count, 8000);
+        let (_, hs) = &snap.histograms[0];
+        assert_eq!(hs.count, 8000);
+    }
+}

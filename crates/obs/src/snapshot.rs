@@ -1,0 +1,238 @@
+//! Deterministic, serializable snapshots of a registry's state.
+//!
+//! Snapshots are the machine-readable export behind the CLI's
+//! `--metrics-out` and the golden-comparison substrate of the test suite:
+//! keys are emitted in sorted order, events in emission order, and
+//! [`count_only`](MetricsSnapshot::count_only) strips every
+//! timing-dependent field so that two runs of the same seeded workload
+//! serialize to byte-identical JSON.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated state of one span path.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total time across runs, in nanoseconds.
+    pub total_nanos: u64,
+}
+
+/// State of one fixed-bucket histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Inclusive upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; one cell per bound plus a final
+    /// overflow cell.
+    pub buckets: Vec<u64>,
+}
+
+/// One point event.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventSnapshot {
+    /// Event name (e.g. `degradation`).
+    pub name: String,
+    /// Event payload.
+    pub message: String,
+}
+
+/// A full registry snapshot with deterministic field ordering.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, state)` histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `(path, state)` spans, sorted by path.
+    pub spans: Vec<(String, SpanSnapshot)>,
+    /// Events in emission order.
+    pub events: Vec<EventSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Aggregate of span `path`, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|(n, _)| n == path).map(|(_, s)| s)
+    }
+
+    /// Total time of span `path` in milliseconds (`0.0` if absent).
+    pub fn span_millis(&self, path: &str) -> f64 {
+        self.span(path)
+            .map(|s| s.total_nanos as f64 / 1e6)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of `total_nanos` over every span whose path starts with
+    /// `prefix` and has no further `/` (i.e. the direct phases of a
+    /// hierarchy level).
+    pub fn span_level_total_nanos(&self, prefix: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|(p, _)| {
+                p.strip_prefix(prefix)
+                    .and_then(|rest| rest.strip_prefix('/'))
+                    .is_some_and(|rest| !rest.contains('/'))
+            })
+            .map(|(_, s)| s.total_nanos)
+            .sum()
+    }
+
+    /// The timing-free projection: span durations, histogram sums and
+    /// bucket distributions are zeroed (histogram *counts* survive — how
+    /// many observations happened is behavior, how long they took is not).
+    /// Two runs of the same deterministic workload produce equal count-only
+    /// snapshots even on a wall clock.
+    pub fn count_only(&self) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (_, s) in &mut out.spans {
+            s.total_nanos = 0;
+        }
+        for (_, h) in &mut out.histograms {
+            h.sum = 0;
+            for b in &mut h.buckets {
+                *b = 0;
+            }
+        }
+        out
+    }
+
+    /// Renders the span hierarchy as an indented tree, one line per path,
+    /// children under parents, siblings sorted by path.
+    pub fn render_span_tree(&self) -> String {
+        let mut out = String::new();
+        for (path, agg) in &self.spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let ms = agg.total_nanos as f64 / 1e6;
+            out.push_str(&format!(
+                "{}{name}  count={} total={ms:.3}ms\n",
+                "  ".repeat(depth),
+                agg.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("a".into(), 1), ("b".into(), 2)],
+            gauges: vec![("g".into(), -5)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 42,
+                    bounds: vec![10, 100],
+                    buckets: vec![1, 1, 1],
+                },
+            )],
+            spans: vec![
+                (
+                    "run".into(),
+                    SpanSnapshot {
+                        count: 1,
+                        total_nanos: 500,
+                    },
+                ),
+                (
+                    "run/detect".into(),
+                    SpanSnapshot {
+                        count: 1,
+                        total_nanos: 300,
+                    },
+                ),
+                (
+                    "run/detect/extract".into(),
+                    SpanSnapshot {
+                        count: 2,
+                        total_nanos: 100,
+                    },
+                ),
+                (
+                    "run/screen".into(),
+                    SpanSnapshot {
+                        count: 1,
+                        total_nanos: 100,
+                    },
+                ),
+            ],
+            events: vec![EventSnapshot {
+                name: "degradation".into(),
+                message: "deadline".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn accessors_find_entries() {
+        let s = sample();
+        assert_eq!(s.counter("a"), Some(1));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("g"), Some(-5));
+        assert_eq!(s.span("run/detect").unwrap().total_nanos, 300);
+        assert!((s.span_millis("run") - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_total_sums_direct_children_only() {
+        let s = sample();
+        // run/detect + run/screen, NOT run/detect/extract.
+        assert_eq!(s.span_level_total_nanos("run"), 400);
+    }
+
+    #[test]
+    fn count_only_zeroes_durations_keeps_counts() {
+        let c = sample().count_only();
+        assert!(c.spans.iter().all(|(_, s)| s.total_nanos == 0));
+        assert_eq!(c.span("run/detect").unwrap().count, 1);
+        let (_, h) = &c.histograms[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 0);
+        assert!(h.buckets.iter().all(|&b| b == 0));
+        assert_eq!(h.bounds, vec![10, 100], "bounds are config, not timing");
+        assert_eq!(c.events, sample().events, "events survive");
+    }
+
+    #[test]
+    fn serde_round_trip_is_exact() {
+        let s = sample();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // Determinism: serializing twice yields identical bytes.
+        assert_eq!(json, serde_json::to_string_pretty(&s).unwrap());
+    }
+
+    #[test]
+    fn span_tree_renders_hierarchy() {
+        let tree = sample().render_span_tree();
+        assert!(tree.contains("run  count=1"));
+        assert!(tree.contains("\n  detect"), "{tree}");
+        assert!(tree.contains("\n    extract"), "{tree}");
+    }
+}

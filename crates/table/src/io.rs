@@ -54,7 +54,23 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<ClickTable, String> {
 /// Lossy [`read_tsv`]: malformed lines — including lines that are not
 /// valid UTF-8 — are quarantined into the error report instead of
 /// aborting; underlying I/O failures still abort.
-pub fn read_tsv_lossy<R: BufRead>(mut r: R) -> Result<LossyRead, String> {
+pub fn read_tsv_lossy<R: BufRead>(r: R) -> Result<LossyRead, String> {
+    read_tsv_lossy_inner(r, None)
+}
+
+/// [`read_tsv_lossy`] that additionally records `table.records_ingested`
+/// and `table.lines_quarantined` counters in `metrics`.
+pub fn read_tsv_lossy_metered<R: BufRead>(
+    r: R,
+    metrics: &ricd_obs::MetricsRegistry,
+) -> Result<LossyRead, String> {
+    read_tsv_lossy_inner(r, Some(metrics))
+}
+
+fn read_tsv_lossy_inner<R: BufRead>(
+    mut r: R,
+    metrics: Option<&ricd_obs::MetricsRegistry>,
+) -> Result<LossyRead, String> {
     let mut rows = Vec::new();
     let mut errors = Vec::new();
     let mut raw = Vec::new();
@@ -80,6 +96,10 @@ pub fn read_tsv_lossy<R: BufRead>(mut r: R) -> Result<LossyRead, String> {
             Err(_) => errors.push((idx + 1, format!("line {}: not valid UTF-8", idx + 1))),
         }
         idx += 1;
+    }
+    if let Some(m) = metrics {
+        m.inc_by("table.records_ingested", rows.len() as u64);
+        m.inc_by("table.lines_quarantined", errors.len() as u64);
     }
     Ok(LossyRead {
         table: ClickTable::from_rows(rows),
@@ -147,5 +167,16 @@ mod tests {
     #[test]
     fn json_rejects_garbage() {
         assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn metered_lossy_read_counts_rows_and_quarantines() {
+        let text = "0\t0\t1\ngarbage\n1\t1\t2\n9999999999\t0\t1\n";
+        let registry = ricd_obs::MetricsRegistry::new();
+        let r = read_tsv_lossy_metered(text.as_bytes(), &registry).unwrap();
+        assert_eq!(r.errors.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("table.records_ingested"), Some(2));
+        assert_eq!(snap.counter("table.lines_quarantined"), Some(2));
     }
 }

@@ -14,10 +14,12 @@
 use fake_click_detection::core::detect::Seeds;
 use fake_click_detection::eval::figures;
 use fake_click_detection::graph::io as graph_io;
+use fake_click_detection::obs::{MetricsRegistry, StderrTraceRecorder};
 use fake_click_detection::prelude::*;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// CLI failures, split by exit code: usage errors exit 2, runtime (I/O,
 /// parse, generation) errors exit 1. A *degraded* detection run is not an
@@ -75,8 +77,10 @@ USAGE:
                   [--t-hot <N>] [--t-click <N>]
                   [--seed-user <id>]... [--seed-item <id>]...
                   [--lossy] [--deadline-ms <N>] [--max-groups <N>]
+                  [--metrics-out <m.json>] [--metrics-count-only] [--trace]
     ricd eval     --input <clicks.tsv> --truth <truth.json> [--method <NAME>]
-                  [--lossy]
+                  [--lossy] [--metrics-out <m.json>] [--metrics-count-only]
+                  [--trace]
     ricd campaign [--days <N>]
 
 Click tables are TSV lines `user<TAB>item<TAB>clicks`.
@@ -87,6 +91,14 @@ FAULT TOLERANCE:
     --deadline-ms N  wall-clock budget; past it the run degrades to the
                      naive detector and warns instead of failing
     --max-groups N   cap the report at the N largest groups
+
+OBSERVABILITY:
+    --metrics-out F        write the run's metrics snapshot (counters,
+                           gauges, histograms, span timings) as JSON to F;
+                           with `eval`, requires a single --method
+    --metrics-count-only   zero all durations in the snapshot, keeping
+                           counts, so repeat runs are byte-identical
+    --trace                stream a human-readable span trace to stderr
 
 EXIT CODES:
     0  success (including degraded runs, which warn on stderr)
@@ -143,15 +155,22 @@ impl<'a> Flags<'a> {
 }
 
 /// Loads a click table; with `lossy`, malformed lines are quarantined and
-/// reported on stderr instead of failing the command.
+/// reported on stderr instead of failing the command. When a registry is
+/// supplied, the lossy read records `io.records_ingested` /
+/// `io.lines_quarantined` into it.
 fn load_graph(
     path: &str,
     lossy: bool,
+    metrics: Option<&MetricsRegistry>,
 ) -> Result<fake_click_detection::graph::BipartiteGraph, CliError> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     if lossy {
-        let read =
-            graph_io::read_tsv_lossy(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+        let reader = BufReader::new(file);
+        let read = match metrics {
+            Some(m) => graph_io::read_tsv_lossy_metered(reader, m),
+            None => graph_io::read_tsv_lossy(reader),
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
         if !read.errors.is_empty() {
             eprintln!(
                 "warning: {path}: quarantined {} malformed line(s):",
@@ -189,6 +208,45 @@ fn ricd_params(flags: &Flags) -> Result<RicdParams, CliError> {
     }
     p.validate().map_err(CliError::Usage)?;
     Ok(p)
+}
+
+/// The observability flags shared by `detect` and `eval`: a fresh registry
+/// (streaming spans to stderr under `--trace`) plus the snapshot destination
+/// and whether to strip durations from it.
+fn metrics_flags<'a>(
+    flags: &Flags<'a>,
+) -> Result<(MetricsRegistry, Option<&'a str>, bool), CliError> {
+    // Same dangling-value guard as `Flags::parse`: a bare `--metrics-out`
+    // at the end of the line must not silently discard the snapshot.
+    if flags.0.last().map(String::as_str) == Some("--metrics-out") {
+        return Err(CliError::Usage("--metrics-out requires a value".into()));
+    }
+    let registry = MetricsRegistry::new();
+    if flags.has("--trace") {
+        registry.set_recorder(Arc::new(StderrTraceRecorder));
+    }
+    Ok((
+        registry,
+        flags.get("--metrics-out"),
+        flags.has("--metrics-count-only"),
+    ))
+}
+
+/// Writes `registry`'s snapshot as pretty JSON to `path`, if one was given.
+fn write_snapshot(
+    registry: &MetricsRegistry,
+    path: Option<&str>,
+    count_only: bool,
+) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    let snap = registry.snapshot();
+    let snap = if count_only { snap.count_only() } else { snap };
+    let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
+    let mut f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+    f.write_all(b"\n").map_err(|e| e.to_string())?;
+    eprintln!("wrote {path}");
+    Ok(())
 }
 
 /// Assembles the run budget from `--deadline-ms` / `--max-groups`.
@@ -244,7 +302,7 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
-    let g = load_graph(flags.require("--input")?, flags.has("--lossy"))?;
+    let g = load_graph(flags.require("--input")?, flags.has("--lossy"), None)?;
     let r = figures::dataset_report(&g);
     println!("users         {}", r.scale.users);
     println!("items         {}", r.scale.items);
@@ -277,6 +335,7 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
     let input = flags.require("--input")?;
     let params = ricd_params(&flags)?;
     let budget = run_budget(&flags)?;
+    let (registry, metrics_out, count_only) = metrics_flags(&flags)?;
 
     let seeds = Seeds {
         users: flags
@@ -299,10 +358,11 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
             .collect::<Result<_, _>>()?,
     };
 
-    let g = load_graph(input, flags.has("--lossy"))?;
+    let g = load_graph(input, flags.has("--lossy"), Some(&registry))?;
     let result = RicdPipeline::new(params)
         .with_seeds(seeds)
         .with_budget(budget)
+        .with_metrics(registry.clone())
         .run(&g);
     if let RunStatus::Degraded { reason, phase } = &result.status {
         eprintln!("warning: degraded run (phase `{phase}`): {reason}");
@@ -329,12 +389,18 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
         f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
         eprintln!("wrote {path}");
     }
-    Ok(())
+    write_snapshot(&registry, metrics_out, count_only)
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
-    let g = load_graph(flags.require("--input")?, flags.has("--lossy"))?;
+    let (registry, metrics_out, count_only) = metrics_flags(&flags)?;
+    let trace = flags.has("--trace");
+    let g = load_graph(
+        flags.require("--input")?,
+        flags.has("--lossy"),
+        Some(&registry),
+    )?;
     let truth_path = flags.require("--truth")?;
     let truth: fake_click_detection::datagen::GroundTruth = {
         let text = std::fs::read_to_string(truth_path).map_err(|e| format!("{truth_path}: {e}"))?;
@@ -350,24 +416,37 @@ fn cmd_eval(args: &[String]) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Usage(format!("unknown method `{name}`")))?],
     };
 
+    if metrics_out.is_some() && methods.len() != 1 {
+        return Err(CliError::Usage(
+            "eval --metrics-out requires a single --method".into(),
+        ));
+    }
+
     let cfg = MethodConfig::default();
     let outcomes: Vec<_> = methods
         .iter()
         .map(|&m| {
-            let result = cfg.run(m, &g);
+            // One registry per method, so each snapshot describes exactly
+            // that run; a single-method invocation reuses the command
+            // registry so the io.* counters from loading land in the same
+            // --metrics-out snapshot as the pipeline spans.
+            let method_registry = if methods.len() == 1 {
+                registry.clone()
+            } else {
+                let r = MetricsRegistry::new();
+                if trace {
+                    r.set_recorder(Arc::new(StderrTraceRecorder));
+                }
+                r
+            };
+            let result = cfg.run_metered(m, &g, &method_registry);
             let eval = evaluate(&result, &truth);
-            figures::MethodOutcome {
-                method: m,
-                name: m.name().to_string(),
-                eval,
-                detect_ms: 0.0,
-                screen_ms: 0.0,
-                total_ms: result.timings.total().as_secs_f64() * 1e3,
-            }
+            figures::MethodOutcome::from_snapshot(m, eval, &method_registry.snapshot())
         })
         .collect();
     println!("{}", report::format_quality(&outcomes));
-    Ok(())
+    println!("{}", report::format_timing(&outcomes));
+    write_snapshot(&registry, metrics_out, count_only)
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), CliError> {

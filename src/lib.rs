@@ -20,6 +20,7 @@ pub use ricd_datagen as datagen;
 pub use ricd_engine as engine;
 pub use ricd_eval as eval;
 pub use ricd_graph as graph;
+pub use ricd_obs as obs;
 pub use ricd_recommender as recommender;
 pub use ricd_table as table;
 

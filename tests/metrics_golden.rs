@@ -1,0 +1,72 @@
+//! Golden-snapshot test for the observability layer.
+//!
+//! Runs the full RICD pipeline on a seeded tiny dataset with a deterministic
+//! clock and a fixed-width worker pool, then pins the exact count-mode
+//! [`MetricsSnapshot`] JSON. Any change to what the pipeline records — a new
+//! counter, a renamed span, a different partitioning — shows up as a diff
+//! against `tests/data/metrics_golden.json` and must be reviewed.
+//!
+//! To regenerate the golden file after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test metrics_golden
+//! ```
+//!
+//! [`MetricsSnapshot`]: fake_click_detection::obs::MetricsSnapshot
+
+use fake_click_detection::datagen::{generate, AttackConfig, DatasetConfig};
+use fake_click_detection::engine::WorkerPool;
+use fake_click_detection::obs::MetricsRegistry;
+use fake_click_detection::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/metrics_golden.json"
+);
+
+/// One deterministic end-to-end run: seeded dataset, manual clock (never
+/// advanced, so every duration is zero even before the count-only
+/// projection), and exactly 4 workers so partition counts don't vary with
+/// the host's core count.
+fn golden_snapshot_json() -> String {
+    let ds = generate(&DatasetConfig::tiny(), &AttackConfig::evaluation()).expect("generate");
+    let (registry, _clock) = MetricsRegistry::deterministic();
+    let pipeline = RicdPipeline::new(RicdParams::default())
+        .with_pool(WorkerPool::new(4))
+        .with_metrics(registry.clone());
+    let result = pipeline.run(&ds.graph);
+    assert!(
+        matches!(result.status, RunStatus::Complete),
+        "golden run unexpectedly degraded: {:?}",
+        result.status
+    );
+    let snap = registry.snapshot().count_only();
+    let mut json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+    json.push('\n');
+    json
+}
+
+#[test]
+fn count_mode_snapshot_matches_golden_file() {
+    let json = golden_snapshot_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        json, expected,
+        "count-mode snapshot drifted from {GOLDEN_PATH}; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn repeat_runs_are_byte_identical() {
+    assert_eq!(
+        golden_snapshot_json(),
+        golden_snapshot_json(),
+        "two identical deterministic runs must serialize identically"
+    );
+}
