@@ -7,12 +7,13 @@
 //! Algorithm 3 extraction and splits the survivors into connected
 //! components, each one a suspicious attack group.
 
-use crate::extract::{extract, ExtractionStats, SquareStrategy};
+use crate::extract::{extract_with, ExtractionStats, FixpointMode, SquareStrategy};
 use crate::params::RicdParams;
 use crate::result::SuspiciousGroup;
 use ricd_engine::WorkerPool;
 use ricd_graph::components::connected_components;
 use ricd_graph::{BipartiteGraph, GraphView, ItemId, UserId};
+use ricd_obs::MetricsRegistry;
 
 /// Known-abnormal nodes supplied by the business department (optional
 /// auxiliary input; Algorithm 2 lines 5–8).
@@ -80,13 +81,36 @@ fn seed_ball(g: &BipartiteGraph, seeds: &Seeds) -> (Vec<UserId>, Vec<ItemId>) {
     (users2, items2)
 }
 
-/// Runs the full detection module on `g`.
+/// Runs the full detection module on `g` with the default
+/// ([`FixpointMode::Delta`]) extraction fixpoint and no metrics.
 pub fn detect_groups(
     g: &BipartiteGraph,
     seeds: &Seeds,
     params: &RicdParams,
     pool: &WorkerPool,
     strategy: SquareStrategy,
+) -> DetectedGroups {
+    detect_groups_with(
+        g,
+        seeds,
+        params,
+        pool,
+        strategy,
+        FixpointMode::default(),
+        None,
+    )
+}
+
+/// [`detect_groups`] with an explicit extraction fixpoint mode and optional
+/// metrics registry (for per-round extraction timings).
+pub fn detect_groups_with(
+    g: &BipartiteGraph,
+    seeds: &Seeds,
+    params: &RicdParams,
+    pool: &WorkerPool,
+    strategy: SquareStrategy,
+    mode: FixpointMode,
+    metrics: Option<&MetricsRegistry>,
 ) -> DetectedGroups {
     let mut view = if seeds.is_empty() {
         GraphView::full(g)
@@ -95,7 +119,7 @@ pub fn detect_groups(
         GraphView::restricted(g, users, items)
     };
 
-    let stats = extract(&mut view, params, pool, strategy);
+    let stats = extract_with(&mut view, params, pool, strategy, mode, metrics);
 
     let groups = connected_components(&view)
         .into_iter()

@@ -21,22 +21,34 @@
 //!   neighborhood size (the `reduce2Hop` ordering of [Lyu et al.,
 //!   VLDB'20] the paper cites), removals taking effect immediately.
 //!
-//! Both strategies converge to the same fixpoint (removal is monotone: a
-//! vertex that fails a bound keeps failing as more vertices disappear), so
-//! the choice only affects intermediate work; the ablation bench measures
-//! the difference.
+//! # Delta-driven fixpoint
 //!
-//! Vertex removal changes neighbors' degrees and overlaps, so each rule is
-//! iterated and the two rules alternate until nothing changes (the paper's
-//! single-pass pseudocode is the first iteration; "theoretically, after
-//! performing these two pruning strategies, the remaining vertices should
-//! appear in specific (α,k₁,k₂)-extension bicliques" requires the fixpoint).
+//! Removal is monotone: degrees and common-neighbor counts only fall as
+//! vertices disappear, so a vertex that passes a bound can newly fail it
+//! only if something in its neighborhood was removed — one hop away for the
+//! degree bound, two hops for the common-neighbor bound. The default
+//! [`FixpointMode::Delta`] exploits this: after one full seeding round,
+//! every later round checks only the dirty frontier derived from the
+//! [`GraphView`] removal log ([`ricd_graph::frontier`]), instead of
+//! re-scanning every vertex every round. When most of the view has died,
+//! the remaining work is compacted onto a small remapped graph
+//! ([`InducedSubgraph::compact`]) so even adjacency walks stop touching
+//! corpses. [`FixpointMode::FullRescan`] preserves the pre-delta behavior
+//! for differential testing.
+//!
+//! All paths converge to the same fixpoint (by monotonicity the fixpoint is
+//! unique and independent of removal order), so mode and strategy only
+//! affect intermediate work, never the surviving vertex set.
 
 use crate::params::RicdParams;
 use ricd_engine::WorkerPool;
+use ricd_graph::frontier::{self, FrontierScratch};
 use ricd_graph::twohop::{self, CommonNeighborScratch};
-use ricd_graph::{GraphView, ItemId, UserId};
+use ricd_graph::view::LogMark;
+use ricd_graph::{GraphView, InducedSubgraph, ItemId, UserId};
+use ricd_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// How SquarePruning visits candidates.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,6 +58,18 @@ pub enum SquareStrategy {
     Parallel,
     /// Literal sequential pseudocode with `reduce2Hop` candidate ordering.
     SequentialOrdered,
+}
+
+/// How rounds after the first select their candidates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FixpointMode {
+    /// One full seeding round, then dirty-frontier worklists derived from
+    /// the removal log, with view compaction when most vertices have died.
+    #[default]
+    Delta,
+    /// Re-scan every vertex every round (the pre-delta behavior), kept for
+    /// differential testing and ablation.
+    FullRescan,
 }
 
 /// Counters describing one extraction run.
@@ -61,7 +85,24 @@ pub struct ExtractionStats {
     pub square_removed_users: usize,
     /// Items removed by SquarePruning.
     pub square_removed_items: usize,
+    /// Total size of the SquarePruning user worklists in delta rounds.
+    pub dirty_users: usize,
+    /// Total size of the SquarePruning item worklists in delta rounds.
+    pub dirty_items: usize,
+    /// Alive users *not* re-checked by SquarePruning in delta rounds — the
+    /// work a full rescan would have done for nothing.
+    pub skipped_users: usize,
+    /// Alive items not re-checked by SquarePruning in delta rounds.
+    pub skipped_items: usize,
+    /// Times the view was compacted onto a remapped subgraph mid-fixpoint.
+    pub compactions: usize,
 }
+
+/// Compact the view once fewer than 1 in `COMPACT_ALIVE_DIVISOR` vertices
+/// are still alive…
+const COMPACT_ALIVE_DIVISOR: usize = 4;
+/// …but only when the graph is big enough for rebuild cost to be noise.
+const COMPACT_MIN_VERTICES: usize = 1024;
 
 /// Runs Algorithm 3 in place on `view`, leaving only vertices that can
 /// belong to an (α, k₁, k₂)-extension biclique.
@@ -71,58 +112,365 @@ pub fn extract(
     pool: &WorkerPool,
     strategy: SquareStrategy,
 ) -> ExtractionStats {
-    let mut stats = ExtractionStats::default();
-    for round in 1..=params.max_rounds {
-        stats.rounds = round;
-        let core = core_pruning(view, params, pool);
-        stats.core_removed_users += core.0;
-        stats.core_removed_items += core.1;
-        let square = match strategy {
-            SquareStrategy::Parallel => square_pruning_parallel(view, params, pool),
-            SquareStrategy::SequentialOrdered => square_pruning_sequential(view, params),
-        };
-        stats.square_removed_users += square.0;
-        stats.square_removed_items += square.1;
-        if square == (0, 0) {
-            // Core pruning is already at its own fixpoint after
-            // `core_pruning` returns, so no removals in the square phase
-            // means the global fixpoint is reached.
-            break;
-        }
-    }
-    stats
+    extract_with(view, params, pool, strategy, FixpointMode::default(), None)
 }
 
-/// Lemma 1 pruning, iterated to its own fixpoint. Returns removal counts.
-fn core_pruning(
+/// [`extract`] with explicit fixpoint mode and optional metrics.
+///
+/// With a registry attached, per-round wall time is recorded under
+/// `extract.round_nanos`; the dirty/skipped/compaction counters are in the
+/// returned [`ExtractionStats`] for the caller to export.
+pub fn extract_with(
     view: &mut GraphView<'_>,
     params: &RicdParams,
     pool: &WorkerPool,
+    strategy: SquareStrategy,
+    mode: FixpointMode,
+    metrics: Option<&MetricsRegistry>,
+) -> ExtractionStats {
+    let ctx = FixpointCtx {
+        params,
+        pool,
+        strategy,
+        mode,
+        metrics,
+    };
+    let mut stats = ExtractionStats::default();
+    run_fixpoint(view, &ctx, None, 1, &mut stats);
+    stats
+}
+
+/// Immutable per-run configuration threaded through the fixpoint.
+struct FixpointCtx<'a> {
+    params: &'a RicdParams,
+    pool: &'a WorkerPool,
+    strategy: SquareStrategy,
+    mode: FixpointMode,
+    metrics: Option<&'a MetricsRegistry>,
+}
+
+/// Pending worklists handed across a compaction boundary (already in the
+/// compacted graph's local id space), so the first post-compaction round
+/// stays worklist-only instead of paying a fresh full seeding pass.
+struct Carryover {
+    core_users: Vec<u32>,
+    core_items: Vec<u32>,
+    square_users: Vec<u32>,
+    square_items: Vec<u32>,
+    /// The compaction interrupted a round whose SquarePruning passes were
+    /// going to re-check everything (the seeding round, mid-round, right
+    /// after CorePruning): run them full on the compacted graph instead of
+    /// carrying an "everything is dirty" worklist.
+    square_full: bool,
+}
+
+/// The alternating pruning loop on one view. Recurses (at most once per
+/// level) into a compacted copy when the alive fraction collapses.
+fn run_fixpoint(
+    view: &mut GraphView<'_>,
+    ctx: &FixpointCtx<'_>,
+    carryover: Option<Carryover>,
+    start_round: usize,
+    stats: &mut ExtractionStats,
+) {
+    let user_scratch = ScratchPool::new(view.graph().num_users());
+    let item_scratch = ScratchPool::new(view.graph().num_items());
+    let mut fscratch = FrontierScratch::for_view(view);
+    let round_hist = ctx
+        .metrics
+        .map(|m| m.duration_histogram("extract.round_nanos"));
+    // Per-pass log positions: each pass's next frontier is derived from
+    // everything removed since it last ran (for CorePruning: since it last
+    // *finished*, because it runs to its own fixpoint).
+    let mut core_mark = view.log_mark();
+    let mut sq_user_mark = view.log_mark();
+    let mut sq_item_mark = view.log_mark();
+    let mut carry = carryover;
+
+    for round in start_round..=ctx.params.max_rounds {
+        stats.rounds = round;
+        let round_started = ctx.metrics.map(|m| m.clock().now());
+        // A full round re-checks every alive vertex: always in FullRescan
+        // mode, and as the seeding round of a delta level that has no
+        // carryover (the top level's first round).
+        let full = matches!(ctx.mode, FixpointMode::FullRescan)
+            || (round == start_round && carry.is_none());
+        let carry_now = carry.take();
+
+        // --- CorePruning, to its own fixpoint ---
+        let (mut seed_users, mut seed_items) = if full {
+            (alive_user_ids(view), alive_item_ids(view))
+        } else {
+            let (ru, ri) = view.removed_since(core_mark);
+            (
+                frontier::core_dirty_users(view, ri, &mut fscratch),
+                frontier::core_dirty_items(view, ru, &mut fscratch),
+            )
+        };
+        if let Some(c) = &carry_now {
+            merge_sorted(&mut seed_users, &c.core_users);
+            merge_sorted(&mut seed_items, &c.core_items);
+        }
+        let core = core_pruning(view, ctx, seed_users, seed_items, &mut fscratch);
+        core_mark = view.log_mark();
+        stats.core_removed_users += core.0;
+        stats.core_removed_items += core.1;
+
+        // Whether this round's square passes re-check everything: a genuinely
+        // full round, or the resumption of one interrupted by a mid-round
+        // compaction below.
+        let square_full = full || carry_now.as_ref().is_some_and(|c| c.square_full);
+
+        // Compact *before* the wedge walks when CorePruning just gutted the
+        // view. This matters most on the seeding round: CorePruning alone
+        // can kill the vast majority of vertices, and every SquarePruning
+        // wedge walk on the original CSR still pays to skip the dead
+        // adjacency entries. The square passes resume on the dense copy.
+        if matches!(ctx.mode, FixpointMode::Delta) && should_compact(view) {
+            compact_and_recurse(
+                view,
+                ctx,
+                core_mark,
+                sq_user_mark,
+                sq_item_mark,
+                &mut fscratch,
+                round,
+                square_full,
+                stats,
+            );
+            return;
+        }
+
+        // --- SquarePruning, one user pass + one item pass ---
+        // Both modes keep the pseudocode's user-then-item order; the fixpoint
+        // is order-independent (monotonicity), so delta rounds only change
+        // *which* vertices are checked, never the outcome.
+        let (carry_sq_users, carry_sq_items) = match &carry_now {
+            Some(c) if !c.square_full => (
+                Some(c.square_users.as_slice()),
+                Some(c.square_items.as_slice()),
+            ),
+            _ => (None, None),
+        };
+        let sq_users = square_user_round(
+            view,
+            ctx,
+            square_full,
+            &mut sq_user_mark,
+            carry_sq_users,
+            &mut fscratch,
+            &user_scratch,
+            stats,
+        );
+        let sq_items = square_item_round(
+            view,
+            ctx,
+            square_full,
+            &mut sq_item_mark,
+            carry_sq_items,
+            &mut fscratch,
+            &item_scratch,
+            stats,
+        );
+        stats.square_removed_users += sq_users;
+        stats.square_removed_items += sq_items;
+
+        if let (Some(h), Some(t0)) = (&round_hist, round_started) {
+            let clock = ctx.metrics.unwrap().clock();
+            h.observe_duration(clock.now().saturating_sub(t0));
+        }
+
+        if sq_users == 0 && sq_items == 0 {
+            // CorePruning is already at its own fixpoint when its pass
+            // returns; no square removals on top means no frontier is left
+            // anywhere (monotonicity), so the global fixpoint is reached.
+            break;
+        }
+    }
+}
+
+/// True once the view is mostly corpses and big enough that rebuilding a
+/// dense subgraph is cheaper than dragging dead adjacency entries through
+/// every remaining pass.
+fn should_compact(view: &GraphView<'_>) -> bool {
+    let total = view.graph().num_users() + view.graph().num_items();
+    let alive = view.alive_users() + view.alive_items();
+    alive > 0 && total >= COMPACT_MIN_VERTICES && alive * COMPACT_ALIVE_DIVISOR < total
+}
+
+/// Rebuilds the alive region as a dense graph, continues the fixpoint
+/// there (worklists translated in), and applies the deaths back to `view`.
+#[allow(clippy::too_many_arguments)]
+fn compact_and_recurse(
+    view: &mut GraphView<'_>,
+    ctx: &FixpointCtx<'_>,
+    core_mark: LogMark,
+    sq_user_mark: LogMark,
+    sq_item_mark: LogMark,
+    fscratch: &mut FrontierScratch,
+    round: usize,
+    square_full: bool,
+    stats: &mut ExtractionStats,
+) {
+    // Pending frontiers in parent-id space, derived before the ids change.
+    // When the interrupted round's square passes were full anyway, there is
+    // no point materialising an "everything alive" frontier — the flag makes
+    // the resumed round re-check the whole (now dense) view.
+    let (core_users, core_items) = {
+        let (ru, ri) = view.removed_since(core_mark);
+        (
+            frontier::core_dirty_users(view, ri, fscratch),
+            frontier::core_dirty_items(view, ru, fscratch),
+        )
+    };
+    let (square_users, square_items) = if square_full {
+        (Vec::new(), Vec::new())
+    } else {
+        let su = {
+            let (ru, ri) = view.removed_since(sq_user_mark);
+            frontier::square_dirty_users(view, ru, ri, fscratch)
+        };
+        let si = {
+            let (ru, ri) = view.removed_since(sq_item_mark);
+            frontier::square_dirty_items(view, ru, ri, fscratch)
+        };
+        (su, si)
+    };
+
+    let sub = InducedSubgraph::compact(view);
+    stats.compactions += 1;
+    // `user_map`/`item_map` are sorted, so translation preserves worklist
+    // order; vertices the maps don't contain are dead and need no check.
+    let carry = Carryover {
+        core_users: to_local_users(&sub, &core_users),
+        core_items: to_local_items(&sub, &core_items),
+        square_users: to_local_users(&sub, &square_users),
+        square_items: to_local_items(&sub, &square_items),
+        square_full,
+    };
+    let mut local = GraphView::full(&sub.graph);
+    run_fixpoint(&mut local, ctx, Some(carry), round, stats);
+    for (li, &parent) in sub.user_map.iter().enumerate() {
+        if !local.user_alive(UserId(li as u32)) {
+            view.remove_user(parent);
+        }
+    }
+    for (li, &parent) in sub.item_map.iter().enumerate() {
+        if !local.item_alive(ItemId(li as u32)) {
+            view.remove_item(parent);
+        }
+    }
+}
+
+fn to_local_users(sub: &InducedSubgraph, parents: &[u32]) -> Vec<u32> {
+    parents
+        .iter()
+        .filter_map(|&u| sub.local_user(UserId(u)).map(|l| l.0))
+        .collect()
+}
+
+fn to_local_items(sub: &InducedSubgraph, parents: &[u32]) -> Vec<u32> {
+    parents
+        .iter()
+        .filter_map(|&v| sub.local_item(ItemId(v)).map(|l| l.0))
+        .collect()
+}
+
+fn alive_user_ids(view: &GraphView<'_>) -> Vec<u32> {
+    view.users().map(|u| u.0).collect()
+}
+
+fn alive_item_ids(view: &GraphView<'_>) -> Vec<u32> {
+    view.items().map(|v| v.0).collect()
+}
+
+/// Merges sorted, deduplicated id lists, keeping the invariant.
+fn merge_sorted(into: &mut Vec<u32>, other: &[u32]) {
+    if other.is_empty() {
+        return;
+    }
+    into.extend_from_slice(other);
+    into.sort_unstable();
+    into.dedup();
+}
+
+/// Lemma 1 pruning over worklists, iterated to its own fixpoint.
+///
+/// Seeded with the given candidate lists; every removal enqueues its
+/// one-hop neighborhood on the opposite side (the only vertices whose live
+/// degree changed). With full alive seeds this visits exactly what the old
+/// whole-range scan visited, minus the vertices that never got dirty.
+fn core_pruning(
+    view: &mut GraphView<'_>,
+    ctx: &FixpointCtx<'_>,
+    mut users: Vec<u32>,
+    mut items: Vec<u32>,
+    fscratch: &mut FrontierScratch,
 ) -> (usize, usize) {
-    let user_bound = params.user_degree_bound();
-    let item_bound = params.item_degree_bound();
+    let user_bound = ctx.params.user_degree_bound();
+    let item_bound = ctx.params.item_degree_bound();
     let (mut removed_users, mut removed_items) = (0, 0);
     loop {
-        let g = view.graph();
-        let doomed_users: Vec<usize> = pool.filter_vertices(g.num_users(), |u| {
-            let u = UserId(u as u32);
-            view.user_alive(u) && view.user_degree(u) < user_bound
-        });
+        let doomed_users: Vec<UserId> = {
+            let view_ref: &GraphView<'_> = view;
+            ctx.pool
+                .run_worklist(
+                    &users,
+                    || (),
+                    |_, chunk| {
+                        chunk
+                            .iter()
+                            .copied()
+                            .map(UserId)
+                            .filter(|&u| {
+                                view_ref.user_alive(u) && view_ref.user_degree(u) < user_bound
+                            })
+                            .collect::<Vec<UserId>>()
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect()
+        };
         for &u in &doomed_users {
-            view.remove_user(UserId(u as u32));
+            view.remove_user(u);
         }
-        let doomed_items: Vec<usize> = pool.filter_vertices(g.num_items(), |v| {
-            let v = ItemId(v as u32);
-            view.item_alive(v) && view.item_degree(v) < item_bound
-        });
+        merge_sorted(
+            &mut items,
+            &frontier::core_dirty_items(view, &doomed_users, fscratch),
+        );
+
+        let doomed_items: Vec<ItemId> = {
+            let view_ref: &GraphView<'_> = view;
+            ctx.pool
+                .run_worklist(
+                    &items,
+                    || (),
+                    |_, chunk| {
+                        chunk
+                            .iter()
+                            .copied()
+                            .map(ItemId)
+                            .filter(|&v| {
+                                view_ref.item_alive(v) && view_ref.item_degree(v) < item_bound
+                            })
+                            .collect::<Vec<ItemId>>()
+                    },
+                )
+                .into_iter()
+                .flatten()
+                .collect()
+        };
         for &v in &doomed_items {
-            view.remove_item(ItemId(v as u32));
+            view.remove_item(v);
         }
         removed_users += doomed_users.len();
         removed_items += doomed_items.len();
         if doomed_users.is_empty() && doomed_items.is_empty() {
             return (removed_users, removed_items);
         }
+        users = frontier::core_dirty_users(view, &doomed_items, fscratch);
+        items.clear();
     }
 }
 
@@ -161,101 +509,261 @@ fn item_neighbor_count(
     num
 }
 
-/// Lemma 2 pruning, one bulk-synchronous user pass + item pass.
-fn square_pruning_parallel(
+/// One SquarePruning user pass: derive the worklist (full or dirty), record
+/// delta stats, advance the pass mark, check and remove.
+#[allow(clippy::too_many_arguments)]
+fn square_user_round(
     view: &mut GraphView<'_>,
-    params: &RicdParams,
-    pool: &WorkerPool,
-) -> (usize, usize) {
-    let g = view.graph();
-    let user_bound = params.user_common_bound();
-    let item_bound = params.item_common_bound();
-
-    // User pass: decisions against the current snapshot, applied after.
-    let doomed_users: Vec<UserId> = {
-        let view_ref: &GraphView<'_> = view;
-        let per_worker = pool.run_partitioned(g.num_users(), |range| {
-            let mut scratch = CommonNeighborScratch::new(g.num_users());
-            let mut doomed = Vec::new();
-            for u in range {
-                let u = UserId(u as u32);
-                if view_ref.user_alive(u)
-                    && user_neighbor_count(view_ref, u, user_bound, &mut scratch) < params.k1
-                {
-                    doomed.push(u);
-                }
-            }
-            doomed
-        });
-        per_worker.into_iter().flatten().collect()
+    ctx: &FixpointCtx<'_>,
+    full: bool,
+    mark: &mut LogMark,
+    carry: Option<&[u32]>,
+    fscratch: &mut FrontierScratch,
+    scratch_pool: &ScratchPool,
+    stats: &mut ExtractionStats,
+) -> usize {
+    let worklist: Vec<u32> = if full {
+        alive_user_ids(view)
+    } else {
+        let mut wl = {
+            let (ru, ri) = view.removed_since(*mark);
+            frontier::square_dirty_users(view, ru, ri, fscratch)
+        };
+        if let Some(c) = carry {
+            merge_sorted(&mut wl, c);
+        }
+        stats.dirty_users += wl.len();
+        stats.skipped_users += view.alive_users().saturating_sub(wl.len());
+        wl
     };
-    for &u in &doomed_users {
-        view.remove_user(u);
-    }
-
-    // Item pass: runs against the post-user-pass state, like the pseudocode.
-    let doomed_items: Vec<ItemId> = {
-        let view_ref: &GraphView<'_> = view;
-        let per_worker = pool.run_partitioned(g.num_items(), |range| {
-            let mut scratch = CommonNeighborScratch::new(g.num_items());
-            let mut doomed = Vec::new();
-            for v in range {
-                let v = ItemId(v as u32);
-                if view_ref.item_alive(v)
-                    && item_neighbor_count(view_ref, v, item_bound, &mut scratch) < params.k2
-                {
-                    doomed.push(v);
-                }
-            }
-            doomed
-        });
-        per_worker.into_iter().flatten().collect()
-    };
-    for &v in &doomed_items {
-        view.remove_item(v);
-    }
-
-    (doomed_users.len(), doomed_items.len())
+    // Mark *before* the pass: its own removals (applied below) belong to the
+    // next frontier.
+    *mark = view.log_mark();
+    square_user_pass(view, ctx, &worklist, scratch_pool)
 }
 
-/// Lemma 2 pruning, literal sequential pseudocode with `reduce2Hop`
-/// candidate ordering (non-decreasing two-hop neighborhood size), removals
-/// taking effect immediately.
-fn square_pruning_sequential(view: &mut GraphView<'_>, params: &RicdParams) -> (usize, usize) {
-    let g = view.graph();
-    let user_bound = params.user_common_bound();
-    let item_bound = params.item_common_bound();
-    let mut removed = (0usize, 0usize);
+/// Item-side analogue of [`square_user_round`].
+#[allow(clippy::too_many_arguments)]
+fn square_item_round(
+    view: &mut GraphView<'_>,
+    ctx: &FixpointCtx<'_>,
+    full: bool,
+    mark: &mut LogMark,
+    carry: Option<&[u32]>,
+    fscratch: &mut FrontierScratch,
+    scratch_pool: &ScratchPool,
+    stats: &mut ExtractionStats,
+) -> usize {
+    let worklist: Vec<u32> = if full {
+        alive_item_ids(view)
+    } else {
+        let mut wl = {
+            let (ru, ri) = view.removed_since(*mark);
+            frontier::square_dirty_items(view, ru, ri, fscratch)
+        };
+        if let Some(c) = carry {
+            merge_sorted(&mut wl, c);
+        }
+        stats.dirty_items += wl.len();
+        stats.skipped_items += view.alive_items().saturating_sub(wl.len());
+        wl
+    };
+    *mark = view.log_mark();
+    square_item_pass(view, ctx, &worklist, scratch_pool)
+}
 
-    // reduce2Hop ordering for users.
-    let mut scratch = CommonNeighborScratch::new(g.num_users());
-    let mut users: Vec<(usize, UserId)> = view
-        .users()
-        .map(|u| (twohop::user_two_hop_size(view, u, &mut scratch), u))
-        .collect();
-    users.sort_unstable();
-    for (_, u) in users {
-        if view.user_alive(u) && user_neighbor_count(view, u, user_bound, &mut scratch) < params.k1
-        {
-            view.remove_user(u);
-            removed.0 += 1;
+/// Lemma 2 user check over a worklist; decisions against the pass-start
+/// snapshot (Parallel) or with immediate effect in `reduce2Hop` order
+/// (SequentialOrdered). Returns the number of removals.
+fn square_user_pass(
+    view: &mut GraphView<'_>,
+    ctx: &FixpointCtx<'_>,
+    worklist: &[u32],
+    scratch_pool: &ScratchPool,
+) -> usize {
+    if worklist.is_empty() {
+        return 0;
+    }
+    let bound = ctx.params.user_common_bound();
+    let k1 = ctx.params.k1;
+    match ctx.strategy {
+        SquareStrategy::Parallel => {
+            let doomed: Vec<UserId> = {
+                let view_ref: &GraphView<'_> = view;
+                ctx.pool
+                    .run_worklist(
+                        worklist,
+                        || scratch_pool.lease(),
+                        |lease, chunk| {
+                            let scratch = lease.get();
+                            let mut doomed = Vec::new();
+                            for &u in chunk {
+                                let u = UserId(u);
+                                if view_ref.user_alive(u)
+                                    && user_neighbor_count(view_ref, u, bound, scratch) < k1
+                                {
+                                    doomed.push(u);
+                                }
+                            }
+                            doomed
+                        },
+                    )
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            };
+            for &u in &doomed {
+                view.remove_user(u);
+            }
+            doomed.len()
+        }
+        SquareStrategy::SequentialOrdered => {
+            let mut lease = scratch_pool.lease();
+            let scratch = lease.get();
+            let mut order: Vec<(usize, UserId)> = worklist
+                .iter()
+                .map(|&u| {
+                    let u = UserId(u);
+                    (twohop::user_two_hop_size(view, u, scratch), u)
+                })
+                .collect();
+            order.sort_unstable();
+            let mut removed = 0;
+            for (_, u) in order {
+                if view.user_alive(u) && user_neighbor_count(view, u, bound, scratch) < k1 {
+                    view.remove_user(u);
+                    removed += 1;
+                }
+            }
+            removed
+        }
+    }
+}
+
+/// Item-side analogue of [`square_user_pass`].
+fn square_item_pass(
+    view: &mut GraphView<'_>,
+    ctx: &FixpointCtx<'_>,
+    worklist: &[u32],
+    scratch_pool: &ScratchPool,
+) -> usize {
+    if worklist.is_empty() {
+        return 0;
+    }
+    let bound = ctx.params.item_common_bound();
+    let k2 = ctx.params.k2;
+    match ctx.strategy {
+        SquareStrategy::Parallel => {
+            let doomed: Vec<ItemId> = {
+                let view_ref: &GraphView<'_> = view;
+                ctx.pool
+                    .run_worklist(
+                        worklist,
+                        || scratch_pool.lease(),
+                        |lease, chunk| {
+                            let scratch = lease.get();
+                            let mut doomed = Vec::new();
+                            for &v in chunk {
+                                let v = ItemId(v);
+                                if view_ref.item_alive(v)
+                                    && item_neighbor_count(view_ref, v, bound, scratch) < k2
+                                {
+                                    doomed.push(v);
+                                }
+                            }
+                            doomed
+                        },
+                    )
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            };
+            for &v in &doomed {
+                view.remove_item(v);
+            }
+            doomed.len()
+        }
+        SquareStrategy::SequentialOrdered => {
+            let mut lease = scratch_pool.lease();
+            let scratch = lease.get();
+            let mut order: Vec<(usize, ItemId)> = worklist
+                .iter()
+                .map(|&v| {
+                    let v = ItemId(v);
+                    (twohop::item_two_hop_size(view, v, scratch), v)
+                })
+                .collect();
+            order.sort_unstable();
+            let mut removed = 0;
+            for (_, v) in order {
+                if view.item_alive(v) && item_neighbor_count(view, v, bound, scratch) < k2 {
+                    view.remove_item(v);
+                    removed += 1;
+                }
+            }
+            removed
+        }
+    }
+}
+
+/// A pool of [`CommonNeighborScratch`] buffers shared across workers,
+/// passes, and rounds: each `O(V)` zeroed allocation is paid at most once
+/// per concurrently-active worker for the whole fixpoint, instead of once
+/// per partition per round.
+///
+/// Safe to reuse without cleanup: the wedge enumerators clear the counts
+/// via the touched-list at the *start* of each call, which also heals a
+/// buffer abandoned mid-enumeration by a panicking worker.
+struct ScratchPool {
+    size: usize,
+    free: Mutex<Vec<CommonNeighborScratch>>,
+}
+
+impl ScratchPool {
+    fn new(size: usize) -> Self {
+        Self {
+            size,
+            free: Mutex::new(Vec::new()),
         }
     }
 
-    let mut scratch = CommonNeighborScratch::new(g.num_items());
-    let mut items: Vec<(usize, ItemId)> = view
-        .items()
-        .map(|v| (twohop::item_two_hop_size(view, v, &mut scratch), v))
-        .collect();
-    items.sort_unstable();
-    for (_, v) in items {
-        if view.item_alive(v) && item_neighbor_count(view, v, item_bound, &mut scratch) < params.k2
-        {
-            view.remove_item(v);
-            removed.1 += 1;
+    fn lease(&self) -> ScratchLease<'_> {
+        let scratch = self
+            .free
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_else(|| CommonNeighborScratch::new(self.size));
+        ScratchLease {
+            pool: self,
+            scratch: Some(scratch),
         }
     }
-    removed
+}
+
+/// RAII handle returning the scratch to its pool on drop (including during
+/// a panic unwind, so the buffer survives worker retries).
+struct ScratchLease<'p> {
+    pool: &'p ScratchPool,
+    scratch: Option<CommonNeighborScratch>,
+}
+
+impl ScratchLease<'_> {
+    fn get(&mut self) -> &mut CommonNeighborScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            self.pool
+                .free
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(s);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -423,5 +931,144 @@ mod tests {
         );
         assert_eq!(view.alive_users(), 15);
         assert_eq!(view.alive_items(), 15);
+    }
+
+    #[test]
+    fn delta_and_full_rescan_agree() {
+        for (k, alpha) in [(10, 1.0), (10, 0.9), (12, 0.8), (9, 1.0)] {
+            let g = biclique_plus_noise(k + 2);
+            let p = params(k, alpha);
+            for strategy in [SquareStrategy::Parallel, SquareStrategy::SequentialOrdered] {
+                let pool = WorkerPool::new(4);
+                let mut delta = GraphView::full(&g);
+                extract_with(&mut delta, &p, &pool, strategy, FixpointMode::Delta, None);
+                let mut full = GraphView::full(&g);
+                extract_with(
+                    &mut full,
+                    &p,
+                    &pool,
+                    strategy,
+                    FixpointMode::FullRescan,
+                    None,
+                );
+                assert_eq!(
+                    delta.alive_sets(),
+                    full.alive_sets(),
+                    "k={k} alpha={alpha} {strategy:?}"
+                );
+            }
+        }
+    }
+
+    /// 2×2 biclique (survives) + 6-cycle (dies in SquarePruning round 1)
+    /// + enough degree-1 filler pairs to clear `COMPACT_MIN_VERTICES`.
+    fn compaction_world() -> ricd_graph::BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..2u32 {
+            for v in 0..2u32 {
+                b.add_click(UserId(u), ItemId(v), 5);
+            }
+        }
+        // 6-cycle u10-i10-u11-i11-u12-i12-u10: all degrees 2 (passes core
+        // at k=2), but no pair shares 2 neighbors, so SquarePruning kills
+        // every vertex in round 1 and the fixpoint needs a second round.
+        for j in 0..3u32 {
+            b.add_click(UserId(10 + j), ItemId(10 + j), 1);
+            b.add_click(UserId(10 + j), ItemId(10 + (j + 1) % 3), 1);
+        }
+        // Filler: dies immediately in CorePruning but inflates the graph
+        // past the compaction minimum.
+        for j in 0..600u32 {
+            b.add_click(UserId(100 + j), ItemId(100 + j), 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn delta_compacts_mid_fixpoint_and_matches_full_rescan() {
+        let g = compaction_world();
+        let p = params(2, 1.0);
+        let pool = WorkerPool::new(2);
+        let mut delta = GraphView::full(&g);
+        let stats = extract_with(
+            &mut delta,
+            &p,
+            &pool,
+            SquareStrategy::Parallel,
+            FixpointMode::Delta,
+            None,
+        );
+        assert!(
+            stats.compactions >= 1,
+            "alive fraction collapse must compact"
+        );
+        assert!(stats.rounds >= 2);
+        let mut full = GraphView::full(&g);
+        extract_with(
+            &mut full,
+            &p,
+            &pool,
+            SquareStrategy::Parallel,
+            FixpointMode::FullRescan,
+            None,
+        );
+        assert_eq!(delta.alive_sets(), full.alive_sets());
+        assert_eq!(delta.alive_users(), 2);
+        assert_eq!(delta.alive_items(), 2);
+    }
+
+    #[test]
+    fn delta_rounds_skip_clean_vertices() {
+        let g = compaction_world();
+        let p = params(2, 1.0);
+        let mut view = GraphView::full(&g);
+        let stats = extract_with(
+            &mut view,
+            &p,
+            &WorkerPool::new(2),
+            SquareStrategy::Parallel,
+            FixpointMode::Delta,
+            None,
+        );
+        assert!(stats.rounds >= 2);
+        assert!(
+            stats.skipped_users + stats.skipped_items > 0,
+            "post-seed rounds must not re-check every alive vertex: {stats:?}"
+        );
+        // Full rescan never populates the delta counters.
+        let mut view = GraphView::full(&g);
+        let full_stats = extract_with(
+            &mut view,
+            &p,
+            &WorkerPool::new(2),
+            SquareStrategy::Parallel,
+            FixpointMode::FullRescan,
+            None,
+        );
+        assert_eq!(full_stats.dirty_users, 0);
+        assert_eq!(full_stats.skipped_users, 0);
+        assert_eq!(full_stats.compactions, 0);
+    }
+
+    #[test]
+    fn extract_records_round_durations() {
+        let registry = MetricsRegistry::new();
+        let g = biclique_plus_noise(10);
+        let mut view = GraphView::full(&g);
+        let stats = extract_with(
+            &mut view,
+            &params(10, 1.0),
+            &WorkerPool::new(2),
+            SquareStrategy::Parallel,
+            FixpointMode::Delta,
+            Some(&registry),
+        );
+        let snap = registry.snapshot();
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "extract.round_nanos")
+            .expect("round histogram registered");
+        assert_eq!(h.count as usize, stats.rounds);
     }
 }

@@ -283,6 +283,7 @@ impl StreamingDetector {
             params,
             pool: self.pipeline.pool.clone(),
             strategy: self.pipeline.strategy,
+            mode: self.pipeline.mode,
             seeds,
             budget: self.pipeline.budget,
             metrics: self.pipeline.metrics.clone(),

@@ -8,8 +8,8 @@
 //! produces *a* report.
 
 use crate::budget::{BudgetClock, RunBudget};
-use crate::detect::{detect_groups, Seeds};
-use crate::extract::SquareStrategy;
+use crate::detect::{detect_groups_with, Seeds};
+use crate::extract::{FixpointMode, SquareStrategy};
 use crate::identify::rank_output;
 use crate::naive::{naive_detect, NaiveParams};
 use crate::params::RicdParams;
@@ -57,6 +57,8 @@ pub struct RicdPipeline {
     pub pool: WorkerPool,
     /// SquarePruning execution strategy.
     pub strategy: SquareStrategy,
+    /// Extraction fixpoint mode (delta-driven by default).
+    pub mode: FixpointMode,
     /// Optional known-abnormal seeds.
     pub seeds: Seeds,
     /// Resource bounds; unbounded by default.
@@ -76,6 +78,7 @@ impl RicdPipeline {
             params,
             pool: WorkerPool::default_for_host(),
             strategy: SquareStrategy::Parallel,
+            mode: FixpointMode::default(),
             seeds: Seeds::none(),
             budget: RunBudget::none(),
             metrics: MetricsRegistry::new(),
@@ -91,6 +94,13 @@ impl RicdPipeline {
     /// Overrides the SquarePruning strategy.
     pub fn with_strategy(mut self, strategy: SquareStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the extraction fixpoint mode (e.g.
+    /// [`FixpointMode::FullRescan`] for differential runs and ablations).
+    pub fn with_fixpoint_mode(mut self, mode: FixpointMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -154,7 +164,15 @@ impl RicdPipeline {
         let detected = match catch_phase(|| {
             let _span = root.child("detect");
             timings.time("detect", || {
-                detect_groups(g, &self.seeds, params, &pool, self.strategy)
+                detect_groups_with(
+                    g,
+                    &self.seeds,
+                    params,
+                    &pool,
+                    self.strategy,
+                    self.mode,
+                    Some(&self.metrics),
+                )
             })
         }) {
             Ok(d) => d,
@@ -188,6 +206,16 @@ impl RicdPipeline {
             "extract.square_removed_items",
             detected.stats.square_removed_items as u64,
         );
+        self.metrics
+            .inc_by("extract.dirty_users", detected.stats.dirty_users as u64);
+        self.metrics
+            .inc_by("extract.dirty_items", detected.stats.dirty_items as u64);
+        self.metrics.inc_by(
+            "extract.skipped",
+            (detected.stats.skipped_users + detected.stats.skipped_items) as u64,
+        );
+        self.metrics
+            .inc_by("extract.compactions", detected.stats.compactions as u64);
         self.metrics
             .inc_by("pipeline.groups_detected", detected.groups.len() as u64);
         if clock.deadline_exceeded() {
@@ -613,6 +641,43 @@ mod tests {
         assert!(snap.counter("extract.rounds").unwrap() >= 1);
         assert!(snap.counter("pool.partitions_started").unwrap() > 0);
         assert!(snap.events.is_empty(), "complete run emits no events");
+    }
+
+    #[test]
+    fn delta_fixpoint_counters_land_in_snapshot() {
+        let registry = MetricsRegistry::new();
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_metrics(registry.clone())
+            .run(&scenario());
+        assert_eq!(r.status, RunStatus::Complete);
+        let snap = registry.snapshot();
+        // The delta counters are always registered; non-zero only when the
+        // fixpoint needs more than the seeding round.
+        for name in [
+            "extract.dirty_users",
+            "extract.dirty_items",
+            "extract.skipped",
+            "extract.compactions",
+        ] {
+            assert!(snap.counter(name).is_some(), "missing {name}");
+        }
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "extract.round_nanos")
+            .expect("per-round extraction timings recorded");
+        assert_eq!(h.count, snap.counter("extract.rounds").unwrap());
+    }
+
+    #[test]
+    fn fixpoint_modes_agree_end_to_end() {
+        let g = scenario();
+        let delta = RicdPipeline::new(RicdParams::default()).run(&g);
+        let full = RicdPipeline::new(RicdParams::default())
+            .with_fixpoint_mode(FixpointMode::FullRescan)
+            .run(&g);
+        assert_eq!(delta.groups, full.groups);
+        assert_eq!(delta.ranked_users, full.ranked_users);
     }
 
     #[test]

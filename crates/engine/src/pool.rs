@@ -5,6 +5,7 @@ use crate::partition::partition_ranges;
 use ricd_obs::{Counter, Histogram, MetricsRegistry};
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Attempts made per partition before a round is declared failed: the
 /// initial parallel run, one parallel retry on a fresh thread, and a final
@@ -14,6 +15,13 @@ pub const MAX_PARTITION_ATTEMPTS: usize = 3;
 /// Runs a closure with panics contained, stringifying the payload.
 fn call_caught<T>(f: impl FnOnce() -> T) -> Result<T, String> {
     catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(p.as_ref()))
+}
+
+/// Deterministic chunk size for worklist scheduling: small enough that a
+/// Zipf-skewed head cannot serialize the round behind one chunk, large
+/// enough to amortize cursor contention and per-chunk bookkeeping.
+fn worklist_chunk_size(len: usize, workers: usize) -> usize {
+    (len / (workers * 16)).clamp(64, 8192)
 }
 
 fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
@@ -251,6 +259,215 @@ impl WorkerPool {
                         partition,
                         attempts: MAX_PARTITION_ATTEMPTS,
                         message,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs `f` over a sparse worklist with dynamic (work-stealing-style)
+    /// chunk scheduling, returning per-chunk results in chunk order.
+    ///
+    /// Delegates to [`try_run_worklist`](Self::try_run_worklist); a chunk
+    /// that keeps panicking after the retry budget re-raises the failure
+    /// here as a panic carrying the [`EngineError`] description.
+    pub fn run_worklist<S, T, I, F>(&self, worklist: &[u32], init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &[u32]) -> T + Sync,
+    {
+        self.try_run_worklist(worklist, init, f)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolated dynamic scheduling over a sparse `&[u32]` worklist.
+    ///
+    /// Unlike [`try_run_partitioned`](Self::try_run_partitioned), which
+    /// splits a dense index range into `workers` even slices, this cuts the
+    /// worklist into many small chunks and lets workers claim them through an
+    /// atomic cursor. With Zipf-skewed degrees an even split piles the
+    /// expensive head vertices into one slice and the round waits on it;
+    /// small claimed-on-demand chunks keep every worker busy until the list
+    /// drains.
+    ///
+    /// `init` builds a per-worker scratch state, created lazily on a
+    /// worker's first claimed chunk and reused across all its chunks, so an
+    /// `O(V)` scratch is paid once per worker rather than once per chunk.
+    /// `f(&mut state, chunk)` processes one chunk of worklist entries.
+    ///
+    /// The PR 1 fault contract carries over: a panicking chunk does not
+    /// abort the round; it is retried on a fresh thread with fresh state
+    /// (the panic may have left the shared scratch inconsistent), then once
+    /// more sequentially inline ([`MAX_PARTITION_ATTEMPTS`] total attempts).
+    /// Chunks double as partitions for the `pool.*` metric family.
+    pub fn try_run_worklist<S, T, I, F>(
+        &self,
+        worklist: &[u32],
+        init: I,
+        f: F,
+    ) -> Result<Vec<T>, EngineError>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &[u32]) -> T + Sync,
+    {
+        if worklist.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk = worklist_chunk_size(worklist.len(), self.workers);
+        let num_chunks = worklist.len().div_ceil(chunk);
+        let metrics = self.metrics.as_ref();
+        let f = &f;
+        let init = &init;
+        let chunk_slice = move |i: usize| -> &[u32] {
+            &worklist[i * chunk..((i + 1) * chunk).min(worklist.len())]
+        };
+        // One timed, panic-contained chunk execution (initial or retry).
+        let run_one = |state: &mut S, i: usize| -> Result<T, String> {
+            match metrics {
+                Some(m) => {
+                    let clock = m.registry.clock();
+                    let started = clock.now();
+                    let res = call_caught(|| f(state, chunk_slice(i)));
+                    m.partition_nanos
+                        .observe_duration(clock.now().saturating_sub(started));
+                    res
+                }
+                None => call_caught(|| f(state, chunk_slice(i))),
+            }
+        };
+        let run_one = &run_one;
+        let mut slots: Vec<Option<Result<T, String>>> = (0..num_chunks).map(|_| None).collect();
+        if self.workers == 1 || num_chunks == 1 {
+            let mut state = init();
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let res = run_one(&mut state, i);
+                if res.is_err() {
+                    // The panic may have left the scratch inconsistent.
+                    state = init();
+                }
+                *slot = Some(res);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let threads = self.workers.min(num_chunks);
+            let per_worker: Vec<Vec<(usize, Result<T, String>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        s.spawn(move || {
+                            let mut done = Vec::new();
+                            let mut state: Option<S> = None;
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= num_chunks {
+                                    break;
+                                }
+                                let st = state.get_or_insert_with(init);
+                                let res = run_one(st, i);
+                                if res.is_err() {
+                                    state = None;
+                                }
+                                done.push((i, res));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles.into_iter().filter_map(|h| h.join().ok()).collect()
+            });
+            for (i, res) in per_worker.into_iter().flatten() {
+                slots[i] = Some(res);
+            }
+            // Chunks claimed by a worker whose thread died outright (run_one
+            // contains closure panics, so this is allocation-failure
+            // territory) surface as unfilled slots; fold them into the retry
+            // path like any other failure.
+            for slot in slots.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(Err("worker thread lost before reporting".to_string()));
+                }
+            }
+        }
+        if let Some(m) = metrics {
+            m.partitions_started.add(num_chunks as u64);
+            m.panics_caught
+                .add(slots.iter().filter(|s| matches!(s, Some(Err(_)))).count() as u64);
+        }
+        for attempt in 1..MAX_PARTITION_ATTEMPTS {
+            let failed: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| matches!(s, Some(Err(_)) | None).then_some(i))
+                .collect();
+            if failed.is_empty() {
+                break;
+            }
+            if let Some(m) = metrics {
+                m.retries.add(failed.len() as u64);
+            }
+            if attempt + 1 == MAX_PARTITION_ATTEMPTS {
+                // Final attempt: sequentially on the calling thread with
+                // fresh state, so a fault tied to worker-thread state or a
+                // poisoned scratch cannot recur.
+                if let Some(m) = metrics {
+                    m.fallback_sequential.add(failed.len() as u64);
+                }
+                for i in failed {
+                    let mut state = init();
+                    slots[i] = Some(run_one(&mut state, i));
+                }
+            } else {
+                let retried: Vec<(usize, Result<T, String>)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = failed
+                        .into_iter()
+                        .map(|i| {
+                            (
+                                i,
+                                s.spawn(move || {
+                                    let mut state = init();
+                                    run_one(&mut state, i)
+                                }),
+                            )
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| {
+                            (
+                                i,
+                                h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref()))),
+                            )
+                        })
+                        .collect()
+                });
+                for (i, res) in retried {
+                    slots[i] = Some(res);
+                }
+            }
+        }
+        if let Some(m) = metrics {
+            m.partitions_failed
+                .add(slots.iter().filter(|s| !matches!(s, Some(Ok(_)))).count() as u64);
+        }
+        let mut out = Vec::with_capacity(slots.len());
+        for (partition, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(t)) => out.push(t),
+                Some(Err(message)) => {
+                    return Err(EngineError::PartitionPanicked {
+                        partition,
+                        attempts: MAX_PARTITION_ATTEMPTS,
+                        message,
+                    })
+                }
+                None => {
+                    return Err(EngineError::PartitionPanicked {
+                        partition,
+                        attempts: MAX_PARTITION_ATTEMPTS,
+                        message: "worker thread lost before reporting".to_string(),
                     })
                 }
             }
@@ -607,6 +824,137 @@ mod tests {
         let snap = registry.snapshot();
         assert!(snap.counters.is_empty());
         assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn worklist_visits_every_entry_once_in_order() {
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let list: Vec<u32> = (0..5000).map(|i| i * 3).collect();
+            let chunks = pool.run_worklist(&list, || (), |_, c| c.to_vec());
+            let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, list, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worklist_empty_is_noop() {
+        let pool = WorkerPool::new(4);
+        let got: Vec<u64> = pool.run_worklist(&[], || (), |_, c| c.len() as u64);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn worklist_state_reused_across_chunks() {
+        let pool = WorkerPool::new(4);
+        let list: Vec<u32> = (0..10_000).collect();
+        let inits = AtomicUsize::new(0);
+        let chunks = pool.run_worklist(
+            &list,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |calls, c| {
+                *calls += 1;
+                c.len()
+            },
+        );
+        assert!(chunks.len() > 4, "should produce many small chunks");
+        assert_eq!(chunks.iter().sum::<usize>(), list.len());
+        let inits = inits.load(Ordering::SeqCst);
+        assert!(
+            inits <= 4,
+            "at most one state per worker, got {inits} for {} chunks",
+            chunks.len()
+        );
+    }
+
+    #[test]
+    fn worklist_transient_panic_recovers_with_fresh_state() {
+        let pool = WorkerPool::new(4);
+        let list: Vec<u32> = (0..2000).collect();
+        let blown = AtomicUsize::new(0);
+        let got = pool
+            .try_run_worklist(
+                &list,
+                || 0u32,
+                |_, c| {
+                    if c.contains(&100) && blown.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("injected transient fault");
+                    }
+                    c.iter().map(|&x| x as u64).sum::<u64>()
+                },
+            )
+            .expect("transient fault must be absorbed");
+        assert_eq!(
+            got.iter().sum::<u64>(),
+            list.iter().map(|&x| x as u64).sum::<u64>()
+        );
+        assert_eq!(blown.load(Ordering::SeqCst), 2, "one fault + one retry");
+    }
+
+    #[test]
+    fn worklist_persistent_panic_yields_typed_error() {
+        let pool = WorkerPool::new(4);
+        let list: Vec<u32> = (0..2000).collect();
+        let err = pool
+            .try_run_worklist(
+                &list,
+                || (),
+                |_, c: &[u32]| {
+                    if c.contains(&0) {
+                        panic!("deterministic worklist bug");
+                    }
+                    c.len()
+                },
+            )
+            .unwrap_err();
+        match err {
+            crate::EngineError::PartitionPanicked {
+                partition,
+                attempts,
+                message,
+            } => {
+                assert_eq!(partition, 0, "entry 0 lives in chunk 0");
+                assert_eq!(attempts, MAX_PARTITION_ATTEMPTS);
+                assert!(message.contains("deterministic worklist bug"), "{message}");
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_metrics_count_chunks_as_partitions() {
+        let registry = ricd_obs::MetricsRegistry::new();
+        let pool = WorkerPool::new(4).with_metrics(&registry);
+        let list: Vec<u32> = (0..10_000).collect();
+        let chunks = pool.run_worklist(&list, || (), |_, c| c.len());
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("pool.partitions_started"),
+            Some(chunks.len() as u64)
+        );
+        assert_eq!(snap.counter("pool.panics_caught"), Some(0));
+        assert_eq!(snap.counter("pool.partitions_failed"), Some(0));
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "pool.partition_nanos")
+            .expect("partition histogram registered");
+        assert_eq!(h.count as usize, chunks.len());
+    }
+
+    #[test]
+    fn worklist_chunk_size_bounds() {
+        assert_eq!(worklist_chunk_size(10, 4), 64, "small lists use the floor");
+        assert_eq!(
+            worklist_chunk_size(10_000_000, 4),
+            8192,
+            "capped at ceiling"
+        );
+        let mid = worklist_chunk_size(100_000, 4);
+        assert!((64..=8192).contains(&mid));
+        assert_eq!(mid, 100_000 / 64);
     }
 
     #[test]

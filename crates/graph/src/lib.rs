@@ -40,6 +40,7 @@
 
 pub mod builder;
 pub mod components;
+pub mod frontier;
 pub mod graph;
 pub mod ids;
 pub mod io;
@@ -50,8 +51,9 @@ pub mod view;
 
 pub use builder::GraphBuilder;
 pub use components::{connected_components, Component};
+pub use frontier::FrontierScratch;
 pub use graph::BipartiteGraph;
 pub use ids::{ItemId, NodeId, UserId};
 pub use stats::{ClickDistribution, DatasetScale, SideStats};
 pub use subgraph::InducedSubgraph;
-pub use view::GraphView;
+pub use view::{GraphView, LogMark};

@@ -60,6 +60,19 @@ impl InducedSubgraph {
         }
     }
 
+    /// Rebuilds a dense CSR containing only `view`'s alive vertices.
+    ///
+    /// Mid-fixpoint, once most of a view is dead, every remaining pass still
+    /// walks adjacency lists full of corpses. Compacting to a small remapped
+    /// graph makes later rounds iterate only live edges; `local_user` /
+    /// `local_item` translate worklists in, and `user_map` / `item_map`
+    /// translate removals back out. Because the maps are sorted, local id
+    /// order agrees with parent id order.
+    pub fn compact(view: &crate::view::GraphView<'_>) -> Self {
+        let (users, items) = view.alive_sets();
+        Self::extract(view.graph(), users, items)
+    }
+
     /// Maps a local user id back to the parent id.
     pub fn parent_user(&self, local: UserId) -> UserId {
         self.user_map[local.index()]
@@ -162,6 +175,28 @@ mod tests {
         let sub = InducedSubgraph::extract(&g, [UserId(0)], [ItemId(0)]);
         // (0,5) excluded
         assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn compact_keeps_only_alive_induced_edges() {
+        let g = sample();
+        let mut view = crate::view::GraphView::full(&g);
+        view.remove_user(UserId(0));
+        view.remove_item(ItemId(9));
+        let sub = InducedSubgraph::compact(&view);
+        // All ids except the removed ones stay (isolated ids included); only
+        // edge (4, 0, 2) survives — (0,*) lost its user, (*,9) its item.
+        assert_eq!(sub.graph.num_users(), g.num_users() - 1);
+        assert_eq!(sub.graph.num_items(), g.num_items() - 1);
+        assert_eq!(sub.graph.num_edges(), 1);
+        let lu = sub.local_user(UserId(4)).unwrap();
+        let li = sub.local_item(ItemId(0)).unwrap();
+        assert_eq!(sub.graph.clicks(lu, li), Some(2));
+        assert_eq!(sub.local_user(UserId(0)), None);
+        assert_eq!(sub.local_item(ItemId(9)), None);
+        // Sorted maps: local order mirrors parent order.
+        assert_eq!(sub.parent_user(lu), UserId(4));
+        assert_eq!(sub.parent_item(li), ItemId(0));
     }
 
     #[test]

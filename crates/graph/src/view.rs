@@ -6,9 +6,26 @@
 //! per-side alive bitmaps plus *live degrees* that are decremented as
 //! neighbors disappear, making a removal `O(degree)` and degree queries
 //! `O(1)`.
+//!
+//! Every removal is also appended to a **removal log** so incremental
+//! consumers (the delta-driven fixpoint in `ricd-core`) can ask "what
+//! disappeared since my last pass?" via [`GraphView::log_mark`] /
+//! [`GraphView::removed_since`] and derive a dirty frontier from the answer
+//! (see the `frontier` module). Restores do **not** rewind the log — it is a
+//! record of removal events, not of the current alive set — so log-driven
+//! consumers must not interleave restores with delta rounds.
 
 use crate::graph::BipartiteGraph;
 use crate::ids::{ItemId, UserId};
+
+/// A position in a view's removal log: everything logged before the mark has
+/// already been observed by the holder. Obtained from [`GraphView::log_mark`]
+/// and consumed by [`GraphView::removed_since`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogMark {
+    users: usize,
+    items: usize,
+}
 
 /// A mutable "what's left" mask over an immutable [`BipartiteGraph`].
 #[derive(Clone, Debug)]
@@ -20,6 +37,8 @@ pub struct GraphView<'g> {
     item_live_degree: Vec<u32>,
     alive_users: usize,
     alive_items: usize,
+    removed_users_log: Vec<UserId>,
+    removed_items_log: Vec<ItemId>,
 }
 
 impl<'g> GraphView<'g> {
@@ -39,11 +58,18 @@ impl<'g> GraphView<'g> {
             item_live_degree,
             alive_users: graph.num_users(),
             alive_items: graph.num_items(),
+            removed_users_log: Vec::new(),
+            removed_items_log: Vec::new(),
         }
     }
 
     /// A view restricted to the given vertex sets (used for seed expansion in
     /// Algorithm 2's `GraphGenerator`). Vertices outside the sets start dead.
+    ///
+    /// Live degrees are recomputed only over the supplied alive sets —
+    /// `O(Σ deg)` over the alive vertices, not `O(V + E)` over the whole
+    /// graph — because Algorithm 2 builds one restricted view *per seed* and
+    /// seed neighborhoods are tiny next to the full click graph.
     pub fn restricted(
         graph: &'g BipartiteGraph,
         users: impl IntoIterator<Item = UserId>,
@@ -57,20 +83,39 @@ impl<'g> GraphView<'g> {
             item_live_degree: vec![0; graph.num_items()],
             alive_users: 0,
             alive_items: 0,
+            removed_users_log: Vec::new(),
+            removed_items_log: Vec::new(),
         };
+        let mut alive_user_list = Vec::new();
         for u in users {
             if !view.user_alive[u.index()] {
                 view.user_alive[u.index()] = true;
                 view.alive_users += 1;
+                alive_user_list.push(u);
             }
         }
+        let mut alive_item_list = Vec::new();
         for v in items {
             if !view.item_alive[v.index()] {
                 view.item_alive[v.index()] = true;
                 view.alive_items += 1;
+                alive_item_list.push(v);
             }
         }
-        view.recompute_live_degrees();
+        for u in alive_user_list {
+            view.user_live_degree[u.index()] = graph
+                .user_adjacency(u)
+                .iter()
+                .filter(|v| view.item_alive[v.index()])
+                .count() as u32;
+        }
+        for v in alive_item_list {
+            view.item_live_degree[v.index()] = graph
+                .item_adjacency(v)
+                .iter()
+                .filter(|u| view.user_alive[u.index()])
+                .count() as u32;
+        }
         view
     }
 
@@ -171,11 +216,37 @@ impl<'g> GraphView<'g> {
             .filter(move |v| self.item_alive[v.index()])
     }
 
+    /// The current position in the removal log. Removals made after this
+    /// call are visible through [`removed_since`](Self::removed_since).
+    #[inline]
+    pub fn log_mark(&self) -> LogMark {
+        LogMark {
+            users: self.removed_users_log.len(),
+            items: self.removed_items_log.len(),
+        }
+    }
+
+    /// The users and items removed since `mark`, in removal order.
+    pub fn removed_since(&self, mark: LogMark) -> (&[UserId], &[ItemId]) {
+        (
+            &self.removed_users_log[mark.users..],
+            &self.removed_items_log[mark.items..],
+        )
+    }
+
+    /// Monotone change counter: the total number of removal events ever
+    /// logged on this view (restores do not decrement it).
+    #[inline]
+    pub fn removal_epoch(&self) -> u64 {
+        (self.removed_users_log.len() + self.removed_items_log.len()) as u64
+    }
+
     /// Removes user `u` and all its incident edges. Idempotent.
     pub fn remove_user(&mut self, u: UserId) {
         if !self.user_alive[u.index()] {
             return;
         }
+        self.removed_users_log.push(u);
         self.user_alive[u.index()] = false;
         self.alive_users -= 1;
         self.user_live_degree[u.index()] = 0;
@@ -191,6 +262,7 @@ impl<'g> GraphView<'g> {
         if !self.item_alive[v.index()] {
             return;
         }
+        self.removed_items_log.push(v);
         self.item_alive[v.index()] = false;
         self.alive_items -= 1;
         self.item_live_degree[v.index()] = 0;
@@ -346,5 +418,46 @@ mod tests {
         let (us, is) = view.alive_sets();
         assert_eq!(us, vec![UserId(0), UserId(2)]);
         assert_eq!(is, vec![ItemId(0), ItemId(1), ItemId(2)]);
+    }
+
+    #[test]
+    fn removal_log_records_each_removal_once() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        assert_eq!(view.removal_epoch(), 0);
+        let mark = view.log_mark();
+        view.remove_user(UserId(1));
+        view.remove_user(UserId(1)); // idempotent: must not double-log
+        view.remove_item(ItemId(2));
+        let (users, items) = view.removed_since(mark);
+        assert_eq!(users, &[UserId(1)]);
+        assert_eq!(items, &[ItemId(2)]);
+        assert_eq!(view.removal_epoch(), 2);
+    }
+
+    #[test]
+    fn log_mark_slices_suffix_only() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(0));
+        let mark = view.log_mark();
+        view.remove_user(UserId(2));
+        view.remove_item(ItemId(0));
+        let (users, items) = view.removed_since(mark);
+        assert_eq!(users, &[UserId(2)]);
+        assert_eq!(items, &[ItemId(0)]);
+    }
+
+    #[test]
+    fn restore_does_not_rewind_log() {
+        let g = grid();
+        let mut view = GraphView::full(&g);
+        let mark = view.log_mark();
+        view.remove_user(UserId(1));
+        view.restore_user(UserId(1));
+        let (users, items) = view.removed_since(mark);
+        assert_eq!(users, &[UserId(1)]);
+        assert!(items.is_empty());
+        assert_eq!(view.removal_epoch(), 1);
     }
 }
