@@ -1,0 +1,250 @@
+//! Load benchmark for the online detection service.
+//!
+//! Starts a loopback `ricd-serve` daemon with a deliberately small ingest
+//! queue, replays a datagen world from one ingester thread (sequence
+//! numbers are a single stream, so exactly one thread owns them) while a
+//! fleet of query threads hammers `QueryRisk`/`Recommend` concurrently,
+//! and writes `BENCH_serve.json` with ingest throughput and query latency
+//! percentiles.
+//!
+//! Two invariants are asserted, matching the serving design:
+//!
+//! * backpressure actually engaged (the rejected counter is > 0 — the
+//!   bounded queue pushed back under load), and
+//! * no accepted batch was dropped (the server's final `next_seq` equals
+//!   the number of accepted batches).
+
+use ricd_core::{RicdParams, RicdPipeline};
+use ricd_datagen::prelude::*;
+use ricd_engine::WorkerPool;
+use ricd_graph::{ItemId, UserId};
+use ricd_serve::{start, Client, IngestOutcome, ServeConfig, ServeState};
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const BATCH_RECORDS: usize = 400;
+const QUERY_THREADS: usize = 4;
+
+#[derive(Serialize)]
+struct Report {
+    world: WorldInfo,
+    config: ConfigInfo,
+    ingest: IngestReport,
+    query: QueryReport,
+    view: ViewReport,
+}
+
+#[derive(Serialize)]
+struct WorldInfo {
+    users: usize,
+    items: usize,
+    edges: usize,
+}
+
+#[derive(Serialize)]
+struct ConfigInfo {
+    queue_capacity: usize,
+    swap_every_batches: usize,
+    batch_records: usize,
+    ingest_threads: usize,
+    query_threads: usize,
+    detection_workers: usize,
+}
+
+#[derive(Serialize)]
+struct IngestReport {
+    batches_accepted: u64,
+    records: usize,
+    backpressure_rejections: u64,
+    wall_ms: f64,
+    records_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct QueryReport {
+    queries: usize,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct ViewReport {
+    epoch: i64,
+    groups: i64,
+    flagged_users: i64,
+    flagged_items: i64,
+}
+
+fn percentile_us(sorted_nanos: &[u64], p: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    sorted_nanos[idx] as f64 / 1e3
+}
+
+fn main() {
+    let ds = generate(
+        &DatasetConfig::tiny(),
+        &AttackConfig {
+            num_groups: 2,
+            ..AttackConfig::default()
+        },
+    )
+    .expect("datagen world");
+    let records: Vec<(UserId, ItemId, u32)> = ds.graph.edges().collect();
+    let num_users = ds.graph.num_users() as u32;
+
+    // A small queue + per-batch detection keeps the worker saturated, so
+    // the bounded queue genuinely pushes back during the replay.
+    let cfg = ServeConfig {
+        queue_capacity: 2,
+        swap_every_batches: 1,
+        ..ServeConfig::default()
+    };
+    let pool = WorkerPool::default_for_host();
+    let detection_workers = pool.workers();
+    let state = ServeState::new(
+        cfg.clone(),
+        RicdPipeline::new(RicdParams::default()).with_pool(pool),
+    );
+    let handle = start(state, "127.0.0.1:0").expect("bind loopback");
+    let addr = handle.addr();
+
+    // Query fleet: each thread owns a connection and times every call.
+    let stop = Arc::new(AtomicBool::new(false));
+    let query_threads: Vec<_> = (0..QUERY_THREADS)
+        .map(|t| {
+            let stop = stop.clone();
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut c = Client::connect(addr).expect("query client connects");
+                let mut latencies = Vec::new();
+                let mut i = t as u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let user = UserId(i % num_users.max(1));
+                    let started = Instant::now();
+                    if i.is_multiple_of(2) {
+                        c.query_risk(vec![user], vec![ItemId(i % 100)])
+                            .expect("risk query under load");
+                    } else {
+                        c.recommend(user, 10).expect("recommend under load");
+                    }
+                    latencies.push(started.elapsed().as_nanos() as u64);
+                    i = i.wrapping_add(7);
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    // Single ingester replaying the world; rejected sends are retried, so
+    // every batch is eventually accepted exactly once.
+    let mut ingester = Client::connect(addr).expect("ingest client connects");
+    let replay_started = Instant::now();
+    let mut rejections = 0u64;
+    let mut accepted = 0u64;
+    for chunk in records.chunks(BATCH_RECORDS) {
+        loop {
+            match ingester
+                .ingest(accepted, chunk.to_vec())
+                .expect("ingest send")
+            {
+                IngestOutcome::Accepted { .. } => {
+                    accepted += 1;
+                    break;
+                }
+                IngestOutcome::Backpressure { .. } => {
+                    rejections += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+    }
+    let ingest_wall = replay_started.elapsed();
+
+    // Let the worker drain, then freeze the fleet and collect latencies.
+    let metrics = loop {
+        let m = ingester.metrics(false).expect("metrics");
+        if m.gauge("serve.ingest_queue_depth") == Some(0)
+            && m.counter("serve.batches") == Some(accepted)
+        {
+            break m;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies: Vec<u64> = query_threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("query thread clean"))
+        .collect();
+    latencies.sort_unstable();
+
+    ingester.shutdown().expect("shutdown");
+    drop(ingester);
+    let final_state = handle.join();
+
+    assert!(
+        rejections > 0,
+        "backpressure never engaged — queue {} too roomy for this replay",
+        cfg.queue_capacity
+    );
+    assert_eq!(
+        final_state.next_seq(),
+        accepted,
+        "accepted batches must all be processed, none dropped"
+    );
+
+    let report = Report {
+        world: WorldInfo {
+            users: ds.graph.num_users(),
+            items: ds.graph.num_items(),
+            edges: ds.graph.num_edges(),
+        },
+        config: ConfigInfo {
+            queue_capacity: cfg.queue_capacity,
+            swap_every_batches: cfg.swap_every_batches,
+            batch_records: BATCH_RECORDS,
+            ingest_threads: 1,
+            query_threads: QUERY_THREADS,
+            detection_workers,
+        },
+        ingest: IngestReport {
+            batches_accepted: accepted,
+            records: records.len(),
+            backpressure_rejections: rejections,
+            wall_ms: ingest_wall.as_secs_f64() * 1e3,
+            records_per_sec: records.len() as f64 / ingest_wall.as_secs_f64(),
+        },
+        query: QueryReport {
+            queries: latencies.len(),
+            p50_us: percentile_us(&latencies, 0.50),
+            p99_us: percentile_us(&latencies, 0.99),
+        },
+        view: ViewReport {
+            epoch: metrics.gauge("serve.epoch").unwrap_or(0),
+            groups: metrics.gauge("serve.view_groups").unwrap_or(0),
+            flagged_users: metrics.gauge("serve.view_flagged_users").unwrap_or(0),
+            flagged_items: metrics.gauge("serve.view_flagged_items").unwrap_or(0),
+        },
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!(
+        "ingested {} records in {:.1}ms ({:.0} records/s, {} rejections); \
+         {} queries, p50 {:.0}us p99 {:.0}us",
+        records.len(),
+        report.ingest.wall_ms,
+        report.ingest.records_per_sec,
+        rejections,
+        report.query.queries,
+        report.query.p50_us,
+        report.query.p99_us
+    );
+    assert!(
+        report.view.groups >= 2,
+        "planted groups must be detected during the replay"
+    );
+}

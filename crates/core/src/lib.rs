@@ -47,6 +47,7 @@ pub mod naive;
 pub mod params;
 pub mod pipeline;
 pub mod result;
+pub mod riskview;
 pub mod screen;
 pub mod thresholds;
 
@@ -54,6 +55,7 @@ pub use budget::{BudgetClock, RunBudget};
 pub use params::{RicdParams, ScreeningMode};
 pub use pipeline::RicdPipeline;
 pub use result::{DetectionResult, RunStatus, SuspiciousGroup};
+pub use riskview::{RiskVerdict, RiskView};
 
 /// Commonly used framework types.
 pub mod prelude {
@@ -64,5 +66,6 @@ pub mod prelude {
     pub use crate::params::{RicdParams, ScreeningMode};
     pub use crate::pipeline::RicdPipeline;
     pub use crate::result::{DetectionResult, RunStatus, SuspiciousGroup};
+    pub use crate::riskview::{RiskVerdict, RiskView};
     pub use crate::thresholds::{derive_t_click, derive_t_hot};
 }

@@ -1,0 +1,179 @@
+//! Property tests for exactly-once group reporting in the streaming
+//! detector: planted campaigns whose clicks accumulate across batches must
+//! be reported exactly once, no matter how the transport mangles delivery
+//! (at-least-once redelivery of any already-ingested batch, arbitrary
+//! arrival order).
+//!
+//! The delivery contract under test (see `ingest_batch`): a batch whose
+//! sequence number is below the next expected one is a redelivery and is
+//! dropped whole; a batch at or above it is ingested and advances the
+//! counter past it. Replayed click records therefore never double-count
+//! toward `T_click`, and a group crossing the threshold is merged into the
+//! running result exactly once.
+
+use proptest::prelude::*;
+use ricd_core::prelude::*;
+use ricd_graph::{ItemId, UserId};
+
+/// Spacing between planted groups' user/item id ranges.
+const GROUP_STRIDE: u32 = 100;
+/// Workers per planted group (≥ k1 = 10 under default params).
+const WORKERS: u32 = 12;
+/// Targets per planted group (≥ k2 = 10 under default params).
+const TARGETS: u32 = 11;
+
+/// A hot item plus light organic noise, as batch 0 of every stream.
+fn background() -> Vec<(UserId, ItemId, u32)> {
+    let mut recs = Vec::new();
+    for u in 10_000..11_200u32 {
+        recs.push((UserId(u), ItemId(0), 1));
+    }
+    for u in 0..100u32 {
+        recs.push((UserId(5_000 + u), ItemId(1_000 + u % 30), 2));
+    }
+    recs
+}
+
+/// The planted world as a batch stream: background first, then each
+/// group's target clicks arriving in three slices of 5 (crossing
+/// `T_click = 12` only in the third slice, so every group's detection
+/// straddles batch boundaries — the case replays could double-count).
+fn planted_batches(num_groups: u32) -> Vec<Vec<(UserId, ItemId, u32)>> {
+    let mut batches = vec![background()];
+    for g in 0..num_groups {
+        let (u0, v0) = (g * GROUP_STRIDE, 1 + g * GROUP_STRIDE);
+        let mut slices = vec![Vec::new(), Vec::new(), Vec::new()];
+        for u in u0..u0 + WORKERS {
+            for v in v0..v0 + TARGETS {
+                for slice in &mut slices {
+                    slice.push((UserId(u), ItemId(v), 5));
+                }
+            }
+            slices[0].push((UserId(u), ItemId(0), 1));
+        }
+        batches.extend(slices);
+    }
+    batches
+}
+
+fn detector() -> StreamingDetector {
+    StreamingDetector::new(RicdPipeline::new(RicdParams::default()))
+}
+
+/// Asserts every reported group has a user set distinct from all others —
+/// the "reported exactly once" half of the dedup contract.
+fn assert_no_duplicate_groups(d: &StreamingDetector) -> Result<(), TestCaseError> {
+    let groups = d.groups();
+    for (i, a) in groups.iter().enumerate() {
+        for b in &groups[i + 1..] {
+            prop_assert!(
+                a.users != b.users,
+                "the same user set was reported as two groups"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Redelivering already-ingested batches at arbitrary points in the
+    /// stream changes nothing: the final groups match a clean exactly-once
+    /// run, each group is reported once, and the per-batch `new_groups`
+    /// counters sum to the group count (no group is announced twice).
+    #[test]
+    fn groups_survive_interleaved_replays_exactly_once(
+        num_groups in 1u32..=3,
+        // For each in-order delivery position, how many replays to inject
+        // right after it and (as a fraction) which earlier batch to replay.
+        replays in proptest::collection::vec((0usize..3, 0.0f64..1.0), 12),
+    ) {
+        let batches = planted_batches(num_groups);
+
+        let mut clean = detector();
+        let mut clean_new_groups = 0;
+        for (seq, b) in batches.iter().enumerate() {
+            clean_new_groups += clean.ingest_batch(seq as u64, b).new_groups;
+        }
+        prop_assert_eq!(
+            clean.groups().len(),
+            num_groups as usize,
+            "every planted campaign is detected on the clean stream"
+        );
+        prop_assert_eq!(clean_new_groups, clean.groups().len());
+
+        let mut faulty = detector();
+        let mut faulty_new_groups = 0;
+        for (seq, b) in batches.iter().enumerate() {
+            faulty_new_groups += faulty.ingest_batch(seq as u64, b).new_groups;
+            let (count, frac) = replays[seq % replays.len()];
+            for _ in 0..count {
+                let replay_seq = ((seq as f64) * frac) as usize;
+                let stats = faulty.ingest_batch(replay_seq as u64, &batches[replay_seq]);
+                prop_assert!(stats.replayed, "an old sequence number must be dropped");
+                prop_assert_eq!(stats.new_groups, 0);
+            }
+        }
+
+        prop_assert_eq!(clean.groups(), faulty.groups());
+        prop_assert_eq!(faulty_new_groups, faulty.groups().len());
+        prop_assert_eq!(clean.graph().total_clicks(), faulty.graph().total_clicks());
+        assert_no_duplicate_groups(&faulty)?;
+    }
+
+    /// Arbitrary arrival order: batches delivered in a shuffled order keep
+    /// their original sequence numbers, so the detector accepts exactly
+    /// those arriving at-or-past its counter and drops the rest as
+    /// redeliveries. The result must equal a clean run over just the
+    /// accepted batches, with every group reported exactly once.
+    #[test]
+    fn out_of_order_delivery_reports_accepted_groups_once(
+        num_groups in 1u32..=2,
+        order in (0u64..u64::MAX).prop_map(|seed| {
+            use rand::Rng;
+            let mut rng = proptest::rng_from_seed(seed);
+            let mut idx: Vec<usize> = (0..7).collect();
+            for i in (1..idx.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                idx.swap(i, j);
+            }
+            idx
+        }),
+    ) {
+        let batches = planted_batches(num_groups);
+        let order: Vec<usize> = order.into_iter().filter(|&i| i < batches.len()).collect();
+
+        let mut shuffled = detector();
+        let mut accepted = Vec::new();
+        let mut expected_next = 0u64;
+        let mut announced = 0;
+        for &i in &order {
+            let stats = shuffled.ingest_batch(i as u64, &batches[i]);
+            announced += stats.new_groups;
+            if (i as u64) < expected_next {
+                prop_assert!(stats.replayed, "below-counter batches are dropped");
+            } else {
+                prop_assert!(!stats.replayed);
+                accepted.push(i);
+                expected_next = i as u64 + 1;
+            }
+        }
+        prop_assert_eq!(shuffled.next_seq(), expected_next);
+
+        // Reference: the accepted batches alone, delivered exactly once in
+        // the same arrival order.
+        let mut reference = detector();
+        for (seq, &i) in accepted.iter().enumerate() {
+            reference.ingest_batch(seq as u64, &batches[i]);
+        }
+
+        prop_assert_eq!(shuffled.groups(), reference.groups());
+        prop_assert_eq!(announced, shuffled.groups().len());
+        prop_assert_eq!(
+            shuffled.graph().total_clicks(),
+            reference.graph().total_clicks()
+        );
+        assert_no_duplicate_groups(&shuffled)?;
+    }
+}

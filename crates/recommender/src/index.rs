@@ -1,7 +1,7 @@
 //! The item-to-item co-click index.
 
 use ricd_engine::WorkerPool;
-use ricd_graph::{BipartiteGraph, ItemId};
+use ricd_graph::{BipartiteGraph, ItemId, UserId};
 use serde::{Deserialize, Serialize};
 
 /// A truncated I2I index: for every anchor item, the top-N related items by
@@ -21,7 +21,26 @@ impl I2iIndex {
     /// Builds the index with `n_per_item` entries per anchor.
     pub fn build(g: &BipartiteGraph, n_per_item: usize, pool: &WorkerPool) -> Self {
         let lists = pool.map_vertices(g.num_items(), |anchor| {
-            build_list(g, ItemId(anchor as u32), n_per_item)
+            build_list(g, ItemId(anchor as u32), n_per_item, &[])
+        });
+        Self { lists }
+    }
+
+    /// Builds the **cleaned** index: wedges through `excluded_users` (a
+    /// sorted slice, typically a detection result's suspicious users) are
+    /// skipped, so the co-clicks crowd workers forged never enter any
+    /// anchor's list. This is the serving path that subtracts a detected
+    /// attack from the recommender — the targets fall back to whatever
+    /// organic co-click support they actually have.
+    pub fn build_cleaned(
+        g: &BipartiteGraph,
+        n_per_item: usize,
+        pool: &WorkerPool,
+        excluded_users: &[UserId],
+    ) -> Self {
+        debug_assert!(excluded_users.windows(2).all(|w| w[0] <= w[1]));
+        let lists = pool.map_vertices(g.num_items(), |anchor| {
+            build_list(g, ItemId(anchor as u32), n_per_item, excluded_users)
         });
         Self { lists }
     }
@@ -57,10 +76,18 @@ impl I2iIndex {
     }
 }
 
-fn build_list(g: &BipartiteGraph, anchor: ItemId, n: usize) -> Vec<(ItemId, f32)> {
+fn build_list(
+    g: &BipartiteGraph,
+    anchor: ItemId,
+    n: usize,
+    excluded_users: &[UserId],
+) -> Vec<(ItemId, f32)> {
     // Wedge accumulation of co-click counts.
     let mut counts: std::collections::HashMap<ItemId, u64> = std::collections::HashMap::new();
     for (u, _) in g.item_neighbors(anchor) {
+        if excluded_users.binary_search(&u).is_ok() {
+            continue;
+        }
         for (v, c) in g.user_neighbors(u) {
             if v != anchor {
                 *counts.entry(v).or_default() += c as u64;
@@ -141,6 +168,40 @@ mod tests {
         for (a, b) in ours.iter().zip(&reference) {
             assert_eq!(a.0, b.0);
             assert!((a.1 as f64 - b.1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cleaned_index_drops_forged_wedges() {
+        // Organic co-click i0↔i1; workers u10/u11 forge i0↔i99.
+        let mut b = GraphBuilder::new();
+        b.add_click(UserId(0), ItemId(0), 1);
+        b.add_click(UserId(0), ItemId(1), 3);
+        for w in 10..12u32 {
+            b.add_click(UserId(w), ItemId(0), 1);
+            b.add_click(UserId(w), ItemId(99), 14);
+        }
+        let g = b.build();
+        let pool = WorkerPool::new(2);
+        let dirty = I2iIndex::build(&g, 10, &pool);
+        assert!(dirty.rank(ItemId(0), ItemId(99)).is_some(), "attack landed");
+        let cleaned = I2iIndex::build_cleaned(&g, 10, &pool, &[UserId(10), UserId(11)]);
+        assert!(cleaned.rank(ItemId(0), ItemId(99)).is_none(), "subtracted");
+        assert_eq!(
+            cleaned.rank(ItemId(0), ItemId(1)),
+            Some(1),
+            "organic support survives the cleaning"
+        );
+    }
+
+    #[test]
+    fn cleaned_with_no_exclusions_matches_dirty() {
+        let g = toy();
+        let pool = WorkerPool::new(2);
+        let a = I2iIndex::build(&g, 10, &pool);
+        let b = I2iIndex::build_cleaned(&g, 10, &pool, &[]);
+        for v in 0..g.num_items() as u32 {
+            assert_eq!(a.related(ItemId(v)), b.related(ItemId(v)));
         }
     }
 

@@ -26,4 +26,4 @@ pub mod recommend;
 
 pub use exposure::{attack_impact, exposed_users, AttackImpact};
 pub use index::I2iIndex;
-pub use recommend::Recommender;
+pub use recommend::{recommend_with, Recommender};

@@ -27,26 +27,39 @@ impl<'g> Recommender<'g> {
     /// clicked items are excluded (you don't recommend what the user
     /// already saw).
     pub fn recommend(&self, user: UserId, n: usize) -> Vec<(ItemId, f32)> {
-        let mut scores: std::collections::HashMap<ItemId, f32> = std::collections::HashMap::new();
-        for (anchor, clicks) in self.graph.user_neighbors(user) {
-            for &(related, s) in self.index.related(anchor) {
-                *scores.entry(related).or_default() += s * clicks as f32;
-            }
-        }
-        // Exclude the user's own click history.
-        for v in self.graph.user_adjacency(user) {
-            scores.remove(v);
-        }
-        let mut out: Vec<(ItemId, f32)> = scores.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        out.truncate(n);
-        out
+        recommend_with(self.graph, &self.index, user, n)
     }
 
     /// Whether `item` appears in `user`'s top-`n` recommendations.
     pub fn would_see(&self, user: UserId, item: ItemId, n: usize) -> bool {
         self.recommend(user, n).iter().any(|&(v, _)| v == item)
     }
+}
+
+/// The borrowed serving path behind [`Recommender::recommend`]: assembles
+/// `user`'s top-`n` list from a shared graph and index without taking
+/// ownership of either, so a server can answer many concurrent queries from
+/// one immutable snapshot.
+pub fn recommend_with(
+    graph: &BipartiteGraph,
+    index: &I2iIndex,
+    user: UserId,
+    n: usize,
+) -> Vec<(ItemId, f32)> {
+    let mut scores: std::collections::HashMap<ItemId, f32> = std::collections::HashMap::new();
+    for (anchor, clicks) in graph.user_neighbors(user) {
+        for &(related, s) in index.related(anchor) {
+            *scores.entry(related).or_default() += s * clicks as f32;
+        }
+    }
+    // Exclude the user's own click history.
+    for v in graph.user_adjacency(user) {
+        scores.remove(v);
+    }
+    let mut out: Vec<(ItemId, f32)> = scores.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out.truncate(n);
+    out
 }
 
 #[cfg(test)]

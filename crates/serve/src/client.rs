@@ -1,0 +1,180 @@
+//! A blocking client for the serve wire protocol.
+//!
+//! One request/response pair per call on a single persistent connection.
+//! The typed helpers ([`query_risk`](Client::query_risk),
+//! [`checkpoint`](Client::checkpoint), …) unwrap the matching response
+//! variant and surface anything else — including a server-side
+//! [`Error`](Response::Error) frame — as a [`WireError`], so callers that
+//! only care about the happy path stay one-liners. Backpressure is the one
+//! deliberate exception: [`ingest`](Client::ingest) returns the
+//! [`IngestOutcome`] so the caller decides its own retry policy, and
+//! [`ingest_blocking`](Client::ingest_blocking) packages the obvious one
+//! (bounded exponential backoff).
+
+use crate::wire::{read_frame, write_frame, Request, Response, WireError};
+use ricd_core::incremental::Checkpoint;
+use ricd_core::riskview::RiskVerdict;
+use ricd_graph::{ItemId, UserId};
+use ricd_obs::MetricsSnapshot;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// How one [`Client::ingest`] call was answered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The batch is in the server's queue.
+    Accepted {
+        /// Records queued.
+        records: usize,
+    },
+    /// Backpressure: the queue was full, the batch was **not** taken, and
+    /// the caller owns the retry.
+    Backpressure {
+        /// The server's queue capacity, for pacing.
+        queue_capacity: usize,
+    },
+}
+
+/// Risk verdicts for one [`Client::query_risk`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RiskReport {
+    /// The answering view's epoch (0 = nothing detected/published yet).
+    pub epoch: u64,
+    /// Per-user verdicts, in request order.
+    pub users: Vec<(UserId, RiskVerdict)>,
+    /// Per-item verdicts, in request order.
+    pub items: Vec<(ItemId, RiskVerdict)>,
+    /// Detected groups in the view.
+    pub groups: usize,
+}
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, req)?;
+        read_frame(&mut self.stream)
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        pick: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, WireError> {
+        match self.request(req)? {
+            Response::Error { message } => Err(WireError::Malformed(format!("server: {message}"))),
+            resp => pick(resp)
+                .map_err(|other| WireError::Malformed(format!("unexpected response: {other:?}"))),
+        }
+    }
+
+    /// Submits one batch; see [`IngestOutcome`] for the backpressure
+    /// contract.
+    pub fn ingest(
+        &mut self,
+        seq: u64,
+        records: Vec<(UserId, ItemId, u32)>,
+    ) -> Result<IngestOutcome, WireError> {
+        self.expect(&Request::Ingest { seq, records }, |resp| match resp {
+            Response::Ingested { records, .. } => Ok(IngestOutcome::Accepted { records }),
+            Response::Rejected { queue_capacity, .. } => {
+                Ok(IngestOutcome::Backpressure { queue_capacity })
+            }
+            other => Err(other),
+        })
+    }
+
+    /// Submits one batch, retrying rejected sends with bounded exponential
+    /// backoff (1 ms doubling to 64 ms) until accepted. Returns how many
+    /// times backpressure pushed back.
+    pub fn ingest_blocking(
+        &mut self,
+        seq: u64,
+        records: &[(UserId, ItemId, u32)],
+    ) -> Result<u64, WireError> {
+        let mut backoff = Duration::from_millis(1);
+        let mut rejections = 0;
+        loop {
+            match self.ingest(seq, records.to_vec())? {
+                IngestOutcome::Accepted { .. } => return Ok(rejections),
+                IngestOutcome::Backpressure { .. } => {
+                    rejections += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(64));
+                }
+            }
+        }
+    }
+
+    /// Risk verdicts for `users` and `items` against the current view.
+    pub fn query_risk(
+        &mut self,
+        users: Vec<UserId>,
+        items: Vec<ItemId>,
+    ) -> Result<RiskReport, WireError> {
+        self.expect(&Request::QueryRisk { users, items }, |resp| match resp {
+            Response::Risk {
+                epoch,
+                users,
+                items,
+                groups,
+            } => Ok(RiskReport {
+                epoch,
+                users,
+                items,
+                groups,
+            }),
+            other => Err(other),
+        })
+    }
+
+    /// Top-`n` cleaned recommendations for `user`, with the answering
+    /// view's epoch.
+    pub fn recommend(
+        &mut self,
+        user: UserId,
+        n: usize,
+    ) -> Result<(u64, Vec<(ItemId, f32)>), WireError> {
+        self.expect(&Request::Recommend { user, n }, |resp| match resp {
+            Response::Recommendation { epoch, items } => Ok((epoch, items)),
+            other => Err(other),
+        })
+    }
+
+    /// The server's metrics snapshot (`count_only` strips timing fields).
+    pub fn metrics(&mut self, count_only: bool) -> Result<MetricsSnapshot, WireError> {
+        self.expect(&Request::Metrics { count_only }, |resp| match resp {
+            Response::Metrics(m) => Ok(m),
+            other => Err(other),
+        })
+    }
+
+    /// A consistent checkpoint covering every batch accepted before this
+    /// call.
+    pub fn checkpoint(&mut self) -> Result<Checkpoint, WireError> {
+        self.expect(&Request::Checkpoint, |resp| match resp {
+            Response::CheckpointTaken(c) => Ok(c),
+            other => Err(other),
+        })
+    }
+
+    /// Requests a graceful shutdown.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        self.expect(&Request::Shutdown, |resp| match resp {
+            Response::ShuttingDown => Ok(()),
+            other => Err(other),
+        })
+    }
+}

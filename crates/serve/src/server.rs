@@ -1,0 +1,588 @@
+//! The daemon: a TCP accept loop, a bounded pool of connection threads,
+//! and one background detection worker draining the ingest queue.
+//!
+//! Threading model (std only — no async runtime):
+//!
+//! * **One detection worker** owns the [`ServeState`] and is the only
+//!   thread that mutates detector state. It drains a bounded MPSC queue of
+//!   accepted batches, runs seeded incremental detection, and swaps fresh
+//!   [`ServeSnapshot`]s into the shared cell on the configured cadence —
+//!   plus whenever the queue runs dry, so a quiet stream converges.
+//! * **One connection thread per client**, capped at
+//!   [`max_connections`](crate::state::ServeConfig::max_connections);
+//!   excess clients get an error frame and are closed. Connection threads
+//!   never touch the detector: queries read the snapshot cell, ingests
+//!   `try_send` into the queue (a full queue means an explicit
+//!   [`Rejected`](crate::wire::Response::Rejected) reply — backpressure is
+//!   the client's problem by design, the server never buffers unboundedly).
+//! * **Checkpoint requests ride the same queue** as a control message with
+//!   a reply channel, so a checkpoint is serialized after every batch
+//!   accepted before it — the consistency contract a resumed server relies
+//!   on.
+
+use crate::shared::SnapshotCell;
+use crate::state::{ServeMetrics, ServeSnapshot, ServeState};
+use crate::wire::{read_frame, write_frame, Request, Response, WireError};
+use ricd_core::incremental::Checkpoint;
+use ricd_graph::{ItemId, UserId};
+use ricd_obs::MetricsRegistry;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection thread blocks waiting for the next frame before
+/// re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Work items on the ingest queue.
+enum Work {
+    /// An accepted click batch.
+    Batch {
+        seq: u64,
+        records: Vec<(UserId, ItemId, u32)>,
+    },
+    /// Take a checkpoint covering every batch queued before this marker and
+    /// send it back.
+    Checkpoint { reply: SyncSender<Checkpoint> },
+}
+
+/// Everything a connection thread needs, cheaply cloneable.
+#[derive(Clone)]
+struct Shared {
+    snapshot: Arc<SnapshotCell<ServeSnapshot>>,
+    registry: MetricsRegistry,
+    metrics: ServeMetrics,
+    work_tx: SyncSender<Work>,
+    queue_capacity: usize,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and wakes the accept loop (which may be
+    /// parked in `accept()`) with a throwaway self-connection.
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server; call
+/// [`shutdown`](ServerHandle::shutdown) and/or [`join`](ServerHandle::join).
+///
+/// The handle deliberately holds **no** ingest sender — the queue's senders
+/// live only in the accept loop and its connection threads, so once those
+/// finish the worker's receiver disconnects and the drain terminates.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<ServeState>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain the queue.
+    pub fn shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Waits for the accept loop and every connection to finish, then for
+    /// the worker to drain the queue, returning the final [`ServeState`]
+    /// (so the caller can take a last checkpoint or read final metrics).
+    pub fn join(mut self) -> ServeState {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // The accept loop owned the last ingest sender; with it gone the
+        // worker drains whatever is queued and returns the state.
+        self.worker
+            .take()
+            .expect("worker joined twice")
+            .join()
+            .expect("detection worker panicked")
+    }
+}
+
+/// Binds `addr` and starts the daemon: detection worker, accept loop,
+/// connection pool. Returns once the listener is bound (the returned
+/// handle's [`addr`](ServerHandle::addr) is immediately connectable).
+pub fn start(state: ServeState, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let cfg = state.config().clone();
+    let (work_tx, work_rx) = std::sync::mpsc::sync_channel::<Work>(cfg.queue_capacity);
+    let shared = Shared {
+        snapshot: state.shared(),
+        registry: state.registry().clone(),
+        metrics: state.serve_metrics(),
+        work_tx,
+        queue_capacity: cfg.queue_capacity,
+        shutdown: Arc::new(AtomicBool::new(false)),
+        addr,
+    };
+
+    let worker = std::thread::Builder::new()
+        .name("ricd-serve-worker".into())
+        .spawn(move || detection_worker(state, work_rx))?;
+
+    let shutdown = shared.shutdown.clone();
+    let oneshot = cfg.oneshot;
+    let max_connections = cfg.max_connections;
+    let accept = std::thread::Builder::new()
+        .name("ricd-serve-accept".into())
+        .spawn(move || accept_loop(listener, shared, oneshot, max_connections))?;
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        worker: Some(worker),
+    })
+}
+
+/// The detection worker: drains the queue, flushing the view whenever the
+/// queue runs dry so every accepted batch is eventually visible to queries.
+fn detection_worker(mut state: ServeState, rx: Receiver<Work>) -> ServeState {
+    let metrics = state.serve_metrics();
+    let handle = |state: &mut ServeState, work: Work| match work {
+        Work::Batch { seq, records } => {
+            metrics.ingest_queue_depth.add(-1);
+            state.ingest(seq, &records);
+        }
+        Work::Checkpoint { reply } => {
+            let _ = reply.send(state.checkpoint());
+        }
+    };
+    'outer: loop {
+        let work = match rx.recv() {
+            Ok(w) => w,
+            Err(_) => break, // every sender gone: drain complete
+        };
+        handle(&mut state, work);
+        // Opportunistically drain without blocking; swap once dry.
+        loop {
+            match rx.try_recv() {
+                Ok(w) => handle(&mut state, w),
+                Err(TryRecvError::Empty) => {
+                    state.flush();
+                    break;
+                }
+                Err(TryRecvError::Disconnected) => break 'outer,
+            }
+        }
+    }
+    state.flush();
+    state
+}
+
+/// The accept loop. In oneshot mode, serves exactly one connection inline
+/// and returns; otherwise spawns a capped connection thread per client
+/// until shutdown is requested.
+fn accept_loop(listener: TcpListener, shared: Shared, oneshot: bool, max_connections: usize) {
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if oneshot {
+            shared.metrics.connections_accepted.inc();
+            serve_connection(stream, &shared);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        if active.load(Ordering::SeqCst) >= max_connections {
+            shared.metrics.connections_rejected.inc();
+            let mut s = stream;
+            let _ = write_frame(
+                &mut s,
+                &Response::Error {
+                    message: format!("busy: connection limit {max_connections} reached"),
+                },
+            );
+            continue;
+        }
+        shared.metrics.connections_accepted.inc();
+        active.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = shared.clone();
+        let conn_active = active.clone();
+        conn_threads.retain(|h| !h.is_finished());
+        let spawned = std::thread::Builder::new()
+            .name("ricd-serve-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &conn_shared);
+                conn_active.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(h) => conn_threads.push(h),
+            Err(_) => {
+                active.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    for h in conn_threads {
+        let _ = h.join();
+    }
+}
+
+/// Serves one client connection until it closes, errors fatally, or the
+/// server shuts down.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    // Bounded reads so this thread notices a shutdown requested elsewhere
+    // even while its client is idle.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        // Wait for readability without consuming, so a poll timeout never
+        // splits a frame.
+        match stream.peek(&mut [0u8; 1]) {
+            Ok(0) => return, // clean close
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let req: Request = match read_frame(&mut stream) {
+            Ok(r) => r,
+            Err(WireError::Closed) => return,
+            Err(WireError::Malformed(m)) => {
+                // Framing is intact (the payload was fully read), so reject
+                // the frame and keep the connection.
+                shared.metrics.frames_malformed.inc();
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        message: format!("malformed frame: {m}"),
+                    },
+                );
+                continue;
+            }
+            Err(WireError::TooLarge(n)) => {
+                // Cannot resynchronize past an unread over-length payload.
+                shared.metrics.frames_malformed.inc();
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        message: WireError::TooLarge(n).to_string(),
+                    },
+                );
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = handle_request(req, shared);
+        if write_frame(&mut stream, &resp).is_err() {
+            return;
+        }
+        if is_shutdown {
+            return;
+        }
+    }
+}
+
+/// Computes the response for one request.
+fn handle_request(req: Request, shared: &Shared) -> Response {
+    match req {
+        Request::Ingest { seq, records } => {
+            let queued = records.len();
+            match shared.work_tx.try_send(Work::Batch { seq, records }) {
+                Ok(()) => {
+                    shared.metrics.ingest_queue_depth.add(1);
+                    Response::Ingested {
+                        seq,
+                        records: queued,
+                    }
+                }
+                Err(TrySendError::Full(_)) => {
+                    shared.metrics.backpressure_rejected.inc();
+                    Response::Rejected {
+                        seq,
+                        queue_capacity: shared.queue_capacity,
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => Response::Error {
+                    message: "server is draining".into(),
+                },
+            }
+        }
+        Request::QueryRisk { users, items } => {
+            shared.metrics.queries_risk.inc();
+            let snap = shared.snapshot.load();
+            Response::Risk {
+                epoch: snap.view.epoch(),
+                users: users.into_iter().map(|u| (u, snap.view.user(u))).collect(),
+                items: items.into_iter().map(|v| (v, snap.view.item(v))).collect(),
+                groups: snap.view.groups().len(),
+            }
+        }
+        Request::Recommend { user, n } => {
+            shared.metrics.queries_recommend.inc();
+            let snap = shared.snapshot.load();
+            Response::Recommendation {
+                epoch: snap.view.epoch(),
+                items: snap.recommend(user, n),
+            }
+        }
+        Request::Metrics { count_only } => {
+            let snap = shared.registry.snapshot();
+            Response::Metrics(if count_only { snap.count_only() } else { snap })
+        }
+        Request::Checkpoint => {
+            let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+            // Blocking send: waits for queue room, so the marker lands
+            // after every batch accepted before this request.
+            if shared
+                .work_tx
+                .send(Work::Checkpoint { reply: reply_tx })
+                .is_err()
+            {
+                return Response::Error {
+                    message: "server is draining".into(),
+                };
+            }
+            match reply_rx.recv() {
+                Ok(ckpt) => Response::CheckpointTaken(ckpt),
+                Err(_) => Response::Error {
+                    message: "worker exited before the checkpoint completed".into(),
+                },
+            }
+        }
+        Request::Shutdown => {
+            shared.request_shutdown();
+            Response::ShuttingDown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::state::ServeConfig;
+    use ricd_core::{RicdParams, RicdPipeline};
+    use ricd_engine::WorkerPool;
+
+    fn start_server(cfg: ServeConfig) -> ServerHandle {
+        let state = ServeState::new(
+            cfg,
+            RicdPipeline::new(RicdParams::default()).with_pool(WorkerPool::new(2)),
+        );
+        start(state, "127.0.0.1:0").expect("bind loopback")
+    }
+
+    #[test]
+    fn ingest_query_shutdown_round_trip() {
+        let handle = start_server(ServeConfig {
+            swap_every_batches: 1,
+            ..ServeConfig::default()
+        });
+        let mut c = Client::connect(handle.addr()).unwrap();
+        // A small planted attack: 10 workers ride item 0.
+        let mut records = Vec::new();
+        for u in 1000..1600u32 {
+            records.push((UserId(u), ItemId(0), 1));
+        }
+        for u in 0..10u32 {
+            records.push((UserId(u), ItemId(0), 1));
+            for v in 1..10u32 {
+                records.push((UserId(u), ItemId(v), 15));
+            }
+        }
+        match c.request(&Request::Ingest { seq: 0, records }).unwrap() {
+            Response::Ingested { seq: 0, .. } => {}
+            other => panic!("expected Ingested, got {other:?}"),
+        }
+        // The swap is asynchronous; poll until the view flips.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let resp = c
+                .request(&Request::QueryRisk {
+                    users: vec![UserId(3), UserId(1200)],
+                    items: vec![ItemId(5)],
+                })
+                .unwrap();
+            match resp {
+                Response::Risk {
+                    epoch,
+                    users,
+                    items,
+                    ..
+                } if epoch > 0 => {
+                    assert!(users[0].1.flagged, "worker flagged");
+                    assert!(!users[1].1.flagged, "organic user clear");
+                    assert!(items[0].1.flagged, "target flagged");
+                    break;
+                }
+                Response::Risk { .. } => {
+                    assert!(std::time::Instant::now() < deadline, "view never swapped");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                other => panic!("expected Risk, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            c.request(&Request::Shutdown).unwrap(),
+            Response::ShuttingDown
+        ));
+        drop(c);
+        let state = handle.join();
+        assert_eq!(state.next_seq(), 1);
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_is_full_and_drops_nothing() {
+        // Capacity-1 queue + slow worker (big batches) forces rejections.
+        let handle = start_server(ServeConfig {
+            queue_capacity: 1,
+            swap_every_batches: 1,
+            ..ServeConfig::default()
+        });
+        let mut c = Client::connect(handle.addr()).unwrap();
+        let batch: Vec<_> = (0..3000u32)
+            .map(|i| (UserId(i % 500), ItemId(i % 200), 1 + i % 5))
+            .collect();
+        let mut accepted = Vec::new();
+        let mut rejected = 0u32;
+        let mut seq = 0u64;
+        while rejected == 0 || accepted.len() < 3 {
+            match c
+                .request(&Request::Ingest {
+                    seq,
+                    records: batch.clone(),
+                })
+                .unwrap()
+            {
+                Response::Ingested { .. } => {
+                    accepted.push(seq);
+                    seq += 1;
+                }
+                Response::Rejected { queue_capacity, .. } => {
+                    assert_eq!(queue_capacity, 1);
+                    rejected += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            assert!(seq < 500, "backpressure never engaged");
+        }
+        let metrics = match c.request(&Request::Metrics { count_only: true }).unwrap() {
+            Response::Metrics(m) => m,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        assert!(metrics.counter("serve.backpressure_rejected").unwrap() >= u64::from(rejected));
+        c.shutdown().unwrap();
+        drop(c);
+        let state = handle.join();
+        // Every accepted batch was processed: seq advanced exactly past them.
+        assert_eq!(state.next_seq(), accepted.len() as u64);
+    }
+
+    #[test]
+    fn checkpoint_over_the_wire_covers_accepted_batches() {
+        let handle = start_server(ServeConfig::default());
+        let mut c = Client::connect(handle.addr()).unwrap();
+        for seq in 0..3u64 {
+            let records = vec![(UserId(seq as u32), ItemId(0), 2)];
+            assert!(matches!(
+                c.request(&Request::Ingest { seq, records }).unwrap(),
+                Response::Ingested { .. }
+            ));
+        }
+        let ckpt = c.checkpoint().unwrap();
+        assert_eq!(ckpt.next_seq, 3, "checkpoint serialized after batches");
+        c.shutdown().unwrap();
+        drop(c);
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_frame_gets_an_error_and_the_connection_survives() {
+        let handle = start_server(ServeConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let payload = b"{\"definitely\": \"not a request\"}";
+        stream
+            .write_all(&(payload.len() as u32).to_be_bytes())
+            .unwrap();
+        stream.write_all(payload).unwrap();
+        let resp: Response = read_frame(&mut stream).unwrap();
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        // Same connection still serves valid requests.
+        write_frame(&mut stream, &Request::Metrics { count_only: true }).unwrap();
+        let resp: Response = read_frame(&mut stream).unwrap();
+        match resp {
+            Response::Metrics(m) => {
+                assert_eq!(m.counter("serve.frames_malformed"), Some(1));
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        write_frame(&mut stream, &Request::Shutdown).unwrap();
+        let _: Response = read_frame(&mut stream).unwrap();
+        drop(stream);
+        handle.join();
+    }
+
+    #[test]
+    fn oversized_frame_closes_the_connection() {
+        let handle = start_server(ServeConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .write_all(&(crate::wire::MAX_FRAME_LEN + 1).to_be_bytes())
+            .unwrap();
+        let resp: Response = read_frame(&mut stream).unwrap();
+        assert!(matches!(resp, Response::Error { .. }));
+        // Server closed its side; the next read sees EOF.
+        assert!(matches!(
+            read_frame::<Response>(&mut stream),
+            Err(WireError::Closed) | Err(WireError::Io(_))
+        ));
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn connection_cap_rejects_excess_clients_with_busy() {
+        let handle = start_server(ServeConfig {
+            max_connections: 1,
+            ..ServeConfig::default()
+        });
+        let mut first = Client::connect(handle.addr()).unwrap();
+        // Prove the first connection is established server-side.
+        first.metrics(true).unwrap();
+        let mut second = TcpStream::connect(handle.addr()).unwrap();
+        let resp: Response = read_frame(&mut second).unwrap();
+        match resp {
+            Response::Error { message } => assert!(message.contains("busy"), "{message}"),
+            other => panic!("expected busy Error, got {other:?}"),
+        }
+        first.shutdown().unwrap();
+        drop(first);
+        handle.join();
+    }
+
+    use std::io::Write;
+}

@@ -12,10 +12,12 @@
 //! detection reports are JSON.
 
 use fake_click_detection::core::detect::Seeds;
+use fake_click_detection::engine::WorkerPool;
 use fake_click_detection::eval::figures;
 use fake_click_detection::graph::io as graph_io;
-use fake_click_detection::obs::{MetricsRegistry, StderrTraceRecorder};
+use fake_click_detection::obs::{MetricsRegistry, MetricsSnapshot, StderrTraceRecorder};
 use fake_click_detection::prelude::*;
+use fake_click_detection::serve::{Client, ServeConfig, ServeState};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -46,6 +48,8 @@ fn main() -> ExitCode {
         Some("detect") => cmd_detect(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -82,6 +86,20 @@ USAGE:
                   [--lossy] [--metrics-out <m.json>] [--metrics-count-only]
                   [--trace]
     ricd campaign [--days <N>]
+    ricd serve    [--port <N>] [--oneshot] [--resume <ckpt.json>]
+                  [--queue <N>] [--swap-every <N>] [--max-connections <N>]
+                  [--workers <N>] [--checkpoint-out <ckpt.json>]
+                  [--k1 <N>] [--k2 <N>] [--alpha <F>]
+                  [--t-hot <N>] [--t-click <N>]
+                  [--metrics-out <m.json>] [--metrics-count-only]
+    ricd client   <op> --addr <HOST:PORT> ...
+        ingest     --input <clicks.tsv> [--batch <N>] [--start-seq <N>]
+        query      [--user <id>]... [--item <id>]...
+        recommend  --user <id> [--n <N>]
+        metrics    [--count-only] [--filter <PREFIX>] [--output <m.json>]
+        checkpoint --output <ckpt.json>
+        check      --truth <truth.json> [--min-recall <F>]
+        shutdown
 
 Click tables are TSV lines `user<TAB>item<TAB>clicks`.
 
@@ -100,9 +118,18 @@ OBSERVABILITY:
                            counts, so repeat runs are byte-identical
     --trace                stream a human-readable span trace to stderr
 
+SERVING:
+    `ricd serve` runs the online detection daemon on 127.0.0.1 (port 0 =
+    ephemeral; the bound address is printed as `listening on HOST:PORT`).
+    Batches ingest through a bounded queue (--queue), detection reruns
+    every --swap-every batches, and --oneshot serves exactly one client
+    connection then drains and exits. `ricd client` speaks the
+    length-prefixed JSON wire protocol; `client check --truth` exits 1
+    unless every planted worker/target is flagged by the live view.
+
 EXIT CODES:
     0  success (including degraded runs, which warn on stderr)
-    1  runtime failure (I/O, malformed data)
+    1  runtime failure (I/O, malformed data, rejected wire frames)
     2  usage error
 ";
 
@@ -447,6 +474,264 @@ fn cmd_eval(args: &[String]) -> Result<(), CliError> {
     println!("{}", report::format_quality(&outcomes));
     println!("{}", report::format_timing(&outcomes));
     write_snapshot(&registry, metrics_out, count_only)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags(args);
+    let params = ricd_params(&flags)?;
+    let (registry, metrics_out, count_only) = metrics_flags(&flags)?;
+    let mut cfg = ServeConfig::default();
+    if let Some(n) = flags.parse("--queue")? {
+        cfg.queue_capacity = n;
+    }
+    if let Some(n) = flags.parse("--swap-every")? {
+        cfg.swap_every_batches = n;
+    }
+    if let Some(n) = flags.parse("--max-connections")? {
+        cfg.max_connections = n;
+    }
+    cfg.oneshot = flags.has("--oneshot");
+    let port: u16 = flags.parse("--port")?.unwrap_or(0);
+    let pool = match flags.parse("--workers")? {
+        Some(n) => WorkerPool::new(n),
+        None => WorkerPool::default_for_host(),
+    };
+    let pipeline = RicdPipeline::new(params)
+        .with_pool(pool)
+        .with_metrics(registry.clone());
+
+    let state = match flags.get("--resume") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let ckpt: fake_click_detection::core::prelude::Checkpoint =
+                serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("resuming from {path} (next_seq {})", ckpt.next_seq);
+            ServeState::restore(cfg, pipeline, ckpt)
+        }
+        None => ServeState::new(cfg, pipeline),
+    };
+
+    let handle = fake_click_detection::serve::start(state, ("127.0.0.1", port))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    // Scrapeable by scripts and the oneshot tests: the first stdout line is
+    // always the bound address.
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    let state = handle.join();
+    eprintln!(
+        "drained; {} batches ingested (next_seq {})",
+        state.next_seq(),
+        state.next_seq()
+    );
+    if let Some(path) = flags.get("--checkpoint-out") {
+        let json = serde_json::to_string_pretty(&state.checkpoint()).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    write_snapshot(&registry, metrics_out, count_only)
+}
+
+/// Retains only the snapshot entries whose name starts with `prefix`
+/// (events filter on their name field). Used by `client metrics --filter`
+/// so restart comparisons can select the view-derived `serve.view_*`
+/// gauges, which must survive a checkpoint/restore round trip.
+fn filter_snapshot(snap: &mut MetricsSnapshot, prefix: &str) {
+    snap.counters.retain(|(n, _)| n.starts_with(prefix));
+    snap.gauges.retain(|(n, _)| n.starts_with(prefix));
+    snap.histograms.retain(|(n, _)| n.starts_with(prefix));
+    snap.spans.retain(|(n, _)| n.starts_with(prefix));
+    snap.events.retain(|e| e.name.starts_with(prefix));
+}
+
+fn cmd_client(args: &[String]) -> Result<(), CliError> {
+    let Some(op) = args.first().map(String::as_str) else {
+        return Err(CliError::Usage("client requires an operation".into()));
+    };
+    let flags = Flags(&args[1..]);
+    let addr = flags.require("--addr")?;
+    // Validate per-op flags BEFORE connecting: usage errors (exit 2) must
+    // win over connection errors (exit 1).
+    match op {
+        "ingest" | "query" | "recommend" | "metrics" | "checkpoint" | "check" | "shutdown" => {}
+        other => return Err(CliError::Usage(format!("unknown client op `{other}`"))),
+    }
+    let parse_ids = |key: &str| -> Result<Vec<u32>, CliError> {
+        flags
+            .get_all(key)
+            .into_iter()
+            .map(|s| {
+                s.parse()
+                    .map_err(|e| CliError::Usage(format!("bad {key}: {e}")))
+            })
+            .collect()
+    };
+
+    match op {
+        "ingest" => {
+            let input = flags.require("--input")?;
+            let batch_size: usize = flags.parse("--batch")?.unwrap_or(1000).max(1);
+            let start_seq: u64 = flags.parse("--start-seq")?.unwrap_or(0);
+            let g = load_graph(input, flags.has("--lossy"), None)?;
+            let records: Vec<(UserId, ItemId, u32)> = g.edges().collect();
+            let mut c = connect(addr)?;
+            let mut seq = start_seq;
+            let mut rejections = 0;
+            for chunk in records.chunks(batch_size) {
+                rejections += c
+                    .ingest_blocking(seq, chunk)
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                seq += 1;
+            }
+            eprintln!(
+                "ingested {} batches ({} records), {} backpressure rejection(s)",
+                seq - start_seq,
+                records.len(),
+                rejections
+            );
+            Ok(())
+        }
+        "query" => {
+            let users: Vec<UserId> = parse_ids("--user")?.into_iter().map(UserId).collect();
+            let items: Vec<ItemId> = parse_ids("--item")?.into_iter().map(ItemId).collect();
+            let mut c = connect(addr)?;
+            let report = c
+                .query_risk(users, items)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            println!("epoch {} ({} groups)", report.epoch, report.groups);
+            for (u, v) in &report.users {
+                println!(
+                    "user {}: {} score={:.3}{}",
+                    u.0,
+                    if v.flagged { "FLAGGED" } else { "clear" },
+                    v.score,
+                    v.group.map(|g| format!(" group={g}")).unwrap_or_default()
+                );
+            }
+            for (i, v) in &report.items {
+                println!(
+                    "item {}: {} score={:.3}{}",
+                    i.0,
+                    if v.flagged { "FLAGGED" } else { "clear" },
+                    v.score,
+                    v.group.map(|g| format!(" group={g}")).unwrap_or_default()
+                );
+            }
+            Ok(())
+        }
+        "recommend" => {
+            let user = UserId(
+                flags
+                    .parse("--user")?
+                    .ok_or_else(|| CliError::Usage("missing --user".into()))?,
+            );
+            let n: usize = flags.parse("--n")?.unwrap_or(10);
+            let mut c = connect(addr)?;
+            let (epoch, items) = c
+                .recommend(user, n)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            println!("epoch {}", epoch);
+            for (item, score) in items {
+                println!("item {}  score={score:.4}", item.0);
+            }
+            Ok(())
+        }
+        "metrics" => {
+            let mut c = connect(addr)?;
+            let mut snap = c
+                .metrics(flags.has("--count-only"))
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            if let Some(prefix) = flags.get("--filter") {
+                filter_snapshot(&mut snap, prefix);
+            }
+            let json = serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?;
+            match flags.get("--output") {
+                Some(path) => {
+                    std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{json}"),
+            }
+            Ok(())
+        }
+        "checkpoint" => {
+            let output = flags.require("--output")?;
+            let mut c = connect(addr)?;
+            let ckpt = c
+                .checkpoint()
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            let json = serde_json::to_string_pretty(&ckpt).map_err(|e| e.to_string())?;
+            std::fs::write(output, json).map_err(|e| format!("{output}: {e}"))?;
+            eprintln!(
+                "wrote {output} ({} records, {} groups, next_seq {})",
+                ckpt.records.len(),
+                ckpt.groups.len(),
+                ckpt.next_seq
+            );
+            Ok(())
+        }
+        "check" => {
+            let truth_path = flags.require("--truth")?;
+            let min_recall: f64 = flags.parse("--min-recall")?.unwrap_or(1.0);
+            let text =
+                std::fs::read_to_string(truth_path).map_err(|e| format!("{truth_path}: {e}"))?;
+            let truth: fake_click_detection::datagen::GroundTruth =
+                serde_json::from_str(&text).map_err(|e| format!("{truth_path}: {e}"))?;
+            let users = truth.abnormal_users();
+            let items = truth.abnormal_items();
+            let mut c = connect(addr)?;
+            let report = c
+                .query_risk(users.clone(), items.clone())
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            let missed_users: Vec<u32> = report
+                .users
+                .iter()
+                .filter(|(_, v)| !v.flagged)
+                .map(|(u, _)| u.0)
+                .collect();
+            let missed_items: Vec<u32> = report
+                .items
+                .iter()
+                .filter(|(_, v)| !v.flagged)
+                .map(|(i, _)| i.0)
+                .collect();
+            println!(
+                "epoch {}: {}/{} planted workers and {}/{} planted targets flagged",
+                report.epoch,
+                users.len() - missed_users.len(),
+                users.len(),
+                items.len() - missed_items.len(),
+                items.len()
+            );
+            let total = users.len() + items.len();
+            let flagged = total - missed_users.len() - missed_items.len();
+            let recall = if total == 0 {
+                1.0
+            } else {
+                flagged as f64 / total as f64
+            };
+            if recall + 1e-9 >= min_recall {
+                Ok(())
+            } else {
+                Err(CliError::Runtime(format!(
+                    "planted attack under-flagged: recall {recall:.3} < {min_recall:.3} \
+                     (missed users {missed_users:?}, missed items {missed_items:?})"
+                )))
+            }
+        }
+        "shutdown" => {
+            let mut c = connect(addr)?;
+            c.shutdown().map_err(|e| CliError::Runtime(e.to_string()))?;
+            eprintln!("server is draining");
+            Ok(())
+        }
+        _ => unreachable!("validated above"),
+    }
+}
+
+/// Connects to a serve daemon (runtime error — exit 1 — on refusal).
+fn connect(addr: &str) -> Result<Client, CliError> {
+    Client::connect(addr).map_err(|e| CliError::Runtime(format!("{addr}: {e}")))
 }
 
 fn cmd_campaign(args: &[String]) -> Result<(), CliError> {

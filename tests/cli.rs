@@ -1,8 +1,11 @@
 //! Integration tests of the `ricd` CLI binary: the generate → stats →
-//! detect → eval round trip over real files.
+//! detect → eval round trip over real files, and the serve/client pair
+//! over a loopback socket.
 
+use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
-use std::process::Command;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 fn ricd() -> Command {
     Command::new(env!("CARGO_BIN_EXE_ricd"))
@@ -151,6 +154,204 @@ fn missing_required_flag_is_an_error() {
     let out = ricd().arg("stats").output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+/// Spawns `ricd serve` with the given extra flags and scrapes the bound
+/// address from its first stdout line.
+fn spawn_serve(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStdout>) {
+    let mut child = ricd()
+        .arg("serve")
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("ricd serve spawns");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("serve announces itself");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr, stdout)
+}
+
+#[test]
+fn serve_oneshot_answers_one_client_and_exits_cleanly() {
+    let (mut child, addr, _stdout) = spawn_serve(&["--oneshot"]);
+
+    let out = ricd()
+        .args(["client", "metrics", "--addr", &addr])
+        .output()
+        .expect("ricd client runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("serve.connections_accepted"), "{json}");
+    assert!(json.contains("serve.batches"), "{json}");
+
+    // The one connection closed, so the oneshot server drains and exits 0.
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit status: {status:?}");
+}
+
+#[test]
+fn serve_client_ingest_query_shutdown_flow() {
+    let clicks = tmp("serve-clicks.tsv");
+    let truth = tmp("serve-truth.json");
+    let out = ricd()
+        .args([
+            "generate",
+            "--output",
+            clicks.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--groups",
+            "2",
+            "--seed",
+            "11",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let parsed: fake_click_detection::datagen::GroundTruth =
+        serde_json::from_str(&std::fs::read_to_string(&truth).unwrap()).unwrap();
+    let worker = parsed.groups[0].workers[0].0;
+
+    let (mut child, addr, _stdout) = spawn_serve(&["--swap-every", "2"]);
+
+    let out = ricd()
+        .args([
+            "client",
+            "ingest",
+            "--addr",
+            &addr,
+            "--input",
+            clicks.to_str().unwrap(),
+            "--batch",
+            "2000",
+        ])
+        .output()
+        .expect("client ingest runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Detection is asynchronous: poll risk queries until the planted worker
+    // surfaces in a published view.
+    let worker_flag = worker.to_string();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let out = ricd()
+            .args(["client", "query", "--addr", &addr, "--user", &worker_flag])
+            .output()
+            .expect("client query runs");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        if text.contains("FLAGGED") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "planted worker never flagged; last reply: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let out = ricd()
+        .args(["client", "shutdown", "--addr", &addr])
+        .output()
+        .expect("client shutdown runs");
+    assert!(out.status.success());
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit status: {status:?}");
+
+    for p in [clicks, truth] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn client_usage_errors_exit_2_before_any_connection() {
+    // Unknown operation.
+    let out = ricd()
+        .args(["client", "frobnicate", "--addr", "127.0.0.1:1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown client op"));
+
+    // Missing --addr.
+    let out = ricd().args(["client", "metrics"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"));
+
+    // Missing operation entirely.
+    let out = ricd().arg("client").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn client_connection_refused_exits_1() {
+    // Port 1 on loopback: nothing listens there in the test sandbox.
+    let out = ricd()
+        .args(["client", "metrics", "--addr", "127.0.0.1:1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn serve_rejects_malformed_frames_but_keeps_the_connection() {
+    use fake_click_detection::serve::{Request, Response, MAX_FRAME_LEN};
+    use std::io::{Read, Write};
+
+    let (mut child, addr, _stdout) = spawn_serve(&["--oneshot"]);
+    let mut sock = std::net::TcpStream::connect(&addr).expect("raw connect");
+
+    // A well-framed but non-JSON payload: the server answers with an Error
+    // frame and keeps the connection open.
+    let garbage = b"definitely not json";
+    sock.write_all(&(garbage.len() as u32).to_be_bytes())
+        .unwrap();
+    sock.write_all(garbage).unwrap();
+    let mut len = [0u8; 4];
+    sock.read_exact(&mut len).expect("error frame length");
+    let n = u32::from_be_bytes(len) as usize;
+    assert!(n <= MAX_FRAME_LEN as usize);
+    let mut payload = vec![0u8; n];
+    sock.read_exact(&mut payload).expect("error frame payload");
+    let resp: Response =
+        serde_json::from_str(std::str::from_utf8(&payload).unwrap()).expect("reply is wire JSON");
+    assert!(
+        matches!(resp, Response::Error { .. }),
+        "malformed frame must be answered with Error, got {resp:?}"
+    );
+
+    // Same connection still serves a valid request afterwards.
+    let req = serde_json::to_string(&Request::Shutdown)
+        .unwrap()
+        .into_bytes();
+    sock.write_all(&(req.len() as u32).to_be_bytes()).unwrap();
+    sock.write_all(&req).unwrap();
+    sock.read_exact(&mut len).expect("shutdown reply length");
+    let mut payload = vec![0u8; u32::from_be_bytes(len) as usize];
+    sock.read_exact(&mut payload)
+        .expect("shutdown reply payload");
+    let resp: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(matches!(resp, Response::ShuttingDown), "{resp:?}");
+
+    drop(sock);
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit status: {status:?}");
 }
 
 #[test]

@@ -46,20 +46,84 @@ fn golden_snapshot_json() -> String {
     json
 }
 
-#[test]
-fn count_mode_snapshot_matches_golden_file() {
-    let json = golden_snapshot_json();
+const SERVE_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/metrics_serve_golden.json"
+);
+
+/// One deterministic serving run, driving [`ServeState`] synchronously (no
+/// sockets, no background worker — the state machine is the thing under
+/// observation): a seeded world streamed in fixed batches with one
+/// deliberate replay, then a drain-flush and a checkpoint, pinning every
+/// `serve.*` and `stream.*` counter the daemon would emit.
+///
+/// [`ServeState`]: fake_click_detection::serve::ServeState
+fn serve_snapshot_json() -> String {
+    use fake_click_detection::serve::{ServeConfig, ServeState};
+
+    let ds = generate(&DatasetConfig::tiny(), &AttackConfig::evaluation()).expect("generate");
+    let (registry, _clock) = MetricsRegistry::deterministic();
+    let pipeline = RicdPipeline::new(RicdParams::default())
+        .with_pool(WorkerPool::new(4))
+        .with_metrics(registry.clone());
+    let mut state = ServeState::new(
+        ServeConfig {
+            swap_every_batches: 4,
+            ..ServeConfig::default()
+        },
+        pipeline,
+    );
+
+    let records: Vec<_> = ds.graph.edges().collect();
+    let batches: Vec<&[_]> = records.chunks(500).collect();
+    for (seq, batch) in batches.iter().enumerate() {
+        state.ingest(seq as u64, batch);
+    }
+    // An at-least-once redelivery: dropped, counted, and invisible to the
+    // view gauges.
+    state.ingest(0, batches[0]);
+    state.flush();
+    let _ = state.checkpoint();
+
+    let snap = registry.snapshot().count_only();
+    let mut json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+    json.push('\n');
+    json
+}
+
+fn assert_matches_golden(json: &str, path: &str) {
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(GOLDEN_PATH, &json).expect("write golden file");
+        std::fs::write(path, json).expect("write golden file");
         return;
     }
-    let expected = std::fs::read_to_string(GOLDEN_PATH)
+    let expected = std::fs::read_to_string(path)
         .expect("golden file exists (regenerate with UPDATE_GOLDEN=1)");
     assert_eq!(
         json, expected,
-        "count-mode snapshot drifted from {GOLDEN_PATH}; if the change is \
+        "count-mode snapshot drifted from {path}; if the change is \
          intentional, regenerate with UPDATE_GOLDEN=1"
     );
+}
+
+#[test]
+fn count_mode_snapshot_matches_golden_file() {
+    assert_matches_golden(&golden_snapshot_json(), GOLDEN_PATH);
+}
+
+#[test]
+fn serve_count_mode_snapshot_matches_golden_file() {
+    let json = serve_snapshot_json();
+    // The serving layer's own instrumentation must be present before pinning.
+    for name in [
+        "serve.batches",
+        "serve.records",
+        "serve.swaps",
+        "serve.view_groups",
+        "serve.epoch",
+    ] {
+        assert!(json.contains(name), "snapshot lost {name}:\n{json}");
+    }
+    assert_matches_golden(&json, SERVE_GOLDEN_PATH);
 }
 
 #[test]
@@ -68,5 +132,10 @@ fn repeat_runs_are_byte_identical() {
         golden_snapshot_json(),
         golden_snapshot_json(),
         "two identical deterministic runs must serialize identically"
+    );
+    assert_eq!(
+        serve_snapshot_json(),
+        serve_snapshot_json(),
+        "two identical deterministic serving runs must serialize identically"
     );
 }
