@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Coverage no-regression ratchet.
+#
+# Usage: ci/check-coverage.sh <coverage.json>
+#
+# <coverage.json> is the output of
+#   cargo llvm-cov --workspace --json --summary-only --output-path coverage.json
+# The measured workspace line-coverage percent is compared against the
+# recorded baseline in ci/coverage-baseline.txt: the job fails if coverage
+# dropped below baseline - TOLERANCE (a small allowance for run-to-run
+# noise from proptest case selection), and asks for a baseline bump when
+# coverage rose, so the ratchet follows the suite upward.
+set -euo pipefail
+
+SUMMARY="${1:?usage: ci/check-coverage.sh <coverage.json>}"
+BASELINE_FILE="$(dirname "$0")/coverage-baseline.txt"
+TOLERANCE=0.25
+
+baseline="$(grep -v '^#' "$BASELINE_FILE" | grep -m1 . | tr -d '[:space:]')"
+measured="$(python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    summary = json.load(f)
+percent = summary["data"][0]["totals"]["lines"]["percent"]
+print(f"{percent:.2f}")
+' "$SUMMARY")"
+
+echo "line coverage: measured ${measured}% / baseline ${baseline}% (tolerance ${TOLERANCE})"
+
+python3 -c '
+import sys
+measured, baseline, tolerance = map(float, sys.argv[1:4])
+if measured < baseline - tolerance:
+    print(f"FAIL: coverage {measured}% regressed below the {baseline}% baseline")
+    sys.exit(1)
+if measured > baseline + 1.0:
+    print(f"NOTE: coverage {measured}% is well above the recorded baseline;")
+    print(f"      raise ci/coverage-baseline.txt to {measured} to lock in the gain")
+print("coverage ratchet OK")
+' "$measured" "$baseline" "$TOLERANCE"

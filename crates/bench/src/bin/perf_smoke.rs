@@ -8,12 +8,19 @@
 //! when the host has more cores, `workers = available_parallelism` — so the
 //! artifact also tracks how well the fixpoint scales.
 //!
+//! A second section runs whole-detection sharded vs. unsharded on the 100×
+//! scale-down world (≈200k users / 40k items / ~900k edges) at the host's
+//! full parallelism, asserts the group outputs are identical, and gates on
+//! the sharded runtime being ≥ 1.3× faster.
+//!
 //! Deliberately not a criterion bench: one warm-up plus a few timed
 //! iterations is enough to see a ≥2× regression, and the JSON artifact is
 //! trivially diffable across runs.
 
+use ricd_core::detect::{detect_groups_with, Seeds};
 use ricd_core::extract::{extract_with, ExtractionStats, FixpointMode, SquareStrategy};
 use ricd_core::params::RicdParams;
+use ricd_core::shard_run::{detect_groups_sharded, ShardConfig};
 use ricd_datagen::prelude::*;
 use ricd_engine::WorkerPool;
 use ricd_graph::GraphView;
@@ -21,6 +28,9 @@ use serde::Serialize;
 use std::time::Instant;
 
 const ITERS: usize = 3;
+/// The 100× world's detection runs take seconds, so best-of-two keeps the
+/// sharded section's wall time bounded.
+const SHARD_ITERS: usize = 2;
 
 #[derive(Serialize)]
 struct Report {
@@ -28,6 +38,22 @@ struct Report {
     rows: Vec<WorkerRow>,
     alive_users: usize,
     alive_items: usize,
+    sharded: ShardedReport,
+}
+
+#[derive(Serialize)]
+struct ShardedReport {
+    world: WorldInfo,
+    workers: usize,
+    unsharded_ms: f64,
+    sharded_ms: f64,
+    speedup: f64,
+    groups: usize,
+    planned_shards: u64,
+    exact_shards: u64,
+    hash_shards: u64,
+    replicated_items: u64,
+    halo_users: u64,
 }
 
 #[derive(Serialize)]
@@ -120,6 +146,88 @@ fn run_mode(
     }
 }
 
+/// Sharded-vs-unsharded whole-detection comparison on the 100× world at
+/// the host's full parallelism. Asserts identical groups and gates on the
+/// acceptance floor of 1.3×.
+fn run_sharded_section(workers: usize) -> ShardedReport {
+    let ds = generate(&DatasetConfig::scale100(), &AttackConfig::scale100()).expect("100x world");
+    eprintln!(
+        "sharded section world: {} users, {} items, {} edges",
+        ds.graph.num_users(),
+        ds.graph.num_items(),
+        ds.graph.num_edges(),
+    );
+    let params = RicdParams::default();
+    let pool = WorkerPool::new(workers);
+    let cfg = ShardConfig::default();
+
+    let mut unsharded_ms = f64::INFINITY;
+    let mut sharded_ms = f64::INFINITY;
+    let mut groups = None;
+    let registry = ricd_obs::MetricsRegistry::new();
+    for _ in 0..SHARD_ITERS {
+        let t = Instant::now();
+        let un = detect_groups_with(
+            &ds.graph,
+            &Seeds::none(),
+            &params,
+            &pool,
+            SquareStrategy::Parallel,
+            FixpointMode::Delta,
+            None,
+        );
+        unsharded_ms = unsharded_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+        let t = Instant::now();
+        let sh = detect_groups_sharded(
+            &ds.graph,
+            &Seeds::none(),
+            &params,
+            &pool,
+            &cfg,
+            &(|| false),
+            Some(&registry),
+        )
+        .expect("sharded detection completes");
+        sharded_ms = sharded_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+        assert_eq!(
+            sh.groups, un.groups,
+            "sharded detection must produce the unsharded group set"
+        );
+        groups = Some(un.groups.len());
+    }
+
+    let speedup = unsharded_ms / sharded_ms;
+    eprintln!(
+        "sharded section (workers={workers}): unsharded={unsharded_ms:.0}ms sharded={sharded_ms:.0}ms speedup={speedup:.2}x"
+    );
+    assert!(
+        speedup >= 1.3,
+        "sharded detection speedup {speedup:.2}x fell below the 1.3x floor (workers={workers})"
+    );
+
+    // Counters accumulate across iterations; normalize to per-run values.
+    let per_run = |name: &str| registry.snapshot().counter(name).unwrap_or(0) / SHARD_ITERS as u64;
+    ShardedReport {
+        world: WorldInfo {
+            users: ds.graph.num_users(),
+            items: ds.graph.num_items(),
+            edges: ds.graph.num_edges(),
+        },
+        workers,
+        unsharded_ms,
+        sharded_ms,
+        speedup,
+        groups: groups.expect("at least one iteration ran"),
+        planned_shards: per_run("shard.planned"),
+        exact_shards: per_run("shard.exact"),
+        hash_shards: per_run("shard.hash"),
+        replicated_items: per_run("shard.replicated_items"),
+        halo_users: per_run("shard.halo_users"),
+    }
+}
+
 fn main() {
     let ds =
         generate(&DatasetConfig::default(), &AttackConfig::evaluation()).expect("datagen world");
@@ -180,6 +288,7 @@ fn main() {
     }
 
     let alive = alive.expect("at least one worker count ran");
+    let sharded = run_sharded_section(host);
     let report = Report {
         world: WorldInfo {
             users: ds.graph.num_users(),
@@ -189,6 +298,7 @@ fn main() {
         rows,
         alive_users: alive.0.len(),
         alive_items: alive.1.len(),
+        sharded,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_extract.json", &json).expect("write BENCH_extract.json");

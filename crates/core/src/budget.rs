@@ -52,6 +52,14 @@ impl RunBudget {
     pub fn is_unbounded(&self) -> bool {
         self.deadline.is_none() && self.max_groups.is_none() && self.max_frontier.is_none()
     }
+
+    /// True when `elapsed` has consumed the whole deadline. The comparison
+    /// is inclusive: a run that has spent *exactly* its budget is out of
+    /// budget, so a zero deadline trips on the very first check even if no
+    /// time has measurably passed.
+    pub fn deadline_hit(&self, elapsed: Duration) -> bool {
+        self.deadline.is_some_and(|d| elapsed >= d)
+    }
 }
 
 /// A started clock measuring a run against its budget.
@@ -77,9 +85,7 @@ impl BudgetClock {
 
     /// True once the deadline (if any) has passed.
     pub fn deadline_exceeded(&self) -> bool {
-        self.budget
-            .deadline
-            .is_some_and(|d| self.started.elapsed() >= d)
+        self.budget.deadline_hit(self.started.elapsed())
     }
 
     /// The budget this clock measures against.
@@ -116,6 +122,29 @@ mod tests {
     fn zero_deadline_trips_immediately() {
         let clock = BudgetClock::start(RunBudget::none().with_deadline(Duration::ZERO));
         assert!(clock.deadline_exceeded());
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        // The equality edge, with elapsed pinned instead of measured: at
+        // exactly the deadline the run is out of budget (>=, not >), and
+        // the zero/zero corner — no time passed, zero budget — still trips.
+        let b = RunBudget::none().with_deadline(Duration::from_millis(10));
+        assert!(!b.deadline_hit(Duration::from_millis(9)));
+        assert!(
+            b.deadline_hit(Duration::from_millis(10)),
+            "elapsed == deadline is a trip"
+        );
+        assert!(b.deadline_hit(Duration::from_millis(11)));
+        let zero = RunBudget::none().with_deadline(Duration::ZERO);
+        assert!(
+            zero.deadline_hit(Duration::ZERO),
+            "zero budget is spent at t=0"
+        );
+        assert!(
+            !RunBudget::none().deadline_hit(Duration::MAX),
+            "no deadline never trips"
+        );
     }
 
     #[test]

@@ -81,6 +81,18 @@ fn seed_ball(g: &BipartiteGraph, seeds: &Seeds) -> (Vec<UserId>, Vec<ItemId>) {
     (users2, items2)
 }
 
+/// The working view Algorithm 2 starts from: the full graph without seeds,
+/// or the two-hop seed ball with them. Shared with the sharded runtime so
+/// both paths search the identical region.
+pub(crate) fn starting_view<'g>(g: &'g BipartiteGraph, seeds: &Seeds) -> GraphView<'g> {
+    if seeds.is_empty() {
+        GraphView::full(g)
+    } else {
+        let (users, items) = seed_ball(g, seeds);
+        GraphView::restricted(g, users, items)
+    }
+}
+
 /// Runs the full detection module on `g` with the default
 /// ([`FixpointMode::Delta`]) extraction fixpoint and no metrics.
 pub fn detect_groups(
@@ -112,12 +124,7 @@ pub fn detect_groups_with(
     mode: FixpointMode,
     metrics: Option<&MetricsRegistry>,
 ) -> DetectedGroups {
-    let mut view = if seeds.is_empty() {
-        GraphView::full(g)
-    } else {
-        let (users, items) = seed_ball(g, seeds);
-        GraphView::restricted(g, users, items)
-    };
+    let mut view = starting_view(g, seeds);
 
     let stats = extract_with(&mut view, params, pool, strategy, mode, metrics);
 

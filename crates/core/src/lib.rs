@@ -49,6 +49,7 @@ pub mod pipeline;
 pub mod result;
 pub mod riskview;
 pub mod screen;
+pub mod shard_run;
 pub mod thresholds;
 
 pub use budget::{BudgetClock, RunBudget};
@@ -56,6 +57,7 @@ pub use params::{RicdParams, ScreeningMode};
 pub use pipeline::RicdPipeline;
 pub use result::{DetectionResult, RunStatus, SuspiciousGroup};
 pub use riskview::{RiskVerdict, RiskView};
+pub use shard_run::{detect_groups_sharded, ShardAbort, ShardConfig};
 
 /// Commonly used framework types.
 pub mod prelude {
@@ -67,5 +69,6 @@ pub mod prelude {
     pub use crate::pipeline::RicdPipeline;
     pub use crate::result::{DetectionResult, RunStatus, SuspiciousGroup};
     pub use crate::riskview::{RiskVerdict, RiskView};
+    pub use crate::shard_run::ShardConfig;
     pub use crate::thresholds::{derive_t_click, derive_t_hot};
 }

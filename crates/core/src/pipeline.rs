@@ -8,13 +8,14 @@
 //! produces *a* report.
 
 use crate::budget::{BudgetClock, RunBudget};
-use crate::detect::{detect_groups_with, Seeds};
+use crate::detect::{detect_groups_with, DetectedGroups, Seeds};
 use crate::extract::{FixpointMode, SquareStrategy};
 use crate::identify::rank_output;
 use crate::naive::{naive_detect, NaiveParams};
 use crate::params::RicdParams;
 use crate::result::{DetectionResult, RunStatus};
 use crate::screen::screen_groups;
+use crate::shard_run::{detect_groups_sharded, ShardAbort, ShardConfig};
 use ricd_engine::{PhaseTimings, WorkerPool};
 use ricd_graph::BipartiteGraph;
 use ricd_obs::{MetricsRegistry, Span};
@@ -188,6 +189,113 @@ impl RicdPipeline {
                 )
             }
         };
+        self.finish(g, params, detected, &clock, &pool, &timings, &root)
+    }
+
+    /// Runs the pipeline with the detection module executed **sharded**: the
+    /// working graph is split into independent detection units (exact
+    /// connected-component shards, then size-capped hash splits of giant
+    /// components — see [`ricd_graph::shard`]) that run concurrently on the
+    /// worker pool, followed by a reconciliation pass; the merged group set
+    /// is provably identical to [`Self::run`]'s, so screening and
+    /// identification proceed unchanged on the same output.
+    ///
+    /// Degradation semantics match [`Self::run_with`]: a deadline trip at a
+    /// shard boundary, or a shard task panicking past the pool's retry
+    /// budget, falls back to the naive detector with a single `degradation`
+    /// event.
+    pub fn run_sharded(&self, g: &BipartiteGraph, cfg: &ShardConfig) -> DetectionResult {
+        let params = &self.params;
+        let clock = BudgetClock::start(self.budget);
+        let timings = PhaseTimings::new();
+        let pool = self.pool.clone().with_metrics(&self.metrics);
+        self.metrics.counter("pipeline.runs").inc();
+        let root = self.metrics.span("pipeline");
+
+        if clock.deadline_exceeded() {
+            self.note_deadline(&clock);
+            return self.degrade(
+                g,
+                params,
+                &pool,
+                &timings,
+                &root,
+                deadline_reason(&clock),
+                "detect",
+            );
+        }
+
+        // Module 1, sharded. The runtime checks the deadline at shard
+        // boundaries through the closure; a trip aborts cleanly instead of
+        // finishing a partial (and therefore wrong) merge.
+        let outcome = catch_phase(|| {
+            let _span = root.child("detect");
+            timings.time("detect", || {
+                detect_groups_sharded(
+                    g,
+                    &self.seeds,
+                    params,
+                    &pool,
+                    cfg,
+                    &|| clock.deadline_exceeded(),
+                    Some(&self.metrics),
+                )
+            })
+        });
+        let detected = match outcome {
+            Ok(Ok(d)) => d,
+            Ok(Err(ShardAbort::DeadlineExceeded)) => {
+                self.note_deadline(&clock);
+                return self.degrade(
+                    g,
+                    params,
+                    &pool,
+                    &timings,
+                    &root,
+                    deadline_reason(&clock),
+                    "detect",
+                );
+            }
+            Ok(Err(ShardAbort::Engine(e))) => {
+                return self.degrade(
+                    g,
+                    params,
+                    &pool,
+                    &timings,
+                    &root,
+                    panic_reason("detect", &e.to_string()),
+                    "detect",
+                )
+            }
+            Err(msg) => {
+                return self.degrade(
+                    g,
+                    params,
+                    &pool,
+                    &timings,
+                    &root,
+                    panic_reason("detect", &msg),
+                    "detect",
+                )
+            }
+        };
+        self.finish(g, params, detected, &clock, &pool, &timings, &root)
+    }
+
+    /// The shared tail of every successful detection: extraction counters,
+    /// screening, the group cap, and identification. Both the unsharded and
+    /// sharded paths land here, so downstream behavior cannot drift.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        g: &BipartiteGraph,
+        params: &RicdParams,
+        detected: DetectedGroups,
+        clock: &BudgetClock,
+        pool: &WorkerPool,
+        timings: &PhaseTimings,
+        root: &Span,
+    ) -> DetectionResult {
         self.metrics
             .inc_by("extract.rounds", detected.stats.rounds as u64);
         self.metrics.inc_by(
@@ -219,14 +327,14 @@ impl RicdPipeline {
         self.metrics
             .inc_by("pipeline.groups_detected", detected.groups.len() as u64);
         if clock.deadline_exceeded() {
-            self.note_deadline(&clock);
+            self.note_deadline(clock);
             return self.degrade(
                 g,
                 params,
-                &pool,
-                &timings,
-                &root,
-                deadline_reason(&clock),
+                pool,
+                timings,
+                root,
+                deadline_reason(clock),
                 "screen",
             );
         }
@@ -241,9 +349,9 @@ impl RicdPipeline {
                 return self.degrade(
                     g,
                     params,
-                    &pool,
-                    &timings,
-                    &root,
+                    pool,
+                    timings,
+                    root,
                     panic_reason("screen", &msg),
                     "screen",
                 )
@@ -260,14 +368,14 @@ impl RicdPipeline {
             );
         }
         if clock.deadline_exceeded() {
-            self.note_deadline(&clock);
+            self.note_deadline(clock);
             return self.degrade(
                 g,
                 params,
-                &pool,
-                &timings,
-                &root,
-                deadline_reason(&clock),
+                pool,
+                timings,
+                root,
+                deadline_reason(clock),
                 "identify",
             );
         }
@@ -282,9 +390,9 @@ impl RicdPipeline {
                 return self.degrade(
                     g,
                     params,
-                    &pool,
-                    &timings,
-                    &root,
+                    pool,
+                    timings,
+                    root,
                     panic_reason("identify", &msg),
                     "identify",
                 )
@@ -734,6 +842,77 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("pipeline.groups_capped_dropped"), Some(1));
         assert_eq!(snap.counter("pipeline.runs_degraded"), Some(1));
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_end_to_end() {
+        let g = scenario();
+        let want = RicdPipeline::new(RicdParams::default()).run(&g);
+        assert_eq!(want.status, RunStatus::Complete);
+        for cfg in [
+            ShardConfig::default(),
+            ShardConfig {
+                shards: None,
+                max_users: Some(4),
+            },
+            ShardConfig {
+                shards: Some(16),
+                max_users: None,
+            },
+        ] {
+            let got = RicdPipeline::new(RicdParams::default()).run_sharded(&g, &cfg);
+            assert_eq!(got.status, RunStatus::Complete, "cfg={cfg:?}");
+            assert_eq!(got.groups, want.groups, "cfg={cfg:?}");
+            assert_eq!(got.ranked_users, want.ranked_users, "cfg={cfg:?}");
+            assert_eq!(got.ranked_items, want.ranked_items, "cfg={cfg:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_run_records_shard_metrics_and_spans() {
+        let registry = MetricsRegistry::new();
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_metrics(registry.clone())
+            .run_sharded(
+                &scenario(),
+                &ShardConfig {
+                    shards: None,
+                    max_users: Some(4),
+                },
+            );
+        assert_eq!(r.status, RunStatus::Complete);
+        let snap = registry.snapshot();
+        for path in ["pipeline", "pipeline/detect", "pipeline/screen"] {
+            assert_eq!(snap.span(path).map(|s| s.count), Some(1), "span {path}");
+        }
+        assert!(snap.counter("shard.planned").unwrap() >= 1);
+        assert!(
+            snap.counter("shard.prefilter_removed_users").unwrap() > 0,
+            "background clickers die in the pre-filter"
+        );
+        assert!(
+            snap.events.is_empty(),
+            "complete sharded run emits no events"
+        );
+    }
+
+    #[test]
+    fn sharded_zero_deadline_degrades_to_naive() {
+        use std::time::Duration;
+        let registry = MetricsRegistry::new();
+        let r = RicdPipeline::new(RicdParams::default())
+            .with_metrics(registry.clone())
+            .with_budget(RunBudget::none().with_deadline(Duration::ZERO))
+            .run_sharded(&scenario(), &ShardConfig::default());
+        match &r.status {
+            RunStatus::Degraded { reason, phase } => {
+                assert_eq!(phase, "detect");
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            RunStatus::Complete => panic!("zero deadline must degrade"),
+        }
+        assert_eq!(registry.event_count("degradation"), 1);
+        assert!(r.timings.get("naive-fallback").is_some());
     }
 
     #[test]

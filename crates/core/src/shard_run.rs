@@ -1,0 +1,752 @@
+//! The sharded detection runtime.
+//!
+//! Runs Algorithm 2/3 as a fan-out over the shard plan of
+//! [`ricd_graph::shard`]: a sequential degree **pre-filter**, the planner's
+//! component/hash decomposition, one *local* pruning fixpoint per shard on
+//! the worker pool (each shard a coarse task with the PR 1 panic-isolation
+//! contract), a **reconciliation** pass over the hash-split giants, and a
+//! merge that reconstitutes the exact unsharded group output.
+//!
+//! # Why the result is exactly the unsharded one
+//!
+//! Every removal rule (Lemma 1 degree bound, Lemma 2 common-neighbor bound)
+//! is *monotone*: counts only fall as vertices disappear, so the extraction
+//! fixpoint is unique and removal-order-independent. The sharded path only
+//! ever performs **sound** removals — each removed vertex provably fails a
+//! bound against a *superset* of the then-current global alive set
+//! (supersets only inflate counts, so failing against one implies failing
+//! globally):
+//!
+//! * pre-filter — plain degree bounds on the live view;
+//! * exact shards — whole connected components: the local fixpoint *is*
+//!   the global one there (bicliques cannot span components);
+//! * hash shards — owned users and interior items have **exact** local
+//!   counts (boundary replication + halo, see `ricd_graph::shard`);
+//!   boundary items and halo users are pinned and never removed locally;
+//! * reconciliation — a full local fixpoint over what survives of the
+//!   giant components, which by uniqueness lands on the global fixpoint.
+//!
+//! Since all removals are sound and the final pass runs the real rules to
+//! convergence, the surviving vertex set — and therefore the component
+//! split, the groups, and every downstream risk score — is identical to
+//! the unsharded run. The differential proptests and the
+//! `shard_equivalence` integration test enforce this end to end.
+//!
+//! # Why it is faster
+//!
+//! Beyond running shards concurrently on the pool, the local fixpoint uses
+//! the early-exit survival test
+//! ([`twohop::user_has_qualified_neighbors`]): proving a dense survivor
+//! *keeps* its `k` qualified partners needs only a prefix of its wedge
+//! scan (cheapest adjacency lists first), while the baseline
+//! [`crate::extract`] computes every vertex's full common-neighbor map each
+//! round. On the 100× world that skips the ultra-popular adjacency lists —
+//! the bulk of all wedge work — for almost every surviving vertex.
+
+use crate::detect::{DetectedGroups, Seeds};
+use crate::extract::ExtractionStats;
+use crate::params::RicdParams;
+use crate::result::SuspiciousGroup;
+use ricd_engine::{EngineError, WorkerPool};
+use ricd_graph::components::connected_components;
+use ricd_graph::shard::{plan_shards, Shard, ShardOptions};
+use ricd_graph::twohop::{
+    item_has_qualified_neighbors, user_has_qualified_neighbors, CommonNeighborScratch,
+};
+use ricd_graph::{BipartiteGraph, GraphView, InducedSubgraph, ItemId, UserId};
+use ricd_obs::MetricsRegistry;
+
+/// Sharding knobs for [`detect_groups_sharded`] /
+/// [`crate::pipeline::RicdPipeline::run_sharded`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Target shard count. The per-shard user cap is derived as
+    /// `⌈alive users after pre-filter / shards⌉`. Default: twice the pool's
+    /// worker count (over-decomposition keeps the pool busy when shard
+    /// costs are skewed).
+    pub shards: Option<usize>,
+    /// Explicit per-shard owned-user cap; overrides `shards` when set.
+    pub max_users: Option<usize>,
+}
+
+impl ShardConfig {
+    /// Derives the effective owned-user cap for a view with `alive_users`.
+    fn effective_max_users(&self, alive_users: usize, pool: &WorkerPool) -> usize {
+        if let Some(m) = self.max_users {
+            return m.max(1);
+        }
+        let shards = self.shards.unwrap_or(pool.workers() * 2).max(1);
+        alive_users.div_ceil(shards).max(1)
+    }
+}
+
+/// Why a sharded detection run could not complete.
+#[derive(Debug)]
+pub enum ShardAbort {
+    /// The budget deadline tripped at a shard boundary.
+    DeadlineExceeded,
+    /// A shard task kept failing past the pool's retry budget.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ShardAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardAbort::DeadlineExceeded => write!(f, "deadline exceeded during shard phase"),
+            ShardAbort::Engine(e) => write!(f, "shard task failed persistently: {e}"),
+        }
+    }
+}
+
+/// Outcome of one shard task (kept `Send`-cheap: parent-id removal lists).
+enum ShardOutcome {
+    Done {
+        removed_users: Vec<UserId>,
+        removed_items: Vec<ItemId>,
+        stats: LocalPruneStats,
+    },
+    DeadlineExceeded,
+}
+
+/// Sequential worklist core pre-filter: Lemma 1 degree bounds iterated to
+/// a fixpoint, `O(E)` amortized. This is what collapses the organic long
+/// tail *before* planning, so shards carve up only the structure-bearing
+/// survivors.
+fn core_prefilter(view: &mut GraphView<'_>, params: &RicdParams) -> (usize, usize) {
+    let user_bound = params.user_degree_bound();
+    let item_bound = params.item_degree_bound();
+    let mut user_queue: Vec<UserId> = view
+        .users()
+        .filter(|&u| view.user_degree(u) < user_bound)
+        .collect();
+    let mut item_queue: Vec<ItemId> = view
+        .items()
+        .filter(|&v| view.item_degree(v) < item_bound)
+        .collect();
+    let (mut ru, mut ri) = (0usize, 0usize);
+    while !user_queue.is_empty() || !item_queue.is_empty() {
+        let mut next_items: Vec<ItemId> = Vec::new();
+        for u in user_queue.drain(..) {
+            if !view.user_alive(u) {
+                continue;
+            }
+            // Neighbors collected before the removal mutates the view.
+            let neighbors: Vec<ItemId> = view.user_neighbors(u).map(|(v, _)| v).collect();
+            view.remove_user(u);
+            ru += 1;
+            for v in neighbors {
+                if view.item_degree(v) < item_bound {
+                    next_items.push(v);
+                }
+            }
+        }
+        item_queue.append(&mut next_items);
+        let mut next_users: Vec<UserId> = Vec::new();
+        for v in item_queue.drain(..) {
+            if !view.item_alive(v) {
+                continue;
+            }
+            let neighbors: Vec<UserId> = view.item_neighbors(v).map(|(u, _)| u).collect();
+            view.remove_item(v);
+            ri += 1;
+            for u in neighbors {
+                if view.user_degree(u) < user_bound {
+                    next_users.push(u);
+                }
+            }
+        }
+        user_queue.append(&mut next_users);
+    }
+    (ru, ri)
+}
+
+/// Counters from one local fixpoint.
+#[derive(Clone, Copy, Debug, Default)]
+struct LocalPruneStats {
+    core_removed_users: usize,
+    core_removed_items: usize,
+    square_removed_users: usize,
+    square_removed_items: usize,
+    rounds: usize,
+}
+
+/// The local pruning fixpoint: core + square pruning restricted to
+/// removable vertices (`None` mask = everything), run to convergence.
+///
+/// For hash shards, boundary items and halo users are pinned via the
+/// masks; every local removal is then globally sound (module docs). For
+/// exact shards and reconciliation the masks are `None` and this computes
+/// the true fixpoint of the local graph. The square test uses the
+/// early-exit qualified-neighbor check, which never changes a removal
+/// decision — it only skips proving more than `k` partners exist.
+fn prune_local(
+    view: &mut GraphView<'_>,
+    removable_user: Option<&[bool]>,
+    removable_item: Option<&[bool]>,
+    params: &RicdParams,
+) -> LocalPruneStats {
+    let g = view.graph();
+    let num_users = g.num_users();
+    let num_items = g.num_items();
+    let user_bound = params.user_degree_bound();
+    let item_bound = params.item_degree_bound();
+    let user_common = params.user_common_bound();
+    let item_common = params.item_common_bound();
+    let can_remove_user = |i: usize| removable_user.is_none_or(|m| m[i]);
+    let can_remove_item = |i: usize| removable_item.is_none_or(|m| m[i]);
+    let mut uscratch = CommonNeighborScratch::new(num_users);
+    let mut iscratch = CommonNeighborScratch::new(num_items);
+    let mut stats = LocalPruneStats::default();
+
+    loop {
+        stats.rounds += 1;
+        // CorePruning over removable vertices, to its own fixpoint.
+        loop {
+            let mut removed = 0;
+            for u in (0..num_users as u32).map(UserId) {
+                if can_remove_user(u.index())
+                    && view.user_alive(u)
+                    && view.user_degree(u) < user_bound
+                {
+                    view.remove_user(u);
+                    removed += 1;
+                    stats.core_removed_users += 1;
+                }
+            }
+            for v in (0..num_items as u32).map(ItemId) {
+                if can_remove_item(v.index())
+                    && view.item_alive(v)
+                    && view.item_degree(v) < item_bound
+                {
+                    view.remove_item(v);
+                    removed += 1;
+                    stats.core_removed_items += 1;
+                }
+            }
+            if removed == 0 {
+                break;
+            }
+        }
+        // SquarePruning over removable vertices; immediate removals are
+        // sound (monotonicity), and order does not affect the fixpoint.
+        let mut square_removed = 0;
+        for u in (0..num_users as u32).map(UserId) {
+            if !can_remove_user(u.index()) || !view.user_alive(u) {
+                continue;
+            }
+            // Definition 4 counts `u` itself when deg(u) clears the bound.
+            let selfq = usize::from(view.user_degree(u) as u32 >= user_common);
+            let need = params.k1.saturating_sub(selfq);
+            if !user_has_qualified_neighbors(view, u, user_common, need, &mut uscratch) {
+                view.remove_user(u);
+                square_removed += 1;
+                stats.square_removed_users += 1;
+            }
+        }
+        for v in (0..num_items as u32).map(ItemId) {
+            if !can_remove_item(v.index()) || !view.item_alive(v) {
+                continue;
+            }
+            let selfq = usize::from(view.item_degree(v) as u32 >= item_common);
+            let need = params.k2.saturating_sub(selfq);
+            if !item_has_qualified_neighbors(view, v, item_common, need, &mut iscratch) {
+                view.remove_item(v);
+                square_removed += 1;
+                stats.square_removed_items += 1;
+            }
+        }
+        if square_removed == 0 {
+            return stats;
+        }
+    }
+}
+
+/// Marks which local vertices a hash shard may remove: owned users and
+/// interior items (items whose parent id is *not* boundary).
+fn hash_shard_permissions(sub: &InducedSubgraph, shard: &Shard) -> (Vec<bool>, Vec<bool>) {
+    let owned: Vec<bool> = sub
+        .user_map
+        .iter()
+        .map(|p| shard.users.binary_search(p).is_ok())
+        .collect();
+    let interior: Vec<bool> = sub
+        .item_map
+        .iter()
+        .map(|p| shard.boundary_items.binary_search(p).is_err())
+        .collect();
+    (owned, interior)
+}
+
+/// One shard task: build the dense local subgraph and run its local
+/// fixpoint. Exact shards prune everything; hash shards pin boundary items
+/// and halo users.
+fn process_shard(
+    g: &BipartiteGraph,
+    shard: &Shard,
+    params: &RicdParams,
+) -> (Vec<UserId>, Vec<ItemId>, LocalPruneStats) {
+    let (sub, owned, interior) = if shard.exact {
+        let sub =
+            InducedSubgraph::extract(g, shard.users.iter().copied(), shard.items.iter().copied());
+        (sub, None, None)
+    } else {
+        let scope_users = shard.users.iter().chain(shard.halo_users.iter()).copied();
+        let sub = InducedSubgraph::extract(g, scope_users, shard.items.iter().copied());
+        let (owned, interior) = hash_shard_permissions(&sub, shard);
+        (sub, Some(owned), Some(interior))
+    };
+    let mut view = GraphView::full(&sub.graph);
+    let stats = prune_local(&mut view, owned.as_deref(), interior.as_deref(), params);
+    let removed_users = sub
+        .user_map
+        .iter()
+        .enumerate()
+        .filter(|&(l, _)| owned.as_ref().is_none_or(|m| m[l]) && !view.user_alive(UserId(l as u32)))
+        .map(|(_, &p)| p)
+        .collect();
+    let removed_items = sub
+        .item_map
+        .iter()
+        .enumerate()
+        .filter(|&(l, _)| {
+            interior.as_ref().is_none_or(|m| m[l]) && !view.item_alive(ItemId(l as u32))
+        })
+        .map(|(_, &p)| p)
+        .collect();
+    (removed_users, removed_items, stats)
+}
+
+/// Sharded Algorithm 2: identical group output to
+/// [`crate::detect::detect_groups_with`], computed shard-by-shard.
+///
+/// `deadline_exceeded` is polled at the pre-filter, shard, and
+/// reconciliation boundaries; tripping it returns
+/// [`ShardAbort::DeadlineExceeded`] so the pipeline can degrade exactly as
+/// the unsharded path does.
+pub fn detect_groups_sharded(
+    g: &BipartiteGraph,
+    seeds: &Seeds,
+    params: &RicdParams,
+    pool: &WorkerPool,
+    cfg: &ShardConfig,
+    deadline_exceeded: &(dyn Fn() -> bool + Sync),
+    metrics: Option<&MetricsRegistry>,
+) -> Result<DetectedGroups, ShardAbort> {
+    let mut view = crate::detect::starting_view(g, seeds);
+    let mut stats = ExtractionStats::default();
+
+    // Phase 0: sequential degree pre-filter.
+    let (pre_users, pre_items) = core_prefilter(&mut view, params);
+    stats.core_removed_users += pre_users;
+    stats.core_removed_items += pre_items;
+    if let Some(m) = metrics {
+        m.inc_by("shard.prefilter_removed_users", pre_users as u64);
+        m.inc_by("shard.prefilter_removed_items", pre_items as u64);
+    }
+    if deadline_exceeded() {
+        return Err(ShardAbort::DeadlineExceeded);
+    }
+
+    // Phase 1: plan.
+    let max_users = cfg.effective_max_users(view.alive_users(), pool);
+    let plan = plan_shards(&view, &ShardOptions::with_max_users(max_users));
+    if let Some(m) = metrics {
+        m.inc_by("shard.planned", plan.shards.len() as u64);
+        m.inc_by("shard.exact", plan.stats.exact_shards as u64);
+        m.inc_by("shard.hash", plan.stats.hash_shards as u64);
+        m.inc_by("shard.giant_components", plan.stats.giant_components as u64);
+        m.inc_by("shard.replicated_items", plan.stats.replicated_items as u64);
+        m.inc_by("shard.halo_users", plan.stats.halo_users as u64);
+    }
+
+    // Phase 2: per-shard local fixpoints on the pool, biggest first so the
+    // tail of the round is short.
+    let mut order: Vec<usize> = (0..plan.shards.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(plan.shards[i].cost_estimate()));
+    let shard_hist = metrics.map(|m| (m.clone(), m.duration_histogram("shard.shard_nanos")));
+    let outcomes = pool
+        .try_run_tasks(order.len(), |slot| {
+            if deadline_exceeded() {
+                return ShardOutcome::DeadlineExceeded;
+            }
+            let shard = &plan.shards[order[slot]];
+            let started = shard_hist.as_ref().map(|(m, _)| m.clock().now());
+            let (removed_users, removed_items, stats) = process_shard(g, shard, params);
+            if let (Some((m, h)), Some(t0)) = (&shard_hist, started) {
+                h.observe_duration(m.clock().now().saturating_sub(t0));
+            }
+            ShardOutcome::Done {
+                removed_users,
+                removed_items,
+                stats,
+            }
+        })
+        .map_err(ShardAbort::Engine)?;
+
+    let mut deadline_tripped = false;
+    for outcome in outcomes {
+        match outcome {
+            ShardOutcome::Done {
+                removed_users,
+                removed_items,
+                stats: shard_stats,
+            } => {
+                stats.rounds = stats.rounds.max(shard_stats.rounds);
+                stats.core_removed_users += shard_stats.core_removed_users;
+                stats.core_removed_items += shard_stats.core_removed_items;
+                stats.square_removed_users += shard_stats.square_removed_users;
+                stats.square_removed_items += shard_stats.square_removed_items;
+                for u in removed_users {
+                    view.remove_user(u);
+                }
+                for v in removed_items {
+                    view.remove_item(v);
+                }
+            }
+            ShardOutcome::DeadlineExceeded => deadline_tripped = true,
+        }
+    }
+    if deadline_tripped || deadline_exceeded() {
+        return Err(ShardAbort::DeadlineExceeded);
+    }
+
+    // Phase 3: reconciliation over the hash-split giants — the local
+    // fixpoint of their survivors, reaching the exact global fixpoint.
+    if plan.needs_reconciliation() {
+        let survivors_u = plan
+            .giant_users
+            .iter()
+            .copied()
+            .filter(|&u| view.user_alive(u));
+        let survivors_i = plan
+            .giant_items
+            .iter()
+            .copied()
+            .filter(|&v| view.item_alive(v));
+        let sub = InducedSubgraph::extract(g, survivors_u, survivors_i);
+        let mut local = GraphView::full(&sub.graph);
+        let recon = prune_local(&mut local, None, None, params);
+        stats.rounds += recon.rounds;
+        stats.core_removed_users += recon.core_removed_users;
+        stats.core_removed_items += recon.core_removed_items;
+        stats.square_removed_users += recon.square_removed_users;
+        stats.square_removed_items += recon.square_removed_items;
+        let mut reconciled = (0usize, 0usize);
+        for (l, &parent) in sub.user_map.iter().enumerate() {
+            if !local.user_alive(UserId(l as u32)) {
+                view.remove_user(parent);
+                reconciled.0 += 1;
+            }
+        }
+        for (l, &parent) in sub.item_map.iter().enumerate() {
+            if !local.item_alive(ItemId(l as u32)) {
+                view.remove_item(parent);
+                reconciled.1 += 1;
+            }
+        }
+        if let Some(m) = metrics {
+            m.inc_by("shard.reconcile_users", reconciled.0 as u64);
+            m.inc_by("shard.reconcile_items", reconciled.1 as u64);
+        }
+    }
+
+    // Phase 4: components + the (k₁, k₂) floor — the same final step as
+    // the unsharded path, on a view holding the identical alive set.
+    let groups: Vec<SuspiciousGroup> = connected_components(&view)
+        .into_iter()
+        .filter(|c| c.users.len() >= params.k1 && c.items.len() >= params.k2)
+        .map(|c| SuspiciousGroup {
+            users: c.users,
+            items: c.items,
+            ridden_hot_items: Vec::new(),
+        })
+        .collect();
+    if let Some(m) = metrics {
+        m.inc_by("shard.merged_groups", groups.len() as u64);
+    }
+    Ok(DetectedGroups { groups, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::detect_groups_with;
+    use crate::extract::{FixpointMode, SquareStrategy};
+    use ricd_graph::GraphBuilder;
+
+    fn never() -> impl Fn() -> bool + Sync {
+        || false
+    }
+
+    /// Four disjoint planted bicliques + organic noise: four separate
+    /// components after extraction, exercising exact component shards and
+    /// FFD bin-packing.
+    fn disjoint_world() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for gidx in 0..4u32 {
+            for u in 0..12u32 {
+                for v in 0..11u32 {
+                    b.add_click(UserId(gidx * 12 + u), ItemId(gidx * 11 + v), 13);
+                }
+            }
+        }
+        for u in 0..300u32 {
+            b.add_click(UserId(2000 + u), ItemId(100 + (u % 40)), 2);
+        }
+        b.build()
+    }
+
+    /// Four planted bicliques glued through one shared hot item (the hot
+    /// item survives extraction: it shares ≥ k₁ users with every biclique
+    /// item) + organic noise: one giant merged component, forcing hash
+    /// splits and boundary replication once the cap is small.
+    fn glued_world() -> BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        let mut next_user = 0u32;
+        for gidx in 0..4u32 {
+            for u in 0..12 {
+                let user = UserId(next_user + u);
+                b.add_click(user, ItemId(0), 1); // shared hot item
+                for v in 0..11u32 {
+                    b.add_click(user, ItemId(1 + gidx * 11 + v), 13);
+                }
+            }
+            next_user += 12;
+        }
+        // Hot-item background so the glue item is genuinely hot.
+        for u in 0..800u32 {
+            b.add_click(UserId(1000 + u), ItemId(0), 1);
+        }
+        // Organic noise.
+        for u in 0..300u32 {
+            b.add_click(UserId(2000 + u), ItemId(100 + (u % 40)), 2);
+        }
+        b.build()
+    }
+
+    fn sharded(g: &BipartiteGraph, cfg: &ShardConfig, workers: usize) -> Vec<SuspiciousGroup> {
+        detect_groups_sharded(
+            g,
+            &Seeds::none(),
+            &RicdParams::default(),
+            &WorkerPool::new(workers),
+            cfg,
+            &never(),
+            None,
+        )
+        .expect("sharded detection completes")
+        .groups
+    }
+
+    fn unsharded(g: &BipartiteGraph) -> Vec<SuspiciousGroup> {
+        detect_groups_with(
+            g,
+            &Seeds::none(),
+            &RicdParams::default(),
+            &WorkerPool::new(4),
+            SquareStrategy::Parallel,
+            FixpointMode::Delta,
+            None,
+        )
+        .groups
+    }
+
+    #[test]
+    fn sharded_equals_unsharded_on_disjoint_world() {
+        let g = disjoint_world();
+        let want = unsharded(&g);
+        assert_eq!(want.len(), 4, "scenario sanity: four planted groups");
+        for (cfg, workers) in [
+            (ShardConfig::default(), 4),
+            (
+                ShardConfig {
+                    shards: Some(1),
+                    max_users: None,
+                },
+                1,
+            ),
+            (
+                ShardConfig {
+                    shards: None,
+                    max_users: Some(12),
+                },
+                4,
+            ),
+            (
+                ShardConfig {
+                    shards: None,
+                    max_users: Some(5),
+                },
+                2,
+            ),
+            (
+                ShardConfig {
+                    shards: Some(64),
+                    max_users: None,
+                },
+                4,
+            ),
+        ] {
+            let got = sharded(&g, &cfg, workers);
+            assert_eq!(got, want, "cfg={cfg:?} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn sharded_equals_unsharded_on_glued_world() {
+        let g = glued_world();
+        let want = unsharded(&g);
+        assert_eq!(want.len(), 1, "scenario sanity: one merged giant group");
+        assert_eq!(want[0].users.len(), 48);
+        for (cfg, workers) in [
+            (ShardConfig::default(), 4),
+            (
+                ShardConfig {
+                    shards: Some(1),
+                    max_users: None,
+                },
+                1,
+            ),
+            (
+                ShardConfig {
+                    shards: None,
+                    max_users: Some(5),
+                },
+                4,
+            ),
+            (
+                ShardConfig {
+                    shards: None,
+                    max_users: Some(1),
+                },
+                2,
+            ),
+            (
+                ShardConfig {
+                    shards: Some(64),
+                    max_users: None,
+                },
+                4,
+            ),
+        ] {
+            let got = sharded(&g, &cfg, workers);
+            assert_eq!(got, want, "cfg={cfg:?} workers={workers}");
+        }
+    }
+
+    #[test]
+    fn tiny_cap_forces_hash_shards_and_reconciliation() {
+        let g = glued_world();
+        let registry = MetricsRegistry::new();
+        let got = detect_groups_sharded(
+            &g,
+            &Seeds::none(),
+            &RicdParams::default(),
+            &WorkerPool::new(4),
+            &ShardConfig {
+                shards: None,
+                max_users: Some(4),
+            },
+            &never(),
+            Some(&registry),
+        )
+        .unwrap()
+        .groups;
+        assert_eq!(got, unsharded(&g));
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter("shard.hash").unwrap() > 0,
+            "cap 4 must hash-split"
+        );
+        assert!(snap.counter("shard.giant_components").unwrap() > 0);
+        assert!(snap.counter("shard.replicated_items").unwrap() > 0);
+        assert!(
+            snap.counter("shard.prefilter_removed_users").unwrap() > 0,
+            "noise users die in the pre-filter"
+        );
+        assert_eq!(snap.counter("shard.merged_groups"), Some(1));
+    }
+
+    #[test]
+    fn seeded_sharded_detection_matches_unsharded() {
+        let g = glued_world();
+        let seeds = Seeds {
+            users: vec![],
+            items: vec![ItemId(1)],
+        };
+        let params = RicdParams::default();
+        let want = detect_groups_with(
+            &g,
+            &seeds,
+            &params,
+            &WorkerPool::new(2),
+            SquareStrategy::Parallel,
+            FixpointMode::Delta,
+            None,
+        )
+        .groups;
+        let got = detect_groups_sharded(
+            &g,
+            &seeds,
+            &params,
+            &WorkerPool::new(2),
+            &ShardConfig {
+                shards: None,
+                max_users: Some(6),
+            },
+            &never(),
+            None,
+        )
+        .unwrap()
+        .groups;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deadline_already_exceeded_aborts() {
+        let g = glued_world();
+        let err = detect_groups_sharded(
+            &g,
+            &Seeds::none(),
+            &RicdParams::default(),
+            &WorkerPool::new(2),
+            &ShardConfig::default(),
+            &(|| true),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ShardAbort::DeadlineExceeded));
+    }
+
+    #[test]
+    fn empty_graph_yields_no_groups() {
+        let g = GraphBuilder::new().build();
+        let out = detect_groups_sharded(
+            &g,
+            &Seeds::none(),
+            &RicdParams::default(),
+            &WorkerPool::new(2),
+            &ShardConfig::default(),
+            &never(),
+            None,
+        )
+        .unwrap();
+        assert!(out.groups.is_empty());
+    }
+
+    #[test]
+    fn prefilter_matches_core_bounds() {
+        let g = glued_world();
+        let params = RicdParams::default();
+        let mut view = GraphView::full(&g);
+        core_prefilter(&mut view, &params);
+        // Fixpoint check: every survivor meets both degree bounds.
+        for u in view.users().collect::<Vec<_>>() {
+            assert!(view.user_degree(u) >= params.user_degree_bound());
+        }
+        for v in view.items().collect::<Vec<_>>() {
+            assert!(view.item_degree(v) >= params.item_degree_bound());
+        }
+        assert!(view.check_consistency());
+    }
+}

@@ -139,6 +139,25 @@ impl DatasetConfig {
         }
     }
 
+    /// The **100× scale-down** preset: 200k users / 40k items / ~900k click
+    /// records — one order of magnitude up from the default 1000× world,
+    /// with every confounder population (communities, flash items, hunter
+    /// rings) scaled ×10 so the big graph keeps the same structural
+    /// *texture*, not just more organic noise. This is the world the
+    /// sharded runtime is benchmarked on: large enough that a giant
+    /// component actually needs hash splitting.
+    pub fn scale100() -> Self {
+        Self {
+            num_users: 200_000,
+            num_items: 40_000,
+            num_communities: 180,
+            num_flash_items: 400,
+            num_hunter_rings: 150,
+            seed: 0x5eed_0100,
+            ..Self::default()
+        }
+    }
+
     /// Scales user/item counts by `factor` (≥ 1 keeps calibration intact;
     /// used by the scaling bench).
     pub fn scaled(mut self, factor: f64) -> Self {
@@ -366,6 +385,19 @@ impl AttackConfig {
         ]
     }
 
+    /// The attack mix matching [`DatasetConfig::scale100`]: ten times the
+    /// default group count with the evaluation regime's heterogeneity, so
+    /// the 100× world carries a realistic spread of campaign sizes.
+    pub fn scale100() -> Self {
+        Self {
+            num_groups: 80,
+            group_size_jitter: 0.3,
+            target_coverage: 0.9,
+            seed: 0x5eed_0102,
+            ..Self::default()
+        }
+    }
+
     /// No attacks at all (clean dataset).
     pub fn none() -> Self {
         Self {
@@ -417,6 +449,23 @@ mod tests {
         DatasetConfig::small().validate().unwrap();
         AttackConfig::small().validate().unwrap();
         AttackConfig::none().validate().unwrap();
+        DatasetConfig::scale100().validate().unwrap();
+        AttackConfig::scale100().validate().unwrap();
+    }
+
+    #[test]
+    fn scale100_is_ten_x_default() {
+        let c = DatasetConfig::scale100();
+        let d = DatasetConfig::default();
+        assert_eq!(c.num_users, d.num_users * 10);
+        assert_eq!(c.num_items, d.num_items * 10);
+        assert_eq!(c.num_communities, d.num_communities * 10);
+        assert_eq!(c.num_flash_items, d.num_flash_items * 10);
+        assert_eq!(c.num_hunter_rings, d.num_hunter_rings * 10);
+        assert_eq!(
+            AttackConfig::scale100().num_groups,
+            AttackConfig::default().num_groups * 10
+        );
     }
 
     #[test]

@@ -475,6 +475,174 @@ impl WorkerPool {
         Ok(out)
     }
 
+    /// Runs `f(i)` once per task `i in 0..n` with per-task dynamic
+    /// scheduling, returning results in task order.
+    ///
+    /// Delegates to [`try_run_tasks`](Self::try_run_tasks); a task that
+    /// keeps panicking after the retry budget re-raises the failure here as
+    /// a panic carrying the [`EngineError`] description.
+    pub fn run_tasks<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.try_run_tasks(n, f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fault-isolated per-task scheduling for *coarse* work units.
+    ///
+    /// [`try_run_worklist`](Self::try_run_worklist) amortizes cursor
+    /// traffic by claiming vertices in chunks of ≥ 64, which serializes a
+    /// round of a few dozen heavy tasks (e.g. graph shards) behind one
+    /// worker. Here each task is its own schedulable unit: workers claim
+    /// indices one at a time through an atomic cursor, so a round of `n`
+    /// expensive closures keeps `min(workers, n)` threads busy until the
+    /// list drains. Single-worker pools (and `n <= 1`) run inline on the
+    /// calling thread.
+    ///
+    /// The PR 1 fault contract carries over: a panicking task does not
+    /// abort the round; it is retried on a fresh thread, then once more
+    /// sequentially inline ([`MAX_PARTITION_ATTEMPTS`] total attempts), and
+    /// only then does the round fail with
+    /// [`EngineError::PartitionPanicked`] naming the task. Tasks double as
+    /// partitions for the `pool.*` metric family.
+    pub fn try_run_tasks<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, EngineError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let metrics = self.metrics.as_ref();
+        let f = &f;
+        // One timed, panic-contained task execution (initial or retry).
+        let run_one = |i: usize| -> Result<T, String> {
+            match metrics {
+                Some(m) => {
+                    let clock = m.registry.clock();
+                    let started = clock.now();
+                    let res = call_caught(|| f(i));
+                    m.partition_nanos
+                        .observe_duration(clock.now().saturating_sub(started));
+                    res
+                }
+                None => call_caught(|| f(i)),
+            }
+        };
+        let run_one = &run_one;
+        let mut slots: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
+        if self.workers == 1 || n == 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(run_one(i));
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let threads = self.workers.min(n);
+            let per_worker: Vec<Vec<(usize, Result<T, String>)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let cursor = &cursor;
+                        s.spawn(move || {
+                            let mut done = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                done.push((i, run_one(i)));
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                handles.into_iter().filter_map(|h| h.join().ok()).collect()
+            });
+            for (i, res) in per_worker.into_iter().flatten() {
+                slots[i] = Some(res);
+            }
+            // Tasks claimed by a worker whose thread died outright surface
+            // as unfilled slots; fold them into the retry path.
+            for slot in slots.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(Err("worker thread lost before reporting".to_string()));
+                }
+            }
+        }
+        if let Some(m) = metrics {
+            m.partitions_started.add(n as u64);
+            m.panics_caught
+                .add(slots.iter().filter(|s| matches!(s, Some(Err(_)))).count() as u64);
+        }
+        for attempt in 1..MAX_PARTITION_ATTEMPTS {
+            let failed: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| matches!(s, Some(Err(_)) | None).then_some(i))
+                .collect();
+            if failed.is_empty() {
+                break;
+            }
+            if let Some(m) = metrics {
+                m.retries.add(failed.len() as u64);
+            }
+            if attempt + 1 == MAX_PARTITION_ATTEMPTS {
+                // Final attempt: sequentially on the calling thread, so a
+                // fault tied to worker-thread state cannot recur.
+                if let Some(m) = metrics {
+                    m.fallback_sequential.add(failed.len() as u64);
+                }
+                for i in failed {
+                    slots[i] = Some(run_one(i));
+                }
+            } else {
+                let retried: Vec<(usize, Result<T, String>)> = std::thread::scope(|s| {
+                    let handles: Vec<_> = failed
+                        .into_iter()
+                        .map(|i| (i, s.spawn(move || run_one(i))))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(i, h)| {
+                            (
+                                i,
+                                h.join().unwrap_or_else(|p| Err(panic_message(p.as_ref()))),
+                            )
+                        })
+                        .collect()
+                });
+                for (i, res) in retried {
+                    slots[i] = Some(res);
+                }
+            }
+        }
+        if let Some(m) = metrics {
+            m.partitions_failed
+                .add(slots.iter().filter(|s| !matches!(s, Some(Ok(_)))).count() as u64);
+        }
+        let mut out = Vec::with_capacity(slots.len());
+        for (partition, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(t)) => out.push(t),
+                Some(Err(message)) => {
+                    return Err(EngineError::PartitionPanicked {
+                        partition,
+                        attempts: MAX_PARTITION_ATTEMPTS,
+                        message,
+                    })
+                }
+                None => {
+                    return Err(EngineError::PartitionPanicked {
+                        partition,
+                        attempts: MAX_PARTITION_ATTEMPTS,
+                        message: "worker thread lost before reporting".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Computes `f(i)` for every `i in 0..n` into a vector (one superstep).
     pub fn map_vertices<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
@@ -955,6 +1123,123 @@ mod tests {
         let mid = worklist_chunk_size(100_000, 4);
         assert!((64..=8192).contains(&mid));
         assert_eq!(mid, 100_000 / 64);
+    }
+
+    #[test]
+    fn tasks_run_each_index_once_in_order() {
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let got = pool.run_tasks(37, |i| i * 7);
+            assert_eq!(got, (0..37).map(|i| i * 7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tasks_empty_is_noop() {
+        let pool = WorkerPool::new(4);
+        let got: Vec<u8> = pool.run_tasks(0, |_| 1);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn few_coarse_tasks_use_multiple_workers() {
+        // The point of run_tasks over run_worklist: 6 tasks must not all be
+        // claimed by one worker (the worklist path's 64-entry chunk floor
+        // would put them in a single chunk).
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let pool = WorkerPool::new(4);
+        let seen = Mutex::new(HashSet::new());
+        let barrier = std::sync::Barrier::new(4);
+        let _ = pool.run_tasks(6, |i| {
+            if i < 4 {
+                // The first four tasks rendezvous: they can only all arrive
+                // if four distinct workers each claimed one.
+                barrier.wait();
+            }
+            seen.lock().unwrap().insert(std::thread::current().id());
+            i
+        });
+        assert!(
+            seen.lock().unwrap().len() >= 4,
+            "coarse tasks must spread across workers"
+        );
+    }
+
+    #[test]
+    fn tasks_transient_panic_recovers() {
+        let pool = WorkerPool::new(4);
+        let blown = AtomicUsize::new(0);
+        let got = pool
+            .try_run_tasks(10, |i| {
+                if i == 3 && blown.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("injected transient fault");
+                }
+                i * 2
+            })
+            .expect("transient fault must be absorbed");
+        assert_eq!(got, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(blown.load(Ordering::SeqCst), 2, "one fault + one retry");
+    }
+
+    #[test]
+    fn tasks_persistent_panic_yields_typed_error() {
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .try_run_tasks(10, |i| {
+                if i == 5 {
+                    panic!("deterministic task bug");
+                }
+                i
+            })
+            .unwrap_err();
+        match err {
+            crate::EngineError::PartitionPanicked {
+                partition,
+                attempts,
+                message,
+            } => {
+                assert_eq!(partition, 5);
+                assert_eq!(attempts, MAX_PARTITION_ATTEMPTS);
+                assert!(message.contains("deterministic task bug"), "{message}");
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_metrics_count_tasks_as_partitions() {
+        let registry = ricd_obs::MetricsRegistry::new();
+        let pool = WorkerPool::new(4).with_metrics(&registry);
+        let blown = AtomicUsize::new(0);
+        pool.try_run_tasks(8, |i| {
+            if i == 2 && blown.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flaky task");
+            }
+            i
+        })
+        .expect("transient fault absorbed");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("pool.partitions_started"), Some(8));
+        assert_eq!(snap.counter("pool.panics_caught"), Some(1));
+        assert_eq!(snap.counter("pool.retries"), Some(1));
+        assert_eq!(snap.counter("pool.partitions_failed"), Some(0));
+        let (_, h) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "pool.partition_nanos")
+            .expect("partition histogram registered");
+        assert_eq!(h.count, 9, "8 initial attempts + 1 retry");
+    }
+
+    #[test]
+    fn tasks_results_independent_of_worker_count() {
+        let seq: Vec<usize> = WorkerPool::new(1).run_tasks(23, |i| i.wrapping_mul(13));
+        for w in [2, 3, 8] {
+            assert_eq!(
+                WorkerPool::new(w).run_tasks(23, |i| i.wrapping_mul(13)),
+                seq
+            );
+        }
     }
 
     #[test]

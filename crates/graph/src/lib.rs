@@ -20,6 +20,9 @@
 //!   `SquarePruning` and of the Common-Neighbors baseline.
 //! * [`components`] — connected components over a view; each surviving
 //!   component is one suspicious attack group `gᵢ`.
+//! * [`shard`] — splits a pruned view into independent detection units
+//!   (exact component shards + hash-split giants with boundary
+//!   replication) for the sharded runtime.
 //! * [`stats`] — the Table I / Table II dataset statistics and the Fig 2
 //!   click-distribution series.
 //! * [`io`] — TSV and serde import/export of click tables.
@@ -44,6 +47,7 @@ pub mod frontier;
 pub mod graph;
 pub mod ids;
 pub mod io;
+pub mod shard;
 pub mod stats;
 pub mod subgraph;
 pub mod twohop;
@@ -54,6 +58,7 @@ pub use components::{connected_components, Component};
 pub use frontier::FrontierScratch;
 pub use graph::BipartiteGraph;
 pub use ids::{ItemId, NodeId, UserId};
+pub use shard::{plan_shards, Shard, ShardOptions, ShardPlan, ShardPlanStats};
 pub use stats::{ClickDistribution, DatasetScale, SideStats};
 pub use subgraph::InducedSubgraph;
 pub use view::{GraphView, LogMark};

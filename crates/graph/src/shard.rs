@@ -1,0 +1,419 @@
+//! Shard planning: splitting a pruned click graph into independent
+//! detection units.
+//!
+//! The paper runs RICD on Grape across 16 workers because the production
+//! click graph does not fit one sequential pass. The same decomposition
+//! works in-process: after the cheap degree pre-filter, the surviving
+//! bipartite graph falls apart into **connected components**, and an
+//! (α, k₁, k₂)-extension biclique can never span two components — so each
+//! component (or any union of components) is an exact, independently
+//! prunable shard.
+//!
+//! Real click graphs keep one *giant* component (hot items glue most of the
+//! surviving traffic together), so exact components alone give no
+//! parallelism. A giant component is therefore hash-split on user id into
+//! size-capped buckets with **boundary-item replication**: every shard
+//! carries *all* items its owned users click, plus a read-only **halo** of
+//! the outside users clicking those items. The halo is what makes in-shard
+//! pruning *sound* (never removing a vertex the global fixpoint keeps):
+//!
+//! * an owned user's common-neighbor counts are **exact** — its items are
+//!   all in the shard, and every potential partner (a user sharing an item)
+//!   is owned or in the halo with adjacency restricted to shard items;
+//! * an **interior** item (all alive clickers owned) likewise has exact
+//!   degree and common-neighbor counts;
+//! * boundary items and halo users are *pinned*: the shard may read them
+//!   but never remove them, so their counts only ever over-estimate — a
+//!   conservative keep, never a wrong removal.
+//!
+//! The runtime (`ricd-core`) runs each shard to a local fixpoint, applies
+//! the sound removals globally, and finishes the giant components with one
+//! reconciliation pass; by monotonicity the fixpoint is unique, so the
+//! sharded result equals the unsharded one exactly.
+
+use crate::components::connected_components;
+use crate::ids::{ItemId, UserId};
+use crate::view::GraphView;
+
+/// Fixed hash seed so plans are deterministic across runs and processes.
+const DEFAULT_HASH_SEED: u64 = 0x5eed_5a4d;
+
+/// Shard-planning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardOptions {
+    /// Cap on *owned* users per shard. Components at or under the cap are
+    /// bin-packed into exact shards; larger ones are hash-split into
+    /// `⌈users / max_users⌉` buckets (hash imbalance can leave a bucket
+    /// slightly above the cap — it is a target, not a hard bound).
+    pub max_users: usize,
+    /// Seed for the user-id hash that splits giant components.
+    pub hash_seed: u64,
+}
+
+impl ShardOptions {
+    /// Options targeting `max_users` owned users per shard.
+    pub fn with_max_users(max_users: usize) -> Self {
+        Self {
+            max_users: max_users.max(1),
+            hash_seed: DEFAULT_HASH_SEED,
+        }
+    }
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        Self::with_max_users(4096)
+    }
+}
+
+/// One independent detection unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Users this shard owns (sorted). Exactly these may be removed by
+    /// in-shard pruning; every alive user of a component appears as owned
+    /// in exactly one shard.
+    pub users: Vec<UserId>,
+    /// Every item in scope (sorted): for an exact shard the component
+    /// items, for a hash shard all alive items clicked by owned users
+    /// (boundary replication).
+    pub items: Vec<ItemId>,
+    /// Items with at least one alive clicker outside the owned set
+    /// (sorted; always empty for exact shards). Pinned: readable, never
+    /// removable in-shard.
+    pub boundary_items: Vec<ItemId>,
+    /// Alive outside clickers of shard items (sorted; empty for exact
+    /// shards). Pinned read-only context for exact common-neighbor counts.
+    pub halo_users: Vec<UserId>,
+    /// True when the shard is a union of whole components, so its local
+    /// fixpoint *is* the global one for those vertices.
+    pub exact: bool,
+}
+
+impl Shard {
+    /// A rough cost estimate for scheduling: larger shards first keeps the
+    /// pool balanced when shard sizes are skewed.
+    pub fn cost_estimate(&self) -> usize {
+        self.users.len() + self.halo_users.len() + 4 * self.items.len()
+    }
+}
+
+/// Plan statistics, exported as `shard.*` metrics by the runtime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardPlanStats {
+    /// Connected components seen (user-bearing only).
+    pub components: usize,
+    /// Components above the user cap, hash-split.
+    pub giant_components: usize,
+    /// Exact shards produced by bin-packing small components.
+    pub exact_shards: usize,
+    /// Hash shards produced by splitting giant components.
+    pub hash_shards: usize,
+    /// Total boundary items across hash shards (replication overhead).
+    pub replicated_items: usize,
+    /// Total halo users across hash shards.
+    pub halo_users: usize,
+}
+
+/// A full shard plan over one pruned view.
+#[derive(Clone, Debug, Default)]
+pub struct ShardPlan {
+    /// The shards, exact shards first, in deterministic order.
+    pub shards: Vec<Shard>,
+    /// Users of all giant (hash-split) components — the reconciliation
+    /// scope (sorted).
+    pub giant_users: Vec<UserId>,
+    /// Items of all giant components (sorted).
+    pub giant_items: Vec<ItemId>,
+    /// Plan statistics.
+    pub stats: ShardPlanStats,
+}
+
+impl ShardPlan {
+    /// True when at least one component was hash-split, so the runtime must
+    /// run a reconciliation pass over [`ShardPlan::giant_users`] /
+    /// [`ShardPlan::giant_items`].
+    pub fn needs_reconciliation(&self) -> bool {
+        self.stats.giant_components > 0
+    }
+}
+
+/// SplitMix64: cheap, well-mixed, and stable across platforms — bucket
+/// assignment must not depend on the process or the std hasher's seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Plans shards over the alive vertices of `view`.
+///
+/// Components with no users are skipped entirely: the group-level `k₁`
+/// floor discards them in both the sharded and unsharded paths (and after
+/// any degree pre-filter with positive bounds they cannot exist at all).
+pub fn plan_shards(view: &GraphView<'_>, opts: &ShardOptions) -> ShardPlan {
+    let max_users = opts.max_users.max(1);
+    let mut plan = ShardPlan::default();
+
+    let mut small: Vec<crate::components::Component> = Vec::new();
+    let mut giants: Vec<crate::components::Component> = Vec::new();
+    for c in connected_components(view) {
+        if c.users.is_empty() {
+            continue;
+        }
+        plan.stats.components += 1;
+        if c.users.len() <= max_users {
+            small.push(c);
+        } else {
+            giants.push(c);
+        }
+    }
+
+    // First-fit-decreasing bin-packing of whole components into exact
+    // shards. Sort is total (size, then first user id), so the plan is
+    // deterministic.
+    small.sort_by(|a, b| {
+        b.users
+            .len()
+            .cmp(&a.users.len())
+            .then(a.users[0].cmp(&b.users[0]))
+    });
+    let mut bins: Vec<(usize, Vec<UserId>, Vec<ItemId>)> = Vec::new();
+    for c in small {
+        let need = c.users.len();
+        match bins
+            .iter_mut()
+            .find(|(load, _, _)| load + need <= max_users)
+        {
+            Some((load, users, items)) => {
+                *load += need;
+                users.extend_from_slice(&c.users);
+                items.extend_from_slice(&c.items);
+            }
+            None => bins.push((need, c.users, c.items)),
+        }
+    }
+    for (_, mut users, mut items) in bins {
+        users.sort_unstable();
+        items.sort_unstable();
+        plan.stats.exact_shards += 1;
+        plan.shards.push(Shard {
+            users,
+            items,
+            boundary_items: Vec::new(),
+            halo_users: Vec::new(),
+            exact: true,
+        });
+    }
+
+    // Hash-split each giant component; one reusable ownership bitmap.
+    let mut owned = vec![false; view.graph().num_users()];
+    for c in giants {
+        plan.stats.giant_components += 1;
+        let buckets = c.users.len().div_ceil(max_users);
+        let mut bucket_users: Vec<Vec<UserId>> = vec![Vec::new(); buckets];
+        for &u in &c.users {
+            let b = (splitmix64(u64::from(u.0) ^ opts.hash_seed) % buckets as u64) as usize;
+            bucket_users[b].push(u);
+        }
+        for users in bucket_users.into_iter().filter(|b| !b.is_empty()) {
+            // `c.users` is sorted, so each bucket is too.
+            for &u in &users {
+                owned[u.index()] = true;
+            }
+            let mut items: Vec<ItemId> = users
+                .iter()
+                .flat_map(|&u| view.user_neighbors(u).map(|(v, _)| v))
+                .collect();
+            items.sort_unstable();
+            items.dedup();
+            let mut boundary_items = Vec::new();
+            let mut halo_users = Vec::new();
+            for &v in &items {
+                let mut outside = false;
+                for (u, _) in view.item_neighbors(v) {
+                    if !owned[u.index()] {
+                        outside = true;
+                        halo_users.push(u);
+                    }
+                }
+                if outside {
+                    boundary_items.push(v);
+                }
+            }
+            halo_users.sort_unstable();
+            halo_users.dedup();
+            for &u in &users {
+                owned[u.index()] = false;
+            }
+            plan.stats.hash_shards += 1;
+            plan.stats.replicated_items += boundary_items.len();
+            plan.stats.halo_users += halo_users.len();
+            plan.shards.push(Shard {
+                users,
+                items,
+                boundary_items,
+                halo_users,
+                exact: false,
+            });
+        }
+        plan.giant_users.extend_from_slice(&c.users);
+        plan.giant_items.extend_from_slice(&c.items);
+    }
+    plan.giant_users.sort_unstable();
+    plan.giant_items.sort_unstable();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// `n` disjoint `k × k` bicliques on dense contiguous ids.
+    fn bicliques(n: u32, k: u32) -> crate::BipartiteGraph {
+        let mut b = GraphBuilder::new();
+        for g in 0..n {
+            for u in 0..k {
+                for v in 0..k {
+                    b.add_click(UserId(g * k + u), ItemId(g * k + v), 5);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn small_components_bin_pack_into_exact_shards() {
+        let g = bicliques(4, 10);
+        let view = GraphView::full(&g);
+        let plan = plan_shards(&view, &ShardOptions::with_max_users(20));
+        assert_eq!(plan.stats.components, 4);
+        assert_eq!(plan.stats.giant_components, 0);
+        assert_eq!(plan.stats.exact_shards, 2, "4×10 users into cap-20 bins");
+        assert!(plan.shards.iter().all(|s| s.exact));
+        assert!(plan.shards.iter().all(|s| s.users.len() <= 20));
+        assert!(!plan.needs_reconciliation());
+        // Every user owned exactly once.
+        let mut owned: Vec<UserId> = plan.shards.iter().flat_map(|s| s.users.clone()).collect();
+        owned.sort_unstable();
+        assert_eq!(owned, view.users().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversized_component_is_hash_split_with_halo() {
+        // One 30×8 biclique: a single component above a cap of 10.
+        let mut b = GraphBuilder::new();
+        for u in 0..30u32 {
+            for v in 0..8u32 {
+                b.add_click(UserId(u), ItemId(v), 3);
+            }
+        }
+        let g = b.build();
+        let view = GraphView::full(&g);
+        let plan = plan_shards(&view, &ShardOptions::with_max_users(10));
+        assert_eq!(plan.stats.giant_components, 1);
+        assert_eq!(plan.stats.hash_shards, 3, "⌈30 / 10⌉ buckets");
+        assert!(plan.needs_reconciliation());
+        assert_eq!(plan.giant_users.len(), 30);
+        assert_eq!(plan.giant_items.len(), 8);
+        let mut owned: Vec<UserId> = plan.shards.iter().flat_map(|s| s.users.clone()).collect();
+        owned.sort_unstable();
+        assert_eq!(owned.len(), 30, "each user owned exactly once");
+        owned.dedup();
+        assert_eq!(owned.len(), 30);
+        for s in &plan.shards {
+            assert!(!s.exact);
+            // Full biclique: every item is clicked by every user, so every
+            // item is boundary and the halo is everyone else.
+            assert_eq!(s.items.len(), 8, "boundary replication carries items");
+            assert_eq!(s.boundary_items, s.items);
+            assert_eq!(s.halo_users.len(), 30 - s.users.len());
+            // Owned and halo are disjoint.
+            assert!(s.halo_users.iter().all(|u| !s.users.contains(u)));
+        }
+    }
+
+    #[test]
+    fn interior_items_are_not_boundary() {
+        // A giant chain of users sharing item 0, plus each user's private
+        // item: private items of owned users are interior.
+        let mut b = GraphBuilder::new();
+        for u in 0..20u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+            b.add_click(UserId(u), ItemId(100 + u), 1);
+        }
+        let g = b.build();
+        let view = GraphView::full(&g);
+        let plan = plan_shards(&view, &ShardOptions::with_max_users(5));
+        for s in &plan.shards {
+            for &v in &s.items {
+                if v == ItemId(0) {
+                    assert!(s.boundary_items.contains(&v), "shared item is boundary");
+                } else {
+                    assert!(
+                        !s.boundary_items.contains(&v),
+                        "private item {v:?} must be interior"
+                    );
+                }
+            }
+            // Halo = alive clickers of item 0 outside the shard.
+            assert_eq!(s.halo_users.len(), 20 - s.users.len());
+        }
+    }
+
+    #[test]
+    fn plan_ignores_dead_vertices() {
+        let g = bicliques(2, 10);
+        let mut view = GraphView::full(&g);
+        for u in 0..10u32 {
+            view.remove_user(UserId(u)); // kill component 0's users
+        }
+        let plan = plan_shards(&view, &ShardOptions::with_max_users(100));
+        // Component 0 is now item-only and skipped.
+        assert_eq!(plan.stats.components, 1);
+        assert_eq!(plan.shards.len(), 1);
+        assert!(plan.shards[0].users.iter().all(|u| u.0 >= 10));
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let g = bicliques(3, 15);
+        let view = GraphView::full(&g);
+        let opts = ShardOptions::with_max_users(7);
+        let a = plan_shards(&view, &opts);
+        let b = plan_shards(&view, &opts);
+        assert_eq!(a.shards, b.shards);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.giant_users, b.giant_users);
+    }
+
+    #[test]
+    fn empty_view_yields_empty_plan() {
+        let g = GraphBuilder::new().build();
+        let view = GraphView::full(&g);
+        let plan = plan_shards(&view, &ShardOptions::default());
+        assert!(plan.shards.is_empty());
+        assert_eq!(plan.stats, ShardPlanStats::default());
+    }
+
+    #[test]
+    fn zero_cap_is_clamped() {
+        let g = bicliques(1, 3);
+        let view = GraphView::full(&g);
+        let plan = plan_shards(&view, &ShardOptions::with_max_users(0));
+        assert!(!plan.shards.is_empty());
+        // Cap 1 → the 3-user component is giant and split 3 ways.
+        assert_eq!(plan.stats.giant_components, 1);
+    }
+
+    #[test]
+    fn shard_cost_estimate_orders_by_size() {
+        let g = bicliques(2, 10);
+        let view = GraphView::full(&g);
+        let plan = plan_shards(&view, &ShardOptions::with_max_users(100));
+        // Both components fit one bin → a single exact shard.
+        assert_eq!(plan.shards.len(), 1);
+        assert!(plan.shards[0].cost_estimate() > 0);
+    }
+}

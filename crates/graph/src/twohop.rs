@@ -95,6 +95,145 @@ pub fn for_each_item_common_neighbor<F: FnMut(ItemId, u32)>(
     }
 }
 
+/// Decides whether user `u` has at least `need` other alive users sharing
+/// `≥ bound` common neighbors with it — the `SquarePruning` survival test —
+/// **without** computing the full common-neighbor map.
+///
+/// Two properties make this much cheaper than
+/// [`for_each_user_common_neighbor`] on dense survivors:
+///
+/// * **Early exit.** Partial common counts only grow as more of `u`'s
+///   adjacency is scanned, so the moment `need` partners have crossed
+///   `bound` the answer is `true` — no further wedges needed. The test is
+///   exact: a `false` is only returned after the full scan.
+/// * **Cheap-first ordering.** `u`'s alive items are scanned in ascending
+///   alive-degree order, so the handful of ultra-popular items (the most
+///   expensive wedge sources) are visited last and usually skipped
+///   entirely once dense-structure partners qualify.
+///
+/// Callers wanting the paper's self-inclusive Definition 4 count adjust
+/// `need` for `u` itself (`|adj(u) ∩ adj(u)| = deg(u)`) before calling.
+pub fn user_has_qualified_neighbors(
+    view: &GraphView<'_>,
+    u: UserId,
+    bound: u32,
+    need: usize,
+    scratch: &mut CommonNeighborScratch,
+) -> bool {
+    if need == 0 {
+        return true;
+    }
+    if bound == 0 {
+        // Every alive co-clicker qualifies trivially; fall back to a plain
+        // distinct-partner count with early exit.
+        let mut n = 0;
+        scratch.clear();
+        for (v, _) in view.user_neighbors(u) {
+            for (u2, _) in view.item_neighbors(v) {
+                if u2 == u {
+                    continue;
+                }
+                let idx = u2.index();
+                if scratch.counts[idx] == 0 {
+                    scratch.touched.push(u2.0);
+                    scratch.counts[idx] = 1;
+                    n += 1;
+                    if n >= need {
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+    scratch.clear();
+    let mut items: Vec<(u32, ItemId)> = view
+        .user_neighbors(u)
+        .map(|(v, _)| (view.item_degree(v) as u32, v))
+        .collect();
+    items.sort_unstable();
+    let mut qualified = 0usize;
+    for &(_, v) in &items {
+        for (u2, _) in view.item_neighbors(v) {
+            if u2 == u {
+                continue;
+            }
+            let idx = u2.index();
+            if scratch.counts[idx] == 0 {
+                scratch.touched.push(u2.0);
+            }
+            scratch.counts[idx] += 1;
+            if scratch.counts[idx] == bound {
+                qualified += 1;
+                if qualified >= need {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Item-side analogue of [`user_has_qualified_neighbors`].
+pub fn item_has_qualified_neighbors(
+    view: &GraphView<'_>,
+    v: ItemId,
+    bound: u32,
+    need: usize,
+    scratch: &mut CommonNeighborScratch,
+) -> bool {
+    if need == 0 {
+        return true;
+    }
+    if bound == 0 {
+        let mut n = 0;
+        scratch.clear();
+        for (u, _) in view.item_neighbors(v) {
+            for (v2, _) in view.user_neighbors(u) {
+                if v2 == v {
+                    continue;
+                }
+                let idx = v2.index();
+                if scratch.counts[idx] == 0 {
+                    scratch.touched.push(v2.0);
+                    scratch.counts[idx] = 1;
+                    n += 1;
+                    if n >= need {
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+    scratch.clear();
+    let mut users: Vec<(u32, UserId)> = view
+        .item_neighbors(v)
+        .map(|(u, _)| (view.user_degree(u) as u32, u))
+        .collect();
+    users.sort_unstable();
+    let mut qualified = 0usize;
+    for &(_, u) in &users {
+        for (v2, _) in view.user_neighbors(u) {
+            if v2 == v {
+                continue;
+            }
+            let idx = v2.index();
+            if scratch.counts[idx] == 0 {
+                scratch.touched.push(v2.0);
+            }
+            scratch.counts[idx] += 1;
+            if scratch.counts[idx] == bound {
+                qualified += 1;
+                if qualified >= need {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Number of distinct users reachable from `u` in two hops (its two-hop
 /// neighborhood size), used for the `reduce2Hop` candidate ordering.
 pub fn user_two_hop_size(
@@ -238,6 +377,90 @@ mod tests {
         assert_eq!(m[&ItemId(1)], 2); // shared users u0, u1
         assert_eq!(m[&ItemId(2)], 1); // shared user u0
         assert_eq!(item_common_neighbors(&view, ItemId(0), ItemId(1)), 2);
+    }
+
+    #[test]
+    fn qualified_neighbor_test_matches_full_count() {
+        // A denser mixed graph: a 4x3 block plus stragglers.
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in 0..3u32 {
+                b.add_click(UserId(u), ItemId(v), 1);
+            }
+        }
+        for (u, v) in [(0, 3), (1, 3), (4, 0), (4, 3), (5, 4)] {
+            b.add_click(UserId(u), ItemId(v), 1);
+        }
+        let g = b.build();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(5));
+        let mut scratch = CommonNeighborScratch::new(g.num_users());
+        for u in (0..g.num_users() as u32).map(UserId) {
+            if !view.user_alive(u) {
+                continue;
+            }
+            for bound in 0..4u32 {
+                let mut full = 0usize;
+                for_each_user_common_neighbor(&view, u, &mut scratch, |_, c| {
+                    if c >= bound.max(1) {
+                        full += 1;
+                    }
+                });
+                if bound == 0 {
+                    // bound 0 counts distinct partners.
+                    full = 0;
+                    for_each_user_common_neighbor(&view, u, &mut scratch, |_, _| full += 1);
+                }
+                for need in 0..6usize {
+                    assert_eq!(
+                        user_has_qualified_neighbors(&view, u, bound, need, &mut scratch),
+                        full >= need,
+                        "u={u:?} bound={bound} need={need} full={full}"
+                    );
+                }
+            }
+        }
+        let mut iscratch = CommonNeighborScratch::new(g.num_items());
+        for v in (0..g.num_items() as u32).map(ItemId) {
+            for bound in 1..4u32 {
+                let mut full = 0usize;
+                for_each_item_common_neighbor(&view, v, &mut iscratch, |_, c| {
+                    if c >= bound {
+                        full += 1;
+                    }
+                });
+                for need in 0..6usize {
+                    assert_eq!(
+                        item_has_qualified_neighbors(&view, v, bound, need, &mut iscratch),
+                        full >= need,
+                        "v={v:?} bound={bound} need={need} full={full}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qualified_test_leaves_scratch_reusable() {
+        let g = sample();
+        let view = GraphView::full(&g);
+        let mut scratch = CommonNeighborScratch::new(g.num_users());
+        assert!(user_has_qualified_neighbors(
+            &view,
+            UserId(0),
+            2,
+            1,
+            &mut scratch
+        ));
+        // The early exit may leave counts dirty; the next full enumeration
+        // with the SAME scratch must still be correct because it clears
+        // first.
+        let mut m = HashMap::new();
+        for_each_user_common_neighbor(&view, UserId(0), &mut scratch, |o, c| {
+            m.insert(o, c);
+        });
+        assert_eq!(m[&UserId(1)], 2);
+        assert_eq!(m[&UserId(2)], 1);
     }
 
     #[test]

@@ -402,6 +402,30 @@ mod tests {
     }
 
     #[test]
+    fn restricted_view_with_empty_sets_is_fully_dead() {
+        // The degenerate seed neighborhood: no vertices supplied. Every
+        // vertex starts dead, every degree is zero, iteration yields
+        // nothing, and the empty view is still internally consistent.
+        let g = grid();
+        let view = GraphView::restricted(&g, [], []);
+        assert_eq!(view.alive_users(), 0);
+        assert_eq!(view.alive_items(), 0);
+        assert_eq!(view.users().count(), 0);
+        assert_eq!(view.items().count(), 0);
+        for u in 0..g.num_users() as u32 {
+            assert!(!view.user_alive(UserId(u)));
+            assert_eq!(view.user_degree(UserId(u)), 0);
+        }
+        for v in 0..g.num_items() as u32 {
+            assert!(!view.item_alive(ItemId(v)));
+            assert_eq!(view.item_degree(ItemId(v)), 0);
+        }
+        let (us, is) = view.alive_sets();
+        assert!(us.is_empty() && is.is_empty());
+        assert!(view.check_consistency());
+    }
+
+    #[test]
     fn neighbors_filter_dead_vertices() {
         let g = grid();
         let mut view = GraphView::full(&g);

@@ -278,6 +278,25 @@ mod tests {
     }
 
     #[test]
+    fn frame_at_exactly_the_cap_is_accepted() {
+        // The cap is inclusive: a payload of exactly MAX_FRAME_LEN bytes
+        // must survive the write guard and the read guard; one byte more
+        // is the hostile-length case below. A JSON string of cap-2 chars
+        // serializes to exactly cap bytes (two quote bytes, no escapes).
+        let payload = "x".repeat(MAX_FRAME_LEN as usize - 2);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).expect("exact-cap frame must be writable");
+        assert_eq!(buf.len(), 4 + MAX_FRAME_LEN as usize);
+        assert_eq!(&buf[..4], &MAX_FRAME_LEN.to_be_bytes());
+        let back: String =
+            read_frame(&mut buf.as_slice()).expect("exact-cap frame must be readable");
+        assert_eq!(back, payload);
+        // One byte past the cap is refused at the *write* side too.
+        let over = "x".repeat(MAX_FRAME_LEN as usize - 1);
+        assert!(write_frame(&mut Vec::new(), &over).is_err());
+    }
+
+    #[test]
     fn hostile_length_rejected_without_allocation() {
         let mut buf = (MAX_FRAME_LEN + 1).to_be_bytes().to_vec();
         buf.extend_from_slice(b"xx");

@@ -74,12 +74,13 @@ ricd - Ride Item's Coattails attack detection (ICDE 2021 reproduction)
 
 USAGE:
     ricd generate --output <clicks.tsv> [--truth <truth.json>]
-                  [--scale tiny|small|default] [--groups <N>] [--seed <N>]
+                  [--scale tiny|small|default|100x] [--groups <N>] [--seed <N>]
     ricd stats    --input <clicks.tsv> [--lossy]
     ricd detect   --input <clicks.tsv> [--output <report.json>]
                   [--k1 <N>] [--k2 <N>] [--alpha <F>]
                   [--t-hot <N>] [--t-click <N>]
                   [--seed-user <id>]... [--seed-item <id>]...
+                  [--shards <N>] [--shard-max-users <N>]
                   [--lossy] [--deadline-ms <N>] [--max-groups <N>]
                   [--metrics-out <m.json>] [--metrics-count-only] [--trace]
     ricd eval     --input <clicks.tsv> --truth <truth.json> [--method <NAME>]
@@ -109,6 +110,15 @@ FAULT TOLERANCE:
     --deadline-ms N  wall-clock budget; past it the run degrades to the
                      naive detector and warns instead of failing
     --max-groups N   cap the report at the N largest groups
+
+SHARDING:
+    --shards N           run detection sharded: split the pre-filtered
+                         graph into ~N independent units (connected
+                         components, hash-splitting any giant) and prune
+                         them concurrently; output is identical to the
+                         unsharded run
+    --shard-max-users N  shard by an explicit per-shard user cap instead
+                         of a target count (overrides --shards)
 
 OBSERVABILITY:
     --metrics-out F        write the run's metrics snapshot (counters,
@@ -291,16 +301,18 @@ fn run_budget(flags: &Flags) -> Result<RunBudget, CliError> {
 fn cmd_generate(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
     let output = flags.require("--output")?;
-    let mut dataset_cfg = match flags.get("--scale") {
-        None | Some("default") => DatasetConfig::default(),
-        Some("small") => DatasetConfig::small(),
-        Some("tiny") => DatasetConfig::tiny(),
+    // The 100× preset pairs its own attack mix: ten times the planted
+    // groups so the fake-to-organic ratio matches the smaller scales.
+    let (mut dataset_cfg, mut attack) = match flags.get("--scale") {
+        None | Some("default") => (DatasetConfig::default(), AttackConfig::evaluation()),
+        Some("small") => (DatasetConfig::small(), AttackConfig::evaluation()),
+        Some("tiny") => (DatasetConfig::tiny(), AttackConfig::evaluation()),
+        Some("100x") => (DatasetConfig::scale100(), AttackConfig::scale100()),
         Some(other) => return Err(CliError::Usage(format!("unknown scale `{other}`"))),
     };
     if let Some(seed) = flags.parse("--seed")? {
         dataset_cfg.seed = seed;
     }
-    let mut attack = AttackConfig::evaluation();
     if let Some(groups) = flags.parse("--groups")? {
         attack.num_groups = groups;
     }
@@ -385,12 +397,21 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
             .collect::<Result<_, _>>()?,
     };
 
+    let shard_cfg = {
+        let shards = flags.parse("--shards")?;
+        let max_users = flags.parse("--shard-max-users")?;
+        (shards.is_some() || max_users.is_some()).then_some(ShardConfig { shards, max_users })
+    };
+
     let g = load_graph(input, flags.has("--lossy"), Some(&registry))?;
-    let result = RicdPipeline::new(params)
+    let pipeline = RicdPipeline::new(params)
         .with_seeds(seeds)
         .with_budget(budget)
-        .with_metrics(registry.clone())
-        .run(&g);
+        .with_metrics(registry.clone());
+    let result = match &shard_cfg {
+        Some(cfg) => pipeline.run_sharded(&g, cfg),
+        None => pipeline.run(&g),
+    };
     if let RunStatus::Degraded { reason, phase } = &result.status {
         eprintln!("warning: degraded run (phase `{phase}`): {reason}");
     }

@@ -1,0 +1,79 @@
+//! Integration proof of the sharding contract: on real datagen worlds, the
+//! sharded pipeline (`run_sharded`) produces *identical* output to the
+//! unsharded pipeline — same groups, same risk scores, same ranking — for
+//! every shard configuration, including caps small enough to force
+//! hash-splitting of merged components.
+
+use fake_click_detection::engine::WorkerPool;
+use fake_click_detection::prelude::*;
+
+fn world() -> SyntheticDataset {
+    let attack = AttackConfig {
+        num_groups: 6,
+        target_coverage: 0.9,
+        ..AttackConfig::evaluation()
+    };
+    generate(&DatasetConfig::small(), &attack).expect("valid configs")
+}
+
+#[test]
+fn sharded_pipeline_matches_unsharded_groups_and_risk_ordering() {
+    let ds = world();
+    let baseline = RicdPipeline::new(RicdParams::default()).run(&ds.graph);
+    assert!(
+        !baseline.groups.is_empty(),
+        "scenario sanity: planted attacks must be detected"
+    );
+
+    for (cfg, workers) in [
+        (ShardConfig::default(), 1),
+        (
+            ShardConfig {
+                shards: Some(4),
+                max_users: None,
+            },
+            4,
+        ),
+        // A cap far below any planted group's size: components get
+        // hash-split and boundary items replicated, yet nothing may change.
+        (
+            ShardConfig {
+                shards: None,
+                max_users: Some(3),
+            },
+            2,
+        ),
+    ] {
+        let sharded = RicdPipeline::new(RicdParams::default())
+            .with_pool(WorkerPool::new(workers))
+            .run_sharded(&ds.graph, &cfg);
+        assert_eq!(sharded.status, baseline.status, "cfg={cfg:?}");
+        assert_eq!(sharded.groups, baseline.groups, "cfg={cfg:?}");
+        assert_eq!(
+            sharded.ranked_users, baseline.ranked_users,
+            "user risk ordering diverged (cfg={cfg:?})"
+        );
+        assert_eq!(
+            sharded.ranked_items, baseline.ranked_items,
+            "item risk ordering diverged (cfg={cfg:?})"
+        );
+    }
+}
+
+#[test]
+fn sharded_run_flags_every_planted_worker_the_baseline_flags() {
+    let ds = world();
+    let baseline = RicdPipeline::new(RicdParams::default()).run(&ds.graph);
+    let sharded =
+        RicdPipeline::new(RicdParams::default()).run_sharded(&ds.graph, &ShardConfig::default());
+    assert_eq!(
+        sharded.suspicious_users(),
+        baseline.suspicious_users(),
+        "flagged user set must be identical"
+    );
+    assert_eq!(
+        sharded.suspicious_items(),
+        baseline.suspicious_items(),
+        "flagged item set must be identical"
+    );
+}
