@@ -1,28 +1,33 @@
 //! Load benchmark for the online detection service.
 //!
-//! Starts a loopback `ricd-serve` daemon with a deliberately small ingest
-//! queue, replays a datagen world from one ingester thread (sequence
-//! numbers are a single stream, so exactly one thread owns them) while a
-//! fleet of query threads hammers `QueryRisk`/`Recommend` concurrently,
-//! and writes `BENCH_serve.json` with ingest throughput and query latency
-//! percentiles.
+//! Three scenarios, one report (`BENCH_serve.json`):
 //!
-//! Two invariants are asserted, matching the serving design:
-//!
-//! * backpressure actually engaged (the rejected counter is > 0 — the
-//!   bounded queue pushed back under load), and
-//! * no accepted batch was dropped (the server's final `next_seq` equals
-//!   the number of accepted batches).
+//! * **monolith** — the classic single-state daemon with a deliberately
+//!   small ingest queue: one ingester replays a datagen world while a
+//!   query fleet hammers `QueryRisk`/`Recommend`; reports ingest
+//!   throughput and query latency percentiles, and asserts backpressure
+//!   engaged and no accepted batch was dropped.
+//! * **sharded** — the supervised multi-shard router at 2 and 4 shards,
+//!   same replay and query fleet; adds the degraded-query fraction
+//!   (expected 0 on a healthy topology).
+//! * **faulted** — the sharded tier under a kill plan: shard workers are
+//!   crashed mid-replay while the fleet keeps querying. Reports the
+//!   degraded-query fraction, supervisor restarts, and the p50/p99
+//!   recovery time (outage window until every shard is `Up` again), and
+//!   asserts zero accepted-batch loss end to end.
 
 use ricd_core::{RicdParams, RicdPipeline};
 use ricd_datagen::prelude::*;
-use ricd_engine::WorkerPool;
+use ricd_engine::{ServeFault, ServeFaultPlan, WorkerPool};
 use ricd_graph::{ItemId, UserId};
-use ricd_serve::{start, Client, IngestOutcome, ServeConfig, ServeState};
+use ricd_serve::{
+    start, start_router, Client, IngestOutcome, RetryPolicy, RouterConfig, ServeConfig, ServeState,
+    SupervisorConfig,
+};
 use serde::Serialize;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const BATCH_RECORDS: usize = 400;
 const QUERY_THREADS: usize = 4;
@@ -30,10 +35,9 @@ const QUERY_THREADS: usize = 4;
 #[derive(Serialize)]
 struct Report {
     world: WorldInfo,
-    config: ConfigInfo,
-    ingest: IngestReport,
-    query: QueryReport,
-    view: ViewReport,
+    monolith: MonolithReport,
+    sharded: Vec<ShardedReport>,
+    faulted: FaultedReport,
 }
 
 #[derive(Serialize)]
@@ -41,6 +45,34 @@ struct WorldInfo {
     users: usize,
     items: usize,
     edges: usize,
+}
+
+#[derive(Serialize)]
+struct MonolithReport {
+    config: ConfigInfo,
+    ingest: IngestReport,
+    query: QueryReport,
+    view: ViewReport,
+}
+
+#[derive(Serialize)]
+struct ShardedReport {
+    shards: usize,
+    ingest: IngestReport,
+    query: QueryReport,
+    degraded_query_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct FaultedReport {
+    shards: usize,
+    kills: usize,
+    ingest: IngestReport,
+    query: QueryReport,
+    degraded_query_fraction: f64,
+    supervisor_restarts: u64,
+    recovery_ms_p50: f64,
+    recovery_ms_p99: f64,
 }
 
 #[derive(Serialize)]
@@ -85,18 +117,78 @@ fn percentile_us(sorted_nanos: &[u64], p: f64) -> f64 {
     sorted_nanos[idx] as f64 / 1e3
 }
 
-fn main() {
-    let ds = generate(
-        &DatasetConfig::tiny(),
-        &AttackConfig {
-            num_groups: 2,
-            ..AttackConfig::default()
-        },
-    )
-    .expect("datagen world");
-    let records: Vec<(UserId, ItemId, u32)> = ds.graph.edges().collect();
-    let num_users = ds.graph.num_users() as u32;
+fn percentile_ms(sorted_nanos: &[u64], p: f64) -> f64 {
+    percentile_us(sorted_nanos, p) / 1e3
+}
 
+/// A query fleet against `addr`: per-call latencies plus the fraction of
+/// risk queries answered in degraded mode.
+struct Fleet {
+    stop: Arc<AtomicBool>,
+    degraded: Arc<AtomicU64>,
+    total: Arc<AtomicU64>,
+    threads: Vec<std::thread::JoinHandle<Vec<u64>>>,
+}
+
+impl Fleet {
+    fn launch(addr: std::net::SocketAddr, num_users: u32) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let degraded = Arc::new(AtomicU64::new(0));
+        let total = Arc::new(AtomicU64::new(0));
+        let threads = (0..QUERY_THREADS)
+            .map(|t| {
+                let (stop, degraded, total) = (stop.clone(), degraded.clone(), total.clone());
+                std::thread::spawn(move || -> Vec<u64> {
+                    let mut c = Client::connect(addr).expect("query client connects");
+                    let mut latencies = Vec::new();
+                    let mut i = t as u32;
+                    while !stop.load(Ordering::Relaxed) {
+                        let user = UserId(i % num_users.max(1));
+                        let started = Instant::now();
+                        let was_degraded = if i.is_multiple_of(2) {
+                            c.query_risk(vec![user], vec![ItemId(i % 100)])
+                                .expect("risk query under load")
+                                .degraded
+                        } else {
+                            c.recommend(user, 10)
+                                .expect("recommend under load")
+                                .degraded
+                        };
+                        latencies.push(started.elapsed().as_nanos() as u64);
+                        total.fetch_add(1, Ordering::Relaxed);
+                        if was_degraded {
+                            degraded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        i = i.wrapping_add(7);
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        Self {
+            stop,
+            degraded,
+            total,
+            threads,
+        }
+    }
+
+    /// Stops the fleet; returns (sorted latencies, degraded fraction).
+    fn finish(self) -> (Vec<u64>, f64) {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut latencies: Vec<u64> = self
+            .threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("query thread clean"))
+            .collect();
+        latencies.sort_unstable();
+        let total = self.total.load(Ordering::Relaxed).max(1);
+        let fraction = self.degraded.load(Ordering::Relaxed) as f64 / total as f64;
+        (latencies, fraction)
+    }
+}
+
+fn run_monolith(records: &[(UserId, ItemId, u32)], num_users: u32) -> MonolithReport {
     // A small queue + per-batch detection keeps the worker saturated, so
     // the bounded queue genuinely pushes back during the replay.
     let cfg = ServeConfig {
@@ -112,32 +204,7 @@ fn main() {
     );
     let handle = start(state, "127.0.0.1:0").expect("bind loopback");
     let addr = handle.addr();
-
-    // Query fleet: each thread owns a connection and times every call.
-    let stop = Arc::new(AtomicBool::new(false));
-    let query_threads: Vec<_> = (0..QUERY_THREADS)
-        .map(|t| {
-            let stop = stop.clone();
-            std::thread::spawn(move || -> Vec<u64> {
-                let mut c = Client::connect(addr).expect("query client connects");
-                let mut latencies = Vec::new();
-                let mut i = t as u32;
-                while !stop.load(Ordering::Relaxed) {
-                    let user = UserId(i % num_users.max(1));
-                    let started = Instant::now();
-                    if i.is_multiple_of(2) {
-                        c.query_risk(vec![user], vec![ItemId(i % 100)])
-                            .expect("risk query under load");
-                    } else {
-                        c.recommend(user, 10).expect("recommend under load");
-                    }
-                    latencies.push(started.elapsed().as_nanos() as u64);
-                    i = i.wrapping_add(7);
-                }
-                latencies
-            })
-        })
-        .collect();
+    let fleet = Fleet::launch(addr, num_users);
 
     // Single ingester replaying the world; rejected sends are retried, so
     // every batch is eventually accepted exactly once.
@@ -157,7 +224,7 @@ fn main() {
                 }
                 IngestOutcome::Backpressure { .. } => {
                     rejections += 1;
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    std::thread::sleep(Duration::from_millis(1));
                 }
             }
         }
@@ -172,15 +239,9 @@ fn main() {
         {
             break m;
         }
-        std::thread::sleep(std::time::Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(5));
     };
-    stop.store(true, Ordering::Relaxed);
-    let mut latencies: Vec<u64> = query_threads
-        .into_iter()
-        .flat_map(|t| t.join().expect("query thread clean"))
-        .collect();
-    latencies.sort_unstable();
-
+    let (latencies, _) = fleet.finish();
     ingester.shutdown().expect("shutdown");
     drop(ingester);
     let final_state = handle.join();
@@ -196,12 +257,7 @@ fn main() {
         "accepted batches must all be processed, none dropped"
     );
 
-    let report = Report {
-        world: WorldInfo {
-            users: ds.graph.num_users(),
-            items: ds.graph.num_items(),
-            edges: ds.graph.num_edges(),
-        },
+    let report = MonolithReport {
         config: ConfigInfo {
             queue_capacity: cfg.queue_capacity,
             swap_every_batches: cfg.swap_every_batches,
@@ -229,22 +285,240 @@ fn main() {
             flagged_items: metrics.gauge("serve.view_flagged_items").unwrap_or(0),
         },
     };
+    assert!(
+        report.view.groups >= 2,
+        "planted groups must be detected during the replay"
+    );
+    report
+}
+
+/// Fast supervision knobs so faulted-run recovery fits a bench budget.
+fn bench_supervisor() -> SupervisorConfig {
+    SupervisorConfig {
+        probe_interval: Duration::from_millis(5),
+        stall_timeout: Duration::from_millis(500),
+        restart: RetryPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(20),
+            deadline: None,
+            jitter_seed: 0x5eed_5a4d,
+        },
+        max_restarts_per_shard: 16,
+    }
+}
+
+fn router_config(shards: usize, plan: ServeFaultPlan) -> RouterConfig {
+    RouterConfig {
+        shards,
+        params: RicdParams::default(),
+        serve: ServeConfig {
+            swap_every_batches: 2,
+            ..ServeConfig::default()
+        },
+        buffer_per_shard: 4096,
+        supervisor: bench_supervisor(),
+        checkpoint_every_batches: 0,
+        fault_plan: plan,
+        ..RouterConfig::default()
+    }
+}
+
+/// Replays the world through the router and waits for a full drain.
+/// Returns (accepted, rejections, wall, final status).
+fn replay_routed(
+    addr: std::net::SocketAddr,
+    records: &[(UserId, ItemId, u32)],
+) -> (u64, u64, Duration, ricd_serve::StatusReport) {
+    let mut ingester = Client::connect(addr).expect("ingest client connects");
+    let policy = RetryPolicy::with_deadline(Duration::from_secs(300));
+    let replay_started = Instant::now();
+    let mut rejections = 0u64;
+    let mut accepted = 0u64;
+    for chunk in records.chunks(BATCH_RECORDS) {
+        let stats = ingester
+            .ingest_blocking_with(accepted, chunk, &policy)
+            .expect("batch accepted");
+        rejections += stats.rejections;
+        accepted += 1;
+    }
+    let wall = replay_started.elapsed();
+    // Drain: every shard Up with an empty backlog.
+    let status = loop {
+        let st = ingester.status().expect("status");
+        if st.shards.iter().all(|s| s.state == "up" && s.backlog == 0) {
+            break st;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    ingester.shutdown().expect("shutdown");
+    (accepted, rejections, wall, status)
+}
+
+fn run_sharded(shards: usize, records: &[(UserId, ItemId, u32)], num_users: u32) -> ShardedReport {
+    let handle = start_router(
+        router_config(shards, ServeFaultPlan::none()),
+        ricd_obs::MetricsRegistry::new(),
+        "127.0.0.1:0",
+        None,
+    )
+    .expect("bind router");
+    let addr = handle.addr();
+    let fleet = Fleet::launch(addr, num_users);
+    let (accepted, rejections, wall, _) = replay_routed(addr, records);
+    let (latencies, degraded_fraction) = fleet.finish();
+    let states = handle.join();
+    let processed: u64 = states.iter().map(ServeState::next_seq).sum();
+    assert!(
+        processed >= accepted,
+        "sharded drain lost batches: {processed} sub-batches < {accepted} accepted"
+    );
+    ShardedReport {
+        shards,
+        ingest: IngestReport {
+            batches_accepted: accepted,
+            records: records.len(),
+            backpressure_rejections: rejections,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            records_per_sec: records.len() as f64 / wall.as_secs_f64(),
+        },
+        query: QueryReport {
+            queries: latencies.len(),
+            p50_us: percentile_us(&latencies, 0.50),
+            p99_us: percentile_us(&latencies, 0.99),
+        },
+        degraded_query_fraction: degraded_fraction,
+    }
+}
+
+fn run_faulted(records: &[(UserId, ItemId, u32)], num_users: u32) -> FaultedReport {
+    let shards = 2usize;
+    // Kill both shards once, early in their local streams, plus a second
+    // kill of shard 0 mid-replay.
+    let mut plan = ServeFaultPlan::none();
+    plan.add(0, 1, ServeFault::Kill)
+        .add(1, 2, ServeFault::Kill)
+        .add(0, 4, ServeFault::Kill);
+    let kills = plan.len();
+    let handle = start_router(
+        router_config(shards, plan),
+        ricd_obs::MetricsRegistry::new(),
+        "127.0.0.1:0",
+        None,
+    )
+    .expect("bind router");
+    let addr = handle.addr();
+
+    // Outage observer: samples shard health and records each window from
+    // "some shard not Up" back to "all Up" as one recovery sample.
+    let stop = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || -> Vec<u64> {
+            let mut c = Client::connect(addr).expect("observer connects");
+            let mut windows = Vec::new();
+            let mut outage_since: Option<Instant> = None;
+            while !stop.load(Ordering::Relaxed) {
+                let st = c.status().expect("status");
+                let all_up = st.shards.iter().all(|s| s.state == "up");
+                match (all_up, outage_since) {
+                    (false, None) => outage_since = Some(Instant::now()),
+                    (true, Some(t0)) => {
+                        windows.push(t0.elapsed().as_nanos() as u64);
+                        outage_since = None;
+                    }
+                    _ => {}
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            windows
+        })
+    };
+
+    let fleet = Fleet::launch(addr, num_users);
+    let (accepted, rejections, wall, status) = replay_routed(addr, records);
+    let (latencies, degraded_fraction) = fleet.finish();
+    stop.store(true, Ordering::Relaxed);
+    let mut recovery = observer.join().expect("observer clean");
+    recovery.sort_unstable();
+    let restarts: u64 = status.shards.iter().map(|s| s.restarts).sum();
+    let states = handle.join();
+    let processed: u64 = states.iter().map(ServeState::next_seq).sum();
+    assert!(
+        processed >= accepted,
+        "faulted drain lost batches: {processed} sub-batches < {accepted} accepted"
+    );
+    assert_eq!(
+        restarts, kills as u64,
+        "every kill must cause exactly one supervised restart"
+    );
+    assert!(
+        !recovery.is_empty(),
+        "the outage observer never saw a down window"
+    );
+
+    FaultedReport {
+        shards,
+        kills,
+        ingest: IngestReport {
+            batches_accepted: accepted,
+            records: records.len(),
+            backpressure_rejections: rejections,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            records_per_sec: records.len() as f64 / wall.as_secs_f64(),
+        },
+        query: QueryReport {
+            queries: latencies.len(),
+            p50_us: percentile_us(&latencies, 0.50),
+            p99_us: percentile_us(&latencies, 0.99),
+        },
+        degraded_query_fraction: degraded_fraction,
+        supervisor_restarts: restarts,
+        recovery_ms_p50: percentile_ms(&recovery, 0.50),
+        recovery_ms_p99: percentile_ms(&recovery, 0.99),
+    }
+}
+
+fn main() {
+    let ds = generate(
+        &DatasetConfig::tiny(),
+        &AttackConfig {
+            num_groups: 2,
+            ..AttackConfig::default()
+        },
+    )
+    .expect("datagen world");
+    let records: Vec<(UserId, ItemId, u32)> = ds.graph.edges().collect();
+    let num_users = ds.graph.num_users() as u32;
+
+    let monolith = run_monolith(&records, num_users);
+    let sharded: Vec<ShardedReport> = [2usize, 4]
+        .into_iter()
+        .map(|shards| run_sharded(shards, &records, num_users))
+        .collect();
+    let faulted = run_faulted(&records, num_users);
+
+    let report = Report {
+        world: WorldInfo {
+            users: ds.graph.num_users(),
+            items: ds.graph.num_items(),
+            edges: ds.graph.num_edges(),
+        },
+        monolith,
+        sharded,
+        faulted,
+    };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("{json}");
     eprintln!(
-        "ingested {} records in {:.1}ms ({:.0} records/s, {} rejections); \
-         {} queries, p50 {:.0}us p99 {:.0}us",
-        records.len(),
-        report.ingest.wall_ms,
-        report.ingest.records_per_sec,
-        rejections,
-        report.query.queries,
-        report.query.p50_us,
-        report.query.p99_us
-    );
-    assert!(
-        report.view.groups >= 2,
-        "planted groups must be detected during the replay"
+        "monolith: {:.0} records/s, {} rejections, query p99 {:.0}us | \
+         faulted: {} kills, {} restarts, recovery p99 {:.1}ms, degraded {:.1}%",
+        report.monolith.ingest.records_per_sec,
+        report.monolith.ingest.backpressure_rejections,
+        report.monolith.query.p99_us,
+        report.faulted.kills,
+        report.faulted.supervisor_restarts,
+        report.faulted.recovery_ms_p99,
+        report.faulted.degraded_query_fraction * 100.0
     );
 }

@@ -107,6 +107,73 @@ impl RiskView {
         }
     }
 
+    /// Merges per-shard views into one combined view, stamped `epoch`.
+    ///
+    /// This is the degraded-query surface of the sharded serve tier: when a
+    /// shard is down, the router answers from whatever live shard views it
+    /// still holds. Halo replication means a group can be detected — in
+    /// full, by the soundness argument in `ricd_graph::shard` — by several
+    /// shards at once, so groups are deduplicated by their exact member
+    /// sets (users + items); a node flagged by several views keeps the
+    /// highest score any of them assigned, and its group index is rewritten
+    /// to point into the merged group list. The merge is order-insensitive
+    /// up to group numbering, which follows first appearance in `views`
+    /// order (callers pass shards in shard-index order for determinism).
+    pub fn merged(epoch: u64, views: &[&RiskView]) -> Self {
+        let mut groups: Vec<SuspiciousGroup> = Vec::new();
+        let mut users: Vec<(UserId, RiskVerdict)> = Vec::new();
+        let mut items: Vec<(ItemId, RiskVerdict)> = Vec::new();
+        for view in views {
+            // Map this view's group indices into the merged list.
+            let remap: Vec<usize> = view
+                .groups
+                .iter()
+                .map(|g| {
+                    match groups
+                        .iter()
+                        .position(|m| m.users == g.users && m.items == g.items)
+                    {
+                        Some(i) => i,
+                        None => {
+                            groups.push(g.clone());
+                            groups.len() - 1
+                        }
+                    }
+                })
+                .collect();
+            let rewrite = |mut v: RiskVerdict| {
+                v.group = v.group.map(|gi| remap[gi]);
+                v
+            };
+            for &(u, v) in &view.users {
+                users.push((u, rewrite(v)));
+            }
+            for &(i, v) in &view.items {
+                items.push((i, rewrite(v)));
+            }
+        }
+        // A node flagged by several shards keeps its best-scored verdict
+        // (ties broken toward the earliest shard's group assignment).
+        fn collapse<K: Ord + Copy>(table: &mut Vec<(K, RiskVerdict)>) {
+            table.sort_by(|a, b| {
+                a.0.cmp(&b.0).then(
+                    b.1.score
+                        .partial_cmp(&a.1.score)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+            });
+            table.dedup_by_key(|&mut (k, _)| k);
+        }
+        collapse(&mut users);
+        collapse(&mut items);
+        Self {
+            epoch,
+            groups,
+            users,
+            items,
+        }
+    }
+
     /// The view's generation stamp.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -236,6 +303,71 @@ mod tests {
         let g = view.group(view.user(UserId(7)).group.unwrap()).unwrap();
         assert!(g.users.contains(&UserId(7)));
         assert!(view.group(5).is_none());
+    }
+
+    #[test]
+    fn merged_deduplicates_halo_replicated_groups() {
+        // Two shards detect the same group (halo replication), one shard
+        // also has a group of its own; the merge keeps each group once.
+        let shared = SuspiciousGroup {
+            users: vec![UserId(1), UserId(2)],
+            items: vec![ItemId(5)],
+            ridden_hot_items: vec![ItemId(0)],
+        };
+        let own = SuspiciousGroup {
+            users: vec![UserId(9)],
+            items: vec![ItemId(7)],
+            ridden_hot_items: vec![],
+        };
+        let a = RiskView::from_result(
+            4,
+            &DetectionResult {
+                groups: vec![shared.clone()],
+                ranked_users: vec![(UserId(1), 2.0)],
+                ..DetectionResult::default()
+            },
+        );
+        let b = RiskView::from_result(
+            4,
+            &DetectionResult {
+                groups: vec![own.clone(), shared.clone()],
+                ranked_users: vec![(UserId(1), 5.0), (UserId(9), 1.0)],
+                ..DetectionResult::default()
+            },
+        );
+        let m = RiskView::merged(4, &[&a, &b]);
+        assert_eq!(m.epoch(), 4);
+        assert_eq!(m.groups().len(), 2, "shared group deduplicated");
+        // User 1 keeps the best score across shards and points at the
+        // merged index of the shared group (0: first appearance, via a).
+        let u1 = m.user(UserId(1));
+        assert!(u1.flagged);
+        assert!((u1.score - 5.0).abs() < 1e-12);
+        assert_eq!(u1.group, Some(0));
+        // Shard b's own group was remapped past the shared one.
+        let u9 = m.user(UserId(9));
+        assert_eq!(u9.group, Some(1));
+        assert_eq!(m.group(1).unwrap().users, own.users);
+        assert_eq!(m.flagged_users(), vec![UserId(1), UserId(2), UserId(9)]);
+        assert_eq!(m.flagged_items(), vec![ItemId(5), ItemId(7)]);
+    }
+
+    #[test]
+    fn merged_of_single_view_preserves_lookups() {
+        let v = RiskView::from_result(2, &result());
+        let m = RiskView::merged(9, &[&v]);
+        assert_eq!(m.epoch(), 9);
+        assert_eq!(m.groups(), v.groups());
+        assert_eq!(m.flagged_users(), v.flagged_users());
+        assert_eq!(m.user(UserId(2)), v.user(UserId(2)));
+    }
+
+    #[test]
+    fn merged_of_nothing_is_empty() {
+        let m = RiskView::merged(3, &[]);
+        assert_eq!(m.epoch(), 3);
+        assert_eq!(m.num_flagged_users(), 0);
+        assert!(m.groups().is_empty());
     }
 
     #[test]

@@ -148,6 +148,167 @@ impl FaultInjector {
     }
 }
 
+/// A serve-tier fault: what happens to a shard worker (or a wire frame)
+/// when its fault point fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeFault {
+    /// The shard worker panics before processing the batch — a crash the
+    /// supervisor must detect and recover from its checkpoint.
+    Kill,
+    /// The shard worker sleeps this long before processing — a stall the
+    /// health probes must surface (and that clears by itself).
+    Stall {
+        /// Sleep duration in milliseconds.
+        millis: u64,
+    },
+    /// A wire peer dribbles its frame byte-by-byte with this inter-byte
+    /// delay — the slow-loris shape the per-connection I/O deadline guards
+    /// against.
+    SlowFrame {
+        /// Delay between bytes in milliseconds.
+        millis: u64,
+    },
+}
+
+/// A reproducible serve-tier fault plan: shard `s` suffers a [`ServeFault`]
+/// when it reaches batch sequence `q`. The compute-fault [`FaultPlan`]
+/// models partition retries inside one detection run; this plans process-
+/// level chaos across a router topology — crashes, stalls, slow frames —
+/// keyed by (shard, batch seq) so a failing run replays exactly.
+#[derive(Clone, Debug, Default)]
+pub struct ServeFaultPlan {
+    points: std::collections::BTreeMap<(usize, u64), ServeFault>,
+}
+
+impl ServeFaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A plan with one kill point: shard `shard` panics at batch `seq`.
+    pub fn kill_at(shard: usize, seq: u64) -> Self {
+        let mut p = Self::default();
+        p.add(shard, seq, ServeFault::Kill);
+        p
+    }
+
+    /// A plan with one stall point.
+    pub fn stall_at(shard: usize, seq: u64, millis: u64) -> Self {
+        let mut p = Self::default();
+        p.add(shard, seq, ServeFault::Stall { millis });
+        p
+    }
+
+    /// Scatters `kills` kill points and `stalls` stall points over
+    /// `shards × seq_horizon` from `seed`. The same seed always yields the
+    /// same plan; kill and stall points never collide (later inserts skip
+    /// occupied cells).
+    pub fn seeded(
+        seed: u64,
+        shards: usize,
+        seq_horizon: u64,
+        kills: usize,
+        stalls: usize,
+        stall_millis: u64,
+    ) -> Self {
+        let mut plan = Self::default();
+        if shards == 0 || seq_horizon == 0 {
+            return plan;
+        }
+        let mut state = seed;
+        let grid = shards as u64 * seq_horizon;
+        for (want, fault) in [
+            (kills, ServeFault::Kill),
+            (
+                stalls,
+                ServeFault::Stall {
+                    millis: stall_millis,
+                },
+            ),
+        ] {
+            let mut placed = 0usize;
+            let mut budget = want.saturating_mul(4) + 16;
+            while placed < want.min(grid as usize) && budget > 0 {
+                let s = (splitmix64(&mut state) % shards as u64) as usize;
+                let q = splitmix64(&mut state) % seq_horizon;
+                if plan.points.insert((s, q), fault).is_none() {
+                    placed += 1;
+                }
+                budget -= 1;
+            }
+        }
+        plan
+    }
+
+    /// Adds a fault point.
+    pub fn add(&mut self, shard: usize, seq: u64, fault: ServeFault) -> &mut Self {
+        self.points.insert((shard, seq), fault);
+        self
+    }
+
+    /// Number of fault points in the plan.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the plan has no fault points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The planned points, for test assertions.
+    pub fn points(&self) -> impl Iterator<Item = (usize, u64, ServeFault)> + '_ {
+        self.points.iter().map(|(&(s, q), &f)| (s, q, f))
+    }
+}
+
+/// Arms a [`ServeFaultPlan`] for a run. Shard workers call
+/// [`take`](Self::take) before each batch; a fault fires once and clears
+/// (so a restarted worker replaying the same sequence does not crash-loop).
+#[derive(Debug, Default)]
+pub struct ServeFaultInjector {
+    armed: Mutex<std::collections::BTreeMap<(usize, u64), ServeFault>>,
+    fired: Mutex<Vec<(usize, u64, ServeFault)>>,
+}
+
+impl ServeFaultInjector {
+    /// Arms `plan`.
+    pub fn new(plan: ServeFaultPlan) -> Self {
+        Self {
+            armed: Mutex::new(plan.points),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Removes and returns the fault armed for (`shard`, `seq`), if any.
+    /// The caller executes it (panic, sleep, dribble); recording happens
+    /// here so [`fired`](Self::fired) is complete even if the caller dies
+    /// executing a kill.
+    pub fn take(&self, shard: usize, seq: u64) -> Option<ServeFault> {
+        let fault = self
+            .armed
+            .lock()
+            .expect("serve fault injector poisoned")
+            .remove(&(shard, seq));
+        if let Some(f) = fault {
+            self.fired
+                .lock()
+                .expect("serve fault injector poisoned")
+                .push((shard, seq, f));
+        }
+        fault
+    }
+
+    /// Every fault that fired, in firing order.
+    pub fn fired(&self) -> Vec<(usize, u64, ServeFault)> {
+        self.fired
+            .lock()
+            .expect("serve fault injector poisoned")
+            .clone()
+    }
+}
+
 /// Truncates `data` at byte `n` (no-op if `n >= data.len()`).
 pub fn truncate_at(data: &[u8], n: usize) -> Vec<u8> {
     data[..n.min(data.len())].to_vec()

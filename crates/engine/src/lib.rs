@@ -37,7 +37,7 @@ pub mod pool;
 pub mod timing;
 
 pub use error::EngineError;
-pub use fault::{FaultInjector, FaultPlan};
+pub use fault::{FaultInjector, FaultPlan, ServeFault, ServeFaultInjector, ServeFaultPlan};
 pub use partition::partition_ranges;
 pub use pool::{PoolMetrics, WorkerPool, MAX_PARTITION_ATTEMPTS};
 pub use timing::{PhaseTimings, Stopwatch};

@@ -58,7 +58,7 @@ pub use components::{connected_components, Component};
 pub use frontier::FrontierScratch;
 pub use graph::BipartiteGraph;
 pub use ids::{ItemId, NodeId, UserId};
-pub use shard::{plan_shards, Shard, ShardOptions, ShardPlan, ShardPlanStats};
+pub use shard::{plan_shards, user_shard, Shard, ShardOptions, ShardPlan, ShardPlanStats};
 pub use stats::{ClickDistribution, DatasetScale, SideStats};
 pub use subgraph::InducedSubgraph;
 pub use view::{GraphView, LogMark};

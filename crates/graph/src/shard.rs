@@ -36,7 +36,17 @@ use crate::ids::{ItemId, UserId};
 use crate::view::GraphView;
 
 /// Fixed hash seed so plans are deterministic across runs and processes.
-const DEFAULT_HASH_SEED: u64 = 0x5eed_5a4d;
+/// Public so other tiers (the sharded serve router) partition users with
+/// the *same* hash the planner uses, keeping shard assignments consistent
+/// between offline plans and online routing.
+pub const DEFAULT_HASH_SEED: u64 = 0x5eed_5a4d;
+
+/// The planner's user→bucket assignment, exposed for the serve-tier
+/// router: `user_shard(u, seed, n)` is exactly the bucket `plan_shards`
+/// would hash `u` into when splitting a giant component `n` ways.
+pub fn user_shard(u: UserId, hash_seed: u64, shards: usize) -> usize {
+    (splitmix64(u64::from(u.0) ^ hash_seed) % shards.max(1) as u64) as usize
+}
 
 /// Shard-planning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

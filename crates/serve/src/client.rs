@@ -11,14 +11,14 @@
 //! [`ingest_blocking`](Client::ingest_blocking) packages the obvious one
 //! (bounded exponential backoff).
 
-use crate::wire::{read_frame, write_frame, Request, Response, WireError};
+use crate::retry::{ClientStats, RetryPolicy};
+use crate::wire::{read_frame, write_frame, Request, Response, ShardStatus, WireError};
 use ricd_core::incremental::Checkpoint;
 use ricd_core::riskview::RiskVerdict;
 use ricd_graph::{ItemId, UserId};
 use ricd_obs::MetricsSnapshot;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
 
 /// How one [`Client::ingest`] call was answered.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -47,6 +47,34 @@ pub struct RiskReport {
     pub items: Vec<(ItemId, RiskVerdict)>,
     /// Detected groups in the view.
     pub groups: usize,
+    /// `true` when the answer is partial (some shard was not `Up`).
+    pub degraded: bool,
+    /// Shards whose state is missing from this answer entirely.
+    pub missing_shards: Vec<u32>,
+}
+
+/// One recommendation answer, with degradation context.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Recommendation {
+    /// The answering view's epoch.
+    pub epoch: u64,
+    /// Ranked `(item, score)` pairs.
+    pub items: Vec<(ItemId, f32)>,
+    /// `true` when the owning shard was not fully `Up`.
+    pub degraded: bool,
+}
+
+/// Topology health from one [`Client::status`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatusReport {
+    /// The published quorum epoch watermark.
+    pub epoch: u64,
+    /// Live shards required for the epoch watermark to advance.
+    pub quorum: u32,
+    /// `true` while any shard is not `Up`.
+    pub degraded: bool,
+    /// Per-shard health, in shard order.
+    pub shards: Vec<ShardStatus>,
 }
 
 /// A connected client.
@@ -96,23 +124,42 @@ impl Client {
         })
     }
 
-    /// Submits one batch, retrying rejected sends with bounded exponential
-    /// backoff (1 ms doubling to 64 ms) until accepted. Returns how many
-    /// times backpressure pushed back.
+    /// Submits one batch with the default [`RetryPolicy`]: capped
+    /// exponential backoff with deterministic seeded jitter and an overall
+    /// deadline, retrying rejected sends until accepted or the deadline
+    /// lapses. Returns the attempt/rejection/elapsed accounting.
     pub fn ingest_blocking(
         &mut self,
         seq: u64,
         records: &[(UserId, ItemId, u32)],
-    ) -> Result<u64, WireError> {
-        let mut backoff = Duration::from_millis(1);
-        let mut rejections = 0;
+    ) -> Result<ClientStats, WireError> {
+        self.ingest_blocking_with(seq, records, &RetryPolicy::default())
+    }
+
+    /// [`ingest_blocking`](Client::ingest_blocking) under an explicit
+    /// retry policy. A lapsed deadline surfaces as a `TimedOut` I/O error
+    /// so callers can distinguish it from wire failures.
+    pub fn ingest_blocking_with(
+        &mut self,
+        seq: u64,
+        records: &[(UserId, ItemId, u32)],
+        policy: &RetryPolicy,
+    ) -> Result<ClientStats, WireError> {
+        let mut backoff = policy.start();
         loop {
             match self.ingest(seq, records.to_vec())? {
-                IngestOutcome::Accepted { .. } => return Ok(rejections),
+                IngestOutcome::Accepted { .. } => return Ok(backoff.stats()),
                 IngestOutcome::Backpressure { .. } => {
-                    rejections += 1;
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_millis(64));
+                    backoff.record_rejection();
+                    if !backoff.sleep() {
+                        return Err(WireError::Io(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "ingest deadline exceeded after {} attempts",
+                                backoff.stats().attempts
+                            ),
+                        )));
+                    }
                 }
             }
         }
@@ -130,25 +177,51 @@ impl Client {
                 users,
                 items,
                 groups,
+                degraded,
+                missing_shards,
             } => Ok(RiskReport {
                 epoch,
                 users,
                 items,
                 groups,
+                degraded,
+                missing_shards,
             }),
             other => Err(other),
         })
     }
 
     /// Top-`n` cleaned recommendations for `user`, with the answering
-    /// view's epoch.
-    pub fn recommend(
-        &mut self,
-        user: UserId,
-        n: usize,
-    ) -> Result<(u64, Vec<(ItemId, f32)>), WireError> {
+    /// view's epoch and degradation flag.
+    pub fn recommend(&mut self, user: UserId, n: usize) -> Result<Recommendation, WireError> {
         self.expect(&Request::Recommend { user, n }, |resp| match resp {
-            Response::Recommendation { epoch, items } => Ok((epoch, items)),
+            Response::Recommendation {
+                epoch,
+                items,
+                degraded,
+            } => Ok(Recommendation {
+                epoch,
+                items,
+                degraded,
+            }),
+            other => Err(other),
+        })
+    }
+
+    /// Per-shard health, restart counts, and the quorum epoch watermark.
+    pub fn status(&mut self) -> Result<StatusReport, WireError> {
+        self.expect(&Request::Status, |resp| match resp {
+            Response::Status {
+                epoch,
+                quorum,
+                degraded,
+                shards,
+            } => Ok(StatusReport {
+                epoch,
+                quorum,
+                degraded,
+                shards,
+            }),
             other => Err(other),
         })
     }
@@ -162,10 +235,21 @@ impl Client {
     }
 
     /// A consistent checkpoint covering every batch accepted before this
-    /// call.
+    /// call (single-state servers answer the checkpoint inline).
     pub fn checkpoint(&mut self) -> Result<Checkpoint, WireError> {
         self.expect(&Request::Checkpoint, |resp| match resp {
             Response::CheckpointTaken(c) => Ok(c),
+            other => Err(other),
+        })
+    }
+
+    /// A coordinated checkpoint barrier against a sharded router: every
+    /// shard's file plus the `manifest.json` commit point. Returns the
+    /// manifest path (empty when the router has no checkpoint directory)
+    /// and the quorum epoch at the barrier.
+    pub fn checkpoint_manifest(&mut self) -> Result<(String, u64), WireError> {
+        self.expect(&Request::Checkpoint, |resp| match resp {
+            Response::ManifestWritten { path, epoch, .. } => Ok((path, epoch)),
             other => Err(other),
         })
     }

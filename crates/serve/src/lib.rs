@@ -22,6 +22,15 @@
 //! * **Checkpoint/resume**: a checkpoint request serializes after every
 //!   previously accepted batch and reuses the [`Checkpoint`] crash-recovery
 //!   format, so a restarted server resumes the stream where it left off.
+//! * **Supervised multi-shard tier** ([`start_router`]): a routing
+//!   front-end fans ingest out to N supervised shard workers
+//!   (user-hash partitioned with halo-replicated item histories), keeps a
+//!   replay log per shard so a crashed worker restarts from its last
+//!   coordinated checkpoint with **zero accepted-batch loss**, probes
+//!   health on a cadence ([`supervisor`]), serves *degraded* partial
+//!   answers while shards are down, and commits coordinated
+//!   `manifest.json` checkpoints ([`manifest`]) a whole process can
+//!   resume from.
 //!
 //! Everything is std-only (threads + `TcpListener`); the protocol is
 //! length-prefixed JSON ([`wire`]).
@@ -50,21 +59,32 @@
 //! [`Checkpoint`]: ricd_core::incremental::Checkpoint
 
 pub mod client;
+pub mod manifest;
+pub mod retry;
+pub mod router;
 pub mod server;
 pub mod shared;
 pub mod state;
+pub mod supervisor;
 pub mod wire;
 
-pub use client::{Client, IngestOutcome, RiskReport};
-pub use server::{start, ServerHandle};
+pub use client::{Client, IngestOutcome, Recommendation, RiskReport, StatusReport};
+pub use manifest::{Manifest, ManifestEntry, MANIFEST_FILE, MANIFEST_VERSION};
+pub use retry::{ClientStats, RetryPolicy};
+pub use router::{Router, RouterConfig};
+pub use server::{start, start_router, RouterHandle, ServerHandle};
 pub use shared::SnapshotCell;
 pub use state::{ServeConfig, ServeSnapshot, ServeState};
-pub use wire::{Request, Response, WireError, MAX_FRAME_LEN};
+pub use supervisor::{ShardHealth, SupervisorConfig};
+pub use wire::{Request, Response, ShardStatus, WireError, MAX_FRAME_LEN};
 
 /// Commonly used serving types.
 pub mod prelude {
-    pub use crate::client::{Client, IngestOutcome, RiskReport};
-    pub use crate::server::{start, ServerHandle};
+    pub use crate::client::{Client, IngestOutcome, Recommendation, RiskReport, StatusReport};
+    pub use crate::retry::{ClientStats, RetryPolicy};
+    pub use crate::router::{Router, RouterConfig};
+    pub use crate::server::{start, start_router, RouterHandle, ServerHandle};
     pub use crate::state::{ServeConfig, ServeSnapshot, ServeState};
-    pub use crate::wire::{Request, Response, WireError};
+    pub use crate::supervisor::{ShardHealth, SupervisorConfig};
+    pub use crate::wire::{Request, Response, ShardStatus, WireError};
 }

@@ -1,0 +1,625 @@
+//! The multi-shard router: fans routed ingest to N supervised shard
+//! workers and merges their views for queries.
+//!
+//! **Partition + halo.** Users are hash-partitioned with the *same*
+//! SplitMix64 assignment the offline shard planner uses
+//! ([`ricd_graph::user_shard`]). Pure user partitioning would split an
+//! attack group whose workers hash to different shards below the `k₁`
+//! floor, so the router mirrors the planner's boundary-item replication
+//! online: it keeps every item's full click history and the set of shards
+//! *interested* in the item (shards owning at least one of its clickers).
+//! The first time a shard gains interest in an item, the item's entire
+//! history is backfilled into that shard's sub-batch; from then on every
+//! click on the item fans out to all interested shards. Each shard
+//! therefore sees the complete neighborhood of every item its users
+//! touch — the planner's soundness argument carries over, and any group
+//! containing a shard's user is detected *in full* by that shard. Queries
+//! merge per-shard views with [`RiskView::merged`], which deduplicates the
+//! halo-replicated groups.
+//!
+//! **Zero accepted-batch loss.** An accepted batch's sub-batches are
+//! appended to per-shard replay logs *before* the accept reply is
+//! written; logs are truncated only when a coordinated checkpoint durably
+//! covers them. A shard crash therefore loses at most un-acked work: the
+//! supervisor restores the shard from its last checkpoint and the
+//! replacement worker replays the retained log, deduplicated by local
+//! sequence number.
+//!
+//! **Degradation contract.** While any shard is not `Up`, risk queries
+//! are answered from the remaining live views and tagged
+//! `degraded: true` with the missing shard list; recommendations for a
+//! down shard's user return an empty degraded list (the owner's snapshot
+//! cell holds its last published view during `Recovering`, so those stay
+//! answerable). Ingest keeps flowing for live shards; a batch touching a
+//! down shard still buffers into its replay log up to
+//! [`buffer_per_shard`](RouterConfig::buffer_per_shard) batches, after
+//! which the whole batch gets an explicit backpressure `Rejected` (PR 4's
+//! contract — the router never buffers unboundedly). The published epoch
+//! is a **quorum watermark**: it advances to `min(epoch of Up shards)`
+//! only while at least `⌊N/2⌋+1` shards are `Up`, and freezes (never
+//! regresses) below quorum.
+
+use crate::manifest::{Manifest, ManifestEntry, MANIFEST_VERSION};
+use crate::state::{ServeConfig, ServeMetrics, ServeSnapshot};
+use crate::supervisor::{
+    ShardHealth, ShardSlot, ShardStateFactory, Supervisor, SupervisorConfig, SupervisorMetrics,
+};
+use crate::wire::{Request, Response, ShardStatus};
+use ricd_core::riskview::RiskView;
+use ricd_core::RicdParams;
+use ricd_engine::{ServeFaultInjector, ServeFaultPlan};
+use ricd_graph::{user_shard, ItemId, UserId};
+use ricd_obs::{Counter, Gauge, MetricsRegistry};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Routed-runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Shard count (1..=64 — interest sets are a u64 bitmask).
+    pub shards: usize,
+    /// Detection parameters every shard runs with.
+    pub params: RicdParams,
+    /// Per-shard serving template (swap cadence, queue knobs, io timeout).
+    /// `metrics_prefix` is overridden per shard.
+    pub serve: ServeConfig,
+    /// Detection worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Max *unprocessed* batches buffered per shard before the router
+    /// answers `Rejected` (explicit backpressure, incl. for down shards).
+    pub buffer_per_shard: usize,
+    /// User-hash seed (defaults to the shard planner's).
+    pub hash_seed: u64,
+    /// Supervision knobs (probe cadence, stall budget, restart backoff).
+    pub supervisor: SupervisorConfig,
+    /// Where coordinated checkpoints (per-shard files + `manifest.json`)
+    /// are written. `None` keeps checkpoints in memory only — still
+    /// enough for worker-crash recovery, not for process-crash recovery.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Auto-checkpoint after this many accepted batches (0 = manual
+    /// only). The cadence is what bounds replay-log memory.
+    pub checkpoint_every_batches: u64,
+    /// Chaos plan armed into the shard workers (empty in production).
+    pub fault_plan: ServeFaultPlan,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            params: RicdParams::default(),
+            serve: ServeConfig::default(),
+            workers_per_shard: 1,
+            buffer_per_shard: 64,
+            hash_seed: ricd_graph::shard::DEFAULT_HASH_SEED,
+            supervisor: SupervisorConfig::default(),
+            checkpoint_dir: None,
+            checkpoint_every_batches: 32,
+            fault_plan: ServeFaultPlan::none(),
+        }
+    }
+}
+
+/// One item's routing entry: its full click history and the shards
+/// interested in it.
+struct ItemEntry {
+    history: Vec<(UserId, u32)>,
+    interest: u64,
+}
+
+/// Router-side mutable routing state, serialized under one lock so
+/// sub-batch construction is deterministic in batch arrival order.
+struct RouteTable {
+    items: HashMap<ItemId, ItemEntry>,
+    /// Global-sequence dedup: batches below this were already accepted
+    /// (at-least-once redelivery is acked idempotently, never re-routed).
+    next_global_seq: u64,
+    accepted_since_checkpoint: u64,
+}
+
+/// Router-level metrics beyond the aggregate `serve.*` family.
+struct RouterMetrics {
+    halo_records: Counter,
+    degraded_queries: Counter,
+    checkpoints: Counter,
+    quorum: Gauge,
+    live_shards: Gauge,
+}
+
+impl RouterMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        Self {
+            halo_records: registry.counter("serve.router.halo_records"),
+            degraded_queries: registry.counter("serve.router.degraded_queries"),
+            checkpoints: registry.counter("serve.router.checkpoints"),
+            quorum: registry.gauge("serve.router.quorum"),
+            live_shards: registry.gauge("serve.router.live_shards"),
+        }
+    }
+}
+
+/// The routed serve runtime: everything the connection pool and the
+/// supervisor share.
+pub struct Router {
+    cfg: RouterConfig,
+    slots: Vec<Arc<ShardSlot>>,
+    registry: MetricsRegistry,
+    /// Aggregate client-visible metrics, registered under the plain
+    /// `serve.` prefix so dashboards don't care whether a daemon is
+    /// monolithic or sharded.
+    agg: ServeMetrics,
+    rm: RouterMetrics,
+    route: Mutex<RouteTable>,
+    /// The quorum epoch watermark (monotone).
+    epoch: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Builds the router and its shard slots. `initial` carries per-shard
+    /// checkpoints when resuming from a manifest.
+    fn build(cfg: RouterConfig, registry: MetricsRegistry) -> Arc<Self> {
+        assert!(
+            (1..=64).contains(&cfg.shards),
+            "shard count must be in 1..=64 (got {})",
+            cfg.shards
+        );
+        let slots = Supervisor::new_slots(cfg.shards);
+        let agg = ServeMetrics::register(&registry, "serve");
+        let rm = RouterMetrics::register(&registry);
+        rm.quorum.set(Self::quorum_of(cfg.shards) as i64);
+        rm.live_shards.set(cfg.shards as i64);
+        Arc::new(Self {
+            cfg,
+            slots,
+            registry,
+            agg,
+            rm,
+            route: Mutex::new(RouteTable {
+                items: HashMap::new(),
+                next_global_seq: 0,
+                accepted_since_checkpoint: 0,
+            }),
+            epoch: AtomicU64::new(0),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// A fresh router.
+    pub fn new(cfg: RouterConfig, registry: MetricsRegistry) -> Arc<Self> {
+        Self::build(cfg, registry)
+    }
+
+    fn quorum_of(shards: usize) -> usize {
+        shards / 2 + 1
+    }
+
+    /// Shards required `Up` before the epoch watermark may advance.
+    pub fn quorum(&self) -> usize {
+        Self::quorum_of(self.cfg.shards)
+    }
+
+    pub(crate) fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn agg_metrics(&self) -> &ServeMetrics {
+        &self.agg
+    }
+
+    pub(crate) fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// The owning shard of `u` under the planner-compatible hash.
+    pub fn owner_of(&self, u: UserId) -> usize {
+        user_shard(u, self.cfg.hash_seed, self.cfg.shards)
+    }
+
+    /// Routes one accepted batch: splits it into halo-replicated
+    /// sub-batches and appends them to the target shards' replay logs.
+    /// Two-phase: sub-batches and routing-table mutations are computed on
+    /// an overlay first, admission is checked against every target's
+    /// backlog, and only then is anything committed — a rejected batch
+    /// leaves no trace, so the client's retry re-routes identically.
+    pub fn route_batch(&self, seq: u64, records: &[(UserId, ItemId, u32)]) -> Response {
+        let mut route = self.route.lock().expect("route table poisoned");
+        if seq < route.next_global_seq {
+            // At-least-once redelivery of an already-accepted batch:
+            // idempotent ack, nothing re-routed.
+            return Response::Ingested {
+                seq,
+                records: records.len(),
+            };
+        }
+        let n = self.cfg.shards;
+        let mut subs: Vec<Vec<(UserId, ItemId, u32)>> = vec![Vec::new(); n];
+        // Overlay so a rejected batch mutates nothing.
+        let mut overlay: HashMap<ItemId, ItemEntry> = HashMap::new();
+        let mut halo = 0u64;
+        for &(u, i, c) in records {
+            let owner = user_shard(u, self.cfg.hash_seed, n);
+            let base = route.items.get(&i);
+            let entry = overlay.entry(i).or_insert_with(|| ItemEntry {
+                history: base.map(|e| e.history.clone()).unwrap_or_default(),
+                interest: base.map(|e| e.interest).unwrap_or(0),
+            });
+            if entry.interest & (1 << owner) == 0 {
+                // New interest: backfill the item's full history so the
+                // owner sees the complete neighborhood from click one.
+                entry.interest |= 1 << owner;
+                for &(hu, hc) in &entry.history {
+                    subs[owner].push((hu, i, hc));
+                    halo += 1;
+                }
+            }
+            let mut mask = entry.interest;
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                subs[s].push((u, i, c));
+                if s != owner {
+                    halo += 1;
+                }
+            }
+            entry.history.push((u, c));
+        }
+        // Admission: every target shard must have replay-log room.
+        for (s, sub) in subs.iter().enumerate() {
+            if !sub.is_empty()
+                && self.slots[s].channel.backlog() >= self.cfg.buffer_per_shard as u64
+            {
+                self.agg.backpressure_rejected.inc();
+                return Response::Rejected {
+                    seq,
+                    queue_capacity: self.cfg.buffer_per_shard,
+                };
+            }
+        }
+        // Commit: overlay into the table, sub-batches into the logs.
+        for (i, e) in overlay {
+            route.items.insert(i, e);
+        }
+        for (s, sub) in subs.into_iter().enumerate() {
+            if !sub.is_empty() {
+                self.slots[s].channel.push(Arc::new(sub));
+            }
+        }
+        route.next_global_seq = seq + 1;
+        route.accepted_since_checkpoint += 1;
+        self.agg.batches.inc();
+        self.agg.records.add(records.len() as u64);
+        self.rm.halo_records.add(halo);
+        drop(route);
+        self.refresh_depth_gauge();
+        Response::Ingested {
+            seq,
+            records: records.len(),
+        }
+    }
+
+    fn refresh_depth_gauge(&self) {
+        let total: u64 = self.slots.iter().map(|s| s.channel.backlog()).sum();
+        self.agg.ingest_queue_depth.set(total as i64);
+    }
+
+    /// Recomputes the quorum watermark: advances to the minimum `Up`
+    /// epoch while quorum holds, freezes otherwise. Monotone by `max`.
+    pub(crate) fn refresh_epoch(&self) -> u64 {
+        let up: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|s| s.health() == ShardHealth::Up)
+            .map(|s| s.epoch())
+            .collect();
+        self.rm.live_shards.set(
+            self.slots
+                .iter()
+                .filter(|s| s.health() != ShardHealth::Down)
+                .count() as i64,
+        );
+        if up.len() >= self.quorum() {
+            let candidate = up.into_iter().min().unwrap_or(0);
+            let prev = self.epoch.load(Ordering::SeqCst);
+            if candidate > prev {
+                self.epoch.store(candidate, Ordering::SeqCst);
+            }
+        }
+        let e = self.epoch.load(Ordering::SeqCst);
+        self.agg.epoch.set(e as i64);
+        e
+    }
+
+    /// Risk query across every live shard's view, merged and tagged.
+    pub fn query_risk(&self, users: Vec<UserId>, items: Vec<ItemId>) -> Response {
+        self.agg.queries_risk.inc();
+        let epoch = self.refresh_epoch();
+        let snaps: Vec<(ShardHealth, Arc<ServeSnapshot>)> = self
+            .slots
+            .iter()
+            .map(|s| (s.health(), s.cell.load()))
+            .collect();
+        let missing: Vec<u32> = snaps
+            .iter()
+            .enumerate()
+            .filter(|(_, (h, _))| *h == ShardHealth::Down)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let degraded = snaps.iter().any(|(h, _)| *h != ShardHealth::Up);
+        if degraded {
+            self.rm.degraded_queries.inc();
+        }
+        let views: Vec<&RiskView> = snaps
+            .iter()
+            .filter(|(h, _)| *h != ShardHealth::Down)
+            .map(|(_, s)| &s.view)
+            .collect();
+        let merged = RiskView::merged(epoch, &views);
+        Response::Risk {
+            epoch,
+            users: users.into_iter().map(|u| (u, merged.user(u))).collect(),
+            items: items.into_iter().map(|v| (v, merged.item(v))).collect(),
+            groups: merged.groups().len(),
+            degraded,
+            missing_shards: missing,
+        }
+    }
+
+    /// Recommendation from the owning shard's snapshot. A down owner
+    /// answers empty + degraded rather than failing the query.
+    pub fn recommend(&self, user: UserId, n: usize) -> Response {
+        self.agg.queries_recommend.inc();
+        let epoch = self.refresh_epoch();
+        let slot = &self.slots[self.owner_of(user)];
+        let health = slot.health();
+        if health == ShardHealth::Down {
+            self.rm.degraded_queries.inc();
+            return Response::Recommendation {
+                epoch,
+                items: Vec::new(),
+                degraded: true,
+            };
+        }
+        let snap = slot.cell.load();
+        Response::Recommendation {
+            epoch,
+            items: snap.recommend(user, n),
+            degraded: health != ShardHealth::Up,
+        }
+    }
+
+    /// Topology health for `ricd client status`.
+    pub fn status(&self) -> Response {
+        let epoch = self.refresh_epoch();
+        let shards = self
+            .slots
+            .iter()
+            .map(|s| ShardStatus {
+                shard: s.shard as u32,
+                state: s.health().as_str().into(),
+                epoch: s.epoch(),
+                backlog: s.channel.backlog(),
+                next_seq: s.channel.next_seq(),
+                restarts: s.restarts.load(Ordering::SeqCst),
+            })
+            .collect::<Vec<_>>();
+        Response::Status {
+            epoch,
+            quorum: self.quorum() as u32,
+            degraded: shards.iter().any(|s| s.state != "up"),
+            shards,
+        }
+    }
+
+    /// Coordinated checkpoint: barriers every shard at its current log
+    /// tail, collects the per-shard checkpoints, writes files + manifest
+    /// atomically (when a checkpoint directory is configured), mirrors
+    /// them in memory for fast worker restarts, and only then truncates
+    /// the replay logs. Barriers ride the shard logs, so they survive a
+    /// mid-checkpoint worker crash and are answered after recovery.
+    pub fn checkpoint_coordinated(&self, deadline: Duration) -> Result<Response, String> {
+        let receivers: Vec<_> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                slot.channel.request_checkpoint(tx);
+                rx
+            })
+            .collect();
+        let t0 = Instant::now();
+        let mut ckpts = Vec::with_capacity(self.slots.len());
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let left = deadline.saturating_sub(t0.elapsed());
+            match rx.recv_timeout(left) {
+                Ok(c) => ckpts.push(c),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(format!("shard {i} missed the checkpoint barrier"))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(format!("shard {i} died before the checkpoint barrier"))
+                }
+            }
+        }
+        let epoch = self.refresh_epoch();
+        let next_global_seq = {
+            let route = self.route.lock().expect("route table poisoned");
+            route.next_global_seq
+        };
+        let mut path = String::new();
+        if let Some(dir) = &self.cfg.checkpoint_dir {
+            let mut entries = Vec::with_capacity(ckpts.len());
+            for (i, c) in ckpts.iter().enumerate() {
+                let file = Manifest::write_shard_checkpoint(dir, i as u32, c)
+                    .map_err(|e| format!("shard {i} checkpoint write: {e}"))?;
+                entries.push(ManifestEntry {
+                    shard: i as u32,
+                    file,
+                    next_seq: c.next_seq,
+                    epoch: self.slots[i].epoch(),
+                });
+            }
+            let manifest = Manifest {
+                version: MANIFEST_VERSION,
+                shards: self.cfg.shards as u32,
+                hash_seed: self.cfg.hash_seed,
+                epoch,
+                next_global_seq,
+                entries,
+            };
+            path = manifest
+                .save(dir)
+                .map_err(|e| format!("manifest write: {e}"))?
+                .display()
+                .to_string();
+        }
+        // Commit point passed: mirror + truncate.
+        for (slot, c) in self.slots.iter().zip(&ckpts) {
+            *slot.last_checkpoint.lock().expect("slot poisoned") = Some(c.clone());
+            slot.channel.truncate_to(c.next_seq);
+        }
+        {
+            let mut route = self.route.lock().expect("route table poisoned");
+            route.accepted_since_checkpoint = 0;
+        }
+        self.rm.checkpoints.inc();
+        Ok(Response::ManifestWritten {
+            path,
+            shards: self.cfg.shards as u32,
+            epoch,
+        })
+    }
+
+    /// The probe-loop hook: refresh the watermark and gauges, and fire
+    /// the checkpoint cadence once every shard is `Up` (a degraded
+    /// topology defers the cadence rather than failing it).
+    pub(crate) fn on_probe(&self) {
+        self.refresh_epoch();
+        self.refresh_depth_gauge();
+        if self.cfg.checkpoint_every_batches > 0 {
+            let due = {
+                let route = self.route.lock().expect("route table poisoned");
+                route.accepted_since_checkpoint >= self.cfg.checkpoint_every_batches
+            };
+            let all_up = self.slots.iter().all(|s| s.health() == ShardHealth::Up);
+            if due && all_up {
+                let _ = self.checkpoint_coordinated(Duration::from_secs(60));
+            }
+        }
+    }
+
+    /// Handles one wire request against the routed topology.
+    pub fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Ingest { seq, records } => self.route_batch(seq, &records),
+            Request::QueryRisk { users, items } => self.query_risk(users, items),
+            Request::Recommend { user, n } => self.recommend(user, n),
+            Request::Metrics { count_only } => {
+                let snap = self.registry.snapshot();
+                Response::Metrics(if count_only { snap.count_only() } else { snap })
+            }
+            Request::Checkpoint => {
+                match self
+                    .checkpoint_coordinated(self.cfg.serve.io_timeout.max(Duration::from_secs(60)))
+                {
+                    Ok(resp) => resp,
+                    Err(e) => Response::Error {
+                        message: format!("coordinated checkpoint failed: {e}"),
+                    },
+                }
+            }
+            Request::Status => self.status(),
+            // The connection layer flips the shutdown flag (and wakes the
+            // accept loop) after this response is written.
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    /// Builds the supervisor that owns this router's shard workers. The
+    /// caller runs it on a dedicated thread.
+    pub(crate) fn supervisor(self: &Arc<Self>) -> Supervisor {
+        let me = self.clone();
+        Supervisor {
+            slots: self.slots.clone(),
+            factory: ShardStateFactory {
+                params: self.cfg.params,
+                registry: self.registry.clone(),
+                template: self.cfg.serve.clone(),
+                workers_per_shard: self.cfg.workers_per_shard,
+            },
+            cfg: self.cfg.supervisor.clone(),
+            injector: Arc::new(ServeFaultInjector::new(self.cfg.fault_plan.clone())),
+            metrics: SupervisorMetrics::register(&self.registry, self.cfg.shards),
+            shutdown: self.shutdown.clone(),
+            on_probe: Box::new(move || me.on_probe()),
+        }
+    }
+
+    /// Initial per-shard checkpoints when resuming from `manifest`; also
+    /// rebuilds the routing table (item histories + interest sets) from
+    /// the restored shard graphs and restores the global-sequence cursor.
+    pub(crate) fn load_resume_state(
+        self: &Arc<Self>,
+        manifest: &Manifest,
+        dir: &std::path::Path,
+    ) -> Result<Vec<Option<ricd_core::incremental::Checkpoint>>, String> {
+        if manifest.shards as usize != self.cfg.shards {
+            return Err(format!(
+                "manifest is for {} shards, router runs {}",
+                manifest.shards, self.cfg.shards
+            ));
+        }
+        if manifest.hash_seed != self.cfg.hash_seed {
+            return Err("manifest hash seed differs from the router's".into());
+        }
+        let mut initial = Vec::with_capacity(self.cfg.shards);
+        let mut route = self.route.lock().expect("route table poisoned");
+        route.next_global_seq = manifest.next_global_seq;
+        for entry in &manifest.entries {
+            let ckpt = Manifest::load_shard_checkpoint(dir, entry)
+                .map_err(|e| format!("shard {}: {e}", entry.shard))?;
+            // Fast-forward the shard channel and seed the restart mirror
+            // *now*, synchronously — before the accept loop exists — so the
+            // first routed batches are numbered after the restored
+            // detector's cursor (the supervisor thread starts too late to
+            // win that race).
+            let slot = &self.slots[entry.shard as usize];
+            slot.channel.resume_at(ckpt.next_seq);
+            *slot.last_checkpoint.lock().expect("slot poisoned") = Some(ckpt.clone());
+            // Interest: a shard's record stream mentions exactly the
+            // items it is interested in.
+            for &(_, i, _) in &ckpt.records {
+                route
+                    .items
+                    .entry(i)
+                    .or_insert_with(|| ItemEntry {
+                        history: Vec::new(),
+                        interest: 0,
+                    })
+                    .interest |= 1 << entry.shard;
+            }
+            initial.push(Some(ckpt));
+        }
+        // Histories: every interested shard holds an item's *complete*
+        // history (the backfill invariant), so take each item's history
+        // wholesale from the first shard that mentions it.
+        let mut filled: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
+        for ckpt in initial.iter().flatten() {
+            for &(u, i, c) in &ckpt.records {
+                if !filled.contains(&i) {
+                    let e = route.items.get_mut(&i).expect("interest pass inserted");
+                    e.history.push((u, c));
+                }
+            }
+            for &(_, i, _) in &ckpt.records {
+                filled.insert(i);
+            }
+        }
+        self.epoch.store(manifest.epoch, Ordering::SeqCst);
+        Ok(initial)
+    }
+}

@@ -20,23 +20,85 @@
 //!   accepted before it — the consistency contract a resumed server relies
 //!   on.
 
+use crate::router::{Router, RouterConfig};
 use crate::shared::SnapshotCell;
 use crate::state::{ServeMetrics, ServeSnapshot, ServeState};
-use crate::wire::{read_frame, write_frame, Request, Response, WireError};
+use crate::wire::{read_frame, write_frame, Request, Response, ShardStatus, WireError};
 use ricd_core::incremental::Checkpoint;
 use ricd_graph::{ItemId, UserId};
 use ricd_obs::MetricsRegistry;
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a connection thread blocks waiting for the next frame before
 /// re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The request handler behind a connection pool — the monolith's queue
+/// front-end or the sharded [`Router`]. The connection machinery (accept
+/// loop, per-connection threads, framing, timeouts) is identical either
+/// way; only request semantics differ.
+trait RequestSink: Send + Sync + 'static {
+    fn handle(&self, req: Request) -> Response;
+}
+
+/// Everything a connection thread needs besides the sink, cheaply
+/// cloneable across connection threads.
+#[derive(Clone)]
+struct ConnContext {
+    sink: Arc<dyn RequestSink>,
+    metrics: ServeMetrics,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    io_timeout: Duration,
+}
+
+impl ConnContext {
+    /// Flips the shutdown flag and wakes the accept loop (which may be
+    /// parked in `accept()`) with a throwaway self-connection.
+    fn request_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// Reads from a non-blocking-ish stream (one with a short read timeout)
+/// until data arrives or a frame deadline passes — the slow-loris guard:
+/// a peer may idle between frames forever, but once a frame starts it
+/// must finish within the connection's I/O budget.
+struct DeadlineReader<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+}
+
+impl Read for DeadlineReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= self.deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "frame i/o deadline exceeded",
+                        ));
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
 
 /// Work items on the ingest queue.
 enum Work {
@@ -50,26 +112,13 @@ enum Work {
     Checkpoint { reply: SyncSender<Checkpoint> },
 }
 
-/// Everything a connection thread needs, cheaply cloneable.
-#[derive(Clone)]
+/// The monolith backend: one detection worker behind a bounded queue.
 struct Shared {
     snapshot: Arc<SnapshotCell<ServeSnapshot>>,
     registry: MetricsRegistry,
     metrics: ServeMetrics,
     work_tx: SyncSender<Work>,
     queue_capacity: usize,
-    shutdown: Arc<AtomicBool>,
-    addr: SocketAddr,
-}
-
-impl Shared {
-    /// Flips the shutdown flag and wakes the accept loop (which may be
-    /// parked in `accept()`) with a throwaway self-connection.
-    fn request_shutdown(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
-            let _ = TcpStream::connect(self.addr);
-        }
-    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server; call
@@ -123,26 +172,32 @@ pub fn start(state: ServeState, addr: impl ToSocketAddrs) -> io::Result<ServerHa
     let addr = listener.local_addr()?;
     let cfg = state.config().clone();
     let (work_tx, work_rx) = std::sync::mpsc::sync_channel::<Work>(cfg.queue_capacity);
-    let shared = Shared {
+    let metrics = state.serve_metrics();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
         snapshot: state.shared(),
         registry: state.registry().clone(),
-        metrics: state.serve_metrics(),
+        metrics: metrics.clone(),
         work_tx,
         queue_capacity: cfg.queue_capacity,
-        shutdown: Arc::new(AtomicBool::new(false)),
-        addr,
-    };
+    });
 
     let worker = std::thread::Builder::new()
         .name("ricd-serve-worker".into())
         .spawn(move || detection_worker(state, work_rx))?;
 
-    let shutdown = shared.shutdown.clone();
+    let ctx = ConnContext {
+        sink: shared,
+        metrics,
+        shutdown: shutdown.clone(),
+        addr,
+        io_timeout: cfg.io_timeout,
+    };
     let oneshot = cfg.oneshot;
     let max_connections = cfg.max_connections;
     let accept = std::thread::Builder::new()
         .name("ricd-serve-accept".into())
-        .spawn(move || accept_loop(listener, shared, oneshot, max_connections))?;
+        .spawn(move || accept_loop(listener, ctx, oneshot, max_connections))?;
 
     Ok(ServerHandle {
         addr,
@@ -150,6 +205,113 @@ pub fn start(state: ServeState, addr: impl ToSocketAddrs) -> io::Result<ServerHa
         accept: Some(accept),
         worker: Some(worker),
     })
+}
+
+/// A running sharded server (see [`start_router`]). As with
+/// [`ServerHandle`], dropping does not stop it — call
+/// [`shutdown`](RouterHandle::shutdown) / [`join`](RouterHandle::join).
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<Vec<ServeState>>>,
+    router: Arc<Router>,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The routed runtime behind this server, for in-process inspection.
+    pub fn router(&self) -> Arc<Router> {
+        self.router.clone()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain every shard's
+    /// replay log.
+    pub fn shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    /// Waits for the accept loop, connection threads, and every shard
+    /// worker to drain, returning the final per-shard states in shard
+    /// order (for last checkpoints or equivalence assertions).
+    pub fn join(mut self) -> Vec<ServeState> {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.supervisor
+            .take()
+            .expect("supervisor joined twice")
+            .join()
+            .expect("supervisor panicked")
+    }
+}
+
+/// Binds `addr` and starts the **sharded** daemon: N supervised shard
+/// workers behind a routing front-end. `resume_manifest` resumes every
+/// shard from a coordinated checkpoint manifest (see
+/// [`crate::manifest::Manifest`]).
+pub fn start_router(
+    cfg: RouterConfig,
+    registry: MetricsRegistry,
+    addr: impl ToSocketAddrs,
+    resume_manifest: Option<&std::path::Path>,
+) -> io::Result<RouterHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let router = Router::new(cfg, registry);
+    let initial = match resume_manifest {
+        Some(path) => {
+            let dir = if path.is_dir() {
+                path.to_path_buf()
+            } else {
+                path.parent().map(|p| p.to_path_buf()).unwrap_or_default()
+            };
+            let manifest = crate::manifest::Manifest::load(path)?;
+            router
+                .load_resume_state(&manifest, &dir)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        }
+        None => vec![None; router.config().shards],
+    };
+    let shutdown = router.shutdown_flag();
+    let supervisor = router.supervisor();
+    let supervisor = std::thread::Builder::new()
+        .name("ricd-supervisor".into())
+        .spawn(move || supervisor.run(initial))?;
+
+    let ctx = ConnContext {
+        sink: router.clone(),
+        metrics: router.agg_metrics().clone(),
+        shutdown: shutdown.clone(),
+        addr,
+        io_timeout: router.config().serve.io_timeout,
+    };
+    let oneshot = router.config().serve.oneshot;
+    let max_connections = router.config().serve.max_connections;
+    let accept = std::thread::Builder::new()
+        .name("ricd-serve-accept".into())
+        .spawn(move || accept_loop(listener, ctx, oneshot, max_connections))?;
+
+    Ok(RouterHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        supervisor: Some(supervisor),
+        router,
+    })
+}
+
+impl RequestSink for Router {
+    fn handle(&self, req: Request) -> Response {
+        Router::handle(self, req)
+    }
 }
 
 /// The detection worker: drains the queue, flushing the view whenever the
@@ -162,6 +324,10 @@ fn detection_worker(mut state: ServeState, rx: Receiver<Work>) -> ServeState {
             state.ingest(seq, &records);
         }
         Work::Checkpoint { reply } => {
+            // A checkpoint is also a *view* barrier: flush first, so after
+            // the reply the published snapshot covers every batch the
+            // checkpoint covers (queries can trust a post-checkpoint view).
+            state.flush();
             let _ = reply.send(state.checkpoint());
         }
     };
@@ -190,11 +356,11 @@ fn detection_worker(mut state: ServeState, rx: Receiver<Work>) -> ServeState {
 /// The accept loop. In oneshot mode, serves exactly one connection inline
 /// and returns; otherwise spawns a capped connection thread per client
 /// until shutdown is requested.
-fn accept_loop(listener: TcpListener, shared: Shared, oneshot: bool, max_connections: usize) {
+fn accept_loop(listener: TcpListener, ctx: ConnContext, oneshot: bool, max_connections: usize) {
     let active = Arc::new(AtomicUsize::new(0));
     let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
     for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if ctx.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let stream = match stream {
@@ -202,13 +368,13 @@ fn accept_loop(listener: TcpListener, shared: Shared, oneshot: bool, max_connect
             Err(_) => continue,
         };
         if oneshot {
-            shared.metrics.connections_accepted.inc();
-            serve_connection(stream, &shared);
-            shared.shutdown.store(true, Ordering::SeqCst);
+            ctx.metrics.connections_accepted.inc();
+            serve_connection(stream, &ctx);
+            ctx.shutdown.store(true, Ordering::SeqCst);
             break;
         }
         if active.load(Ordering::SeqCst) >= max_connections {
-            shared.metrics.connections_rejected.inc();
+            ctx.metrics.connections_rejected.inc();
             let mut s = stream;
             let _ = write_frame(
                 &mut s,
@@ -218,15 +384,15 @@ fn accept_loop(listener: TcpListener, shared: Shared, oneshot: bool, max_connect
             );
             continue;
         }
-        shared.metrics.connections_accepted.inc();
+        ctx.metrics.connections_accepted.inc();
         active.fetch_add(1, Ordering::SeqCst);
-        let conn_shared = shared.clone();
+        let conn_ctx = ctx.clone();
         let conn_active = active.clone();
         conn_threads.retain(|h| !h.is_finished());
         let spawned = std::thread::Builder::new()
             .name("ricd-serve-conn".into())
             .spawn(move || {
-                serve_connection(stream, &conn_shared);
+                serve_connection(stream, &conn_ctx);
                 conn_active.fetch_sub(1, Ordering::SeqCst);
             });
         match spawned {
@@ -241,12 +407,13 @@ fn accept_loop(listener: TcpListener, shared: Shared, oneshot: bool, max_connect
     }
 }
 
-/// Serves one client connection until it closes, errors fatally, or the
-/// server shuts down.
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+/// Serves one client connection until it closes, errors fatally, stalls
+/// past the frame deadline, or the server shuts down.
+fn serve_connection(mut stream: TcpStream, ctx: &ConnContext) {
     // Bounded reads so this thread notices a shutdown requested elsewhere
     // even while its client is idle.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(ctx.io_timeout));
     let _ = stream.set_nodelay(true);
     loop {
         // Wait for readability without consuming, so a poll timeout never
@@ -260,20 +427,28 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if ctx.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 continue;
             }
             Err(_) => return,
         }
-        let req: Request = match read_frame(&mut stream) {
+        // A frame has started: it must complete within the I/O budget.
+        // Idling *between* frames is free; dribbling one byte at a time
+        // *inside* a frame (slow-loris) is not — the deadline closes the
+        // connection instead of pinning this thread.
+        let mut reader = DeadlineReader {
+            stream: &mut stream,
+            deadline: Instant::now() + ctx.io_timeout,
+        };
+        let req: Request = match read_frame(&mut reader) {
             Ok(r) => r,
             Err(WireError::Closed) => return,
             Err(WireError::Malformed(m)) => {
                 // Framing is intact (the payload was fully read), so reject
                 // the frame and keep the connection.
-                shared.metrics.frames_malformed.inc();
+                ctx.metrics.frames_malformed.inc();
                 let _ = write_frame(
                     &mut stream,
                     &Response::Error {
@@ -284,7 +459,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             }
             Err(WireError::TooLarge(n)) => {
                 // Cannot resynchronize past an unread over-length payload.
-                shared.metrics.frames_malformed.inc();
+                ctx.metrics.frames_malformed.inc();
                 let _ = write_frame(
                     &mut stream,
                     &Response::Error {
@@ -293,89 +468,122 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 );
                 return;
             }
+            Err(WireError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => {
+                ctx.metrics.conn_timeouts.inc();
+                return;
+            }
             Err(WireError::Io(_)) => return,
         };
         let is_shutdown = matches!(req, Request::Shutdown);
-        let resp = handle_request(req, shared);
-        if write_frame(&mut stream, &resp).is_err() {
+        let resp = ctx.sink.handle(req);
+        if let Err(e) = write_frame(&mut stream, &resp) {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ) {
+                ctx.metrics.conn_timeouts.inc();
+            }
             return;
         }
         if is_shutdown {
+            ctx.request_shutdown();
             return;
         }
     }
 }
 
-/// Computes the response for one request.
-fn handle_request(req: Request, shared: &Shared) -> Response {
-    match req {
-        Request::Ingest { seq, records } => {
-            let queued = records.len();
-            match shared.work_tx.try_send(Work::Batch { seq, records }) {
-                Ok(()) => {
-                    shared.metrics.ingest_queue_depth.add(1);
-                    Response::Ingested {
-                        seq,
-                        records: queued,
+impl RequestSink for Shared {
+    /// Computes the response for one request against the monolith
+    /// backend. `degraded` is always `false` here: a single-state daemon
+    /// either answers in full or is down.
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Ingest { seq, records } => {
+                let queued = records.len();
+                match self.work_tx.try_send(Work::Batch { seq, records }) {
+                    Ok(()) => {
+                        self.metrics.ingest_queue_depth.add(1);
+                        Response::Ingested {
+                            seq,
+                            records: queued,
+                        }
                     }
-                }
-                Err(TrySendError::Full(_)) => {
-                    shared.metrics.backpressure_rejected.inc();
-                    Response::Rejected {
-                        seq,
-                        queue_capacity: shared.queue_capacity,
+                    Err(TrySendError::Full(_)) => {
+                        self.metrics.backpressure_rejected.inc();
+                        Response::Rejected {
+                            seq,
+                            queue_capacity: self.queue_capacity,
+                        }
                     }
+                    Err(TrySendError::Disconnected(_)) => Response::Error {
+                        message: "server is draining".into(),
+                    },
                 }
-                Err(TrySendError::Disconnected(_)) => Response::Error {
-                    message: "server is draining".into(),
-                },
             }
-        }
-        Request::QueryRisk { users, items } => {
-            shared.metrics.queries_risk.inc();
-            let snap = shared.snapshot.load();
-            Response::Risk {
-                epoch: snap.view.epoch(),
-                users: users.into_iter().map(|u| (u, snap.view.user(u))).collect(),
-                items: items.into_iter().map(|v| (v, snap.view.item(v))).collect(),
-                groups: snap.view.groups().len(),
+            Request::QueryRisk { users, items } => {
+                self.metrics.queries_risk.inc();
+                let snap = self.snapshot.load();
+                Response::Risk {
+                    epoch: snap.view.epoch(),
+                    users: users.into_iter().map(|u| (u, snap.view.user(u))).collect(),
+                    items: items.into_iter().map(|v| (v, snap.view.item(v))).collect(),
+                    groups: snap.view.groups().len(),
+                    degraded: false,
+                    missing_shards: Vec::new(),
+                }
             }
-        }
-        Request::Recommend { user, n } => {
-            shared.metrics.queries_recommend.inc();
-            let snap = shared.snapshot.load();
-            Response::Recommendation {
-                epoch: snap.view.epoch(),
-                items: snap.recommend(user, n),
+            Request::Recommend { user, n } => {
+                self.metrics.queries_recommend.inc();
+                let snap = self.snapshot.load();
+                Response::Recommendation {
+                    epoch: snap.view.epoch(),
+                    items: snap.recommend(user, n),
+                    degraded: false,
+                }
             }
-        }
-        Request::Metrics { count_only } => {
-            let snap = shared.registry.snapshot();
-            Response::Metrics(if count_only { snap.count_only() } else { snap })
-        }
-        Request::Checkpoint => {
-            let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
-            // Blocking send: waits for queue room, so the marker lands
-            // after every batch accepted before this request.
-            if shared
-                .work_tx
-                .send(Work::Checkpoint { reply: reply_tx })
-                .is_err()
-            {
-                return Response::Error {
-                    message: "server is draining".into(),
-                };
+            Request::Metrics { count_only } => {
+                let snap = self.registry.snapshot();
+                Response::Metrics(if count_only { snap.count_only() } else { snap })
             }
-            match reply_rx.recv() {
-                Ok(ckpt) => Response::CheckpointTaken(ckpt),
-                Err(_) => Response::Error {
-                    message: "worker exited before the checkpoint completed".into(),
-                },
+            Request::Checkpoint => {
+                let (reply_tx, reply_rx) = std::sync::mpsc::sync_channel(1);
+                // Blocking send: waits for queue room, so the marker lands
+                // after every batch accepted before this request.
+                if self
+                    .work_tx
+                    .send(Work::Checkpoint { reply: reply_tx })
+                    .is_err()
+                {
+                    return Response::Error {
+                        message: "server is draining".into(),
+                    };
+                }
+                match reply_rx.recv() {
+                    Ok(ckpt) => Response::CheckpointTaken(ckpt),
+                    Err(_) => Response::Error {
+                        message: "worker exited before the checkpoint completed".into(),
+                    },
+                }
             }
-        }
-        Request::Shutdown => {
-            shared.request_shutdown();
-            Response::ShuttingDown
+            Request::Status => {
+                let snap = self.snapshot.load();
+                Response::Status {
+                    epoch: snap.view.epoch(),
+                    quorum: 1,
+                    degraded: false,
+                    shards: vec![ShardStatus {
+                        shard: 0,
+                        state: "up".into(),
+                        epoch: snap.view.epoch(),
+                        backlog: self.metrics.ingest_queue_depth.get().max(0) as u64,
+                        next_seq: 0,
+                        restarts: 0,
+                    }],
+                }
+            }
+            // The connection layer flips the shutdown flag (and wakes the
+            // accept loop) after this response is written.
+            Request::Shutdown => Response::ShuttingDown,
         }
     }
 }
@@ -561,6 +769,40 @@ mod tests {
             Err(WireError::Closed) | Err(WireError::Io(_))
         ));
         handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn slow_loris_partial_frame_times_out_and_closes_the_connection() {
+        let handle = start_server(ServeConfig {
+            io_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        });
+        let mut loris = TcpStream::connect(handle.addr()).unwrap();
+        // Start a frame but never finish it: promise 64 bytes, send 3.
+        loris.write_all(&64u32.to_be_bytes()).unwrap();
+        loris.write_all(b"{\"I").unwrap();
+        // The frame deadline closes the connection server-side; the
+        // dribbling client sees EOF, never a reply.
+        loris
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match loris.read(&mut buf) {
+            Ok(0) => {}
+            other => panic!("expected server-side close, got {other:?}"),
+        }
+        drop(loris);
+        // The guard is observable: a healthy client sees the counter.
+        let mut c = Client::connect(handle.addr()).unwrap();
+        match c.request(&Request::Metrics { count_only: true }).unwrap() {
+            Response::Metrics(m) => {
+                assert_eq!(m.counter("serve.conn_timeouts"), Some(1));
+            }
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        c.shutdown().unwrap();
+        drop(c);
         handle.join();
     }
 

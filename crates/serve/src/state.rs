@@ -40,6 +40,16 @@ pub struct ServeConfig {
     pub recommend_per_anchor: usize,
     /// Serve exactly one client connection, then drain and exit.
     pub oneshot: bool,
+    /// Name prefix for this state's metric family. The monolith daemon and
+    /// the router's aggregate set use the default `"serve"`; the router's
+    /// shard workers register as `"serve.shard.<i>"` so one registry holds
+    /// every shard's counters side by side.
+    pub metrics_prefix: String,
+    /// Per-connection frame I/O deadline (the slow-loris guard): once a
+    /// frame's first byte is visible, the whole frame must arrive — and
+    /// responses must flush — within this budget or the connection is
+    /// closed and `<prefix>.conn_timeouts` incremented.
+    pub io_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +61,8 @@ impl Default for ServeConfig {
             swap_interval: None,
             recommend_per_anchor: 50,
             oneshot: false,
+            metrics_prefix: "serve".into(),
+            io_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -103,6 +115,7 @@ pub(crate) struct ServeMetrics {
     pub frames_malformed: Counter,
     pub connections_accepted: Counter,
     pub connections_rejected: Counter,
+    pub conn_timeouts: Counter,
     pub view_swaps: Counter,
     pub ingest_queue_depth: Gauge,
     pub epoch: Gauge,
@@ -114,24 +127,26 @@ pub(crate) struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    pub(crate) fn register(registry: &MetricsRegistry) -> Self {
+    pub(crate) fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        let name = |suffix: &str| format!("{prefix}.{suffix}");
         Self {
-            batches: registry.counter("serve.batches"),
-            records: registry.counter("serve.records"),
-            backpressure_rejected: registry.counter("serve.backpressure_rejected"),
-            queries_risk: registry.counter("serve.queries_risk"),
-            queries_recommend: registry.counter("serve.queries_recommend"),
-            frames_malformed: registry.counter("serve.frames_malformed"),
-            connections_accepted: registry.counter("serve.connections_accepted"),
-            connections_rejected: registry.counter("serve.connections_rejected"),
-            view_swaps: registry.counter("serve.swaps"),
-            ingest_queue_depth: registry.gauge("serve.ingest_queue_depth"),
-            epoch: registry.gauge("serve.epoch"),
-            view_groups: registry.gauge("serve.view_groups"),
-            view_flagged_users: registry.gauge("serve.view_flagged_users"),
-            view_flagged_items: registry.gauge("serve.view_flagged_items"),
-            batch_nanos: registry.histogram("serve.batch_nanos", &DURATION_BUCKETS_NANOS),
-            swap_nanos: registry.histogram("serve.swap_nanos", &DURATION_BUCKETS_NANOS),
+            batches: registry.counter(&name("batches")),
+            records: registry.counter(&name("records")),
+            backpressure_rejected: registry.counter(&name("backpressure_rejected")),
+            queries_risk: registry.counter(&name("queries_risk")),
+            queries_recommend: registry.counter(&name("queries_recommend")),
+            frames_malformed: registry.counter(&name("frames_malformed")),
+            connections_accepted: registry.counter(&name("connections_accepted")),
+            connections_rejected: registry.counter(&name("connections_rejected")),
+            conn_timeouts: registry.counter(&name("conn_timeouts")),
+            view_swaps: registry.counter(&name("swaps")),
+            ingest_queue_depth: registry.gauge(&name("ingest_queue_depth")),
+            epoch: registry.gauge(&name("epoch")),
+            view_groups: registry.gauge(&name("view_groups")),
+            view_flagged_users: registry.gauge(&name("view_flagged_users")),
+            view_flagged_items: registry.gauge(&name("view_flagged_items")),
+            batch_nanos: registry.histogram(&name("batch_nanos"), &DURATION_BUCKETS_NANOS),
+            swap_nanos: registry.histogram(&name("swap_nanos"), &DURATION_BUCKETS_NANOS),
         }
     }
 }
@@ -154,9 +169,22 @@ impl ServeState {
     /// parameters, the worker pool, and the metrics registry the `serve.*`
     /// family registers into.
     pub fn new(cfg: ServeConfig, pipeline: RicdPipeline) -> Self {
+        let cell = Arc::new(SnapshotCell::new(ServeSnapshot::empty()));
+        Self::new_in_cell(cfg, pipeline, cell)
+    }
+
+    /// Like [`new`](Self::new) but publishing into an existing snapshot
+    /// cell — the sharded runtime's restart path: a replacement shard
+    /// worker republishes into the *same* cell its predecessor's queries
+    /// read from, so query routing never has to re-wire.
+    pub fn new_in_cell(
+        cfg: ServeConfig,
+        pipeline: RicdPipeline,
+        cell: Arc<SnapshotCell<ServeSnapshot>>,
+    ) -> Self {
         let registry = pipeline.metrics.clone();
         let pool = pipeline.pool.clone();
-        let metrics = ServeMetrics::register(&registry);
+        let metrics = ServeMetrics::register(&registry, &cfg.metrics_prefix);
         let swap_clock = cfg
             .swap_interval
             .map(|d| BudgetClock::start(RunBudget::none().with_deadline(d)));
@@ -166,7 +194,7 @@ impl ServeState {
             pool,
             registry,
             metrics,
-            shared: Arc::new(SnapshotCell::new(ServeSnapshot::empty())),
+            shared: cell,
             epoch: 0,
             batches_since_swap: 0,
             swap_clock,
@@ -178,9 +206,21 @@ impl ServeState {
     /// restarted server serves the pre-crash verdicts before any new batch
     /// arrives.
     pub fn restore(cfg: ServeConfig, pipeline: RicdPipeline, ckpt: Checkpoint) -> Self {
+        let cell = Arc::new(SnapshotCell::new(ServeSnapshot::empty()));
+        Self::restore_in_cell(cfg, pipeline, ckpt, cell)
+    }
+
+    /// [`restore`](Self::restore) into an existing snapshot cell (see
+    /// [`new_in_cell`](Self::new_in_cell)).
+    pub fn restore_in_cell(
+        cfg: ServeConfig,
+        pipeline: RicdPipeline,
+        ckpt: Checkpoint,
+        cell: Arc<SnapshotCell<ServeSnapshot>>,
+    ) -> Self {
         let registry = pipeline.metrics.clone();
         let pool = pipeline.pool.clone();
-        let metrics = ServeMetrics::register(&registry);
+        let metrics = ServeMetrics::register(&registry, &cfg.metrics_prefix);
         let swap_clock = cfg
             .swap_interval
             .map(|d| BudgetClock::start(RunBudget::none().with_deadline(d)));
@@ -190,7 +230,7 @@ impl ServeState {
             pool,
             registry,
             metrics,
-            shared: Arc::new(SnapshotCell::new(ServeSnapshot::empty())),
+            shared: cell,
             epoch: 0,
             batches_since_swap: 0,
             swap_clock,

@@ -60,10 +60,32 @@ pub enum Request {
         count_only: bool,
     },
     /// A consistent detector checkpoint, serialized after every batch
-    /// accepted before this request.
+    /// accepted before this request. On a sharded server this is a
+    /// **coordinated** checkpoint: every shard checkpoints at a barrier
+    /// and the reply is a [`Response::ManifestWritten`] instead.
     Checkpoint,
+    /// The serving topology's health: per-shard state, epochs, backlogs,
+    /// restart counts, and the quorum epoch watermark.
+    Status,
     /// Graceful shutdown: drain accepted batches, stop accepting.
     Shutdown,
+}
+
+/// One shard's health as reported by [`Response::Status`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardStatus {
+    /// Shard index.
+    pub shard: u32,
+    /// `"up"`, `"recovering"`, or `"down"`.
+    pub state: String,
+    /// The shard's latest published view epoch.
+    pub epoch: u64,
+    /// Batches routed to the shard but not yet processed.
+    pub backlog: u64,
+    /// The shard's next expected local batch sequence number.
+    pub next_seq: u64,
+    /// How many times the supervisor has restarted this shard.
+    pub restarts: u64,
 }
 
 /// A server response.
@@ -85,9 +107,10 @@ pub enum Response {
         /// The queue's capacity, for client-side pacing.
         queue_capacity: usize,
     },
-    /// Risk verdicts from one consistent view snapshot.
+    /// Risk verdicts from one consistent view snapshot (on a sharded
+    /// server: from the merge of every live shard's snapshot).
     Risk {
-        /// The answering view's epoch.
+        /// The answering view's epoch (sharded: the quorum watermark).
         epoch: u64,
         /// Per-user verdicts, in request order.
         users: Vec<(UserId, RiskVerdict)>,
@@ -95,6 +118,12 @@ pub enum Response {
         items: Vec<(ItemId, RiskVerdict)>,
         /// Number of detected groups in the view.
         groups: usize,
+        /// True when the answer is partial: at least one shard's view is
+        /// missing (shard down) or stale (recovering). A monolith server
+        /// always answers `false`.
+        degraded: bool,
+        /// The shards whose views are missing from this answer.
+        missing_shards: Vec<u32>,
     },
     /// A cleaned recommendation list.
     Recommendation {
@@ -102,11 +131,36 @@ pub enum Response {
         epoch: u64,
         /// `(item, score)` descending.
         items: Vec<(ItemId, f32)>,
+        /// True when the owning shard was unavailable and the list is
+        /// empty-by-outage rather than empty-by-content.
+        degraded: bool,
     },
     /// The server's metrics snapshot.
     Metrics(MetricsSnapshot),
     /// A consistent detector checkpoint.
     CheckpointTaken(Checkpoint),
+    /// A coordinated sharded checkpoint completed: per-shard checkpoint
+    /// files plus `manifest.json` were written atomically under the
+    /// server's checkpoint directory.
+    ManifestWritten {
+        /// The manifest file's path.
+        path: String,
+        /// Shards covered.
+        shards: u32,
+        /// The quorum epoch at the checkpoint barrier.
+        epoch: u64,
+    },
+    /// The serving topology's health.
+    Status {
+        /// The quorum epoch watermark queries are answered at.
+        epoch: u64,
+        /// Live shards required before the epoch may advance.
+        quorum: u32,
+        /// True when any shard is not `Up`.
+        degraded: bool,
+        /// Per-shard health, in shard order.
+        shards: Vec<ShardStatus>,
+    },
     /// Shutdown acknowledged; the server is draining.
     ShuttingDown,
     /// The request could not be served.
@@ -223,6 +277,7 @@ mod tests {
         });
         round_trip(Request::Metrics { count_only: true });
         round_trip(Request::Checkpoint);
+        round_trip(Request::Status);
         round_trip(Request::Shutdown);
     }
 
@@ -246,10 +301,31 @@ mod tests {
                 )],
                 items: vec![(ItemId(9), RiskVerdict::clear())],
                 groups: 1,
+                degraded: true,
+                missing_shards: vec![2],
             },
             Response::Recommendation {
                 epoch: 4,
                 items: vec![(ItemId(3), 0.5)],
+                degraded: false,
+            },
+            Response::ManifestWritten {
+                path: "/tmp/ckpt/manifest.json".into(),
+                shards: 4,
+                epoch: 9,
+            },
+            Response::Status {
+                epoch: 9,
+                quorum: 3,
+                degraded: true,
+                shards: vec![ShardStatus {
+                    shard: 1,
+                    state: "recovering".into(),
+                    epoch: 8,
+                    backlog: 3,
+                    next_seq: 17,
+                    restarts: 1,
+                }],
             },
             Response::ShuttingDown,
             Response::Error {

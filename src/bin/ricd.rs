@@ -17,7 +17,7 @@ use fake_click_detection::eval::figures;
 use fake_click_detection::graph::io as graph_io;
 use fake_click_detection::obs::{MetricsRegistry, MetricsSnapshot, StderrTraceRecorder};
 use fake_click_detection::prelude::*;
-use fake_click_detection::serve::{Client, ServeConfig, ServeState};
+use fake_click_detection::serve::{Client, RouterConfig, ServeConfig, ServeState};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
@@ -90,6 +90,10 @@ USAGE:
     ricd serve    [--port <N>] [--oneshot] [--resume <ckpt.json>]
                   [--queue <N>] [--swap-every <N>] [--max-connections <N>]
                   [--workers <N>] [--checkpoint-out <ckpt.json>]
+                  [--io-timeout-ms <N>]
+                  [--shards <N>] [--buffer-per-shard <N>]
+                  [--checkpoint-dir <DIR>] [--checkpoint-every <N>]
+                  [--resume-manifest <manifest.json|DIR>]
                   [--k1 <N>] [--k2 <N>] [--alpha <F>]
                   [--t-hot <N>] [--t-click <N>]
                   [--metrics-out <m.json>] [--metrics-count-only]
@@ -98,8 +102,9 @@ USAGE:
         query      [--user <id>]... [--item <id>]...
         recommend  --user <id> [--n <N>]
         metrics    [--count-only] [--filter <PREFIX>] [--output <m.json>]
-        checkpoint --output <ckpt.json>
+        checkpoint [--output <ckpt.json>]
         check      --truth <truth.json> [--min-recall <F>]
+        status
         shutdown
 
 Click tables are TSV lines `user<TAB>item<TAB>clicks`.
@@ -136,6 +141,20 @@ SERVING:
     connection then drains and exits. `ricd client` speaks the
     length-prefixed JSON wire protocol; `client check --truth` exits 1
     unless every planted worker/target is flagged by the live view.
+    A frame that stalls mid-read past --io-timeout-ms closes the
+    connection (slow-loris guard, counted in serve.conn_timeouts).
+
+    `ricd serve --shards N` runs the supervised multi-shard topology:
+    ingest is hash-routed (with halo replication of shared items) to N
+    crash-isolated shard workers; a dead shard restarts from its last
+    coordinated checkpoint and replays its log, losing no accepted batch.
+    While a shard is down, queries answer from the live shards tagged
+    DEGRADED, and `ricd client status` shows per-shard health, restart
+    counts, and the quorum epoch watermark (degraded status still exits
+    0 — the topology is serving). Coordinated checkpoints write per-shard
+    files plus a manifest.json commit point under --checkpoint-dir every
+    --checkpoint-every accepted batches (and on `client checkpoint`);
+    --resume-manifest restores the whole topology from one.
 
 EXIT CODES:
     0  success (including degraded runs, which warn on stderr)
@@ -512,7 +531,53 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         cfg.max_connections = n;
     }
     cfg.oneshot = flags.has("--oneshot");
+    if let Some(ms) = flags.parse("--io-timeout-ms")? {
+        cfg.io_timeout = std::time::Duration::from_millis(ms);
+    }
     let port: u16 = flags.parse("--port")?.unwrap_or(0);
+
+    // --shards N runs the supervised multi-shard topology (routed ingest,
+    // crash-recovering shard workers, degraded-mode serving). Without it
+    // the classic single-state daemon runs.
+    if let Some(shards) = flags.parse::<usize>("--shards")? {
+        let mut rcfg = RouterConfig {
+            shards,
+            params,
+            serve: cfg,
+            ..RouterConfig::default()
+        };
+        if let Some(n) = flags.parse("--workers")? {
+            rcfg.workers_per_shard = n;
+        }
+        if let Some(n) = flags.parse("--buffer-per-shard")? {
+            rcfg.buffer_per_shard = n;
+        }
+        if let Some(n) = flags.parse("--checkpoint-every")? {
+            rcfg.checkpoint_every_batches = n;
+        }
+        if let Some(dir) = flags.get("--checkpoint-dir") {
+            rcfg.checkpoint_dir = Some(std::path::PathBuf::from(dir));
+        }
+        let resume = flags.get("--resume-manifest").map(std::path::Path::new);
+        if let Some(path) = resume {
+            eprintln!("resuming {shards} shard(s) from {}", path.display());
+        }
+        let handle = fake_click_detection::serve::start_router(
+            rcfg,
+            registry.clone(),
+            ("127.0.0.1", port),
+            resume,
+        )
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+        println!("listening on {}", handle.addr());
+        std::io::stdout().flush().map_err(|e| e.to_string())?;
+        let states = handle.join();
+        for (i, s) in states.iter().enumerate() {
+            eprintln!("shard {i} drained (next_seq {})", s.next_seq());
+        }
+        return write_snapshot(&registry, metrics_out, count_only);
+    }
+
     let pool = match flags.parse("--workers")? {
         Some(n) => WorkerPool::new(n),
         None => WorkerPool::default_for_host(),
@@ -574,7 +639,8 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
     // Validate per-op flags BEFORE connecting: usage errors (exit 2) must
     // win over connection errors (exit 1).
     match op {
-        "ingest" | "query" | "recommend" | "metrics" | "checkpoint" | "check" | "shutdown" => {}
+        "ingest" | "query" | "recommend" | "metrics" | "checkpoint" | "check" | "status"
+        | "shutdown" => {}
         other => return Err(CliError::Usage(format!("unknown client op `{other}`"))),
     }
     let parse_ids = |key: &str| -> Result<Vec<u32>, CliError> {
@@ -597,18 +663,21 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             let records: Vec<(UserId, ItemId, u32)> = g.edges().collect();
             let mut c = connect(addr)?;
             let mut seq = start_seq;
-            let mut rejections = 0;
+            let mut rejections = 0u64;
+            let mut attempts = 0u64;
             for chunk in records.chunks(batch_size) {
-                rejections += c
+                let stats = c
                     .ingest_blocking(seq, chunk)
                     .map_err(|e| CliError::Runtime(e.to_string()))?;
+                rejections += stats.rejections;
+                attempts += stats.attempts;
                 seq += 1;
             }
             eprintln!(
-                "ingested {} batches ({} records), {} backpressure rejection(s)",
+                "ingested {} batches ({} records) in {attempts} attempt(s), \
+                 {rejections} backpressure rejection(s)",
                 seq - start_seq,
                 records.len(),
-                rejections
             );
             Ok(())
         }
@@ -619,7 +688,16 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             let report = c
                 .query_risk(users, items)
                 .map_err(|e| CliError::Runtime(e.to_string()))?;
-            println!("epoch {} ({} groups)", report.epoch, report.groups);
+            println!(
+                "epoch {} ({} groups){}",
+                report.epoch,
+                report.groups,
+                if report.degraded {
+                    format!(" DEGRADED missing_shards={:?}", report.missing_shards)
+                } else {
+                    String::new()
+                }
+            );
             for (u, v) in &report.users {
                 println!(
                     "user {}: {} score={:.3}{}",
@@ -648,11 +726,15 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             );
             let n: usize = flags.parse("--n")?.unwrap_or(10);
             let mut c = connect(addr)?;
-            let (epoch, items) = c
+            let rec = c
                 .recommend(user, n)
                 .map_err(|e| CliError::Runtime(e.to_string()))?;
-            println!("epoch {}", epoch);
-            for (item, score) in items {
+            println!(
+                "epoch {}{}",
+                rec.epoch,
+                if rec.degraded { " (degraded)" } else { "" }
+            );
+            for (item, score) in rec.items {
                 println!("item {}  score={score:.4}", item.0);
             }
             Ok(())
@@ -676,19 +758,69 @@ fn cmd_client(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "checkpoint" => {
-            let output = flags.require("--output")?;
+            // A monolith answers with the checkpoint itself (written to
+            // --output); a sharded router writes its own files and answers
+            // with the manifest path.
+            let output = flags.get("--output");
             let mut c = connect(addr)?;
-            let ckpt = c
-                .checkpoint()
+            let resp = c
+                .request(&fake_click_detection::serve::Request::Checkpoint)
                 .map_err(|e| CliError::Runtime(e.to_string()))?;
-            let json = serde_json::to_string_pretty(&ckpt).map_err(|e| e.to_string())?;
-            std::fs::write(output, json).map_err(|e| format!("{output}: {e}"))?;
-            eprintln!(
-                "wrote {output} ({} records, {} groups, next_seq {})",
-                ckpt.records.len(),
-                ckpt.groups.len(),
-                ckpt.next_seq
+            match resp {
+                fake_click_detection::serve::Response::CheckpointTaken(ckpt) => {
+                    let output =
+                        output.ok_or_else(|| CliError::Usage("missing --output".into()))?;
+                    let json = serde_json::to_string_pretty(&ckpt).map_err(|e| e.to_string())?;
+                    std::fs::write(output, json).map_err(|e| format!("{output}: {e}"))?;
+                    eprintln!(
+                        "wrote {output} ({} records, {} groups, next_seq {})",
+                        ckpt.records.len(),
+                        ckpt.groups.len(),
+                        ckpt.next_seq
+                    );
+                    Ok(())
+                }
+                fake_click_detection::serve::Response::ManifestWritten {
+                    path,
+                    shards,
+                    epoch,
+                } => {
+                    if path.is_empty() {
+                        eprintln!(
+                            "coordinated checkpoint taken in memory ({shards} shards, \
+                             epoch {epoch}); start the server with --checkpoint-dir \
+                             to persist manifests"
+                        );
+                    } else {
+                        eprintln!("wrote {path} ({shards} shards, epoch {epoch})");
+                        println!("{path}");
+                    }
+                    Ok(())
+                }
+                fake_click_detection::serve::Response::Error { message } => {
+                    Err(CliError::Runtime(format!("server: {message}")))
+                }
+                other => Err(CliError::Runtime(format!("unexpected response: {other:?}"))),
+            }
+        }
+        "status" => {
+            let mut c = connect(addr)?;
+            let st = c.status().map_err(|e| CliError::Runtime(e.to_string()))?;
+            println!(
+                "epoch {}  quorum {}  {}",
+                st.epoch,
+                st.quorum,
+                if st.degraded { "DEGRADED" } else { "healthy" }
             );
+            println!("shard  state       epoch  backlog  next_seq  restarts");
+            for s in &st.shards {
+                println!(
+                    "{:>5}  {:<10}  {:>5}  {:>7}  {:>8}  {:>8}",
+                    s.shard, s.state, s.epoch, s.backlog, s.next_seq, s.restarts
+                );
+            }
+            // Degraded status is exit 0: visibility, not failure — the
+            // topology is still serving.
             Ok(())
         }
         "check" => {

@@ -62,8 +62,8 @@ fn planted_campaign_detected_and_cleaned_over_the_wire() {
                     .expect("risk query during ingest");
                 assert!(report.epoch >= last_epoch, "epochs move forward only");
                 last_epoch = report.epoch;
-                let (_, recs) = c.recommend(probe_user, 5).expect("recommend during ingest");
-                assert!(recs.len() <= 5);
+                let rec = c.recommend(probe_user, 5).expect("recommend during ingest");
+                assert!(rec.items.len() <= 5);
                 queries += 1;
             }
             queries
@@ -72,12 +72,13 @@ fn planted_campaign_detected_and_cleaned_over_the_wire() {
 
     // Stream the world in, tolerating (counting) backpressure rejections.
     let mut ingest = Client::connect(addr).expect("ingester connects");
-    let mut rejections = 0;
+    let mut rejections = 0u64;
     let mut next_seq = 0u64;
     for batch in &batches(&ds, 2000) {
         rejections += ingest
             .ingest_blocking(next_seq, batch)
-            .expect("batch accepted eventually");
+            .expect("batch accepted eventually")
+            .rejections;
         next_seq += 1;
     }
     let _ = rejections; // any value is fine; the bench asserts > 0 under load
@@ -164,9 +165,9 @@ fn planted_campaign_detected_and_cleaned_over_the_wire() {
             continue; // this hot item's list resisted the attack even dirty
         }
         attacks_landed += 1;
-        let (_, recs) = ingest.recommend(probe, 10).expect("probe recommend");
-        assert!(!recs.is_empty(), "hot anchor {hot:?} serves a list");
-        for (item, _) in &recs {
+        let rec = ingest.recommend(probe, 10).expect("probe recommend");
+        assert!(!rec.items.is_empty(), "hot anchor {hot:?} serves a list");
+        for (item, _) in &rec.items {
             assert!(
                 !group_targets.contains(item),
                 "probe {probe:?} (clicked only hot {hot:?}) was recommended planted \
