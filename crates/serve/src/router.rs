@@ -6,16 +6,20 @@
 //! ([`ricd_graph::user_shard`]). Pure user partitioning would split an
 //! attack group whose workers hash to different shards below the `k₁`
 //! floor, so the router mirrors the planner's boundary-item replication
-//! online: it keeps every item's full click history and the set of shards
-//! *interested* in the item (shards owning at least one of its clickers).
-//! The first time a shard gains interest in an item, the item's entire
-//! history is backfilled into that shard's sub-batch; from then on every
-//! click on the item fans out to all interested shards. Each shard
-//! therefore sees the complete neighborhood of every item its users
-//! touch — the planner's soundness argument carries over, and any group
-//! containing a shard's user is detected *in full* by that shard. Queries
-//! merge per-shard views with [`RiskView::merged`], which deduplicates the
-//! halo-replicated groups.
+//! online: it keeps every item's cumulative per-user click counts and the
+//! set of shards *interested* in the item (shards owning at least one of
+//! its clickers). The first time a shard gains interest in an item, the
+//! item's aggregated history is backfilled into that shard's sub-batch;
+//! from then on every click on the item fans out to all interested
+//! shards. Aggregation is lossless for the detector — the graph builder
+//! merges duplicate `(user, item)` pairs by summing clicks, so one
+//! backfilled record per clicker reproduces the exact neighborhood — and
+//! it bounds the routing table at O(distinct `(user, item)` pairs) rather
+//! than O(total clicks). Each shard therefore sees the complete
+//! neighborhood of every item its users touch — the planner's soundness
+//! argument carries over, and any group containing a shard's user is
+//! detected *in full* by that shard. Queries merge per-shard views with
+//! [`RiskView::merged`], which deduplicates the halo-replicated groups.
 //!
 //! **Zero accepted-batch loss.** An accepted batch's sub-batches are
 //! appended to per-shard replay logs *before* the accept reply is
@@ -50,7 +54,7 @@ use ricd_core::RicdParams;
 use ricd_engine::{ServeFaultInjector, ServeFaultPlan};
 use ricd_graph::{user_shard, ItemId, UserId};
 use ricd_obs::{Counter, Gauge, MetricsRegistry};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
@@ -104,10 +108,11 @@ impl Default for RouterConfig {
     }
 }
 
-/// One item's routing entry: its full click history and the shards
-/// interested in it.
+/// One item's routing entry: its cumulative per-user click counts and the
+/// shards interested in it. A `BTreeMap` keeps backfill order (and thus
+/// sub-batch construction) deterministic across runs.
 struct ItemEntry {
-    history: Vec<(UserId, u32)>,
+    history: BTreeMap<UserId, u32>,
     interest: u64,
 }
 
@@ -154,6 +159,17 @@ pub struct Router {
     agg: ServeMetrics,
     rm: RouterMetrics,
     route: Mutex<RouteTable>,
+    /// Serializes coordinated checkpoints: two interleaved runs could
+    /// otherwise commit an older barrier's mirrors after a newer one
+    /// already truncated the replay logs past them.
+    ckpt_lock: Mutex<()>,
+    /// A cadence checkpoint is in flight on its own thread; don't stack
+    /// another behind it.
+    cadence_inflight: AtomicBool,
+    /// Handle of the in-flight cadence thread. Joined during drain so a
+    /// cadence checkpoint's file writes can never outlive the topology
+    /// (a resuming process may already be reading the checkpoint dir).
+    cadence_join: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// The quorum epoch watermark (monotone).
     epoch: AtomicU64,
     shutdown: Arc<AtomicBool>,
@@ -184,6 +200,9 @@ impl Router {
                 next_global_seq: 0,
                 accepted_since_checkpoint: 0,
             }),
+            ckpt_lock: Mutex::new(()),
+            cadence_inflight: AtomicBool::new(false),
+            cadence_join: Mutex::new(None),
             epoch: AtomicU64::new(0),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -249,10 +268,10 @@ impl Router {
                 interest: base.map(|e| e.interest).unwrap_or(0),
             });
             if entry.interest & (1 << owner) == 0 {
-                // New interest: backfill the item's full history so the
-                // owner sees the complete neighborhood from click one.
+                // New interest: backfill the item's aggregated history so
+                // the owner sees the complete neighborhood from click one.
                 entry.interest |= 1 << owner;
-                for &(hu, hc) in &entry.history {
+                for (&hu, &hc) in &entry.history {
                     subs[owner].push((hu, i, hc));
                     halo += 1;
                 }
@@ -266,7 +285,8 @@ impl Router {
                     halo += 1;
                 }
             }
-            entry.history.push((u, c));
+            let total = entry.history.entry(u).or_insert(0);
+            *total = total.saturating_add(c);
         }
         // Admission: every target shard must have replay-log room.
         for (s, sub) in subs.iter().enumerate() {
@@ -323,11 +343,10 @@ impl Router {
                 .count() as i64,
         );
         if up.len() >= self.quorum() {
+            // fetch_max keeps the watermark monotone under concurrent
+            // callers (every query refreshes it).
             let candidate = up.into_iter().min().unwrap_or(0);
-            let prev = self.epoch.load(Ordering::SeqCst);
-            if candidate > prev {
-                self.epoch.store(candidate, Ordering::SeqCst);
-            }
+            self.epoch.fetch_max(candidate, Ordering::SeqCst);
         }
         let e = self.epoch.load(Ordering::SeqCst);
         self.agg.epoch.set(e as i64);
@@ -422,15 +441,30 @@ impl Router {
     /// the replay logs. Barriers ride the shard logs, so they survive a
     /// mid-checkpoint worker crash and are answered after recovery.
     pub fn checkpoint_coordinated(&self, deadline: Duration) -> Result<Response, String> {
-        let receivers: Vec<_> = self
-            .slots
-            .iter()
-            .map(|slot| {
-                let (tx, rx) = std::sync::mpsc::sync_channel(1);
-                slot.channel.request_checkpoint(tx);
-                rx
-            })
-            .collect();
+        let _serial = self.ckpt_lock.lock().expect("checkpoint lock poisoned");
+        // Capture the global cursor and enqueue every barrier under ONE
+        // route-lock hold. route_batch appends sub-batches and advances
+        // next_global_seq under the same lock, so every batch below the
+        // captured cursor reached the replay logs before any barrier —
+        // i.e. is covered by every shard checkpoint — and every batch at
+        // or above it stays in the logs after truncation. Capturing after
+        // the barriers instead would let a batch slip between barrier
+        // enqueue and capture: excluded from the checkpoints yet below the
+        // manifest cursor, so its redelivery after a process restart would
+        // be deduped away — silent loss.
+        let (next_global_seq, receivers) = {
+            let route = self.route.lock().expect("route table poisoned");
+            let receivers: Vec<_> = self
+                .slots
+                .iter()
+                .map(|slot| {
+                    let (tx, rx) = std::sync::mpsc::sync_channel(1);
+                    slot.channel.request_checkpoint(tx);
+                    rx
+                })
+                .collect();
+            (route.next_global_seq, receivers)
+        };
         let t0 = Instant::now();
         let mut ckpts = Vec::with_capacity(self.slots.len());
         for (i, rx) in receivers.into_iter().enumerate() {
@@ -446,10 +480,6 @@ impl Router {
             }
         }
         let epoch = self.refresh_epoch();
-        let next_global_seq = {
-            let route = self.route.lock().expect("route table poisoned");
-            route.next_global_seq
-        };
         let mut path = String::new();
         if let Some(dir) = &self.cfg.checkpoint_dir {
             let mut entries = Vec::with_capacity(ckpts.len());
@@ -477,10 +507,17 @@ impl Router {
                 .display()
                 .to_string();
         }
-        // Commit point passed: mirror + truncate.
+        // Commit point passed: mirror + truncate. The monotonicity guard
+        // is belt-and-braces under ckpt_lock serialization — a stale
+        // checkpoint must never replace a newer mirror whose log prefix
+        // was already truncated.
         for (slot, c) in self.slots.iter().zip(&ckpts) {
-            *slot.last_checkpoint.lock().expect("slot poisoned") = Some(c.clone());
-            slot.channel.truncate_to(c.next_seq);
+            let mut mirror = slot.last_checkpoint.lock().expect("slot poisoned");
+            if mirror.as_ref().is_none_or(|m| m.next_seq <= c.next_seq) {
+                *mirror = Some(c.clone());
+                drop(mirror);
+                slot.channel.truncate_to(c.next_seq);
+            }
         }
         {
             let mut route = self.route.lock().expect("route table poisoned");
@@ -496,18 +533,65 @@ impl Router {
 
     /// The probe-loop hook: refresh the watermark and gauges, and fire
     /// the checkpoint cadence once every shard is `Up` (a degraded
-    /// topology defers the cadence rather than failing it).
-    pub(crate) fn on_probe(&self) {
+    /// topology defers the cadence rather than failing it). The cadence
+    /// checkpoint runs on its own thread: a shard dying right after the
+    /// all-`Up` check would otherwise pin the supervisor inside the
+    /// barrier wait for the full deadline, during which no shard is
+    /// probed, stall-detected, or restarted — and the barrier itself is
+    /// only answered once the supervisor restarts the dead worker.
+    pub(crate) fn on_probe(self: &Arc<Self>) {
         self.refresh_epoch();
         self.refresh_depth_gauge();
-        if self.cfg.checkpoint_every_batches > 0 {
-            let due = {
-                let route = self.route.lock().expect("route table poisoned");
-                route.accepted_since_checkpoint >= self.cfg.checkpoint_every_batches
-            };
-            let all_up = self.slots.iter().all(|s| s.health() == ShardHealth::Up);
-            if due && all_up {
-                let _ = self.checkpoint_coordinated(Duration::from_secs(60));
+        if self.cfg.checkpoint_every_batches == 0 {
+            return;
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            // Draining: start no new cadence checkpoint, and wait out any
+            // in-flight one. A detached cadence thread would otherwise
+            // write shard files and the manifest *after* the supervisor
+            // returned — i.e. while a resuming process is already reading
+            // the checkpoint directory — handing it a torn set (old
+            // manifest cursor, newer shard files) that double-ingests
+            // redelivered batches. Draining workers answer pending
+            // barriers before they exit, so this join is bounded by the
+            // checkpoint deadline, not the drain.
+            let handle = self
+                .cadence_join
+                .lock()
+                .expect("cadence handle poisoned")
+                .take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+            return;
+        }
+        let due = {
+            let route = self.route.lock().expect("route table poisoned");
+            route.accepted_since_checkpoint >= self.cfg.checkpoint_every_batches
+        };
+        let all_up = self.slots.iter().all(|s| s.health() == ShardHealth::Up);
+        if due && all_up && !self.cadence_inflight.swap(true, Ordering::SeqCst) {
+            let me = self.clone();
+            let spawned = std::thread::Builder::new()
+                .name("ricd-ckpt-cadence".into())
+                .spawn(move || {
+                    let _ = me.checkpoint_coordinated(Duration::from_secs(60));
+                    me.cadence_inflight.store(false, Ordering::SeqCst);
+                });
+            match spawned {
+                Ok(h) => {
+                    // `cadence_inflight` was false, so any previous thread
+                    // has finished its work; joining it is near-instant.
+                    let prev = self
+                        .cadence_join
+                        .lock()
+                        .expect("cadence handle poisoned")
+                        .replace(h);
+                    if let Some(old) = prev {
+                        let _ = old.join();
+                    }
+                }
+                Err(_) => self.cadence_inflight.store(false, Ordering::SeqCst),
             }
         }
     }
@@ -582,6 +666,19 @@ impl Router {
         for entry in &manifest.entries {
             let ckpt = Manifest::load_shard_checkpoint(dir, entry)
                 .map_err(|e| format!("shard {}: {e}", entry.shard))?;
+            // A shard file whose cursor disagrees with the manifest entry
+            // written alongside it means the set is torn — e.g. another
+            // process is still writing checkpoints into this directory.
+            // Resuming anyway would mis-place the dedup cut and double- or
+            // under-ingest redelivered batches; fail loudly instead.
+            if ckpt.next_seq != entry.next_seq {
+                return Err(format!(
+                    "shard {}: checkpoint file covers sequences below {} but the \
+                     manifest records {} — torn checkpoint set (is another process \
+                     still writing to this checkpoint directory?)",
+                    entry.shard, ckpt.next_seq, entry.next_seq
+                ));
+            }
             // Fast-forward the shard channel and seed the restart mirror
             // *now*, synchronously — before the accept loop exists — so the
             // first routed batches are numbered after the restored
@@ -597,7 +694,7 @@ impl Router {
                     .items
                     .entry(i)
                     .or_insert_with(|| ItemEntry {
-                        history: Vec::new(),
+                        history: BTreeMap::new(),
                         interest: 0,
                     })
                     .interest |= 1 << entry.shard;
@@ -606,13 +703,16 @@ impl Router {
         }
         // Histories: every interested shard holds an item's *complete*
         // history (the backfill invariant), so take each item's history
-        // wholesale from the first shard that mentions it.
+        // wholesale from the first shard that mentions it. Checkpoint
+        // record streams may repeat a (user, item) pair; counts aggregate
+        // additively, same as the graph builder.
         let mut filled: std::collections::HashSet<ItemId> = std::collections::HashSet::new();
         for ckpt in initial.iter().flatten() {
             for &(u, i, c) in &ckpt.records {
                 if !filled.contains(&i) {
                     let e = route.items.get_mut(&i).expect("interest pass inserted");
-                    e.history.push((u, c));
+                    let total = e.history.entry(u).or_insert(0);
+                    *total = total.saturating_add(c);
                 }
             }
             for &(_, i, _) in &ckpt.records {

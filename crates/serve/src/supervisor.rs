@@ -156,9 +156,18 @@ impl ShardChannel {
 
     /// Enqueues a checkpoint barrier at the current tail; the reply fires
     /// once the worker has processed everything appended before this call.
+    ///
+    /// Refused once the channel is draining: the worker may already have
+    /// exited (it answers every barrier it can see before doing so), and a
+    /// barrier enqueued past that point would never fire — the requester
+    /// would block out its whole deadline. Dropping the reply here makes
+    /// the requester's `recv` fail immediately instead.
     pub(crate) fn request_checkpoint(&self, reply: SyncSender<Checkpoint>) {
         {
             let mut inner = self.lock();
+            if inner.shutdown {
+                return;
+            }
             let upto = inner.tail();
             inner.barriers.push(CheckpointBarrier { upto, reply });
         }
@@ -486,6 +495,10 @@ impl Supervisor {
         let mut handles: Vec<Option<std::thread::JoinHandle<ServeState>>> = Vec::new();
         let mut finals: Vec<Option<ServeState>> = (0..shards).map(|_| None).collect();
         let mut backoffs: Vec<Option<crate::retry::Backoff>> = (0..shards).map(|_| None).collect();
+        // Per-shard not-before restart deadlines: the probe loop never
+        // sleeps a backoff inline, so one crash-looping shard can't stop
+        // the others from being probed, stall-detected, or restarted.
+        let mut restart_at: Vec<Option<Instant>> = (0..shards).map(|_| None).collect();
         // Channel fast-forward and the restart mirror were already set up
         // synchronously by `Router::load_resume_state` (before the listener
         // could route anything); here the checkpoints only seed the states.
@@ -527,23 +540,9 @@ impl Supervisor {
                                     "serve.supervisor.gave_up",
                                     &format!("shard {i}: restart cap {restarts} reached"),
                                 );
-                                continue;
-                            }
-                            let b = backoffs[i].get_or_insert_with(|| self.cfg.restart.start());
-                            std::thread::sleep(b.next_delay());
-                            let ckpt = slot.last_checkpoint.lock().expect("slot poisoned").clone();
-                            let resume_at = ckpt.as_ref().map_or(0, |c| c.next_seq);
-                            slot.channel.rewind_to(resume_at);
-                            slot.recovery_target
-                                .store(slot.channel.lock().tail(), Ordering::SeqCst);
-                            let state = self.factory.build(slot, ckpt);
-                            slot.set_health(ShardHealth::Recovering);
-                            slot.restarts.fetch_add(1, Ordering::SeqCst);
-                            self.metrics.restarts.inc();
-                            slot.beat(origin);
-                            match self.spawn_worker(slot, state, origin) {
-                                Ok(h) => handles[i] = Some(h),
-                                Err(_) => slot.set_health(ShardHealth::Down),
+                            } else {
+                                let b = backoffs[i].get_or_insert_with(|| self.cfg.restart.start());
+                                restart_at[i] = Some(Instant::now() + b.next_delay());
                             }
                         }
                     }
@@ -558,9 +557,31 @@ impl Supervisor {
                         }
                     }
                 }
+                // A crashed shard whose backoff deadline has passed is
+                // restarted from its checkpoint mirror.
+                if handles[i].is_none() && restart_at[i].is_some_and(|at| Instant::now() >= at) {
+                    restart_at[i] = None;
+                    let ckpt = slot.last_checkpoint.lock().expect("slot poisoned").clone();
+                    let resume_at = ckpt.as_ref().map_or(0, |c| c.next_seq);
+                    slot.channel.rewind_to(resume_at);
+                    slot.recovery_target
+                        .store(slot.channel.lock().tail(), Ordering::SeqCst);
+                    let state = self.factory.build(slot, ckpt);
+                    slot.set_health(ShardHealth::Recovering);
+                    slot.restarts.fetch_add(1, Ordering::SeqCst);
+                    self.metrics.restarts.inc();
+                    slot.beat(origin);
+                    match self.spawn_worker(slot, state, origin) {
+                        Ok(h) => handles[i] = Some(h),
+                        Err(_) => slot.set_health(ShardHealth::Down),
+                    }
+                }
             }
             (self.on_probe)();
-            if draining && handles.iter().all(Option::is_none) {
+            if draining
+                && handles.iter().all(Option::is_none)
+                && restart_at.iter().all(Option::is_none)
+            {
                 break;
             }
             std::thread::sleep(self.cfg.probe_interval);

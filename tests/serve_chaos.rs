@@ -440,3 +440,100 @@ fn monolith_and_sharded_runs_agree_on_verdicts() {
         );
     }
 }
+
+#[test]
+fn checkpoints_racing_ingest_never_lose_acked_batches() {
+    // Regression: the manifest's global-sequence cursor must be captured
+    // *before* the shard barriers are enqueued (under the same routing
+    // lock). A checkpoint racing live ingest could otherwise record a
+    // cursor past batches the shard checkpoint files exclude, and their
+    // redelivery after a process restart would be deduped into silence.
+    // The client-driven checkpoints here also race the supervisor's
+    // cadence-driven ones (`checkpoint_every_batches: 1`), exercising
+    // coordinated-checkpoint serialization.
+    let ds = world();
+    let stream = batches(&ds, 40);
+    let dir = temp_dir("ckpt-race");
+
+    // Uninterrupted reference run over the full stream.
+    let (reference_views, _) = run_stream(router_config(2, ServeFaultPlan::none()), &stream);
+
+    // First process: one thread streams batches while another fires
+    // coordinated checkpoints as fast as the server will take them.
+    let cfg = RouterConfig {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every_batches: 1,
+        ..router_config(2, ServeFaultPlan::none())
+    };
+    let handle = start_router(cfg, MetricsRegistry::new(), "127.0.0.1:0", None).expect("bind");
+    let policy = RetryPolicy::with_deadline(Duration::from_secs(120));
+    let done = Arc::new(AtomicBool::new(false));
+    let ckpt_thread = {
+        let addr = handle.addr();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("checkpoint client");
+            let mut last = None;
+            while !done.load(Ordering::SeqCst) {
+                if let Ok((path, _)) = c.checkpoint_manifest() {
+                    last = Some(path);
+                }
+            }
+            last
+        })
+    };
+    let mut c = Client::connect(handle.addr()).expect("ingest client");
+    for (seq, b) in stream.iter().enumerate() {
+        c.ingest_blocking_with(seq as u64, b, &policy)
+            .expect("batch accepted");
+    }
+    done.store(true, Ordering::SeqCst);
+    let manifest_path = ckpt_thread
+        .join()
+        .expect("checkpoint thread")
+        .expect("at least one coordinated checkpoint succeeded");
+    c.shutdown().expect("shutdown");
+    drop(c);
+    let first_states = handle.join();
+    let first_views: Vec<String> = first_states
+        .iter()
+        .map(|s| serde_json::to_string(s.shared().load().view.groups()).expect("serialize"))
+        .collect();
+    assert_eq!(
+        first_views, reference_views,
+        "checkpoint-racing run must not perturb the live views"
+    );
+
+    // Second process: resume from whatever manifest won, then redeliver
+    // the WHOLE stream (at-least-once delivery). Covered batches must be
+    // acked idempotently, uncovered ones re-routed — and the final views
+    // must match the uninterrupted run's exactly.
+    let cfg = RouterConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..router_config(2, ServeFaultPlan::none())
+    };
+    let handle = start_router(
+        cfg,
+        MetricsRegistry::new(),
+        "127.0.0.1:0",
+        Some(std::path::Path::new(&manifest_path)),
+    )
+    .expect("resume bind");
+    let mut c = Client::connect(handle.addr()).expect("reconnect");
+    for (seq, b) in stream.iter().enumerate() {
+        c.ingest_blocking_with(seq as u64, b, &policy)
+            .expect("redelivered batch accepted");
+    }
+    c.shutdown().expect("shutdown");
+    drop(c);
+    let states = handle.join();
+    let resumed_views: Vec<String> = states
+        .iter()
+        .map(|s| serde_json::to_string(s.shared().load().view.groups()).expect("serialize"))
+        .collect();
+    assert_eq!(
+        resumed_views, reference_views,
+        "full redelivery after a checkpoint-racing run must reproduce the uninterrupted views"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
