@@ -9,9 +9,19 @@
 //! artifact also tracks how well the fixpoint scales.
 //!
 //! A second section runs whole-detection sharded vs. unsharded on the 100×
-//! scale-down world (≈200k users / 40k items / ~900k edges) at the host's
-//! full parallelism, asserts the group outputs are identical, and gates on
-//! the sharded runtime being ≥ 1.3× faster.
+//! scale-down world (≈200k users / 40k items / ~900k edges) once per worker
+//! count — the serial floor and the host's parallelism — asserts the group
+//! outputs are identical, and gates on the sharded runtime being ≥ 1.3×
+//! faster. Each row records the worker count the shard runtime itself
+//! reported through the `shard.workers` gauge, not the requested pool size,
+//! so a regression back to single-worker execution shows up in the artifact.
+//!
+//! A third section runs sharded-only detection on the 1000× world
+//! (≈2M users / 400k items / ~10M edges) for workers ∈ dedup{2, host},
+//! records per-row wall times plus the dense-vs-compact adjacency footprint,
+//! and asserts the wall-clock budget — but only on hosts with
+//! `available_parallelism() >= 4`, so single-core CI runners still produce
+//! trajectory rows without flaking on a budget sized for parallel hardware.
 //!
 //! Deliberately not a criterion bench: one warm-up plus a few timed
 //! iterations is enough to see a ≥2× regression, and the JSON artifact is
@@ -23,7 +33,7 @@ use ricd_core::params::RicdParams;
 use ricd_core::shard_run::{detect_groups_sharded, ShardConfig};
 use ricd_datagen::prelude::*;
 use ricd_engine::WorkerPool;
-use ricd_graph::GraphView;
+use ricd_graph::{CompactBigraph, GraphView};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -31,6 +41,13 @@ const ITERS: usize = 3;
 /// The 100× world's detection runs take seconds, so best-of-two keeps the
 /// sharded section's wall time bounded.
 const SHARD_ITERS: usize = 2;
+/// Wall-clock budget for one sharded detection pass over the 1000× world.
+/// Measured ≈330s on a single-core host; a ≥4-core host parallelizes the
+/// shard fan-out (the dominant phase), so 300s holds comfortably there
+/// while still catching an algorithmic blowup (the per-candidate
+/// intersection regression this PR reverted measured 4× — well past it).
+/// Only asserted when the host actually has ≥ 4 cores.
+const SCALE1000_BUDGET_MS: f64 = 300_000.0;
 
 #[derive(Serialize)]
 struct Report {
@@ -38,12 +55,20 @@ struct Report {
     rows: Vec<WorkerRow>,
     alive_users: usize,
     alive_items: usize,
-    sharded: ShardedReport,
+    sharded: ShardedSection,
+    scale1000: Scale1000Section,
 }
 
 #[derive(Serialize)]
-struct ShardedReport {
+struct ShardedSection {
     world: WorldInfo,
+    rows: Vec<ShardedRow>,
+}
+
+#[derive(Serialize)]
+struct ShardedRow {
+    /// Worker count actually used by the shard runtime, read back from the
+    /// `shard.workers` gauge it sets (not the requested pool size).
     workers: usize,
     unsharded_ms: f64,
     sharded_ms: f64,
@@ -54,6 +79,30 @@ struct ShardedReport {
     hash_shards: u64,
     replicated_items: u64,
     halo_users: u64,
+}
+
+#[derive(Serialize)]
+struct Scale1000Section {
+    world: WorldInfo,
+    /// Adjacency id+offset footprint of the dense CSR (clicks excluded, to
+    /// compare like with like — the compact form carries no click counts).
+    dense_adjacency_bytes: usize,
+    /// The same adjacency in the compact delta-varint CSR.
+    compact_adjacency_bytes: usize,
+    compression_ratio: f64,
+    budget_ms: f64,
+    budget_enforced: bool,
+    rows: Vec<Scale1000Row>,
+}
+
+#[derive(Serialize)]
+struct Scale1000Row {
+    /// Worker count read back from the `shard.workers` gauge.
+    workers: usize,
+    sharded_ms: f64,
+    groups: usize,
+    planned_shards: u64,
+    hash_shards: u64,
 }
 
 #[derive(Serialize)]
@@ -146,10 +195,25 @@ fn run_mode(
     }
 }
 
-/// Sharded-vs-unsharded whole-detection comparison on the 100× world at
-/// the host's full parallelism. Asserts identical groups and gates on the
+/// Worker counts actually recorded by the shard runtime: reads back the
+/// `shard.workers` gauge and insists it matches the pool that ran.
+fn recorded_workers(registry: &ricd_obs::MetricsRegistry, pool: &WorkerPool) -> usize {
+    let recorded = registry
+        .snapshot()
+        .gauge("shard.workers")
+        .expect("shard runtime must record shard.workers");
+    assert_eq!(
+        recorded as usize,
+        pool.workers(),
+        "shard.workers gauge must report the executing pool's size"
+    );
+    recorded as usize
+}
+
+/// Sharded-vs-unsharded whole-detection comparison on the 100× world, one
+/// row per worker count. Asserts identical groups and gates on the
 /// acceptance floor of 1.3×.
-fn run_sharded_section(workers: usize) -> ShardedReport {
+fn run_sharded_section(worker_counts: &[usize]) -> ShardedSection {
     let ds = generate(&DatasetConfig::scale100(), &AttackConfig::scale100()).expect("100x world");
     eprintln!(
         "sharded section world: {} users, {} items, {} edges",
@@ -158,28 +222,130 @@ fn run_sharded_section(workers: usize) -> ShardedReport {
         ds.graph.num_edges(),
     );
     let params = RicdParams::default();
-    let pool = WorkerPool::new(workers);
     let cfg = ShardConfig::default();
 
-    let mut unsharded_ms = f64::INFINITY;
-    let mut sharded_ms = f64::INFINITY;
-    let mut groups = None;
-    let registry = ricd_obs::MetricsRegistry::new();
-    for _ in 0..SHARD_ITERS {
-        let t = Instant::now();
-        let un = detect_groups_with(
-            &ds.graph,
-            &Seeds::none(),
-            &params,
-            &pool,
-            SquareStrategy::Parallel,
-            FixpointMode::Delta,
-            None,
-        );
-        unsharded_ms = unsharded_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let pool = WorkerPool::new(workers);
+        let mut unsharded_ms = f64::INFINITY;
+        let mut sharded_ms = f64::INFINITY;
+        let mut groups = None;
+        let registry = ricd_obs::MetricsRegistry::new();
+        for _ in 0..SHARD_ITERS {
+            let t = Instant::now();
+            let un = detect_groups_with(
+                &ds.graph,
+                &Seeds::none(),
+                &params,
+                &pool,
+                SquareStrategy::Parallel,
+                FixpointMode::Delta,
+                None,
+            );
+            unsharded_ms = unsharded_ms.min(t.elapsed().as_secs_f64() * 1e3);
 
+            let t = Instant::now();
+            let sh = detect_groups_sharded(
+                &ds.graph,
+                &Seeds::none(),
+                &params,
+                &pool,
+                &cfg,
+                &(|| false),
+                Some(&registry),
+            )
+            .expect("sharded detection completes");
+            sharded_ms = sharded_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+            assert_eq!(
+                sh.groups, un.groups,
+                "sharded detection must produce the unsharded group set (workers={workers})"
+            );
+            groups = Some(un.groups.len());
+        }
+
+        let speedup = unsharded_ms / sharded_ms;
+        eprintln!(
+            "sharded section (workers={workers}): unsharded={unsharded_ms:.0}ms sharded={sharded_ms:.0}ms speedup={speedup:.2}x"
+        );
+        assert!(
+            speedup >= 1.3,
+            "sharded detection speedup {speedup:.2}x fell below the 1.3x floor (workers={workers})"
+        );
+
+        // Counters accumulate across iterations; normalize to per-run values.
+        let per_run =
+            |name: &str| registry.snapshot().counter(name).unwrap_or(0) / SHARD_ITERS as u64;
+        rows.push(ShardedRow {
+            workers: recorded_workers(&registry, &pool),
+            unsharded_ms,
+            sharded_ms,
+            speedup,
+            groups: groups.expect("at least one iteration ran"),
+            planned_shards: per_run("shard.planned"),
+            exact_shards: per_run("shard.exact"),
+            hash_shards: per_run("shard.hash"),
+            replicated_items: per_run("shard.replicated_items"),
+            halo_users: per_run("shard.halo_users"),
+        });
+    }
+
+    ShardedSection {
+        world: WorldInfo {
+            users: ds.graph.num_users(),
+            items: ds.graph.num_items(),
+            edges: ds.graph.num_edges(),
+        },
+        rows,
+    }
+}
+
+/// Dense CSR adjacency footprint: both directions' id arrays plus the u64
+/// offset arrays. Click counts are excluded so the comparison against the
+/// compact form (which carries none) is apples-to-apples.
+fn dense_adjacency_bytes(g: &ricd_graph::BipartiteGraph) -> usize {
+    g.num_edges() * 2 * std::mem::size_of::<u32>()
+        + (g.num_users() + g.num_items() + 2) * std::mem::size_of::<u64>()
+}
+
+/// Paper-scale section: sharded-only detection on the 1000× world, one row
+/// per worker count, with the wall-clock budget enforced only on hosts
+/// that actually have ≥ 4 cores.
+fn run_scale1000_section(worker_counts: &[usize]) -> Scale1000Section {
+    let t = Instant::now();
+    let ds =
+        generate(&DatasetConfig::scale1000(), &AttackConfig::scale1000()).expect("1000x world");
+    eprintln!(
+        "scale1000 world: {} users, {} items, {} edges (generated in {:.0}ms)",
+        ds.graph.num_users(),
+        ds.graph.num_items(),
+        ds.graph.num_edges(),
+        t.elapsed().as_secs_f64() * 1e3,
+    );
+    let dense_bytes = dense_adjacency_bytes(&ds.graph);
+    let compact_bytes = CompactBigraph::from_graph(&ds.graph).heap_bytes();
+    eprintln!(
+        "scale1000 adjacency: dense={dense_bytes}B compact={compact_bytes}B ({:.2}x smaller)",
+        dense_bytes as f64 / compact_bytes as f64
+    );
+    assert!(
+        compact_bytes < dense_bytes,
+        "compact CSR must undercut the dense adjacency footprint"
+    );
+
+    let params = RicdParams::default();
+    let cfg = ShardConfig::default();
+    let budget_enforced = std::thread::available_parallelism()
+        .map(|n| n.get() >= 4)
+        .unwrap_or(false);
+
+    let mut rows = Vec::new();
+    let mut best_ms = f64::INFINITY;
+    for &workers in worker_counts {
+        let pool = WorkerPool::new(workers);
+        let registry = ricd_obs::MetricsRegistry::new();
         let t = Instant::now();
-        let sh = detect_groups_sharded(
+        let detected = detect_groups_sharded(
             &ds.graph,
             &Seeds::none(),
             &params,
@@ -188,43 +354,50 @@ fn run_sharded_section(workers: usize) -> ShardedReport {
             &(|| false),
             Some(&registry),
         )
-        .expect("sharded detection completes");
-        sharded_ms = sharded_ms.min(t.elapsed().as_secs_f64() * 1e3);
-
-        assert_eq!(
-            sh.groups, un.groups,
-            "sharded detection must produce the unsharded group set"
+        .expect("1000x sharded detection completes");
+        let sharded_ms = t.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(sharded_ms);
+        eprintln!(
+            "scale1000 (workers={workers}): sharded={sharded_ms:.0}ms groups={}",
+            detected.groups.len()
         );
-        groups = Some(un.groups.len());
+        assert!(
+            !detected.groups.is_empty(),
+            "1000x world must surface its planted attack groups (workers={workers})"
+        );
+        let snap = registry.snapshot();
+        rows.push(Scale1000Row {
+            workers: recorded_workers(&registry, &pool),
+            sharded_ms,
+            groups: detected.groups.len(),
+            planned_shards: snap.counter("shard.planned").unwrap_or(0),
+            hash_shards: snap.counter("shard.hash").unwrap_or(0),
+        });
     }
 
-    let speedup = unsharded_ms / sharded_ms;
-    eprintln!(
-        "sharded section (workers={workers}): unsharded={unsharded_ms:.0}ms sharded={sharded_ms:.0}ms speedup={speedup:.2}x"
-    );
-    assert!(
-        speedup >= 1.3,
-        "sharded detection speedup {speedup:.2}x fell below the 1.3x floor (workers={workers})"
-    );
+    if budget_enforced {
+        assert!(
+            best_ms <= SCALE1000_BUDGET_MS,
+            "1000x sharded detection took {best_ms:.0}ms, over the {SCALE1000_BUDGET_MS:.0}ms budget"
+        );
+    } else {
+        eprintln!(
+            "scale1000 budget not enforced: available_parallelism < 4 (best {best_ms:.0}ms vs {SCALE1000_BUDGET_MS:.0}ms budget)"
+        );
+    }
 
-    // Counters accumulate across iterations; normalize to per-run values.
-    let per_run = |name: &str| registry.snapshot().counter(name).unwrap_or(0) / SHARD_ITERS as u64;
-    ShardedReport {
+    Scale1000Section {
         world: WorldInfo {
             users: ds.graph.num_users(),
             items: ds.graph.num_items(),
             edges: ds.graph.num_edges(),
         },
-        workers,
-        unsharded_ms,
-        sharded_ms,
-        speedup,
-        groups: groups.expect("at least one iteration ran"),
-        planned_shards: per_run("shard.planned"),
-        exact_shards: per_run("shard.exact"),
-        hash_shards: per_run("shard.hash"),
-        replicated_items: per_run("shard.replicated_items"),
-        halo_users: per_run("shard.halo_users"),
+        dense_adjacency_bytes: dense_bytes,
+        compact_adjacency_bytes: compact_bytes,
+        compression_ratio: dense_bytes as f64 / compact_bytes as f64,
+        budget_ms: SCALE1000_BUDGET_MS,
+        budget_enforced,
+        rows,
     }
 }
 
@@ -288,7 +461,16 @@ fn main() {
     }
 
     let alive = alive.expect("at least one worker count ran");
-    let sharded = run_sharded_section(host);
+    // 100×: serial floor plus a genuinely parallel pool even on one-core
+    // hosts (oversubscription is harmless and keeps workers>1 in the
+    // artifact); 1000×: parallel-only, the serial floor is not worth the
+    // wall time at that scale.
+    let mut sharded_counts = vec![1, host.max(2)];
+    sharded_counts.dedup();
+    let mut scale1000_counts = vec![2, host.max(4)];
+    scale1000_counts.dedup();
+    let sharded = run_sharded_section(&sharded_counts);
+    let scale1000 = run_scale1000_section(&scale1000_counts);
     let report = Report {
         world: WorldInfo {
             users: ds.graph.num_users(),
@@ -299,6 +481,7 @@ fn main() {
         alive_users: alive.0.len(),
         alive_items: alive.1.len(),
         sharded,
+        scale1000,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write("BENCH_extract.json", &json).expect("write BENCH_extract.json");

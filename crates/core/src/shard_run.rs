@@ -53,7 +53,9 @@ use ricd_graph::shard::{plan_shards, Shard, ShardOptions};
 use ricd_graph::twohop::{
     item_has_qualified_neighbors, user_has_qualified_neighbors, CommonNeighborScratch,
 };
-use ricd_graph::{BipartiteGraph, GraphView, InducedSubgraph, ItemId, UserId};
+use ricd_graph::{
+    BipartiteGraph, CompactSubgraph, CompactView, GraphView, ItemId, NeighborView, UserId,
+};
 use ricd_obs::MetricsRegistry;
 
 /// Sharding knobs for [`detect_groups_sharded`] /
@@ -170,24 +172,55 @@ struct LocalPruneStats {
     rounds: usize,
 }
 
+/// What [`prune_local`] needs on top of [`NeighborView`]: removals. Both
+/// the dense [`GraphView`] and the compact [`CompactView`] satisfy it, so
+/// the same fixpoint runs on either representation — which is exactly what
+/// the differential suites compare.
+trait PruneView: NeighborView {
+    fn remove_user(&mut self, u: UserId);
+    fn remove_item(&mut self, v: ItemId);
+}
+
+impl PruneView for GraphView<'_> {
+    fn remove_user(&mut self, u: UserId) {
+        GraphView::remove_user(self, u);
+    }
+    fn remove_item(&mut self, v: ItemId) {
+        GraphView::remove_item(self, v);
+    }
+}
+
+impl PruneView for CompactView<'_> {
+    fn remove_user(&mut self, u: UserId) {
+        CompactView::remove_user(self, u);
+    }
+    fn remove_item(&mut self, v: ItemId) {
+        CompactView::remove_item(self, v);
+    }
+}
+
 /// The local pruning fixpoint: core + square pruning restricted to
 /// removable vertices (`None` mask = everything), run to convergence.
 ///
 /// For hash shards, boundary items and halo users are pinned via the
 /// masks; every local removal is then globally sound (module docs). For
 /// exact shards and reconciliation the masks are `None` and this computes
-/// the true fixpoint of the local graph. The square test uses the
-/// early-exit qualified-neighbor check, which never changes a removal
-/// decision — it only skips proving more than `k` partners exist.
-fn prune_local(
-    view: &mut GraphView<'_>,
+/// the true fixpoint of the local graph. The square test is the early-exit
+/// wedge counter, monomorphized over the view: O(1) per wedge, and on the
+/// compact shard-local representation the renumbered dense id space keeps
+/// the scratch counters cache-resident. (The sorted-intersection test in
+/// `twohop` answers the same predicate — the differential suites prove it —
+/// but pays Θ(deg) per *candidate* instead of O(1) per *wedge*, which
+/// blows up on hot-item anchors; it is the pair-query primitive, not the
+/// one-to-all survival test.)
+fn prune_local<V: PruneView>(
+    view: &mut V,
     removable_user: Option<&[bool]>,
     removable_item: Option<&[bool]>,
     params: &RicdParams,
 ) -> LocalPruneStats {
-    let g = view.graph();
-    let num_users = g.num_users();
-    let num_items = g.num_items();
+    let num_users = view.num_users();
+    let num_items = view.num_items();
     let user_bound = params.user_degree_bound();
     let item_bound = params.item_degree_bound();
     let user_common = params.user_common_bound();
@@ -263,23 +296,26 @@ fn prune_local(
 
 /// Marks which local vertices a hash shard may remove: owned users and
 /// interior items (items whose parent id is *not* boundary).
-fn hash_shard_permissions(sub: &InducedSubgraph, shard: &Shard) -> (Vec<bool>, Vec<bool>) {
-    let owned: Vec<bool> = sub
-        .user_map
+fn hash_shard_permissions(
+    user_map: &[UserId],
+    item_map: &[ItemId],
+    shard: &Shard,
+) -> (Vec<bool>, Vec<bool>) {
+    let owned: Vec<bool> = user_map
         .iter()
         .map(|p| shard.users.binary_search(p).is_ok())
         .collect();
-    let interior: Vec<bool> = sub
-        .item_map
+    let interior: Vec<bool> = item_map
         .iter()
         .map(|p| shard.boundary_items.binary_search(p).is_err())
         .collect();
     (owned, interior)
 }
 
-/// One shard task: build the dense local subgraph and run its local
-/// fixpoint. Exact shards prune everything; hash shards pin boundary items
-/// and halo users.
+/// One shard task: build the **compact** local subgraph (delta-encoded
+/// adjacency, no click weights — the pruning rules never read them) and
+/// run its local fixpoint over alive bitmaps. Exact shards prune
+/// everything; hash shards pin boundary items and halo users.
 fn process_shard(
     g: &BipartiteGraph,
     shard: &Shard,
@@ -287,15 +323,15 @@ fn process_shard(
 ) -> (Vec<UserId>, Vec<ItemId>, LocalPruneStats) {
     let (sub, owned, interior) = if shard.exact {
         let sub =
-            InducedSubgraph::extract(g, shard.users.iter().copied(), shard.items.iter().copied());
+            CompactSubgraph::extract(g, shard.users.iter().copied(), shard.items.iter().copied());
         (sub, None, None)
     } else {
         let scope_users = shard.users.iter().chain(shard.halo_users.iter()).copied();
-        let sub = InducedSubgraph::extract(g, scope_users, shard.items.iter().copied());
-        let (owned, interior) = hash_shard_permissions(&sub, shard);
+        let sub = CompactSubgraph::extract(g, scope_users, shard.items.iter().copied());
+        let (owned, interior) = hash_shard_permissions(&sub.user_map, &sub.item_map, shard);
         (sub, Some(owned), Some(interior))
     };
-    let mut view = GraphView::full(&sub.graph);
+    let mut view = CompactView::full(&sub.graph);
     let stats = prune_local(&mut view, owned.as_deref(), interior.as_deref(), params);
     let removed_users = sub
         .user_map
@@ -351,6 +387,10 @@ pub fn detect_groups_sharded(
     let max_users = cfg.effective_max_users(view.alive_users(), pool);
     let plan = plan_shards(&view, &ShardOptions::with_max_users(max_users));
     if let Some(m) = metrics {
+        // Gauge, not counter: the pool size actually executing the shard
+        // fan-out, so benches and post-mortems can see the real
+        // parallelism of a run instead of assuming one worker.
+        m.gauge("shard.workers").set(pool.workers() as i64);
         m.inc_by("shard.planned", plan.shards.len() as u64);
         m.inc_by("shard.exact", plan.stats.exact_shards as u64);
         m.inc_by("shard.hash", plan.stats.hash_shards as u64);
@@ -423,8 +463,8 @@ pub fn detect_groups_sharded(
             .iter()
             .copied()
             .filter(|&v| view.item_alive(v));
-        let sub = InducedSubgraph::extract(g, survivors_u, survivors_i);
-        let mut local = GraphView::full(&sub.graph);
+        let sub = CompactSubgraph::extract(g, survivors_u, survivors_i);
+        let mut local = CompactView::full(&sub.graph);
         let recon = prune_local(&mut local, None, None, params);
         stats.rounds += recon.rounds;
         stats.core_removed_users += recon.core_removed_users;

@@ -158,6 +158,27 @@ impl DatasetConfig {
         }
     }
 
+    /// The **1000× scale-down… inverted** preset: 2M users / 400k items /
+    /// ~10M click records — a further order of magnitude past
+    /// [`scale100`](Self::scale100), one tenth of the paper's production
+    /// graph. Confounder populations scale ×10 again so the world keeps
+    /// the 100× texture (thousands of benign dense blocks, not just more
+    /// long-tail noise). This is the world the compact-CSR sharded runtime
+    /// is gated on in `perf_smoke`: it does not fit the dense
+    /// subgraph-per-shard path comfortably, and a sequential shard loop
+    /// blows the wall-clock budget.
+    pub fn scale1000() -> Self {
+        Self {
+            num_users: 2_000_000,
+            num_items: 400_000,
+            num_communities: 1_800,
+            num_flash_items: 4_000,
+            num_hunter_rings: 1_500,
+            seed: 0x5eed_1000,
+            ..Self::default()
+        }
+    }
+
     /// Scales user/item counts by `factor` (≥ 1 keeps calibration intact;
     /// used by the scaling bench).
     pub fn scaled(mut self, factor: f64) -> Self {
@@ -398,6 +419,19 @@ impl AttackConfig {
         }
     }
 
+    /// The attack mix matching [`DatasetConfig::scale1000`]: ten times the
+    /// 100× group count under the same heterogeneous evaluation regime —
+    /// 800 independent campaigns spread over a 2M-user world.
+    pub fn scale1000() -> Self {
+        Self {
+            num_groups: 800,
+            group_size_jitter: 0.3,
+            target_coverage: 0.9,
+            seed: 0x5eed_1002,
+            ..Self::default()
+        }
+    }
+
     /// No attacks at all (clean dataset).
     pub fn none() -> Self {
         Self {
@@ -451,6 +485,23 @@ mod tests {
         AttackConfig::none().validate().unwrap();
         DatasetConfig::scale100().validate().unwrap();
         AttackConfig::scale100().validate().unwrap();
+        DatasetConfig::scale1000().validate().unwrap();
+        AttackConfig::scale1000().validate().unwrap();
+    }
+
+    #[test]
+    fn scale1000_is_ten_x_scale100() {
+        let c = DatasetConfig::scale1000();
+        let d = DatasetConfig::scale100();
+        assert_eq!(c.num_users, d.num_users * 10);
+        assert_eq!(c.num_items, d.num_items * 10);
+        assert_eq!(c.num_communities, d.num_communities * 10);
+        assert_eq!(c.num_flash_items, d.num_flash_items * 10);
+        assert_eq!(c.num_hunter_rings, d.num_hunter_rings * 10);
+        assert_eq!(
+            AttackConfig::scale1000().num_groups,
+            AttackConfig::scale100().num_groups * 10
+        );
     }
 
     #[test]

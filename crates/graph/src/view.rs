@@ -18,6 +18,56 @@
 use crate::graph::BipartiteGraph;
 use crate::ids::{ItemId, UserId};
 
+/// The query surface the pruning fixpoint and two-hop counters need from a
+/// deletion-tolerant graph view: alive predicates, live degrees, and
+/// alive-filtered **ascending** neighbor iteration.
+///
+/// Implemented by [`GraphView`] (dense tombstones over the weighted CSR)
+/// and [`crate::compact::CompactView`] (alive bitmaps over the
+/// delta-encoded compact CSR), so shard-local pruning runs unchanged on
+/// either representation — and the differential suites can assert the two
+/// agree. Methods take `impl FnMut` closures rather than returning
+/// iterators so implementations stay monomorphized (no boxing on the hot
+/// path); the trait is deliberately not object-safe.
+pub trait NeighborView {
+    /// Total user vertices (alive or dead).
+    fn num_users(&self) -> usize;
+    /// Total item vertices (alive or dead).
+    fn num_items(&self) -> usize;
+    /// True if user `u` has not been removed.
+    fn user_alive(&self, u: UserId) -> bool;
+    /// True if item `v` has not been removed.
+    fn item_alive(&self, v: ItemId) -> bool;
+    /// Degree of `u` counting only alive items; `0` if `u` is dead.
+    fn user_degree(&self, u: UserId) -> usize;
+    /// Degree of `v` counting only alive users; `0` if `v` is dead.
+    fn item_degree(&self, v: ItemId) -> usize;
+    /// Invokes `f` with each **alive** item adjacent to `u`, in ascending
+    /// item-id order, stopping as soon as `f` returns `false`.
+    fn for_each_user_neighbor_while(&self, u: UserId, f: impl FnMut(ItemId) -> bool);
+    /// Invokes `f` with each **alive** user adjacent to `v`, in ascending
+    /// user-id order, stopping as soon as `f` returns `false`.
+    fn for_each_item_neighbor_while(&self, v: ItemId, f: impl FnMut(UserId) -> bool);
+
+    /// Invokes `f` with each **alive** item adjacent to `u`, in ascending
+    /// item-id order.
+    fn for_each_user_neighbor(&self, u: UserId, mut f: impl FnMut(ItemId)) {
+        self.for_each_user_neighbor_while(u, |v| {
+            f(v);
+            true
+        });
+    }
+
+    /// Invokes `f` with each **alive** user adjacent to `v`, in ascending
+    /// user-id order.
+    fn for_each_item_neighbor(&self, v: ItemId, mut f: impl FnMut(UserId)) {
+        self.for_each_item_neighbor_while(v, |u| {
+            f(u);
+            true
+        });
+    }
+}
+
 /// A position in a view's removal log: everything logged before the mark has
 /// already been observed by the holder. Obtained from [`GraphView::log_mark`]
 /// and consumed by [`GraphView::removed_since`].
@@ -322,6 +372,49 @@ impl<'g> GraphView<'g> {
             && clone.item_live_degree == self.item_live_degree
             && self.alive_users == self.user_alive.iter().filter(|&&a| a).count()
             && self.alive_items == self.item_alive.iter().filter(|&&a| a).count()
+    }
+}
+
+impl NeighborView for GraphView<'_> {
+    #[inline]
+    fn num_users(&self) -> usize {
+        self.graph.num_users()
+    }
+    #[inline]
+    fn num_items(&self) -> usize {
+        self.graph.num_items()
+    }
+    #[inline]
+    fn user_alive(&self, u: UserId) -> bool {
+        GraphView::user_alive(self, u)
+    }
+    #[inline]
+    fn item_alive(&self, v: ItemId) -> bool {
+        GraphView::item_alive(self, v)
+    }
+    #[inline]
+    fn user_degree(&self, u: UserId) -> usize {
+        GraphView::user_degree(self, u)
+    }
+    #[inline]
+    fn item_degree(&self, v: ItemId) -> usize {
+        GraphView::item_degree(self, v)
+    }
+    #[inline]
+    fn for_each_user_neighbor_while(&self, u: UserId, mut f: impl FnMut(ItemId) -> bool) {
+        for &v in self.graph.user_adjacency(u) {
+            if self.item_alive[v.index()] && !f(v) {
+                return;
+            }
+        }
+    }
+    #[inline]
+    fn for_each_item_neighbor_while(&self, v: ItemId, mut f: impl FnMut(UserId) -> bool) {
+        for &u in self.graph.item_adjacency(v) {
+            if self.user_alive[u.index()] && !f(u) {
+                return;
+            }
+        }
     }
 }
 

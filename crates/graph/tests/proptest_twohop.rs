@@ -1,0 +1,262 @@
+//! Differential property tests for the sorted-intersection two-hop
+//! counter (`twohop::*_has_qualified_neighbors_sorted`).
+//!
+//! The sharded pruning fixpoint decides every SquarePruning removal with
+//! the sorted-intersection test; the original wedge-accumulation test is
+//! kept precisely so these properties can assert the two always agree —
+//! on random graphs, on both graph representations, and on the
+//! adversarial shapes where intersection strategies go wrong (star hubs
+//! that trigger galloping, degree-1 chains with nothing to intersect).
+
+use proptest::prelude::*;
+use ricd_graph::{
+    twohop::{
+        item_has_qualified_neighbors, item_has_qualified_neighbors_sorted,
+        user_has_qualified_neighbors, user_has_qualified_neighbors_sorted, CommonNeighborScratch,
+        SortedNeighborScratch,
+    },
+    CompactBigraph, CompactView, DeltaAdjacency, GraphBuilder, GraphView, ItemId, UserId,
+};
+
+fn records() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    proptest::collection::vec((0u32..50, 0u32..35, 1u32..10), 0..250)
+}
+
+fn build(records: &[(u32, u32, u32)]) -> ricd_graph::BipartiteGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v, c) in records {
+        b.add_click(UserId(u), ItemId(v), c);
+    }
+    b.build()
+}
+
+/// Exhaustively compares the sorted and wedge tests over every vertex and
+/// a grid of (bound, need) parameters on one view.
+fn assert_counters_agree(view: &GraphView<'_>, bounds: std::ops::Range<u32>) {
+    let g = view.graph();
+    let mut wedge_u = CommonNeighborScratch::new(g.num_users());
+    let mut sorted_u = SortedNeighborScratch::new(g.num_users());
+    for u in (0..g.num_users() as u32).map(UserId) {
+        for bound in bounds.clone() {
+            for need in 0..5usize {
+                assert_eq!(
+                    user_has_qualified_neighbors_sorted(view, u, bound, need, &mut sorted_u),
+                    user_has_qualified_neighbors(view, u, bound, need, &mut wedge_u),
+                    "user {u} bound={bound} need={need}"
+                );
+            }
+        }
+    }
+    let mut wedge_i = CommonNeighborScratch::new(g.num_items());
+    let mut sorted_i = SortedNeighborScratch::new(g.num_items());
+    for v in (0..g.num_items() as u32).map(ItemId) {
+        for bound in bounds.clone() {
+            for need in 0..5usize {
+                assert_eq!(
+                    item_has_qualified_neighbors_sorted(view, v, bound, need, &mut sorted_i),
+                    item_has_qualified_neighbors(view, v, bound, need, &mut wedge_i),
+                    "item {v} bound={bound} need={need}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The sorted-intersection test equals the wedge test on random
+    /// graphs, before and after random removals.
+    #[test]
+    fn sorted_equals_wedge_on_random_graphs(
+        recs in records(),
+        dead_users in proptest::collection::btree_set(0u32..50, 0..15),
+        dead_items in proptest::collection::btree_set(0u32..35, 0..10),
+    ) {
+        let g = build(&recs);
+        let mut view = GraphView::full(&g);
+        assert_counters_agree(&view, 0..4);
+        for &u in &dead_users {
+            if (u as usize) < g.num_users() {
+                view.remove_user(UserId(u));
+            }
+        }
+        for &v in &dead_items {
+            if (v as usize) < g.num_items() {
+                view.remove_item(ItemId(v));
+            }
+        }
+        assert_counters_agree(&view, 0..4);
+    }
+
+    /// Representation independence: on the same world, the sorted test
+    /// answers identically over the dense `GraphView` and the compact
+    /// `CompactView` — including after mirrored removals.
+    #[test]
+    fn sorted_counter_agrees_across_representations(
+        recs in records(),
+        kills in proptest::collection::vec((any::<bool>(), 0u32..50), 0..40),
+    ) {
+        let g = build(&recs);
+        let c = CompactBigraph::from_graph(&g);
+        let mut dense = GraphView::full(&g);
+        let mut compact = CompactView::full(&c);
+        for &(is_user, id) in &kills {
+            if is_user {
+                if (id as usize) < g.num_users() {
+                    dense.remove_user(UserId(id));
+                    compact.remove_user(UserId(id));
+                }
+            } else if (id as usize) < g.num_items() {
+                dense.remove_item(ItemId(id));
+                compact.remove_item(ItemId(id));
+            }
+        }
+        let mut s1 = SortedNeighborScratch::new(g.num_users());
+        let mut s2 = SortedNeighborScratch::new(g.num_users());
+        for u in (0..g.num_users() as u32).map(UserId) {
+            for bound in 0..3u32 {
+                for need in 0..4usize {
+                    prop_assert_eq!(
+                        user_has_qualified_neighbors_sorted(&dense, u, bound, need, &mut s1),
+                        user_has_qualified_neighbors_sorted(&compact, u, bound, need, &mut s2),
+                        "user {} bound={} need={}", u, bound, need
+                    );
+                }
+            }
+        }
+    }
+
+    /// Star hubs: one ultra-popular item shared by every user forces the
+    /// skewed-degree regime where galloping (not two-pointer merging)
+    /// decides intersections; leaf users have nothing else in common.
+    #[test]
+    fn star_hub_worlds(hub_users in 20u32..80, clique in 2u32..6) {
+        let mut b = GraphBuilder::new();
+        for u in 0..hub_users {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        // A small clique of users sharing `clique` private items each.
+        for u in 0..4u32 {
+            for v in 0..clique {
+                b.add_click(UserId(u), ItemId(1 + v), 1);
+            }
+        }
+        // Degree-1 chain stragglers: user i clicks only private item i.
+        for i in 0..10u32 {
+            b.add_click(UserId(hub_users + i), ItemId(100 + i), 1);
+        }
+        let g = b.build();
+        let view = GraphView::full(&g);
+        assert_counters_agree(&view, 0..5);
+        // And with the hub removed, the skew collapses; still identical.
+        let mut view = view;
+        view.remove_item(ItemId(0));
+        assert_counters_agree(&view, 0..5);
+    }
+
+    /// Sorted-invariant violations are rejected at construction, not
+    /// silently mis-encoded: any adjacency list with a duplicate or an
+    /// inversion fails `DeltaAdjacency::from_lists`.
+    #[test]
+    fn unsorted_adjacency_rejected(ids in proptest::collection::vec(0u32..100, 2..30),
+                                   dup_at in 0usize..28) {
+        let mut sorted: Vec<u32> = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // A valid strictly-increasing list encodes fine.
+        let ok = [sorted.as_slice()];
+        prop_assert!(DeltaAdjacency::from_lists(ok, 100).is_ok());
+        if sorted.len() >= 2 {
+            // Duplicate injection.
+            let mut dup = sorted.clone();
+            let at = dup_at % (dup.len() - 1);
+            dup.insert(at, dup[at]);
+            prop_assert!(DeltaAdjacency::from_lists([dup.as_slice()], 100).is_err());
+            // Inversion injection.
+            let mut inv = sorted.clone();
+            inv.swap(0, sorted.len() - 1);
+            prop_assert!(DeltaAdjacency::from_lists([inv.as_slice()], 100).is_err());
+        }
+        // Out-of-range neighbor id.
+        let oob = [&[100u32][..]];
+        prop_assert!(DeltaAdjacency::from_lists(oob, 100).is_err());
+    }
+}
+
+/// Degree-1 chains end to end: u_i — v_i with no shared items anywhere.
+/// Nobody has any qualified partner at bound ≥ 1; at bound 0 partners are
+/// still absent because no item has two users.
+#[test]
+fn degree_one_chain_has_no_partners() {
+    let mut b = GraphBuilder::new();
+    for i in 0..70u32 {
+        b.add_click(UserId(i), ItemId(i), 3);
+    }
+    let g = b.build();
+    let view = GraphView::full(&g);
+    assert_counters_agree(&view, 0..3);
+    let mut sorted = SortedNeighborScratch::new(g.num_users());
+    for u in (0..70u32).map(UserId) {
+        assert!(!user_has_qualified_neighbors_sorted(
+            &view,
+            u,
+            1,
+            1,
+            &mut sorted
+        ));
+        assert!(!user_has_qualified_neighbors_sorted(
+            &view,
+            u,
+            0,
+            1,
+            &mut sorted
+        ));
+        assert!(user_has_qualified_neighbors_sorted(
+            &view,
+            u,
+            3,
+            0,
+            &mut sorted
+        ));
+    }
+}
+
+/// The perfect-biclique fixture: every user shares every item with every
+/// other user, so the sorted test must qualify everyone right up to the
+/// exact (bound = items, need = users-1) edge and fail just past it.
+#[test]
+fn biclique_boundary_is_exact() {
+    let (nu, ni) = (9u32, 7u32);
+    let mut b = GraphBuilder::new();
+    for u in 0..nu {
+        for v in 0..ni {
+            b.add_click(UserId(u), ItemId(v), 2);
+        }
+    }
+    let g = b.build();
+    let view = GraphView::full(&g);
+    let mut sorted = SortedNeighborScratch::new(g.num_users());
+    for u in (0..nu).map(UserId) {
+        assert!(user_has_qualified_neighbors_sorted(
+            &view,
+            u,
+            ni,
+            (nu - 1) as usize,
+            &mut sorted
+        ));
+        assert!(!user_has_qualified_neighbors_sorted(
+            &view,
+            u,
+            ni + 1,
+            1,
+            &mut sorted
+        ));
+        assert!(!user_has_qualified_neighbors_sorted(
+            &view,
+            u,
+            ni,
+            nu as usize,
+            &mut sorted
+        ));
+    }
+    assert_counters_agree(&view, 0..9);
+}

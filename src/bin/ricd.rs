@@ -74,7 +74,7 @@ ricd - Ride Item's Coattails attack detection (ICDE 2021 reproduction)
 
 USAGE:
     ricd generate --output <clicks.tsv> [--truth <truth.json>]
-                  [--scale tiny|small|default|100x] [--groups <N>] [--seed <N>]
+                  [--scale tiny|small|default|100x|1000x] [--groups <N>] [--seed <N>]
     ricd stats    --input <clicks.tsv> [--lossy]
     ricd detect   --input <clicks.tsv> [--output <report.json>]
                   [--k1 <N>] [--k2 <N>] [--alpha <F>]
@@ -327,6 +327,7 @@ fn cmd_generate(args: &[String]) -> Result<(), CliError> {
         Some("small") => (DatasetConfig::small(), AttackConfig::evaluation()),
         Some("tiny") => (DatasetConfig::tiny(), AttackConfig::evaluation()),
         Some("100x") => (DatasetConfig::scale100(), AttackConfig::scale100()),
+        Some("1000x") => (DatasetConfig::scale1000(), AttackConfig::scale1000()),
         Some(other) => return Err(CliError::Usage(format!("unknown scale `{other}`"))),
     };
     if let Some(seed) = flags.parse("--seed")? {
