@@ -40,14 +40,16 @@
 //! unique and independent of removal order), so mode and strategy only
 //! affect intermediate work, never the surviving vertex set.
 
-use crate::params::RicdParams;
+use crate::kernel::{self, KernelTally};
+use crate::params::{KernelPolicy, RicdParams};
 use ricd_engine::WorkerPool;
 use ricd_graph::frontier::{self, FrontierScratch};
-use ricd_graph::twohop::{self, CommonNeighborScratch};
+use ricd_graph::twohop::{self, CommonNeighborScratch, HubBitmaps, KernelScratch};
 use ricd_graph::view::LogMark;
 use ricd_graph::{GraphView, InducedSubgraph, ItemId, UserId};
 use ricd_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// How SquarePruning visits candidates.
@@ -96,6 +98,24 @@ pub struct ExtractionStats {
     pub skipped_items: usize,
     /// Times the view was compacted onto a remapped subgraph mid-fixpoint.
     pub compactions: usize,
+    /// Survival queries answered by the wedge-counting kernel.
+    pub kernel_wedge: u64,
+    /// Survival queries answered by the blocked SWAR kernel.
+    pub kernel_blocked: u64,
+    /// Survival queries answered by the sorted-intersection kernel.
+    pub kernel_sorted: u64,
+    /// Largest hub-bitmap registry materialized during the run, in bytes
+    /// (exported as the `twohop.hub_bitmap_bytes` gauge).
+    pub hub_bitmap_bytes: usize,
+}
+
+impl ExtractionStats {
+    /// Folds one worker's / one pass's kernel tally into the run counters.
+    pub(crate) fn absorb_kernels(&mut self, tally: KernelTally) {
+        self.kernel_wedge += tally.wedge;
+        self.kernel_blocked += tally.blocked;
+        self.kernel_sorted += tally.sorted;
+    }
 }
 
 /// Compact the view once fewer than 1 in `COMPACT_ALIVE_DIVISOR` vertices
@@ -176,6 +196,13 @@ fn run_fixpoint(
     let user_scratch = ScratchPool::new(view.graph().num_users());
     let item_scratch = ScratchPool::new(view.graph().num_items());
     let mut fscratch = FrontierScratch::for_view(view);
+    let policy = KernelPolicy::default();
+    // Hub bitmaps are built at most once per fixpoint level — lazily,
+    // after the first CorePruning fixpoint has collapsed the degree
+    // distribution — and stay sound for every later round (monotone
+    // removals; see `HubBitmaps`' staleness contract). A compaction starts
+    // a new level with fresh ids, so the recursion rebuilds there.
+    let mut hubs: Option<HubBitmaps> = None;
     let round_hist = ctx
         .metrics
         .map(|m| m.duration_histogram("extract.round_nanos"));
@@ -252,6 +279,11 @@ fn run_fixpoint(
             ),
             _ => (None, None),
         };
+        if matches!(ctx.strategy, SquareStrategy::Parallel) && hubs.is_none() {
+            let h = kernel::build_hubs(view, &policy);
+            stats.hub_bitmap_bytes = stats.hub_bitmap_bytes.max(h.heap_bytes());
+            hubs = Some(h);
+        }
         let sq_users = square_user_round(
             view,
             ctx,
@@ -260,6 +292,8 @@ fn run_fixpoint(
             carry_sq_users,
             &mut fscratch,
             &user_scratch,
+            hubs.as_ref(),
+            &policy,
             stats,
         );
         let sq_items = square_item_round(
@@ -270,6 +304,8 @@ fn run_fixpoint(
             carry_sq_items,
             &mut fscratch,
             &item_scratch,
+            hubs.as_ref(),
+            &policy,
             stats,
         );
         stats.square_removed_users += sq_users;
@@ -520,6 +556,8 @@ fn square_user_round(
     carry: Option<&[u32]>,
     fscratch: &mut FrontierScratch,
     scratch_pool: &ScratchPool,
+    hubs: Option<&HubBitmaps>,
+    policy: &KernelPolicy,
     stats: &mut ExtractionStats,
 ) -> usize {
     let worklist: Vec<u32> = if full {
@@ -539,7 +577,7 @@ fn square_user_round(
     // Mark *before* the pass: its own removals (applied below) belong to the
     // next frontier.
     *mark = view.log_mark();
-    square_user_pass(view, ctx, &worklist, scratch_pool)
+    square_user_pass(view, ctx, &worklist, scratch_pool, hubs, policy, stats)
 }
 
 /// Item-side analogue of [`square_user_round`].
@@ -552,6 +590,8 @@ fn square_item_round(
     carry: Option<&[u32]>,
     fscratch: &mut FrontierScratch,
     scratch_pool: &ScratchPool,
+    hubs: Option<&HubBitmaps>,
+    policy: &KernelPolicy,
     stats: &mut ExtractionStats,
 ) -> usize {
     let worklist: Vec<u32> = if full {
@@ -569,17 +609,27 @@ fn square_item_round(
         wl
     };
     *mark = view.log_mark();
-    square_item_pass(view, ctx, &worklist, scratch_pool)
+    square_item_pass(view, ctx, &worklist, scratch_pool, hubs, policy, stats)
 }
 
 /// Lemma 2 user check over a worklist; decisions against the pass-start
 /// snapshot (Parallel) or with immediate effect in `reduce2Hop` order
 /// (SequentialOrdered). Returns the number of removals.
+///
+/// The Parallel arm answers each check through the kernel dispatcher with
+/// the self-inclusion folded into `need` (`count ≥ k₁ ⟺ others ≥ k₁ −
+/// selfq`) — the same predicate as [`user_neighbor_count`]` < k₁` with
+/// early exit, against the same snapshot, so the removal set per round is
+/// unchanged. SequentialOrdered keeps the literal full-count pseudocode as
+/// the differential reference.
 fn square_user_pass(
     view: &mut GraphView<'_>,
     ctx: &FixpointCtx<'_>,
     worklist: &[u32],
     scratch_pool: &ScratchPool,
+    hubs: Option<&HubBitmaps>,
+    policy: &KernelPolicy,
+    stats: &mut ExtractionStats,
 ) -> usize {
     if worklist.is_empty() {
         return 0;
@@ -588,38 +638,45 @@ fn square_user_pass(
     let k1 = ctx.params.k1;
     match ctx.strategy {
         SquareStrategy::Parallel => {
-            let doomed: Vec<UserId> = {
+            let results: Vec<(Vec<UserId>, KernelTally)> = {
                 let view_ref: &GraphView<'_> = view;
-                ctx.pool
-                    .run_worklist(
-                        worklist,
-                        || scratch_pool.lease(),
-                        |lease, chunk| {
-                            let scratch = lease.get();
-                            let mut doomed = Vec::new();
-                            for &u in chunk {
-                                let u = UserId(u);
-                                if view_ref.user_alive(u)
-                                    && user_neighbor_count(view_ref, u, bound, scratch) < k1
-                                {
-                                    doomed.push(u);
-                                }
+                ctx.pool.run_worklist(
+                    worklist,
+                    || scratch_pool.lease(),
+                    |lease, chunk| {
+                        let scratch = lease.get();
+                        let mut doomed = Vec::new();
+                        let mut tally = KernelTally::default();
+                        for &u in chunk {
+                            let u = UserId(u);
+                            if !view_ref.user_alive(u) {
+                                continue;
                             }
-                            doomed
-                        },
-                    )
-                    .into_iter()
-                    .flatten()
-                    .collect()
+                            let selfq = usize::from(view_ref.user_degree(u) as u32 >= bound);
+                            let need = k1.saturating_sub(selfq);
+                            if !kernel::user_survives(
+                                view_ref, hubs, policy, u, bound, need, scratch, &mut tally,
+                            ) {
+                                doomed.push(u);
+                            }
+                        }
+                        (doomed, tally)
+                    },
+                )
             };
-            for &u in &doomed {
-                view.remove_user(u);
+            let mut removed = 0;
+            for (doomed, tally) in results {
+                stats.absorb_kernels(tally);
+                removed += doomed.len();
+                for u in doomed {
+                    view.remove_user(u);
+                }
             }
-            doomed.len()
+            removed
         }
         SquareStrategy::SequentialOrdered => {
             let mut lease = scratch_pool.lease();
-            let scratch = lease.get();
+            let scratch = lease.get().wedge_mut();
             let mut order: Vec<(usize, UserId)> = worklist
                 .iter()
                 .map(|&u| {
@@ -630,7 +687,11 @@ fn square_user_pass(
             order.sort_unstable();
             let mut removed = 0;
             for (_, u) in order {
-                if view.user_alive(u) && user_neighbor_count(view, u, bound, scratch) < k1 {
+                if !view.user_alive(u) {
+                    continue;
+                }
+                stats.kernel_wedge += 1;
+                if user_neighbor_count(view, u, bound, scratch) < k1 {
                     view.remove_user(u);
                     removed += 1;
                 }
@@ -646,6 +707,9 @@ fn square_item_pass(
     ctx: &FixpointCtx<'_>,
     worklist: &[u32],
     scratch_pool: &ScratchPool,
+    hubs: Option<&HubBitmaps>,
+    policy: &KernelPolicy,
+    stats: &mut ExtractionStats,
 ) -> usize {
     if worklist.is_empty() {
         return 0;
@@ -654,38 +718,45 @@ fn square_item_pass(
     let k2 = ctx.params.k2;
     match ctx.strategy {
         SquareStrategy::Parallel => {
-            let doomed: Vec<ItemId> = {
+            let results: Vec<(Vec<ItemId>, KernelTally)> = {
                 let view_ref: &GraphView<'_> = view;
-                ctx.pool
-                    .run_worklist(
-                        worklist,
-                        || scratch_pool.lease(),
-                        |lease, chunk| {
-                            let scratch = lease.get();
-                            let mut doomed = Vec::new();
-                            for &v in chunk {
-                                let v = ItemId(v);
-                                if view_ref.item_alive(v)
-                                    && item_neighbor_count(view_ref, v, bound, scratch) < k2
-                                {
-                                    doomed.push(v);
-                                }
+                ctx.pool.run_worklist(
+                    worklist,
+                    || scratch_pool.lease(),
+                    |lease, chunk| {
+                        let scratch = lease.get();
+                        let mut doomed = Vec::new();
+                        let mut tally = KernelTally::default();
+                        for &v in chunk {
+                            let v = ItemId(v);
+                            if !view_ref.item_alive(v) {
+                                continue;
                             }
-                            doomed
-                        },
-                    )
-                    .into_iter()
-                    .flatten()
-                    .collect()
+                            let selfq = usize::from(view_ref.item_degree(v) as u32 >= bound);
+                            let need = k2.saturating_sub(selfq);
+                            if !kernel::item_survives(
+                                view_ref, hubs, policy, v, bound, need, scratch, &mut tally,
+                            ) {
+                                doomed.push(v);
+                            }
+                        }
+                        (doomed, tally)
+                    },
+                )
             };
-            for &v in &doomed {
-                view.remove_item(v);
+            let mut removed = 0;
+            for (doomed, tally) in results {
+                stats.absorb_kernels(tally);
+                removed += doomed.len();
+                for v in doomed {
+                    view.remove_item(v);
+                }
             }
-            doomed.len()
+            removed
         }
         SquareStrategy::SequentialOrdered => {
             let mut lease = scratch_pool.lease();
-            let scratch = lease.get();
+            let scratch = lease.get().wedge_mut();
             let mut order: Vec<(usize, ItemId)> = worklist
                 .iter()
                 .map(|&v| {
@@ -696,7 +767,11 @@ fn square_item_pass(
             order.sort_unstable();
             let mut removed = 0;
             for (_, v) in order {
-                if view.item_alive(v) && item_neighbor_count(view, v, bound, scratch) < k2 {
+                if !view.item_alive(v) {
+                    continue;
+                }
+                stats.kernel_wedge += 1;
+                if item_neighbor_count(view, v, bound, scratch) < k2 {
                     view.remove_item(v);
                     removed += 1;
                 }
@@ -706,17 +781,22 @@ fn square_item_pass(
     }
 }
 
-/// A pool of [`CommonNeighborScratch`] buffers shared across workers,
-/// passes, and rounds: each `O(V)` zeroed allocation is paid at most once
-/// per concurrently-active worker for the whole fixpoint, instead of once
-/// per partition per round.
+/// A pool of [`KernelScratch`] buffers (wedge counts, sorted-merge buffers,
+/// and the blocked kernel's candidate bitmap) shared across workers, passes,
+/// and rounds: each `O(V)` zeroed allocation is paid at most once per
+/// concurrently-active worker for the whole fixpoint, instead of once per
+/// partition per round — the steady state allocates nothing.
 ///
-/// Safe to reuse without cleanup: the wedge enumerators clear the counts
-/// via the touched-list at the *start* of each call, which also heals a
-/// buffer abandoned mid-enumeration by a panicking worker.
+/// Safe to reuse without cleanup: every kernel clears its counters and
+/// bitmap words via its touched-lists at the *start* of each call, which
+/// also heals a buffer abandoned mid-enumeration by a panicking worker.
 struct ScratchPool {
     size: usize,
-    free: Mutex<Vec<CommonNeighborScratch>>,
+    free: Mutex<Vec<KernelScratch>>,
+    /// Fresh `O(V)` allocations — bounded by peak concurrent leases.
+    created: AtomicU64,
+    /// Leases served from the free list (the steady state).
+    reused: AtomicU64,
 }
 
 impl ScratchPool {
@@ -724,16 +804,23 @@ impl ScratchPool {
         Self {
             size,
             free: Mutex::new(Vec::new()),
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
         }
     }
 
     fn lease(&self) -> ScratchLease<'_> {
-        let scratch = self
-            .free
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_else(|| CommonNeighborScratch::new(self.size));
+        let pooled = self.free.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        let scratch = match pooled {
+            Some(s) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                s
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                KernelScratch::new(self.size)
+            }
+        };
         ScratchLease {
             pool: self,
             scratch: Some(scratch),
@@ -745,11 +832,11 @@ impl ScratchPool {
 /// a panic unwind, so the buffer survives worker retries).
 struct ScratchLease<'p> {
     pool: &'p ScratchPool,
-    scratch: Option<CommonNeighborScratch>,
+    scratch: Option<KernelScratch>,
 }
 
 impl ScratchLease<'_> {
-    fn get(&mut self) -> &mut CommonNeighborScratch {
+    fn get(&mut self) -> &mut KernelScratch {
         self.scratch.as_mut().expect("scratch present until drop")
     }
 }
@@ -810,6 +897,64 @@ mod tests {
             assert!(stats.rounds >= 1);
             assert!(stats.core_removed_users >= 50, "noise users core-pruned");
         }
+    }
+
+    #[test]
+    fn scratch_pool_reuses_buffers_across_leases() {
+        let pool = ScratchPool::new(256);
+        drop(pool.lease());
+        for _ in 0..5 {
+            drop(pool.lease());
+        }
+        assert_eq!(
+            pool.created.load(Ordering::Relaxed),
+            1,
+            "sequential leases allocate once"
+        );
+        assert_eq!(pool.reused.load(Ordering::Relaxed), 5);
+        // Two concurrent leases need a second buffer; after both return,
+        // the steady state is pure reuse again.
+        {
+            let _a = pool.lease();
+            let _b = pool.lease();
+        }
+        assert_eq!(pool.created.load(Ordering::Relaxed), 2);
+        drop(pool.lease());
+        assert_eq!(pool.created.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.reused.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn parallel_rounds_allocate_at_most_one_scratch_per_worker() {
+        // Drive the same worklist machinery the fixpoint uses across many
+        // rounds: allocations must be bounded by worker concurrency, not by
+        // rounds × partitions (zero steady-state allocation).
+        let g = biclique_plus_noise(10);
+        let view = GraphView::full(&g);
+        let pool = WorkerPool::new(4);
+        let scratch_pool = ScratchPool::new(g.num_users().max(g.num_items()));
+        let worklist: Vec<u32> = (0..g.num_users() as u32).collect();
+        for _round in 0..8 {
+            let _counts: Vec<usize> = pool.run_worklist(
+                &worklist,
+                || scratch_pool.lease(),
+                |lease, chunk| {
+                    let scratch = lease.get().wedge_mut();
+                    chunk
+                        .iter()
+                        .map(|&u| user_neighbor_count(&view, UserId(u), 2, scratch))
+                        .sum()
+                },
+            );
+        }
+        let created = scratch_pool.created.load(Ordering::Relaxed);
+        let reused = scratch_pool.reused.load(Ordering::Relaxed);
+        assert!(
+            created <= pool.workers() as u64,
+            "created {created} buffers for {} workers",
+            pool.workers()
+        );
+        assert!(reused > 0, "later rounds must reuse pooled scratch");
     }
 
     #[test]

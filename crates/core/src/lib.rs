@@ -43,6 +43,7 @@ pub mod extract;
 pub mod i2i;
 pub mod identify;
 pub mod incremental;
+pub mod kernel;
 pub mod naive;
 pub mod params;
 pub mod pipeline;
@@ -53,7 +54,8 @@ pub mod shard_run;
 pub mod thresholds;
 
 pub use budget::{BudgetClock, RunBudget};
-pub use params::{RicdParams, ScreeningMode};
+pub use kernel::{KernelSelection, KernelTally};
+pub use params::{KernelPolicy, RicdParams, ScreeningMode};
 pub use pipeline::RicdPipeline;
 pub use result::{DetectionResult, RunStatus, SuspiciousGroup};
 pub use riskview::{RiskVerdict, RiskView};
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use crate::budget::RunBudget;
     pub use crate::identify::{FeedbackConfig, FeedbackLoop};
     pub use crate::incremental::{BatchStats, Checkpoint, StreamingDetector};
+    pub use crate::kernel::KernelSelection;
     pub use crate::naive::{naive_detect, NaiveParams};
     pub use crate::params::{RicdParams, ScreeningMode};
     pub use crate::pipeline::RicdPipeline;

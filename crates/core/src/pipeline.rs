@@ -325,6 +325,15 @@ impl RicdPipeline {
         self.metrics
             .inc_by("extract.compactions", detected.stats.compactions as u64);
         self.metrics
+            .inc_by("extract.kernel_wedge", detected.stats.kernel_wedge);
+        self.metrics
+            .inc_by("extract.kernel_blocked", detected.stats.kernel_blocked);
+        self.metrics
+            .inc_by("extract.kernel_sorted", detected.stats.kernel_sorted);
+        self.metrics
+            .gauge("twohop.hub_bitmap_bytes")
+            .set(detected.stats.hub_bitmap_bytes as i64);
+        self.metrics
             .inc_by("pipeline.groups_detected", detected.groups.len() as u64);
         if clock.deadline_exceeded() {
             self.note_deadline(clock);
@@ -766,9 +775,20 @@ mod tests {
             "extract.dirty_items",
             "extract.skipped",
             "extract.compactions",
+            "extract.kernel_wedge",
+            "extract.kernel_blocked",
+            "extract.kernel_sorted",
         ] {
             assert!(snap.counter(name).is_some(), "missing {name}");
         }
+        assert!(
+            snap.counter("extract.kernel_wedge").unwrap() > 0,
+            "square pruning must answer survival queries"
+        );
+        assert!(
+            snap.gauge("twohop.hub_bitmap_bytes").is_some(),
+            "hub registry gauge exported"
+        );
         let (_, h) = snap
             .histograms
             .iter()
@@ -854,10 +874,12 @@ mod tests {
             ShardConfig {
                 shards: None,
                 max_users: Some(4),
+                ..Default::default()
             },
             ShardConfig {
                 shards: Some(16),
                 max_users: None,
+                ..Default::default()
             },
         ] {
             let got = RicdPipeline::new(RicdParams::default()).run_sharded(&g, &cfg);
@@ -878,6 +900,7 @@ mod tests {
                 &ShardConfig {
                     shards: None,
                     max_users: Some(4),
+                    ..Default::default()
                 },
             );
         assert_eq!(r.status, RunStatus::Complete);

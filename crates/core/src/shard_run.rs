@@ -34,25 +34,30 @@
 //!
 //! # Why it is faster
 //!
-//! Beyond running shards concurrently on the pool, the local fixpoint uses
-//! the early-exit survival test
-//! ([`twohop::user_has_qualified_neighbors`]): proving a dense survivor
-//! *keeps* its `k` qualified partners needs only a prefix of its wedge
-//! scan (cheapest adjacency lists first), while the baseline
-//! [`crate::extract`] computes every vertex's full common-neighbor map each
-//! round. On the 100× world that skips the ultra-popular adjacency lists —
-//! the bulk of all wedge work — for almost every surviving vertex.
+//! Beyond running shards concurrently on the pool, every square-pruning
+//! check goes through the per-anchor kernel dispatch of [`crate::kernel`]:
+//! cold and sparse anchors use the early-exit wedge survival test
+//! ([`ricd_graph::twohop::user_has_qualified_neighbors`]) — proving a dense
+//! survivor *keeps* its `k` qualified partners needs only a prefix of its
+//! wedge scan, cheapest adjacency lists first — while anchors whose
+//! cheap-first ordering ends in registered hot vertices hand that hot
+//! suffix to the blocked SWAR kernel
+//! ([`ricd_graph::twohop::blocked_user_has_qualified_neighbors`]), which
+//! replaces the per-wedge hash-free counter walk over an ultra-popular
+//! adjacency list with 64-way `AND`+popcount words against the
+//! [`ricd_graph::twohop::HubBitmaps`] registry. Dispatch never changes an
+//! answer (the kernels are differentially proven equivalent), so it never
+//! changes a fixpoint — only how many cache lines each query costs.
 
 use crate::detect::{DetectedGroups, Seeds};
 use crate::extract::ExtractionStats;
-use crate::params::RicdParams;
+use crate::kernel::{self, KernelSelection, KernelTally};
+use crate::params::{KernelPolicy, RicdParams};
 use crate::result::SuspiciousGroup;
 use ricd_engine::{EngineError, WorkerPool};
 use ricd_graph::components::connected_components;
 use ricd_graph::shard::{plan_shards, Shard, ShardOptions};
-use ricd_graph::twohop::{
-    item_has_qualified_neighbors, user_has_qualified_neighbors, CommonNeighborScratch,
-};
+use ricd_graph::twohop::{HubBitmaps, KernelScratch};
 use ricd_graph::{
     BipartiteGraph, CompactSubgraph, CompactView, GraphView, ItemId, NeighborView, UserId,
 };
@@ -69,6 +74,11 @@ pub struct ShardConfig {
     pub shards: Option<usize>,
     /// Explicit per-shard owned-user cap; overrides `shards` when set.
     pub max_users: Option<usize>,
+    /// Which survival kernels the local fixpoints may dispatch to.
+    /// [`KernelSelection::Auto`] (default) enables the per-anchor cost
+    /// model; [`KernelSelection::WedgeOnly`] pins the PR 7 wedge counter
+    /// for equivalence baselines and perf comparisons.
+    pub kernel: KernelSelection,
 }
 
 impl ShardConfig {
@@ -170,6 +180,11 @@ struct LocalPruneStats {
     square_removed_users: usize,
     square_removed_items: usize,
     rounds: usize,
+    /// Survival queries per kernel, for the `extract.kernel_*` counters.
+    kernels: KernelTally,
+    /// Bytes of the hub-bitmap registry this fixpoint built (0 when the
+    /// kernel selection or the degree distribution yields no hubs).
+    hub_bitmap_bytes: usize,
 }
 
 /// What [`prune_local`] needs on top of [`NeighborView`]: removals. Both
@@ -205,19 +220,23 @@ impl PruneView for CompactView<'_> {
 /// For hash shards, boundary items and halo users are pinned via the
 /// masks; every local removal is then globally sound (module docs). For
 /// exact shards and reconciliation the masks are `None` and this computes
-/// the true fixpoint of the local graph. The square test is the early-exit
-/// wedge counter, monomorphized over the view: O(1) per wedge, and on the
-/// compact shard-local representation the renumbered dense id space keeps
-/// the scratch counters cache-resident. (The sorted-intersection test in
-/// `twohop` answers the same predicate — the differential suites prove it —
-/// but pays Θ(deg) per *candidate* instead of O(1) per *wedge*, which
-/// blows up on hot-item anchors; it is the pair-query primitive, not the
-/// one-to-all survival test.)
+/// the true fixpoint of the local graph. Each square test goes through the
+/// per-anchor kernel dispatch of [`crate::kernel`], monomorphized over the
+/// view: cold and sparse anchors keep the early-exit wedge counter (O(1)
+/// per wedge, scratch counters cache-resident in the renumbered compact id
+/// space), while anchors whose adjacency ends in registered hubs switch to
+/// the blocked SWAR kernel. The hub registry is built **once**, after the
+/// first CorePruning fixpoint (when the cheap degree rules have already
+/// collapsed the long tail): removals are monotone for the rest of the
+/// fixpoint, so the alive-at-build snapshot stays a superset of every
+/// later candidate set and the stale bitmaps keep answering exactly
+/// (`twohop::HubBitmaps` staleness contract).
 fn prune_local<V: PruneView>(
     view: &mut V,
     removable_user: Option<&[bool]>,
     removable_item: Option<&[bool]>,
     params: &RicdParams,
+    kernel_sel: KernelSelection,
 ) -> LocalPruneStats {
     let num_users = view.num_users();
     let num_items = view.num_items();
@@ -227,8 +246,12 @@ fn prune_local<V: PruneView>(
     let item_common = params.item_common_bound();
     let can_remove_user = |i: usize| removable_user.is_none_or(|m| m[i]);
     let can_remove_item = |i: usize| removable_item.is_none_or(|m| m[i]);
-    let mut uscratch = CommonNeighborScratch::new(num_users);
-    let mut iscratch = CommonNeighborScratch::new(num_items);
+    let mut uscratch = KernelScratch::new(num_users);
+    let mut iscratch = KernelScratch::new(num_items);
+    let policy = KernelPolicy::default();
+    // `None` under WedgeOnly: the dispatcher without a registry (and with
+    // sorted disabled by the default policy) *is* the wedge kernel.
+    let mut hubs: Option<HubBitmaps> = None;
     let mut stats = LocalPruneStats::default();
 
     loop {
@@ -260,6 +283,11 @@ fn prune_local<V: PruneView>(
                 break;
             }
         }
+        if stats.rounds == 1 && matches!(kernel_sel, KernelSelection::Auto) {
+            let h = kernel::build_hubs(view, &policy);
+            stats.hub_bitmap_bytes = h.heap_bytes();
+            hubs = Some(h);
+        }
         // SquarePruning over removable vertices; immediate removals are
         // sound (monotonicity), and order does not affect the fixpoint.
         let mut square_removed = 0;
@@ -270,7 +298,16 @@ fn prune_local<V: PruneView>(
             // Definition 4 counts `u` itself when deg(u) clears the bound.
             let selfq = usize::from(view.user_degree(u) as u32 >= user_common);
             let need = params.k1.saturating_sub(selfq);
-            if !user_has_qualified_neighbors(view, u, user_common, need, &mut uscratch) {
+            if !kernel::user_survives(
+                view,
+                hubs.as_ref(),
+                &policy,
+                u,
+                user_common,
+                need,
+                &mut uscratch,
+                &mut stats.kernels,
+            ) {
                 view.remove_user(u);
                 square_removed += 1;
                 stats.square_removed_users += 1;
@@ -282,7 +319,16 @@ fn prune_local<V: PruneView>(
             }
             let selfq = usize::from(view.item_degree(v) as u32 >= item_common);
             let need = params.k2.saturating_sub(selfq);
-            if !item_has_qualified_neighbors(view, v, item_common, need, &mut iscratch) {
+            if !kernel::item_survives(
+                view,
+                hubs.as_ref(),
+                &policy,
+                v,
+                item_common,
+                need,
+                &mut iscratch,
+                &mut stats.kernels,
+            ) {
                 view.remove_item(v);
                 square_removed += 1;
                 stats.square_removed_items += 1;
@@ -320,6 +366,7 @@ fn process_shard(
     g: &BipartiteGraph,
     shard: &Shard,
     params: &RicdParams,
+    kernel_sel: KernelSelection,
 ) -> (Vec<UserId>, Vec<ItemId>, LocalPruneStats) {
     let (sub, owned, interior) = if shard.exact {
         let sub =
@@ -332,7 +379,13 @@ fn process_shard(
         (sub, Some(owned), Some(interior))
     };
     let mut view = CompactView::full(&sub.graph);
-    let stats = prune_local(&mut view, owned.as_deref(), interior.as_deref(), params);
+    let stats = prune_local(
+        &mut view,
+        owned.as_deref(),
+        interior.as_deref(),
+        params,
+        kernel_sel,
+    );
     let removed_users = sub
         .user_map
         .iter()
@@ -383,9 +436,22 @@ pub fn detect_groups_sharded(
         return Err(ShardAbort::DeadlineExceeded);
     }
 
+    // Phase timings: one duration histogram per phase, so sharded bench
+    // rows can show where the wall-clock goes (observed in nanoseconds;
+    // BENCH_extract.json sums them per run).
+    let phase_clock = |t0: Option<std::time::Duration>, name: &str| {
+        if let (Some(m), Some(t0)) = (metrics, t0) {
+            m.duration_histogram(name)
+                .observe_duration(m.clock().now().saturating_sub(t0));
+        }
+    };
+    let phase_start = || metrics.map(|m| m.clock().now());
+
     // Phase 1: plan.
+    let t_plan = phase_start();
     let max_users = cfg.effective_max_users(view.alive_users(), pool);
     let plan = plan_shards(&view, &ShardOptions::with_max_users(max_users));
+    phase_clock(t_plan, "shard.plan_nanos");
     if let Some(m) = metrics {
         // Gauge, not counter: the pool size actually executing the shard
         // fan-out, so benches and post-mortems can see the real
@@ -401,6 +467,7 @@ pub fn detect_groups_sharded(
 
     // Phase 2: per-shard local fixpoints on the pool, biggest first so the
     // tail of the round is short.
+    let t_prune = phase_start();
     let mut order: Vec<usize> = (0..plan.shards.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(plan.shards[i].cost_estimate()));
     let shard_hist = metrics.map(|m| (m.clone(), m.duration_histogram("shard.shard_nanos")));
@@ -411,7 +478,7 @@ pub fn detect_groups_sharded(
             }
             let shard = &plan.shards[order[slot]];
             let started = shard_hist.as_ref().map(|(m, _)| m.clock().now());
-            let (removed_users, removed_items, stats) = process_shard(g, shard, params);
+            let (removed_users, removed_items, stats) = process_shard(g, shard, params, cfg.kernel);
             if let (Some((m, h)), Some(t0)) = (&shard_hist, started) {
                 h.observe_duration(m.clock().now().saturating_sub(t0));
             }
@@ -436,6 +503,10 @@ pub fn detect_groups_sharded(
                 stats.core_removed_items += shard_stats.core_removed_items;
                 stats.square_removed_users += shard_stats.square_removed_users;
                 stats.square_removed_items += shard_stats.square_removed_items;
+                stats.absorb_kernels(shard_stats.kernels);
+                // Max, not sum: registries are per-fixpoint and freed when
+                // it ends, so the gauge reports peak working-set bytes.
+                stats.hub_bitmap_bytes = stats.hub_bitmap_bytes.max(shard_stats.hub_bitmap_bytes);
                 for u in removed_users {
                     view.remove_user(u);
                 }
@@ -446,12 +517,14 @@ pub fn detect_groups_sharded(
             ShardOutcome::DeadlineExceeded => deadline_tripped = true,
         }
     }
+    phase_clock(t_prune, "shard.prune_nanos");
     if deadline_tripped || deadline_exceeded() {
         return Err(ShardAbort::DeadlineExceeded);
     }
 
     // Phase 3: reconciliation over the hash-split giants — the local
     // fixpoint of their survivors, reaching the exact global fixpoint.
+    let t_recon = phase_start();
     if plan.needs_reconciliation() {
         let survivors_u = plan
             .giant_users
@@ -465,12 +538,14 @@ pub fn detect_groups_sharded(
             .filter(|&v| view.item_alive(v));
         let sub = CompactSubgraph::extract(g, survivors_u, survivors_i);
         let mut local = CompactView::full(&sub.graph);
-        let recon = prune_local(&mut local, None, None, params);
+        let recon = prune_local(&mut local, None, None, params, cfg.kernel);
         stats.rounds += recon.rounds;
         stats.core_removed_users += recon.core_removed_users;
         stats.core_removed_items += recon.core_removed_items;
         stats.square_removed_users += recon.square_removed_users;
         stats.square_removed_items += recon.square_removed_items;
+        stats.absorb_kernels(recon.kernels);
+        stats.hub_bitmap_bytes = stats.hub_bitmap_bytes.max(recon.hub_bitmap_bytes);
         let mut reconciled = (0usize, 0usize);
         for (l, &parent) in sub.user_map.iter().enumerate() {
             if !local.user_alive(UserId(l as u32)) {
@@ -489,9 +564,11 @@ pub fn detect_groups_sharded(
             m.inc_by("shard.reconcile_items", reconciled.1 as u64);
         }
     }
+    phase_clock(t_recon, "shard.reconcile_nanos");
 
     // Phase 4: components + the (k₁, k₂) floor — the same final step as
     // the unsharded path, on a view holding the identical alive set.
+    let t_merge = phase_start();
     let groups: Vec<SuspiciousGroup> = connected_components(&view)
         .into_iter()
         .filter(|c| c.users.len() >= params.k1 && c.items.len() >= params.k2)
@@ -501,6 +578,7 @@ pub fn detect_groups_sharded(
             ridden_hot_items: Vec::new(),
         })
         .collect();
+    phase_clock(t_merge, "shard.merge_nanos");
     if let Some(m) = metrics {
         m.inc_by("shard.merged_groups", groups.len() as u64);
     }
@@ -602,6 +680,7 @@ mod tests {
                 ShardConfig {
                     shards: Some(1),
                     max_users: None,
+                    ..Default::default()
                 },
                 1,
             ),
@@ -609,6 +688,7 @@ mod tests {
                 ShardConfig {
                     shards: None,
                     max_users: Some(12),
+                    ..Default::default()
                 },
                 4,
             ),
@@ -616,6 +696,7 @@ mod tests {
                 ShardConfig {
                     shards: None,
                     max_users: Some(5),
+                    ..Default::default()
                 },
                 2,
             ),
@@ -623,6 +704,7 @@ mod tests {
                 ShardConfig {
                     shards: Some(64),
                     max_users: None,
+                    ..Default::default()
                 },
                 4,
             ),
@@ -644,6 +726,7 @@ mod tests {
                 ShardConfig {
                     shards: Some(1),
                     max_users: None,
+                    ..Default::default()
                 },
                 1,
             ),
@@ -651,6 +734,7 @@ mod tests {
                 ShardConfig {
                     shards: None,
                     max_users: Some(5),
+                    ..Default::default()
                 },
                 4,
             ),
@@ -658,6 +742,7 @@ mod tests {
                 ShardConfig {
                     shards: None,
                     max_users: Some(1),
+                    ..Default::default()
                 },
                 2,
             ),
@@ -665,6 +750,7 @@ mod tests {
                 ShardConfig {
                     shards: Some(64),
                     max_users: None,
+                    ..Default::default()
                 },
                 4,
             ),
@@ -686,6 +772,7 @@ mod tests {
             &ShardConfig {
                 shards: None,
                 max_users: Some(4),
+                ..Default::default()
             },
             &never(),
             Some(&registry),
@@ -733,6 +820,7 @@ mod tests {
             &ShardConfig {
                 shards: None,
                 max_users: Some(6),
+                ..Default::default()
             },
             &never(),
             None,

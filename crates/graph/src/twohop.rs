@@ -20,6 +20,9 @@ use crate::view::{GraphView, NeighborView};
 pub struct CommonNeighborScratch {
     counts: Vec<u32>,
     touched: Vec<u32>,
+    /// `(degree, id)` sort buffer for the cheap-first wedge-source ordering,
+    /// kept here so the qualified-neighbor tests allocate nothing per call.
+    order: Vec<(u32, u32)>,
 }
 
 impl CommonNeighborScratch {
@@ -28,6 +31,7 @@ impl CommonNeighborScratch {
         Self {
             counts: vec![0; n],
             touched: Vec::new(),
+            order: Vec::new(),
         }
     }
 
@@ -151,12 +155,14 @@ pub fn user_has_qualified_neighbors<V: NeighborView>(
         return done;
     }
     scratch.clear();
-    let mut items: Vec<(u32, ItemId)> = Vec::new();
-    view.for_each_user_neighbor(u, |v| items.push((view.item_degree(v) as u32, v)));
+    let mut items = std::mem::take(&mut scratch.order);
+    items.clear();
+    view.for_each_user_neighbor(u, |v| items.push((view.item_degree(v) as u32, v.0)));
     items.sort_unstable();
     let mut qualified = 0usize;
     let mut done = false;
     for &(_, v) in &items {
+        let v = ItemId(v);
         view.for_each_item_neighbor_while(v, |u2| {
             if u2 == u {
                 return true;
@@ -176,10 +182,11 @@ pub fn user_has_qualified_neighbors<V: NeighborView>(
             true
         });
         if done {
-            return true;
+            break;
         }
     }
-    false
+    scratch.order = items;
+    done
 }
 
 /// Item-side analogue of [`user_has_qualified_neighbors`].
@@ -219,12 +226,14 @@ pub fn item_has_qualified_neighbors<V: NeighborView>(
         return done;
     }
     scratch.clear();
-    let mut users: Vec<(u32, UserId)> = Vec::new();
-    view.for_each_item_neighbor(v, |u| users.push((view.user_degree(u) as u32, u)));
+    let mut users = std::mem::take(&mut scratch.order);
+    users.clear();
+    view.for_each_item_neighbor(v, |u| users.push((view.user_degree(u) as u32, u.0)));
     users.sort_unstable();
     let mut qualified = 0usize;
     let mut done = false;
     for &(_, u) in &users {
+        let u = UserId(u);
         view.for_each_user_neighbor_while(u, |v2| {
             if v2 == v {
                 return true;
@@ -244,10 +253,11 @@ pub fn item_has_qualified_neighbors<V: NeighborView>(
             true
         });
         if done {
-            return true;
+            break;
         }
     }
-    false
+    scratch.order = users;
+    done
 }
 
 /// Number of distinct users reachable from `u` in two hops (its two-hop
@@ -582,6 +592,460 @@ fn sorted_intersection_count<T: Ord + Copy, F: Fn(&T) -> bool>(a: &[T], b: &[T],
     n
 }
 
+/// Marks an out-of-registry entry in the hub slot maps.
+const NO_HUB: u32 = u32::MAX;
+
+/// Candidate-bitmap words are swept in chunks of this many `u64`s (4 KiB)
+/// during the blocked kernel's closed phase, so one chunk of the candidate
+/// set and the matching chunk of a hub bitmap fit in L1 together.
+const HUB_BLOCK_WORDS: usize = 512;
+
+/// Dense alive-adjacency bitmaps for the highest-degree vertices of a view
+/// — the *hubs* whose full wedge walks dominate SquarePruning cost.
+///
+/// For each of the top-K alive items (by current alive degree, above a
+/// floor), the registry materializes its alive user set as a `u64` bitmap
+/// over the user id space, with the popcount cached at build time;
+/// symmetrically for the top users over the item space. The blocked
+/// survival kernel then replaces "walk the hub's whole adjacency list" with
+/// "AND the candidate bitmap against the hub bitmap", which skips 64
+/// non-candidates per instruction.
+///
+/// # Staleness contract
+///
+/// Bitmaps snapshot the alive sets **at build time**. They stay *exact* for
+/// the whole monotone pruning fixpoint that follows: the kernel only reads
+/// `candidates ∧ hub`, candidates are discovered through currently-alive
+/// walks, and current-alive ⊆ build-alive under removals, so the AND equals
+/// the current alive intersection bit for bit. The registry therefore only
+/// needs rebuilding when the id space itself changes — a compaction epoch —
+/// not on every removal.
+#[derive(Clone, Debug, Default)]
+pub struct HubBitmaps {
+    /// `item.index()` → slot in `item_bits`, or [`NO_HUB`].
+    item_slot: Vec<u32>,
+    /// Item-hub bitmaps over the **user** space, `user_stride` words each.
+    item_bits: Vec<u64>,
+    item_pop: Vec<u32>,
+    user_stride: usize,
+    /// `user.index()` → slot in `user_bits`, or [`NO_HUB`].
+    user_slot: Vec<u32>,
+    /// User-hub bitmaps over the **item** space, `item_stride` words each.
+    user_bits: Vec<u64>,
+    user_pop: Vec<u32>,
+    item_stride: usize,
+}
+
+impl HubBitmaps {
+    /// A registry with no hubs at all: every lookup misses, so the blocked
+    /// kernel degrades to pure candidate-membership streaming.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds both sides from the view's current alive state: alive
+    /// vertices with alive degree ≥ `min_degree`, highest degree first,
+    /// at most `max_hubs` per side.
+    pub fn build<V: NeighborView>(view: &V, min_degree: u32, max_hubs: usize) -> Self {
+        let (nu, ni) = (view.num_users(), view.num_items());
+        let user_stride = nu.div_ceil(64);
+        let item_stride = ni.div_ceil(64);
+
+        let mut hot_items: Vec<(u32, u32)> = (0..ni as u32)
+            .filter(|&v| view.item_alive(ItemId(v)))
+            .map(|v| (view.item_degree(ItemId(v)) as u32, v))
+            .filter(|&(d, _)| d >= min_degree.max(1))
+            .collect();
+        hot_items.sort_unstable_by(|a, b| b.cmp(a));
+        hot_items.truncate(max_hubs);
+        let mut item_slot = vec![NO_HUB; ni];
+        let mut item_bits = vec![0u64; hot_items.len() * user_stride];
+        let mut item_pop = vec![0u32; hot_items.len()];
+        for (slot, &(_, v)) in hot_items.iter().enumerate() {
+            item_slot[v as usize] = slot as u32;
+            let words = &mut item_bits[slot * user_stride..(slot + 1) * user_stride];
+            view.for_each_item_neighbor(ItemId(v), |u| {
+                words[u.index() / 64] |= 1u64 << (u.index() % 64);
+            });
+            item_pop[slot] = words.iter().map(|w| w.count_ones()).sum();
+        }
+
+        let mut hot_users: Vec<(u32, u32)> = (0..nu as u32)
+            .filter(|&u| view.user_alive(UserId(u)))
+            .map(|u| (view.user_degree(UserId(u)) as u32, u))
+            .filter(|&(d, _)| d >= min_degree.max(1))
+            .collect();
+        hot_users.sort_unstable_by(|a, b| b.cmp(a));
+        hot_users.truncate(max_hubs);
+        let mut user_slot = vec![NO_HUB; nu];
+        let mut user_bits = vec![0u64; hot_users.len() * item_stride];
+        let mut user_pop = vec![0u32; hot_users.len()];
+        for (slot, &(_, u)) in hot_users.iter().enumerate() {
+            user_slot[u as usize] = slot as u32;
+            let words = &mut user_bits[slot * item_stride..(slot + 1) * item_stride];
+            view.for_each_user_neighbor(UserId(u), |v| {
+                words[v.index() / 64] |= 1u64 << (v.index() % 64);
+            });
+            user_pop[slot] = words.iter().map(|w| w.count_ones()).sum();
+        }
+
+        Self {
+            item_slot,
+            item_bits,
+            item_pop,
+            user_stride,
+            user_slot,
+            user_bits,
+            user_pop,
+            item_stride,
+        }
+    }
+
+    /// The bitmap of item hub `v` over the user space, if `v` is a hub.
+    #[inline]
+    pub fn item_hub_words(&self, v: ItemId) -> Option<&[u64]> {
+        let slot = *self.item_slot.get(v.index())?;
+        if slot == NO_HUB {
+            return None;
+        }
+        let start = slot as usize * self.user_stride;
+        Some(&self.item_bits[start..start + self.user_stride])
+    }
+
+    /// The bitmap of user hub `u` over the item space, if `u` is a hub.
+    #[inline]
+    pub fn user_hub_words(&self, u: UserId) -> Option<&[u64]> {
+        let slot = *self.user_slot.get(u.index())?;
+        if slot == NO_HUB {
+            return None;
+        }
+        let start = slot as usize * self.item_stride;
+        Some(&self.user_bits[start..start + self.item_stride])
+    }
+
+    /// Cached build-time popcount of item hub `v`'s bitmap.
+    pub fn item_hub_popcount(&self, v: ItemId) -> Option<u32> {
+        let slot = *self.item_slot.get(v.index())?;
+        (slot != NO_HUB).then(|| self.item_pop[slot as usize])
+    }
+
+    /// Number of item-side hubs in the registry.
+    pub fn item_hub_count(&self) -> usize {
+        self.item_pop.len()
+    }
+
+    /// Number of user-side hubs in the registry.
+    pub fn user_hub_count(&self) -> usize {
+        self.user_pop.len()
+    }
+
+    /// Bytes of live payload (lengths, not capacities, so the figure is
+    /// deterministic for a given view — it feeds a metrics gauge).
+    pub fn heap_bytes(&self) -> usize {
+        (self.item_slot.len() + self.user_slot.len()) * std::mem::size_of::<u32>()
+            + (self.item_bits.len() + self.user_bits.len()) * std::mem::size_of::<u64>()
+            + (self.item_pop.len() + self.user_pop.len()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// Unified per-worker scratch for all three survival kernels: the wedge
+/// counter's counts/touched arrays, the sorted path's decode buffers, and
+/// the blocked kernel's candidate bitmap — one lease covers any dispatch
+/// decision, and nothing is allocated per call in steady state.
+#[derive(Clone, Debug)]
+pub struct KernelScratch {
+    wedge: CommonNeighborScratch,
+    sorted: SortedNeighborScratch,
+    /// Candidate bitmap over the same-side id space (blocked kernel).
+    cand_words: Vec<u64>,
+    /// Indices of nonzero `cand_words`, for sparse clearing and sweeping.
+    cand_touched: Vec<u32>,
+    /// `(degree, id)` wedge-source ordering buffer.
+    order: Vec<(u32, u32)>,
+}
+
+impl KernelScratch {
+    /// Scratch sized for `n` same-side vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            wedge: CommonNeighborScratch::new(n),
+            sorted: SortedNeighborScratch::new(n),
+            cand_words: vec![0u64; n.div_ceil(64)],
+            cand_touched: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// The wedge-counting kernel's view of this scratch.
+    pub fn wedge_mut(&mut self) -> &mut CommonNeighborScratch {
+        &mut self.wedge
+    }
+
+    /// The sorted-intersection kernel's view of this scratch.
+    pub fn sorted_mut(&mut self) -> &mut SortedNeighborScratch {
+        &mut self.sorted
+    }
+}
+
+/// Cache-blocked SWAR variant of [`user_has_qualified_neighbors`]: same
+/// contract, same answer, different cost shape on hub-heavy anchors.
+///
+/// The wedge counter pays `Σ deg(v)` over **all** of the anchor's items —
+/// including the ultra-popular ones, whose adjacency walks dominate when
+/// the early exit does not fire (every vertex that is ultimately *removed*
+/// pays the full scan). This kernel splits the cheap-first item ordering
+/// `v₁ … v_m` into two phases around `open = m − bound + 1`:
+///
+/// * **Open phase** (`v₁ … v_open`): a normal wedge walk that admits new
+///   candidates into a bitmap + counts array. Any user sharing ≥ `bound`
+///   items with the anchor occupies ≥ `bound` positions of the ordering,
+///   so its *earliest* shared position is ≤ `m − bound` — every candidate
+///   that can ever qualify is admitted here. (The argument holds for any
+///   ordering, which is also why the phase split cannot change the
+///   answer: the qualified set this kernel computes is exactly the wedge
+///   counter's.)
+/// * **Closed phase** (the `bound − 1` highest-degree items, i.e. the
+///   likely hubs): no new candidates can qualify, so instead of walking
+///   the hub's full adjacency the kernel ANDs the candidate bitmap
+///   against the hub's [`HubBitmaps`] bitmap word by word, in
+///   [`HUB_BLOCK_WORDS`]-sized blocks — a zero word skips 64
+///   non-candidates at once, and only surviving bits touch the counts
+///   array. Items without a registry entry fall back to streaming their
+///   adjacency with O(1) candidate-membership tests.
+///
+/// Early exit fires the moment `need` candidates reach `bound`, in either
+/// phase. `bound == 0` (distinct-partner counting) has no threshold to
+/// phase on and delegates to the wedge walk unchanged.
+pub fn blocked_user_has_qualified_neighbors<V: NeighborView>(
+    view: &V,
+    hubs: &HubBitmaps,
+    u: UserId,
+    bound: u32,
+    need: usize,
+    scratch: &mut KernelScratch,
+) -> bool {
+    if need == 0 {
+        return true;
+    }
+    if bound == 0 {
+        return user_has_qualified_neighbors(view, u, bound, need, &mut scratch.wedge);
+    }
+    let KernelScratch {
+        wedge,
+        cand_words,
+        cand_touched,
+        order,
+        ..
+    } = scratch;
+    wedge.clear();
+    for &w in cand_touched.iter() {
+        cand_words[w as usize] = 0;
+    }
+    cand_touched.clear();
+    order.clear();
+    view.for_each_user_neighbor(u, |v| order.push((view.item_degree(v) as u32, v.0)));
+    order.sort_unstable();
+    let m = order.len();
+    if (m as u32) < bound {
+        return false;
+    }
+    let open = m - (bound as usize - 1);
+    let mut qualified = 0usize;
+    let mut done = false;
+    for &(_, raw) in &order[..open] {
+        let v = ItemId(raw);
+        view.for_each_item_neighbor_while(v, |u2| {
+            if u2 == u {
+                return true;
+            }
+            let idx = u2.index();
+            let (w, mask) = (idx / 64, 1u64 << (idx % 64));
+            if cand_words[w] & mask == 0 {
+                if cand_words[w] == 0 {
+                    cand_touched.push(w as u32);
+                }
+                cand_words[w] |= mask;
+                wedge.touched.push(u2.0);
+            }
+            wedge.counts[idx] += 1;
+            if wedge.counts[idx] == bound {
+                qualified += 1;
+                if qualified >= need {
+                    done = true;
+                    return false;
+                }
+            }
+            true
+        });
+        if done {
+            return true;
+        }
+    }
+    // Sweeping in ascending word order keeps both the candidate words and
+    // the hub words streaming sequentially through each block.
+    cand_touched.sort_unstable();
+    for &(_, raw) in &order[open..] {
+        let v = ItemId(raw);
+        if let Some(hub) = hubs.item_hub_words(v) {
+            debug_assert_eq!(hub.len(), cand_words.len(), "hub/scratch space mismatch");
+            'blocks: for block in cand_touched.chunks(HUB_BLOCK_WORDS) {
+                for &w in block {
+                    let wi = w as usize;
+                    let mut and = cand_words[wi] & hub[wi];
+                    while and != 0 {
+                        let idx = wi * 64 + and.trailing_zeros() as usize;
+                        and &= and - 1;
+                        wedge.counts[idx] += 1;
+                        if wedge.counts[idx] == bound {
+                            qualified += 1;
+                            if qualified >= need {
+                                done = true;
+                                break 'blocks;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            // No bitmap for this item: stream its adjacency, but keep the
+            // closed-phase advantage — non-candidates cost one bit test,
+            // never a counts-array touch or a touched-list push. The anchor
+            // itself is never a candidate, so no self check is needed.
+            view.for_each_item_neighbor_while(v, |u2| {
+                let idx = u2.index();
+                if cand_words[idx / 64] & (1u64 << (idx % 64)) != 0 {
+                    wedge.counts[idx] += 1;
+                    if wedge.counts[idx] == bound {
+                        qualified += 1;
+                        if qualified >= need {
+                            done = true;
+                            return false;
+                        }
+                    }
+                }
+                true
+            });
+        }
+        if done {
+            return true;
+        }
+    }
+    false
+}
+
+/// Item-side analogue of [`blocked_user_has_qualified_neighbors`], using
+/// the registry's user-side bitmaps (over the item space).
+pub fn blocked_item_has_qualified_neighbors<V: NeighborView>(
+    view: &V,
+    hubs: &HubBitmaps,
+    v: ItemId,
+    bound: u32,
+    need: usize,
+    scratch: &mut KernelScratch,
+) -> bool {
+    if need == 0 {
+        return true;
+    }
+    if bound == 0 {
+        return item_has_qualified_neighbors(view, v, bound, need, &mut scratch.wedge);
+    }
+    let KernelScratch {
+        wedge,
+        cand_words,
+        cand_touched,
+        order,
+        ..
+    } = scratch;
+    wedge.clear();
+    for &w in cand_touched.iter() {
+        cand_words[w as usize] = 0;
+    }
+    cand_touched.clear();
+    order.clear();
+    view.for_each_item_neighbor(v, |u| order.push((view.user_degree(u) as u32, u.0)));
+    order.sort_unstable();
+    let m = order.len();
+    if (m as u32) < bound {
+        return false;
+    }
+    let open = m - (bound as usize - 1);
+    let mut qualified = 0usize;
+    let mut done = false;
+    for &(_, raw) in &order[..open] {
+        let u = UserId(raw);
+        view.for_each_user_neighbor_while(u, |v2| {
+            if v2 == v {
+                return true;
+            }
+            let idx = v2.index();
+            let (w, mask) = (idx / 64, 1u64 << (idx % 64));
+            if cand_words[w] & mask == 0 {
+                if cand_words[w] == 0 {
+                    cand_touched.push(w as u32);
+                }
+                cand_words[w] |= mask;
+                wedge.touched.push(v2.0);
+            }
+            wedge.counts[idx] += 1;
+            if wedge.counts[idx] == bound {
+                qualified += 1;
+                if qualified >= need {
+                    done = true;
+                    return false;
+                }
+            }
+            true
+        });
+        if done {
+            return true;
+        }
+    }
+    cand_touched.sort_unstable();
+    for &(_, raw) in &order[open..] {
+        let u = UserId(raw);
+        if let Some(hub) = hubs.user_hub_words(u) {
+            debug_assert_eq!(hub.len(), cand_words.len(), "hub/scratch space mismatch");
+            'blocks: for block in cand_touched.chunks(HUB_BLOCK_WORDS) {
+                for &w in block {
+                    let wi = w as usize;
+                    let mut and = cand_words[wi] & hub[wi];
+                    while and != 0 {
+                        let idx = wi * 64 + and.trailing_zeros() as usize;
+                        and &= and - 1;
+                        wedge.counts[idx] += 1;
+                        if wedge.counts[idx] == bound {
+                            qualified += 1;
+                            if qualified >= need {
+                                done = true;
+                                break 'blocks;
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            view.for_each_user_neighbor_while(u, |v2| {
+                let idx = v2.index();
+                if cand_words[idx / 64] & (1u64 << (idx % 64)) != 0 {
+                    wedge.counts[idx] += 1;
+                    if wedge.counts[idx] == bound {
+                        qualified += 1;
+                        if qualified >= need {
+                            done = true;
+                            return false;
+                        }
+                    }
+                }
+                true
+            });
+        }
+        if done {
+            return true;
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -862,6 +1326,177 @@ mod tests {
         // first.
         let mut m = HashMap::new();
         for_each_user_common_neighbor(&view, UserId(0), &mut scratch, |o, c| {
+            m.insert(o, c);
+        });
+        assert_eq!(m[&UserId(1)], 2);
+        assert_eq!(m[&UserId(2)], 1);
+    }
+
+    #[test]
+    fn hub_registry_selects_top_degree_vertices() {
+        let mut b = GraphBuilder::new();
+        // Item 0 is hot (8 users), item 1 mid (4), the rest degree 1–3.
+        for u in 0..8u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        for u in 0..4u32 {
+            b.add_click(UserId(u), ItemId(1), 1);
+        }
+        b.add_click(UserId(0), ItemId(2), 1);
+        let g = b.build();
+        let view = GraphView::full(&g);
+        let hubs = HubBitmaps::build(&view, 4, 1);
+        assert_eq!(hubs.item_hub_count(), 1, "only the top-1 item kept");
+        assert!(hubs.item_hub_words(ItemId(0)).is_some());
+        assert!(hubs.item_hub_words(ItemId(1)).is_none());
+        assert_eq!(hubs.item_hub_popcount(ItemId(0)), Some(8));
+        let words = hubs.item_hub_words(ItemId(0)).unwrap();
+        assert_eq!(words[0], 0xff, "users 0..8 set");
+        assert!(hubs.heap_bytes() > 0);
+        // Degree floor keeps sparse vertices out entirely.
+        let none = HubBitmaps::build(&view, 100, 8);
+        assert_eq!(none.item_hub_count(), 0);
+        assert_eq!(none.user_hub_count(), 0);
+        // The empty registry answers every lookup with a miss.
+        assert!(HubBitmaps::empty().item_hub_words(ItemId(0)).is_none());
+    }
+
+    #[test]
+    fn hub_bitmaps_snapshot_alive_state_at_build() {
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        let g = b.build();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(3));
+        let hubs = HubBitmaps::build(&view, 1, 4);
+        let words = hubs.item_hub_words(ItemId(0)).unwrap();
+        assert_eq!(words[0], 0xff & !(1 << 3), "dead user excluded at build");
+        assert_eq!(hubs.item_hub_popcount(ItemId(0)), Some(7));
+    }
+
+    /// The blocked kernel must agree with the wedge kernel everywhere —
+    /// with a populated registry, with an empty one (pure membership
+    /// streaming), and after removals that leave the registry stale.
+    #[test]
+    fn blocked_qualified_matches_wedge_qualified() {
+        let mut b = GraphBuilder::new();
+        // Star hub item 0 + a dense 4x3 block + a degree-1 chain (the
+        // sorted-vs-wedge fixture, reused for three-way coverage).
+        for u in 0..8u32 {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        for u in 0..4u32 {
+            for v in 1..4u32 {
+                b.add_click(UserId(u), ItemId(v), 1);
+            }
+        }
+        b.add_click(UserId(8), ItemId(4), 1);
+        b.add_click(UserId(9), ItemId(5), 1);
+        let g = b.build();
+        let mut view = GraphView::full(&g);
+        view.remove_user(UserId(7));
+        view.remove_item(ItemId(3));
+        for registry in [
+            HubBitmaps::build(&view, 1, 64),
+            HubBitmaps::build(&view, 4, 2),
+            HubBitmaps::empty(),
+        ] {
+            let mut wedge = CommonNeighborScratch::new(g.num_users());
+            let mut ks = KernelScratch::new(g.num_users());
+            for u in (0..g.num_users() as u32).map(UserId) {
+                for bound in 0..5u32 {
+                    for need in 0..6usize {
+                        assert_eq!(
+                            blocked_user_has_qualified_neighbors(
+                                &view, &registry, u, bound, need, &mut ks
+                            ),
+                            user_has_qualified_neighbors(&view, u, bound, need, &mut wedge),
+                            "u={u:?} bound={bound} need={need}"
+                        );
+                    }
+                }
+            }
+            let mut iwedge = CommonNeighborScratch::new(g.num_items());
+            let mut iks = KernelScratch::new(g.num_items());
+            for v in (0..g.num_items() as u32).map(ItemId) {
+                for bound in 0..5u32 {
+                    for need in 0..6usize {
+                        assert_eq!(
+                            blocked_item_has_qualified_neighbors(
+                                &view, &registry, v, bound, need, &mut iks
+                            ),
+                            item_has_qualified_neighbors(&view, v, bound, need, &mut iwedge),
+                            "v={v:?} bound={bound} need={need}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stale-registry soundness: hubs built *before* removals must still
+    /// answer exactly for the shrunken alive set (the monotone-fixpoint
+    /// contract the prune loops rely on).
+    #[test]
+    fn blocked_kernel_exact_under_stale_hubs() {
+        let mut b = GraphBuilder::new();
+        for u in 0..10u32 {
+            for v in 0..6u32 {
+                b.add_click(UserId(u), ItemId(v), 1);
+            }
+        }
+        let g = b.build();
+        let mut view = GraphView::full(&g);
+        let hubs = HubBitmaps::build(&view, 1, 64);
+        // Kill users/items after the build; the registry is now stale.
+        for u in [1u32, 4, 7] {
+            view.remove_user(UserId(u));
+        }
+        view.remove_item(ItemId(2));
+        let mut wedge = CommonNeighborScratch::new(g.num_users());
+        let mut ks = KernelScratch::new(g.num_users());
+        for u in (0..g.num_users() as u32).map(UserId) {
+            for bound in 0..7u32 {
+                for need in 0..8usize {
+                    assert_eq!(
+                        blocked_user_has_qualified_neighbors(&view, &hubs, u, bound, need, &mut ks),
+                        user_has_qualified_neighbors(&view, u, bound, need, &mut wedge),
+                        "u={u:?} bound={bound} need={need}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_scratch_reuse_is_clean() {
+        let g = sample();
+        let view = GraphView::full(&g);
+        let hubs = HubBitmaps::build(&view, 1, 8);
+        let mut ks = KernelScratch::new(g.num_users());
+        // Early-exit call leaves the candidate bitmap dirty; the next call
+        // (different anchor, different outcome) must still be exact.
+        assert!(blocked_user_has_qualified_neighbors(
+            &view,
+            &hubs,
+            UserId(0),
+            2,
+            1,
+            &mut ks
+        ));
+        assert!(!blocked_user_has_qualified_neighbors(
+            &view,
+            &hubs,
+            UserId(3),
+            1,
+            2,
+            &mut ks
+        ));
+        // And the embedded wedge scratch is still clean for enumeration.
+        let mut m = HashMap::new();
+        for_each_user_common_neighbor(&view, UserId(0), ks.wedge_mut(), |o, c| {
             m.insert(o, c);
         });
         assert_eq!(m[&UserId(1)], 2);

@@ -1,21 +1,27 @@
-//! Differential property tests for the sorted-intersection two-hop
-//! counter (`twohop::*_has_qualified_neighbors_sorted`).
+//! Differential property tests for the three two-hop survival kernels:
+//! the wedge-accumulation counter (the reference), the sorted-intersection
+//! counter, and the cache-blocked SWAR kernel
+//! (`twohop::blocked_*_has_qualified_neighbors`).
 //!
-//! The sharded pruning fixpoint decides every SquarePruning removal with
-//! the sorted-intersection test; the original wedge-accumulation test is
-//! kept precisely so these properties can assert the two always agree —
-//! on random graphs, on both graph representations, and on the
-//! adversarial shapes where intersection strategies go wrong (star hubs
-//! that trigger galloping, degree-1 chains with nothing to intersect).
+//! The pruning fixpoints dispatch every SquarePruning removal decision to
+//! one of these kernels per anchor; the wedge test is the semantic
+//! reference, kept precisely so these properties can assert all three
+//! always agree — on random graphs, on both graph representations, under
+//! stale hub registries (built before removals), with empty registries,
+//! and on the adversarial shapes where each kernel's strategy goes wrong
+//! (star hubs that trigger galloping, degree-1 chains with nothing to
+//! intersect, candidate sets straddling 64-bit word boundaries).
 
 use proptest::prelude::*;
 use ricd_graph::{
     twohop::{
+        blocked_item_has_qualified_neighbors, blocked_user_has_qualified_neighbors,
         item_has_qualified_neighbors, item_has_qualified_neighbors_sorted,
         user_has_qualified_neighbors, user_has_qualified_neighbors_sorted, CommonNeighborScratch,
-        SortedNeighborScratch,
+        HubBitmaps, KernelScratch, SortedNeighborScratch,
     },
-    CompactBigraph, CompactView, DeltaAdjacency, GraphBuilder, GraphView, ItemId, UserId,
+    CompactBigraph, CompactView, DeltaAdjacency, GraphBuilder, GraphView, ItemId, NeighborView,
+    UserId,
 };
 
 fn records() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
@@ -180,6 +186,235 @@ proptest! {
         let oob = [&[100u32][..]];
         prop_assert!(DeltaAdjacency::from_lists(oob, 100).is_err());
     }
+}
+
+/// Exhaustively compares all three kernels over every vertex of any view
+/// under a given (possibly stale, possibly empty) hub registry. The wedge
+/// kernel is the reference; sorted and blocked must match it bit for bit.
+fn assert_three_way_agree<V: NeighborView>(
+    view: &V,
+    hubs: &HubBitmaps,
+    bounds: std::ops::Range<u32>,
+    needs: std::ops::Range<usize>,
+) {
+    let mut wedge_u = CommonNeighborScratch::new(view.num_users());
+    let mut sorted_u = SortedNeighborScratch::new(view.num_users());
+    let mut ks_u = KernelScratch::new(view.num_users());
+    for u in (0..view.num_users() as u32).map(UserId) {
+        for bound in bounds.clone() {
+            for need in needs.clone() {
+                let want = user_has_qualified_neighbors(view, u, bound, need, &mut wedge_u);
+                assert_eq!(
+                    blocked_user_has_qualified_neighbors(view, hubs, u, bound, need, &mut ks_u),
+                    want,
+                    "blocked: user {u} bound={bound} need={need}"
+                );
+                assert_eq!(
+                    user_has_qualified_neighbors_sorted(view, u, bound, need, &mut sorted_u),
+                    want,
+                    "sorted: user {u} bound={bound} need={need}"
+                );
+            }
+        }
+    }
+    let mut wedge_i = CommonNeighborScratch::new(view.num_items());
+    let mut sorted_i = SortedNeighborScratch::new(view.num_items());
+    let mut ks_i = KernelScratch::new(view.num_items());
+    for v in (0..view.num_items() as u32).map(ItemId) {
+        for bound in bounds.clone() {
+            for need in needs.clone() {
+                let want = item_has_qualified_neighbors(view, v, bound, need, &mut wedge_i);
+                assert_eq!(
+                    blocked_item_has_qualified_neighbors(view, hubs, v, bound, need, &mut ks_i),
+                    want,
+                    "blocked: item {v} bound={bound} need={need}"
+                );
+                assert_eq!(
+                    item_has_qualified_neighbors_sorted(view, v, bound, need, &mut sorted_i),
+                    want,
+                    "sorted: item {v} bound={bound} need={need}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Three-way agreement on random graphs, across the registry spectrum:
+    /// `hub_min = 1` (almost everything is a hub), `4` (a realistic
+    /// hot-vertex floor), and `1000` (an *empty* registry — the blocked
+    /// kernel must stream adjacency instead of ANDing bitmaps).
+    #[test]
+    fn blocked_equals_wedge_and_sorted_on_random_graphs(
+        recs in records(),
+        hub_min_idx in 0usize..3,
+    ) {
+        let hub_min = [1u32, 4, 1000][hub_min_idx];
+        let g = build(&recs);
+        let view = GraphView::full(&g);
+        let hubs = HubBitmaps::build(&view, hub_min, 64);
+        assert_three_way_agree(&view, &hubs, 0..4, 0..5);
+    }
+
+    /// Hub staleness soundness: the registry is built on the *full* view,
+    /// then vertices are removed. Removals are monotone, so the stale
+    /// bitmaps must keep answering exactly — including when the removals
+    /// wipe out every hub vertex itself (mass-removal regime).
+    #[test]
+    fn stale_hub_registry_stays_exact_under_removals(
+        recs in records(),
+        dead_users in proptest::collection::btree_set(0u32..50, 0..30),
+        dead_items in proptest::collection::btree_set(0u32..35, 0..20),
+        hub_min_idx in 0usize..2,
+    ) {
+        let hub_min = [1u32, 4][hub_min_idx];
+        let g = build(&recs);
+        let mut view = GraphView::full(&g);
+        let hubs = HubBitmaps::build(&view, hub_min, 64);
+        for &u in &dead_users {
+            if (u as usize) < g.num_users() {
+                view.remove_user(UserId(u));
+            }
+        }
+        for &v in &dead_items {
+            if (v as usize) < g.num_items() {
+                view.remove_item(ItemId(v));
+            }
+        }
+        assert_three_way_agree(&view, &hubs, 0..4, 0..5);
+        // A registry rebuilt after the mass removal may be empty; the
+        // blocked kernel must degrade to adjacency streaming and agree.
+        let rebuilt = HubBitmaps::build(&view, 1000, 64);
+        prop_assert_eq!(rebuilt.item_hub_count(), 0);
+        prop_assert_eq!(rebuilt.user_hub_count(), 0);
+        assert_three_way_agree(&view, &rebuilt, 0..4, 0..5);
+    }
+
+    /// Representation independence for the blocked kernel: identical
+    /// answers over the dense `GraphView` and the compact `CompactView`
+    /// after mirrored removals, with each view's own registry.
+    #[test]
+    fn blocked_kernel_agrees_across_representations(
+        recs in records(),
+        kills in proptest::collection::vec((any::<bool>(), 0u32..50), 0..40),
+    ) {
+        let g = build(&recs);
+        let c = CompactBigraph::from_graph(&g);
+        let mut dense = GraphView::full(&g);
+        let mut compact = CompactView::full(&c);
+        for &(is_user, id) in &kills {
+            if is_user {
+                if (id as usize) < g.num_users() {
+                    dense.remove_user(UserId(id));
+                    compact.remove_user(UserId(id));
+                }
+            } else if (id as usize) < g.num_items() {
+                dense.remove_item(ItemId(id));
+                compact.remove_item(ItemId(id));
+            }
+        }
+        let hubs_d = HubBitmaps::build(&dense, 2, 64);
+        let hubs_c = HubBitmaps::build(&compact, 2, 64);
+        let mut k1 = KernelScratch::new(g.num_users());
+        let mut k2 = KernelScratch::new(g.num_users());
+        for u in (0..g.num_users() as u32).map(UserId) {
+            for bound in 0..3u32 {
+                for need in 0..4usize {
+                    prop_assert_eq!(
+                        blocked_user_has_qualified_neighbors(&dense, &hubs_d, u, bound, need, &mut k1),
+                        blocked_user_has_qualified_neighbors(&compact, &hubs_c, u, bound, need, &mut k2),
+                        "user {} bound={} need={}", u, bound, need
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Candidate sets straddling u64 word boundaries: one hub item clicked by
+/// 64k−1, 64k, and 64k+1 users. The anchor's partner count lands exactly
+/// at the last bit of the last word (and one past it), so any off-by-one
+/// in the word-chunked AND+popcount loop flips the `need`-at-the-bound
+/// answer.
+#[test]
+fn blocked_kernel_exact_at_word_boundary_populations() {
+    for extra in [-1i64, 0, 1] {
+        let n_users = (65_536i64 + extra) as u32;
+        let mut b = GraphBuilder::new();
+        for u in 0..n_users {
+            b.add_click(UserId(u), ItemId(0), 1);
+        }
+        let g = b.build();
+        let view = GraphView::full(&g);
+        let hubs = HubBitmaps::build(&view, 1, 4);
+        assert!(hubs.item_hub_count() > 0, "the shared item must be a hub");
+        let mut ks = KernelScratch::new(g.num_users());
+        let mut wedge = CommonNeighborScratch::new(g.num_users());
+        // Probe anchors at both ends; partners = everyone else.
+        let partners = (n_users - 1) as usize;
+        for u in [UserId(0), UserId(n_users - 1)] {
+            for need in [partners - 1, partners, partners + 1] {
+                let want = user_has_qualified_neighbors(&view, u, 1, need, &mut wedge);
+                assert_eq!(
+                    blocked_user_has_qualified_neighbors(&view, &hubs, u, 1, need, &mut ks),
+                    want,
+                    "n_users={n_users} u={u} need={need}"
+                );
+                assert_eq!(
+                    want,
+                    need <= partners,
+                    "sanity: exactly {partners} partners"
+                );
+            }
+        }
+    }
+}
+
+/// `need` exactly at the qualified-partner bound on a perfect biclique,
+/// answered by the *blocked* kernel against a populated registry: everyone
+/// qualifies right up to (bound = items, need = users−1) and fails one
+/// past it on either axis — the same edge `biclique_boundary_is_exact`
+/// pins for the sorted kernel.
+#[test]
+fn blocked_biclique_boundary_is_exact() {
+    let (nu, ni) = (9u32, 7u32);
+    let mut b = GraphBuilder::new();
+    for u in 0..nu {
+        for v in 0..ni {
+            b.add_click(UserId(u), ItemId(v), 2);
+        }
+    }
+    let g = b.build();
+    let view = GraphView::full(&g);
+    let hubs = HubBitmaps::build(&view, 1, 64);
+    let mut ks = KernelScratch::new(g.num_users());
+    for u in (0..nu).map(UserId) {
+        assert!(blocked_user_has_qualified_neighbors(
+            &view,
+            &hubs,
+            u,
+            ni,
+            (nu - 1) as usize,
+            &mut ks
+        ));
+        assert!(!blocked_user_has_qualified_neighbors(
+            &view,
+            &hubs,
+            u,
+            ni + 1,
+            1,
+            &mut ks
+        ));
+        assert!(!blocked_user_has_qualified_neighbors(
+            &view,
+            &hubs,
+            u,
+            ni,
+            nu as usize,
+            &mut ks
+        ));
+    }
+    assert_three_way_agree(&view, &hubs, 0..9, 0..5);
 }
 
 /// Degree-1 chains end to end: u_i — v_i with no shared items anywhere.

@@ -80,7 +80,7 @@ USAGE:
                   [--k1 <N>] [--k2 <N>] [--alpha <F>]
                   [--t-hot <N>] [--t-click <N>]
                   [--seed-user <id>]... [--seed-item <id>]...
-                  [--shards <N>] [--shard-max-users <N>]
+                  [--shards <N>] [--shard-max-users <N>] [--kernel auto|wedge]
                   [--lossy] [--deadline-ms <N>] [--max-groups <N>]
                   [--metrics-out <m.json>] [--metrics-count-only] [--trace]
     ricd eval     --input <clicks.tsv> --truth <truth.json> [--method <NAME>]
@@ -124,6 +124,11 @@ SHARDING:
                          unsharded run
     --shard-max-users N  shard by an explicit per-shard user cap instead
                          of a target count (overrides --shards)
+    --kernel K           survival-kernel selection for sharded runs:
+                         `auto` (default; per-anchor dispatch between the
+                         wedge, blocked-bitset, and sorted kernels) or
+                         `wedge` (wedge counting only — the baseline for
+                         perf comparisons; output is identical either way)
 
 OBSERVABILITY:
     --metrics-out F        write the run's metrics snapshot (counters,
@@ -420,7 +425,20 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
     let shard_cfg = {
         let shards = flags.parse("--shards")?;
         let max_users = flags.parse("--shard-max-users")?;
-        (shards.is_some() || max_users.is_some()).then_some(ShardConfig { shards, max_users })
+        let kernel = match flags.get("--kernel") {
+            None | Some("auto") => KernelSelection::Auto,
+            Some("wedge") => KernelSelection::WedgeOnly,
+            Some(other) => {
+                return Err(CliError::Usage(format!(
+                    "--kernel must be `auto` or `wedge`, got `{other}`"
+                )))
+            }
+        };
+        (shards.is_some() || max_users.is_some()).then_some(ShardConfig {
+            shards,
+            max_users,
+            kernel,
+        })
     };
 
     let g = load_graph(input, flags.has("--lossy"), Some(&registry))?;

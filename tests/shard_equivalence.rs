@@ -36,6 +36,7 @@ fn sharded_pipeline_matches_unsharded_groups_and_risk_ordering() {
             ShardConfig {
                 shards: Some(4),
                 max_users: None,
+                kernel: KernelSelection::Auto,
             },
             4,
         ),
@@ -45,6 +46,16 @@ fn sharded_pipeline_matches_unsharded_groups_and_risk_ordering() {
             ShardConfig {
                 shards: None,
                 max_users: Some(3),
+                kernel: KernelSelection::Auto,
+            },
+            2,
+        ),
+        // The wedge-only baseline kernel must land on the same fixpoint.
+        (
+            ShardConfig {
+                shards: None,
+                max_users: Some(3),
+                kernel: KernelSelection::WedgeOnly,
             },
             2,
         ),
@@ -65,24 +76,26 @@ fn sharded_pipeline_matches_unsharded_groups_and_risk_ordering() {
     }
 }
 
-/// The worker-count matrix: the same shard plan executed on 1, 2, and 4
-/// pool workers must be *byte-identical* — not just set-equal — in groups,
+/// The worker × kernel matrix: the same shard plan executed on 1, 2, and 4
+/// pool workers, under both the dispatched kernel mix and the wedge-only
+/// baseline, must be *byte-identical* — not just set-equal — in groups,
 /// risk scores, and both rankings. Serialized JSON is the comparison so
 /// any float formatting or ordering drift fails loudly.
 #[test]
-fn worker_count_matrix_is_byte_identical() {
+fn worker_and_kernel_matrix_is_byte_identical() {
     let ds = world();
-    let cfg = ShardConfig {
-        shards: Some(4),
-        max_users: None,
-    };
-    let render = |workers: usize| {
+    let render = |kernel: KernelSelection, workers: usize| {
+        let cfg = ShardConfig {
+            shards: Some(4),
+            max_users: None,
+            kernel,
+        };
         let r = RicdPipeline::new(RicdParams::default())
             .with_pool(WorkerPool::new(workers))
             .run_sharded(&ds.graph, &cfg);
         assert!(
             !r.groups.is_empty(),
-            "workers={workers}: no groups detected"
+            "kernel={kernel:?} workers={workers}: no groups detected"
         );
         (
             serde_json::to_string(&r.groups).unwrap(),
@@ -90,21 +103,23 @@ fn worker_count_matrix_is_byte_identical() {
             serde_json::to_string(&r.ranked_items).unwrap(),
         )
     };
-    let baseline = render(1);
-    for workers in [2usize, 4] {
-        let got = render(workers);
-        assert_eq!(
-            got.0, baseline.0,
-            "groups bytes diverged at workers={workers}"
-        );
-        assert_eq!(
-            got.1, baseline.1,
-            "ranked_users bytes diverged at workers={workers}"
-        );
-        assert_eq!(
-            got.2, baseline.2,
-            "ranked_items bytes diverged at workers={workers}"
-        );
+    let baseline = render(KernelSelection::WedgeOnly, 1);
+    for kernel in [KernelSelection::WedgeOnly, KernelSelection::Auto] {
+        for workers in [1usize, 2, 4] {
+            let got = render(kernel, workers);
+            assert_eq!(
+                got.0, baseline.0,
+                "groups bytes diverged at kernel={kernel:?} workers={workers}"
+            );
+            assert_eq!(
+                got.1, baseline.1,
+                "ranked_users bytes diverged at kernel={kernel:?} workers={workers}"
+            );
+            assert_eq!(
+                got.2, baseline.2,
+                "ranked_items bytes diverged at kernel={kernel:?} workers={workers}"
+            );
+        }
     }
 }
 
@@ -123,6 +138,7 @@ fn shard_task_panic_is_retried_to_identical_output() {
     let cfg = ShardConfig {
         shards: Some(4),
         max_users: None,
+        ..ShardConfig::default()
     };
     let pool = WorkerPool::new(2);
 
