@@ -1,0 +1,142 @@
+//! No-criterion streaming-detection smoke bench: the time-to-flag
+//! trajectory artifact.
+//!
+//! Replays the two canonical temporal scenarios through the windowed
+//! streaming detector and writes `BENCH_stream.json`:
+//!
+//! * **burst** — a hard-ramped campaign under the default *infinite*
+//!   window. The acceptance gate: every planted campaign must be flagged
+//!   within [`BURST_BATCH_BUDGET`] batches of its first active batch.
+//! * **slow-drip** — a long, low-rate campaign under a *sliding window*
+//!   sized to one worker cohort's drip. The gate: the window must
+//!   actually evict records (so the cumulative graph is provably not
+//!   what detection ran on) AND the campaign must still be flagged.
+//!
+//! Each section records wall time, per-campaign batches/ticks-to-flag,
+//! final precision/recall, and the `stream.*` counter family, so CI keeps
+//! a trajectory of both detection latency and replay cost.
+//!
+//! Deliberately not a criterion bench: one replay per scenario is enough
+//! to see a latency regression (the gates are on *batch counts*, which
+//! are deterministic), and the JSON artifact is trivially diffable.
+
+use ricd_core::temporal::WindowConfig;
+use ricd_core::RicdParams;
+use ricd_datagen::timeline::{build_timeline, ScenarioConfig};
+use ricd_eval::temporal::{replay_timeline, StreamEvalConfig, StreamReport};
+use ricd_obs::MetricsRegistry;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Batches from the burst campaign's first active batch within which the
+/// campaign must be flagged (the CI gate the issue names).
+const BURST_BATCH_BUDGET: u64 = 4;
+
+/// Sliding-window span for the slow-drip scenario: covers one worker
+/// cohort's full drip (800 ticks) plus slack, while evicting the organic
+/// head of the 2400-tick horizon.
+const DRIP_WINDOW: u64 = 1_000;
+
+#[derive(Serialize)]
+struct Report {
+    burst: Section,
+    slow_drip: Section,
+}
+
+#[derive(Serialize)]
+struct Section {
+    scenario: &'static str,
+    window: Option<u64>,
+    half_life: Option<u64>,
+    replay_ms: f64,
+    /// Deterministic `stream.*` counters from the replay's registry.
+    stream_counters: Vec<(String, u64)>,
+    report: StreamReport,
+}
+
+fn run_section(
+    scenario: &'static str,
+    cfg_fn: impl Fn() -> ScenarioConfig,
+    window: WindowConfig,
+) -> Section {
+    let timeline = build_timeline(&cfg_fn()).expect("scenario config valid");
+    let mut cfg = StreamEvalConfig::new(RicdParams::default());
+    cfg.window = window;
+    let registry = MetricsRegistry::new();
+    let t = Instant::now();
+    let report = replay_timeline(&timeline, &cfg, &registry).expect("replay completes");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    let snap = registry.snapshot();
+    let stream_counters: Vec<(String, u64)> = snap
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("stream."))
+        .map(|(name, v)| (name.clone(), *v))
+        .collect();
+    eprintln!(
+        "{scenario}: {} batches, {} records, evicted {}, peak window {} ({replay_ms:.0}ms)",
+        report.batches, report.records, report.evicted, report.peak_window_records
+    );
+    for c in &report.campaigns {
+        eprintln!(
+            "{scenario} campaign {}: batches-to-flag {:?} ticks-to-flag {:?} ({}/{} workers)",
+            c.campaign, c.batches_to_flag, c.ticks_to_flag, c.flagged_workers, c.workers
+        );
+    }
+    Section {
+        scenario,
+        window: window.window,
+        half_life: window.half_life,
+        replay_ms,
+        stream_counters,
+        report,
+    }
+}
+
+fn main() {
+    // Burst: infinite window — the campaign's hard ramp must be caught
+    // within the fixed batch budget.
+    let burst = run_section("burst", ScenarioConfig::burst, WindowConfig::default());
+    assert!(
+        burst.report.all_flagged(),
+        "burst campaign must be flagged: {:?}",
+        burst.report.campaigns
+    );
+    for c in &burst.report.campaigns {
+        let b = c.batches_to_flag.expect("flagged campaign has a latency");
+        assert!(
+            b <= BURST_BATCH_BUDGET,
+            "burst campaign {} took {b} batches to flag, over the {BURST_BATCH_BUDGET}-batch budget",
+            c.campaign
+        );
+    }
+
+    // Slow drip: sliding window — old traffic must age out while the
+    // drip still accumulates enough in-window evidence to flag.
+    let slow_drip = run_section(
+        "slow-drip",
+        ScenarioConfig::slow_drip,
+        WindowConfig {
+            window: Some(DRIP_WINDOW),
+            ..WindowConfig::default()
+        },
+    );
+    assert!(
+        slow_drip.report.evicted > 0,
+        "slow-drip window must evict records"
+    );
+    assert!(
+        (slow_drip.report.peak_window_records) < slow_drip.report.records,
+        "window must stay below the cumulative record count"
+    );
+    assert!(
+        slow_drip.report.all_flagged(),
+        "slow-drip campaign must be flagged under the sliding window: {:?}",
+        slow_drip.report.campaigns
+    );
+
+    let report = Report { burst, slow_drip };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    println!("{json}");
+}

@@ -51,6 +51,7 @@ pub mod result;
 pub mod riskview;
 pub mod screen;
 pub mod shard_run;
+pub mod temporal;
 pub mod thresholds;
 
 pub use budget::{BudgetClock, RunBudget};
@@ -60,6 +61,9 @@ pub use pipeline::RicdPipeline;
 pub use result::{DetectionResult, RunStatus, SuspiciousGroup};
 pub use riskview::{RiskVerdict, RiskView};
 pub use shard_run::{detect_groups_sharded, ShardAbort, ShardConfig};
+pub use temporal::{
+    TimedClick, WindowBatchStats, WindowCheckpoint, WindowConfig, WindowedDetector,
+};
 
 /// Commonly used framework types.
 pub mod prelude {
@@ -73,5 +77,6 @@ pub mod prelude {
     pub use crate::result::{DetectionResult, RunStatus, SuspiciousGroup};
     pub use crate::riskview::{RiskVerdict, RiskView};
     pub use crate::shard_run::ShardConfig;
+    pub use crate::temporal::{WindowCheckpoint, WindowConfig, WindowedDetector};
     pub use crate::thresholds::{derive_t_click, derive_t_hot};
 }

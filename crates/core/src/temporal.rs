@@ -1,0 +1,583 @@
+//! Windowed streaming detection: old clicks age out of the graph.
+//!
+//! [`crate::incremental::StreamingDetector`] accumulates forever — correct
+//! for the append-only replay it was built for, but a continuous monitor
+//! over months of traffic cannot keep (or keep *trusting*) every click it
+//! ever saw. The [`WindowedDetector`] consumes *timestamped* batches and
+//! maintains a bounded evidence window:
+//!
+//! * **sliding window** (`window = Some(W)`): a record at event time `ts`
+//!   participates in detection while `now < ts + W`, where `now` is the
+//!   high-water mark of ingested event times; once the watermark passes,
+//!   the record is evicted permanently. Records arriving already outside
+//!   the window (late stragglers) are dropped on ingest and counted.
+//! * **exponential decay** (`half_life = Some(H)`): an edge's effective
+//!   weight is its click count halved once per elapsed half-life —
+//!   computed as the integer shift `c >> ((now − ts) / H)`, which is
+//!   deterministic, monotone in `now`, and hits exactly zero, at which
+//!   point the record is evicted (decay is a soft window).
+//!
+//! Window advancement *is* the compaction story: eviction physically drops
+//! records, so the working graph is rebuilt from the live window only and
+//! memory is bounded by window volume, not stream length.
+//!
+//! ## Why every detection runs the full pipeline on the window graph
+//!
+//! The incremental detector's frontier seeding is sound because its graph
+//! only *grows*: a group can newly satisfy the (α, k₁, k₂) predicate only
+//! via a new heavy edge. Under eviction and decay that premise fails in
+//! both directions — edges fall back *below* `T_click`, items drop below
+//! `T_hot` and change hot/cold classification, and groups must *dissolve*
+//! when their evidence ages out. So the windowed detector re-runs the
+//! full deterministic pipeline over the (bounded) window graph; its result
+//! is a pure function of the live window, which is what makes the
+//! infinite-window mode provably identical to one-shot batch detection
+//! (see `tests/proptest_stream.rs`) and checkpoint/resume exact.
+
+use crate::pipeline::RicdPipeline;
+use crate::result::DetectionResult;
+use ricd_graph::{BipartiteGraph, GraphBuilder, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// A timestamped click record: `(user, item, clicks, event_time)`.
+pub type TimedClick = (UserId, ItemId, u32, u64);
+
+/// Window-mode configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Sliding-window length in ticks. `None` keeps every record forever
+    /// (infinite window — equivalent to batch detection).
+    pub window: Option<u64>,
+    /// Exponential-decay half-life in ticks: effective clicks halve once
+    /// per elapsed half-life. `None` disables decay.
+    pub half_life: Option<u64>,
+    /// Run detection every N batches (1 = every batch). Skipped batches
+    /// still ingest, evict, and advance the clock; the next detection
+    /// catches up exactly (the result is a function of the window alone).
+    pub detect_every: u64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        Self {
+            window: None,
+            half_life: None,
+            detect_every: 1,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == Some(0) {
+            return Err("window must be positive (None = infinite)".into());
+        }
+        if self.half_life == Some(0) {
+            return Err("decay half-life must be positive (None = no decay)".into());
+        }
+        if self.detect_every == 0 {
+            return Err("detect_every must be ≥ 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Counters for one windowed batch ingestion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowBatchStats {
+    /// Valid records ingested into the window.
+    pub records: usize,
+    /// Zero-click records rejected by validation.
+    pub rejected: usize,
+    /// Records dropped on arrival because their event time had already
+    /// aged out of the window.
+    pub late: usize,
+    /// Records evicted from the window by this batch's clock advance.
+    pub evicted: usize,
+    /// Records live in the window after ingest.
+    pub window_records: usize,
+    /// True if detection ran on this batch (vs deferred by `detect_every`).
+    pub detected: bool,
+    /// True if the batch was an at-least-once redelivery and was dropped.
+    pub replayed: bool,
+}
+
+/// A serializable snapshot of a [`WindowedDetector`]'s window state.
+/// Restoring it and continuing the stream yields results identical to a
+/// detector that never stopped: the live log, watermark, and sequence
+/// cursor are the whole state (the detection result is recomputed, being a
+/// pure function of the window).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowCheckpoint {
+    /// Live (un-evicted) records, time-sorted.
+    pub log: Vec<TimedClick>,
+    /// Event-time high-water mark.
+    pub now: u64,
+    /// Next expected batch sequence number.
+    pub next_seq: u64,
+    /// Batches ingested so far (drives the `detect_every` cadence).
+    pub batches_ingested: u64,
+}
+
+/// An online RICD detector over timestamped batches with a bounded
+/// evidence window. See the module docs for the semantics.
+pub struct WindowedDetector {
+    pipeline: RicdPipeline,
+    cfg: WindowConfig,
+    /// Live records, sorted by event time.
+    log: Vec<TimedClick>,
+    /// Event-time high-water mark across all ingested records.
+    now: u64,
+    next_seq: u64,
+    batches_ingested: u64,
+    last: DetectionResult,
+    /// True when `last` predates window contents (a detection was skipped).
+    dirty: bool,
+}
+
+impl WindowedDetector {
+    /// A detector with the given pipeline and window configuration.
+    pub fn new(pipeline: RicdPipeline, cfg: WindowConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Self {
+            pipeline,
+            cfg,
+            log: Vec::new(),
+            now: 0,
+            next_seq: 0,
+            batches_ingested: 0,
+            last: DetectionResult::default(),
+            dirty: false,
+        })
+    }
+
+    /// Restores a detector from a [`WindowCheckpoint`]. The pipeline and
+    /// window configuration are not part of the checkpoint and are
+    /// supplied fresh; the detection result is recomputed on the next
+    /// [`result`](Self::result) call.
+    pub fn restore(
+        pipeline: RicdPipeline,
+        cfg: WindowConfig,
+        ckpt: WindowCheckpoint,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(Self {
+            pipeline,
+            cfg,
+            log: ckpt.log,
+            now: ckpt.now,
+            next_seq: ckpt.next_seq,
+            batches_ingested: ckpt.batches_ingested,
+            last: DetectionResult::default(),
+            dirty: true,
+        })
+    }
+
+    /// Snapshots the window state for crash recovery.
+    pub fn checkpoint(&self) -> WindowCheckpoint {
+        let metrics = &self.pipeline.metrics;
+        metrics.counter("stream.window_checkpoints").inc();
+        WindowCheckpoint {
+            log: self.log.clone(),
+            now: self.now,
+            next_seq: self.next_seq,
+            batches_ingested: self.batches_ingested,
+        }
+    }
+
+    /// The next batch sequence number this detector expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The event-time high-water mark.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of live records in the window.
+    pub fn window_records(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The window configuration.
+    pub fn config(&self) -> &WindowConfig {
+        &self.cfg
+    }
+
+    /// Effective weight of `clicks` observed at `ts` as of watermark
+    /// `now`: halved once per elapsed half-life, exact integer arithmetic.
+    fn effective(&self, clicks: u32, ts: u64) -> u32 {
+        match self.cfg.half_life {
+            None => clicks,
+            Some(h) => {
+                let halvings = self.now.saturating_sub(ts) / h;
+                if halvings >= 32 {
+                    0
+                } else {
+                    clicks >> halvings
+                }
+            }
+        }
+    }
+
+    /// The current window graph: live records at their effective weights.
+    pub fn window_graph(&self) -> BipartiteGraph {
+        let mut b = GraphBuilder::with_capacity(self.log.len());
+        for &(u, v, c, ts) in &self.log {
+            let w = self.effective(c, ts);
+            if w > 0 {
+                b.add_click(u, v, w);
+            }
+        }
+        b.build()
+    }
+
+    /// Ingests one timestamped batch with the next expected sequence
+    /// number. Use [`ingest_batch`](Self::ingest_batch) when the source
+    /// numbers its batches and may redeliver.
+    pub fn ingest(&mut self, batch: &[TimedClick]) -> WindowBatchStats {
+        self.ingest_batch(self.next_seq, batch)
+    }
+
+    /// Ingests batch number `seq`: advances the event-time watermark,
+    /// evicts aged-out records, and (subject to `detect_every`) re-runs
+    /// detection on the window graph. Sequence handling matches
+    /// [`crate::incremental::StreamingDetector`]: a lower `seq` is an
+    /// at-least-once redelivery and is dropped; a higher one counts the
+    /// skipped numbers and proceeds.
+    pub fn ingest_batch(&mut self, seq: u64, batch: &[TimedClick]) -> WindowBatchStats {
+        let metrics = self.pipeline.metrics.clone();
+        let _span = metrics.span("stream/window_ingest");
+        let mut stats = WindowBatchStats::default();
+        if seq < self.next_seq {
+            metrics.counter("stream.batches_replayed").inc();
+            stats.replayed = true;
+            return stats;
+        }
+        if seq > self.next_seq {
+            metrics.inc_by("stream.seqs_skipped", seq - self.next_seq);
+        }
+        metrics.counter("stream.batches_ingested").inc();
+        self.next_seq = seq + 1;
+        self.batches_ingested += 1;
+
+        // Validation mirrors the incremental detector: zero-click records
+        // are producer bugs and are quarantined.
+        let mut rejected = 0usize;
+        let valid: Vec<TimedClick> = batch
+            .iter()
+            .copied()
+            .filter(|&(_, _, c, _)| {
+                let ok = c > 0;
+                rejected += usize::from(!ok);
+                ok
+            })
+            .collect();
+        stats.rejected = rejected;
+        metrics.inc_by("stream.records_rejected", rejected as u64);
+
+        // The watermark advances to the batch's max event time first, so a
+        // batch that contains both fresh records and ancient stragglers
+        // admits the former and rejects the latter consistently.
+        let new_now = valid
+            .iter()
+            .map(|&(_, _, _, ts)| ts)
+            .max()
+            .map_or(self.now, |m| self.now.max(m));
+        self.now = new_now;
+
+        let mut late = 0usize;
+        let mut admitted = 0usize;
+        for &(u, v, c, ts) in &valid {
+            let aged_out = self
+                .cfg
+                .window
+                .is_some_and(|w| ts.saturating_add(w) <= new_now);
+            if aged_out {
+                late += 1;
+            } else {
+                self.log.push((u, v, c, ts));
+                admitted += 1;
+            }
+        }
+        stats.records = admitted;
+        stats.late = late;
+        metrics.inc_by("stream.records_ingested", admitted as u64);
+        metrics.inc_by("stream.late_records", late as u64);
+        // Keep the log time-sorted so eviction is a prefix drain. Stable
+        // sort: ties keep arrival order, which is deterministic under
+        // deterministic replay.
+        self.log.sort_by_key(|&(_, _, _, ts)| ts);
+
+        // Window eviction: drain the aged-out prefix.
+        let mut evicted = 0usize;
+        let mut evicted_clicks = 0u64;
+        if let Some(w) = self.cfg.window {
+            let keep_from = self
+                .log
+                .partition_point(|&(_, _, _, ts)| ts.saturating_add(w) <= self.now);
+            for &(_, _, c, _) in &self.log[..keep_from] {
+                evicted_clicks += c as u64;
+            }
+            evicted += keep_from;
+            self.log.drain(..keep_from);
+        }
+        // Decay eviction: drop records whose effective weight reached
+        // zero. Monotone in `now`, so eviction is permanent.
+        if self.cfg.half_life.is_some() {
+            let now_self = &*self; // borrow for the closure below
+            let before = self.log.len();
+            let mut decayed_clicks = 0u64;
+            let retained: Vec<TimedClick> = self
+                .log
+                .iter()
+                .copied()
+                .filter(|&(_, _, c, ts)| {
+                    let live = now_self.effective(c, ts) > 0;
+                    if !live {
+                        decayed_clicks += c as u64;
+                    }
+                    live
+                })
+                .collect();
+            self.log = retained;
+            evicted += before - self.log.len();
+            evicted_clicks += decayed_clicks;
+        }
+        stats.evicted = evicted;
+        metrics.inc_by("stream.evicted_records", evicted as u64);
+        metrics.inc_by("stream.evicted_clicks", evicted_clicks);
+        stats.window_records = self.log.len();
+        metrics
+            .gauge("stream.window_records")
+            .set(self.log.len() as i64);
+        let span = self
+            .log
+            .first()
+            .map_or(0, |&(_, _, _, ts)| self.now.saturating_sub(ts));
+        metrics.gauge("stream.window_span").set(span as i64);
+
+        // Detection cadence.
+        if self.batches_ingested.is_multiple_of(self.cfg.detect_every) {
+            self.detect(&metrics);
+            stats.detected = true;
+        } else {
+            self.dirty = true;
+            metrics.counter("stream.detect_skipped").inc();
+        }
+        stats
+    }
+
+    fn detect(&mut self, metrics: &ricd_obs::MetricsRegistry) {
+        let g = self.window_graph();
+        self.last = self.pipeline.run(&g);
+        self.dirty = false;
+        metrics.counter("stream.detects").inc();
+        metrics
+            .gauge("stream.window_clicks")
+            .set(g.total_clicks() as i64);
+    }
+
+    /// The detection result over the current window, re-running detection
+    /// first if the cadence skipped it.
+    pub fn result(&mut self) -> &DetectionResult {
+        if self.dirty {
+            let metrics = self.pipeline.metrics.clone();
+            self.detect(&metrics);
+        }
+        &self.last
+    }
+
+    /// The last computed result without forcing a catch-up detection (may
+    /// lag the window by up to `detect_every − 1` batches).
+    pub fn last_result(&self) -> &DetectionResult {
+        &self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RicdParams;
+
+    fn pipeline() -> RicdPipeline {
+        RicdPipeline::new(RicdParams::default())
+    }
+
+    /// The incremental suite's world, timestamped: a hot item (`ItemId(0)`,
+    /// 1200 organic clickers) ridden by 12 workers who each hit 11 targets
+    /// with `clicks` heavy clicks, all at time `ts`.
+    fn attack_at(ts: u64, clicks: u32) -> Vec<TimedClick> {
+        let mut v = Vec::new();
+        for u in 1000..2200u32 {
+            v.push((UserId(u), ItemId(0), 1, ts));
+        }
+        for u in 0..12u32 {
+            for t in 1..12u32 {
+                v.push((UserId(u), ItemId(t), clicks, ts));
+            }
+            v.push((UserId(u), ItemId(0), 1, ts));
+        }
+        v
+    }
+
+    #[test]
+    fn infinite_window_flags_the_attack() {
+        let mut d = WindowedDetector::new(pipeline(), WindowConfig::default()).unwrap();
+        let stats = d.ingest(&attack_at(100, 12));
+        assert!(stats.detected);
+        assert_eq!(stats.late, 0);
+        assert_eq!(stats.evicted, 0);
+        let users = d.result().suspicious_users();
+        assert_eq!(users.len(), 12, "the 12 workers flagged: {users:?}");
+    }
+
+    #[test]
+    fn window_evicts_old_evidence_and_groups_dissolve() {
+        let cfg = WindowConfig {
+            window: Some(100),
+            ..WindowConfig::default()
+        };
+        let mut d = WindowedDetector::new(pipeline(), cfg).unwrap();
+        d.ingest(&attack_at(0, 12));
+        assert!(!d.result().suspicious_users().is_empty());
+        // An empty-ish later batch advances the clock past the window.
+        let stats = d.ingest(&[(UserId(200), ItemId(50), 1, 500)]);
+        assert!(stats.evicted > 0, "old records evicted");
+        assert!(
+            d.result().suspicious_users().is_empty(),
+            "groups dissolve when their evidence ages out"
+        );
+        assert_eq!(d.window_records(), 1);
+    }
+
+    #[test]
+    fn late_records_are_dropped() {
+        let cfg = WindowConfig {
+            window: Some(100),
+            ..WindowConfig::default()
+        };
+        let mut d = WindowedDetector::new(pipeline(), cfg).unwrap();
+        d.ingest(&[(UserId(1), ItemId(1), 1, 1_000)]);
+        let stats = d.ingest(&[(UserId(2), ItemId(2), 1, 10)]);
+        assert_eq!(stats.late, 1);
+        assert_eq!(stats.records, 0);
+        assert_eq!(d.window_records(), 1);
+    }
+
+    #[test]
+    fn decay_halves_and_eventually_evicts() {
+        let cfg = WindowConfig {
+            half_life: Some(100),
+            ..WindowConfig::default()
+        };
+        let mut d = WindowedDetector::new(pipeline(), cfg).unwrap();
+        d.ingest(&attack_at(0, 12));
+        assert!(!d.result().suspicious_users().is_empty());
+        // One half-life later the heavy edges are at 6 < T_click.
+        d.ingest(&[(UserId(200), ItemId(50), 1, 100)]);
+        assert!(d.result().suspicious_users().is_empty());
+        let g = d.window_graph();
+        assert_eq!(g.clicks(UserId(0), ItemId(1)), Some(6));
+        // After enough half-lives everything decays to zero and is evicted.
+        let stats = d.ingest(&[(UserId(200), ItemId(50), 1, 800)]);
+        assert!(stats.evicted > 0);
+        assert!(d.window_records() <= 2, "only the fresh clicks remain");
+    }
+
+    #[test]
+    fn replay_and_skip_sequencing() {
+        let mut d = WindowedDetector::new(pipeline(), WindowConfig::default()).unwrap();
+        let b = [(UserId(1), ItemId(1), 2, 10)];
+        assert!(!d.ingest_batch(0, &b).replayed);
+        assert!(d.ingest_batch(0, &b).replayed, "redelivery dropped");
+        assert_eq!(d.window_records(), 1);
+        d.ingest_batch(5, &b);
+        assert_eq!(d.next_seq(), 6);
+    }
+
+    #[test]
+    fn zero_click_records_rejected() {
+        let mut d = WindowedDetector::new(pipeline(), WindowConfig::default()).unwrap();
+        let stats = d.ingest(&[(UserId(1), ItemId(1), 0, 10), (UserId(1), ItemId(2), 1, 10)]);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.records, 1);
+    }
+
+    #[test]
+    fn detect_every_defers_and_result_catches_up() {
+        let cfg = WindowConfig {
+            detect_every: 3,
+            ..WindowConfig::default()
+        };
+        let mut d = WindowedDetector::new(pipeline(), cfg).unwrap();
+        let s1 = d.ingest(&attack_at(10, 12));
+        assert!(!s1.detected, "batch 1 of 3 defers");
+        assert!(d.last_result().suspicious_users().is_empty());
+        let users = d.result().suspicious_users();
+        assert_eq!(users.len(), 12, "result() catches up: {users:?}");
+    }
+
+    #[test]
+    fn checkpoint_resume_is_exact() {
+        let cfg = WindowConfig {
+            window: Some(300),
+            ..WindowConfig::default()
+        };
+        let mut a = WindowedDetector::new(pipeline(), cfg).unwrap();
+        a.ingest(&attack_at(0, 6));
+        let ckpt = a.checkpoint();
+        let mut b = WindowedDetector::restore(pipeline(), cfg, ckpt).unwrap();
+        let more = attack_at(200, 6);
+        a.ingest(&more);
+        b.ingest(&more);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.next_seq(), b.next_seq());
+        assert_eq!(a.window_records(), b.window_records());
+        let (ra, rb) = (a.result().clone(), b.result().clone());
+        assert_eq!(ra.suspicious_users(), rb.suspicious_users());
+        assert_eq!(ra.ranked_users, rb.ranked_users);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(WindowConfig {
+            window: Some(0),
+            ..WindowConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WindowConfig {
+            half_life: Some(0),
+            ..WindowConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WindowConfig {
+            detect_every: 0,
+            ..WindowConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(WindowedDetector::new(
+            pipeline(),
+            WindowConfig {
+                window: Some(0),
+                ..WindowConfig::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn checkpoint_serde_round_trip() {
+        let mut d = WindowedDetector::new(pipeline(), WindowConfig::default()).unwrap();
+        d.ingest(&attack_at(42, 3));
+        let ckpt = d.checkpoint();
+        let s = serde_json::to_string(&ckpt).unwrap();
+        let back: WindowCheckpoint = serde_json::from_str(&s).unwrap();
+        assert_eq!(ckpt, back);
+    }
+}

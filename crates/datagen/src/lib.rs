@@ -26,7 +26,10 @@
 //! worker clicks the group's hot items once or twice, its target items
 //! heavily (≥ `T_click`), and a few random ordinary items as camouflage.
 //! [`campaign`] simulates the Section VII marketing-campaign timeline for
-//! Fig 10.
+//! Fig 10, and [`timeline`] generalizes it into the temporal scenario
+//! engine: every click timestamped, diurnal organic traffic, flash-sale
+//! spikes, and ramped attack campaigns with worker-account churn, emitted
+//! as deterministic sequence-numbered batches.
 
 pub mod attack;
 pub mod builder;
@@ -34,11 +37,16 @@ pub mod campaign;
 pub mod community;
 pub mod config;
 pub mod normal;
+pub mod timeline;
 pub mod truth;
 pub mod zipf;
 
 pub use builder::{generate, generate_with_attacks, SyntheticDataset};
 pub use config::{AttackConfig, DatasetConfig};
+pub use timeline::{
+    build_timeline, CampaignSpec, CampaignWindow, FlashSaleSpec, ScenarioConfig, Tick, TimedBatch,
+    TimedRecord, Timeline,
+};
 pub use truth::{GroundTruth, InjectedGroup};
 
 /// Commonly used generator types.
@@ -46,5 +54,9 @@ pub mod prelude {
     pub use crate::builder::{generate, generate_with_attacks, SyntheticDataset};
     pub use crate::campaign::{simulate_campaign, CampaignConfig, CampaignDay, CampaignTimeline};
     pub use crate::config::{AttackConfig, DatasetConfig};
+    pub use crate::timeline::{
+        build_timeline, CampaignSpec, CampaignWindow, FlashSaleSpec, ScenarioConfig, Tick,
+        TimedBatch, TimedRecord, Timeline,
+    };
     pub use crate::truth::{GroundTruth, InjectedGroup};
 }

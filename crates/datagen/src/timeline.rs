@@ -1,0 +1,783 @@
+//! Temporal scenario engine: timestamped click generation (ROADMAP item 4).
+//!
+//! Real fake-click campaigns are *time* phenomena — the paper's Section VII
+//! case study is a day-by-day narrative of a ramp, a launch, and a cleaning
+//! day — but the base generator emits an unordered click multiset. This
+//! module assigns a timestamp (an abstract [`Tick`]) to every click and
+//! slices the stream into sequence-numbered batches:
+//!
+//! * **organic traffic** follows a diurnal cycle (a sinusoidal weight over
+//!   the time of day) over the whole horizon;
+//! * **flash sales** add short spikes of extra organic clicks on the
+//!   popularity head;
+//! * **attack campaigns** plant one Ride-Item's-Coattails group each
+//!   ([`crate::attack::plan_attacks`]) and spread its clicks over a
+//!   start/ramp/stop window, split into unit clicks so an edge accumulates
+//!   weight *gradually* — a slow drip, not a single lump. Worker-account
+//!   **churn** partitions the group's workers into cohorts active in
+//!   consecutive sub-intervals of the campaign, the way crowd tasks rotate
+//!   through accounts.
+//!
+//! Everything is deterministic from [`ScenarioConfig::seed`]: the same
+//! config yields byte-identical [`Timeline`]s. The per-slot ramp weighting
+//! is the same [`RampSchedule`] the Fig 10 runner
+//! ([`crate::campaign::simulate_campaign`]) uses for its day loop, so the
+//! ramp logic exists once.
+
+use crate::attack::{plan_attacks, IdAllocator};
+use crate::builder::generate;
+use crate::config::{AttackConfig, DatasetConfig};
+use crate::truth::GroundTruth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ricd_graph::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Simulation clock unit. Ticks are abstract — presets use 100 ticks per
+/// batch and 400 per "day", but nothing in the engine assigns them a
+/// wall-clock meaning.
+pub type Tick = u64;
+
+/// A click record with an event timestamp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedRecord {
+    /// Clicking user.
+    pub user: UserId,
+    /// Clicked item.
+    pub item: ItemId,
+    /// Click count delivered at this instant.
+    pub clicks: u32,
+    /// Event time.
+    pub ts: Tick,
+}
+
+impl TimedRecord {
+    /// The record without its timestamp (the classic batch shape).
+    pub fn untimed(&self) -> (UserId, ItemId, u32) {
+        (self.user, self.item, self.clicks)
+    }
+
+    /// The wire-tuple shape used by `Request::IngestTimed`.
+    pub fn wire(&self) -> (UserId, ItemId, u32, u64) {
+        (self.user, self.item, self.clicks, self.ts)
+    }
+}
+
+/// A weighted slot schedule: picks a slot index with probability
+/// proportional to its weight. This is the single home of the ramp-pick
+/// logic shared by the timeline engine and the Fig 10 day loop.
+///
+/// `pick` consumes exactly one `rng.gen::<f64>()` per call and resolves it
+/// with a linear scan — the Fig 10 runner's original consumption pattern,
+/// preserved so its output stays byte-stable.
+pub struct RampSchedule {
+    slots: Vec<usize>,
+    weights: Vec<f64>,
+    weight_sum: f64,
+}
+
+impl RampSchedule {
+    /// A linear ramp over `slots`: the i-th slot has weight `i + 1`, so
+    /// later slots carry proportionally more traffic.
+    pub fn linear(slots: Vec<usize>) -> Self {
+        let weights: Vec<f64> = (1..=slots.len()).map(|i| i as f64).collect();
+        Self::weighted(slots, weights)
+    }
+
+    /// An arbitrary non-negative weighting of `slots`.
+    pub fn weighted(slots: Vec<usize>, weights: Vec<f64>) -> Self {
+        assert_eq!(slots.len(), weights.len(), "one weight per slot");
+        let weight_sum: f64 = weights.iter().sum();
+        Self {
+            slots,
+            weights,
+            weight_sum,
+        }
+    }
+
+    /// True if the schedule has no slots (every `pick` would panic).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Picks a weighted slot. Consumes exactly one `f64` from `rng`.
+    pub fn pick<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen::<f64>() * self.weight_sum;
+        let mut acc = 0.0;
+        let mut slot = *self.slots.last().expect("non-empty schedule");
+        for (i, &w) in self.weights.iter().enumerate() {
+            acc += w;
+            if x <= acc {
+                slot = self.slots[i];
+                break;
+            }
+        }
+        slot
+    }
+}
+
+/// A short spike of *organic* traffic on the popularity head — a flash
+/// sale or promotion. Benign: never part of the ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlashSaleSpec {
+    /// First tick of the spike.
+    pub start: Tick,
+    /// Spike length in ticks.
+    pub duration: Tick,
+    /// Extra single-click records spread uniformly over the spike.
+    pub extra_clicks: u32,
+}
+
+/// One attack campaign on the timeline: a single planted group whose
+/// clicks drip in over `[start, stop)`, ramping up linearly during the
+/// first `ramp` ticks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// First tick with campaign traffic.
+    pub start: Tick,
+    /// Ramp-up length: traffic grows linearly over `[start, start + ramp)`
+    /// and holds steady afterwards. `0` starts at full intensity.
+    pub ramp: Tick,
+    /// Exclusive end of campaign traffic.
+    pub stop: Tick,
+    /// Worker-account churn: the group's workers are split into this many
+    /// cohorts, cohort `j` active only during the `j`-th equal sub-interval
+    /// of the campaign. `1` keeps every account active throughout.
+    pub churn_cohorts: usize,
+    /// Shape of the planted group (`num_groups` is forced to 1).
+    pub attack: AttackConfig,
+}
+
+/// A fully timestamped scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Simulation length in ticks; all traffic lands in `[0, horizon)`.
+    pub horizon: Tick,
+    /// Ticks per emitted batch (and per ramp/diurnal weighting slot).
+    pub batch_interval: Tick,
+    /// Ticks per simulated day (the diurnal period).
+    pub day_length: Tick,
+    /// Amplitude of the diurnal organic cycle in `[0, 1)`: slot weight is
+    /// `1 + amplitude · sin(2π · time_of_day)`.
+    pub diurnal_amplitude: f64,
+    /// The organic background population.
+    pub dataset: DatasetConfig,
+    /// Flash-sale spikes.
+    pub flash_sales: Vec<FlashSaleSpec>,
+    /// Attack campaigns (one planted group each).
+    pub campaigns: Vec<CampaignSpec>,
+    /// RNG seed for every timestamp assignment.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// The **burst** preset: a tiny world where one case-study-shaped
+    /// group spends its whole click budget inside two batches. The
+    /// canonical "detector must fire within a fixed batch budget" workload.
+    pub fn burst() -> Self {
+        Self {
+            horizon: 1_200,
+            batch_interval: 100,
+            day_length: 400,
+            diurnal_amplitude: 0.5,
+            dataset: DatasetConfig::tiny(),
+            flash_sales: vec![FlashSaleSpec {
+                start: 700,
+                duration: 100,
+                extra_clicks: 300,
+            }],
+            campaigns: vec![CampaignSpec {
+                start: 300,
+                ramp: 100,
+                stop: 500,
+                churn_cohorts: 1,
+                attack: Self::case_study_group(),
+            }],
+            seed: 0x5eed_0007,
+        }
+    }
+
+    /// The **slow-drip** preset: the same group stretched over sixteen
+    /// batches with two worker cohorts churning halfway through — the
+    /// detector-aware strategy from the adaptive-fraudster literature.
+    /// Each worker still delivers its full per-edge budget *within its
+    /// cohort's half* of the campaign, so a sliding window spanning one
+    /// cohort interval accumulates the evidence while unbounded history
+    /// stays unnecessary.
+    pub fn slow_drip() -> Self {
+        Self {
+            horizon: 2_400,
+            batch_interval: 100,
+            day_length: 400,
+            diurnal_amplitude: 0.5,
+            dataset: DatasetConfig::tiny(),
+            flash_sales: vec![FlashSaleSpec {
+                start: 200,
+                duration: 100,
+                extra_clicks: 200,
+            }],
+            campaigns: vec![CampaignSpec {
+                start: 400,
+                ramp: 800,
+                stop: 2_000,
+                churn_cohorts: 2,
+                attack: Self::case_study_group(),
+            }],
+            seed: 0x5eed_0008,
+        }
+    }
+
+    fn case_study_group() -> AttackConfig {
+        AttackConfig {
+            num_groups: 1,
+            workers_per_group: 25,
+            targets_per_group: 12,
+            hot_items_per_group: 2,
+            ..AttackConfig::default()
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.horizon == 0 || self.batch_interval == 0 {
+            return Err("horizon and batch_interval must be positive".into());
+        }
+        if self.batch_interval > self.horizon {
+            return Err("batch_interval exceeds the horizon".into());
+        }
+        if self.day_length == 0 {
+            return Err("day_length must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err("diurnal_amplitude must be in [0, 1)".into());
+        }
+        self.dataset.validate()?;
+        for fs in &self.flash_sales {
+            if fs.duration == 0 {
+                return Err("flash sale duration must be positive".into());
+            }
+            if fs.start + fs.duration > self.horizon {
+                return Err("flash sale extends past the horizon".into());
+            }
+        }
+        for c in &self.campaigns {
+            if c.start >= c.stop {
+                return Err("campaign window is empty".into());
+            }
+            if c.stop > self.horizon {
+                return Err("campaign extends past the horizon".into());
+            }
+            if c.ramp > c.stop - c.start {
+                return Err("campaign ramp exceeds its window".into());
+            }
+            if c.churn_cohorts == 0 {
+                return Err("churn_cohorts must be ≥ 1".into());
+            }
+            if c.attack.workers_per_group < c.churn_cohorts {
+                return Err("fewer workers than churn cohorts".into());
+            }
+            c.attack.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// One emitted batch: all records with `start ≤ ts < end`, sorted by time.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedBatch {
+    /// Batch sequence number (`0..`), the serve tier's ingest seq.
+    pub seq: u64,
+    /// Inclusive start tick of the batch's interval.
+    pub start: Tick,
+    /// Exclusive end tick.
+    pub end: Tick,
+    /// Timestamped records, sorted by `(ts, user, item)`.
+    pub records: Vec<TimedRecord>,
+}
+
+impl TimedBatch {
+    /// The batch without timestamps (the classic ingest shape).
+    pub fn untimed(&self) -> Vec<(UserId, ItemId, u32)> {
+        self.records.iter().map(TimedRecord::untimed).collect()
+    }
+
+    /// The batch in the timed wire shape.
+    pub fn wire(&self) -> Vec<(UserId, ItemId, u32, u64)> {
+        self.records.iter().map(TimedRecord::wire).collect()
+    }
+}
+
+/// A campaign's placement on the timeline, for time-to-flag evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignWindow {
+    /// Index of this campaign's group in [`Timeline::truth`].
+    pub group: usize,
+    /// First tick with campaign traffic.
+    pub start: Tick,
+    /// End of the ramp phase (`start + ramp`).
+    pub ramp_end: Tick,
+    /// Exclusive end of campaign traffic.
+    pub stop: Tick,
+}
+
+/// A generated scenario: seed-stable timestamped batches plus ground truth.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// The generating configuration.
+    pub config: ScenarioConfig,
+    /// Contiguous batches covering `[0, horizon)`. Batches with no traffic
+    /// are present (empty): they still advance the detector's clock.
+    pub batches: Vec<TimedBatch>,
+    /// Ground truth for every planted campaign group.
+    pub truth: GroundTruth,
+    /// Per-campaign placement, index-aligned with `truth.groups`.
+    pub campaigns: Vec<CampaignWindow>,
+}
+
+impl Timeline {
+    /// Total records across all batches.
+    pub fn num_records(&self) -> usize {
+        self.batches.iter().map(|b| b.records.len()).sum()
+    }
+
+    /// All records, untimed — the one-shot batch view of the scenario.
+    pub fn all_untimed(&self) -> Vec<(UserId, ItemId, u32)> {
+        self.batches
+            .iter()
+            .flat_map(|b| b.records.iter().map(TimedRecord::untimed))
+            .collect()
+    }
+}
+
+/// Linear ramp weight at tick `t` for a campaign starting at `start` with
+/// the given ramp length: grows from near 0 to 1 over the ramp, then holds.
+fn ramp_weight(t: Tick, start: Tick, ramp: Tick) -> f64 {
+    if ramp == 0 || t >= start + ramp {
+        1.0
+    } else {
+        (t.saturating_sub(start) + 1) as f64 / ramp as f64
+    }
+}
+
+/// Builds the slot schedule for an interval `[lo, hi)` of a campaign:
+/// slots overlapping the interval, weighted by the campaign's ramp profile
+/// at the slot midpoint (clipped into the interval).
+fn campaign_schedule(
+    lo: Tick,
+    hi: Tick,
+    start: Tick,
+    ramp: Tick,
+    batch_interval: Tick,
+    num_slots: usize,
+) -> RampSchedule {
+    let mut slots = Vec::new();
+    let mut weights = Vec::new();
+    for s in 0..num_slots {
+        let s_start = s as Tick * batch_interval;
+        let s_end = s_start + batch_interval;
+        if s_start < hi && s_end > lo {
+            let a = s_start.max(lo);
+            let b = s_end.min(hi);
+            let mid = a + (b - a) / 2;
+            slots.push(s);
+            // Weight by ramp intensity AND by how much of the slot the
+            // interval covers, so a sliver slot doesn't get a full share.
+            let coverage = (b - a) as f64 / batch_interval as f64;
+            weights.push(ramp_weight(mid, start, ramp) * coverage);
+        }
+    }
+    RampSchedule::weighted(slots, weights)
+}
+
+/// Draws a tick uniformly from the part of slot `s` inside `[lo, hi)`.
+fn tick_in_slot<R: Rng>(rng: &mut R, s: usize, batch_interval: Tick, lo: Tick, hi: Tick) -> Tick {
+    let s_start = (s as Tick * batch_interval).max(lo);
+    let s_end = (s as Tick * batch_interval + batch_interval).min(hi);
+    let span = s_end.saturating_sub(s_start).max(1);
+    s_start + rng.gen_range(0..span)
+}
+
+/// Generates the timeline: organic background with diurnal timestamps,
+/// flash-sale spikes, and ramped, churning attack campaigns, sliced into
+/// sequence-numbered batches. Deterministic from the config.
+pub fn build_timeline(cfg: &ScenarioConfig) -> Result<Timeline, String> {
+    cfg.validate()?;
+    let background = generate(&cfg.dataset, &AttackConfig::none())?;
+    let num_users = background.graph.num_users();
+    let num_items = background.graph.num_items();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let num_slots = cfg.horizon.div_ceil(cfg.batch_interval) as usize;
+
+    // Organic background: each aggregated edge lands whole at a
+    // diurnally-weighted instant.
+    let diurnal = RampSchedule::weighted(
+        (0..num_slots).collect(),
+        (0..num_slots)
+            .map(|s| {
+                let mid = s as Tick * cfg.batch_interval + cfg.batch_interval / 2;
+                let phase = (mid % cfg.day_length) as f64 / cfg.day_length as f64;
+                1.0 + cfg.diurnal_amplitude * (2.0 * std::f64::consts::PI * phase).sin()
+            })
+            .collect(),
+    );
+    let mut records: Vec<TimedRecord> = Vec::new();
+    for (user, item, clicks) in background.graph.edges() {
+        let slot = diurnal.pick(&mut rng);
+        let ts = tick_in_slot(&mut rng, slot, cfg.batch_interval, 0, cfg.horizon);
+        records.push(TimedRecord {
+            user,
+            item,
+            clicks,
+            ts,
+        });
+    }
+
+    // Popularity head, shared by flash sales and campaign planning.
+    let totals = background.graph.all_item_total_clicks();
+    let mut by_clicks: Vec<u32> = (0..num_items as u32).collect();
+    by_clicks.sort_unstable_by_key(|&v| std::cmp::Reverse(totals[v as usize]));
+    let max_hot = cfg
+        .campaigns
+        .iter()
+        .map(|c| c.attack.hot_items_per_group)
+        .max()
+        .unwrap_or(0);
+    let head = (by_clicks.len() / 100).max(max_hot).max(1);
+    let hot_pool: Vec<ItemId> = by_clicks[..head].iter().map(|&v| ItemId(v)).collect();
+    let ordinary_pool: Vec<ItemId> = by_clicks[head..].iter().map(|&v| ItemId(v)).collect();
+
+    // Flash sales: extra single clicks on the head, uniform over the spike.
+    for fs in &cfg.flash_sales {
+        for _ in 0..fs.extra_clicks {
+            let user = UserId(rng.gen_range(0..num_users as u32));
+            let item = hot_pool[rng.gen_range(0..hot_pool.len())];
+            let ts = fs.start + rng.gen_range(0..fs.duration);
+            records.push(TimedRecord {
+                user,
+                item,
+                clicks: 1,
+                ts,
+            });
+        }
+    }
+
+    // Campaigns: plan one group each against the shared pools, then drip
+    // its clicks over the campaign window, unit click by unit click.
+    let mut alloc = IdAllocator::new(num_users, num_items);
+    let mut truth = GroundTruth::default();
+    let mut campaigns = Vec::new();
+    for camp in &cfg.campaigns {
+        let mut attack = camp.attack.clone();
+        attack.num_groups = 1;
+        let plan = plan_attacks(
+            &attack,
+            &hot_pool,
+            &ordinary_pool,
+            num_users,
+            &mut alloc,
+            &mut rng,
+        )?;
+        let group = plan.truth.groups[0].clone();
+        let dur = camp.stop - camp.start;
+        let cohorts = camp.churn_cohorts.max(1).min(group.workers.len());
+        // Contiguous worker blocks → consecutive activity sub-intervals.
+        let worker_cohort: BTreeMap<UserId, usize> = group
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, i * cohorts / group.workers.len()))
+            .collect();
+        let intervals: Vec<(Tick, Tick)> = (0..cohorts as Tick)
+            .map(|j| {
+                (
+                    camp.start + dur * j / cohorts as Tick,
+                    camp.start + dur * (j + 1) / cohorts as Tick,
+                )
+            })
+            .collect();
+        let schedules: Vec<RampSchedule> = intervals
+            .iter()
+            .map(|&(lo, hi)| {
+                campaign_schedule(lo, hi, camp.start, camp.ramp, cfg.batch_interval, num_slots)
+            })
+            .collect();
+        let whole_schedule = campaign_schedule(
+            camp.start,
+            camp.stop,
+            camp.start,
+            camp.ramp,
+            cfg.batch_interval,
+            num_slots,
+        );
+        for &(user, item, clicks) in &plan.records {
+            let (lo, hi, sched) = match worker_cohort.get(&user) {
+                Some(&j) => (intervals[j].0, intervals[j].1, &schedules[j]),
+                // Attracted organic users and trickle traffic use the whole
+                // campaign window.
+                None => (camp.start, camp.stop, &whole_schedule),
+            };
+            for _ in 0..clicks {
+                let slot = sched.pick(&mut rng);
+                let ts = tick_in_slot(&mut rng, slot, cfg.batch_interval, lo, hi);
+                records.push(TimedRecord {
+                    user,
+                    item,
+                    clicks: 1,
+                    ts,
+                });
+            }
+        }
+        campaigns.push(CampaignWindow {
+            group: truth.groups.len(),
+            start: camp.start,
+            ramp_end: camp.start + camp.ramp,
+            stop: camp.stop,
+        });
+        truth.groups.extend(plan.truth.groups);
+    }
+
+    // Slice into contiguous batches. Sorting is total (ties broken by ids)
+    // so the batch contents are independent of generation order.
+    records.sort_unstable_by_key(|r| (r.ts, r.user.0, r.item.0, r.clicks));
+    let mut batches: Vec<TimedBatch> = (0..num_slots as u64)
+        .map(|seq| TimedBatch {
+            seq,
+            start: seq * cfg.batch_interval,
+            end: ((seq + 1) * cfg.batch_interval).min(cfg.horizon),
+            records: Vec::new(),
+        })
+        .collect();
+    for r in records {
+        let slot = (r.ts / cfg.batch_interval) as usize;
+        batches[slot.min(num_slots - 1)].records.push(r);
+    }
+
+    Ok(Timeline {
+        config: cfg.clone(),
+        batches,
+        truth,
+        campaigns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn presets_validate_and_build() {
+        for cfg in [ScenarioConfig::burst(), ScenarioConfig::slow_drip()] {
+            cfg.validate().unwrap();
+            let tl = build_timeline(&cfg).unwrap();
+            assert_eq!(tl.truth.groups.len(), 1);
+            assert_eq!(tl.campaigns.len(), 1);
+            assert!(tl.num_records() > 0);
+        }
+    }
+
+    #[test]
+    fn timeline_is_deterministic() {
+        let cfg = ScenarioConfig::burst();
+        let a = build_timeline(&cfg).unwrap();
+        let b = build_timeline(&cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_the_timeline() {
+        let a = build_timeline(&ScenarioConfig::burst()).unwrap();
+        let cfg = ScenarioConfig {
+            seed: 0xdead_beef,
+            ..ScenarioConfig::burst()
+        };
+        let b = build_timeline(&cfg).unwrap();
+        assert_ne!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn batches_partition_the_horizon() {
+        let tl = build_timeline(&ScenarioConfig::burst()).unwrap();
+        let cfg = &tl.config;
+        assert_eq!(
+            tl.batches.len() as u64,
+            cfg.horizon.div_ceil(cfg.batch_interval)
+        );
+        let mut expect_start = 0;
+        for (i, b) in tl.batches.iter().enumerate() {
+            assert_eq!(b.seq, i as u64);
+            assert_eq!(b.start, expect_start);
+            assert!(b.end > b.start);
+            expect_start = b.end;
+            for r in &b.records {
+                assert!(b.start <= r.ts && r.ts < b.end, "record outside batch");
+                assert!(r.clicks > 0);
+            }
+            for w in b.records.windows(2) {
+                assert!(w[0].ts <= w[1].ts, "batch not time-sorted");
+            }
+        }
+        assert_eq!(expect_start, cfg.horizon);
+    }
+
+    #[test]
+    fn campaign_clicks_stay_in_their_window() {
+        let tl = build_timeline(&ScenarioConfig::slow_drip()).unwrap();
+        let camp = tl.campaigns[0];
+        let workers: BTreeSet<UserId> = tl.truth.groups[camp.group]
+            .workers
+            .iter()
+            .copied()
+            .collect();
+        for b in &tl.batches {
+            for r in &b.records {
+                if workers.contains(&r.user) {
+                    assert!(
+                        camp.start <= r.ts && r.ts < camp.stop,
+                        "worker click at {} outside [{}, {})",
+                        r.ts,
+                        camp.start,
+                        camp.stop
+                    );
+                    assert_eq!(r.clicks, 1, "campaign clicks drip in as units");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_cohorts_partition_worker_activity() {
+        let tl = build_timeline(&ScenarioConfig::slow_drip()).unwrap();
+        let camp = tl.campaigns[0];
+        let mid = camp.start + (camp.stop - camp.start) / 2;
+        let workers = &tl.truth.groups[camp.group].workers;
+        // With two cohorts, every worker's clicks land entirely in one half.
+        let mut spans: BTreeMap<UserId, (Tick, Tick)> = BTreeMap::new();
+        for b in &tl.batches {
+            for r in &b.records {
+                if workers.contains(&r.user) {
+                    let e = spans.entry(r.user).or_insert((r.ts, r.ts));
+                    e.0 = e.0.min(r.ts);
+                    e.1 = e.1.max(r.ts);
+                }
+            }
+        }
+        let mut first = 0;
+        let mut second = 0;
+        for (_, (lo, hi)) in spans {
+            assert!(
+                hi < mid || lo >= mid,
+                "worker active across the churn boundary: [{lo}, {hi}] vs mid {mid}"
+            );
+            if hi < mid {
+                first += 1;
+            } else {
+                second += 1;
+            }
+        }
+        assert!(first > 0 && second > 0, "both cohorts active");
+    }
+
+    #[test]
+    fn ramp_shifts_traffic_toward_the_end() {
+        // Over the burst campaign's ramp phase, the second half of the
+        // window carries more campaign clicks than the first.
+        let tl = build_timeline(&ScenarioConfig::burst()).unwrap();
+        let camp = tl.campaigns[0];
+        let workers: BTreeSet<UserId> = tl.truth.groups[camp.group]
+            .workers
+            .iter()
+            .copied()
+            .collect();
+        let mid = camp.start + (camp.stop - camp.start) / 2;
+        let (mut early, mut late) = (0u64, 0u64);
+        for b in &tl.batches {
+            for r in &b.records {
+                if workers.contains(&r.user) {
+                    if r.ts < mid {
+                        early += 1;
+                    } else {
+                        late += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            late > early,
+            "ramp should back-load the campaign: {early} early vs {late} late"
+        );
+    }
+
+    #[test]
+    fn untimed_view_matches_wire_view() {
+        let tl = build_timeline(&ScenarioConfig::burst()).unwrap();
+        let b = tl
+            .batches
+            .iter()
+            .find(|b| !b.records.is_empty())
+            .expect("some batch has records");
+        let untimed = b.untimed();
+        let wire = b.wire();
+        assert_eq!(untimed.len(), wire.len());
+        for (u, w) in untimed.iter().zip(&wire) {
+            assert_eq!((u.0, u.1, u.2), (w.0, w.1, w.2));
+        }
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let base = ScenarioConfig::burst;
+        let bad = ScenarioConfig {
+            horizon: 0,
+            ..base()
+        };
+        assert!(bad.validate().is_err());
+        let mut bad = base();
+        bad.campaigns[0].stop = bad.horizon + 1;
+        assert!(bad.validate().is_err());
+        let mut bad = base();
+        bad.campaigns[0].churn_cohorts = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = base();
+        bad.campaigns[0].ramp = bad.campaigns[0].stop;
+        assert!(bad.validate().is_err());
+        let mut bad = base();
+        bad.flash_sales[0].start = bad.horizon;
+        assert!(bad.validate().is_err());
+        let bad = ScenarioConfig {
+            diurnal_amplitude: 1.5,
+            ..base()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tl = build_timeline(&ScenarioConfig::burst()).unwrap();
+        let s = serde_json::to_string(&tl).unwrap();
+        let tl2: Timeline = serde_json::from_str(&s).unwrap();
+        assert_eq!(tl, tl2);
+    }
+
+    #[test]
+    fn linear_schedule_matches_manual_scan() {
+        // The pick must consume exactly one f64 and resolve it the way the
+        // Fig 10 loop always did.
+        let sched = RampSchedule::linear(vec![3, 4, 5]);
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            let picked = sched.pick(&mut a);
+            let x: f64 = b.gen::<f64>() * 6.0;
+            let manual = if x <= 1.0 {
+                3
+            } else if x <= 3.0 {
+                4
+            } else {
+                5
+            };
+            assert_eq!(picked, manual);
+        }
+    }
+}

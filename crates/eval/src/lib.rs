@@ -14,13 +14,19 @@
 //!   serializable report struct that the benches and examples print.
 //! * [`report`] — text-table and JSON rendering of those reports.
 
+//! * [`temporal`] — scenario replay over the timestamped timeline:
+//!   per-campaign time-to-flag, phase-quality snapshots, and the
+//!   `stream.*` latency metrics.
+
 pub mod figures;
 pub mod methods;
 pub mod metrics;
 pub mod report;
+pub mod temporal;
 
 pub use methods::{Method, MethodConfig};
 pub use metrics::{evaluate, Evaluation};
+pub use temporal::{replay_timeline, CampaignOutcome, StreamEvalConfig, StreamReport};
 
 /// Commonly used evaluation types.
 pub mod prelude {
@@ -28,4 +34,5 @@ pub mod prelude {
     pub use crate::methods::{Method, MethodConfig};
     pub use crate::metrics::{evaluate, Evaluation};
     pub use crate::report;
+    pub use crate::temporal::{replay_timeline, StreamEvalConfig, StreamReport};
 }

@@ -124,6 +124,23 @@ impl Client {
         })
     }
 
+    /// Submits one **timestamped** batch; same backpressure contract as
+    /// [`ingest`](Client::ingest). The per-record event-time tick feeds the
+    /// server's `serve.event_ts` / `serve.timed_*` metrics.
+    pub fn ingest_timed(
+        &mut self,
+        seq: u64,
+        records: Vec<(UserId, ItemId, u32, u64)>,
+    ) -> Result<IngestOutcome, WireError> {
+        self.expect(&Request::IngestTimed { seq, records }, |resp| match resp {
+            Response::Ingested { records, .. } => Ok(IngestOutcome::Accepted { records }),
+            Response::Rejected { queue_capacity, .. } => {
+                Ok(IngestOutcome::Backpressure { queue_capacity })
+            }
+            other => Err(other),
+        })
+    }
+
     /// Submits one batch with the default [`RetryPolicy`]: capped
     /// exponential backoff with deterministic seeded jitter and an overall
     /// deadline, retrying rejected sends until accepted or the deadline

@@ -600,6 +600,22 @@ impl Router {
     pub fn handle(&self, req: Request) -> Response {
         match req {
             Request::Ingest { seq, records } => self.route_batch(seq, &records),
+            Request::IngestTimed { seq, records } => {
+                // Event time is recorded at the router's aggregate family;
+                // shards receive the stripped triples so sub-batch routing,
+                // dedup, and checkpoints are identical to untimed ingest.
+                self.agg.timed_batches.inc();
+                self.agg.timed_records.add(records.len() as u64);
+                if let Some(max_ts) = records.iter().map(|&(_, _, _, ts)| ts).max() {
+                    let ts = i64::try_from(max_ts).unwrap_or(i64::MAX);
+                    if ts > self.agg.event_ts.get() {
+                        self.agg.event_ts.set(ts);
+                    }
+                }
+                let stripped: Vec<(UserId, ItemId, u32)> =
+                    records.iter().map(|&(u, v, c, _)| (u, v, c)).collect();
+                self.route_batch(seq, &stripped)
+            }
             Request::QueryRisk { users, items } => self.query_risk(users, items),
             Request::Recommend { user, n } => self.recommend(user, n),
             Request::Metrics { count_only } => {

@@ -107,6 +107,11 @@ enum Work {
         seq: u64,
         records: Vec<(UserId, ItemId, u32)>,
     },
+    /// An accepted timestamped click batch.
+    TimedBatch {
+        seq: u64,
+        records: Vec<(UserId, ItemId, u32, u64)>,
+    },
     /// Take a checkpoint covering every batch queued before this marker and
     /// send it back.
     Checkpoint { reply: SyncSender<Checkpoint> },
@@ -323,6 +328,10 @@ fn detection_worker(mut state: ServeState, rx: Receiver<Work>) -> ServeState {
             metrics.ingest_queue_depth.add(-1);
             state.ingest(seq, &records);
         }
+        Work::TimedBatch { seq, records } => {
+            metrics.ingest_queue_depth.add(-1);
+            state.ingest_timed(seq, &records);
+        }
         Work::Checkpoint { reply } => {
             // A checkpoint is also a *view* barrier: flush first, so after
             // the reply the published snapshot covers every batch the
@@ -501,6 +510,28 @@ impl RequestSink for Shared {
             Request::Ingest { seq, records } => {
                 let queued = records.len();
                 match self.work_tx.try_send(Work::Batch { seq, records }) {
+                    Ok(()) => {
+                        self.metrics.ingest_queue_depth.add(1);
+                        Response::Ingested {
+                            seq,
+                            records: queued,
+                        }
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        self.metrics.backpressure_rejected.inc();
+                        Response::Rejected {
+                            seq,
+                            queue_capacity: self.queue_capacity,
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => Response::Error {
+                        message: "server is draining".into(),
+                    },
+                }
+            }
+            Request::IngestTimed { seq, records } => {
+                let queued = records.len();
+                match self.work_tx.try_send(Work::TimedBatch { seq, records }) {
                     Ok(()) => {
                         self.metrics.ingest_queue_depth.add(1);
                         Response::Ingested {

@@ -109,6 +109,9 @@ impl ServeSnapshot {
 pub(crate) struct ServeMetrics {
     pub batches: Counter,
     pub records: Counter,
+    pub timed_batches: Counter,
+    pub timed_records: Counter,
+    pub event_ts: Gauge,
     pub backpressure_rejected: Counter,
     pub queries_risk: Counter,
     pub queries_recommend: Counter,
@@ -132,6 +135,9 @@ impl ServeMetrics {
         Self {
             batches: registry.counter(&name("batches")),
             records: registry.counter(&name("records")),
+            timed_batches: registry.counter(&name("timed_batches")),
+            timed_records: registry.counter(&name("timed_records")),
+            event_ts: registry.gauge(&name("event_ts")),
             backpressure_rejected: registry.counter(&name("backpressure_rejected")),
             queries_risk: registry.counter(&name("queries_risk")),
             queries_recommend: registry.counter(&name("queries_recommend")),
@@ -282,6 +288,28 @@ impl ServeState {
             self.rebuild_view();
         }
         stats
+    }
+
+    /// Ingests one **timestamped** batch: records the batch's event-time
+    /// high-water mark (`<prefix>.event_ts` gauge) and the timed-ingest
+    /// counters, then feeds the stripped `(user, item, clicks)` triples
+    /// through the same path as [`ingest`](Self::ingest). Event time is
+    /// observability-only here — windowed eviction lives in
+    /// [`WindowedDetector`](ricd_core::temporal::WindowedDetector), which
+    /// the replay harness drives directly; the serve tier keeps the
+    /// cumulative-stream semantics its checkpoint format promises.
+    pub fn ingest_timed(&mut self, seq: u64, records: &[(UserId, ItemId, u32, u64)]) -> BatchStats {
+        self.metrics.timed_batches.inc();
+        self.metrics.timed_records.add(records.len() as u64);
+        if let Some(max_ts) = records.iter().map(|&(_, _, _, ts)| ts).max() {
+            let ts = i64::try_from(max_ts).unwrap_or(i64::MAX);
+            if ts > self.metrics.event_ts.get() {
+                self.metrics.event_ts.set(ts);
+            }
+        }
+        let stripped: Vec<(UserId, ItemId, u32)> =
+            records.iter().map(|&(u, v, c, _)| (u, v, c)).collect();
+        self.ingest(seq, &stripped)
     }
 
     /// Rebuilds the serving snapshot from the detector's current result and
@@ -484,6 +512,35 @@ mod tests {
             .find(|(n, _)| n == "serve.batch_nanos")
             .expect("batch latency histogram");
         assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn timed_ingest_strips_timestamps_and_tracks_event_time() {
+        let registry = MetricsRegistry::new();
+        let mut s = ServeState::new(
+            ServeConfig {
+                swap_every_batches: 1,
+                ..ServeConfig::default()
+            },
+            RicdPipeline::new(RicdParams::default())
+                .with_pool(WorkerPool::new(2))
+                .with_metrics(registry.clone()),
+        );
+        for (i, b) in attack_world().iter().enumerate() {
+            let timed: Vec<_> = b
+                .iter()
+                .map(|&(u, v, c)| (u, v, c, 100 * (i as u64 + 1)))
+                .collect();
+            s.ingest_timed(i as u64, &timed);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.timed_batches"), Some(2));
+        assert_eq!(snap.counter("serve.batches"), Some(2));
+        assert_eq!(snap.gauge("serve.event_ts"), Some(200));
+        // Detection over the stripped stream matches the untimed path.
+        let view = s.shared().load();
+        assert_eq!(view.view.groups().len(), 1);
+        assert!(view.view.user(UserId(3)).flagged);
     }
 
     #[test]

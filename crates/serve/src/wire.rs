@@ -38,6 +38,19 @@ pub enum Request {
         /// The batch's `(user, item, clicks)` records.
         records: Vec<(UserId, ItemId, u32)>,
     },
+    /// Append a **timestamped** click-record batch to the stream. Same
+    /// sequencing and dedup contract as [`Request::Ingest`]; the extra
+    /// per-record event-time tick feeds the server's event-time metrics
+    /// (`serve.event_ts`). Variants are encoded by name on the wire, so
+    /// an old server answers this with a `Malformed`-driven
+    /// [`Response::Error`] rather than misparsing it, and old clients
+    /// are untouched.
+    IngestTimed {
+        /// Batch sequence number.
+        seq: u64,
+        /// The batch's `(user, item, clicks, event-tick)` records.
+        records: Vec<(UserId, ItemId, u32, u64)>,
+    },
     /// Look up risk verdicts for users and items against the current
     /// [`RiskView`](ricd_core::riskview::RiskView) snapshot.
     QueryRisk {
@@ -266,6 +279,13 @@ mod tests {
         round_trip(Request::Ingest {
             seq: 7,
             records: vec![(UserId(1), ItemId(2), 3), (UserId(4), ItemId(5), 6)],
+        });
+        round_trip(Request::IngestTimed {
+            seq: 8,
+            records: vec![
+                (UserId(1), ItemId(2), 3, 400),
+                (UserId(4), ItemId(5), 6, 700),
+            ],
         });
         round_trip(Request::QueryRisk {
             users: vec![UserId(9)],

@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         Some("detect") => cmd_detect(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("stream") => cmd_stream(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -87,6 +88,12 @@ USAGE:
                   [--lossy] [--metrics-out <m.json>] [--metrics-count-only]
                   [--trace]
     ricd campaign [--days <N>]
+    ricd stream   [--scenario burst|slow-drip] [--seed <N>]
+                  [--window <TICKS>] [--decay <TICKS>] [--detect-every <N>]
+                  [--flag-fraction <F>] [--out <report.json>]
+                  [--k1 <N>] [--k2 <N>] [--alpha <F>]
+                  [--t-hot <N>] [--t-click <N>]
+                  [--metrics-out <m.json>] [--metrics-count-only] [--trace]
     ricd serve    [--port <N>] [--oneshot] [--resume <ckpt.json>]
                   [--queue <N>] [--swap-every <N>] [--max-connections <N>]
                   [--workers <N>] [--checkpoint-out <ckpt.json>]
@@ -160,6 +167,19 @@ SERVING:
     files plus a manifest.json commit point under --checkpoint-dir every
     --checkpoint-every accepted batches (and on `client checkpoint`);
     --resume-manifest restores the whole topology from one.
+
+STREAMING:
+    `ricd stream` replays a timestamped attack scenario through the
+    windowed streaming detector and reports per-campaign detection
+    latency: batches-to-flag, sim-ticks-to-flag, and per-phase
+    recall/precision. `--window T` keeps only clicks newer than T ticks
+    (sliding window); `--decay H` halves edge weight every H ticks;
+    with neither, the window is infinite and the final result equals a
+    one-shot batch run over the whole scenario. `--detect-every N` runs
+    detection every Nth batch; `--flag-fraction F` sets the fraction of
+    a campaign's workers that must be flagged before the campaign
+    counts as detected. `--out` writes the full report JSON;
+    `--metrics-out` captures the `stream.*` metric family.
 
 EXIT CODES:
     0  success (including degraded runs, which warn on stderr)
@@ -926,5 +946,79 @@ fn cmd_campaign(args: &[String]) -> Result<(), CliError> {
     for d in &report.cleaned {
         println!("{:>3}  {:>6}  {:>5}", d.day, d.normal_clicks, d.fake_clicks);
     }
+    Ok(())
+}
+
+fn cmd_stream(args: &[String]) -> Result<(), CliError> {
+    let flags = Flags(args);
+    let (registry, metrics_out, count_only) = metrics_flags(&flags)?;
+    // Same dangling-value guard as --metrics-out: a bare `--out` at the
+    // end of the line must not silently discard the report.
+    if flags.0.last().map(String::as_str) == Some("--out") {
+        return Err(CliError::Usage("--out requires a value".into()));
+    }
+    let scenario_name = flags.get("--scenario").unwrap_or("burst");
+    let mut scenario = match scenario_name {
+        "burst" => ScenarioConfig::burst(),
+        "slow-drip" => ScenarioConfig::slow_drip(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --scenario `{other}` (expected burst|slow-drip)"
+            )))
+        }
+    };
+    if let Some(seed) = flags.parse::<u64>("--seed")? {
+        scenario.seed = seed;
+    }
+    let mut cfg = StreamEvalConfig::new(ricd_params(&flags)?);
+    if let Some(w) = flags.parse::<u64>("--window")? {
+        cfg.window.window = Some(w);
+    }
+    if let Some(h) = flags.parse::<u64>("--decay")? {
+        cfg.window.half_life = Some(h);
+    }
+    if let Some(n) = flags.parse::<u64>("--detect-every")? {
+        cfg.window.detect_every = n;
+    }
+    if let Some(f) = flags.parse::<f64>("--flag-fraction")? {
+        cfg.flag_fraction = f;
+    }
+    cfg.validate().map_err(CliError::Usage)?;
+    let timeline = build_timeline(&scenario).map_err(CliError::Runtime)?;
+    let report = replay_timeline(&timeline, &cfg, &registry)?;
+    println!(
+        "scenario {scenario_name}: {} batches, {} records (evicted {}, late {}, peak window {})",
+        report.batches, report.records, report.evicted, report.late, report.peak_window_records
+    );
+    for c in &report.campaigns {
+        match (c.batches_to_flag, c.ticks_to_flag) {
+            (Some(b), Some(t)) => println!(
+                "campaign {}: workers {}, flagged {}, batches-to-flag {b}, ticks-to-flag {t}",
+                c.campaign, c.workers, c.flagged_workers
+            ),
+            _ => println!(
+                "campaign {}: workers {}, flagged {}, NOT FLAGGED",
+                c.campaign, c.workers, c.flagged_workers
+            ),
+        }
+        for p in &c.phases {
+            println!(
+                "  phase {:<6} @batch {:>3}: worker-recall {:.2}, precision {:.2}",
+                p.phase, p.at_batch, p.worker_recall, p.precision
+            );
+        }
+    }
+    println!(
+        "final: precision {:.3} recall {:.3} f1 {:.3}",
+        report.final_precision, report.final_recall, report.final_f1
+    );
+    if let Some(path) = flags.get("--out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        let mut f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+        f.write_all(b"\n").map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    write_snapshot(&registry, metrics_out, count_only)?;
     Ok(())
 }

@@ -403,3 +403,96 @@ fn detect_accepts_custom_parameters() {
     assert!(!out.status.success());
     let _ = std::fs::remove_file(clicks);
 }
+
+#[test]
+fn stream_replay_round_trip_writes_report_and_metrics() {
+    let report = tmp("stream-report.json");
+    let metrics = tmp("stream-metrics.json");
+    let out = ricd()
+        .args([
+            "stream",
+            "--scenario",
+            "burst",
+            "--out",
+            report.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--metrics-count-only",
+        ])
+        .output()
+        .expect("ricd stream runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("batches-to-flag"), "{text}");
+    assert!(text.contains("final: precision"), "{text}");
+
+    // The report round-trips as JSON with per-campaign latency numbers.
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&report).unwrap()).unwrap();
+    let campaigns = json["campaigns"].as_array().unwrap();
+    assert!(!campaigns.is_empty());
+    assert!(campaigns[0]["batches_to_flag"].as_u64().is_some());
+    assert!(campaigns[0]["ticks_to_flag"].as_u64().is_some());
+
+    // The metrics snapshot carries the stream.* family.
+    let snap = std::fs::read_to_string(&metrics).unwrap();
+    assert!(snap.contains("stream.detects"), "{snap}");
+    assert!(snap.contains("stream.time_to_flag_batches"), "{snap}");
+
+    // Windowed replay over the slow drip also flags (the acceptance gate).
+    let out = ricd()
+        .args(["stream", "--scenario", "slow-drip", "--window", "1000"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("batches-to-flag"), "{text}");
+    assert!(!text.contains("NOT FLAGGED"), "{text}");
+
+    let _ = std::fs::remove_file(report);
+    let _ = std::fs::remove_file(metrics);
+}
+
+#[test]
+fn stream_flag_validation_exits_2() {
+    // Unknown scenario.
+    let out = ricd()
+        .args(["stream", "--scenario", "bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --scenario"));
+
+    // Zero-width window rejected by WindowConfig validation.
+    let out = ricd().args(["stream", "--window", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Flag fraction outside (0, 1].
+    let out = ricd()
+        .args(["stream", "--flag-fraction", "1.5"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Dangling value flag must not silently drop the report.
+    let out = ricd().args(["stream", "--out"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stream_unwritable_output_exits_1() {
+    let out = ricd()
+        .args(["stream", "--out", "/nonexistent-dir/report.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}

@@ -82,8 +82,47 @@ fn serve_snapshot_json() -> String {
     // An at-least-once redelivery: dropped, counted, and invisible to the
     // view gauges.
     state.ingest(0, batches[0]);
+    // One timestamped batch through the timed-ingest path: exercises the
+    // serve.timed_* counters and the event-time high-water gauge.
+    let timed: Vec<_> = batches[0]
+        .iter()
+        .map(|&(u, v, c)| (u, v, c, 1_000u64))
+        .collect();
+    state.ingest_timed(batches.len() as u64, &timed);
     state.flush();
     let _ = state.checkpoint();
+
+    let snap = registry.snapshot().count_only();
+    let mut json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
+    json.push('\n');
+    json
+}
+
+const STREAM_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/data/metrics_stream_golden.json"
+);
+
+/// One deterministic scenario replay through the windowed streaming
+/// detector: the burst preset under a sliding window plus decay, with the
+/// pool pinned at 4 workers, pinning the full `stream.*` family the
+/// temporal subsystem emits — window gauges, eviction counters, the
+/// detect cadence, and the time-to-flag histogram.
+fn stream_snapshot_json() -> String {
+    use fake_click_detection::core::temporal::WindowConfig;
+    use fake_click_detection::eval::temporal::{replay_timeline, StreamEvalConfig};
+
+    let timeline = build_timeline(&ScenarioConfig::burst()).expect("burst scenario builds");
+    let (registry, _clock) = MetricsRegistry::deterministic();
+    let mut cfg = StreamEvalConfig::new(RicdParams::default());
+    cfg.window = WindowConfig {
+        window: Some(600),
+        half_life: Some(400),
+        detect_every: 2,
+    };
+    cfg.workers = Some(4);
+    let report = replay_timeline(&timeline, &cfg, &registry).expect("replay completes");
+    assert!(report.batches > 0);
 
     let snap = registry.snapshot().count_only();
     let mut json = serde_json::to_string_pretty(&snap).expect("snapshot serializes");
@@ -127,6 +166,24 @@ fn serve_count_mode_snapshot_matches_golden_file() {
 }
 
 #[test]
+fn stream_count_mode_snapshot_matches_golden_file() {
+    let json = stream_snapshot_json();
+    // The temporal subsystem's own instrumentation must be present before
+    // pinning.
+    for name in [
+        "stream.batches_ingested",
+        "stream.evicted_records",
+        "stream.detects",
+        "stream.detect_skipped",
+        "stream.window_records",
+        "stream.time_to_flag_batches",
+    ] {
+        assert!(json.contains(name), "snapshot lost {name}:\n{json}");
+    }
+    assert_matches_golden(&json, STREAM_GOLDEN_PATH);
+}
+
+#[test]
 fn repeat_runs_are_byte_identical() {
     assert_eq!(
         golden_snapshot_json(),
@@ -137,5 +194,10 @@ fn repeat_runs_are_byte_identical() {
         serve_snapshot_json(),
         serve_snapshot_json(),
         "two identical deterministic serving runs must serialize identically"
+    );
+    assert_eq!(
+        stream_snapshot_json(),
+        stream_snapshot_json(),
+        "two identical deterministic stream replays must serialize identically"
     );
 }

@@ -1,0 +1,172 @@
+//! Differential properties of the windowed streaming detector.
+//!
+//! The load-bearing equivalence: with an **infinite window and no decay**,
+//! streaming a timeline's records through [`WindowedDetector`] — in *any*
+//! batch chunking and *any* record order — must produce exactly the
+//! one-shot batch result over the cumulative graph: identical flagged
+//! sets AND identical risk scores. That is what makes the windowed mode a
+//! strict generalization of offline detection rather than a sibling with
+//! drift.
+//!
+//! Plus the recovery property: a checkpoint taken mid-stream, restored
+//! into a fresh detector and fed the remaining batches, must land on the
+//! exact same result as the uninterrupted run.
+
+use fake_click_detection::core::temporal::TimedClick;
+use fake_click_detection::prelude::*;
+use proptest::prelude::*;
+
+/// Randomized-but-valid temporal scenarios, derived from the burst preset
+/// so detectability is guaranteed while timings, churn, and seeds vary.
+fn scenarios() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        0u64..1_000,   // seed
+        200u64..400,   // campaign start
+        50u64..200,    // ramp length
+        1usize..3,     // churn cohorts
+        any::<bool>(), // flash sale overlaps the campaign or not
+    )
+        .prop_map(|(seed, start, ramp, cohorts, overlap)| {
+            let mut cfg = ScenarioConfig::burst();
+            cfg.seed = 0xfeed_0000 ^ seed;
+            let c = &mut cfg.campaigns[0];
+            c.start = start;
+            c.ramp = ramp;
+            c.stop = (start + ramp + 200).min(cfg.horizon);
+            c.churn_cohorts = cohorts;
+            cfg.flash_sales[0].start = if overlap { start } else { 700 };
+            cfg
+        })
+}
+
+/// Deterministic xorshift shuffle (proptest drives the seed).
+fn shuffle<T>(v: &mut [T], mut state: u64) {
+    state |= 1;
+    for i in (1..v.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        v.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+}
+
+/// Re-chunks `records` into batches of pseudo-random sizes.
+fn rechunk(records: &[TimedClick], mut state: u64) -> Vec<Vec<TimedClick>> {
+    state |= 1;
+    let mut out = Vec::new();
+    let mut rest = records;
+    while !rest.is_empty() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let n = 1 + (state % 700) as usize;
+        let (head, tail) = rest.split_at(n.min(rest.len()));
+        out.push(head.to_vec());
+        rest = tail;
+    }
+    out
+}
+
+/// The one-shot batch result over the timeline's cumulative graph.
+fn one_shot(tl: &Timeline) -> DetectionResult {
+    let mut b = GraphBuilder::new();
+    b.extend(tl.all_untimed());
+    RicdPipeline::new(RicdParams::default()).run(&b.build())
+}
+
+/// An infinite-window detector that only detects on demand, so each
+/// property costs one pipeline run, not one per batch.
+fn lazy_detector() -> WindowedDetector {
+    WindowedDetector::new(
+        RicdPipeline::new(RicdParams::default()),
+        WindowConfig {
+            detect_every: u64::MAX,
+            ..WindowConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Infinite-window streaming over an arbitrarily shuffled, arbitrarily
+    /// re-chunked record stream equals one-shot batch detection exactly:
+    /// flagged sets and risk scores.
+    #[test]
+    fn infinite_window_stream_equals_one_shot(
+        cfg in scenarios(),
+        shuffle_seed in any::<u64>(),
+        chunk_seed in any::<u64>(),
+    ) {
+        let tl = build_timeline(&cfg).unwrap();
+        let batch = one_shot(&tl);
+
+        let mut records: Vec<TimedClick> = tl
+            .batches
+            .iter()
+            .flat_map(|b| b.records.iter().map(|r| r.wire()))
+            .collect();
+        shuffle(&mut records, shuffle_seed);
+
+        let mut det = lazy_detector();
+        for (seq, chunk) in rechunk(&records, chunk_seed).iter().enumerate() {
+            det.ingest_batch(seq as u64, chunk);
+        }
+        let streamed = det.result().clone();
+
+        prop_assert_eq!(streamed.suspicious_users(), batch.suspicious_users());
+        prop_assert_eq!(streamed.suspicious_items(), batch.suspicious_items());
+        prop_assert_eq!(&streamed.ranked_users, &batch.ranked_users);
+        prop_assert_eq!(&streamed.ranked_items, &batch.ranked_items);
+        prop_assert_eq!(&streamed.groups, &batch.groups);
+    }
+
+    /// A checkpoint taken mid-stream and resumed into a fresh detector
+    /// converges on the uninterrupted run's exact result — same flagged
+    /// sets, same scores, same window bookkeeping.
+    #[test]
+    fn checkpoint_resume_mid_window_is_exact(
+        cfg in scenarios(),
+        cut_frac in 0.1f64..0.9,
+    ) {
+        let tl = build_timeline(&cfg).unwrap();
+        let chunks: Vec<Vec<TimedClick>> = tl
+            .batches
+            .iter()
+            .map(|b| b.records.iter().map(|r| r.wire()).collect())
+            .collect();
+        let cut = ((chunks.len() as f64 * cut_frac) as usize).clamp(1, chunks.len() - 1);
+
+        let mut uncut = lazy_detector();
+        let mut first = lazy_detector();
+        for (seq, chunk) in chunks.iter().enumerate() {
+            uncut.ingest_batch(seq as u64, chunk);
+            if seq < cut {
+                first.ingest_batch(seq as u64, chunk);
+            }
+        }
+        let ckpt = first.checkpoint();
+        let mut resumed = WindowedDetector::restore(
+            RicdPipeline::new(RicdParams::default()),
+            WindowConfig {
+                detect_every: u64::MAX,
+                ..WindowConfig::default()
+            },
+            ckpt,
+        )
+        .unwrap();
+        for (seq, chunk) in chunks.iter().enumerate().skip(cut) {
+            resumed.ingest_batch(seq as u64, chunk);
+        }
+
+        prop_assert_eq!(resumed.next_seq(), uncut.next_seq());
+        prop_assert_eq!(resumed.now(), uncut.now());
+        prop_assert_eq!(resumed.window_records(), uncut.window_records());
+        let a = resumed.result().clone();
+        let b = uncut.result().clone();
+        prop_assert_eq!(&a.groups, &b.groups);
+        prop_assert_eq!(&a.ranked_users, &b.ranked_users);
+        prop_assert_eq!(&a.ranked_items, &b.ranked_items);
+    }
+}
