@@ -1,0 +1,101 @@
+//! No-criterion adversarial-matrix bench: the adaptive-attacker artifact.
+//!
+//! Runs the full strategy × budget matrix from `ricd-eval::adversarial`
+//! (every detector-aware strategy in `ricd-datagen::adversary`, with the
+//! Module-3 feedback loop re-tuning thresholds between rounds) and writes
+//! the report to `BENCH_adversarial.json`.
+//!
+//! Acceptance gates (the ISSUE's criteria, enforced on every CI run):
+//!
+//! * the library ships ≥ 4 detector-aware strategies;
+//! * the fixed paper-optimal strategy stays at seed-level recall (≥ 0.8)
+//!   at round 0 in every budget column;
+//! * at least one adaptive strategy drops round-0 recall below 0.8 AND
+//!   the feedback loop recovers ≥ 0.15 absolute recall within 3 rounds;
+//! * no cell ever spends more clicks than its budget column grants;
+//! * the report is deterministic — a re-run of a reduced matrix
+//!   serializes byte-identically.
+//!
+//! The JSON artifact itself contains no timings or host-dependent fields,
+//! so successive CI runs diff clean; wall time goes to stderr only.
+
+use ricd_eval::adversarial::{run_adversarial, AdversarialConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = AdversarialConfig::tiny(0x5eed_0010);
+    let t = Instant::now();
+    let report = run_adversarial(&cfg).expect("matrix completes");
+    eprintln!(
+        "adversarial matrix: {} cells in {:.0}ms",
+        report.cells.len(),
+        t.elapsed().as_secs_f64() * 1e3
+    );
+    for c in &report.cells {
+        eprintln!(
+            "{:<18} budget {:>6}: r0 {:.3} final {:.3} recovery {:+.3} rounds {} converged {}",
+            c.strategy,
+            c.budget,
+            c.round0_recall,
+            c.final_recall,
+            c.recovery,
+            c.rounds.len(),
+            c.converged
+        );
+    }
+
+    assert!(
+        report.strategies.len() >= 4,
+        "strategy library shrank: {:?}",
+        report.strategies
+    );
+    for c in &report.cells {
+        assert!(
+            c.injected_clicks <= c.budget,
+            "{} overspent its budget: {c:?}",
+            c.strategy
+        );
+    }
+    for &budget in &report.budgets {
+        let fixed = report
+            .cell("paper_optimal", budget)
+            .expect("fixed strategy present in every column");
+        assert!(
+            fixed.round0_recall >= 0.8,
+            "paper-optimal cell lost seed-level recall: {fixed:?}"
+        );
+    }
+    let recovered = report
+        .cells
+        .iter()
+        .find(|c| c.round0_recall < 0.8 && c.recovery >= 0.15 && c.rounds.len() <= 4);
+    assert!(
+        recovered.is_some(),
+        "no strategy broke the boundary and was recovered by feedback: {:?}",
+        report
+            .cells
+            .iter()
+            .map(|c| (c.strategy.as_str(), c.budget, c.round0_recall, c.recovery))
+            .collect::<Vec<_>>()
+    );
+
+    // Determinism gate on a reduced matrix (full re-run would double the
+    // bench; one column is enough to catch an unseeded draw).
+    let reduced = AdversarialConfig {
+        budgets: vec![6_000],
+        ..AdversarialConfig::tiny(0x5eed_0010)
+    };
+    let a =
+        serde_json::to_string(&run_adversarial(&reduced).expect("reduced run")).expect("serialize");
+    let b = serde_json::to_string(&run_adversarial(&reduced).expect("reduced rerun"))
+        .expect("serialize");
+    assert_eq!(a, b, "adversarial matrix must be deterministic");
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write("BENCH_adversarial.json", format!("{json}\n"))
+        .expect("write BENCH_adversarial.json");
+    eprintln!(
+        "wrote BENCH_adversarial.json ({} cells)",
+        report.cells.len()
+    );
+}

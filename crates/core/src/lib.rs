@@ -56,7 +56,7 @@ pub mod thresholds;
 
 pub use budget::{BudgetClock, RunBudget};
 pub use kernel::{KernelSelection, KernelTally};
-pub use params::{KernelPolicy, RicdParams, ScreeningMode};
+pub use params::{KernelPolicy, ParamsMode, RicdParams, ScreeningMode};
 pub use pipeline::RicdPipeline;
 pub use result::{DetectionResult, RunStatus, SuspiciousGroup};
 pub use riskview::{RiskVerdict, RiskView};
@@ -64,6 +64,7 @@ pub use shard_run::{detect_groups_sharded, ShardAbort, ShardConfig};
 pub use temporal::{
     TimedClick, WindowBatchStats, WindowCheckpoint, WindowConfig, WindowedDetector,
 };
+pub use thresholds::{params_for_mode, FeedbackTuner};
 
 /// Commonly used framework types.
 pub mod prelude {
@@ -72,11 +73,11 @@ pub mod prelude {
     pub use crate::incremental::{BatchStats, Checkpoint, StreamingDetector};
     pub use crate::kernel::KernelSelection;
     pub use crate::naive::{naive_detect, NaiveParams};
-    pub use crate::params::{RicdParams, ScreeningMode};
+    pub use crate::params::{ParamsMode, RicdParams, ScreeningMode};
     pub use crate::pipeline::RicdPipeline;
     pub use crate::result::{DetectionResult, RunStatus, SuspiciousGroup};
     pub use crate::riskview::{RiskVerdict, RiskView};
     pub use crate::shard_run::ShardConfig;
     pub use crate::temporal::{WindowCheckpoint, WindowConfig, WindowedDetector};
-    pub use crate::thresholds::{derive_t_click, derive_t_hot};
+    pub use crate::thresholds::{derive_t_click, derive_t_hot, params_for_mode, FeedbackTuner};
 }

@@ -15,6 +15,41 @@ pub enum ScreeningMode {
     Full,
 }
 
+/// How the run's thresholds are chosen: the paper's published operating
+/// point, or `T_hot`/`T_click` derived from the observed data
+/// ([`crate::thresholds::params_for_mode`]). Exposed on the stream and
+/// adversarial CLI paths so the derived thresholds are exercisable — with
+/// the documented caveat that on tiny synthetic worlds the derived `T_hot`
+/// marks the attack targets themselves hot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamsMode {
+    /// The paper's Section VI-B operating point ([`RicdParams::default`]).
+    #[default]
+    Default,
+    /// `T_hot` from the Pareto rule and `T_click` from Eq 4, derived from
+    /// the graph under detection; structural parameters stay at defaults.
+    Derived,
+}
+
+impl ParamsMode {
+    /// Parses the CLI spelling (`default` | `derived`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "default" => Ok(Self::Default),
+            "derived" => Ok(Self::Derived),
+            other => Err(format!("unknown params mode '{other}' (default|derived)")),
+        }
+    }
+
+    /// The CLI spelling, for report fields.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Default => "default",
+            Self::Derived => "derived",
+        }
+    }
+}
+
 /// All tunables of the RICD pipeline, with the paper's defaults
 /// (Section VI-B: `k₁ = 10, k₂ = 10, α = 1.0, T_hot = 1,000, T_click = 12`).
 ///

@@ -1,7 +1,10 @@
-//! Threshold derivation (Section IV-A, steps 1–2).
+//! Threshold derivation (Section IV-A, steps 1–2) and the Module-3
+//! threshold feedback seam.
 
+use crate::params::{ParamsMode, RicdParams};
 use ricd_graph::stats;
 use ricd_graph::BipartiteGraph;
+use serde::{Deserialize, Serialize};
 
 /// Derives `T_hot` from the data by the Pareto rule: rank items by total
 /// clicks and take the click count of the last item inside the top-`share`
@@ -49,6 +52,102 @@ pub fn derive_thresholds(g: &BipartiteGraph, pareto_share: f64) -> (u64, u32) {
     (t_hot, t_click)
 }
 
+/// Resolves a [`ParamsMode`] against the graph under detection: `Default`
+/// is the paper's operating point; `Derived` replaces `T_hot`/`T_click`
+/// with [`derive_thresholds`] (Pareto share 0.8) and keeps the structural
+/// parameters at their defaults.
+pub fn params_for_mode(mode: ParamsMode, g: &BipartiteGraph) -> RicdParams {
+    match mode {
+        ParamsMode::Default => RicdParams::default(),
+        ParamsMode::Derived => {
+            let (t_hot, t_click) = derive_thresholds(g, 0.8);
+            RicdParams {
+                t_hot,
+                t_click: t_click.max(1),
+                ..RicdParams::default()
+            }
+        }
+    }
+}
+
+/// The Module-3 threshold feedback seam (paper Fig 7, generalized for the
+/// adversarial lab): when a round flags fewer nodes than the analyst's
+/// expectation, every recall gate relaxes one monotone step — `T_click`
+/// down toward its floor, `k₁`/`k₂` down toward the group-size floor, `α`
+/// down toward its floor, and `T_hot` *up* toward its cap (a higher hot
+/// bar means fewer items are excused as hot, defeating hot-item mimicry).
+///
+/// Each knob only ever moves in one direction, so a tuning trajectory can
+/// never oscillate; once the flagged count meets `target_flagged` (or every
+/// knob is at its bound) [`FeedbackTuner::observe`] returns `None` and the
+/// parameters are frozen. The existing [`crate::identify::FeedbackLoop`]
+/// stays the paper-faithful Fig 7 driver; this tuner is the per-round seam
+/// the adversarial matrix records.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeedbackTuner {
+    /// Minimum flagged nodes (users + items) for a round to count as
+    /// converged — the analyst's expectation `T`.
+    pub target_flagged: usize,
+    /// `T_click` decrement per round.
+    pub t_click_step: u32,
+    /// `T_click` never relaxes below this.
+    pub t_click_floor: u32,
+    /// `k₁`/`k₂` never relax below this.
+    pub k_floor: usize,
+    /// `α` decrement per round.
+    pub alpha_step: f64,
+    /// `α` never relaxes below this.
+    pub alpha_floor: f64,
+    /// `T_hot` multiplier per round.
+    pub t_hot_factor: u64,
+    /// `T_hot` never escalates above this.
+    pub t_hot_cap: u64,
+}
+
+impl Default for FeedbackTuner {
+    fn default() -> Self {
+        Self {
+            target_flagged: 15,
+            t_click_step: 3,
+            t_click_floor: 4,
+            k_floor: 4,
+            alpha_step: 0.1,
+            alpha_floor: 0.7,
+            t_hot_factor: 2,
+            t_hot_cap: 8_000,
+        }
+    }
+}
+
+impl FeedbackTuner {
+    /// One feedback step: given the parameters a round ran with and how
+    /// many nodes it flagged, returns the relaxed parameters for the next
+    /// round — or `None` if the round converged (enough flagged) or every
+    /// knob is already at its bound.
+    pub fn observe(&self, params: &RicdParams, flagged_nodes: usize) -> Option<RicdParams> {
+        if flagged_nodes >= self.target_flagged {
+            return None;
+        }
+        let mut p = *params;
+        p.t_click = p
+            .t_click
+            .saturating_sub(self.t_click_step)
+            .max(self.t_click_floor)
+            .min(p.t_click);
+        p.k1 = p.k1.saturating_sub(1).max(self.k_floor).min(p.k1);
+        p.k2 = p.k2.saturating_sub(1).max(self.k_floor).min(p.k2);
+        if p.alpha - self.alpha_step >= self.alpha_floor - 1e-9 {
+            p.alpha = ((p.alpha - self.alpha_step) * 10.0).round() / 10.0;
+        }
+        p.t_hot = p
+            .t_hot
+            .saturating_mul(self.t_hot_factor)
+            .min(self.t_hot_cap)
+            .max(p.t_hot);
+        (p != *params).then_some(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +189,80 @@ mod tests {
         let (t_hot, t_click) = derive_thresholds(&g, 0.8);
         assert_eq!(t_hot, 0);
         assert_eq!(t_click, u32::MAX, "no users → nothing is abnormal");
+    }
+
+    #[test]
+    fn params_mode_resolution() {
+        let mut b = GraphBuilder::new();
+        for u in 0..10 {
+            b.add_click(UserId(u), ItemId(0), 100);
+        }
+        for v in 1..20 {
+            b.add_click(UserId(0), ItemId(v), 10);
+        }
+        let g = b.build();
+        assert_eq!(
+            params_for_mode(ParamsMode::Default, &g),
+            RicdParams::default()
+        );
+        let derived = params_for_mode(ParamsMode::Derived, &g);
+        assert_eq!(derived.t_hot, 1_000, "Pareto head of the skewed graph");
+        assert_ne!(derived.t_click, 0);
+        assert_eq!(derived.k1, RicdParams::default().k1, "structure untouched");
+        assert_eq!(ParamsMode::parse("derived"), Ok(ParamsMode::Derived));
+        assert!(ParamsMode::parse("banana").is_err());
+    }
+
+    #[test]
+    fn tuner_stops_when_expectation_met() {
+        let t = FeedbackTuner::default();
+        assert_eq!(t.observe(&RicdParams::default(), t.target_flagged), None);
+        assert_eq!(t.observe(&RicdParams::default(), 1_000), None);
+    }
+
+    #[test]
+    fn tuner_relaxes_every_gate_monotonically() {
+        let t = FeedbackTuner::default();
+        let mut p = RicdParams::default();
+        let mut rounds = 0;
+        while let Some(next) = t.observe(&p, 0) {
+            assert!(next.t_click <= p.t_click);
+            assert!(next.k1 <= p.k1 && next.k2 <= p.k2);
+            assert!(next.alpha <= p.alpha + 1e-12);
+            assert!(next.t_hot >= p.t_hot);
+            next.validate().unwrap();
+            p = next;
+            rounds += 1;
+            assert!(rounds < 32, "tuning must reach its bounds");
+        }
+        assert_eq!(p.t_click, t.t_click_floor);
+        assert_eq!(p.k1, t.k_floor);
+        assert!((p.alpha - t.alpha_floor).abs() < 1e-9);
+        assert_eq!(p.t_hot, t.t_hot_cap);
+        // Paper defaults: T_click (12→9→6→4), alpha, and T_hot (×2 to the
+        // 8k cap) all reach their bounds by round 3; only k keeps walking.
+        let mut q = RicdParams::default();
+        for _ in 0..3 {
+            q = t.observe(&q, 0).unwrap();
+        }
+        assert_eq!(q.t_click, t.t_click_floor);
+        assert_eq!(q.t_hot, t.t_hot_cap);
+        assert!((q.alpha - t.alpha_floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tuner_respects_preexisting_bounds() {
+        let t = FeedbackTuner::default();
+        // Derived params can start beyond the tuner's bounds; they stay put.
+        let odd = RicdParams {
+            t_click: 2,
+            t_hot: 50_000,
+            ..RicdParams::default()
+        };
+        let next = t.observe(&odd, 0).unwrap();
+        assert_eq!(next.t_click, 2, "below the floor already");
+        assert_eq!(next.t_hot, 50_000, "above the cap already");
+        assert_eq!(next.k1, 9, "k still relaxes");
     }
 
     #[test]

@@ -1,0 +1,733 @@
+//! Detector-aware attacker strategies (ROADMAP item 2).
+//!
+//! The base [`crate::attack`] planner implements the paper's single optimal
+//! strategy. The adaptive-fraudster literature (see PAPERS.md: poisoning
+//! attacks on graph recommenders, RecAD's attack/defense library) models
+//! attackers who *know the detector's operating point* and shape their
+//! campaigns against it. This module makes that attacker pluggable: an
+//! [`AttackerStrategy`] receives the organic world, the detector's published
+//! thresholds ([`DetectorProfile`]) and a click [`AttackBudget`], and returns
+//! a timestamped click plan plus exact ground truth.
+//!
+//! Every strategy obeys two contracts, property-tested in
+//! `crates/datagen/tests/proptest_attack.rs`:
+//!
+//! * **seed-stable** — the same `StdRng` seed yields a byte-identical plan;
+//! * **budget-sound** — the total injected clicks never exceed the budget,
+//!   for any group split ([`clamp_to_budget`] is the hard backstop; the
+//!   strategies additionally only plant whole groups they can afford).
+//!
+//! The shipped strategies:
+//!
+//! * [`PaperOptimal`] — the paper's Section IV-A optimum, as the fixed
+//!   reference cell of the adversarial matrix;
+//! * [`CamouflageSweep`] — divert a ratio of each worker's target budget
+//!   into single-click camouflage so no edge reaches `T_click`;
+//! * [`BudgetSplit`] — many small groups sized one below the `(k₁, k₂)`
+//!   floor, so CorePruning removes every target before a group forms;
+//! * [`HotItemMimicry`] — pump the fresh targets past `T_hot` with diffuse
+//!   organic-looking singles, so the targets are misclassified as hot items
+//!   and the workers never show a heavy click on an *ordinary* item;
+//! * [`SlowDrip`] — the full per-edge budget split into unit clicks and
+//!   dripped flat over the horizon through the PR-9 [`RampSchedule`]
+//!   machinery, so no sliding window ever accumulates `T_click` on one edge.
+
+use crate::attack::IdAllocator;
+use crate::timeline::{RampSchedule, Tick, TimedRecord};
+use crate::truth::{GroundTruth, InjectedGroup};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ricd_graph::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// What the attacker can see of the organic world.
+#[derive(Clone, Debug)]
+pub struct WorldView {
+    /// Number of organic user accounts (ids `0..organic_users`).
+    pub organic_users: usize,
+    /// Number of organic catalog items (ids `0..organic_items`).
+    pub organic_items: usize,
+    /// The popularity head — items eligible to be ridden.
+    pub hot_pool: Vec<ItemId>,
+    /// The catalog tail — items eligible as camouflage clicks.
+    pub ordinary_pool: Vec<ItemId>,
+    /// Simulation horizon in ticks; all timestamps land in `[0, horizon)`.
+    pub horizon: Tick,
+}
+
+/// The detector operating point the attacker adapts to — a plain-number
+/// mirror of `ricd_core::RicdParams` (datagen deliberately does not depend
+/// on the core crate; the eval driver translates).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectorProfile {
+    /// Minimum users in an extracted structure (`k₁`).
+    pub k1: usize,
+    /// Minimum items in an extracted structure (`k₂`).
+    pub k2: usize,
+    /// Extension tolerance `α`.
+    pub alpha: f64,
+    /// Hot-item threshold on total item clicks (`T_hot`).
+    pub t_hot: u64,
+    /// Abnormal-click threshold on a single edge (`T_click`).
+    pub t_click: u32,
+}
+
+impl Default for DetectorProfile {
+    /// The paper's published operating point (Section VI-B).
+    fn default() -> Self {
+        Self {
+            k1: 10,
+            k2: 10,
+            alpha: 1.0,
+            t_hot: 1_000,
+            t_click: 12,
+        }
+    }
+}
+
+/// The attacker's total click budget — every injected click (target hits,
+/// hot rides, camouflage, and mimicry pumping alike) is paid from it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackBudget {
+    /// Maximum total clicks across all injected records.
+    pub clicks: u64,
+}
+
+/// A planned adversarial campaign: timestamped clicks plus ground truth.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdversarialPlan {
+    /// Timestamped fake click records.
+    pub records: Vec<TimedRecord>,
+    /// Who did what (workers and targets per group).
+    pub truth: GroundTruth,
+}
+
+impl AdversarialPlan {
+    /// Total clicks across all records — the budget actually spent.
+    pub fn total_clicks(&self) -> u64 {
+        self.records.iter().map(|r| r.clicks as u64).sum()
+    }
+}
+
+/// A pluggable detector-aware attacker.
+pub trait AttackerStrategy {
+    /// Stable machine name, used as the matrix row key.
+    fn name(&self) -> &'static str;
+
+    /// True if the plan's timestamps carry the attack (evaluate through a
+    /// windowed replay); false if the one-shot aggregate graph suffices.
+    fn temporal(&self) -> bool {
+        false
+    }
+
+    /// Plans the campaign. Deterministic given the `rng` seed; total
+    /// clicks never exceed `budget.clicks`.
+    fn plan(
+        &self,
+        world: &WorldView,
+        detector: &DetectorProfile,
+        budget: AttackBudget,
+        alloc: &mut IdAllocator,
+        rng: &mut StdRng,
+    ) -> Result<AdversarialPlan, String>;
+}
+
+/// Hard budget backstop: walks the records in order, truncating the first
+/// record that would overflow the budget and dropping the rest. Strategies
+/// plan whole affordable groups so this is normally a no-op, but it makes
+/// budget-soundness unconditional.
+pub fn clamp_to_budget(records: &mut Vec<TimedRecord>, budget: AttackBudget) {
+    let mut spent = 0u64;
+    let mut keep = records.len();
+    for (i, r) in records.iter_mut().enumerate() {
+        let left = budget.clicks.saturating_sub(spent);
+        if left == 0 {
+            keep = i;
+            break;
+        }
+        if r.clicks as u64 > left {
+            r.clicks = left as u32;
+        }
+        spent += r.clicks as u64;
+    }
+    records.truncate(keep);
+}
+
+/// Uniform random timestamp over the world's horizon.
+fn stamp(rng: &mut StdRng, horizon: Tick) -> Tick {
+    rng.gen_range(0..horizon.max(1))
+}
+
+/// The worker × target biclique shape shared by the one-shot strategies.
+struct GroupShape {
+    workers: usize,
+    targets: usize,
+    /// Clicks per worker→target edge.
+    per_edge: u32,
+    /// Hot items each worker rides (single clicks).
+    rides: usize,
+}
+
+impl GroupShape {
+    /// Upper bound on one group's click cost.
+    fn cost(&self) -> u64 {
+        (self.workers * self.targets) as u64 * self.per_edge as u64
+            + (self.workers * self.rides) as u64
+    }
+}
+
+/// Plants one group of `shape`: fresh workers and targets, per-edge clicks
+/// at a single timestamp each, plus one-click rides on sampled hot items.
+fn plant_group(
+    shape: &GroupShape,
+    world: &WorldView,
+    alloc: &mut IdAllocator,
+    rng: &mut StdRng,
+    plan: &mut AdversarialPlan,
+) {
+    let workers: Vec<UserId> = (0..shape.workers).map(|_| alloc.user()).collect();
+    let targets: Vec<ItemId> = (0..shape.targets).map(|_| alloc.item()).collect();
+    let rides: Vec<ItemId> = world
+        .hot_pool
+        .choose_multiple(rng, shape.rides.min(world.hot_pool.len()))
+        .copied()
+        .collect();
+    for &w in &workers {
+        for &h in &rides {
+            plan.records.push(TimedRecord {
+                user: w,
+                item: h,
+                clicks: 1,
+                ts: stamp(rng, world.horizon),
+            });
+        }
+        for &t in &targets {
+            plan.records.push(TimedRecord {
+                user: w,
+                item: t,
+                clicks: shape.per_edge,
+                ts: stamp(rng, world.horizon),
+            });
+        }
+    }
+    plan.truth.groups.push(InjectedGroup {
+        workers,
+        targets,
+        ridden_hot_items: rides,
+    });
+}
+
+/// The paper's Section IV-A optimum, unchanged: a comfortable-margin
+/// biclique (`k₁+2 × k₂+2` at `T_click+2` per edge) riding two hot items.
+/// This is the matrix's fixed reference cell — the detector must keep
+/// seed-level recall on it at round 0, whatever else changes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PaperOptimal;
+
+impl AttackerStrategy for PaperOptimal {
+    fn name(&self) -> &'static str {
+        "paper_optimal"
+    }
+
+    fn plan(
+        &self,
+        world: &WorldView,
+        detector: &DetectorProfile,
+        budget: AttackBudget,
+        alloc: &mut IdAllocator,
+        rng: &mut StdRng,
+    ) -> Result<AdversarialPlan, String> {
+        let shape = GroupShape {
+            workers: detector.k1 + 2,
+            targets: detector.k2 + 2,
+            per_edge: detector.t_click + 2,
+            rides: 2.min(world.hot_pool.len()),
+        };
+        let mut plan = AdversarialPlan::default();
+        let mut left = budget.clicks;
+        while left >= shape.cost() {
+            plant_group(&shape, world, alloc, rng, &mut plan);
+            left -= shape.cost();
+        }
+        clamp_to_budget(&mut plan.records, budget);
+        Ok(plan)
+    }
+}
+
+/// Camouflage-ratio sweep: each worker keeps the paper's *total* target
+/// budget but diverts `ratio` of it into single-click camouflage on random
+/// ordinary items, so no worker→target edge reaches `T_click`. The planted
+/// biclique still survives extraction (extraction is weight-agnostic) —
+/// the evasion defeats the *screening* stage, and only a `T_click`
+/// relaxation (the Module-3 response) recovers it.
+#[derive(Clone, Copy, Debug)]
+pub struct CamouflageSweep {
+    /// Fraction of the per-edge target budget diverted to camouflage,
+    /// in `[0, 1)`.
+    pub ratio: f64,
+}
+
+impl Default for CamouflageSweep {
+    fn default() -> Self {
+        Self { ratio: 0.5 }
+    }
+}
+
+impl AttackerStrategy for CamouflageSweep {
+    fn name(&self) -> &'static str {
+        "camouflage_sweep"
+    }
+
+    fn plan(
+        &self,
+        world: &WorldView,
+        detector: &DetectorProfile,
+        budget: AttackBudget,
+        alloc: &mut IdAllocator,
+        rng: &mut StdRng,
+    ) -> Result<AdversarialPlan, String> {
+        if !(0.0..1.0).contains(&self.ratio) {
+            return Err("camouflage ratio must be in [0, 1)".into());
+        }
+        let full = detector.t_click + 2;
+        let per_edge = (((1.0 - self.ratio) * full as f64).floor() as u32).max(1);
+        let shape = GroupShape {
+            workers: detector.k1 + 2,
+            targets: detector.k2 + 2,
+            per_edge,
+            rides: 2.min(world.hot_pool.len()),
+        };
+        // The diverted budget per worker, spent as camouflage singles.
+        let diverted = shape.targets as u64 * (full - per_edge) as u64;
+        let group_cost = shape.cost() + shape.workers as u64 * diverted;
+        let mut plan = AdversarialPlan::default();
+        let mut left = budget.clicks;
+        while left >= group_cost {
+            plant_group(&shape, world, alloc, rng, &mut plan);
+            let group = plan.truth.groups.last().expect("just planted");
+            for &w in &group.workers.clone() {
+                for &c in world
+                    .ordinary_pool
+                    .choose_multiple(rng, (diverted as usize).min(world.ordinary_pool.len()))
+                {
+                    plan.records.push(TimedRecord {
+                        user: w,
+                        item: c,
+                        clicks: 1,
+                        ts: stamp(rng, world.horizon),
+                    });
+                }
+            }
+            left -= group_cost;
+        }
+        clamp_to_budget(&mut plan.records, budget);
+        Ok(plan)
+    }
+}
+
+/// Budget splitting: many small groups sized one below the `(k₁, k₂)`
+/// floor. Every target's degree is `k₁ − 1`, so round-0 CorePruning removes
+/// all targets, the workers lose their support and follow, and nothing is
+/// extracted. The Module-3 `k` decrement is the only response that brings
+/// the groups back over the structural floor.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BudgetSplit;
+
+impl AttackerStrategy for BudgetSplit {
+    fn name(&self) -> &'static str {
+        "budget_split"
+    }
+
+    fn plan(
+        &self,
+        world: &WorldView,
+        detector: &DetectorProfile,
+        budget: AttackBudget,
+        alloc: &mut IdAllocator,
+        rng: &mut StdRng,
+    ) -> Result<AdversarialPlan, String> {
+        let shape = GroupShape {
+            // One below the extraction floor, but never below the
+            // screening floors (3 users / 2 targets) — a smaller group
+            // would be unreportable even under full relaxation.
+            workers: detector.k1.saturating_sub(1).max(3),
+            targets: detector.k2.saturating_sub(1).max(2),
+            per_edge: detector.t_click,
+            rides: 2.min(world.hot_pool.len()),
+        };
+        let mut plan = AdversarialPlan::default();
+        let mut left = budget.clicks;
+        while left >= shape.cost() {
+            plant_group(&shape, world, alloc, rng, &mut plan);
+            left -= shape.cost();
+        }
+        clamp_to_budget(&mut plan.records, budget);
+        Ok(plan)
+    }
+}
+
+/// Hot-item mimicry: plant the paper's biclique on fresh targets, then pump
+/// each target past `T_hot` with diffuse single clicks from random organic
+/// accounts. The detector misclassifies the targets as hot items; the
+/// workers then have no heavy click on any *ordinary* group item and fail
+/// the user behavior check. Only raising `T_hot` (Module 3) re-classifies
+/// the targets as ordinary and recovers the group. A budget too small to
+/// pump degenerates to an unpumped (and promptly caught) group — mimicry
+/// is the expensive strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HotItemMimicry;
+
+impl HotItemMimicry {
+    /// Per-target total clicks needed to clear `T_hot` with a 5% margin.
+    fn hot_total(detector: &DetectorProfile) -> u64 {
+        detector.t_hot + detector.t_hot / 20 + 1
+    }
+}
+
+impl AttackerStrategy for HotItemMimicry {
+    fn name(&self) -> &'static str {
+        "hot_item_mimicry"
+    }
+
+    fn plan(
+        &self,
+        world: &WorldView,
+        detector: &DetectorProfile,
+        budget: AttackBudget,
+        alloc: &mut IdAllocator,
+        rng: &mut StdRng,
+    ) -> Result<AdversarialPlan, String> {
+        let shape = GroupShape {
+            workers: detector.k1 + 2,
+            targets: detector.k2,
+            per_edge: detector.t_click + 2,
+            rides: 0,
+        };
+        let worker_clicks_per_target = (shape.workers as u64) * shape.per_edge as u64;
+        let pump_per_target = Self::hot_total(detector).saturating_sub(worker_clicks_per_target);
+        let pumped_cost = shape.cost() + shape.targets as u64 * pump_per_target;
+        let can_pump = world.organic_users > 0 && budget.clicks >= pumped_cost;
+
+        let mut plan = AdversarialPlan::default();
+        let mut left = budget.clicks;
+        if can_pump {
+            while left >= pumped_cost {
+                plant_group(&shape, world, alloc, rng, &mut plan);
+                let targets = plan
+                    .truth
+                    .groups
+                    .last()
+                    .expect("just planted")
+                    .targets
+                    .clone();
+                for t in targets {
+                    for _ in 0..pump_per_target {
+                        let u = UserId(rng.gen_range(0..world.organic_users as u32));
+                        plan.records.push(TimedRecord {
+                            user: u,
+                            item: t,
+                            clicks: 1,
+                            ts: stamp(rng, world.horizon),
+                        });
+                    }
+                }
+                left -= pumped_cost;
+            }
+        } else if left >= shape.cost() {
+            plant_group(&shape, world, alloc, rng, &mut plan);
+        }
+        clamp_to_budget(&mut plan.records, budget);
+        Ok(plan)
+    }
+}
+
+/// Slow drip: the paper-optimal biclique, but every worker→target edge's
+/// budget is split into unit clicks and dripped *flat* over the whole
+/// horizon through the PR-9 [`RampSchedule`] machinery (a linear ramp would
+/// concentrate the tail and hand a sliding window the full edge weight; the
+/// detector-aware drip keeps every window's per-edge accumulation below
+/// `T_click`). Defeated by the Module-3 `T_click` relaxation.
+#[derive(Clone, Copy, Debug)]
+pub struct SlowDrip {
+    /// Drip slots across the horizon (the ramp schedule's resolution).
+    pub slots: usize,
+}
+
+impl Default for SlowDrip {
+    fn default() -> Self {
+        Self { slots: 16 }
+    }
+}
+
+impl AttackerStrategy for SlowDrip {
+    fn name(&self) -> &'static str {
+        "slow_drip"
+    }
+
+    fn temporal(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &self,
+        world: &WorldView,
+        detector: &DetectorProfile,
+        budget: AttackBudget,
+        alloc: &mut IdAllocator,
+        rng: &mut StdRng,
+    ) -> Result<AdversarialPlan, String> {
+        if self.slots == 0 {
+            return Err("slow drip needs at least one slot".into());
+        }
+        let workers = detector.k1 + 2;
+        let targets = detector.k2 + 2;
+        let per_edge = detector.t_click + 2;
+        let group_cost = (workers * targets) as u64 * per_edge as u64;
+        let slot_len = (world.horizon / self.slots as Tick).max(1);
+        // Flat weights: the detector-aware choice (see the type docs).
+        let sched = RampSchedule::weighted((0..self.slots).collect(), vec![1.0; self.slots]);
+
+        let mut plan = AdversarialPlan::default();
+        let mut left = budget.clicks;
+        while left >= group_cost {
+            let ws: Vec<UserId> = (0..workers).map(|_| alloc.user()).collect();
+            let ts_items: Vec<ItemId> = (0..targets).map(|_| alloc.item()).collect();
+            for &w in &ws {
+                for &t in &ts_items {
+                    for _ in 0..per_edge {
+                        let slot = sched.pick(rng) as Tick;
+                        let lo = slot * slot_len;
+                        let hi = ((slot + 1) * slot_len).min(world.horizon).max(lo + 1);
+                        plan.records.push(TimedRecord {
+                            user: w,
+                            item: t,
+                            clicks: 1,
+                            ts: lo + rng.gen_range(0..hi - lo),
+                        });
+                    }
+                }
+            }
+            plan.truth.groups.push(InjectedGroup {
+                workers: ws,
+                targets: ts_items,
+                ridden_hot_items: vec![],
+            });
+            left -= group_cost;
+        }
+        clamp_to_budget(&mut plan.records, budget);
+        Ok(plan)
+    }
+}
+
+/// The shipped strategy library, in matrix row order.
+pub fn standard_strategies() -> Vec<Box<dyn AttackerStrategy>> {
+    vec![
+        Box::new(PaperOptimal),
+        Box::new(CamouflageSweep::default()),
+        Box::new(BudgetSplit),
+        Box::new(HotItemMimicry),
+        Box::new(SlowDrip::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn world() -> WorldView {
+        WorldView {
+            organic_users: 500,
+            organic_items: 100,
+            hot_pool: (0..4).map(ItemId).collect(),
+            ordinary_pool: (4..100).map(ItemId).collect(),
+            horizon: 1_600,
+        }
+    }
+
+    fn plan_with(s: &dyn AttackerStrategy, budget: u64, seed: u64) -> AdversarialPlan {
+        let w = world();
+        let mut alloc = IdAllocator::new(w.organic_users, w.organic_items);
+        let mut rng = StdRng::seed_from_u64(seed);
+        s.plan(
+            &w,
+            &DetectorProfile::default(),
+            AttackBudget { clicks: budget },
+            &mut alloc,
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn library_has_at_least_four_strategies() {
+        let lib = standard_strategies();
+        assert!(
+            lib.len() >= 4,
+            "ISSUE demands ≥ 4 detector-aware strategies"
+        );
+        let mut names: Vec<&str> = lib.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), lib.len(), "names are unique row keys");
+    }
+
+    #[test]
+    fn paper_optimal_matches_published_shape() {
+        let p = plan_with(&PaperOptimal, 6_000, 7);
+        assert_eq!(p.truth.groups.len(), 2, "6000 clicks buy two groups");
+        let g = &p.truth.groups[0];
+        assert_eq!(g.workers.len(), 12);
+        assert_eq!(g.targets.len(), 12);
+        assert_eq!(g.ridden_hot_items.len(), 2);
+        let heavy = p
+            .records
+            .iter()
+            .filter(|r| r.user == g.workers[0] && g.targets.contains(&r.item))
+            .map(|r| r.clicks)
+            .collect::<Vec<_>>();
+        assert_eq!(heavy, vec![14; 12], "T_click + 2 per target edge");
+    }
+
+    #[test]
+    fn camouflage_keeps_edges_below_t_click() {
+        let p = plan_with(&CamouflageSweep::default(), 6_000, 7);
+        assert!(!p.truth.groups.is_empty());
+        let det = DetectorProfile::default();
+        for g in &p.truth.groups {
+            for r in &p.records {
+                if g.workers.contains(&r.user) && g.targets.contains(&r.item) {
+                    assert!(r.clicks < det.t_click, "edge {} >= T_click", r.clicks);
+                }
+            }
+        }
+        // The diverted budget shows up as camouflage singles on organic
+        // ordinary items.
+        let camo = p
+            .records
+            .iter()
+            .filter(|r| r.item.0 < 100 && r.item.0 >= 4)
+            .count();
+        assert!(camo > 0, "diverted budget becomes camouflage");
+    }
+
+    #[test]
+    fn budget_split_sits_below_the_floor() {
+        let p = plan_with(&BudgetSplit, 6_000, 7);
+        let det = DetectorProfile::default();
+        assert!(p.truth.groups.len() >= 4, "many small groups");
+        for g in &p.truth.groups {
+            assert!(g.workers.len() < det.k1);
+            assert!(g.targets.len() < det.k2);
+            assert!(g.workers.len() >= 3 && g.targets.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn mimicry_pumps_targets_past_t_hot_when_affordable() {
+        let det = DetectorProfile::default();
+        let p = plan_with(&HotItemMimicry, 20_000, 7);
+        assert_eq!(p.truth.groups.len(), 1);
+        let g = &p.truth.groups[0];
+        for &t in &g.targets {
+            let total: u64 = p
+                .records
+                .iter()
+                .filter(|r| r.item == t)
+                .map(|r| r.clicks as u64)
+                .sum();
+            assert!(total > det.t_hot, "target at {total} clicks must look hot");
+        }
+        // Starved of budget, mimicry degenerates to an unpumped group.
+        let starved = plan_with(&HotItemMimicry, 6_000, 7);
+        assert_eq!(starved.truth.groups.len(), 1);
+        let g = &starved.truth.groups[0];
+        let total: u64 = starved
+            .records
+            .iter()
+            .filter(|r| r.item == g.targets[0])
+            .map(|r| r.clicks as u64)
+            .sum();
+        assert!(total < det.t_hot, "no budget to pump");
+    }
+
+    #[test]
+    fn slow_drip_spreads_unit_clicks_over_the_horizon() {
+        let w = world();
+        let p = plan_with(&SlowDrip::default(), 6_000, 7);
+        assert!(SlowDrip::default().temporal());
+        assert!(!p.truth.groups.is_empty());
+        let mid = w.horizon / 2;
+        let (mut early, mut late) = (0u64, 0u64);
+        for r in &p.records {
+            assert_eq!(r.clicks, 1, "drip is unit clicks");
+            assert!(r.ts < w.horizon);
+            if r.ts < mid {
+                early += 1;
+            } else {
+                late += 1;
+            }
+        }
+        // Flat drip: neither half carries more than ~60% of the traffic.
+        let total = early + late;
+        assert!(
+            early * 10 >= total * 4 && late * 10 >= total * 4,
+            "flat drip, got {early} early vs {late} late"
+        );
+    }
+
+    #[test]
+    fn budgets_are_respected_exactly() {
+        for s in standard_strategies() {
+            for budget in [0u64, 1, 37, 990, 2_064, 6_000, 20_000] {
+                let p = plan_with(s.as_ref(), budget, 11);
+                assert!(
+                    p.total_clicks() <= budget,
+                    "{} spent {} of {budget}",
+                    s.name(),
+                    p.total_clicks()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_seed_stable() {
+        for s in standard_strategies() {
+            let a = plan_with(s.as_ref(), 20_000, 42);
+            let b = plan_with(s.as_ref(), 20_000, 42);
+            assert_eq!(a, b, "{} not seed-stable", s.name());
+            let c = plan_with(s.as_ref(), 20_000, 43);
+            assert_ne!(a.records, c.records, "{} ignores its seed", s.name());
+        }
+    }
+
+    #[test]
+    fn clamp_truncates_mid_record() {
+        let mut records = vec![
+            TimedRecord {
+                user: UserId(0),
+                item: ItemId(0),
+                clicks: 10,
+                ts: 0,
+            },
+            TimedRecord {
+                user: UserId(0),
+                item: ItemId(1),
+                clicks: 10,
+                ts: 1,
+            },
+            TimedRecord {
+                user: UserId(0),
+                item: ItemId(2),
+                clicks: 10,
+                ts: 2,
+            },
+        ];
+        clamp_to_budget(&mut records, AttackBudget { clicks: 15 });
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].clicks, 10);
+        assert_eq!(records[1].clicks, 5);
+    }
+}

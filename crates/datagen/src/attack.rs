@@ -50,13 +50,13 @@ impl IdAllocator {
         }
     }
 
-    fn user(&mut self) -> UserId {
+    pub(crate) fn user(&mut self) -> UserId {
         let u = UserId(self.next_user);
         self.next_user += 1;
         u
     }
 
-    fn item(&mut self) -> ItemId {
+    pub(crate) fn item(&mut self) -> ItemId {
         let v = ItemId(self.next_item);
         self.next_item += 1;
         v

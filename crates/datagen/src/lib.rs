@@ -29,8 +29,13 @@
 //! Fig 10, and [`timeline`] generalizes it into the temporal scenario
 //! engine: every click timestamped, diurnal organic traffic, flash-sale
 //! spikes, and ramped attack campaigns with worker-account churn, emitted
-//! as deterministic sequence-numbered batches.
+//! as deterministic sequence-numbered batches. [`adversary`] goes beyond
+//! the paper's fixed optimum: a pluggable [`AttackerStrategy`] trait with
+//! detector-aware strategies (camouflage sweeps, budget splitting below
+//! the `(k₁, k₂)` floor, hot-item mimicry, slow drips) driven by the
+//! adversarial evaluation matrix in `ricd-eval`.
 
+pub mod adversary;
 pub mod attack;
 pub mod builder;
 pub mod campaign;
@@ -41,6 +46,10 @@ pub mod timeline;
 pub mod truth;
 pub mod zipf;
 
+pub use adversary::{
+    standard_strategies, AdversarialPlan, AttackBudget, AttackerStrategy, DetectorProfile,
+    WorldView,
+};
 pub use builder::{generate, generate_with_attacks, SyntheticDataset};
 pub use config::{AttackConfig, DatasetConfig};
 pub use timeline::{
@@ -51,6 +60,10 @@ pub use truth::{GroundTruth, InjectedGroup};
 
 /// Commonly used generator types.
 pub mod prelude {
+    pub use crate::adversary::{
+        standard_strategies, AdversarialPlan, AttackBudget, AttackerStrategy, DetectorProfile,
+        WorldView,
+    };
     pub use crate::builder::{generate, generate_with_attacks, SyntheticDataset};
     pub use crate::campaign::{simulate_campaign, CampaignConfig, CampaignDay, CampaignTimeline};
     pub use crate::config::{AttackConfig, DatasetConfig};

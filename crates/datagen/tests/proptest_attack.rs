@@ -1,0 +1,146 @@
+//! Property tests of the adversary strategy library: every shipped
+//! [`AttackerStrategy`] is **seed-stable** (same seed ⇒ byte-identical
+//! click set and truth) and **budget-sound** (total injected clicks never
+//! exceed the budget, for any detector operating point and world shape).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ricd_datagen::adversary::{
+    standard_strategies, AdversarialPlan, AttackBudget, AttackerStrategy, DetectorProfile,
+    WorldView,
+};
+use ricd_datagen::attack::IdAllocator;
+use ricd_graph::ItemId;
+
+fn world(users: usize, items: usize, hot: usize, horizon: u64) -> WorldView {
+    WorldView {
+        organic_users: users,
+        organic_items: items,
+        hot_pool: (0..hot as u32).map(ItemId).collect(),
+        ordinary_pool: (hot as u32..items as u32).map(ItemId).collect(),
+        horizon,
+    }
+}
+
+/// Detector operating points around (and below) the paper's, so the
+/// budget law is exercised across group shapes — including the degenerate
+/// floors where a "group" is a handful of workers.
+fn profiles() -> impl Strategy<Value = DetectorProfile> {
+    (4usize..14, 4usize..14, 100u64..5_000, 4u32..20, 7u32..=10).prop_map(
+        |(k1, k2, t_hot, t_click, alpha10)| DetectorProfile {
+            k1,
+            k2,
+            alpha: alpha10 as f64 / 10.0,
+            t_hot,
+            t_click,
+        },
+    )
+}
+
+fn plan_with(
+    strategy: &dyn AttackerStrategy,
+    world: &WorldView,
+    profile: &DetectorProfile,
+    budget: u64,
+    seed: u64,
+) -> AdversarialPlan {
+    let mut alloc = IdAllocator::new(world.organic_users, world.organic_items);
+    let mut rng = StdRng::seed_from_u64(seed);
+    strategy
+        .plan(
+            world,
+            profile,
+            AttackBudget { clicks: budget },
+            &mut alloc,
+            &mut rng,
+        )
+        .expect("strategies never fail on a well-formed world")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Budget soundness: whatever the operating point splits the budget
+    /// into, the plan never spends more than it was given, every record
+    /// is a real click inside the horizon, and the ground truth only
+    /// names synthetic ids the plan itself minted.
+    #[test]
+    fn every_strategy_is_budget_sound(
+        seed in any::<u64>(),
+        budget in 0u64..120_000,
+        users in 50usize..2_000,
+        hot in 2usize..8,
+        extra_items in 10usize..300,
+        profile in profiles(),
+    ) {
+        let items = hot + extra_items;
+        let w = world(users, items, hot, 1_600);
+        for s in standard_strategies() {
+            let plan = plan_with(s.as_ref(), &w, &profile, budget, seed);
+            prop_assert!(
+                plan.total_clicks() <= budget,
+                "strategy {} overspent: {} > {}",
+                s.name(), plan.total_clicks(), budget
+            );
+            for r in &plan.records {
+                prop_assert!(r.ts < w.horizon, "{}: ts {} past horizon", s.name(), r.ts);
+                prop_assert!(r.clicks >= 1, "{}: zero-click record survived", s.name());
+            }
+            for g in &plan.truth.groups {
+                for u in &g.workers {
+                    prop_assert!(u.0 as usize >= users, "{}: organic user in truth", s.name());
+                }
+                for v in &g.targets {
+                    prop_assert!(v.0 as usize >= items, "{}: organic item in truth", s.name());
+                }
+            }
+        }
+    }
+
+    /// Seed stability: the same seed yields a byte-identical plan —
+    /// record-for-record and in the serialized click set — so every
+    /// matrix cell is reproducible from `(seed, strategy, budget)` alone.
+    #[test]
+    fn every_strategy_is_seed_stable(
+        seed in any::<u64>(),
+        budget in 0u64..60_000,
+        users in 50usize..500,
+        profile in profiles(),
+    ) {
+        let w = world(users, 120, 4, 1_600);
+        for s in standard_strategies() {
+            let a = plan_with(s.as_ref(), &w, &profile, budget, seed);
+            let b = plan_with(s.as_ref(), &w, &profile, budget, seed);
+            prop_assert_eq!(&a, &b, "strategy {} not seed-stable", s.name());
+            let bytes_a = serde_json::to_string(&a.records).unwrap();
+            let bytes_b = serde_json::to_string(&b.records).unwrap();
+            prop_assert_eq!(bytes_a, bytes_b);
+        }
+    }
+
+    /// The budget is a live constraint, not dead code: with enough budget
+    /// every strategy plants something, and shrinking the budget never
+    /// grows the spend.
+    #[test]
+    fn spend_is_monotone_in_budget(
+        seed in any::<u64>(),
+        profile in profiles(),
+    ) {
+        let w = world(400, 120, 4, 1_600);
+        for s in standard_strategies() {
+            let spends: Vec<u64> = [0u64, 500, 5_000, 50_000]
+                .iter()
+                .map(|&b| plan_with(s.as_ref(), &w, &profile, b, seed).total_clicks())
+                .collect();
+            prop_assert_eq!(spends[0], 0, "{}: zero budget must spend nothing", s.name());
+            for pair in spends.windows(2) {
+                prop_assert!(pair[0] <= pair[1], "{}: spend not monotone: {:?}", s.name(), spends);
+            }
+            prop_assert!(
+                spends[3] > 0,
+                "{}: 50k budget must afford at least one group", s.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! The adversarial evaluation matrix: every [`AttackerStrategy`] × budget
+//! cell over a planted world, with the paper's Module-3 feedback loop
+//! re-tuning thresholds between rounds (ROADMAP item 2).
+//!
+//! Each cell plants one strategy's campaign against the same organic
+//! background, runs detection at the round-0 operating point, and then —
+//! when the flagged output falls short of the analyst's expectation — lets
+//! the [`FeedbackTuner`] relax the thresholds and re-runs, recording
+//! recall/precision/collateral per round. The report is deterministic JSON
+//! (`BENCH_adversarial.json` via `ricd-bench`'s `adversarial_bench`, or
+//! `ricd eval --adversarial`): no timings, no host-dependent fields, every
+//! random draw seeded per cell.
+//!
+//! One-shot strategies are scored on the aggregate attacked graph; temporal
+//! strategies ([`AttackerStrategy::temporal`], e.g. the slow drip) replay
+//! through a sliding-window [`WindowedDetector`] and score the *cumulative*
+//! flagged set — an account caught in any window stays caught, which is the
+//! alarm semantics of the stream tier.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ricd_core::temporal::{TimedClick, WindowConfig, WindowedDetector};
+use ricd_core::thresholds::{params_for_mode, FeedbackTuner};
+use ricd_core::{ParamsMode, RicdParams, RicdPipeline};
+use ricd_datagen::adversary::{
+    standard_strategies, AttackBudget, AttackerStrategy, DetectorProfile, WorldView,
+};
+use ricd_datagen::attack::IdAllocator;
+use ricd_datagen::timeline::{Tick, TimedRecord};
+use ricd_datagen::{generate, AttackConfig, DatasetConfig, GroundTruth};
+use ricd_graph::{BipartiteGraph, GraphBuilder, ItemId, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Matrix configuration.
+#[derive(Clone, Debug)]
+pub struct AdversarialConfig {
+    /// The organic background world.
+    pub dataset: DatasetConfig,
+    /// Click budgets — one matrix column per entry.
+    pub budgets: Vec<u64>,
+    /// Maximum Module-3 feedback rounds *after* round 0.
+    pub feedback_rounds: usize,
+    /// How the round-0 thresholds are chosen (the attacker adapts to the
+    /// same resolved operating point).
+    pub params_mode: ParamsMode,
+    /// The Module-3 feedback seam.
+    pub tuner: FeedbackTuner,
+    /// Master seed; every cell derives its own stream from it.
+    pub seed: u64,
+    /// Fixed worker-pool width, `None` = host default. Detection output is
+    /// pool-width independent (the shard-equivalence suites), so this only
+    /// affects wall clock.
+    pub workers: Option<usize>,
+    /// Simulation horizon for timestamped plans.
+    pub horizon: Tick,
+    /// Batch slicing interval for the windowed replay.
+    pub batch_interval: Tick,
+    /// Sliding-window length for temporal cells.
+    pub window: u64,
+    /// Detection cadence (batches) for temporal cells.
+    pub detect_every: u64,
+}
+
+impl AdversarialConfig {
+    /// The default matrix: tiny world, three budgets, three feedback
+    /// rounds, the paper's operating point.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            dataset: DatasetConfig::tiny(),
+            budgets: vec![6_000, 20_000, 60_000],
+            feedback_rounds: 3,
+            params_mode: ParamsMode::Default,
+            tuner: FeedbackTuner::default(),
+            seed,
+            workers: None,
+            horizon: 1_600,
+            batch_interval: 100,
+            window: 800,
+            detect_every: 4,
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        self.dataset.validate()?;
+        if self.budgets.is_empty() {
+            return Err("at least one budget column required".into());
+        }
+        if self.horizon == 0 || self.batch_interval == 0 || self.batch_interval > self.horizon {
+            return Err("horizon/batch_interval invalid".into());
+        }
+        if self.window == 0 || self.detect_every == 0 {
+            return Err("window and detect_every must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// One detection round inside a cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index (0 = the published operating point).
+    pub round: usize,
+    /// Parameters this round ran with.
+    pub params: RicdParams,
+    /// Node recall against the cell's planted truth (Eq 6).
+    pub recall: f64,
+    /// Node precision (Eq 5; 0 when nothing is flagged).
+    pub precision: f64,
+    /// F1.
+    pub f1: f64,
+    /// Flagged nodes (users + items).
+    pub flagged: usize,
+    /// Flagged nodes that are planted.
+    pub true_positives: usize,
+    /// Flagged nodes that are *not* planted — the relaxation's cost.
+    pub collateral: usize,
+}
+
+/// One strategy × budget cell.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Strategy row key.
+    pub strategy: String,
+    /// Budget column.
+    pub budget: u64,
+    /// Clicks the plan actually spent (≤ budget).
+    pub injected_clicks: u64,
+    /// Whole groups the strategy could afford.
+    pub groups_planted: usize,
+    /// True if the cell was scored through the windowed replay.
+    pub temporal: bool,
+    /// Per-round quality, round 0 first.
+    pub rounds: Vec<RoundReport>,
+    /// Recall at the published operating point.
+    pub round0_recall: f64,
+    /// Recall after the feedback loop settled.
+    pub final_recall: f64,
+    /// `final_recall − round0_recall`: what Module 3 bought back.
+    pub recovery: f64,
+    /// True if the last round met the tuner's flagged-node expectation.
+    pub converged: bool,
+}
+
+/// The full matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdversarialReport {
+    /// Master seed.
+    pub seed: u64,
+    /// Round-0 params mode (`default` | `derived`).
+    pub params_mode: String,
+    /// The tuner's flagged-node expectation.
+    pub target_flagged: usize,
+    /// Budget columns.
+    pub budgets: Vec<u64>,
+    /// Strategy rows, in cell order.
+    pub strategies: Vec<String>,
+    /// All cells, strategy-major.
+    pub cells: Vec<CellReport>,
+}
+
+impl AdversarialReport {
+    /// Looks up one cell.
+    pub fn cell(&self, strategy: &str, budget: u64) -> Option<&CellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.strategy == strategy && c.budget == budget)
+    }
+}
+
+/// Per-cell seed derivation: FNV-1a over the strategy name folded with the
+/// master seed and the budget, so cells are independent and reordering the
+/// matrix never changes a cell's plan.
+fn cell_seed(seed: u64, name: &str, budget: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h ^ budget.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The attacker's view of the organic background: id spaces plus the
+/// popularity head (top 1%, at least 2 items) as the ridable hot pool.
+fn world_view(g: &BipartiteGraph, horizon: Tick) -> WorldView {
+    let totals = g.all_item_total_clicks();
+    let mut by_clicks: Vec<u32> = (0..g.num_items() as u32).collect();
+    by_clicks.sort_unstable_by_key(|&v| std::cmp::Reverse(totals[v as usize]));
+    let head = (by_clicks.len() / 100).max(2).min(by_clicks.len());
+    WorldView {
+        organic_users: g.num_users(),
+        organic_items: g.num_items(),
+        hot_pool: by_clicks[..head].iter().map(|&v| ItemId(v)).collect(),
+        ordinary_pool: by_clicks[head..].iter().map(|&v| ItemId(v)).collect(),
+        horizon,
+    }
+}
+
+/// Cumulative-set quality with the same conventions as
+/// [`crate::metrics::evaluate`]: recall 0 on empty truth, precision 0 on
+/// empty output.
+fn score_sets(
+    flagged_users: &BTreeSet<UserId>,
+    flagged_items: &BTreeSet<ItemId>,
+    truth: &GroundTruth,
+) -> (f64, f64, f64, usize, usize) {
+    let known_users = truth.abnormal_users();
+    let known_items = truth.abnormal_items();
+    let tp = flagged_users
+        .iter()
+        .filter(|u| known_users.binary_search(u).is_ok())
+        .count()
+        + flagged_items
+            .iter()
+            .filter(|v| known_items.binary_search(v).is_ok())
+            .count();
+    let flagged = flagged_users.len() + flagged_items.len();
+    let known = known_users.len() + known_items.len();
+    let precision = if flagged == 0 {
+        0.0
+    } else {
+        tp as f64 / flagged as f64
+    };
+    let recall = if known == 0 {
+        0.0
+    } else {
+        tp as f64 / known as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (recall, precision, f1, tp, flagged)
+}
+
+fn make_pipeline(params: RicdParams, workers: Option<usize>) -> RicdPipeline {
+    let pipeline = RicdPipeline::new(params);
+    match workers {
+        Some(n) => pipeline.with_pool(ricd_engine::WorkerPool::new(n)),
+        None => pipeline,
+    }
+}
+
+/// Runs the Module-3 feedback loop on a one-shot graph: detect, score,
+/// relax via the tuner, repeat — up to `feedback_rounds` relaxations after
+/// round 0, stopping early when the tuner converges or runs out of knobs.
+/// Returns the per-round trace (round 0 first). This is the seam the
+/// convergence tests pin.
+pub fn run_feedback_rounds(
+    g: &BipartiteGraph,
+    truth: &GroundTruth,
+    params0: RicdParams,
+    tuner: &FeedbackTuner,
+    feedback_rounds: usize,
+    workers: Option<usize>,
+) -> Vec<RoundReport> {
+    let pipeline = make_pipeline(params0, workers);
+    let mut params = params0;
+    let mut rounds = Vec::new();
+    for round in 0..=feedback_rounds {
+        let result = pipeline.run_with(g, &params);
+        let users: BTreeSet<UserId> = result.suspicious_users().into_iter().collect();
+        let items: BTreeSet<ItemId> = result.suspicious_items().into_iter().collect();
+        let (recall, precision, f1, tp, flagged) = score_sets(&users, &items, truth);
+        rounds.push(RoundReport {
+            round,
+            params,
+            recall,
+            precision,
+            f1,
+            flagged,
+            true_positives: tp,
+            collateral: flagged - tp,
+        });
+        if round < feedback_rounds {
+            match tuner.observe(&params, flagged) {
+                Some(next) => params = next,
+                None => break,
+            }
+        }
+    }
+    rounds
+}
+
+/// The windowed analogue: each round replays the batch sequence through a
+/// fresh [`WindowedDetector`] at that round's parameters and scores the
+/// cumulative flagged set.
+fn run_windowed_feedback_rounds(
+    batches: &[(u64, Vec<TimedClick>)],
+    truth: &GroundTruth,
+    params0: RicdParams,
+    cfg: &AdversarialConfig,
+) -> Result<Vec<RoundReport>, String> {
+    let window = WindowConfig {
+        window: Some(cfg.window),
+        half_life: None,
+        detect_every: cfg.detect_every,
+    };
+    let mut params = params0;
+    let mut rounds = Vec::new();
+    for round in 0..=cfg.feedback_rounds {
+        let mut detector = WindowedDetector::new(make_pipeline(params, cfg.workers), window)?;
+        let mut users: BTreeSet<UserId> = BTreeSet::new();
+        let mut items: BTreeSet<ItemId> = BTreeSet::new();
+        for (seq, wire) in batches {
+            detector.ingest_batch(*seq, wire);
+            let r = detector.last_result();
+            users.extend(r.suspicious_users());
+            items.extend(r.suspicious_items());
+        }
+        let r = detector.result();
+        users.extend(r.suspicious_users());
+        items.extend(r.suspicious_items());
+        let (recall, precision, f1, tp, flagged) = score_sets(&users, &items, truth);
+        rounds.push(RoundReport {
+            round,
+            params,
+            recall,
+            precision,
+            f1,
+            flagged,
+            true_positives: tp,
+            collateral: flagged - tp,
+        });
+        if round < cfg.feedback_rounds {
+            match cfg.tuner.observe(&params, flagged) {
+                Some(next) => params = next,
+                None => break,
+            }
+        }
+    }
+    Ok(rounds)
+}
+
+/// Slices timestamped records into contiguous `(seq, wire-batch)` pairs
+/// covering `[0, horizon)`, the stream tier's ingest shape.
+fn slice_batches(
+    mut records: Vec<TimedRecord>,
+    horizon: Tick,
+    interval: Tick,
+) -> Vec<(u64, Vec<TimedClick>)> {
+    records.sort_unstable_by_key(|r| (r.ts, r.user.0, r.item.0, r.clicks));
+    let num_slots = horizon.div_ceil(interval) as usize;
+    let mut batches: Vec<(u64, Vec<TimedClick>)> =
+        (0..num_slots as u64).map(|seq| (seq, Vec::new())).collect();
+    for r in records {
+        let slot = ((r.ts / interval) as usize).min(num_slots - 1);
+        batches[slot].1.push(r.wire());
+    }
+    batches
+}
+
+/// Runs the matrix over the shipped strategy library.
+pub fn run_adversarial(cfg: &AdversarialConfig) -> Result<AdversarialReport, String> {
+    run_adversarial_with(cfg, standard_strategies())
+}
+
+/// Runs the matrix over a caller-chosen strategy set (reduced CI matrices,
+/// focused tests).
+pub fn run_adversarial_with(
+    cfg: &AdversarialConfig,
+    strategies: Vec<Box<dyn AttackerStrategy>>,
+) -> Result<AdversarialReport, String> {
+    cfg.validate()?;
+    let base = generate(&cfg.dataset, &AttackConfig::none())?;
+    let world = world_view(&base.graph, cfg.horizon);
+
+    // The attacker adapts to the *published* operating point — resolved
+    // against the organic background, which is all both sides can see
+    // before the campaign runs.
+    let published = params_for_mode(cfg.params_mode, &base.graph);
+    let profile = DetectorProfile {
+        k1: published.k1,
+        k2: published.k2,
+        alpha: published.alpha,
+        t_hot: published.t_hot,
+        t_click: published.t_click,
+    };
+
+    // Timestamps for the organic background, shared by every temporal cell
+    // (seeded independently of the cells so the matrix shape can change
+    // without reshuffling the world).
+    let mut organic_rng = StdRng::seed_from_u64(cfg.seed ^ 0x6f72_6761_6e69_6373);
+    let organic_timed: Vec<TimedRecord> = base
+        .graph
+        .edges()
+        .map(|(user, item, clicks)| TimedRecord {
+            user,
+            item,
+            clicks,
+            ts: organic_rng.gen_range(0..cfg.horizon),
+        })
+        .collect();
+
+    let mut cells = Vec::new();
+    for strategy in &strategies {
+        for &budget in &cfg.budgets {
+            let mut rng = StdRng::seed_from_u64(cell_seed(cfg.seed, strategy.name(), budget));
+            let mut alloc = IdAllocator::new(world.organic_users, world.organic_items);
+            let plan = strategy.plan(
+                &world,
+                &profile,
+                AttackBudget { clicks: budget },
+                &mut alloc,
+                &mut rng,
+            )?;
+
+            let mut builder = GraphBuilder::new();
+            for (user, item, clicks) in base.graph.edges() {
+                builder.add_click(user, item, clicks);
+            }
+            for r in &plan.records {
+                builder.add_click(r.user, r.item, r.clicks);
+            }
+            let attacked = builder.build();
+            // The detector derives its round-0 thresholds from what it
+            // observes: the attacked table.
+            let params0 = params_for_mode(cfg.params_mode, &attacked);
+
+            let rounds = if strategy.temporal() {
+                let mut timed = organic_timed.clone();
+                timed.extend(plan.records.iter().copied());
+                let batches = slice_batches(timed, cfg.horizon, cfg.batch_interval);
+                run_windowed_feedback_rounds(&batches, &plan.truth, params0, cfg)?
+            } else {
+                run_feedback_rounds(
+                    &attacked,
+                    &plan.truth,
+                    params0,
+                    &cfg.tuner,
+                    cfg.feedback_rounds,
+                    cfg.workers,
+                )
+            };
+
+            let round0_recall = rounds.first().map_or(0.0, |r| r.recall);
+            let last = rounds.last().expect("at least round 0");
+            cells.push(CellReport {
+                strategy: strategy.name().to_string(),
+                budget,
+                injected_clicks: plan.total_clicks(),
+                groups_planted: plan.truth.groups.len(),
+                temporal: strategy.temporal(),
+                round0_recall,
+                final_recall: last.recall,
+                recovery: last.recall - round0_recall,
+                converged: last.flagged >= cfg.tuner.target_flagged,
+                rounds,
+            });
+        }
+    }
+
+    Ok(AdversarialReport {
+        seed: cfg.seed,
+        params_mode: cfg.params_mode.as_str().to_string(),
+        target_flagged: cfg.tuner.target_flagged,
+        budgets: cfg.budgets.clone(),
+        strategies: strategies.iter().map(|s| s.name().to_string()).collect(),
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ricd_datagen::adversary::{BudgetSplit, PaperOptimal};
+    use ricd_datagen::timeline::{build_timeline, ScenarioConfig};
+
+    fn reduced(seed: u64) -> AdversarialConfig {
+        AdversarialConfig {
+            budgets: vec![6_000],
+            workers: Some(2),
+            ..AdversarialConfig::tiny(seed)
+        }
+    }
+
+    /// The ISSUE's acceptance criterion: ≥ 4 strategies in the matrix, at
+    /// least one drops round-0 recall below 0.8, and the Module-3 loop
+    /// recovers it by ≥ 0.15 absolute within 3 rounds.
+    #[test]
+    fn matrix_breaks_and_feedback_recovers() {
+        let report = run_adversarial(&reduced(0x5eed_0010)).unwrap();
+        assert!(report.strategies.len() >= 4);
+
+        let fixed = report.cell("paper_optimal", 6_000).unwrap();
+        assert!(
+            fixed.round0_recall >= 0.8,
+            "the fixed-strategy cell must hold seed-level recall: {fixed:?}"
+        );
+
+        let broken: Vec<&CellReport> = report
+            .cells
+            .iter()
+            .filter(|c| c.round0_recall < 0.8)
+            .collect();
+        assert!(!broken.is_empty(), "some strategy must break the boundary");
+        let recovered = broken
+            .iter()
+            .find(|c| c.recovery >= 0.15 && c.rounds.len() <= 4)
+            .unwrap_or_else(|| panic!("no broken cell recovered: {broken:?}"));
+        assert!(recovered.rounds.last().unwrap().round <= 3);
+
+        // Budget splitting specifically: invisible at the published floor,
+        // fully recovered by the k/α relaxation.
+        let split = report.cell("budget_split", 6_000).unwrap();
+        assert!(split.round0_recall < 0.8, "{split:?}");
+        assert!(
+            split.final_recall >= split.round0_recall + 0.15,
+            "{split:?}"
+        );
+    }
+
+    /// Satellite: feedback-loop convergence on the burst preset — tuned
+    /// thresholds never oscillate (each knob is monotone, and the
+    /// threshold knobs are frozen from round 3 on), and recall is
+    /// monotonically non-decreasing across rounds.
+    #[test]
+    fn feedback_converges_without_oscillation_on_burst() {
+        let tl = build_timeline(&ScenarioConfig::burst()).unwrap();
+        let mut builder = GraphBuilder::new();
+        for (u, v, c) in tl.all_untimed() {
+            builder.add_click(u, v, c);
+        }
+        let g = builder.build();
+
+        // At the published operating point the burst is flagged outright:
+        // the loop must converge at round 0 and freeze the parameters.
+        let tuner = FeedbackTuner::default();
+        let rounds = run_feedback_rounds(&g, &tl.truth, RicdParams::default(), &tuner, 6, Some(2));
+        assert_eq!(rounds.len(), 1, "round 0 meets the expectation");
+        assert!(rounds[0].flagged >= tuner.target_flagged);
+
+        // Under an unreachable expectation the tuner walks every knob to
+        // its bound — monotonically, with no reversal at any round.
+        let greedy = FeedbackTuner {
+            target_flagged: usize::MAX,
+            ..FeedbackTuner::default()
+        };
+        let rounds = run_feedback_rounds(&g, &tl.truth, RicdParams::default(), &greedy, 6, Some(2));
+        assert!(rounds.len() >= 4);
+        for w in rounds.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert!(b.params.t_click <= a.params.t_click, "t_click oscillated");
+            assert!(b.params.k1 <= a.params.k1 && b.params.k2 <= a.params.k2);
+            assert!(b.params.alpha <= a.params.alpha + 1e-12, "alpha oscillated");
+            assert!(b.params.t_hot >= a.params.t_hot, "t_hot oscillated");
+            assert!(
+                b.recall >= a.recall - 1e-9,
+                "recall regressed under relaxation: {} -> {}",
+                a.recall,
+                b.recall
+            );
+        }
+        // Thresholds settle by round 3; later rounds only walk k.
+        let at3 = &rounds[3].params;
+        for r in &rounds[3..] {
+            assert_eq!(r.params.t_click, at3.t_click);
+            assert_eq!(r.params.t_hot, at3.t_hot);
+            assert!((r.params.alpha - at3.alpha).abs() < 1e-12);
+        }
+    }
+
+    /// Satellite: the derived-thresholds mode is exercisable end to end,
+    /// with the documented tiny-world behavior pinned — the derived
+    /// `T_hot` sits below the targets' accumulated clicks, so even the
+    /// paper-optimal attack hides behind the hot-item excuse at round 0.
+    #[test]
+    fn derived_mode_collapses_on_the_tiny_world() {
+        let cfg = AdversarialConfig {
+            params_mode: ParamsMode::Derived,
+            ..reduced(0x5eed_0011)
+        };
+        let report = run_adversarial_with(&cfg, vec![Box::new(PaperOptimal)]).unwrap();
+        assert_eq!(report.params_mode, "derived");
+        let cell = report.cell("paper_optimal", 6_000).unwrap();
+        let round0 = &cell.rounds[0];
+        assert!(
+            round0.params.t_hot < 1_000,
+            "tiny-world Pareto head sits far below the paper's T_hot: {round0:?}"
+        );
+        assert!(
+            cell.round0_recall < 0.8,
+            "documented collapse: derived T_hot marks the targets hot: {cell:?}"
+        );
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let run = || {
+            let report = run_adversarial_with(
+                &reduced(7),
+                vec![Box::new(PaperOptimal), Box::new(BudgetSplit)],
+            )
+            .unwrap();
+            serde_json::to_string(&report).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut cfg = AdversarialConfig::tiny(1);
+        cfg.budgets.clear();
+        assert!(run_adversarial(&cfg).is_err());
+        let cfg = AdversarialConfig {
+            batch_interval: 0,
+            ..AdversarialConfig::tiny(1)
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = AdversarialConfig {
+            detect_every: 0,
+            ..AdversarialConfig::tiny(1)
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

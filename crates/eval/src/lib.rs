@@ -18,18 +18,32 @@
 //!   per-campaign time-to-flag, phase-quality snapshots, and the
 //!   `stream.*` latency metrics.
 
+//! * [`adversarial`] — the adaptive-attacker lab: every detector-aware
+//!   [`ricd_datagen::adversary::AttackerStrategy`] × budget cell run
+//!   against a planted world, with the paper's Module-3 feedback loop
+//!   re-tuning thresholds between rounds and per-round
+//!   recall/precision/collateral recorded into a deterministic report.
+
+pub mod adversarial;
 pub mod figures;
 pub mod methods;
 pub mod metrics;
 pub mod report;
 pub mod temporal;
 
+pub use adversarial::{
+    run_adversarial, run_adversarial_with, run_feedback_rounds, AdversarialConfig,
+    AdversarialReport, CellReport, RoundReport,
+};
 pub use methods::{Method, MethodConfig};
 pub use metrics::{evaluate, Evaluation};
 pub use temporal::{replay_timeline, CampaignOutcome, StreamEvalConfig, StreamReport};
 
 /// Commonly used evaluation types.
 pub mod prelude {
+    pub use crate::adversarial::{
+        run_adversarial, AdversarialConfig, AdversarialReport, CellReport,
+    };
     pub use crate::figures;
     pub use crate::methods::{Method, MethodConfig};
     pub use crate::metrics::{evaluate, Evaluation};

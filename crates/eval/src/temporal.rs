@@ -343,6 +343,52 @@ mod tests {
         );
     }
 
+    /// Pins the behavior [`calibrated_params`] documents — and that
+    /// `ricd stream --params derived` now makes reachable from the CLI:
+    /// on the tiny burst world the derived Pareto `T_hot` sits far below
+    /// the attack targets' accumulated clicks, so the targets themselves
+    /// are excused as hot and the campaign sails through undetected. The
+    /// paper's derivations assume production-scale data; this is the
+    /// caveat in miniature.
+    #[test]
+    fn derived_params_miss_the_burst_on_the_tiny_world() {
+        use ricd_core::{params_for_mode, ParamsMode};
+        use ricd_graph::GraphBuilder;
+
+        let tl = build_timeline(&ScenarioConfig::burst()).unwrap();
+        let mut b = GraphBuilder::new();
+        for (u, v, c) in tl.all_untimed() {
+            b.add_click(u, v, c);
+        }
+        let derived = params_for_mode(ParamsMode::Derived, &b.build());
+        assert!(
+            derived.t_hot < RicdParams::default().t_hot,
+            "tiny-world Pareto head must sit below the paper's 1000: {derived:?}"
+        );
+
+        let cfg = StreamEvalConfig::new(derived);
+        let registry = MetricsRegistry::new();
+        let report = replay_timeline(&tl, &cfg, &registry).unwrap();
+        assert!(
+            !report.all_flagged(),
+            "derived T_hot marks the targets hot and the burst evades: {report:?}"
+        );
+        assert_eq!(report.final_recall, 0.0, "{report:?}");
+
+        // The paper operating point on the same replay catches it — the
+        // two modes genuinely differ end to end.
+        let report = replay_timeline(
+            &tl,
+            &StreamEvalConfig::new(params_for_mode(
+                ParamsMode::Default,
+                &GraphBuilder::new().build(),
+            )),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
+        assert!(report.all_flagged(), "{report:?}");
+    }
+
     #[test]
     fn invalid_flag_fraction_rejected() {
         let tl = build_timeline(&ScenarioConfig::burst()).unwrap();

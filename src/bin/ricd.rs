@@ -87,10 +87,15 @@ USAGE:
     ricd eval     --input <clicks.tsv> --truth <truth.json> [--method <NAME>]
                   [--lossy] [--metrics-out <m.json>] [--metrics-count-only]
                   [--trace]
+    ricd eval     --adversarial [--budgets <N,N,...>] [--rounds <N>]
+                  [--params default|derived] [--scale tiny|small]
+                  [--seed <N>] [--target-flagged <N>] [--workers <N>]
+                  [--out <report.json>]
     ricd campaign [--days <N>]
     ricd stream   [--scenario burst|slow-drip] [--seed <N>]
                   [--window <TICKS>] [--decay <TICKS>] [--detect-every <N>]
                   [--flag-fraction <F>] [--out <report.json>]
+                  [--params default|derived]
                   [--k1 <N>] [--k2 <N>] [--alpha <F>]
                   [--t-hot <N>] [--t-click <N>]
                   [--metrics-out <m.json>] [--metrics-count-only] [--trace]
@@ -180,6 +185,21 @@ STREAMING:
     a campaign's workers that must be flagged before the campaign
     counts as detected. `--out` writes the full report JSON;
     `--metrics-out` captures the `stream.*` metric family.
+    `--params derived` resolves T_hot/T_click from the scenario's own
+    aggregate table (Pareto rule + Eq 4) instead of the paper's
+    operating point; explicit threshold flags override either base.
+
+ADVERSARIAL LAB:
+    `ricd eval --adversarial` needs no input files: it plants every
+    detector-aware attacker strategy (paper-optimal, camouflage sweep,
+    budget splitting, hot-item mimicry, slow drip) at each `--budgets`
+    click budget against a synthetic world, runs detection at the
+    round-0 operating point, and lets the Module-3 feedback loop relax
+    the thresholds for up to `--rounds` extra rounds whenever fewer
+    than `--target-flagged` nodes are flagged. The matrix prints one
+    row per strategy x budget cell (round-0 recall, final recall,
+    recovery, collateral); `--out` writes the deterministic JSON
+    report (`BENCH_adversarial.json` in CI).
 
 EXIT CODES:
     0  success (including degraded runs, which warn on stderr)
@@ -271,7 +291,14 @@ fn load_graph(
 }
 
 fn ricd_params(flags: &Flags) -> Result<RicdParams, CliError> {
-    let mut p = RicdParams::default();
+    ricd_params_over(RicdParams::default(), flags)
+}
+
+/// Applies the explicit `--k1`/`--t-hot`/… flags over an arbitrary base —
+/// the seam `--params derived` uses so data-derived thresholds can still be
+/// overridden per knob.
+fn ricd_params_over(base: RicdParams, flags: &Flags) -> Result<RicdParams, CliError> {
+    let mut p = base;
     if let Some(v) = flags.parse("--k1")? {
         p.k1 = v;
     }
@@ -500,6 +527,9 @@ fn cmd_detect(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_eval(args: &[String]) -> Result<(), CliError> {
     let flags = Flags(args);
+    if flags.has("--adversarial") {
+        return cmd_eval_adversarial(&flags);
+    }
     let (registry, metrics_out, count_only) = metrics_flags(&flags)?;
     let trace = flags.has("--trace");
     let g = load_graph(
@@ -553,6 +583,82 @@ fn cmd_eval(args: &[String]) -> Result<(), CliError> {
     println!("{}", report::format_quality(&outcomes));
     println!("{}", report::format_timing(&outcomes));
     write_snapshot(&registry, metrics_out, count_only)
+}
+
+/// `ricd eval --adversarial`: the adaptive-attacker matrix — every
+/// detector-aware strategy × budget cell over a planted world, with the
+/// Module-3 feedback loop re-tuning thresholds between rounds.
+fn cmd_eval_adversarial(flags: &Flags) -> Result<(), CliError> {
+    if flags.0.last().map(String::as_str) == Some("--out") {
+        return Err(CliError::Usage("--out requires a value".into()));
+    }
+    let mut cfg = AdversarialConfig::tiny(flags.parse::<u64>("--seed")?.unwrap_or(0x5eed_0010));
+    match flags.get("--scale") {
+        None | Some("tiny") => {}
+        Some("small") => cfg.dataset = DatasetConfig::small(),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown --scale `{other}` for --adversarial (expected tiny|small)"
+            )))
+        }
+    }
+    if let Some(csv) = flags.get("--budgets") {
+        cfg.budgets = csv
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|e| CliError::Usage(format!("--budgets: `{s}`: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(r) = flags.parse("--rounds")? {
+        cfg.feedback_rounds = r;
+    }
+    if let Some(mode) = flags.get("--params") {
+        cfg.params_mode = ParamsMode::parse(mode).map_err(CliError::Usage)?;
+    }
+    if let Some(t) = flags.parse("--target-flagged")? {
+        cfg.tuner.target_flagged = t;
+    }
+    if let Some(w) = flags.parse("--workers")? {
+        cfg.workers = Some(w);
+    }
+    let report = run_adversarial(&cfg).map_err(CliError::Runtime)?;
+
+    println!(
+        "adversarial matrix: {} strategies x {} budgets (params {}, expectation >={} flagged)",
+        report.strategies.len(),
+        report.budgets.len(),
+        report.params_mode,
+        report.target_flagged
+    );
+    println!(
+        "{:<18} {:>8} {:>7} {:>7} {:>9} {:>6} {:>10} {:>5}",
+        "strategy", "budget", "r0", "final", "recovery", "rounds", "collateral", "conv"
+    );
+    for c in &report.cells {
+        let collateral = c.rounds.last().map_or(0, |r| r.collateral);
+        println!(
+            "{:<18} {:>8} {:>7.3} {:>7.3} {:>+9.3} {:>6} {:>10} {:>5}",
+            c.strategy,
+            c.budget,
+            c.round0_recall,
+            c.final_recall,
+            c.recovery,
+            c.rounds.len(),
+            collateral,
+            if c.converged { "yes" } else { "no" }
+        );
+    }
+    if let Some(path) = flags.get("--out") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        let mut f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+        f.write_all(b"\n").map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
@@ -970,7 +1076,28 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
     if let Some(seed) = flags.parse::<u64>("--seed")? {
         scenario.seed = seed;
     }
-    let mut cfg = StreamEvalConfig::new(ricd_params(&flags)?);
+    let timeline = build_timeline(&scenario).map_err(CliError::Runtime)?;
+    // --params derived resolves T_hot/T_click from the scenario's own
+    // aggregate click table (the paper's Section IV-A derivations) instead
+    // of the published operating point; explicit --t-hot/--t-click style
+    // flags still override either base.
+    let mode = match flags.get("--params") {
+        None => ParamsMode::Default,
+        Some(s) => ParamsMode::parse(s).map_err(CliError::Usage)?,
+    };
+    let base = match mode {
+        ParamsMode::Default => RicdParams::default(),
+        ParamsMode::Derived => {
+            let mut b = GraphBuilder::new();
+            for (u, v, c) in timeline.all_untimed() {
+                b.add_click(u, v, c);
+            }
+            let p = params_for_mode(mode, &b.build());
+            eprintln!("derived params: t_hot={} t_click={}", p.t_hot, p.t_click);
+            p
+        }
+    };
+    let mut cfg = StreamEvalConfig::new(ricd_params_over(base, &flags)?);
     if let Some(w) = flags.parse::<u64>("--window")? {
         cfg.window.window = Some(w);
     }
@@ -984,7 +1111,6 @@ fn cmd_stream(args: &[String]) -> Result<(), CliError> {
         cfg.flag_fraction = f;
     }
     cfg.validate().map_err(CliError::Usage)?;
-    let timeline = build_timeline(&scenario).map_err(CliError::Runtime)?;
     let report = replay_timeline(&timeline, &cfg, &registry)?;
     println!(
         "scenario {scenario_name}: {} batches, {} records (evicted {}, late {}, peak window {})",
